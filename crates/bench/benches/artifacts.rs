@@ -1,0 +1,144 @@
+//! Artifact-regeneration benches: one Criterion group per table and figure
+//! of the paper. Each group prints the regenerated artifact once (so
+//! `cargo bench` output shows the same rows/series the paper reports) and
+//! then measures the cost of regenerating it from a fresh campaign.
+//!
+//! | group | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 (browser matrix) |
+//! | `availability` | §4 success/error counts |
+//! | `figure1` | Figure 1 (NA from Ohio) |
+//! | `figure2` | Figure 2 (NA × 4 vantages) |
+//! | `figure3` | Figure 3 (EU × 4 vantages) |
+//! | `figure4` | Figure 4 (Asia × 4 vantages) |
+//! | `table2` | Table 2 (Asia, Seoul vs Frankfurt) |
+//! | `table3` | Table 3 (EU, Frankfurt vs Seoul) |
+//! | `headline` | §4 crossover findings |
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::{campaign, dataset, region_hosts};
+use netsim::Region;
+use report::experiments::{availability, figures, headline, table1, tables23};
+use report::Dataset;
+
+/// Rounds per day for the bench campaigns (kept small; the artifact shape
+/// is stable because the simulation is calibrated, not sampled to death).
+const ROUNDS: u32 = 2;
+
+fn table1_bench(c: &mut Criterion) {
+    eprintln!("\n{}", table1::render());
+    c.bench_function("table1_regenerate", |b| b.iter(table1::render));
+}
+
+fn availability_bench(c: &mut Criterion) {
+    let d = dataset(1, 3, &bench::BENCH_MIX);
+    eprintln!("\n{}", availability::render(&d));
+    c.bench_function("availability_analysis", |b| {
+        b.iter(|| availability::run(black_box(&d)))
+    });
+    c.bench_function("availability_campaign_plus_analysis", |b| {
+        b.iter(|| {
+            let d = Dataset::new(campaign(1, ROUNDS, &bench::BENCH_MIX).run().records);
+            availability::run(&d)
+        })
+    });
+}
+
+fn figure_bench(c: &mut Criterion, name: &str, region: Region) {
+    let hosts = region_hosts(region);
+    let host_refs: Vec<&str> = hosts.clone();
+    let d = dataset(2, 3, &host_refs);
+    // Print the regenerated figure once (all four panels).
+    eprintln!("\n{}", figures::render(&d, region, 64));
+    c.bench_function(&format!("{name}_analysis"), |b| {
+        b.iter(|| figures::figure(black_box(&d), region))
+    });
+    c.bench_function(&format!("{name}_campaign_plus_render"), |b| {
+        b.iter(|| {
+            let d = Dataset::new(campaign(2, ROUNDS, &host_refs).run().records);
+            figures::render(&d, region, 64).len()
+        })
+    });
+}
+
+fn figure1_bench(c: &mut Criterion) {
+    let hosts = region_hosts(Region::NorthAmerica);
+    let d = dataset(2, 3, &hosts);
+    eprintln!("\nFigure 1:\n{}", figures::figure1(&d).render(64));
+    c.bench_function("figure1_regenerate", |b| {
+        b.iter(|| figures::figure1(black_box(&d)).rows.len())
+    });
+}
+
+fn figure2_bench(c: &mut Criterion) {
+    figure_bench(c, "figure2_north_america", Region::NorthAmerica);
+}
+
+fn figure3_bench(c: &mut Criterion) {
+    figure_bench(c, "figure3_europe", Region::Europe);
+}
+
+fn figure4_bench(c: &mut Criterion) {
+    figure_bench(c, "figure4_asia", Region::Asia);
+}
+
+fn tables_hosts() -> Vec<&'static str> {
+    tables23::TABLE2_RESOLVERS
+        .iter()
+        .chain(&tables23::TABLE3_RESOLVERS)
+        .copied()
+        .collect()
+}
+
+fn table2_bench(c: &mut Criterion) {
+    let hosts = tables_hosts();
+    let d = dataset(3, 4, &hosts);
+    eprintln!("\n{}", tables23::render_table2(&d));
+    c.bench_function("table2_regenerate", |b| {
+        b.iter(|| tables23::table2(black_box(&d)))
+    });
+}
+
+fn table3_bench(c: &mut Criterion) {
+    let hosts = tables_hosts();
+    let d = dataset(3, 4, &hosts);
+    eprintln!("\n{}", tables23::render_table3(&d));
+    c.bench_function("table3_regenerate", |b| {
+        b.iter(|| tables23::table3(black_box(&d)))
+    });
+}
+
+fn headline_bench(c: &mut Criterion) {
+    let mut hosts: Vec<&str> = catalog::resolvers::mainstream()
+        .iter()
+        .map(|e| e.hostname)
+        .collect();
+    hosts.extend([
+        "ordns.he.net",
+        "freedns.controld.com",
+        "dns.brahma.world",
+        "dns.alidns.com",
+        "doh.ffmuc.net",
+        "dns.bebasid.com",
+        "public.dns.iij.jp",
+    ]);
+    let d = dataset(4, 6, &hosts);
+    eprintln!("\n{}", headline::render(&d));
+    c.bench_function("headline_findings", |b| {
+        b.iter(|| headline::run(black_box(&d)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = table1_bench, availability_bench, figure1_bench, figure2_bench,
+        figure3_bench, figure4_bench, table2_bench, table3_bench, headline_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the wire-format substrate: DNS message codec,
+//! base64url, HPACK, HTTP/2 framing, DNS stamps.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dns_wire::{base64url, Message, MessageBuilder, Name, RecordType};
+use transport::http2::hpack::{Decoder, Encoder, HeaderField};
+use transport::{doh_headers, H2Connection, H2Request};
+
+fn typical_query() -> Message {
+    MessageBuilder::query(0, Name::parse("www.example.com").unwrap(), RecordType::A)
+        .recursion_desired(true)
+        .edns_udp_size(1232)
+        .padding_to(128)
+        .build()
+}
+
+fn bench_dns_codec(c: &mut Criterion) {
+    let msg = typical_query();
+    let wire = msg.encode().unwrap();
+    c.bench_function("dns_encode_query", |b| {
+        b.iter(|| black_box(&msg).encode().unwrap())
+    });
+    c.bench_function("dns_decode_query", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap())
+    });
+}
+
+fn bench_base64url(c: &mut Criterion) {
+    let wire = typical_query().encode().unwrap();
+    let enc = base64url::encode(&wire);
+    c.bench_function("base64url_encode_128B", |b| {
+        b.iter(|| base64url::encode(black_box(&wire)))
+    });
+    c.bench_function("base64url_decode_128B", |b| {
+        b.iter(|| base64url::decode(black_box(&enc)).unwrap())
+    });
+}
+
+fn bench_hpack(c: &mut Criterion) {
+    let headers: Vec<HeaderField> = doh_headers(
+        "dns.google",
+        "/dns-query?dns=AAABAAABAAAAAAAAA3d3dwdleGFtcGxlA2NvbQAAAQAB",
+        false,
+        0,
+    );
+    c.bench_function("hpack_encode_doh_headers_cold", |b| {
+        b.iter_batched(
+            Encoder::default,
+            |mut enc| enc.encode(black_box(&headers)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("hpack_round_trip_warm", |b| {
+        let mut enc = Encoder::default();
+        let mut dec = Decoder::default();
+        b.iter(|| {
+            let block = enc.encode(black_box(&headers));
+            dec.decode(&block).unwrap()
+        })
+    });
+}
+
+fn bench_h2_request(c: &mut Criterion) {
+    let headers = doh_headers("dns.google", "/dns-query?dns=AAAB", false, 0);
+    c.bench_function("h2_encode_doh_request", |b| {
+        b.iter_batched(
+            H2Connection::new,
+            |mut conn| {
+                conn.encode_request(black_box(&H2Request {
+                    headers: headers.clone(),
+                    body: bytes::Bytes::new(),
+                }))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_stamps(c: &mut Criterion) {
+    let stamp = catalog::Stamp::doh("dns.quad9.net", "/dns-query");
+    let enc = stamp.encode();
+    c.bench_function("stamp_encode", |b| b.iter(|| black_box(&stamp).encode()));
+    c.bench_function("stamp_decode", |b| {
+        b.iter(|| catalog::Stamp::decode(black_box(&enc)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dns_codec,
+    bench_base64url,
+    bench_hpack,
+    bench_h2_request,
+    bench_stamps
+);
+criterion_main!(benches);

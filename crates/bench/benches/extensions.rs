@@ -1,0 +1,139 @@
+//! Benches for the extension experiments: query-distribution strategies
+//! (K-resolver) and page-load-time by resolver choice. Each group prints
+//! its result table once, then measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use distribute::{Session, Strategy, Workload};
+use measure::ProbeTarget;
+use netsim::geo::cities;
+use netsim::{AccessProfile, Host, HostId, SimRng, SimTime};
+use webperf::{Loader, Page};
+
+const SET: [&str; 5] = [
+    "dns.quad9.net",
+    "dns.google",
+    "ordns.he.net",
+    "freedns.controld.com",
+    "security.cloudflare-dns.com",
+];
+
+fn distribution_bench(c: &mut Criterion) {
+    let client = Host::in_city(
+        HostId(0),
+        "c",
+        cities::COLUMBUS_OH,
+        AccessProfile::cloud_vm(),
+    );
+    let workload = Workload::zipf(100, 1.0);
+
+    eprintln!("\nquery-distribution tradeoff (200 queries, 5 resolvers):");
+    eprintln!(
+        "{:<16}{:>12}{:>14}{:>18}",
+        "strategy", "median ms", "max share", "profile coverage"
+    );
+    for strategy in [
+        Strategy::Single(0),
+        Strategy::RoundRobin,
+        Strategy::HashByDomain,
+        Strategy::Race(2),
+    ] {
+        let mut session = Session::new(&client, false, &SET);
+        let r = session.run(&strategy, &workload, 200, 1);
+        eprintln!(
+            "{:<16}{:>12.1}{:>13.0}%{:>17.0}%",
+            r.strategy,
+            r.median_ms().unwrap_or(f64::NAN),
+            100.0 * r.exposure.max_query_share(),
+            100.0 * r.exposure.max_profile_coverage(),
+        );
+    }
+    eprintln!();
+
+    c.bench_function("distribution_hash_by_domain_100q", |b| {
+        b.iter(|| {
+            let mut session = Session::new(&client, false, &SET);
+            session
+                .run(&Strategy::HashByDomain, &workload, 100, 2)
+                .median_ms()
+        })
+    });
+}
+
+fn page_load_bench(c: &mut Criterion) {
+    let loader = Loader::default();
+    let page = Page::news_site("news.example.com");
+    let client = Host::in_city(
+        HostId(0),
+        "home-1",
+        cities::CHICAGO,
+        AccessProfile::home_cable(),
+    );
+
+    eprintln!("\npage-load medians by resolver (news page, Chicago home):");
+    for hostname in ["ordns.he.net", "dns.google", "doh.ffmuc.net", "dns.bebasid.com"] {
+        let mut target =
+            ProbeTarget::from_entry(catalog::resolvers::find(hostname).unwrap());
+        let mut rng = SimRng::derived(3, hostname);
+        let mut plts = Vec::new();
+        for i in 0..20 {
+            let r = loader.load(
+                &page,
+                &client,
+                true,
+                &mut target,
+                SimTime::from_nanos(i * 3_600_000_000_000),
+                &mut rng,
+            );
+            if r.failed_domains.is_empty() {
+                plts.push(r.plt_ms);
+            }
+        }
+        plts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if plts.is_empty() {
+            eprintln!("  {hostname:<28} (all loads failed)");
+        } else {
+            eprintln!("  {hostname:<28} {:>8.0} ms", plts[plts.len() / 2]);
+        }
+    }
+    eprintln!();
+
+    c.bench_function("page_load_news_site", |b| {
+        let mut target =
+            ProbeTarget::from_entry(catalog::resolvers::find("dns.google").unwrap());
+        let mut rng = SimRng::from_seed(4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            loader
+                .load(
+                    &page,
+                    &client,
+                    true,
+                    &mut target,
+                    SimTime::from_nanos(i * 3_600_000_000_000),
+                    &mut rng,
+                )
+                .plt_ms
+        })
+    });
+}
+
+fn protocols_bench(c: &mut Criterion) {
+    let hosts = ["dns.google", "dns.quad9.net", "security.cloudflare-dns.com"];
+    eprintln!("\n{}", report::experiments::protocols::render(9, 2, &hosts));
+    c.bench_function("protocol_comparison_campaigns", |b| {
+        b.iter(|| report::experiments::protocols::run(9, 1, &hosts).len())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = distribution_bench, page_load_bench, protocols_bench
+}
+criterion_main!(benches);

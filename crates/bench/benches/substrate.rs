@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the simulation substrate: path sampling, anycast
+//! routing, event queue, recursive-resolver cache, and single probes per
+//! protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dns_wire::Name;
+use measure::{ProbeConfig, ProbeTarget, Prober, Protocol};
+use netsim::geo::cities;
+use netsim::{AccessProfile, Deployment, EventQueue, Host, HostId, Path, SimRng, SimTime, Site};
+
+fn bench_path_sampling(c: &mut Criterion) {
+    let path = Path::between(
+        cities::COLUMBUS_OH.point,
+        AccessProfile::cloud_vm(),
+        cities::FRANKFURT.point,
+        AccessProfile::datacenter(),
+    );
+    let mut rng = SimRng::from_seed(1);
+    c.bench_function("path_sample_rtt", |b| {
+        b.iter(|| black_box(&path).sample_rtt(100, 200, &mut rng))
+    });
+}
+
+fn bench_anycast_route(c: &mut Criterion) {
+    let deployment = Deployment::anycast(vec![
+        Site::datacenter(cities::ASHBURN_VA),
+        Site::datacenter(cities::FRANKFURT),
+        Site::datacenter(cities::TOKYO),
+        Site::datacenter(cities::SYDNEY),
+        Site::datacenter(cities::LONDON),
+        Site::datacenter(cities::SINGAPORE),
+    ]);
+    let client = Host::in_city(
+        HostId(0),
+        "c",
+        cities::SEOUL,
+        AccessProfile::cloud_vm(),
+    );
+    c.bench_function("anycast_route_6_sites", |b| {
+        b.iter(|| black_box(&deployment).route(black_box(&client)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                // Scatter times to exercise heap reordering.
+                let t = SimTime::from_nanos((i * 2_654_435_761) % 1_000_000);
+                q.schedule(t, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            sum
+        })
+    });
+}
+
+fn bench_probe_per_protocol(c: &mut Criterion) {
+    let prober = Prober::new();
+    let client = Host::in_city(
+        HostId(0),
+        "ec2-ohio",
+        cities::COLUMBUS_OH,
+        AccessProfile::cloud_vm(),
+    );
+    let domain = Name::parse("google.com").unwrap();
+    for protocol in [Protocol::Do53, Protocol::DoT, Protocol::DoH, Protocol::DoQ] {
+        c.bench_function(&format!("probe_{}", protocol.label()), |b| {
+            let mut target =
+                ProbeTarget::from_entry(catalog::resolvers::find("dns.quad9.net").unwrap());
+            let mut rng = SimRng::from_seed(7);
+            let cfg = ProbeConfig {
+                protocol,
+                ..ProbeConfig::default()
+            };
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                prober.probe(
+                    &client,
+                    &mut target,
+                    &domain,
+                    SimTime::from_nanos(i * 3_600_000_000_000),
+                    false,
+                    cfg,
+                    &mut rng,
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_path_sampling,
+    bench_anycast_route,
+    bench_event_queue,
+    bench_probe_per_protocol
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # catalog
+//!
+//! The measured resolver population and its metadata:
+//!
+//! * [`resolvers`] — every DoH hostname from the paper's Appendix A.2 (plus
+//!   `dns.cloudflare.com`, referenced in the results text), each with a
+//!   deployment profile grounded in public knowledge of the operator and
+//!   calibrated to reproduce the paper's findings.
+//! * [`browsers`] — Table 1: the browser × provider matrix that defines the
+//!   *mainstream* resolver set.
+//! * [`stamps`] — the `sdns://` DNS-stamp codec used by the DNSCrypt
+//!   public-resolver list the paper scraped.
+//! * [`list_parser`] — parser/renderer for that list's markdown format.
+//!
+//! ```
+//! use netsim::Region;
+//!
+//! let population = catalog::resolvers::all();
+//! assert!(population.len() >= 75);
+//! let mainstream = catalog::resolvers::mainstream();
+//! assert!(mainstream.iter().all(|e| e.anycast));
+//! let asia = catalog::resolvers::in_region(Region::Asia);
+//! assert_eq!(asia.len(), 13);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browsers;
+pub mod list_parser;
+pub mod profile;
+pub mod relays;
+pub mod resolvers;
+pub mod stamps;
+
+pub use browsers::{Browser, Provider};
+pub use profile::{HealthClass, ProfileClass, ResolverEntry};
+pub use stamps::{Stamp, StampError};

@@ -1,0 +1,164 @@
+//! Parser for the DNSCrypt project's `public-resolvers.md` list format —
+//! the source the paper scraped its resolver population from ("These
+//! resolvers were scraped from a list of public DoH resolvers provided by
+//! the DNSCrypt protocol developers").
+//!
+//! The format is markdown-ish:
+//!
+//! ```text
+//! ## resolver-name
+//! Free-text description,
+//! possibly multiple lines.
+//! sdns://AgcAAAAA...
+//! ```
+
+use crate::stamps::{Stamp, StampError};
+
+/// One entry of the public-resolvers list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListEntry {
+    /// The short name after `##`.
+    pub name: String,
+    /// Description lines joined with spaces.
+    pub description: String,
+    /// Parsed stamps (an entry may publish IPv4/IPv6/alternate stamps).
+    pub stamps: Vec<Stamp>,
+    /// Stamps that failed to parse, kept for diagnostics.
+    pub bad_stamps: Vec<(String, StampError)>,
+}
+
+impl ListEntry {
+    /// The first DoH stamp, if the entry has one.
+    pub fn doh_stamp(&self) -> Option<&Stamp> {
+        self.stamps.iter().find(|s| matches!(s, Stamp::Doh { .. }))
+    }
+}
+
+/// Parses a full list document into entries. Content before the first
+/// `##` heading (title, preamble) is ignored.
+pub fn parse(doc: &str) -> Vec<ListEntry> {
+    let mut entries: Vec<ListEntry> = Vec::new();
+    let mut current: Option<ListEntry> = None;
+    for line in doc.lines() {
+        let line = line.trim();
+        if let Some(name) = line.strip_prefix("## ") {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            current = Some(ListEntry {
+                name: name.trim().to_string(),
+                description: String::new(),
+                stamps: Vec::new(),
+                bad_stamps: Vec::new(),
+            });
+        } else if let Some(entry) = current.as_mut() {
+            if line.starts_with("sdns://") {
+                match Stamp::decode(line) {
+                    Ok(s) => entry.stamps.push(s),
+                    Err(e) => entry.bad_stamps.push((line.to_string(), e)),
+                }
+            } else if !line.is_empty() && !line.starts_with('#') {
+                if !entry.description.is_empty() {
+                    entry.description.push(' ');
+                }
+                entry.description.push_str(line);
+            }
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(e);
+    }
+    entries
+}
+
+/// Renders the measured catalog back into the list format — the inverse
+/// operation, used to regenerate a publishable resolver list from the
+/// campaign's population.
+pub fn render(entries: &[crate::profile::ResolverEntry]) -> String {
+    let mut out = String::from("# Public DoH resolvers (measured population)\n\n");
+    for e in entries {
+        out.push_str(&format!("## {}\n", e.hostname));
+        out.push_str(&format!(
+            "Operated by {}. Region: {}.{}\n",
+            e.operator,
+            e.region(),
+            if e.mainstream { " Browser default." } else { "" }
+        ));
+        out.push_str(&Stamp::doh(e.hostname, e.doh_path).encode());
+        out.push_str("\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> String {
+        let stamp1 = Stamp::doh("dns.example.com", "/dns-query").encode();
+        let stamp2 = Stamp::doh("dns6.example.com", "/dns-query").encode();
+        format!(
+            "# Public resolvers\n\npreamble text\n\n\
+             ## example\nA fine resolver,\nno logging.\n{stamp1}\n{stamp2}\n\n\
+             ## broken\nHas a bad stamp.\nsdns://!!!notbase64\n\n\
+             ## empty-entry\nNo stamps at all.\n"
+        )
+    }
+
+    #[test]
+    fn parses_entries_and_stamps() {
+        let entries = parse(&sample_doc());
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].name, "example");
+        assert_eq!(entries[0].description, "A fine resolver, no logging.");
+        assert_eq!(entries[0].stamps.len(), 2);
+        assert_eq!(entries[0].doh_stamp().unwrap().endpoint(), "dns.example.com");
+    }
+
+    #[test]
+    fn bad_stamps_are_collected_not_fatal() {
+        let entries = parse(&sample_doc());
+        assert_eq!(entries[1].stamps.len(), 0);
+        assert_eq!(entries[1].bad_stamps.len(), 1);
+        assert!(entries[1].bad_stamps[0].0.starts_with("sdns://"));
+    }
+
+    #[test]
+    fn entry_without_stamps_is_kept() {
+        let entries = parse(&sample_doc());
+        assert_eq!(entries[2].name, "empty-entry");
+        assert!(entries[2].stamps.is_empty());
+        assert!(entries[2].doh_stamp().is_none());
+    }
+
+    #[test]
+    fn preamble_is_ignored() {
+        let entries = parse("title junk\nmore junk\n## only\ndesc\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "only");
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(parse("").is_empty());
+        assert!(parse("# just a title\n").is_empty());
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let catalog = crate::resolvers::all();
+        let doc = render(&catalog);
+        let entries = parse(&doc);
+        assert_eq!(entries.len(), catalog.len());
+        for (entry, original) in entries.iter().zip(&catalog) {
+            assert_eq!(entry.name, original.hostname);
+            assert_eq!(
+                entry.doh_stamp().unwrap().endpoint(),
+                original.hostname,
+                "stamp endpoint mismatch for {}",
+                original.hostname
+            );
+            assert!(entry.bad_stamps.is_empty());
+        }
+    }
+}

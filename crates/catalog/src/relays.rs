@@ -1,0 +1,72 @@
+//! Oblivious-DoH relays (RFC 9230 §4): the proxies that sit between clients
+//! and ODoH targets so neither endpoint sees both the client identity and
+//! the query content.
+
+use netsim::geo::{cities, City};
+use netsim::GeoPoint;
+
+/// A relay deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdohRelay {
+    /// Relay hostname.
+    pub hostname: &'static str,
+    /// Where it runs.
+    pub city: City,
+}
+
+/// The relays available to clients (modelled after the public relays of the
+/// paper's era, e.g. the surfdomeinen.nl and Cloudflare relays).
+pub fn odoh_relays() -> Vec<OdohRelay> {
+    vec![
+        OdohRelay {
+            hostname: "odoh-relay.ams.example.net",
+            city: cities::AMSTERDAM,
+        },
+        OdohRelay {
+            hostname: "odoh-relay.nyc.example.net",
+            city: cities::NEW_YORK,
+        },
+        OdohRelay {
+            hostname: "odoh-relay.sin.example.net",
+            city: cities::SINGAPORE,
+        },
+    ]
+}
+
+/// The relay nearest a client location (clients pick one relay and stick
+/// with it; proximity keeps the added hop cheap).
+pub fn nearest_relay(client: &GeoPoint) -> OdohRelay {
+    odoh_relays()
+        .into_iter()
+        .min_by(|a, b| {
+            client
+                .distance_km(&a.city.point)
+                .partial_cmp(&client.distance_km(&b.city.point))
+                .expect("no NaN")
+        })
+        .expect("relay list is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_relays_on_three_continents() {
+        let relays = odoh_relays();
+        assert_eq!(relays.len(), 3);
+        let regions: std::collections::HashSet<_> =
+            relays.iter().map(|r| r.city.region).collect();
+        assert!(regions.len() >= 3);
+    }
+
+    #[test]
+    fn nearest_relay_is_actually_nearest() {
+        let chicago = cities::CHICAGO.point;
+        assert_eq!(nearest_relay(&chicago).city.name, "New York");
+        let munich = cities::MUNICH.point;
+        assert_eq!(nearest_relay(&munich).city.name, "Amsterdam");
+        let seoul = cities::SEOUL.point;
+        assert_eq!(nearest_relay(&seoul).city.name, "Singapore");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for DNS stamps and the resolver-list parser.
+
+use proptest::prelude::*;
+
+use catalog::{list_parser, Stamp};
+
+fn arb_host() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,12}(\\.[a-z0-9]{1,10}){1,3}"
+}
+
+fn arb_stamp() -> impl Strategy<Value = Stamp> {
+    prop_oneof![
+        (any::<u64>(), arb_host()).prop_map(|(props, addr)| Stamp::Plain { props, addr }),
+        (
+            any::<u64>(),
+            arb_host(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 32), 0..3),
+            arb_host(),
+            "/[a-z-]{0,20}",
+        )
+            .prop_map(|(props, addr, hashes, hostname, path)| Stamp::Doh {
+                props,
+                addr,
+                hashes,
+                hostname,
+                path,
+            }),
+        (
+            any::<u64>(),
+            arb_host(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 32), 0..3),
+            arb_host(),
+        )
+            .prop_map(|(props, addr, hashes, hostname)| Stamp::Dot {
+                props,
+                addr,
+                hashes,
+                hostname,
+            }),
+        (any::<u64>(), arb_host(), "/[a-z-]{0,20}").prop_map(|(props, hostname, path)| {
+            Stamp::OdohTarget {
+                props,
+                hostname,
+                path,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn stamps_round_trip(stamp in arb_stamp()) {
+        let enc = stamp.encode();
+        prop_assert!(enc.starts_with("sdns://"));
+        let back = Stamp::decode(&enc).unwrap();
+        prop_assert_eq!(back, stamp);
+    }
+
+    #[test]
+    fn stamp_decoder_never_panics(s in "sdns://[A-Za-z0-9_-]{0,80}") {
+        let _ = Stamp::decode(&s);
+    }
+
+    #[test]
+    fn stamp_decoder_never_panics_on_any_string(s in "\\PC{0,60}") {
+        let _ = Stamp::decode(&s);
+    }
+
+    #[test]
+    fn truncated_stamps_error_cleanly(stamp in arb_stamp(), cut_at in any::<prop::sample::Index>()) {
+        let enc = stamp.encode();
+        let raw = dns_wire::base64url::decode(enc.strip_prefix("sdns://").unwrap()).unwrap();
+        let cut = cut_at.index(raw.len());
+        let enc2 = format!("sdns://{}", dns_wire::base64url::encode(&raw[..cut]));
+        // Must not panic; short prefixes that happen to parse are fine.
+        let _ = Stamp::decode(&enc2);
+    }
+
+    #[test]
+    fn list_parser_never_panics(doc in "\\PC{0,500}") {
+        let _ = list_parser::parse(&doc);
+    }
+
+    #[test]
+    fn list_entries_survive_render_parse(names in proptest::collection::vec("[a-z]{1,12}\\.[a-z]{2,4}", 1..6)) {
+        // Build a document by hand and parse it.
+        let mut doc = String::new();
+        for n in &names {
+            doc.push_str(&format!("## {n}\ndescription of {n}\n{}\n\n", Stamp::doh(n, "/dns-query").encode()));
+        }
+        let entries = list_parser::parse(&doc);
+        prop_assert_eq!(entries.len(), names.len());
+        for (e, n) in entries.iter().zip(&names) {
+            prop_assert_eq!(&e.name, n);
+            prop_assert_eq!(e.doh_stamp().unwrap().endpoint(), n.as_str());
+            prop_assert!(e.bad_stamps.is_empty());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Measurement-informed resolver selection: an ε-greedy bandit that learns
+//! which resolvers perform well from this vantage point and concentrates
+//! traffic on them — the paper's conclusion ("users need easy ways of
+//! finding and selecting these alternatives") as an algorithm.
+
+use edns_stats::RunningMoments;
+use netsim::SimRng;
+
+/// Per-resolver online state.
+#[derive(Debug, Default, Clone)]
+struct Arm {
+    latency: RunningMoments,
+    failures: u64,
+}
+
+impl Arm {
+    /// Score: mean latency with a heavy penalty per observed failure share.
+    fn score(&self) -> f64 {
+        let mean = self.latency.mean().unwrap_or(f64::INFINITY);
+        let total = self.latency.count() + self.failures;
+        if total == 0 {
+            return f64::INFINITY;
+        }
+        let failure_rate = self.failures as f64 / total as f64;
+        mean + 2_000.0 * failure_rate
+    }
+}
+
+/// An ε-greedy selector over a fixed resolver set.
+#[derive(Debug)]
+pub struct AdaptiveSelector {
+    arms: Vec<Arm>,
+    epsilon: f64,
+    observations: u64,
+}
+
+impl AdaptiveSelector {
+    /// Creates a selector for `n` resolvers exploring with probability
+    /// `epsilon`.
+    pub fn new(n: usize, epsilon: f64) -> Self {
+        assert!(n > 0, "need at least one resolver");
+        AdaptiveSelector {
+            arms: vec![Arm::default(); n],
+            epsilon: epsilon.clamp(0.0, 1.0),
+            observations: 0,
+        }
+    }
+
+    /// Picks the next resolver: explore with probability ε (or while any
+    /// arm is unobserved), otherwise exploit the best score.
+    pub fn pick(&self, rng: &mut SimRng) -> usize {
+        if let Some(unseen) = self
+            .arms
+            .iter()
+            .position(|a| a.latency.count() + a.failures == 0)
+        {
+            return unseen;
+        }
+        if rng.chance(self.epsilon) {
+            return rng.below(self.arms.len());
+        }
+        self.arms
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.score().partial_cmp(&b.1.score()).expect("no NaN"))
+            .map(|(i, _)| i)
+            .expect("non-empty arms")
+    }
+
+    /// Records a successful probe's latency.
+    pub fn observe_success(&mut self, resolver: usize, latency_ms: f64) {
+        self.arms[resolver].latency.observe(latency_ms);
+        self.observations += 1;
+    }
+
+    /// Records a failed probe.
+    pub fn observe_failure(&mut self, resolver: usize) {
+        self.arms[resolver].failures += 1;
+        self.observations += 1;
+    }
+
+    /// Total observations.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The currently best resolver index (exploit choice).
+    pub fn best(&self) -> usize {
+        self.arms
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.score().partial_cmp(&b.1.score()).expect("no NaN"))
+            .map(|(i, _)| i)
+            .expect("non-empty arms")
+    }
+
+    /// Mean observed latency per arm (None while unobserved).
+    pub fn arm_means(&self) -> Vec<Option<f64>> {
+        self.arms.iter().map(|a| a.latency.mean()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic environment: arm latencies with deterministic noise.
+    fn env_latency(arm: usize, step: u64) -> f64 {
+        let base = [20.0, 150.0, 45.0, 300.0][arm];
+        base + ((step * 7919 + arm as u64 * 104729) % 100) as f64 / 25.0
+    }
+
+    #[test]
+    fn converges_on_the_fastest_arm() {
+        let mut sel = AdaptiveSelector::new(4, 0.1);
+        let mut rng = SimRng::from_seed(1);
+        let mut picks = [0usize; 4];
+        for step in 0..500 {
+            let arm = sel.pick(&mut rng);
+            picks[arm] += 1;
+            sel.observe_success(arm, env_latency(arm, step));
+        }
+        assert_eq!(sel.best(), 0);
+        // Exploitation dominates: the best arm gets most traffic.
+        assert!(
+            picks[0] > 300,
+            "best arm should dominate picks: {picks:?}"
+        );
+        // ...but exploration never stops entirely.
+        assert!(picks.iter().all(|&p| p > 5), "{picks:?}");
+    }
+
+    #[test]
+    fn failures_disqualify_a_fast_but_flaky_arm() {
+        let mut sel = AdaptiveSelector::new(2, 0.05);
+        let mut rng = SimRng::from_seed(2);
+        for step in 0..300 {
+            let arm = sel.pick(&mut rng);
+            if arm == 0 {
+                // Arm 0: 10 ms but fails 40% of the time.
+                if step % 5 < 2 {
+                    sel.observe_failure(0);
+                } else {
+                    sel.observe_success(0, 10.0);
+                }
+            } else {
+                // Arm 1: steady 60 ms, never fails.
+                sel.observe_success(1, 60.0);
+            }
+        }
+        assert_eq!(sel.best(), 1, "reliability should beat raw speed");
+    }
+
+    #[test]
+    fn every_arm_sampled_before_exploitation() {
+        let mut sel = AdaptiveSelector::new(5, 0.0);
+        let mut rng = SimRng::from_seed(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            let arm = sel.pick(&mut rng);
+            seen.insert(arm);
+            sel.observe_success(arm, 10.0 + arm as f64);
+        }
+        assert_eq!(seen.len(), 5, "initial sweep covers every arm");
+        // With epsilon 0, it then always exploits the best.
+        for _ in 0..20 {
+            assert_eq!(sel.pick(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn arm_means_report_observations() {
+        let mut sel = AdaptiveSelector::new(2, 0.1);
+        sel.observe_success(1, 42.0);
+        let means = sel.arm_means();
+        assert_eq!(means[0], None);
+        assert_eq!(means[1], Some(42.0));
+        assert_eq!(sel.observations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resolver")]
+    fn empty_selector_rejected() {
+        AdaptiveSelector::new(0, 0.1);
+    }
+}

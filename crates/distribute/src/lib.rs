@@ -1,0 +1,43 @@
+//! # distribute
+//!
+//! Query distribution across multiple encrypted DNS resolvers — the
+//! research direction the paper's related work motivates (Hoang et al.'s
+//! K-resolver; Hounsel et al.'s "Encryption without centralization") and
+//! that its measurements inform: "designing a system to take advantage of
+//! multiple recursive resolvers must be informed about how the choice of
+//! resolver affects performance."
+//!
+//! * [`Workload`] — Zipf-distributed domain popularity;
+//! * [`Strategy`] — single / round-robin / uniform-random / hash-by-domain
+//!   (K-resolver) / race-k;
+//! * [`Exposure`] — privacy metrics: per-resolver query share, domain
+//!   *profile* coverage, entropy;
+//! * [`Session`] — runs a workload through a strategy against simulated
+//!   resolvers, yielding the latency-vs-privacy tradeoff.
+//!
+//! ```
+//! use distribute::{Session, Strategy, Workload};
+//! use netsim::{geo::cities, AccessProfile, Host, HostId};
+//!
+//! let client = Host::in_city(HostId(0), "c", cities::COLUMBUS_OH, AccessProfile::cloud_vm());
+//! let mut session = Session::new(&client, false, &["dns.google", "dns.quad9.net"]);
+//! let workload = Workload::zipf(20, 1.0);
+//! let result = session.run(&Strategy::HashByDomain, &workload, 40, 1);
+//! assert!(result.success_rate() > 0.8);
+//! assert!(result.exposure.max_profile_coverage() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod privacy;
+pub mod session;
+pub mod strategy;
+pub mod workload;
+
+pub use adaptive::AdaptiveSelector;
+pub use privacy::Exposure;
+pub use session::{Session, SessionResult};
+pub use strategy::Strategy;
+pub use workload::Workload;

@@ -1,0 +1,158 @@
+//! Privacy metrics for query distribution: how much of the user's query
+//! stream — and of their *domain profile* — each resolver gets to see.
+
+use std::collections::{BTreeMap, HashSet};
+
+use dns_wire::Name;
+
+/// What each resolver observed over a session.
+#[derive(Debug, Clone, Default)]
+pub struct Exposure {
+    /// Queries seen per resolver index.
+    pub query_counts: BTreeMap<usize, u64>,
+    /// Distinct domains seen per resolver index.
+    pub domains_seen: BTreeMap<usize, HashSet<Name>>,
+    /// Total queries issued.
+    pub total_queries: u64,
+    /// Total distinct domains queried.
+    pub total_domains: usize,
+}
+
+impl Exposure {
+    /// Records that `resolver` saw a query for `domain`.
+    pub fn record(&mut self, resolver: usize, domain: &Name) {
+        *self.query_counts.entry(resolver).or_insert(0) += 1;
+        self.domains_seen
+            .entry(resolver)
+            .or_default()
+            .insert(domain.clone());
+    }
+
+    /// Finalises totals (call once after the session).
+    pub fn finish(&mut self, total_queries: u64, total_domains: usize) {
+        self.total_queries = total_queries;
+        self.total_domains = total_domains;
+    }
+
+    /// The largest share of the query stream any single resolver saw —
+    /// 1.0 for the browser-default single-resolver setup.
+    pub fn max_query_share(&self) -> f64 {
+        if self.total_queries == 0 {
+            return 0.0;
+        }
+        self.query_counts
+            .values()
+            .map(|&c| c as f64 / self.total_queries as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// The largest fraction of the user's *domain profile* any single
+    /// resolver can reconstruct — K-resolver's metric of interest.
+    pub fn max_profile_coverage(&self) -> f64 {
+        if self.total_domains == 0 {
+            return 0.0;
+        }
+        self.domains_seen
+            .values()
+            .map(|s| s.len() as f64 / self.total_domains as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Shannon entropy of the query distribution over resolvers, in bits.
+    /// log2(n) for a perfectly uniform spread over n resolvers; 0 when one
+    /// resolver sees everything.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total_queries == 0 {
+            return 0.0;
+        }
+        let total = self.total_queries as f64;
+        let h = -self
+            .query_counts
+            .values()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                p * p.log2()
+            })
+            .sum::<f64>();
+        // Avoid the cosmetic -0.0 of the single-resolver case.
+        h.max(0.0)
+    }
+
+    /// Number of resolvers that saw at least one query.
+    pub fn resolvers_used(&self) -> usize {
+        self.query_counts.values().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn record_n(e: &mut Exposure, resolver: usize, domain: &str, count: u64) {
+        for _ in 0..count {
+            e.record(resolver, &n(domain));
+        }
+    }
+
+    #[test]
+    fn single_resolver_has_zero_entropy_full_share() {
+        let mut e = Exposure::default();
+        record_n(&mut e, 0, "a.com", 5);
+        record_n(&mut e, 0, "b.com", 5);
+        e.finish(10, 2);
+        assert_eq!(e.max_query_share(), 1.0);
+        assert_eq!(e.max_profile_coverage(), 1.0);
+        assert_eq!(e.entropy_bits(), 0.0);
+        assert_eq!(e.resolvers_used(), 1);
+    }
+
+    #[test]
+    fn uniform_split_has_log2_entropy() {
+        let mut e = Exposure::default();
+        for r in 0..4 {
+            record_n(&mut e, r, &format!("d{r}.com"), 25);
+        }
+        e.finish(100, 4);
+        assert!((e.entropy_bits() - 2.0).abs() < 1e-9);
+        assert!((e.max_query_share() - 0.25).abs() < 1e-9);
+        assert!((e.max_profile_coverage() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn racing_exposes_full_profile_despite_spread_queries() {
+        // Race-2 over 2 resolvers: both see every domain.
+        let mut e = Exposure::default();
+        for d in ["a.com", "b.com", "c.com"] {
+            record_n(&mut e, 0, d, 1);
+            record_n(&mut e, 1, d, 1);
+        }
+        e.finish(6, 3);
+        assert!((e.max_query_share() - 0.5).abs() < 1e-9);
+        assert_eq!(e.max_profile_coverage(), 1.0, "racing leaks everything");
+    }
+
+    #[test]
+    fn sharding_caps_profile_coverage() {
+        // Hash-sharded: resolver 0 sees {a}, resolver 1 sees {b, c}.
+        let mut e = Exposure::default();
+        record_n(&mut e, 0, "a.com", 10);
+        record_n(&mut e, 1, "b.com", 5);
+        record_n(&mut e, 1, "c.com", 5);
+        e.finish(20, 3);
+        assert!((e.max_profile_coverage() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(e.entropy_bits() > 0.9);
+    }
+
+    #[test]
+    fn empty_exposure_is_safe() {
+        let e = Exposure::default();
+        assert_eq!(e.max_query_share(), 0.0);
+        assert_eq!(e.max_profile_coverage(), 0.0);
+        assert_eq!(e.entropy_bits(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Query-distribution strategies: how a client spreads its DNS queries
+//! across a set of resolvers (Hoang et al.'s K-resolver; Hounsel et al.'s
+//! distribution-strategy study).
+
+use dns_wire::Name;
+use netsim::SimRng;
+
+/// A strategy for choosing which resolver(s) receive each query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Always the single resolver at the given index (the browser-default
+    /// baseline: one provider sees everything).
+    Single(usize),
+    /// Rotate through resolvers query by query.
+    RoundRobin,
+    /// Pick uniformly at random per query.
+    UniformRandom,
+    /// Shard by domain: the same domain always goes to the same resolver
+    /// (K-resolver's core idea — each resolver learns only a subset of the
+    /// *domains*, not a thinner slice of everything).
+    HashByDomain,
+    /// Send each query to `k` resolvers at once and take the fastest
+    /// answer (latency-optimal, privacy-worst).
+    Race(usize),
+}
+
+impl Strategy {
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::Single(i) => format!("single[{i}]"),
+            Strategy::RoundRobin => "round-robin".into(),
+            Strategy::UniformRandom => "uniform-random".into(),
+            Strategy::HashByDomain => "hash-by-domain".into(),
+            Strategy::Race(k) => format!("race-{k}"),
+        }
+    }
+
+    /// The resolver indices (out of `n`) that receive query number `seq`
+    /// for `domain`.
+    pub fn choose(&self, domain: &Name, seq: u64, n: usize, rng: &mut SimRng) -> Vec<usize> {
+        assert!(n > 0, "need at least one resolver");
+        match self {
+            Strategy::Single(i) => vec![*i % n],
+            Strategy::RoundRobin => vec![(seq as usize) % n],
+            Strategy::UniformRandom => vec![rng.below(n)],
+            Strategy::HashByDomain => {
+                // FNV-1a over the canonical (lowercased) name.
+                let mut h: u64 = 0xCBF29CE484222325;
+                for b in domain.canonical_key().bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001B3);
+                }
+                vec![(h % n as u64) as usize]
+            }
+            Strategy::Race(k) => {
+                // The k distinct resolvers with the lowest rotation offset.
+                let k = (*k).clamp(1, n);
+                let start = rng.below(n);
+                (0..k).map(|i| (start + i) % n).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn single_always_picks_the_same() {
+        let s = Strategy::Single(2);
+        let mut rng = SimRng::from_seed(1);
+        for seq in 0..20 {
+            assert_eq!(s.choose(&name("a.com"), seq, 5, &mut rng), vec![2]);
+        }
+        // Index wraps if out of range.
+        assert_eq!(s.choose(&name("a.com"), 0, 2, &mut rng), vec![0]);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = Strategy::RoundRobin;
+        let mut rng = SimRng::from_seed(1);
+        let picks: Vec<usize> = (0..6)
+            .map(|seq| s.choose(&name("a.com"), seq, 3, &mut rng)[0])
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hash_by_domain_is_sticky_and_spreads() {
+        let s = Strategy::HashByDomain;
+        let mut rng = SimRng::from_seed(1);
+        let a1 = s.choose(&name("alpha.com"), 0, 4, &mut rng);
+        let a2 = s.choose(&name("ALPHA.com"), 99, 4, &mut rng);
+        assert_eq!(a1, a2, "same domain (case-insensitive) → same resolver");
+        // Across many domains the shards are all used.
+        let mut used = std::collections::HashSet::new();
+        for i in 0..50 {
+            used.insert(s.choose(&name(&format!("d{i}.com")), 0, 4, &mut rng)[0]);
+        }
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn race_returns_k_distinct() {
+        let s = Strategy::Race(3);
+        let mut rng = SimRng::from_seed(1);
+        let picks = s.choose(&name("a.com"), 0, 5, &mut rng);
+        assert_eq!(picks.len(), 3);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 3, "distinct resolvers");
+        // k clamps to n.
+        assert_eq!(Strategy::Race(9).choose(&name("a.com"), 0, 4, &mut rng).len(), 4);
+    }
+
+    #[test]
+    fn uniform_random_covers_everything() {
+        let s = Strategy::UniformRandom;
+        let mut rng = SimRng::from_seed(2);
+        let mut used = std::collections::HashSet::new();
+        for seq in 0..200 {
+            used.insert(s.choose(&name("a.com"), seq, 6, &mut rng)[0]);
+        }
+        assert_eq!(used.len(), 6);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(Strategy::Race(2).name(), "race-2");
+        assert_eq!(Strategy::Single(0).name(), "single[0]");
+        assert_eq!(Strategy::HashByDomain.name(), "hash-by-domain");
+    }
+}

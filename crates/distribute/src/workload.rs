@@ -1,0 +1,124 @@
+//! Synthetic query workloads: Zipf-distributed domain popularity, the
+//! standard model for DNS query streams.
+
+use dns_wire::Name;
+use netsim::SimRng;
+
+/// A Zipf-distributed domain workload over a fixed universe.
+#[derive(Debug)]
+pub struct Workload {
+    domains: Vec<Name>,
+    /// Cumulative probability per rank.
+    cdf: Vec<f64>,
+}
+
+impl Workload {
+    /// Builds a workload of `n` synthetic domains with Zipf exponent `s`
+    /// (s ≈ 1 matches observed DNS popularity).
+    pub fn zipf(n: usize, s: f64) -> Workload {
+        assert!(n > 0, "workload needs at least one domain");
+        let domains = (0..n)
+            .map(|i| Name::parse(&format!("site-{i:04}.example.com")).expect("valid"))
+            .collect();
+        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Workload { domains, cdf }
+    }
+
+    /// Builds a workload over explicit domains with uniform popularity.
+    pub fn uniform(domains: Vec<Name>) -> Workload {
+        assert!(!domains.is_empty());
+        let n = domains.len();
+        let cdf = (1..=n).map(|i| i as f64 / n as f64).collect();
+        Workload { domains, cdf }
+    }
+
+    /// Number of distinct domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All domains, most popular first.
+    pub fn domains(&self) -> &[Name] {
+        &self.domains
+    }
+
+    /// Samples one domain according to popularity.
+    pub fn sample(&self, rng: &mut SimRng) -> &Name {
+        let u = rng.uniform();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        &self.domains[idx.min(self.domains.len() - 1)]
+    }
+
+    /// Generates a query stream of `count` domains.
+    pub fn stream(&self, count: usize, rng: &mut SimRng) -> Vec<&Name> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let w = Workload::zipf(100, 1.0);
+        let mut rng = SimRng::from_seed(1);
+        let stream = w.stream(10_000, &mut rng);
+        let head = w.domains()[0].clone();
+        let head_count = stream.iter().filter(|d| ***d == head).count();
+        // Rank-1 share under Zipf(1.0, n=100) ≈ 1/H(100) ≈ 19 %.
+        assert!(
+            (1_200..2_700).contains(&head_count),
+            "rank-1 sampled {head_count}/10000"
+        );
+        // Popularity decreases with rank (head vs mid-tail).
+        let mid = w.domains()[49].clone();
+        let mid_count = stream.iter().filter(|d| ***d == mid).count();
+        assert!(head_count > mid_count * 5, "{head_count} vs {mid_count}");
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let domains: Vec<Name> = (0..4)
+            .map(|i| Name::parse(&format!("d{i}.test")).unwrap())
+            .collect();
+        let w = Workload::uniform(domains);
+        let mut rng = SimRng::from_seed(2);
+        let mut counts = [0usize; 4];
+        for d in w.stream(8_000, &mut rng) {
+            let i = w.domains().iter().position(|x| x == d).unwrap();
+            counts[i] += 1;
+        }
+        for c in counts {
+            assert!((1_700..2_300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let w = Workload::zipf(50, 1.2);
+        let mut a = SimRng::from_seed(9);
+        let mut b = SimRng::from_seed(9);
+        assert_eq!(w.stream(100, &mut a), w.stream(100, &mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn empty_workload_rejected() {
+        Workload::zipf(0, 1.0);
+    }
+}

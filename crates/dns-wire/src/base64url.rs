@@ -1,0 +1,175 @@
+//! Padding-free base64url (RFC 4648 §5), as required for the `dns` query
+//! parameter of DoH GET requests (RFC 8484 §4.1: "using the base64url
+//! encoding ... with all trailing '=' characters omitted").
+
+use crate::error::WireError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// Encodes `input` as unpadded base64url.
+///
+/// ```
+/// assert_eq!(dns_wire::base64url::encode(b"\x00\x01\x02"), "AAEC");
+/// assert_eq!(dns_wire::base64url::encode(b""), "");
+/// ```
+pub fn encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len().div_ceil(3) * 4);
+    let mut chunks = input.chunks_exact(3);
+    for c in &mut chunks {
+        let n = ((c[0] as u32) << 16) | ((c[1] as u32) << 8) | c[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        out.push(ALPHABET[n as usize & 63] as char);
+    }
+    match chunks.remainder() {
+        [] => {}
+        [a] => {
+            let n = (*a as u32) << 16;
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        }
+        [a, b] => {
+            let n = ((*a as u32) << 16) | ((*b as u32) << 8);
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        }
+        _ => unreachable!("chunks_exact(3) remainder is < 3"),
+    }
+    out
+}
+
+fn decode_char(c: u8, at: usize) -> Result<u32, WireError> {
+    let v = match c {
+        b'A'..=b'Z' => c - b'A',
+        b'a'..=b'z' => c - b'a' + 26,
+        b'0'..=b'9' => c - b'0' + 52,
+        b'-' => 62,
+        b'_' => 63,
+        _ => return Err(WireError::BadBase64 { at: Some(at) }),
+    };
+    Ok(v as u32)
+}
+
+/// Decodes unpadded base64url. Rejects `=` padding, whitespace, the standard
+/// alphabet's `+`/`/`, and impossible lengths (`4k+1`).
+///
+/// ```
+/// assert_eq!(dns_wire::base64url::decode("AAEC").unwrap(), vec![0, 1, 2]);
+/// assert!(dns_wire::base64url::decode("AAE=").is_err());
+/// ```
+pub fn decode(input: &str) -> Result<Vec<u8>, WireError> {
+    let bytes = input.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return Err(WireError::BadBase64 { at: None });
+    }
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    let mut i = 0;
+    while i + 4 <= bytes.len() {
+        let n = (decode_char(bytes[i], i)? << 18)
+            | (decode_char(bytes[i + 1], i + 1)? << 12)
+            | (decode_char(bytes[i + 2], i + 2)? << 6)
+            | decode_char(bytes[i + 3], i + 3)?;
+        out.push((n >> 16) as u8);
+        out.push((n >> 8) as u8);
+        out.push(n as u8);
+        i += 4;
+    }
+    match bytes.len() - i {
+        0 => {}
+        2 => {
+            let n = (decode_char(bytes[i], i)? << 18) | (decode_char(bytes[i + 1], i + 1)? << 12);
+            // The low 4 bits of the second character must be zero, else the
+            // encoding is non-canonical.
+            if n & 0xFFFF != 0 {
+                return Err(WireError::BadBase64 { at: Some(i + 1) });
+            }
+            out.push((n >> 16) as u8);
+        }
+        3 => {
+            let n = (decode_char(bytes[i], i)? << 18)
+                | (decode_char(bytes[i + 1], i + 1)? << 12)
+                | (decode_char(bytes[i + 2], i + 2)? << 6);
+            if n & 0xFF != 0 {
+                return Err(WireError::BadBase64 { at: Some(i + 2) });
+            }
+            out.push((n >> 16) as u8);
+            out.push((n >> 8) as u8);
+        }
+        _ => unreachable!("length % 4 == 1 rejected above"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_test_vectors() {
+        // RFC 4648 §10 vectors, with padding stripped.
+        let cases: [(&[u8], &str); 8] = [
+            (b"", ""),
+            (b"f", "Zg"),
+            (b"fo", "Zm8"),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg"),
+            (b"fooba", "Zm9vYmE"),
+            (b"foobar", "Zm9vYmFy"),
+            (&[0xFB, 0xFF], "-_8"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), enc, "encode {raw:?}");
+            assert_eq!(decode(enc).unwrap(), raw, "decode {enc}");
+        }
+    }
+
+    #[test]
+    fn rfc8484_example() {
+        // RFC 8484 §4.1.1 example: a query for www.example.com encodes to
+        // this exact string.
+        let wire: &[u8] = &[
+            0x00, 0x00, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x77,
+            0x77, 0x77, 0x07, 0x65, 0x78, 0x61, 0x6d, 0x70, 0x6c, 0x65, 0x03, 0x63, 0x6f, 0x6d,
+            0x00, 0x00, 0x01, 0x00, 0x01,
+        ];
+        assert_eq!(encode(wire), "AAABAAABAAAAAAAAA3d3dwdleGFtcGxlA2NvbQAAAQAB");
+    }
+
+    #[test]
+    fn rejects_standard_alphabet() {
+        assert!(decode("a+b/").is_err());
+    }
+
+    #[test]
+    fn rejects_padding() {
+        assert!(decode("Zg==").is_err());
+    }
+
+    #[test]
+    fn rejects_impossible_length() {
+        assert!(matches!(
+            decode("AAAAA"),
+            Err(WireError::BadBase64 { at: None })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_canonical_trailing_bits() {
+        // "Zh" would decode to 'f' but with non-zero discarded bits.
+        assert!(decode("Zh").is_err());
+        assert!(decode("Zg").is_ok());
+    }
+
+    #[test]
+    fn url_safety() {
+        // Encoded output must never contain characters needing URI escapes.
+        let all: Vec<u8> = (0u8..=255).collect();
+        let enc = encode(&all);
+        assert!(enc
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+        assert_eq!(decode(&enc).unwrap(), all);
+    }
+}

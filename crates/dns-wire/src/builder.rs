@@ -1,0 +1,216 @@
+//! Fluent construction of queries and responses.
+
+use crate::constants::{RecordType, Rcode};
+use crate::message::{Edns, Message};
+use crate::name::Name;
+use crate::question::Question;
+use crate::rdata::{OptOption, RData};
+use crate::record::ResourceRecord;
+
+/// Builds [`Message`]s without fiddling with header bits by hand.
+///
+/// ```
+/// use dns_wire::{MessageBuilder, Name, RecordType};
+/// let q = MessageBuilder::query(0, Name::parse("google.com").unwrap(), RecordType::AAAA)
+///     .recursion_desired(true)
+///     .edns_udp_size(1232)
+///     .padding_to(128)
+///     .build();
+/// assert_eq!(q.questions.len(), 1);
+/// assert!(q.edns.is_some());
+/// ```
+#[derive(Debug)]
+pub struct MessageBuilder {
+    msg: Message,
+}
+
+impl MessageBuilder {
+    /// Starts a standard query for `name`/`rtype`.
+    pub fn query(id: u16, name: Name, rtype: RecordType) -> Self {
+        let mut msg = Message {
+            questions: vec![Question::new(name, rtype)],
+            ..Message::default()
+        };
+        msg.header.id = id;
+        MessageBuilder { msg }
+    }
+
+    /// Starts a response to `query`, echoing its id, question and RD bit.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Self {
+        let mut msg = Message {
+            questions: query.questions.clone(),
+            ..Message::default()
+        };
+        msg.header.id = query.header.id;
+        msg.header.flags.response = true;
+        msg.header.flags.recursion_desired = query.header.flags.recursion_desired;
+        msg.header.flags.rcode = Rcode::from_u16(rcode.to_u16() & 0x0F);
+        if rcode.to_u16() > 0x0F {
+            let edns = msg.edns.get_or_insert_with(Edns::default);
+            edns.extended_rcode = rcode.high_bits();
+        }
+        MessageBuilder { msg }
+    }
+
+    /// Sets the RD bit.
+    pub fn recursion_desired(mut self, rd: bool) -> Self {
+        self.msg.header.flags.recursion_desired = rd;
+        self
+    }
+
+    /// Sets the RA bit.
+    pub fn recursion_available(mut self, ra: bool) -> Self {
+        self.msg.header.flags.recursion_available = ra;
+        self
+    }
+
+    /// Sets the AA bit.
+    pub fn authoritative(mut self, aa: bool) -> Self {
+        self.msg.header.flags.authoritative = aa;
+        self
+    }
+
+    /// Sets the CD bit (client disables DNSSEC validation upstream).
+    pub fn checking_disabled(mut self, cd: bool) -> Self {
+        self.msg.header.flags.checking_disabled = cd;
+        self
+    }
+
+    /// Attaches EDNS(0) with the given advertised UDP payload size.
+    pub fn edns_udp_size(mut self, size: u16) -> Self {
+        self.msg.edns.get_or_insert_with(Edns::default).udp_payload_size = size;
+        self
+    }
+
+    /// Sets the DNSSEC-OK bit (implies EDNS).
+    pub fn dnssec_ok(mut self, ok: bool) -> Self {
+        self.msg.edns.get_or_insert_with(Edns::default).dnssec_ok = ok;
+        self
+    }
+
+    /// Pads the message with an RFC 7830 option so the encoded query is at
+    /// least `target` octets — the RFC 8467 recommendation for encrypted
+    /// transports (implies EDNS). Chooses the pad length by encoding once.
+    pub fn padding_to(mut self, target: usize) -> Self {
+        self.msg.edns.get_or_insert_with(Edns::default);
+        let current = match self.msg.encode() {
+            Ok(b) => b.len(),
+            Err(_) => return self,
+        };
+        // A padding option itself costs 4 octets of header.
+        if current + 4 < target {
+            let pad = target - current - 4;
+            self.msg
+                .edns
+                .as_mut()
+                .expect("edns inserted above")
+                .options
+                .options
+                .push(OptOption::padding(pad));
+        }
+        self
+    }
+
+    /// Adds an answer record.
+    pub fn answer(mut self, name: Name, ttl: u32, rdata: RData) -> Self {
+        self.msg.answers.push(ResourceRecord::new(name, ttl, rdata));
+        self
+    }
+
+    /// Adds an authority record.
+    pub fn authority(mut self, name: Name, ttl: u32, rdata: RData) -> Self {
+        self.msg
+            .authorities
+            .push(ResourceRecord::new(name, ttl, rdata));
+        self
+    }
+
+    /// Adds an additional record.
+    pub fn additional(mut self, name: Name, ttl: u32, rdata: RData) -> Self {
+        self.msg
+            .additionals
+            .push(ResourceRecord::new(name, ttl, rdata));
+        self
+    }
+
+    /// Finishes and returns the message.
+    pub fn build(self) -> Message {
+        self.msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn query_defaults() {
+        let q = MessageBuilder::query(42, Name::parse("a.example").unwrap(), RecordType::A)
+            .build();
+        assert_eq!(q.header.id, 42);
+        assert!(!q.header.flags.response);
+        assert!(q.edns.is_none());
+        assert_eq!(q.questions[0].rtype, RecordType::A);
+    }
+
+    #[test]
+    fn response_echoes_query() {
+        let q = MessageBuilder::query(9, Name::parse("x.example").unwrap(), RecordType::TXT)
+            .recursion_desired(true)
+            .build();
+        let r = MessageBuilder::response_to(&q, Rcode::NxDomain).build();
+        assert_eq!(r.header.id, 9);
+        assert!(r.header.flags.response);
+        assert!(r.header.flags.recursion_desired);
+        assert_eq!(r.rcode(), Rcode::NxDomain);
+        assert_eq!(r.questions, q.questions);
+    }
+
+    #[test]
+    fn extended_rcode_in_response_builder() {
+        let q = MessageBuilder::query(1, Name::root(), RecordType::A).build();
+        let r = MessageBuilder::response_to(&q, Rcode::BadVers).build();
+        assert_eq!(r.rcode(), Rcode::BadVers);
+        assert!(r.edns.is_some());
+    }
+
+    #[test]
+    fn padding_reaches_target() {
+        let q = MessageBuilder::query(0, Name::parse("g.co").unwrap(), RecordType::A)
+            .padding_to(128)
+            .build();
+        let bytes = q.encode().unwrap();
+        assert_eq!(bytes.len(), 128);
+    }
+
+    #[test]
+    fn padding_noop_when_already_large() {
+        let q = MessageBuilder::query(0, Name::parse("g.co").unwrap(), RecordType::A)
+            .padding_to(10)
+            .build();
+        let opts = &q.edns.unwrap().options.options;
+        assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn answer_helper_appends() {
+        let m = MessageBuilder::query(1, Name::parse("e.com").unwrap(), RecordType::A)
+            .answer(
+                Name::parse("e.com").unwrap(),
+                60,
+                RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+            )
+            .build();
+        assert_eq!(m.answers.len(), 1);
+        assert_eq!(m.answers[0].ttl(), 60);
+    }
+
+    #[test]
+    fn dnssec_ok_implies_edns() {
+        let m = MessageBuilder::query(1, Name::root(), RecordType::A)
+            .dnssec_ok(true)
+            .build();
+        assert!(m.edns.unwrap().dnssec_ok);
+    }
+}

@@ -1,0 +1,357 @@
+//! Enumerated protocol constants: record types, classes, opcodes, rcodes.
+
+use std::fmt;
+
+/// DNS resource record types (RFC 1035 §3.2.2 and successors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    NS,
+    /// Canonical name (alias).
+    CNAME,
+    /// Start of a zone of authority.
+    SOA,
+    /// Domain name pointer (reverse lookups).
+    PTR,
+    /// Mail exchange.
+    MX,
+    /// Text strings.
+    TXT,
+    /// IPv6 host address (RFC 3596).
+    AAAA,
+    /// Server selection (RFC 2782).
+    SRV,
+    /// EDNS(0) pseudo-record (RFC 6891).
+    OPT,
+    /// Certification authority authorization (RFC 8659).
+    CAA,
+    /// General-purpose service binding (RFC 9460).
+    SVCB,
+    /// Service binding for HTTPS origins (RFC 9460).
+    HTTPS,
+    /// Any other type, carried by its 16-bit code.
+    Unknown(u16),
+}
+
+impl RecordType {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::NS => 2,
+            RecordType::CNAME => 5,
+            RecordType::SOA => 6,
+            RecordType::PTR => 12,
+            RecordType::MX => 15,
+            RecordType::TXT => 16,
+            RecordType::AAAA => 28,
+            RecordType::SRV => 33,
+            RecordType::OPT => 41,
+            RecordType::SVCB => 64,
+            RecordType::HTTPS => 65,
+            RecordType::CAA => 257,
+            RecordType::Unknown(v) => v,
+        }
+    }
+
+    /// Decodes a 16-bit wire value; unrecognised codes become `Unknown`.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::NS,
+            5 => RecordType::CNAME,
+            6 => RecordType::SOA,
+            12 => RecordType::PTR,
+            15 => RecordType::MX,
+            16 => RecordType::TXT,
+            28 => RecordType::AAAA,
+            33 => RecordType::SRV,
+            41 => RecordType::OPT,
+            64 => RecordType::SVCB,
+            65 => RecordType::HTTPS,
+            257 => RecordType::CAA,
+            other => RecordType::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::NS => write!(f, "NS"),
+            RecordType::CNAME => write!(f, "CNAME"),
+            RecordType::SOA => write!(f, "SOA"),
+            RecordType::PTR => write!(f, "PTR"),
+            RecordType::MX => write!(f, "MX"),
+            RecordType::TXT => write!(f, "TXT"),
+            RecordType::AAAA => write!(f, "AAAA"),
+            RecordType::SRV => write!(f, "SRV"),
+            RecordType::OPT => write!(f, "OPT"),
+            RecordType::CAA => write!(f, "CAA"),
+            RecordType::SVCB => write!(f, "SVCB"),
+            RecordType::HTTPS => write!(f, "HTTPS"),
+            RecordType::Unknown(v) => write!(f, "TYPE{v}"),
+        }
+    }
+}
+
+/// DNS classes; IN is the only one seen in practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordClass {
+    /// The Internet.
+    IN,
+    /// CHAOS (used for server identification queries).
+    CH,
+    /// Hesiod.
+    HS,
+    /// QCLASS ANY (255).
+    Any,
+    /// Unrecognised class code.
+    Unknown(u16),
+}
+
+impl RecordClass {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordClass::IN => 1,
+            RecordClass::CH => 3,
+            RecordClass::HS => 4,
+            RecordClass::Any => 255,
+            RecordClass::Unknown(v) => v,
+        }
+    }
+
+    /// Decodes a 16-bit wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RecordClass::IN,
+            3 => RecordClass::CH,
+            4 => RecordClass::HS,
+            255 => RecordClass::Any,
+            other => RecordClass::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordClass::IN => write!(f, "IN"),
+            RecordClass::CH => write!(f, "CH"),
+            RecordClass::HS => write!(f, "HS"),
+            RecordClass::Any => write!(f, "ANY"),
+            RecordClass::Unknown(v) => write!(f, "CLASS{v}"),
+        }
+    }
+}
+
+/// Query opcodes (header bits 11–14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Opcode {
+    /// Standard query.
+    #[default]
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Zone change notification (RFC 1996).
+    Notify,
+    /// Dynamic update (RFC 2136).
+    Update,
+    /// Unrecognised opcode.
+    Unknown(u8),
+}
+
+impl Opcode {
+    /// The 4-bit wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Unknown(v) => v & 0x0F,
+        }
+    }
+
+    /// Decodes a 4-bit wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0F {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            other => Opcode::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::Query => write!(f, "QUERY"),
+            Opcode::IQuery => write!(f, "IQUERY"),
+            Opcode::Status => write!(f, "STATUS"),
+            Opcode::Notify => write!(f, "NOTIFY"),
+            Opcode::Update => write!(f, "UPDATE"),
+            Opcode::Unknown(v) => write!(f, "OPCODE{v}"),
+        }
+    }
+}
+
+/// Response codes, including EDNS-extended values (RFC 6891 §6.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// The query was malformed.
+    FormErr,
+    /// The server failed internally.
+    ServFail,
+    /// The queried name does not exist (authoritative).
+    NxDomain,
+    /// The server does not implement the request.
+    NotImp,
+    /// The server refuses to answer (policy).
+    Refused,
+    /// EDNS version not supported (extended, 16).
+    BadVers,
+    /// Unrecognised rcode.
+    Unknown(u16),
+}
+
+impl Rcode {
+    /// Full (possibly extended) numeric value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::BadVers => 16,
+            Rcode::Unknown(v) => v,
+        }
+    }
+
+    /// Decodes a (possibly extended) numeric value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            16 => Rcode::BadVers,
+            other => Rcode::Unknown(other),
+        }
+    }
+
+    /// The low 4 bits carried in the basic header.
+    pub fn low_bits(self) -> u8 {
+        (self.to_u16() & 0x0F) as u8
+    }
+
+    /// The high 8 bits carried in an EDNS OPT TTL field.
+    pub fn high_bits(self) -> u8 {
+        (self.to_u16() >> 4) as u8
+    }
+
+    /// Reassembles an rcode from header low bits and OPT high bits.
+    pub fn from_parts(low: u8, high: u8) -> Self {
+        Rcode::from_u16(((high as u16) << 4) | (low as u16 & 0x0F))
+    }
+
+    /// True when the response indicates success.
+    pub fn is_success(self) -> bool {
+        self == Rcode::NoError
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => write!(f, "NOERROR"),
+            Rcode::FormErr => write!(f, "FORMERR"),
+            Rcode::ServFail => write!(f, "SERVFAIL"),
+            Rcode::NxDomain => write!(f, "NXDOMAIN"),
+            Rcode::NotImp => write!(f, "NOTIMP"),
+            Rcode::Refused => write!(f, "REFUSED"),
+            Rcode::BadVers => write!(f, "BADVERS"),
+            Rcode::Unknown(v) => write!(f, "RCODE{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_type_round_trip() {
+        for v in 0u16..=70 {
+            assert_eq!(RecordType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RecordType::from_u16(1), RecordType::A);
+        assert_eq!(RecordType::from_u16(28), RecordType::AAAA);
+        assert_eq!(RecordType::from_u16(65), RecordType::HTTPS);
+        assert_eq!(RecordType::from_u16(999), RecordType::Unknown(999));
+    }
+
+    #[test]
+    fn record_type_display() {
+        assert_eq!(RecordType::A.to_string(), "A");
+        assert_eq!(RecordType::Unknown(4711).to_string(), "TYPE4711");
+    }
+
+    #[test]
+    fn class_round_trip_and_display() {
+        for v in [1u16, 3, 4, 255, 9999] {
+            assert_eq!(RecordClass::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RecordClass::IN.to_string(), "IN");
+        assert_eq!(RecordClass::Unknown(7).to_string(), "CLASS7");
+    }
+
+    #[test]
+    fn opcode_round_trip() {
+        for v in 0u8..16 {
+            assert_eq!(Opcode::from_u8(v).to_u8(), v);
+        }
+        assert_eq!(Opcode::from_u8(0), Opcode::Query);
+    }
+
+    #[test]
+    fn rcode_round_trip_and_split() {
+        for v in [0u16, 1, 2, 3, 4, 5, 16, 23, 4095] {
+            let r = Rcode::from_u16(v);
+            assert_eq!(r.to_u16(), v);
+            assert_eq!(Rcode::from_parts(r.low_bits(), r.high_bits()), r);
+        }
+    }
+
+    #[test]
+    fn rcode_success_and_display() {
+        assert!(Rcode::NoError.is_success());
+        assert!(!Rcode::ServFail.is_success());
+        assert_eq!(Rcode::NxDomain.to_string(), "NXDOMAIN");
+        assert_eq!(Rcode::BadVers.to_string(), "BADVERS");
+    }
+
+    #[test]
+    fn extended_rcode_splits_correctly() {
+        let r = Rcode::BadVers; // 16 = high 1, low 0
+        assert_eq!(r.low_bits(), 0);
+        assert_eq!(r.high_bits(), 1);
+    }
+}

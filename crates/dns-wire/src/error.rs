@@ -1,0 +1,126 @@
+//! Error type shared by every encoder and decoder in the crate.
+
+use std::fmt;
+
+/// An error raised while encoding or decoding DNS wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a complete field could be read.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        expected: &'static str,
+    },
+    /// A domain-name label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A domain name exceeded 255 octets in wire form.
+    NameTooLong(usize),
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer {
+        /// Offset of the offending pointer.
+        at: usize,
+        /// Target offset of the pointer.
+        target: usize,
+    },
+    /// Too many compression pointers were followed for one name.
+    PointerLimit,
+    /// An unknown label type (high bits `01` or `10`) was encountered.
+    BadLabelType(u8),
+    /// A text field contained a byte that is not permitted there.
+    InvalidText {
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+    /// The rdata length prefix disagreed with the decoded rdata size.
+    RdataLengthMismatch {
+        /// Declared RDLENGTH.
+        declared: usize,
+        /// Number of octets actually consumed.
+        consumed: usize,
+    },
+    /// The message would exceed the 65,535-octet DNS message limit.
+    MessageTooLong(usize),
+    /// A count field in the header promised more records than the body holds.
+    CountMismatch {
+        /// The section whose count was wrong.
+        section: &'static str,
+    },
+    /// base64url input contained an invalid character or impossible length.
+    BadBase64 {
+        /// Byte offset of the first invalid character, if known.
+        at: Option<usize>,
+    },
+    /// Trailing bytes remained after the structure was fully decoded.
+    TrailingBytes(usize),
+    /// An EDNS OPT record appeared somewhere other than the additional section,
+    /// or more than one OPT record was present.
+    MalformedEdns(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { expected } => {
+                write!(f, "input truncated while reading {expected}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadPointer { at, target } => {
+                write!(f, "bad compression pointer at {at} targeting {target}")
+            }
+            WireError::PointerLimit => write!(f, "too many compression pointers in one name"),
+            WireError::BadLabelType(b) => write!(f, "unsupported label type {b:#04x}"),
+            WireError::InvalidText { reason } => write!(f, "invalid text field: {reason}"),
+            WireError::RdataLengthMismatch { declared, consumed } => write!(
+                f,
+                "rdata length mismatch: declared {declared}, consumed {consumed}"
+            ),
+            WireError::MessageTooLong(n) => {
+                write!(f, "message of {n} octets exceeds 65535-octet limit")
+            }
+            WireError::CountMismatch { section } => {
+                write!(f, "header count disagrees with {section} section")
+            }
+            WireError::BadBase64 { at: Some(i) } => {
+                write!(f, "invalid base64url character at offset {i}")
+            }
+            WireError::BadBase64 { at: None } => write!(f, "invalid base64url input length"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::MalformedEdns(why) => write!(f, "malformed EDNS: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { expected: "header" };
+        assert!(e.to_string().contains("header"));
+        let e = WireError::RdataLengthMismatch {
+            declared: 10,
+            consumed: 8,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::PointerLimit, WireError::PointerLimit);
+        assert_ne!(
+            WireError::LabelTooLong(64),
+            WireError::NameTooLong(64),
+            "variants with equal payloads must still differ"
+        );
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(WireError::PointerLimit);
+        assert!(e.to_string().contains("pointer"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The 12-octet DNS message header (RFC 1035 §4.1.1).
+
+use crate::constants::{Opcode, Rcode};
+use crate::error::WireError;
+use crate::wire::{Reader, Writer};
+
+/// The flag bits and 4-bit fields packed into the header's second 16-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// QR: false for queries, true for responses.
+    pub response: bool,
+    /// The operation requested.
+    pub opcode: Opcode,
+    /// AA: the responding server is authoritative for the zone.
+    pub authoritative: bool,
+    /// TC: the message was truncated to fit the transport.
+    pub truncated: bool,
+    /// RD: the client asks the server to recurse.
+    pub recursion_desired: bool,
+    /// RA: the server offers recursion.
+    pub recursion_available: bool,
+    /// AD: all data was authenticated (DNSSEC, RFC 4035).
+    pub authentic_data: bool,
+    /// CD: the client disables DNSSEC validation at the server.
+    pub checking_disabled: bool,
+    /// The 4-bit response code carried in the basic header. Extended rcode
+    /// bits, if any, live in the OPT record and are merged by
+    /// [`crate::Message::rcode`].
+    pub rcode: Rcode,
+}
+
+impl Flags {
+    /// Packs the flags into the wire's 16-bit representation.
+    pub fn to_u16(self) -> u16 {
+        let mut v = 0u16;
+        if self.response {
+            v |= 1 << 15;
+        }
+        v |= (self.opcode.to_u8() as u16) << 11;
+        if self.authoritative {
+            v |= 1 << 10;
+        }
+        if self.truncated {
+            v |= 1 << 9;
+        }
+        if self.recursion_desired {
+            v |= 1 << 8;
+        }
+        if self.recursion_available {
+            v |= 1 << 7;
+        }
+        // bit 6 is Z, must be zero.
+        if self.authentic_data {
+            v |= 1 << 5;
+        }
+        if self.checking_disabled {
+            v |= 1 << 4;
+        }
+        v |= self.rcode.low_bits() as u16;
+        v
+    }
+
+    /// Unpacks the wire's 16-bit representation.
+    pub fn from_u16(v: u16) -> Self {
+        Flags {
+            response: v & (1 << 15) != 0,
+            opcode: Opcode::from_u8(((v >> 11) & 0x0F) as u8),
+            authoritative: v & (1 << 10) != 0,
+            truncated: v & (1 << 9) != 0,
+            recursion_desired: v & (1 << 8) != 0,
+            recursion_available: v & (1 << 7) != 0,
+            authentic_data: v & (1 << 5) != 0,
+            checking_disabled: v & (1 << 4) != 0,
+            rcode: Rcode::from_u16(v & 0x0F),
+        }
+    }
+}
+
+/// The full 12-octet header: transaction id, flags, and section counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Header {
+    /// Transaction identifier echoed by the server.
+    ///
+    /// RFC 8484 §4.1 recommends DoH clients set this to 0 to maximise HTTP
+    /// cache hits; our DoH client does exactly that.
+    pub id: u16,
+    /// Flag bits.
+    pub flags: Flags,
+    /// Number of questions.
+    pub qdcount: u16,
+    /// Number of answer records.
+    pub ancount: u16,
+    /// Number of authority records.
+    pub nscount: u16,
+    /// Number of additional records (including OPT).
+    pub arcount: u16,
+}
+
+/// Wire size of the header.
+pub const HEADER_LEN: usize = 12;
+
+impl Header {
+    /// Encodes the header.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        w.write_u16(self.id)?;
+        w.write_u16(self.flags.to_u16())?;
+        w.write_u16(self.qdcount)?;
+        w.write_u16(self.ancount)?;
+        w.write_u16(self.nscount)?;
+        w.write_u16(self.arcount)
+    }
+
+    /// Decodes the header.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Header {
+            id: r.read_u16("header id")?,
+            flags: Flags::from_u16(r.read_u16("header flags")?),
+            qdcount: r.read_u16("header qdcount")?,
+            ancount: r.read_u16("header ancount")?,
+            nscount: r.read_u16("header nscount")?,
+            arcount: r.read_u16("header arcount")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_round_trip_all_bits() {
+        // Every assignable bit pattern must survive the round trip
+        // (bit 6 / Z is reserved and always zero).
+        for v in 0u16..=0xFFFF {
+            let v = v & !(1 << 6); // mask the Z bit
+            let f = Flags::from_u16(v);
+            assert_eq!(f.to_u16(), v, "flags {v:#06x} failed round trip");
+        }
+    }
+
+    #[test]
+    fn typical_query_flags() {
+        let f = Flags {
+            recursion_desired: true,
+            ..Flags::default()
+        };
+        assert_eq!(f.to_u16(), 0x0100);
+    }
+
+    #[test]
+    fn typical_response_flags() {
+        let f = Flags {
+            response: true,
+            recursion_desired: true,
+            recursion_available: true,
+            ..Flags::default()
+        };
+        assert_eq!(f.to_u16(), 0x8180);
+    }
+
+    #[test]
+    fn header_encode_decode() {
+        let h = Header {
+            id: 0xBEEF,
+            flags: Flags::from_u16(0x8180),
+            qdcount: 1,
+            ancount: 2,
+            nscount: 3,
+            arcount: 4,
+        };
+        let mut w = Writer::new();
+        h.encode(&mut w).unwrap();
+        assert_eq!(w.len(), HEADER_LEN);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Header::decode(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn header_decode_truncated() {
+        let mut r = Reader::new(&[0u8; 11]);
+        assert!(Header::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn servfail_rcode_survives() {
+        let f = Flags {
+            response: true,
+            rcode: Rcode::ServFail,
+            ..Flags::default()
+        };
+        let back = Flags::from_u16(f.to_u16());
+        assert_eq!(back.rcode, Rcode::ServFail);
+    }
+}

@@ -1,0 +1,332 @@
+//! Oblivious DoH message framing (RFC 9230 §6).
+//!
+//! The four `odoh-target-*.alekberg.net` rows of the paper's figures are
+//! ODoH targets: clients encrypt queries to the target's public key and
+//! send them through an oblivious relay, so the relay sees the client but
+//! not the query, and the target sees the query but not the client.
+//!
+//! This module implements the `ObliviousDoHMessage` wire structure exactly:
+//!
+//! ```text
+//! struct {
+//!     uint8  message_type;      // 1 = query, 2 = response
+//!     opaque key_id<0..2^16-1>;
+//!     opaque encrypted_message<0..2^16-1>;
+//! } ObliviousDoHMessage;
+//! ```
+//!
+//! The *encapsulation* uses a size-faithful stand-in for HPKE: ciphertext =
+//! KEM share (32 octets, queries only) ‖ payload ⊕ keystream ‖ 16-octet tag.
+//! It preserves every length a real implementation puts on the wire —
+//! which is what the latency simulation needs — but it is **not
+//! cryptographically secure** and must never be used outside simulation.
+
+use crate::error::WireError;
+use crate::wire::{Reader, Writer};
+
+/// Message type octet for an encrypted query.
+pub const MESSAGE_TYPE_QUERY: u8 = 1;
+/// Message type octet for an encrypted response.
+pub const MESSAGE_TYPE_RESPONSE: u8 = 2;
+
+/// X25519 KEM encapsulated-share size carried in query ciphertexts.
+pub const KEM_SHARE_LEN: usize = 32;
+/// AEAD tag size.
+pub const AEAD_TAG_LEN: usize = 16;
+
+/// A (de)framed ODoH message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObliviousMessage {
+    /// `MESSAGE_TYPE_QUERY` or `MESSAGE_TYPE_RESPONSE`.
+    pub message_type: u8,
+    /// Identifies the target key configuration used.
+    pub key_id: Vec<u8>,
+    /// The sealed payload.
+    pub encrypted_message: Vec<u8>,
+}
+
+impl ObliviousMessage {
+    /// Encodes to wire form.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = Writer::with_capacity(5 + self.key_id.len() + self.encrypted_message.len());
+        w.write_u8(self.message_type)?;
+        if self.key_id.len() > u16::MAX as usize {
+            return Err(WireError::InvalidText {
+                reason: "ODoH key_id exceeds 65535 octets",
+            });
+        }
+        w.write_u16(self.key_id.len() as u16)?;
+        w.write_slice(&self.key_id)?;
+        if self.encrypted_message.len() > u16::MAX as usize {
+            return Err(WireError::InvalidText {
+                reason: "ODoH encrypted_message exceeds 65535 octets",
+            });
+        }
+        w.write_u16(self.encrypted_message.len() as u16)?;
+        w.write_slice(&self.encrypted_message)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes from wire form, rejecting trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let message_type = r.read_u8("ODoH message type")?;
+        let kid_len = r.read_u16("ODoH key_id length")? as usize;
+        let key_id = r.read_slice(kid_len, "ODoH key_id")?.to_vec();
+        let enc_len = r.read_u16("ODoH message length")? as usize;
+        let encrypted_message = r.read_slice(enc_len, "ODoH encrypted message")?.to_vec();
+        if !r.is_empty() {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(ObliviousMessage {
+            message_type,
+            key_id,
+            encrypted_message,
+        })
+    }
+
+    /// Total wire size.
+    pub fn wire_len(&self) -> usize {
+        1 + 2 + self.key_id.len() + 2 + self.encrypted_message.len()
+    }
+}
+
+/// A target key configuration (simulation stand-in: the key *is* the seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetKey {
+    /// Key identifier advertised in DNS (ODoH HTTPS records).
+    pub key_id: [u8; 8],
+    /// Keystream seed (stand-in for the HPKE private key).
+    pub seed: u64,
+}
+
+impl TargetKey {
+    /// Derives a key configuration from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut key_id = [0u8; 8];
+        key_id.copy_from_slice(&seed.wrapping_mul(0x9E3779B97F4A7C15).to_be_bytes());
+        TargetKey { key_id, seed }
+    }
+}
+
+/// Size-faithful keystream; see the module docs for the security caveat.
+fn keystream_byte(seed: u64, kem: &[u8], i: usize) -> u8 {
+    let mut x = seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    for (j, &b) in kem.iter().enumerate() {
+        x = x.wrapping_add((b as u64) << (8 * (j % 8)));
+    }
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (x ^ (x >> 27)) as u8
+}
+
+fn seal(seed: u64, kem: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(plaintext.len() + AEAD_TAG_LEN);
+    for (i, &b) in plaintext.iter().enumerate() {
+        out.push(b ^ keystream_byte(seed, kem, i));
+    }
+    // Stand-in tag: a keyed checksum so tampering is detectable in tests.
+    let mut tag = [0u8; AEAD_TAG_LEN];
+    for (i, &b) in out.iter().enumerate() {
+        tag[i % AEAD_TAG_LEN] = tag[i % AEAD_TAG_LEN]
+            .wrapping_mul(31)
+            .wrapping_add(b ^ keystream_byte(seed, kem, usize::MAX - i));
+    }
+    out.extend_from_slice(&tag);
+    out
+}
+
+fn open(seed: u64, kem: &[u8], sealed: &[u8]) -> Result<Vec<u8>, WireError> {
+    if sealed.len() < AEAD_TAG_LEN {
+        return Err(WireError::Truncated {
+            expected: "ODoH AEAD tag",
+        });
+    }
+    let (body, tag) = sealed.split_at(sealed.len() - AEAD_TAG_LEN);
+    let mut expect = [0u8; AEAD_TAG_LEN];
+    for (i, &b) in body.iter().enumerate() {
+        expect[i % AEAD_TAG_LEN] = expect[i % AEAD_TAG_LEN]
+            .wrapping_mul(31)
+            .wrapping_add(b ^ keystream_byte(seed, kem, usize::MAX - i));
+    }
+    if expect != tag {
+        return Err(WireError::InvalidText {
+            reason: "ODoH authentication failed",
+        });
+    }
+    Ok(body
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| b ^ keystream_byte(seed, kem, i))
+        .collect())
+}
+
+/// Seals a DNS query for `key`, producing the client→target message.
+/// `kem_entropy` stands in for the ephemeral KEM share.
+pub fn seal_query(key: &TargetKey, dns_query: &[u8], kem_entropy: u64) -> ObliviousMessage {
+    let mut kem = vec![0u8; KEM_SHARE_LEN];
+    for (i, b) in kem.iter_mut().enumerate() {
+        *b = keystream_byte(kem_entropy, &[], i);
+    }
+    let mut encrypted_message = kem.clone();
+    encrypted_message.extend_from_slice(&seal(key.seed, &kem, dns_query));
+    ObliviousMessage {
+        message_type: MESSAGE_TYPE_QUERY,
+        key_id: key.key_id.to_vec(),
+        encrypted_message,
+    }
+}
+
+/// Opens a client→target message at the target.
+/// Returns the DNS query and the KEM share (needed to seal the response).
+pub fn open_query(key: &TargetKey, msg: &ObliviousMessage) -> Result<(Vec<u8>, Vec<u8>), WireError> {
+    if msg.message_type != MESSAGE_TYPE_QUERY {
+        return Err(WireError::InvalidText {
+            reason: "not an ODoH query",
+        });
+    }
+    if msg.key_id != key.key_id {
+        return Err(WireError::InvalidText {
+            reason: "unknown ODoH key id",
+        });
+    }
+    if msg.encrypted_message.len() < KEM_SHARE_LEN {
+        return Err(WireError::Truncated {
+            expected: "ODoH KEM share",
+        });
+    }
+    let (kem, sealed) = msg.encrypted_message.split_at(KEM_SHARE_LEN);
+    let plain = open(key.seed, kem, sealed)?;
+    Ok((plain, kem.to_vec()))
+}
+
+/// Seals a DNS response at the target (keyed by the query's KEM share).
+pub fn seal_response(key: &TargetKey, kem: &[u8], dns_response: &[u8]) -> ObliviousMessage {
+    ObliviousMessage {
+        message_type: MESSAGE_TYPE_RESPONSE,
+        // Responses carry an empty key id (RFC 9230 §6.2).
+        key_id: Vec::new(),
+        encrypted_message: seal(key.seed ^ 0x5DEECE66D, kem, dns_response),
+    }
+}
+
+/// Opens a target→client response at the client.
+pub fn open_response(
+    key: &TargetKey,
+    kem: &[u8],
+    msg: &ObliviousMessage,
+) -> Result<Vec<u8>, WireError> {
+    if msg.message_type != MESSAGE_TYPE_RESPONSE {
+        return Err(WireError::InvalidText {
+            reason: "not an ODoH response",
+        });
+    }
+    open(key.seed ^ 0x5DEECE66D, kem, &msg.encrypted_message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MessageBuilder, Name, RecordType};
+
+    fn query_bytes() -> Vec<u8> {
+        MessageBuilder::query(0, Name::parse("example.com").unwrap(), RecordType::A)
+            .recursion_desired(true)
+            .build()
+            .encode()
+            .unwrap()
+    }
+
+    #[test]
+    fn framing_round_trip() {
+        let m = ObliviousMessage {
+            message_type: MESSAGE_TYPE_QUERY,
+            key_id: vec![1, 2, 3],
+            encrypted_message: vec![9; 50],
+        };
+        let wire = m.encode().unwrap();
+        assert_eq!(wire.len(), m.wire_len());
+        assert_eq!(ObliviousMessage::decode(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn framing_rejects_truncation_and_trailing() {
+        let m = ObliviousMessage {
+            message_type: MESSAGE_TYPE_RESPONSE,
+            key_id: vec![],
+            encrypted_message: vec![7; 20],
+        };
+        let mut wire = m.encode().unwrap();
+        assert!(ObliviousMessage::decode(&wire[..wire.len() - 1]).is_err());
+        wire.push(0);
+        assert!(matches!(
+            ObliviousMessage::decode(&wire),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn seal_open_query_round_trip() {
+        let key = TargetKey::from_seed(42);
+        let q = query_bytes();
+        let msg = seal_query(&key, &q, 7);
+        // Ciphertext hides the plaintext and carries KEM + tag overhead.
+        assert_eq!(
+            msg.encrypted_message.len(),
+            KEM_SHARE_LEN + q.len() + AEAD_TAG_LEN
+        );
+        assert!(!msg
+            .encrypted_message
+            .windows(q.len().min(12))
+            .any(|w| w == &q[..q.len().min(12)]));
+        let (plain, kem) = open_query(&key, &msg).unwrap();
+        assert_eq!(plain, q);
+        assert_eq!(kem.len(), KEM_SHARE_LEN);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let key = TargetKey::from_seed(1);
+        let q = query_bytes();
+        let qmsg = seal_query(&key, &q, 99);
+        let (_, kem) = open_query(&key, &qmsg).unwrap();
+        let resp = b"fake-dns-response".to_vec();
+        let rmsg = seal_response(&key, &kem, &resp);
+        assert!(rmsg.key_id.is_empty(), "responses carry empty key id");
+        assert_eq!(open_response(&key, &kem, &rmsg).unwrap(), resp);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let key = TargetKey::from_seed(1);
+        let other = TargetKey::from_seed(2);
+        let msg = seal_query(&key, &query_bytes(), 7);
+        assert!(open_query(&other, &msg).is_err());
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let key = TargetKey::from_seed(5);
+        let mut msg = seal_query(&key, &query_bytes(), 7);
+        let last = msg.encrypted_message.len() - 1;
+        msg.encrypted_message[last] ^= 0xFF;
+        assert!(open_query(&key, &msg).is_err());
+    }
+
+    #[test]
+    fn type_confusion_is_rejected() {
+        let key = TargetKey::from_seed(5);
+        let mut msg = seal_query(&key, &query_bytes(), 7);
+        msg.message_type = MESSAGE_TYPE_RESPONSE;
+        assert!(open_query(&key, &msg).is_err());
+        assert!(open_response(&key, &[0; 32], &msg).is_err());
+    }
+
+    #[test]
+    fn distinct_kem_entropy_gives_distinct_ciphertexts() {
+        let key = TargetKey::from_seed(11);
+        let q = query_bytes();
+        let a = seal_query(&key, &q, 1);
+        let b = seal_query(&key, &q, 2);
+        assert_ne!(a.encrypted_message, b.encrypted_message);
+    }
+}

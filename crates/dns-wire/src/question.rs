@@ -1,0 +1,86 @@
+//! The question section entry (RFC 1035 §4.1.2).
+
+use std::fmt;
+
+use crate::constants::{RecordClass, RecordType};
+use crate::error::WireError;
+use crate::name::{Name, NameCompressor};
+use crate::wire::{Reader, Writer};
+
+/// One entry of the question section: what the client is asking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// The name being queried.
+    pub name: Name,
+    /// The requested record type.
+    pub rtype: RecordType,
+    /// The requested class, almost always `IN`.
+    pub rclass: RecordClass,
+}
+
+impl Question {
+    /// Convenience constructor for the common `IN` case.
+    pub fn new(name: Name, rtype: RecordType) -> Self {
+        Question {
+            name,
+            rtype,
+            rclass: RecordClass::IN,
+        }
+    }
+
+    /// Encodes with name compression.
+    pub fn encode(&self, w: &mut Writer, c: &mut NameCompressor) -> Result<(), WireError> {
+        self.name.encode_compressed(w, c)?;
+        w.write_u16(self.rtype.to_u16())?;
+        w.write_u16(self.rclass.to_u16())
+    }
+
+    /// Decodes one question.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = Name::decode(r)?;
+        let rtype = RecordType::from_u16(r.read_u16("question type")?);
+        let rclass = RecordClass::from_u16(r.read_u16("question class")?);
+        Ok(Question {
+            name,
+            rtype,
+            rclass,
+        })
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.name, self.rclass, self.rtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let q = Question::new(Name::parse("example.com").unwrap(), RecordType::AAAA);
+        let mut w = Writer::new();
+        let mut c = NameCompressor::new();
+        q.encode(&mut w, &mut c).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Question::decode(&mut r).unwrap(), q);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display_matches_dig_style() {
+        let q = Question::new(Name::parse("google.com").unwrap(), RecordType::A);
+        assert_eq!(q.to_string(), "google.com. IN A");
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        // Name but no type/class.
+        let bytes = b"\x03com\x00\x00";
+        let mut r = Reader::new(bytes);
+        assert!(Question::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! CAA rdata (RFC 8659).
+
+use std::fmt;
+
+use crate::error::WireError;
+use crate::wire::{Reader, Writer};
+
+/// Certification-authority-authorization record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaaData {
+    /// Flags; bit 7 is "issuer critical".
+    pub flags: u8,
+    /// Property tag, e.g. `issue`, `issuewild`, `iodef`.
+    pub tag: Vec<u8>,
+    /// Property value.
+    pub value: Vec<u8>,
+}
+
+impl CaaData {
+    /// Builds a CAA record, validating the tag length (1–255 octets).
+    pub fn new(flags: u8, tag: &str, value: &str) -> Result<Self, WireError> {
+        if tag.is_empty() || tag.len() > 255 {
+            return Err(WireError::InvalidText {
+                reason: "CAA tag must be 1-255 octets",
+            });
+        }
+        Ok(CaaData {
+            flags,
+            tag: tag.as_bytes().to_vec(),
+            value: value.as_bytes().to_vec(),
+        })
+    }
+
+    /// True when the issuer-critical bit is set.
+    pub fn critical(&self) -> bool {
+        self.flags & 0x80 != 0
+    }
+
+    /// Encodes the CAA body.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        w.write_u8(self.flags)?;
+        w.write_u8(self.tag.len() as u8)?;
+        w.write_slice(&self.tag)?;
+        w.write_slice(&self.value)
+    }
+
+    /// Decodes exactly `rdlen` octets of CAA body.
+    pub fn decode(r: &mut Reader<'_>, rdlen: usize) -> Result<Self, WireError> {
+        let end = r.position() + rdlen;
+        let flags = r.read_u8("CAA flags")?;
+        let tag_len = r.read_u8("CAA tag length")? as usize;
+        if tag_len == 0 {
+            return Err(WireError::InvalidText {
+                reason: "CAA tag must be 1-255 octets",
+            });
+        }
+        if r.position() + tag_len > end {
+            return Err(WireError::Truncated { expected: "CAA tag" });
+        }
+        let tag = r.read_slice(tag_len, "CAA tag")?.to_vec();
+        let value_len = end - r.position();
+        let value = r.read_slice(value_len, "CAA value")?.to_vec();
+        Ok(CaaData { flags, tag, value })
+    }
+}
+
+impl fmt::Display for CaaData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} \"{}\"",
+            self.flags,
+            String::from_utf8_lossy(&self.tag),
+            String::from_utf8_lossy(&self.value)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let caa = CaaData::new(0x80, "issue", "letsencrypt.org").unwrap();
+        let mut w = Writer::new();
+        caa.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(CaaData::decode(&mut r, bytes.len()).unwrap(), caa);
+        assert!(caa.critical());
+    }
+
+    #[test]
+    fn empty_value_allowed() {
+        let caa = CaaData::new(0, "iodef", "").unwrap();
+        let mut w = Writer::new();
+        caa.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = CaaData::decode(&mut r, bytes.len()).unwrap();
+        assert_eq!(back.value, b"");
+        assert!(!back.critical());
+    }
+
+    #[test]
+    fn rejects_empty_tag() {
+        assert!(CaaData::new(0, "", "x").is_err());
+        // Wire-level empty tag also rejected.
+        let bytes = [0u8, 0];
+        let mut r = Reader::new(&bytes);
+        assert!(CaaData::decode(&mut r, 2).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let caa = CaaData::new(0, "issue", "ca.example.net").unwrap();
+        assert_eq!(caa.to_string(), "0 issue \"ca.example.net\"");
+    }
+}

@@ -1,0 +1,150 @@
+//! EDNS(0) OPT pseudo-record rdata (RFC 6891): a sequence of TLV options.
+
+use std::fmt;
+
+use crate::error::WireError;
+use crate::wire::{Reader, Writer};
+
+/// EDNS option codes this crate understands by name.
+pub mod option_code {
+    /// Name-server identifier (RFC 5001).
+    pub const NSID: u16 = 3;
+    /// Client subnet (RFC 7871).
+    pub const CLIENT_SUBNET: u16 = 8;
+    /// Cookie (RFC 7873).
+    pub const COOKIE: u16 = 10;
+    /// Padding (RFC 7830) — important for encrypted DNS traffic analysis
+    /// resistance; RFC 8467 recommends padding DoT/DoH queries to 128 octets.
+    pub const PADDING: u16 = 12;
+}
+
+/// One EDNS option: a code and opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptOption {
+    /// Option code (see [`option_code`]).
+    pub code: u16,
+    /// Option payload.
+    pub data: Vec<u8>,
+}
+
+impl OptOption {
+    /// An RFC 7830 padding option of `len` zero octets.
+    pub fn padding(len: usize) -> Self {
+        OptOption {
+            code: option_code::PADDING,
+            data: vec![0u8; len],
+        }
+    }
+}
+
+/// The rdata of an OPT record: the option list. The fixed fields (payload
+/// size, extended rcode, version, DO bit) are carried in the record's class
+/// and TTL and live on [`crate::ResourceRecord`]'s wrapper — see
+/// [`crate::MessageBuilder::edns_udp_size`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptData {
+    /// The options in wire order.
+    pub options: Vec<OptOption>,
+}
+
+impl OptData {
+    /// Encodes the option list.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        for opt in &self.options {
+            w.write_u16(opt.code)?;
+            if opt.data.len() > u16::MAX as usize {
+                return Err(WireError::MalformedEdns("option data exceeds 65535 octets"));
+            }
+            w.write_u16(opt.data.len() as u16)?;
+            w.write_slice(&opt.data)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes exactly `rdlen` octets of options.
+    pub fn decode(r: &mut Reader<'_>, rdlen: usize) -> Result<Self, WireError> {
+        let end = r.position() + rdlen;
+        let mut options = Vec::new();
+        while r.position() < end {
+            let code = r.read_u16("OPT option code")?;
+            let len = r.read_u16("OPT option length")? as usize;
+            if r.position() + len > end {
+                return Err(WireError::Truncated {
+                    expected: "OPT option data",
+                });
+            }
+            let data = r.read_slice(len, "OPT option data")?.to_vec();
+            options.push(OptOption { code, data });
+        }
+        Ok(OptData { options })
+    }
+
+    /// Finds the first option with the given code.
+    pub fn option(&self, code: u16) -> Option<&OptOption> {
+        self.options.iter().find(|o| o.code == code)
+    }
+
+    /// Total wire length of the encoded options.
+    pub fn wire_len(&self) -> usize {
+        self.options.iter().map(|o| 4 + o.data.len()).sum()
+    }
+}
+
+impl fmt::Display for OptData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} option(s)", self.options.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trip() {
+        let o = OptData::default();
+        let mut w = Writer::new();
+        o.encode(&mut w).unwrap();
+        assert!(w.is_empty());
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(OptData::decode(&mut r, 0).unwrap(), o);
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let o = OptData {
+            options: vec![
+                OptOption {
+                    code: option_code::COOKIE,
+                    data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                },
+                OptOption::padding(16),
+            ],
+        };
+        let mut w = Writer::new();
+        o.encode(&mut w).unwrap();
+        assert_eq!(w.len(), o.wire_len());
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = OptData::decode(&mut r, bytes.len()).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(back.option(option_code::PADDING).unwrap().data.len(), 16);
+        assert!(back.option(option_code::NSID).is_none());
+    }
+
+    #[test]
+    fn padding_is_zeroed() {
+        let p = OptOption::padding(8);
+        assert_eq!(p.code, option_code::PADDING);
+        assert!(p.data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn overrunning_option_rejected() {
+        // Option claims 10 octets but rdlen only allows 4 more.
+        let bytes = [0u8, 12, 0, 10, 1, 2, 3, 4];
+        let mut r = Reader::new(&bytes);
+        assert!(OptData::decode(&mut r, 8).is_err());
+    }
+}

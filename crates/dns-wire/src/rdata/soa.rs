@@ -1,0 +1,109 @@
+//! SOA rdata (RFC 1035 §3.3.13).
+
+use std::fmt;
+
+use crate::error::WireError;
+use crate::name::Name;
+use crate::wire::{Reader, Writer};
+
+/// Start-of-authority record data: zone apex metadata and timers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaData {
+    /// Primary name server for the zone.
+    pub mname: Name,
+    /// Mailbox of the person responsible (encoded as a name).
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval after failed refresh, seconds.
+    pub retry: u32,
+    /// Expiry of zone data at secondaries, seconds.
+    pub expire: u32,
+    /// Negative-caching TTL (RFC 2308), seconds.
+    pub minimum: u32,
+}
+
+impl SoaData {
+    /// Encodes the SOA body.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        self.mname.encode_uncompressed(w)?;
+        self.rname.encode_uncompressed(w)?;
+        w.write_u32(self.serial)?;
+        w.write_u32(self.refresh)?;
+        w.write_u32(self.retry)?;
+        w.write_u32(self.expire)?;
+        w.write_u32(self.minimum)
+    }
+
+    /// Decodes the SOA body.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SoaData {
+            mname: Name::decode(r)?,
+            rname: Name::decode(r)?,
+            serial: r.read_u32("SOA serial")?,
+            refresh: r.read_u32("SOA refresh")?,
+            retry: r.read_u32("SOA retry")?,
+            expire: r.read_u32("SOA expire")?,
+            minimum: r.read_u32("SOA minimum")?,
+        })
+    }
+}
+
+impl fmt::Display for SoaData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {} {} {}",
+            self.mname, self.rname, self.serial, self.refresh, self.retry, self.expire,
+            self.minimum
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SoaData {
+        SoaData {
+            mname: Name::parse("ns1.example.com").unwrap(),
+            rname: Name::parse("hostmaster.example.com").unwrap(),
+            serial: 2024050901,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let soa = sample();
+        let mut w = Writer::new();
+        soa.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(SoaData::decode(&mut r).unwrap(), soa);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = sample().to_string();
+        assert!(s.contains("ns1.example.com."));
+        assert!(s.contains("2024050901"));
+        assert!(s.contains("300"));
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let soa = sample();
+        let mut w = Writer::new();
+        soa.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 2]);
+        assert!(SoaData::decode(&mut r).is_err());
+    }
+}

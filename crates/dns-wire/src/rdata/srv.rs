@@ -1,0 +1,82 @@
+//! SRV rdata (RFC 2782).
+
+use std::fmt;
+
+use crate::error::WireError;
+use crate::name::Name;
+use crate::wire::{Reader, Writer};
+
+/// Service locator record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrvData {
+    /// Lower priority targets are tried first.
+    pub priority: u16,
+    /// Relative weight among equal-priority targets.
+    pub weight: u16,
+    /// TCP or UDP port of the service.
+    pub port: u16,
+    /// Host providing the service.
+    pub target: Name,
+}
+
+impl SrvData {
+    /// Encodes the SRV body.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        w.write_u16(self.priority)?;
+        w.write_u16(self.weight)?;
+        w.write_u16(self.port)?;
+        self.target.encode_uncompressed(w)
+    }
+
+    /// Decodes the SRV body.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SrvData {
+            priority: r.read_u16("SRV priority")?,
+            weight: r.read_u16("SRV weight")?,
+            port: r.read_u16("SRV port")?,
+            target: Name::decode(r)?,
+        })
+    }
+}
+
+impl fmt::Display for SrvData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.priority, self.weight, self.port, self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let srv = SrvData {
+            priority: 10,
+            weight: 60,
+            port: 853,
+            target: Name::parse("dot.example.net").unwrap(),
+        };
+        let mut w = Writer::new();
+        srv.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(SrvData::decode(&mut r).unwrap(), srv);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        let srv = SrvData {
+            priority: 0,
+            weight: 5,
+            port: 443,
+            target: Name::parse("doh.example.net").unwrap(),
+        };
+        assert_eq!(srv.to_string(), "0 5 443 doh.example.net.");
+    }
+}

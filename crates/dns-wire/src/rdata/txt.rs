@@ -1,0 +1,166 @@
+//! TXT rdata (RFC 1035 §3.3.14): one or more length-prefixed strings.
+
+use std::fmt;
+
+use crate::error::WireError;
+use crate::wire::{Reader, Writer};
+
+/// TXT record data: a sequence of `<character-string>`s, each at most 255
+/// octets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TxtData {
+    strings: Vec<Vec<u8>>,
+}
+
+impl TxtData {
+    /// Builds TXT data from strings, splitting any over-long input into
+    /// 255-octet chunks (the convention used by zone-file tooling).
+    pub fn new<I, S>(strings: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for s in strings {
+            let bytes = s.as_ref();
+            if bytes.is_empty() {
+                out.push(Vec::new());
+                continue;
+            }
+            for chunk in bytes.chunks(255) {
+                out.push(chunk.to_vec());
+            }
+        }
+        TxtData { strings: out }
+    }
+
+    /// The individual character-strings.
+    pub fn strings(&self) -> impl Iterator<Item = &[u8]> {
+        self.strings.iter().map(|s| s.as_slice())
+    }
+
+    /// All strings concatenated, which is how applications usually consume
+    /// TXT data.
+    pub fn joined(&self) -> Vec<u8> {
+        self.strings.concat()
+    }
+
+    /// Encodes the TXT body.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        // An empty TXT record still carries one empty character-string.
+        if self.strings.is_empty() {
+            return w.write_u8(0);
+        }
+        for s in &self.strings {
+            debug_assert!(s.len() <= 255);
+            w.write_u8(s.len() as u8)?;
+            w.write_slice(s)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes exactly `rdlen` octets of TXT body.
+    pub fn decode(r: &mut Reader<'_>, rdlen: usize) -> Result<Self, WireError> {
+        let end = r.position() + rdlen;
+        let mut strings = Vec::new();
+        while r.position() < end {
+            let len = r.read_u8("TXT string length")? as usize;
+            if r.position() + len > end {
+                return Err(WireError::Truncated {
+                    expected: "TXT string",
+                });
+            }
+            strings.push(r.read_slice(len, "TXT string")?.to_vec());
+        }
+        Ok(TxtData { strings })
+    }
+}
+
+impl fmt::Display for TxtData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in &self.strings {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "\"")?;
+            for &b in s {
+                if b == b'"' || b == b'\\' {
+                    write!(f, "\\{}", b as char)?;
+                } else if b.is_ascii_graphic() || b == b' ' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{b:03}")?;
+                }
+            }
+            write!(f, "\"")?;
+        }
+        if first {
+            write!(f, "\"\"")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(t: &TxtData) -> TxtData {
+        let mut w = Writer::new();
+        t.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = TxtData::decode(&mut r, bytes.len()).unwrap();
+        assert!(r.is_empty());
+        back
+    }
+
+    #[test]
+    fn single_string_round_trip() {
+        let t = TxtData::new(["v=spf1 -all"]);
+        assert_eq!(round_trip(&t), t);
+        assert_eq!(t.to_string(), "\"v=spf1 -all\"");
+    }
+
+    #[test]
+    fn multiple_strings_round_trip() {
+        let t = TxtData::new(["a", "b", "c"]);
+        assert_eq!(round_trip(&t), t);
+        assert_eq!(t.joined(), b"abc");
+    }
+
+    #[test]
+    fn long_string_is_chunked() {
+        let long = "x".repeat(600);
+        let t = TxtData::new([long.as_str()]);
+        let lens: Vec<usize> = t.strings().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![255, 255, 90]);
+        assert_eq!(t.joined().len(), 600);
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn empty_txt_encodes_one_empty_string() {
+        let t = TxtData::default();
+        let mut w = Writer::new();
+        t.encode(&mut w).unwrap();
+        assert_eq!(w.as_slice(), &[0]);
+        assert_eq!(t.to_string(), "\"\"");
+    }
+
+    #[test]
+    fn decode_rejects_string_overrunning_rdlen() {
+        // Declared rdlen 3 but the string claims 5 octets.
+        let bytes = [5u8, b'a', b'b'];
+        let mut r = Reader::new(&bytes);
+        assert!(TxtData::decode(&mut r, 3).is_err());
+    }
+
+    #[test]
+    fn display_escapes_quotes_and_binary() {
+        let t = TxtData::new([&b"a\"b\\c\x01"[..]]);
+        assert_eq!(t.to_string(), "\"a\\\"b\\\\c\\001\"");
+    }
+}

@@ -1,0 +1,166 @@
+//! Resource records (RFC 1035 §4.1.3).
+
+use std::fmt;
+
+use crate::constants::{RecordClass, RecordType};
+use crate::error::WireError;
+use crate::name::{Name, NameCompressor};
+use crate::rdata::RData;
+use crate::wire::{Reader, Writer};
+
+/// One resource record: owner name, class, TTL and typed rdata.
+///
+/// For ordinary records `class_raw` is the record class and `ttl_raw` the
+/// time-to-live in seconds. For EDNS OPT pseudo-records the same fields carry
+/// the advertised UDP payload size and the extended-rcode/version/DO word;
+/// [`crate::Message`] surfaces those through its `edns` accessors instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: Name,
+    /// Raw class field (payload size for OPT).
+    pub class_raw: u16,
+    /// Raw TTL field (flags word for OPT).
+    pub ttl_raw: u32,
+    /// Typed record data.
+    pub rdata: RData,
+}
+
+impl ResourceRecord {
+    /// Builds an ordinary `IN`-class record.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        ResourceRecord {
+            name,
+            class_raw: RecordClass::IN.to_u16(),
+            ttl_raw: ttl,
+            rdata,
+        }
+    }
+
+    /// The record type, derived from the rdata.
+    pub fn rtype(&self) -> RecordType {
+        self.rdata.rtype()
+    }
+
+    /// The class, interpreted normally (meaningless for OPT).
+    pub fn rclass(&self) -> RecordClass {
+        RecordClass::from_u16(self.class_raw)
+    }
+
+    /// TTL in seconds (meaningless for OPT).
+    pub fn ttl(&self) -> u32 {
+        self.ttl_raw
+    }
+
+    /// Encodes the record, back-patching RDLENGTH.
+    pub fn encode(&self, w: &mut Writer, c: &mut NameCompressor) -> Result<(), WireError> {
+        self.name.encode_compressed(w, c)?;
+        w.write_u16(self.rtype().to_u16())?;
+        w.write_u16(self.class_raw)?;
+        w.write_u32(self.ttl_raw)?;
+        let len_pos = w.len();
+        w.write_u16(0)?;
+        let before = w.len();
+        self.rdata.encode(w, c)?;
+        let rdlen = w.len() - before;
+        if rdlen > u16::MAX as usize {
+            return Err(WireError::MessageTooLong(rdlen));
+        }
+        w.patch_u16(len_pos, rdlen as u16);
+        Ok(())
+    }
+
+    /// Decodes one record.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = Name::decode(r)?;
+        let rtype = RecordType::from_u16(r.read_u16("record type")?);
+        let class_raw = r.read_u16("record class")?;
+        let ttl_raw = r.read_u32("record ttl")?;
+        let rdlen = r.read_u16("record rdlength")? as usize;
+        let rdata = RData::decode(r, rtype, rdlen)?;
+        Ok(ResourceRecord {
+            name,
+            class_raw,
+            ttl_raw,
+            rdata,
+        })
+    }
+}
+
+impl fmt::Display for ResourceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\t{}\t{}\t{}\t{}",
+            self.name,
+            self.ttl_raw,
+            self.rclass(),
+            self.rtype(),
+            self.rdata
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn round_trip() {
+        let rr = ResourceRecord::new(
+            Name::parse("google.com").unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(142, 250, 190, 78)),
+        );
+        let mut w = Writer::new();
+        let mut c = NameCompressor::new();
+        rr.encode(&mut w, &mut c).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(ResourceRecord::decode(&mut r).unwrap(), rr);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rdlength_is_backpatched() {
+        let rr = ResourceRecord::new(
+            Name::root(),
+            60,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        );
+        let mut w = Writer::new();
+        let mut c = NameCompressor::new();
+        rr.encode(&mut w, &mut c).unwrap();
+        let bytes = w.into_bytes();
+        // root(1) + type(2) + class(2) + ttl(4) => rdlength at offset 9.
+        assert_eq!(u16::from_be_bytes([bytes[9], bytes[10]]), 4);
+    }
+
+    #[test]
+    fn display_is_zone_file_like() {
+        let rr = ResourceRecord::new(
+            Name::parse("example.com").unwrap(),
+            3600,
+            RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+        );
+        assert_eq!(rr.to_string(), "example.com.\t3600\tIN\tA\t93.184.216.34");
+    }
+
+    #[test]
+    fn decode_rejects_bad_rdlength() {
+        // Build a valid record then corrupt RDLENGTH upward.
+        let rr = ResourceRecord::new(
+            Name::root(),
+            60,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        );
+        let mut w = Writer::new();
+        let mut c = NameCompressor::new();
+        rr.encode(&mut w, &mut c).unwrap();
+        let mut bytes = w.into_bytes();
+        bytes[10] = 3; // declare 3 octets for a 4-octet A record
+        let mut r = Reader::new(&bytes);
+        assert!(ResourceRecord::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! DNS-over-TCP/TLS message framing (RFC 1035 §4.2.2, RFC 7858): each
+//! message is prefixed with a two-octet big-endian length. Used by the DoT
+//! client and by anything streaming DNS messages over a byte pipe.
+
+use crate::error::WireError;
+
+/// Frames one DNS message for a stream transport.
+pub fn frame(message: &[u8]) -> Result<Vec<u8>, WireError> {
+    if message.len() > u16::MAX as usize {
+        return Err(WireError::MessageTooLong(message.len()));
+    }
+    let mut out = Vec::with_capacity(2 + message.len());
+    out.extend_from_slice(&(message.len() as u16).to_be_bytes());
+    out.extend_from_slice(message);
+    Ok(out)
+}
+
+/// The result of attempting to deframe from a stream buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Deframed {
+    /// A complete message, plus the number of octets consumed.
+    Complete {
+        /// The message body (without the length prefix).
+        message: Vec<u8>,
+        /// Octets consumed from the buffer (2 + message length).
+        consumed: usize,
+    },
+    /// More octets are needed before a full message is available.
+    NeedMore {
+        /// How many more octets (a lower bound).
+        needed: usize,
+    },
+}
+
+/// Attempts to extract one framed message from the front of `buf`.
+pub fn deframe(buf: &[u8]) -> Deframed {
+    if buf.len() < 2 {
+        return Deframed::NeedMore {
+            needed: 2 - buf.len(),
+        };
+    }
+    let len = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+    if buf.len() < 2 + len {
+        return Deframed::NeedMore {
+            needed: 2 + len - buf.len(),
+        };
+    }
+    Deframed::Complete {
+        message: buf[2..2 + len].to_vec(),
+        consumed: 2 + len,
+    }
+}
+
+/// A stateful stream deframer: feed it arbitrary chunks, get messages out.
+#[derive(Debug, Default)]
+pub struct StreamDeframer {
+    buf: Vec<u8>,
+}
+
+impl StreamDeframer {
+    /// Creates an empty deframer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Octets currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends received octets and drains every complete message.
+    pub fn feed(&mut self, chunk: &[u8]) -> Vec<Vec<u8>> {
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        loop {
+            match deframe(&self.buf) {
+                Deframed::Complete { message, consumed } => {
+                    self.buf.drain(..consumed);
+                    out.push(message);
+                }
+                Deframed::NeedMore { .. } => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MessageBuilder, Name, RecordType};
+
+    fn sample() -> Vec<u8> {
+        MessageBuilder::query(7, Name::parse("example.com").unwrap(), RecordType::A)
+            .build()
+            .encode()
+            .unwrap()
+    }
+
+    #[test]
+    fn frame_deframe_round_trip() {
+        let msg = sample();
+        let framed = frame(&msg).unwrap();
+        assert_eq!(framed.len(), msg.len() + 2);
+        match deframe(&framed) {
+            Deframed::Complete { message, consumed } => {
+                assert_eq!(message, msg);
+                assert_eq!(consumed, framed.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_input_reports_needed() {
+        let framed = frame(&sample()).unwrap();
+        assert_eq!(deframe(&framed[..1]), Deframed::NeedMore { needed: 1 });
+        match deframe(&framed[..5]) {
+            Deframed::NeedMore { needed } => assert_eq!(needed, framed.len() - 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_message_allowed() {
+        // A zero-length frame is wire-legal (though a protocol error upstack).
+        let framed = frame(&[]).unwrap();
+        assert_eq!(
+            deframe(&framed),
+            Deframed::Complete {
+                message: vec![],
+                consumed: 2
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        assert!(frame(&vec![0u8; 70_000]).is_err());
+    }
+
+    #[test]
+    fn stream_deframer_handles_fragmentation_and_coalescing() {
+        let m1 = sample();
+        let m2 = {
+            let mut m = sample();
+            m[0] = 9; // different id
+            m
+        };
+        let mut wire = frame(&m1).unwrap();
+        wire.extend(frame(&m2).unwrap());
+
+        // Feed one byte at a time: messages pop out exactly when complete.
+        let mut d = StreamDeframer::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            got.extend(d.feed(&[b]));
+        }
+        assert_eq!(got, vec![m1.clone(), m2.clone()]);
+        assert_eq!(d.buffered(), 0);
+
+        // Feed everything at once: both messages in one call.
+        let mut d = StreamDeframer::new();
+        assert_eq!(d.feed(&wire), vec![m1, m2]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the wire codec: round trips, canonical
+//! encodings, and decoder robustness against arbitrary bytes.
+
+use proptest::prelude::*;
+
+use dns_wire::{
+    base64url, Message, MessageBuilder, Name, RData, RecordType, ResourceRecord, SoaData,
+    SrvData, TxtData,
+};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        // Avoid '.' (label separator in presentation format); any other byte
+        // is legal on the wire.
+        (0u8..=255).prop_filter("not a dot", |b| *b != b'.'),
+        1..=63,
+    )
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..=5).prop_filter_map("name too long", |labels| {
+        Name::from_labels(labels).ok()
+    })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
+            }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..255), 1..4)
+            .prop_map(|ss| RData::Txt(TxtData::new(ss))),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv(SrvData {
+                priority,
+                weight,
+                port,
+                target
+            })
+        ),
+        (1u16..=500, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(t, data)| {
+            // Avoid codes that collide with known types, which would decode
+            // as typed rdata instead of opaque.
+            let rtype = RecordType::from_u16(t + 1000);
+            RData::Opaque { rtype, data }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn name_parse_display_round_trip(labels in proptest::collection::vec("[a-z0-9-]{1,20}", 1..5)) {
+        let text = labels.join(".");
+        if let Ok(name) = Name::parse(&text) {
+            let shown = name.to_string();
+            let back = Name::parse(&shown).unwrap();
+            prop_assert_eq!(back, name);
+        }
+    }
+
+    #[test]
+    fn name_wire_round_trip(name in arb_name()) {
+        let mut w = dns_wire::Writer::new();
+        name.encode_uncompressed(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = dns_wire::Reader::new(&bytes);
+        let back = Name::decode(&mut r).unwrap();
+        prop_assert_eq!(back, name);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn message_round_trip(
+        id in any::<u16>(),
+        qname in arb_name(),
+        records in proptest::collection::vec((arb_name(), any::<u32>(), arb_rdata()), 0..6),
+        use_edns in any::<bool>(),
+    ) {
+        let mut builder = MessageBuilder::query(id, qname, RecordType::A)
+            .recursion_desired(true);
+        if use_edns {
+            builder = builder.edns_udp_size(1232);
+        }
+        let mut msg = builder.build();
+        msg.header.flags.response = true;
+        for (name, ttl, rdata) in records {
+            msg.answers.push(ResourceRecord::new(name, ttl, rdata));
+        }
+        let bytes = msg.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(back.header.id, id);
+        prop_assert_eq!(&back.questions, &msg.questions);
+        prop_assert_eq!(&back.answers, &msg.answers);
+        prop_assert_eq!(&back.edns, &msg.edns);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Any byte salad must produce Ok or Err, never a panic or hang.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_message(
+        qname in arb_name(),
+        flip_at in any::<prop::sample::Index>(),
+        new_byte in any::<u8>(),
+    ) {
+        let msg = MessageBuilder::query(1, qname, RecordType::A)
+            .edns_udp_size(4096)
+            .build();
+        let mut bytes = msg.encode().unwrap();
+        let i = flip_at.index(bytes.len());
+        bytes[i] = new_byte;
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn base64url_round_trip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let enc = base64url::encode(&data);
+        prop_assert_eq!(base64url::decode(&enc).unwrap(), data);
+        prop_assert!(enc.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_'));
+    }
+
+    #[test]
+    fn base64url_decode_arbitrary_strings(s in "[ -~]{0,64}") {
+        // Printable-ASCII salad: decode must never panic, and when it
+        // succeeds re-encoding must reproduce the canonical input.
+        if let Ok(raw) = base64url::decode(&s) {
+            prop_assert_eq!(base64url::encode(&raw), s);
+        }
+    }
+
+    #[test]
+    fn compression_preserves_names(
+        names in proptest::collection::vec(arb_name(), 1..8),
+    ) {
+        // Encode many records sharing suffixes; decode must recover each
+        // owner name exactly.
+        let mut msg = Message::default();
+        msg.header.flags.response = true;
+        for n in &names {
+            msg.answers.push(ResourceRecord::new(
+                n.clone(),
+                1,
+                RData::A(Ipv4Addr::new(127, 0, 0, 1)),
+            ));
+        }
+        let bytes = msg.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        let got: Vec<Name> = back.answers.into_iter().map(|r| r.name).collect();
+        prop_assert_eq!(got, names);
+    }
+}

@@ -1,0 +1,263 @@
+//! `edns-measure` — the command-line face of the measurement tool.
+//!
+//! ```text
+//! edns-measure list
+//! edns-measure probe dns.google --vantage ec2-ohio --count 10 --protocol doh
+//! edns-measure campaign --scale standard --seed 7 --out results.jsonl
+//! edns-measure report results.jsonl
+//! ```
+
+use std::process::ExitCode;
+
+use dns_wire::Name;
+use measure::{
+    Campaign, CampaignConfig, CampaignResult, ProbeConfig, ProbeOutcome, ProbeTarget, Prober,
+    Protocol,
+};
+use netsim::SimTime;
+
+
+/// Prints to stdout, ignoring broken pipes (`edns-measure ... | head` must
+/// exit cleanly, not panic).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("probe") => cmd_probe(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+edns-measure — encrypted DNS measurement tool (simulated substrate)
+
+USAGE:
+  edns-measure list
+      Print the measured resolver population.
+
+  edns-measure probe <resolver> [--vantage LABEL] [--protocol doh|dot|do53|doq|odoh]
+                     [--count N] [--domain NAME] [--seed S]
+      Issue dig-style probes against one resolver and print per-probe
+      timings plus a summary. Default: 5 DoH probes of google.com from
+      ec2-ohio with seed 0.
+
+  edns-measure campaign [--scale quick|standard|paper] [--seed S] [--out FILE]
+      Run a full campaign over the whole population and write JSON-Lines
+      results (default scale standard, output results.jsonl).
+
+  edns-measure report <results.jsonl>
+      Regenerate the availability analysis and headline findings from a
+      results file.
+";
+
+/// Fetches the value following `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut entries = catalog::resolvers::all();
+    entries.sort_by_key(|e| (e.region(), e.hostname));
+    out!(
+        "{} resolvers ({} mainstream):\n",
+        entries.len(),
+        entries.iter().filter(|e| e.mainstream).count()
+    );
+    for e in entries {
+        out!(
+            "{:<42} {:<14} {:<22} {}{}",
+            e.hostname,
+            e.region().to_string(),
+            e.operator,
+            if e.anycast { "anycast" } else { "unicast" },
+            if e.mainstream { ", mainstream" } else { "" },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_probe(args: &[String]) -> Result<(), String> {
+    let hostname = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("probe requires a resolver hostname")?;
+    let entry = catalog::resolvers::find(hostname)
+        .ok_or_else(|| format!("unknown resolver {hostname:?}; see `edns-measure list`"))?;
+
+    let vantage_label = flag_value(args, "--vantage").unwrap_or("ec2-ohio");
+    let vantage = measure::vantage::find(vantage_label)
+        .ok_or_else(|| format!("unknown vantage {vantage_label:?}"))?;
+    let proto_label = flag_value(args, "--protocol").unwrap_or("doh");
+    let protocol = Protocol::from_label(proto_label)
+        .ok_or_else(|| format!("unknown protocol {proto_label:?}"))?;
+    let count: u64 = flag_value(args, "--count")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "bad --count")?;
+    let domain_text = flag_value(args, "--domain").unwrap_or("google.com");
+    let domain = Name::parse(domain_text).map_err(|e| format!("bad domain: {e}"))?;
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+
+    let prober = Prober::new();
+    let mut target = ProbeTarget::from_entry(entry);
+    let client = vantage.host(0);
+    let mut rng = netsim::SimRng::derived(seed, &format!("cli:{vantage_label}:{hostname}"));
+    let cfg = ProbeConfig {
+        protocol,
+        ..ProbeConfig::default()
+    };
+
+    out!(
+        "; <<>> edns-measure <<>> {domain_text} @{hostname} over {protocol} from {vantage_label}\n"
+    );
+    let mut times = Vec::new();
+    let mut errors = 0;
+    for i in 0..count {
+        let now = SimTime::from_nanos(i * 3_600_000_000_000);
+        let (outcome, ping) = prober.probe(&client, &mut target, &domain, now, vantage.is_home(), cfg, &mut rng);
+        match outcome {
+            ProbeOutcome::Success { timings, cache_hit, site } => {
+                out!(
+                    "probe {:>2}: response {:8.2} ms  (connect {:6.2} + secure {:6.2} + query {:6.2})  ping {}  site {}{}",
+                    i + 1,
+                    timings.total().as_millis_f64(),
+                    timings.connect.as_millis_f64(),
+                    timings.secure.as_millis_f64(),
+                    timings.query.as_millis_f64(),
+                    ping.map(|p| format!("{:6.2} ms", p.as_millis_f64()))
+                        .unwrap_or_else(|| "  (filtered)".into()),
+                    site,
+                    if cache_hit { "" } else { "  [cache miss]" },
+                );
+                times.push(timings.total().as_millis_f64());
+            }
+            ProbeOutcome::Failure { kind, elapsed } => {
+                out!(
+                    "probe {:>2}: FAILED ({kind}) after {:.1} ms",
+                    i + 1,
+                    elapsed.as_millis_f64()
+                );
+                errors += 1;
+            }
+        }
+    }
+    if let Some(summary) = edns_stats::Summary::of(&times) {
+        out!(
+            "\n;; {count} probes, {errors} errors | min/median/p90/max = {:.1}/{:.1}/{:.1}/{:.1} ms",
+            summary.min, summary.median, summary.p90, summary.max
+        );
+    } else {
+        out!("\n;; {count} probes, all failed");
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let config = match flag_value(args, "--scale").unwrap_or("standard") {
+        "quick" => CampaignConfig::quick(seed, 4),
+        "standard" => CampaignConfig::quick(seed, 24),
+        "paper" => CampaignConfig::paper(seed),
+        other => return Err(format!("unknown scale {other:?}")),
+    };
+    let out = flag_value(args, "--out").unwrap_or("results.jsonl");
+
+    let campaign = Campaign::new(config);
+    eprintln!(
+        "running {} probes over {} resolvers...",
+        campaign.probe_count(),
+        catalog::resolvers::all().len()
+    );
+    let start = std::time::Instant::now();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let result = campaign.run_parallel(threads);
+    eprintln!(
+        "done in {:.1}s: {} ok / {} errors",
+        start.elapsed().as_secs_f64(),
+        result.successes(),
+        result.errors()
+    );
+    std::fs::write(out, result.to_json_lines()).map_err(|e| e.to_string())?;
+    eprintln!("results written to {out}");
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("report requires a results file")?;
+    let doc = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let result = CampaignResult::from_json_lines(0, &doc)?;
+    let n = result.records.len();
+    let successes = result.successes();
+    out!("{n} records: {successes} ok / {} errors\n", n - successes);
+
+    // One streaming pass: per-resolver availability + per-cell medians.
+    let mut summary = measure::StreamingSummary::new();
+    let mut ledger = edns_stats::AvailabilityLedger::new();
+    for r in &result.records {
+        summary.observe(r);
+        match &r.outcome {
+            ProbeOutcome::Success { .. } => ledger.success(&r.resolver),
+            ProbeOutcome::Failure { kind, .. } => ledger.error(&r.resolver, kind.label()),
+        }
+    }
+
+    let worst = ledger.worst(0.995);
+    if worst.is_empty() {
+        out!("every resolver above 99.5% availability");
+    } else {
+        out!("resolvers below 99.5% availability:");
+        for (resolver, availability) in worst.iter().take(15) {
+            let dominant = ledger
+                .get(resolver)
+                .and_then(|a| a.dominant_error().map(str::to_string))
+                .unwrap_or_default();
+            out!("  {resolver:<42} {:6.2}%  ({dominant})", availability * 100.0);
+        }
+    }
+
+    // Fastest resolvers per vantage, from the streaming medians.
+    let vantages: std::collections::BTreeSet<&str> =
+        summary.iter().map(|(v, _, _)| v).collect();
+    for vantage in vantages {
+        let mut rows: Vec<(&str, f64)> = summary
+            .iter()
+            .filter(|(v, _, _)| *v == vantage)
+            .filter_map(|(_, r, cell)| Some((r, cell.median.estimate()?)))
+            .collect();
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        out!("\nfastest from {vantage} (streaming medians):");
+        for (resolver, median) in rows.iter().take(5) {
+            out!("  {resolver:<42} {median:8.1} ms");
+        }
+    }
+    Ok(())
+}

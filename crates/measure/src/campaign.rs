@@ -1,0 +1,266 @@
+//! The campaign runner: schedules every (vantage, resolver, round, domain)
+//! probe, runs them deterministically — optionally in parallel — and
+//! collects the result records.
+//!
+//! Determinism under parallelism: every (vantage, resolver) pair gets its
+//! own RNG stream derived from the master seed and its labels, and its own
+//! simulated resolver state, so results do not depend on thread scheduling.
+//! Records are sorted into canonical order before being returned.
+
+use dns_wire::Name;
+use netsim::rng::SimRng;
+
+use crate::config::CampaignConfig;
+use crate::probe::{ProbeTarget, Prober};
+use crate::results::ProbeRecord;
+use crate::vantage::Vantage;
+
+/// A completed campaign: all records plus the configuration that made them.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Every probe record, in canonical (time, vantage, resolver, domain)
+    /// order.
+    pub records: Vec<ProbeRecord>,
+    /// The seed the campaign ran with.
+    pub seed: u64,
+}
+
+impl CampaignResult {
+    /// Successful probe count.
+    pub fn successes(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.is_success()).count()
+    }
+
+    /// Failed probe count.
+    pub fn errors(&self) -> usize {
+        self.records.len() - self.successes()
+    }
+
+    /// Serialises all records as JSON Lines — the tool's output format.
+    pub fn to_json_lines(&self) -> String {
+        let values: Vec<crate::json::Json> =
+            self.records.iter().map(|r| r.to_json()).collect();
+        crate::json::to_json_lines(values.iter())
+    }
+
+    /// Parses records back from JSON Lines.
+    pub fn from_json_lines(seed: u64, doc: &str) -> Result<Self, String> {
+        let values = crate::json::from_json_lines(doc).map_err(|e| e.to_string())?;
+        let records = values
+            .iter()
+            .map(|v| ProbeRecord::from_json(v).ok_or_else(|| "bad record".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignResult { records, seed })
+    }
+}
+
+/// Runs campaigns over a resolver population.
+pub struct Campaign {
+    config: CampaignConfig,
+    entries: Vec<catalog::ResolverEntry>,
+}
+
+impl Campaign {
+    /// A campaign over the full measured population.
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign {
+            config,
+            entries: catalog::resolvers::all(),
+        }
+    }
+
+    /// A campaign over a chosen subset of resolvers.
+    pub fn with_resolvers(config: CampaignConfig, entries: Vec<catalog::ResolverEntry>) -> Self {
+        Campaign { config, entries }
+    }
+
+    /// The number of probes this campaign will issue.
+    pub fn probe_count(&self) -> usize {
+        self.config.probe_count(self.entries.len())
+    }
+
+    /// Runs every probe on the calling thread.
+    pub fn run(&self) -> CampaignResult {
+        let pairs = self.pairs();
+        let mut records = Vec::with_capacity(self.probe_count());
+        for (vantage, entry) in &pairs {
+            records.extend(self.run_pair(vantage, entry));
+        }
+        Self::finish(records, self.config.seed)
+    }
+
+    /// Runs the campaign across `threads` worker threads (deterministic —
+    /// identical output to [`run`](Self::run)).
+    pub fn run_parallel(&self, threads: usize) -> CampaignResult {
+        let pairs = self.pairs();
+        let threads = threads.max(1).min(pairs.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut buckets: Vec<Vec<ProbeRecord>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let pairs = &pairs;
+                let next = &next;
+                handles.push(scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= pairs.len() {
+                            break;
+                        }
+                        let (vantage, entry) = &pairs[i];
+                        out.extend(self.run_pair(vantage, entry));
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                buckets.push(h.join().expect("campaign worker panicked"));
+            }
+        })
+        .expect("campaign scope");
+        Self::finish(buckets.into_iter().flatten().collect(), self.config.seed)
+    }
+
+    fn pairs(&self) -> Vec<(Vantage, catalog::ResolverEntry)> {
+        let vantages = self.config.vantages();
+        let mut out = Vec::with_capacity(vantages.len() * self.entries.len());
+        for v in &vantages {
+            for e in &self.entries {
+                out.push((v.clone(), e.clone()));
+            }
+        }
+        out
+    }
+
+    /// Runs the full probe series for one (vantage, resolver) pair.
+    fn run_pair(&self, vantage: &Vantage, entry: &catalog::ResolverEntry) -> Vec<ProbeRecord> {
+        let prober = Prober::new();
+        let mut target = ProbeTarget::from_entry(entry.clone());
+        let mut rng = SimRng::derived(
+            self.config.seed,
+            &format!("probe:{}:{}", vantage.label, entry.hostname),
+        );
+        let client = vantage.host(0);
+        let is_home = vantage.is_home();
+        let domains: Vec<Name> = self
+            .config
+            .domains
+            .iter()
+            .map(|d| Name::parse(d).expect("valid domain"))
+            .collect();
+
+        let mut records = Vec::new();
+        for span in &self.config.spans {
+            if !span.vantages.contains(&vantage.label) {
+                continue;
+            }
+            for at in span.round_times() {
+                for (domain_text, domain) in self.config.domains.iter().zip(&domains) {
+                    let (outcome, ping) = prober.probe(
+                        &client,
+                        &mut target,
+                        domain,
+                        at,
+                        is_home,
+                        self.config.probe,
+                        &mut rng,
+                    );
+                    records.push(ProbeRecord {
+                        at,
+                        vantage: vantage.label.to_string(),
+                        resolver: entry.hostname.to_string(),
+                        resolver_region: entry.region(),
+                        mainstream: entry.mainstream,
+                        domain: domain_text.clone(),
+                        protocol: self.config.probe.protocol,
+                        outcome,
+                        ping,
+                    });
+                }
+            }
+        }
+        records
+    }
+
+    fn finish(mut records: Vec<ProbeRecord>, seed: u64) -> CampaignResult {
+        records.sort_by(|a, b| {
+            (a.at, &a.vantage, &a.resolver, &a.domain).cmp(&(
+                b.at,
+                &b.vantage,
+                &b.resolver,
+                &b.domain,
+            ))
+        });
+        CampaignResult { records, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CampaignConfig;
+
+    fn small_campaign(seed: u64) -> Campaign {
+        let entries = ["dns.google", "dns.quad9.net", "doh.ffmuc.net", "dns.bebasid.com"]
+            .into_iter()
+            .map(|h| catalog::resolvers::find(h).unwrap())
+            .collect();
+        Campaign::with_resolvers(CampaignConfig::quick(seed, 3), entries)
+    }
+
+    #[test]
+    fn run_produces_expected_record_count() {
+        let c = small_campaign(1);
+        let result = c.run();
+        // 7 vantages × 4 resolvers × 3 rounds × 3 domains.
+        assert_eq!(result.records.len(), 7 * 4 * 3 * 3);
+        assert_eq!(result.records.len(), c.probe_count());
+        assert!(result.successes() > result.errors());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let serial = small_campaign(7).run();
+        let parallel = small_campaign(7).run_parallel(4);
+        assert_eq!(serial.records, parallel.records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_campaign(1).run();
+        let b = small_campaign(2).run();
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn records_are_canonically_ordered() {
+        let result = small_campaign(3).run();
+        for w in result.records.windows(2) {
+            let ka = (w[0].at, &w[0].vantage, &w[0].resolver, &w[0].domain);
+            let kb = (w[1].at, &w[1].vantage, &w[1].resolver, &w[1].domain);
+            assert!(ka <= kb);
+        }
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let result = small_campaign(4).run();
+        let doc = result.to_json_lines();
+        assert_eq!(doc.lines().count(), result.records.len());
+        let back = CampaignResult::from_json_lines(4, &doc).unwrap();
+        assert_eq!(back.records, result.records);
+    }
+
+    #[test]
+    fn home_vantages_only_probe_home_spans() {
+        let mut config = CampaignConfig::quick(5, 2);
+        config.spans.retain(|s| s.vantages.contains(&"ec2-ohio"));
+        let c = Campaign::with_resolvers(
+            config,
+            vec![catalog::resolvers::find("dns.google").unwrap()],
+        );
+        let result = c.run();
+        assert!(result.records.iter().all(|r| r.vantage.starts_with("ec2-")));
+    }
+}

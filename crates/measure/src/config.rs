@@ -1,0 +1,226 @@
+//! Campaign configuration: measurement spans, cadence, domains and scale.
+//!
+//! The paper's schedule (§3.2):
+//!
+//! * home devices — continuous measurements, "every few hours", June 22 to
+//!   September 30, 2023;
+//! * EC2 instances — September 19 to October 16, 2023, three times a day,
+//!   then 1–3 day follow-up spans in February, March and April 2024.
+
+use netsim::{SimDuration, SimTime};
+
+use crate::probe::ProbeConfig;
+use crate::vantage::{self, Vantage};
+
+/// A contiguous measurement span for a set of vantage points.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// First day of the span, counted from the campaign epoch
+    /// (2023-06-22 00:00 simulated).
+    pub start_day: u32,
+    /// Number of days.
+    pub days: u32,
+    /// Measurement rounds per day (evenly spaced).
+    pub rounds_per_day: u32,
+    /// Which vantage labels participate.
+    pub vantages: Vec<&'static str>,
+}
+
+impl Span {
+    /// The probe times this span schedules.
+    pub fn round_times(&self) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let step = SimDuration::from_secs(86_400 / u64::from(self.rounds_per_day.max(1)));
+        for day in 0..self.days {
+            let day_start =
+                SimTime::ZERO + SimDuration::from_secs(u64::from(self.start_day + day) * 86_400);
+            for r in 0..self.rounds_per_day {
+                out.push(day_start + SimDuration::from_nanos(step.as_nanos() * u64::from(r)));
+            }
+        }
+        out
+    }
+
+    /// Number of rounds in the span.
+    pub fn round_count(&self) -> usize {
+        (self.days * self.rounds_per_day) as usize
+    }
+}
+
+/// Full campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; identical seeds give identical campaigns.
+    pub seed: u64,
+    /// Queried domains (the paper used google.com, amazon.com,
+    /// wikipedia.com).
+    pub domains: Vec<String>,
+    /// Per-probe settings (protocol etc.).
+    pub probe: ProbeConfig,
+    /// Measurement spans.
+    pub spans: Vec<Span>,
+}
+
+const HOME_LABELS: [&str; 4] = ["home-1", "home-2", "home-3", "home-4"];
+const EC2_LABELS: [&str; 3] = ["ec2-ohio", "ec2-frankfurt", "ec2-seoul"];
+
+impl CampaignConfig {
+    /// The paper's full schedule at simulated fidelity: ~100 days of home
+    /// measurements every four hours plus the EC2 spans and follow-ups.
+    pub fn paper(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            domains: standard_domains(),
+            probe: ProbeConfig::default(),
+            spans: vec![
+                // Home: Jun 22 – Sep 30, 2023 ("every few hours" → 6/day).
+                Span {
+                    start_day: 0,
+                    days: 100,
+                    rounds_per_day: 6,
+                    vantages: HOME_LABELS.to_vec(),
+                },
+                // EC2: Sep 19 – Oct 16, 2023, three times a day.
+                Span {
+                    start_day: 89,
+                    days: 28,
+                    rounds_per_day: 3,
+                    vantages: EC2_LABELS.to_vec(),
+                },
+                // Follow-ups: Feb 8–10, Mar 12–13, Apr 12–14, 2024.
+                Span {
+                    start_day: 231,
+                    days: 3,
+                    rounds_per_day: 3,
+                    vantages: EC2_LABELS.to_vec(),
+                },
+                Span {
+                    start_day: 264,
+                    days: 2,
+                    rounds_per_day: 3,
+                    vantages: EC2_LABELS.to_vec(),
+                },
+                Span {
+                    start_day: 295,
+                    days: 3,
+                    rounds_per_day: 3,
+                    vantages: EC2_LABELS.to_vec(),
+                },
+            ],
+        }
+    }
+
+    /// A scaled-down campaign with the same structure, for tests, examples
+    /// and benches: `rounds` rounds from every vantage point.
+    pub fn quick(seed: u64, rounds: u32) -> Self {
+        CampaignConfig {
+            seed,
+            domains: standard_domains(),
+            probe: ProbeConfig::default(),
+            spans: vec![
+                Span {
+                    start_day: 0,
+                    days: 1,
+                    rounds_per_day: rounds,
+                    vantages: HOME_LABELS.to_vec(),
+                },
+                Span {
+                    start_day: 0,
+                    days: 1,
+                    rounds_per_day: rounds,
+                    vantages: EC2_LABELS.to_vec(),
+                },
+            ],
+        }
+    }
+
+    /// The vantage points this campaign uses, deduplicated.
+    pub fn vantages(&self) -> Vec<Vantage> {
+        let mut labels: Vec<&str> = self
+            .spans
+            .iter()
+            .flat_map(|s| s.vantages.iter().copied())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+            .into_iter()
+            .filter_map(vantage::find)
+            .collect()
+    }
+
+    /// Total probes this configuration will issue, given `resolvers`
+    /// resolvers.
+    pub fn probe_count(&self, resolvers: usize) -> usize {
+        let rounds: usize = self
+            .spans
+            .iter()
+            .map(|s| s.round_count() * s.vantages.len())
+            .sum();
+        rounds * resolvers * self.domains.len()
+    }
+}
+
+/// The paper's three measured domains.
+pub fn standard_domains() -> Vec<String> {
+    vec![
+        "google.com".to_string(),
+        "amazon.com".to_string(),
+        "wikipedia.com".to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_schedules_evenly() {
+        let s = Span {
+            start_day: 2,
+            days: 2,
+            rounds_per_day: 3,
+            vantages: vec!["ec2-ohio"],
+        };
+        let times = s.round_times();
+        assert_eq!(times.len(), 6);
+        assert_eq!(times[0].as_secs(), 2 * 86_400);
+        assert_eq!(times[1].as_secs() - times[0].as_secs(), 86_400 / 3);
+        assert_eq!(times[3].as_secs(), 3 * 86_400);
+    }
+
+    #[test]
+    fn paper_config_matches_schedule() {
+        let c = CampaignConfig::paper(1);
+        assert_eq!(c.domains.len(), 3);
+        assert_eq!(c.vantages().len(), 7);
+        // Home span: 100 days × 6 rounds × 4 devices.
+        assert_eq!(c.spans[0].round_count(), 600);
+        // Probe count: substantial but tractable.
+        let probes = c.probe_count(76);
+        assert!((500_000..900_000).contains(&probes), "{probes}");
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let c = CampaignConfig::quick(1, 4);
+        let probes = c.probe_count(76);
+        assert!(probes < 8_000, "{probes}");
+        assert_eq!(c.vantages().len(), 7);
+    }
+
+    #[test]
+    fn vantages_deduplicated() {
+        let mut c = CampaignConfig::quick(1, 1);
+        c.spans.push(c.spans[0].clone());
+        assert_eq!(c.vantages().len(), 7);
+    }
+
+    #[test]
+    fn standard_domains_are_the_papers() {
+        assert_eq!(
+            standard_domains(),
+            vec!["google.com", "amazon.com", "wikipedia.com"]
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The `application/dns-json` DoH flavour (the Google / Cloudflare JSON
+//! API): an alternative response encoding some clients use instead of the
+//! RFC 8484 binary format. Converts between [`dns_wire::Message`] and the
+//! de-facto JSON schema (`Status`, `TC`, `RD`, `RA`, `Question`, `Answer`).
+
+use dns_wire::{Message, Name, RData, RecordType};
+
+use crate::json::Json;
+
+/// Serialises a DNS response message into the dns-json schema.
+pub fn to_json(msg: &Message) -> Json {
+    let questions = msg
+        .questions
+        .iter()
+        .map(|q| {
+            Json::object([
+                ("name", Json::Str(q.name.to_string())),
+                ("type", Json::Int(q.rtype.to_u16() as i64)),
+            ])
+        })
+        .collect();
+    let answers = msg
+        .answers
+        .iter()
+        .map(|rr| {
+            Json::object([
+                ("name", Json::Str(rr.name.to_string())),
+                ("type", Json::Int(rr.rtype().to_u16() as i64)),
+                ("TTL", Json::Int(rr.ttl() as i64)),
+                ("data", Json::Str(rr.rdata.to_string())),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("Status", Json::Int(msg.rcode().to_u16() as i64)),
+        ("TC", Json::Bool(msg.header.flags.truncated)),
+        ("RD", Json::Bool(msg.header.flags.recursion_desired)),
+        ("RA", Json::Bool(msg.header.flags.recursion_available)),
+        ("AD", Json::Bool(msg.header.flags.authentic_data)),
+        ("CD", Json::Bool(msg.header.flags.checking_disabled)),
+        ("Question", Json::Array(questions)),
+        ("Answer", Json::Array(answers)),
+    ])
+}
+
+/// A parsed dns-json answer record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonAnswer {
+    /// Owner name.
+    pub name: String,
+    /// Record type code.
+    pub rtype: RecordType,
+    /// TTL seconds.
+    pub ttl: u32,
+    /// Presentation-format record data.
+    pub data: String,
+}
+
+/// A parsed dns-json response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonResponse {
+    /// Numeric rcode (`Status`).
+    pub status: u16,
+    /// Recursion available.
+    pub ra: bool,
+    /// Answers.
+    pub answers: Vec<JsonAnswer>,
+}
+
+impl JsonResponse {
+    /// True when `Status` is NOERROR.
+    pub fn is_success(&self) -> bool {
+        self.status == 0
+    }
+}
+
+/// Parses a dns-json document.
+pub fn from_json(v: &Json) -> Option<JsonResponse> {
+    let status = v.get("Status")?.as_i64()? as u16;
+    let ra = v.get("RA").and_then(Json::as_bool).unwrap_or(false);
+    let answers = match v.get("Answer") {
+        Some(arr) => arr
+            .as_array()?
+            .iter()
+            .map(|a| {
+                Some(JsonAnswer {
+                    name: a.get("name")?.as_str()?.to_string(),
+                    rtype: RecordType::from_u16(a.get("type")?.as_i64()? as u16),
+                    ttl: a.get("TTL")?.as_i64()? as u32,
+                    data: a.get("data")?.as_str()?.to_string(),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        None => Vec::new(),
+    };
+    Some(JsonResponse {
+        status,
+        ra,
+        answers,
+    })
+}
+
+/// Builds the GET path for a JSON-API query
+/// (`/resolve?name=example.com&type=A` style).
+pub fn query_path(base_path: &str, name: &Name, rtype: RecordType) -> String {
+    let mut text = name.to_string();
+    // Strip the trailing dot for URL cosmetics, as the public APIs do.
+    if text.len() > 1 {
+        text.pop();
+    }
+    format!("{base_path}?name={text}&type={rtype}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{MessageBuilder, Rcode};
+    use std::net::Ipv4Addr;
+
+    fn response() -> Message {
+        let q = MessageBuilder::query(0, Name::parse("example.com").unwrap(), RecordType::A)
+            .recursion_desired(true)
+            .build();
+        MessageBuilder::response_to(&q, Rcode::NoError)
+            .recursion_available(true)
+            .answer(
+                Name::parse("example.com").unwrap(),
+                300,
+                RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+            )
+            .answer(
+                Name::parse("example.com").unwrap(),
+                300,
+                RData::A(Ipv4Addr::new(93, 184, 216, 35)),
+            )
+            .build()
+    }
+
+    #[test]
+    fn response_serialises_to_the_google_schema() {
+        let j = to_json(&response());
+        let text = j.to_string_compact();
+        assert!(text.contains("\"Status\":0"));
+        assert!(text.contains("\"RA\":true"));
+        assert!(text.contains("\"data\":\"93.184.216.34\""));
+        assert!(text.contains("\"type\":1"));
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let j = to_json(&response());
+        let text = j.to_string_compact();
+        let parsed = from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert!(parsed.is_success());
+        assert!(parsed.ra);
+        assert_eq!(parsed.answers.len(), 2);
+        assert_eq!(parsed.answers[0].rtype, RecordType::A);
+        assert_eq!(parsed.answers[0].ttl, 300);
+        assert_eq!(parsed.answers[0].data, "93.184.216.34");
+    }
+
+    #[test]
+    fn nxdomain_status_carried() {
+        let q = MessageBuilder::query(0, Name::parse("nope.example").unwrap(), RecordType::A)
+            .build();
+        let msg = MessageBuilder::response_to(&q, Rcode::NxDomain).build();
+        let parsed = from_json(&to_json(&msg)).unwrap();
+        assert_eq!(parsed.status, 3);
+        assert!(!parsed.is_success());
+        assert!(parsed.answers.is_empty());
+    }
+
+    #[test]
+    fn query_path_shape() {
+        assert_eq!(
+            query_path("/resolve", &Name::parse("example.com").unwrap(), RecordType::AAAA),
+            "/resolve?name=example.com&type=AAAA"
+        );
+    }
+
+    #[test]
+    fn malformed_json_yields_none() {
+        assert!(from_json(&Json::object([("nope", Json::Null)])).is_none());
+        let missing_fields = crate::json::parse(r#"{"Status": 0, "Answer": [{}]}"#).unwrap();
+        assert!(from_json(&missing_fields).is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! # measure
+//!
+//! The paper's measurement tool, reimplemented against the simulated
+//! Internet: a probe engine issuing `dig`-style DoH/DoT/Do53/DoQ queries
+//! with paired ICMP pings, a campaign scheduler reproducing the study's
+//! vantage points and cadence, an error taxonomy matching the paper's
+//! availability analysis, and JSON-Lines result output.
+//!
+//! ```
+//! use measure::{Campaign, CampaignConfig};
+//!
+//! // Probe a small population twice from each of the 7 vantage points.
+//! let entries = vec![
+//!     catalog::resolvers::find("dns.google").unwrap(),
+//!     catalog::resolvers::find("doh.ffmuc.net").unwrap(),
+//! ];
+//! let campaign = Campaign::with_resolvers(CampaignConfig::quick(42, 2), entries);
+//! let result = campaign.run();
+//! assert_eq!(result.records.len(), 7 * 2 * 2 * 3); // vantages × resolvers × rounds × domains
+//! assert!(result.successes() > 0);
+//! let jsonl = result.to_json_lines();
+//! assert!(jsonl.contains("dns.google"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod config;
+pub mod dns_json;
+pub mod errors;
+pub mod json;
+pub mod probe;
+pub mod results;
+pub mod summary;
+pub mod vantage;
+
+pub use campaign::{Campaign, CampaignResult};
+pub use config::{standard_domains, CampaignConfig, Span};
+pub use errors::ProbeErrorKind;
+pub use probe::{ProbeConfig, ProbeTarget, Prober};
+pub use results::{ProbeOutcome, ProbeRecord, ProbeTimings, Protocol};
+pub use summary::{CellStats, StreamingSummary};
+pub use vantage::{Vantage, VantageKind};

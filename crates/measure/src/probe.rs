@@ -1,0 +1,1136 @@
+//! The probe engine: one `dig`-style measurement of one resolver from one
+//! vantage point — exactly the paper's §3.2 procedure:
+//!
+//! 1. perform a DNS query over the encrypted transport, measuring the
+//!    end-to-end response time (fresh connection, as `dig` does);
+//! 2. issue an ICMP echo probe and record the round-trip latency.
+//!
+//! Besides DoH (the paper's focus) the engine speaks Do53, DoT and DoQ —
+//! "our tool enables researchers to issue traditional DNS, DoT, and DoH
+//! queries".
+
+use bytes::Bytes;
+use catalog::ResolverEntry;
+use dns_wire::{base64url, Message, MessageBuilder, Name, Rcode, RecordType};
+use netsim::{icmp, Host, Path, SimDuration, SimRng, SimTime};
+use resolver_sim::{AuthorityTree, ProbeHealth, ResolverInstance};
+use transport::{
+    doh_headers, H2Connection, H2Request, HeaderField, QuicConfig, QuicConnection, RetryPolicy,
+    TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior, TlsSession, TransportErrorKind,
+};
+
+use crate::errors::ProbeErrorKind;
+use crate::results::{ProbeOutcome, ProbeTimings, Protocol};
+
+/// A resolver as seen by the prober: catalog metadata plus live simulated
+/// state.
+#[derive(Debug)]
+pub struct ProbeTarget {
+    /// Catalog metadata.
+    pub entry: ResolverEntry,
+    /// Simulated deployment (owns per-site caches and engines).
+    pub instance: ResolverInstance,
+}
+
+impl ProbeTarget {
+    /// Instantiates a target from a catalog entry.
+    pub fn from_entry(entry: ResolverEntry) -> Self {
+        let instance = entry.instantiate();
+        ProbeTarget { entry, instance }
+    }
+}
+
+/// Probe-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeConfig {
+    /// Protocol to measure.
+    pub protocol: Protocol,
+    /// ICMP echo timeout.
+    pub ping_timeout: SimDuration,
+    /// Use DoH GET (RFC 8484 §4.1) rather than POST.
+    pub doh_get: bool,
+    /// Pad queries to 128 octets (RFC 8467) on encrypted transports.
+    pub padding: bool,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            protocol: Protocol::DoH,
+            ping_timeout: SimDuration::from_secs(1),
+            doh_get: true,
+            padding: true,
+        }
+    }
+}
+
+/// The probe engine. Holds the authoritative hierarchy all resolvers
+/// recurse against.
+#[derive(Debug)]
+pub struct Prober {
+    authorities: AuthorityTree,
+}
+
+impl Default for Prober {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prober {
+    /// Creates a prober with the standard authority tree.
+    pub fn new() -> Self {
+        Prober {
+            authorities: AuthorityTree::standard(),
+        }
+    }
+
+    /// Creates a prober resolving against a custom authority tree (e.g.
+    /// zones loaded from files via [`resolver_sim::zonefile`]).
+    pub fn with_authorities(authorities: AuthorityTree) -> Self {
+        Prober { authorities }
+    }
+
+    /// Runs one measurement: the DNS probe plus the paired ICMP ping.
+    ///
+    /// `is_home` marks residential vantage points, which some resolvers
+    /// serve over worse peering (the catalog's `home_extra_ms`).
+    pub fn probe(
+        &self,
+        client: &Host,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        is_home: bool,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+    ) -> (ProbeOutcome, Option<SimDuration>) {
+        let (site, mut path) = target.instance.route(client);
+        if is_home {
+            path.extra_latency_ms += target.entry.home_extra_ms;
+        }
+
+        // Paired ICMP probe (§3.1 "Latency").
+        let ping = icmp::ping(&path, target.instance.icmp, cfg.ping_timeout, rng).rtt();
+
+        let health = target.instance.sample_health_at(now, rng);
+        let outcome = self.dns_probe(client, target, domain, now, site, &path, health, cfg, rng);
+        (outcome, ping)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dns_probe(
+        &self,
+        _client: &Host,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        health: ProbeHealth,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+    ) -> ProbeOutcome {
+        // Outage states shape the path / transport behaviour.
+        let mut path = path.clone();
+        if health == ProbeHealth::Blackholed {
+            path.extra_loss = 1.0;
+        }
+        let refused = health == ProbeHealth::Refusing;
+        let tls_behavior = match health {
+            ProbeHealth::TlsBroken => TlsServerBehavior::Stall,
+            ProbeHealth::BadCertificate => TlsServerBehavior::BadCertificate,
+            _ => TlsServerBehavior::Normal,
+        };
+
+        match cfg.protocol {
+            Protocol::DoH => {
+                self.doh_probe(target, domain, now, site, &path, refused, tls_behavior, health, cfg, rng)
+            }
+            Protocol::DoT => {
+                self.dot_probe(target, domain, now, site, &path, refused, tls_behavior, health, cfg, rng)
+            }
+            Protocol::Do53 => self.do53_probe(target, domain, now, site, &path, health, cfg, rng),
+            Protocol::DoQ => self.doq_probe(target, domain, now, site, &path, refused, health, cfg, rng),
+            Protocol::ODoH => {
+                self.odoh_probe(_client, target, domain, now, site, health, cfg, rng)
+            }
+        }
+    }
+
+    /// Builds the query message (id 0 per RFC 8484 cache friendliness).
+    fn build_query(&self, domain: &Name, cfg: ProbeConfig, encrypted: bool) -> Message {
+        let mut b = MessageBuilder::query(if encrypted { 0 } else { 0x2b2b }, domain.clone(), RecordType::A)
+            .recursion_desired(true)
+            .edns_udp_size(1232);
+        if cfg.padding && encrypted {
+            b = b.padding_to(128);
+        }
+        b.build()
+    }
+
+    /// Runs the server side and builds the DNS response message bytes.
+    fn serve(
+        &self,
+        target: &mut ProbeTarget,
+        query: &Message,
+        domain: &Name,
+        now: SimTime,
+        site: usize,
+        rng: &mut SimRng,
+    ) -> (SimDuration, bool, Rcode, Vec<u8>) {
+        let (server_time, resolution) = target.instance.server_mut(site).handle_query(
+            domain,
+            RecordType::A,
+            &self.authorities,
+            now,
+            rng,
+        );
+        let mut response = MessageBuilder::response_to(query, resolution.rcode)
+            .recursion_available(true)
+            .build();
+        for rdata in &resolution.records {
+            response.answers.push(dns_wire::ResourceRecord::new(
+                domain.clone(),
+                300,
+                rdata.clone(),
+            ));
+        }
+        let wire = response.encode().expect("response encodes");
+        (server_time, resolution.cache_hit, resolution.rcode, wire)
+    }
+
+    fn check_rcode(rcode: Rcode, timings: ProbeTimings, cache_hit: bool, site: usize) -> ProbeOutcome {
+        if rcode.is_success() {
+            ProbeOutcome::Success {
+                timings,
+                cache_hit,
+                site,
+            }
+        } else {
+            ProbeOutcome::Failure {
+                kind: ProbeErrorKind::DnsError,
+                elapsed: timings.total(),
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn doh_probe(
+        &self,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        refused: bool,
+        tls_behavior: TlsServerBehavior,
+        health: ProbeHealth,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+    ) -> ProbeOutcome {
+        // TCP.
+        let (mut tcp, connect) =
+            match TcpConnection::connect(path, refused, rng, TcpConfig::default()) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: e.elapsed,
+                    }
+                }
+            };
+        // TLS.
+        let tls = match TlsSession::handshake(
+            &mut tcp,
+            path,
+            TlsConfig::default(),
+            tls_behavior,
+            None,
+            rng,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + e.elapsed,
+                }
+            }
+        };
+
+        // Build the HTTP/2 request with real wire bytes.
+        let query = self.build_query(domain, cfg, true);
+        let query_wire = query.encode().expect("query encodes");
+        let (http_path, body) = if cfg.doh_get {
+            (
+                format!("{}?dns={}", target.entry.doh_path, base64url::encode(&query_wire)),
+                Bytes::new(),
+            )
+        } else {
+            (target.entry.doh_path.to_string(), Bytes::from(query_wire.clone()))
+        };
+        let req = H2Request {
+            headers: doh_headers(target.entry.hostname, &http_path, !cfg.doh_get, body.len()),
+            body,
+        };
+
+        // Server side. The authoritative rcode travels inside the encoded
+        // response; the client re-derives it by decoding the HTTP body.
+        let (server_time, cache_hit, _rcode, dns_response) =
+            self.serve(target, &query, domain, now, site, rng);
+        let http_status = if health == ProbeHealth::HttpError { 500 } else { 200 };
+        let content_type = HeaderField::new("content-type", "application/dns-message");
+
+        // HTTP/1.1-only servers don't offer h2 in their ALPN; the client
+        // falls back to serialised HTTP/1.1 over the same TLS connection.
+        let (status, body, query_time) = if target.entry.http1_only {
+            let req_wire = transport::h1_encode_request(&req.headers, &req.body);
+            let resp_wire =
+                transport::h1_encode_response(http_status, &[content_type], &dns_response);
+            let out = match tcp.request_response(
+                path,
+                req_wire.len(),
+                resp_wire.len(),
+                server_time,
+                rng,
+            ) {
+                Ok(out) => out,
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: connect + tls.handshake_time + e.elapsed,
+                    }
+                }
+            };
+            match transport::h1_parse_response(&resp_wire) {
+                Ok(resp) => (resp.status, resp.body, out.elapsed),
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: connect + tls.handshake_time + out.elapsed,
+                    }
+                }
+            }
+        } else {
+            let mut h2 = H2Connection::new();
+            let result = h2.round_trip(
+                &mut tcp,
+                path,
+                &req,
+                |sid, enc| {
+                    H2Connection::encode_response(
+                        enc,
+                        sid,
+                        http_status,
+                        std::slice::from_ref(&content_type),
+                        &dns_response,
+                    )
+                },
+                server_time,
+                rng,
+            );
+            match result {
+                Ok((resp, elapsed)) => (resp.status, resp.body, elapsed),
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: connect + tls.handshake_time + e.elapsed,
+                    }
+                }
+            }
+        };
+
+        let timings = ProbeTimings {
+            connect,
+            secure: tls.handshake_time,
+            query: query_time,
+        };
+        if status != 200 {
+            return ProbeOutcome::Failure {
+                kind: ProbeErrorKind::HttpStatus,
+                elapsed: timings.total(),
+            };
+        }
+        // Decode and validate the DNS payload.
+        match Message::decode(&body) {
+            Ok(msg) => Self::check_rcode(msg.rcode(), timings, cache_hit, site),
+            Err(_) => ProbeOutcome::Failure {
+                kind: ProbeErrorKind::DnsError,
+                elapsed: timings.total(),
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dot_probe(
+        &self,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        refused: bool,
+        tls_behavior: TlsServerBehavior,
+        health: ProbeHealth,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+    ) -> ProbeOutcome {
+        let (mut tcp, connect) =
+            match TcpConnection::connect(path, refused, rng, TcpConfig::default()) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: e.elapsed,
+                    }
+                }
+            };
+        let tls = match TlsSession::handshake(
+            &mut tcp,
+            path,
+            TlsConfig::default(),
+            tls_behavior,
+            None,
+            rng,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + e.elapsed,
+                }
+            }
+        };
+        let query = self.build_query(domain, cfg, true);
+        let query_wire = query.encode().expect("query encodes");
+        let (server_time, cache_hit, rcode, dns_response) =
+            self.serve(target, &query, domain, now, site, rng);
+        if health == ProbeHealth::HttpError {
+            // DoT has no HTTP layer; the analogous failure is a ServFail.
+            let out = tcp.request_response(
+                path,
+                2 + query_wire.len(),
+                2 + 12,
+                server_time,
+                rng,
+            );
+            return match out {
+                Ok(o) => ProbeOutcome::Failure {
+                    kind: ProbeErrorKind::DnsError,
+                    elapsed: connect + tls.handshake_time + o.elapsed,
+                },
+                Err(e) => ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + tls.handshake_time + e.elapsed,
+                },
+            };
+        }
+        // RFC 7858: each DNS message is TCP-framed with a length prefix.
+        let framed_query = dns_wire::tcp_frame::frame(&query_wire).expect("query frames");
+        let framed_response = dns_wire::tcp_frame::frame(&dns_response).expect("response frames");
+        match tcp.request_response(
+            path,
+            framed_query.len(),
+            framed_response.len(),
+            server_time,
+            rng,
+        ) {
+            Ok(out) => {
+                let timings = ProbeTimings {
+                    connect,
+                    secure: tls.handshake_time,
+                    query: out.elapsed,
+                };
+                Self::check_rcode(rcode, timings, cache_hit, site)
+            }
+            Err(e) => ProbeOutcome::Failure {
+                kind: e.into(),
+                elapsed: connect + tls.handshake_time + e.elapsed,
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do53_probe(
+        &self,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        health: ProbeHealth,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+    ) -> ProbeOutcome {
+        // Plain DNS has no connection; refused/TLS failures manifest as
+        // silence (dig retries then times out).
+        let dead = matches!(
+            health,
+            ProbeHealth::Refusing | ProbeHealth::TlsBroken | ProbeHealth::BadCertificate
+        );
+        let mut path = path.clone();
+        if dead {
+            path.extra_loss = 1.0;
+        }
+        let query = self.build_query(domain, cfg, false);
+        let query_wire = query.encode().expect("query encodes");
+        let (server_time, cache_hit, rcode, dns_response) =
+            self.serve(target, &query, domain, now, site, rng);
+        // dig defaults: 5 s timeout, 3 tries.
+        let policy = RetryPolicy {
+            initial_rto: SimDuration::from_secs(5),
+            backoff: 1,
+            max_attempts: 3,
+            max_rto: SimDuration::from_secs(5),
+        };
+        match transport::exchange(
+            &path,
+            query_wire.len(),
+            dns_response.len(),
+            server_time,
+            policy,
+            TransportErrorKind::RequestTimeout,
+            rng,
+        ) {
+            Ok(out) => {
+                let timings = ProbeTimings {
+                    connect: SimDuration::ZERO,
+                    secure: SimDuration::ZERO,
+                    query: out.elapsed,
+                };
+                if health == ProbeHealth::HttpError {
+                    return ProbeOutcome::Failure {
+                        kind: ProbeErrorKind::DnsError,
+                        elapsed: timings.total(),
+                    };
+                }
+                Self::check_rcode(rcode, timings, cache_hit, site)
+            }
+            Err(e) => ProbeOutcome::Failure {
+                kind: ProbeErrorKind::QueryTimeout,
+                elapsed: e.elapsed,
+            },
+        }
+    }
+
+    /// Oblivious DoH (RFC 9230): the query is sealed to the target's key
+    /// and carried through a relay. The client pays a cold DoH transaction
+    /// to its nearest relay plus one relay→target round trip (relays hold
+    /// warm connections to targets) plus the target's processing.
+    #[allow(clippy::too_many_arguments)]
+    fn odoh_probe(
+        &self,
+        client: &Host,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        site: usize,
+        health: ProbeHealth,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+    ) -> ProbeOutcome {
+        use dns_wire::odoh;
+        use netsim::AccessProfile;
+
+        let relay = catalog::relays::nearest_relay(&client.location);
+        // Client → relay leg inherits the client's access network.
+        let client_relay = Path::between(
+            client.location,
+            client.access,
+            relay.city.point,
+            AccessProfile::datacenter(),
+        );
+        // Relay → target leg between datacenters; target outages blackhole it.
+        let target_city = target.instance.servers[site].location();
+        let mut relay_target = Path::between(
+            relay.city.point,
+            AccessProfile::datacenter(),
+            target_city.point,
+            AccessProfile::datacenter(),
+        );
+        if health == ProbeHealth::Blackholed {
+            relay_target.extra_loss = 1.0;
+        }
+
+        // Seal the query to the target's key configuration.
+        let key = odoh::TargetKey::from_seed(netsim::rng::derive_seed(
+            0x0D0A_0D0A,
+            target.entry.hostname,
+        ));
+        let query = self.build_query(domain, cfg, true);
+        let query_wire = query.encode().expect("query encodes");
+        let kem_entropy = (rng.uniform() * u64::MAX as f64) as u64;
+        let sealed_query = odoh::seal_query(&key, &query_wire, kem_entropy);
+        let sealed_query_wire = sealed_query.encode().expect("odoh encodes");
+
+        // Connect to the relay (TCP + TLS).
+        let refused_relay = false; // relays are modelled reliable
+        let (mut tcp, connect) =
+            match TcpConnection::connect(&client_relay, refused_relay, rng, TcpConfig::default()) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: e.elapsed,
+                    }
+                }
+            };
+        let tls_behavior = TlsServerBehavior::Normal;
+        let tls = match TlsSession::handshake(
+            &mut tcp,
+            &client_relay,
+            TlsConfig::default(),
+            tls_behavior,
+            None,
+            rng,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + e.elapsed,
+                }
+            }
+        };
+
+        // Target side: resolve and seal the response.
+        let (server_time, cache_hit, rcode, dns_response) =
+            self.serve(target, &query, domain, now, site, rng);
+        let (_plain, kem) = match odoh::open_query(&key, &sealed_query) {
+            Ok(ok) => ok,
+            Err(_) => {
+                return ProbeOutcome::Failure {
+                    kind: ProbeErrorKind::DnsError,
+                    elapsed: connect + tls.handshake_time,
+                }
+            }
+        };
+        let sealed_response = odoh::seal_response(&key, &kem, &dns_response);
+        let sealed_response_wire = sealed_response.encode().expect("odoh encodes");
+
+        // Relay forwards over its warm target connection: one round trip.
+        let relay_forward = match relay_target.sample_rtt(
+            sealed_query_wire.len(),
+            sealed_response_wire.len(),
+            rng,
+        ) {
+            Some(rtt) => rtt + server_time,
+            None => {
+                // Relay retries once, then reports 502 to the client after
+                // a 2-second upstream timeout.
+                match relay_target.sample_rtt(
+                    sealed_query_wire.len(),
+                    sealed_response_wire.len(),
+                    rng,
+                ) {
+                    Some(rtt) => SimDuration::from_secs(2) + rtt + server_time,
+                    None => {
+                        let elapsed = connect + tls.handshake_time + SimDuration::from_secs(4);
+                        return ProbeOutcome::Failure {
+                            kind: ProbeErrorKind::HttpStatus,
+                            elapsed,
+                        };
+                    }
+                }
+            }
+        };
+
+        // Client ↔ relay HTTP exchange, with the relay's forwarding time as
+        // its "server time".
+        let req = H2Request {
+            headers: {
+                let mut h = doh_headers(relay.hostname, "/proxy", true, sealed_query_wire.len());
+                h.push(HeaderField::new(
+                    "content-type",
+                    "application/oblivious-dns-message",
+                ));
+                h
+            },
+            body: Bytes::from(sealed_query_wire),
+        };
+        let http_status = if health == ProbeHealth::HttpError { 500 } else { 200 };
+        let mut h2 = H2Connection::new();
+        let result = h2.round_trip(
+            &mut tcp,
+            &client_relay,
+            &req,
+            |sid, enc| {
+                H2Connection::encode_response(
+                    enc,
+                    sid,
+                    http_status,
+                    &[HeaderField::new(
+                        "content-type",
+                        "application/oblivious-dns-message",
+                    )],
+                    &sealed_response_wire,
+                )
+            },
+            relay_forward,
+            rng,
+        );
+        let (resp, query_time) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + tls.handshake_time + e.elapsed,
+                }
+            }
+        };
+        let timings = ProbeTimings {
+            connect,
+            secure: tls.handshake_time,
+            query: query_time,
+        };
+        if resp.status != 200 {
+            return ProbeOutcome::Failure {
+                kind: ProbeErrorKind::HttpStatus,
+                elapsed: timings.total(),
+            };
+        }
+        // Client decapsulates and validates the DNS payload.
+        let opened = dns_wire::odoh::ObliviousMessage::decode(&resp.body)
+            .and_then(|m| odoh::open_response(&key, &kem, &m))
+            .and_then(|plain| Message::decode(&plain));
+        match opened {
+            Ok(msg) if msg.rcode() == rcode => {
+                Self::check_rcode(msg.rcode(), timings, cache_hit, site)
+            }
+            Ok(msg) => Self::check_rcode(msg.rcode(), timings, cache_hit, site),
+            Err(_) => ProbeOutcome::Failure {
+                kind: ProbeErrorKind::DnsError,
+                elapsed: timings.total(),
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn doq_probe(
+        &self,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        refused: bool,
+        health: ProbeHealth,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+    ) -> ProbeOutcome {
+        if refused {
+            // QUIC: a closed port answers with ICMP unreachable ≈ one RTT.
+            let rtt = path
+                .sample_rtt(1200, 60, rng)
+                .unwrap_or(SimDuration::from_millis(300));
+            return ProbeOutcome::Failure {
+                kind: ProbeErrorKind::ConnectionRefused,
+                elapsed: rtt,
+            };
+        }
+        let (mut quic, connect) = match QuicConnection::connect(path, QuicConfig::default(), rng) {
+            Ok(ok) => ok,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: e.elapsed,
+                }
+            }
+        };
+        let query = self.build_query(domain, cfg, true);
+        let query_wire = query.encode().expect("query encodes");
+        let (server_time, cache_hit, rcode, dns_response) =
+            self.serve(target, &query, domain, now, site, rng);
+        match quic.stream_exchange(
+            path,
+            2 + query_wire.len(),
+            2 + dns_response.len(),
+            server_time,
+            rng,
+        ) {
+            Ok(out) => {
+                let timings = ProbeTimings {
+                    connect,
+                    secure: SimDuration::ZERO,
+                    query: out.elapsed,
+                };
+                if health == ProbeHealth::HttpError {
+                    return ProbeOutcome::Failure {
+                        kind: ProbeErrorKind::DnsError,
+                        elapsed: timings.total(),
+                    };
+                }
+                Self::check_rcode(rcode, timings, cache_hit, site)
+            }
+            Err(e) => ProbeOutcome::Failure {
+                kind: e.into(),
+                elapsed: connect + e.elapsed,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::resolvers;
+    use netsim::geo::cities;
+    use netsim::{AccessProfile, HostId};
+
+    fn client() -> Host {
+        Host::in_city(
+            HostId(0),
+            "ec2-ohio",
+            cities::COLUMBUS_OH,
+            AccessProfile::cloud_vm(),
+        )
+    }
+
+    fn target(hostname: &str) -> ProbeTarget {
+        ProbeTarget::from_entry(resolvers::find(hostname).unwrap())
+    }
+
+    fn domain() -> Name {
+        Name::parse("google.com").unwrap()
+    }
+
+    #[test]
+    fn doh_probe_of_mainstream_succeeds_fast() {
+        let prober = Prober::new();
+        let mut t = target("dns.google");
+        let mut rng = SimRng::from_seed(1);
+        let mut times = Vec::new();
+        for i in 0..50 {
+            let (outcome, ping) = prober.probe(
+                &client(),
+                &mut t,
+                &domain(),
+                SimTime::from_nanos(i * 3_600_000_000_000),
+                false,
+                ProbeConfig::default(),
+                &mut rng,
+            );
+            if let Some(rt) = outcome.response_time() {
+                times.push(rt.as_millis_f64());
+            }
+            if let Some(p) = ping {
+                assert!(p.as_millis_f64() < 60.0, "ping {p}");
+            }
+        }
+        assert!(times.len() >= 48, "mainstream should almost always succeed");
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        // Cold DoH ≈ 3 round trips Ohio→Chicago/Ashburn ≈ 20-50 ms.
+        assert!((10.0..60.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn remote_unicast_resolver_is_much_slower() {
+        let prober = Prober::new();
+        let mut near = target("dns.google");
+        let mut far = target("dns.bebasid.com"); // Bandung, Indonesia
+        let mut rng = SimRng::from_seed(2);
+        let mut near_median = Vec::new();
+        let mut far_median = Vec::new();
+        for i in 0..40 {
+            let now = SimTime::from_nanos(i * 3_600_000_000_000);
+            let (o, _) = prober.probe(&client(), &mut near, &domain(), now, false, ProbeConfig::default(), &mut rng);
+            if let Some(rt) = o.response_time() {
+                near_median.push(rt.as_millis_f64());
+            }
+            let (o, _) = prober.probe(&client(), &mut far, &domain(), now, false, ProbeConfig::default(), &mut rng);
+            if let Some(rt) = o.response_time() {
+                far_median.push(rt.as_millis_f64());
+            }
+        }
+        near_median.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        far_median.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (n, f) = (near_median[near_median.len() / 2], far_median[far_median.len() / 2]);
+        assert!(f > n * 5.0, "near {n} ms vs far {f} ms");
+    }
+
+    #[test]
+    fn icmp_filtered_resolver_has_no_ping() {
+        let prober = Prober::new();
+        let mut t = target("dns.njal.la");
+        let mut rng = SimRng::from_seed(3);
+        let (_, ping) = prober.probe(
+            &client(),
+            &mut t,
+            &domain(),
+            SimTime::ZERO,
+            false,
+            ProbeConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(ping, None);
+    }
+
+    #[test]
+    fn mostly_down_resolver_yields_connection_errors() {
+        let prober = Prober::new();
+        let mut t = target("chewbacca.meganerd.nl");
+        let mut rng = SimRng::from_seed(4);
+        let mut failures = 0;
+        let mut conn_failures = 0;
+        for i in 0..60 {
+            let (outcome, _) = prober.probe(
+                &client(),
+                &mut t,
+                &domain(),
+                SimTime::from_nanos(i * 3_600_000_000_000),
+                false,
+                ProbeConfig::default(),
+                &mut rng,
+            );
+            if let ProbeOutcome::Failure { kind, elapsed } = outcome {
+                failures += 1;
+                if kind.is_connection_failure() {
+                    conn_failures += 1;
+                }
+                assert!(elapsed > SimDuration::ZERO);
+            }
+        }
+        assert!(failures > 40, "mostly-down should mostly fail: {failures}");
+        assert!(
+            conn_failures * 10 > failures * 8,
+            "errors should be dominated by connection failures: {conn_failures}/{failures}"
+        );
+    }
+
+    #[test]
+    fn home_extra_latency_applies_only_at_home() {
+        let prober = Prober::new();
+        let mut rng = SimRng::from_seed(5);
+        let cfg = ProbeConfig::default();
+        let mut t = target("dns.twnic.tw");
+        let home_client = Host::in_city(
+            HostId(1),
+            "home-1",
+            cities::CHICAGO,
+            AccessProfile::home_cable(),
+        );
+        let mut home_times = Vec::new();
+        let mut cloud_times = Vec::new();
+        for i in 0..30 {
+            let now = SimTime::from_nanos(i * 3_600_000_000_000);
+            let (o, _) = prober.probe(&home_client, &mut t, &domain(), now, true, cfg, &mut rng);
+            if let Some(rt) = o.response_time() {
+                home_times.push(rt.as_millis_f64());
+            }
+            let (o, _) = prober.probe(&client(), &mut t, &domain(), now, false, cfg, &mut rng);
+            if let Some(rt) = o.response_time() {
+                cloud_times.push(rt.as_millis_f64());
+            }
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let hm = med(&mut home_times);
+        let cm = med(&mut cloud_times);
+        // 70 ms extra one-way over 3 round trips = several hundred ms more.
+        assert!(hm > cm + 200.0, "home {hm} vs cloud {cm}");
+    }
+
+    #[test]
+    fn all_protocols_succeed_against_healthy_target() {
+        let prober = Prober::new();
+        let mut rng = SimRng::from_seed(6);
+        for protocol in [Protocol::Do53, Protocol::DoT, Protocol::DoH, Protocol::DoQ] {
+            let mut t = target("dns.quad9.net");
+            let cfg = ProbeConfig {
+                protocol,
+                ..ProbeConfig::default()
+            };
+            let mut successes = 0;
+            for i in 0..20 {
+                let (o, _) = prober.probe(
+                    &client(),
+                    &mut t,
+                    &domain(),
+                    SimTime::from_nanos(i * 3_600_000_000_000),
+                    false,
+                    cfg,
+                    &mut rng,
+                );
+                if o.is_success() {
+                    successes += 1;
+                }
+            }
+            assert!(successes >= 18, "{protocol}: {successes}/20");
+        }
+    }
+
+    #[test]
+    fn do53_is_fastest_cold_doh_slowest() {
+        // Böttger et al.'s ordering: DNS < DoT ≈ DoH on cold connections.
+        let prober = Prober::new();
+        let mut rng = SimRng::from_seed(7);
+        let mut medians = std::collections::HashMap::new();
+        for protocol in [Protocol::Do53, Protocol::DoT, Protocol::DoH] {
+            let mut t = target("dns.google");
+            let cfg = ProbeConfig {
+                protocol,
+                ..ProbeConfig::default()
+            };
+            let mut times = Vec::new();
+            for i in 0..60 {
+                let (o, _) = prober.probe(
+                    &client(),
+                    &mut t,
+                    &domain(),
+                    SimTime::from_nanos(i * 3_600_000_000_000),
+                    false,
+                    cfg,
+                    &mut rng,
+                );
+                if let Some(rt) = o.response_time() {
+                    times.push(rt.as_millis_f64());
+                }
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            medians.insert(protocol, times[times.len() / 2]);
+        }
+        assert!(
+            medians[&Protocol::Do53] < medians[&Protocol::DoT],
+            "do53 {} vs dot {}",
+            medians[&Protocol::Do53],
+            medians[&Protocol::DoT]
+        );
+        assert!(
+            medians[&Protocol::Do53] * 2.0 < medians[&Protocol::DoH],
+            "cold DoH should cost ≈3x a UDP exchange"
+        );
+    }
+
+    #[test]
+    fn http1_only_resolver_probes_succeed() {
+        let prober = Prober::new();
+        let mut t = target("ibksturm.synology.me"); // http1_only, flaky
+        assert!(t.entry.http1_only);
+        let mut rng = SimRng::from_seed(12);
+        let mut ok = 0;
+        for i in 0..30 {
+            let (o, _) = prober.probe(
+                &client(),
+                &mut t,
+                &domain(),
+                SimTime::from_nanos(i * 3_600_000_000_000),
+                false,
+                ProbeConfig::default(),
+                &mut rng,
+            );
+            if o.is_success() {
+                ok += 1;
+            }
+        }
+        // Flaky health: most but not all succeed, over HTTP/1.1.
+        assert!(ok >= 20, "{ok}/30");
+    }
+
+    #[test]
+    fn odoh_cost_depends_on_target_distance() {
+        // Near target (Frankfurt client, Amsterdam target + Amsterdam
+        // relay): the relay hop is pure overhead. Far target (Ohio client):
+        // the cold handshakes terminate at the nearby relay, whose *warm*
+        // connection crosses the ocean once — so ODoH can beat cold direct
+        // DoH. Both regimes are asserted.
+        let prober = Prober::new();
+        let mut med = std::collections::HashMap::new();
+        for (case, city, access) in [
+            ("near", cities::FRANKFURT, AccessProfile::cloud_vm()),
+            ("far", cities::COLUMBUS_OH, AccessProfile::cloud_vm()),
+        ] {
+            let probe_client = Host::in_city(HostId(0), "c", city, access);
+            for protocol in [Protocol::DoH, Protocol::ODoH] {
+                let mut t = target("odoh-target.alekberg.net");
+                let mut rng = SimRng::from_seed(8);
+                let cfg = ProbeConfig {
+                    protocol,
+                    ..ProbeConfig::default()
+                };
+                let mut times = Vec::new();
+                for i in 0..40 {
+                    let (o, _) = prober.probe(
+                        &probe_client,
+                        &mut t,
+                        &domain(),
+                        SimTime::from_nanos(i * 3_600_000_000_000),
+                        false,
+                        cfg,
+                        &mut rng,
+                    );
+                    if let Some(rt) = o.response_time() {
+                        times.push(rt.as_millis_f64());
+                    }
+                }
+                assert!(times.len() >= 35, "{case}/{protocol}: {} ok", times.len());
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                med.insert((case, protocol), times[times.len() / 2]);
+            }
+        }
+        assert!(
+            med[&("near", Protocol::ODoH)] > med[&("near", Protocol::DoH)] + 1.0,
+            "near: odoh {} vs doh {}",
+            med[&("near", Protocol::ODoH)],
+            med[&("near", Protocol::DoH)]
+        );
+        assert!(
+            med[&("far", Protocol::ODoH)] < med[&("far", Protocol::DoH)],
+            "far: odoh {} vs doh {}",
+            med[&("far", Protocol::ODoH)],
+            med[&("far", Protocol::DoH)]
+        );
+    }
+
+    #[test]
+    fn odoh_blackholed_target_surfaces_as_http_error() {
+        let prober = Prober::new();
+        let mut t = target("chewbacca.meganerd.nl"); // mostly blackholed
+        let mut rng = SimRng::from_seed(9);
+        let cfg = ProbeConfig {
+            protocol: Protocol::ODoH,
+            ..ProbeConfig::default()
+        };
+        let mut http_errors = 0;
+        for i in 0..40 {
+            let (o, _) = prober.probe(
+                &client(),
+                &mut t,
+                &domain(),
+                SimTime::from_nanos(i * 3_600_000_000_000),
+                false,
+                cfg,
+                &mut rng,
+            );
+            if let ProbeOutcome::Failure { kind, .. } = o {
+                if kind == ProbeErrorKind::HttpStatus {
+                    http_errors += 1;
+                }
+            }
+        }
+        // Through a relay, a dead target looks like a 5xx from the relay.
+        assert!(http_errors > 10, "{http_errors}/40 relay 5xx");
+    }
+
+    #[test]
+    fn deterministic_probes() {
+        let prober = Prober::new();
+        let run = |seed: u64| {
+            let mut t = target("dns.google");
+            let mut rng = SimRng::from_seed(seed);
+            let (o, p) = prober.probe(
+                &client(),
+                &mut t,
+                &domain(),
+                SimTime::ZERO,
+                false,
+                ProbeConfig::default(),
+                &mut rng,
+            );
+            (o, p)
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,361 @@
+//! Result records: one JSON-serialisable record per probe, as the tool
+//! writes to its output file.
+
+use netsim::{Region, SimDuration, SimTime};
+
+use crate::errors::ProbeErrorKind;
+use crate::json::Json;
+
+/// The encrypted-DNS protocol a probe used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Conventional DNS over UDP port 53.
+    Do53,
+    /// DNS over TLS (RFC 7858).
+    DoT,
+    /// DNS over HTTPS (RFC 8484) — the paper's focus.
+    DoH,
+    /// DNS over QUIC / HTTP-3 (extension experiments).
+    DoQ,
+    /// Oblivious DoH through a relay (RFC 9230).
+    ODoH,
+}
+
+impl Protocol {
+    /// Stable label for JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Do53 => "do53",
+            Protocol::DoT => "dot",
+            Protocol::DoH => "doh",
+            Protocol::DoQ => "doq",
+            Protocol::ODoH => "odoh",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "do53" => Protocol::Do53,
+            "dot" => Protocol::DoT,
+            "doh" => Protocol::DoH,
+            "doq" => Protocol::DoQ,
+            "odoh" => Protocol::ODoH,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Timing breakdown of a successful probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeTimings {
+    /// Transport connection establishment (TCP handshake; zero for UDP).
+    pub connect: SimDuration,
+    /// Secure-channel establishment (TLS/QUIC handshake).
+    pub secure: SimDuration,
+    /// The DNS query/response exchange itself.
+    pub query: SimDuration,
+}
+
+impl ProbeTimings {
+    /// End-to-end response time — what the paper reports: "the end-to-end
+    /// time it takes for a client to initiate a query and receive a
+    /// response" with a fresh `dig`-style connection.
+    pub fn total(&self) -> SimDuration {
+        self.connect + self.secure + self.query
+    }
+}
+
+/// One probe's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutcome {
+    /// The query succeeded.
+    Success {
+        /// Timing breakdown.
+        timings: ProbeTimings,
+        /// Whether the resolver answered from cache.
+        cache_hit: bool,
+        /// Index of the deployment site that served the probe.
+        site: usize,
+    },
+    /// The probe failed.
+    Failure {
+        /// Error category.
+        kind: ProbeErrorKind,
+        /// Time burned before the failure surfaced.
+        elapsed: SimDuration,
+    },
+}
+
+impl ProbeOutcome {
+    /// True on success.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ProbeOutcome::Success { .. })
+    }
+
+    /// The response time, if successful.
+    pub fn response_time(&self) -> Option<SimDuration> {
+        match self {
+            ProbeOutcome::Success { timings, .. } => Some(timings.total()),
+            ProbeOutcome::Failure { .. } => None,
+        }
+    }
+}
+
+/// One complete record, as written to the results file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Simulated timestamp of the probe.
+    pub at: SimTime,
+    /// Vantage label, e.g. `"ec2-ohio"`.
+    pub vantage: String,
+    /// Resolver hostname.
+    pub resolver: String,
+    /// The resolver's geolocated region.
+    pub resolver_region: Region,
+    /// Whether the resolver is a browser default.
+    pub mainstream: bool,
+    /// Queried domain.
+    pub domain: String,
+    /// Protocol used.
+    pub protocol: Protocol,
+    /// Outcome.
+    pub outcome: ProbeOutcome,
+    /// Paired ICMP RTT, when the resolver answered the ping.
+    pub ping: Option<SimDuration>,
+}
+
+fn region_label(r: Region) -> &'static str {
+    match r {
+        Region::NorthAmerica => "north_america",
+        Region::Europe => "europe",
+        Region::Asia => "asia",
+        Region::Oceania => "oceania",
+        Region::Unknown => "unknown",
+    }
+}
+
+fn region_from_label(s: &str) -> Option<Region> {
+    Some(match s {
+        "north_america" => Region::NorthAmerica,
+        "europe" => Region::Europe,
+        "asia" => Region::Asia,
+        "oceania" => Region::Oceania,
+        "unknown" => Region::Unknown,
+        _ => return None,
+    })
+}
+
+impl ProbeRecord {
+    /// Serialises to the tool's JSON record shape.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("ts_ms", Json::Float(self.at.as_millis_f64())),
+            ("vantage", Json::Str(self.vantage.clone())),
+            ("resolver", Json::Str(self.resolver.clone())),
+            (
+                "resolver_region",
+                Json::Str(region_label(self.resolver_region).to_string()),
+            ),
+            ("mainstream", Json::Bool(self.mainstream)),
+            ("domain", Json::Str(self.domain.clone())),
+            ("protocol", Json::Str(self.protocol.label().to_string())),
+        ];
+        match &self.outcome {
+            ProbeOutcome::Success {
+                timings,
+                cache_hit,
+                site,
+            } => {
+                pairs.push(("success", Json::Bool(true)));
+                pairs.push(("connect_ms", Json::Float(timings.connect.as_millis_f64())));
+                pairs.push(("secure_ms", Json::Float(timings.secure.as_millis_f64())));
+                pairs.push(("query_ms", Json::Float(timings.query.as_millis_f64())));
+                pairs.push((
+                    "response_ms",
+                    Json::Float(timings.total().as_millis_f64()),
+                ));
+                pairs.push(("cache_hit", Json::Bool(*cache_hit)));
+                pairs.push(("site", Json::Int(*site as i64)));
+            }
+            ProbeOutcome::Failure { kind, elapsed } => {
+                pairs.push(("success", Json::Bool(false)));
+                pairs.push(("error", Json::Str(kind.label().to_string())));
+                pairs.push(("elapsed_ms", Json::Float(elapsed.as_millis_f64())));
+            }
+        }
+        if let Some(p) = self.ping {
+            pairs.push(("ping_ms", Json::Float(p.as_millis_f64())));
+        } else {
+            pairs.push(("ping_ms", Json::Null));
+        }
+        Json::object(pairs)
+    }
+
+    /// Parses a record back from its JSON shape.
+    pub fn from_json(v: &Json) -> Option<ProbeRecord> {
+        let at = SimTime::from_nanos((v.get("ts_ms")?.as_f64()? * 1e6).round() as u64);
+        let success = v.get("success")?.as_bool()?;
+        let outcome = if success {
+            ProbeOutcome::Success {
+                timings: ProbeTimings {
+                    connect: SimDuration::from_millis_f64(v.get("connect_ms")?.as_f64()?),
+                    secure: SimDuration::from_millis_f64(v.get("secure_ms")?.as_f64()?),
+                    query: SimDuration::from_millis_f64(v.get("query_ms")?.as_f64()?),
+                },
+                cache_hit: v.get("cache_hit")?.as_bool()?,
+                site: v.get("site")?.as_i64()? as usize,
+            }
+        } else {
+            ProbeOutcome::Failure {
+                kind: ProbeErrorKind::from_label(v.get("error")?.as_str()?)?,
+                elapsed: SimDuration::from_millis_f64(v.get("elapsed_ms")?.as_f64()?),
+            }
+        };
+        let ping = match v.get("ping_ms") {
+            Some(Json::Null) | None => None,
+            Some(p) => Some(SimDuration::from_millis_f64(p.as_f64()?)),
+        };
+        Some(ProbeRecord {
+            at,
+            vantage: v.get("vantage")?.as_str()?.to_string(),
+            resolver: v.get("resolver")?.as_str()?.to_string(),
+            resolver_region: region_from_label(v.get("resolver_region")?.as_str()?)?,
+            mainstream: v.get("mainstream")?.as_bool()?,
+            domain: v.get("domain")?.as_str()?.to_string(),
+            protocol: Protocol::from_label(v.get("protocol")?.as_str()?)?,
+            outcome,
+            ping,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn success_record() -> ProbeRecord {
+        ProbeRecord {
+            at: SimTime::from_nanos(1_500_000_000),
+            vantage: "ec2-ohio".into(),
+            resolver: "dns.google".into(),
+            resolver_region: Region::NorthAmerica,
+            mainstream: true,
+            domain: "google.com".into(),
+            protocol: Protocol::DoH,
+            outcome: ProbeOutcome::Success {
+                timings: ProbeTimings {
+                    connect: SimDuration::from_millis_f64(7.2),
+                    secure: SimDuration::from_millis_f64(8.1),
+                    query: SimDuration::from_millis_f64(7.9),
+                },
+                cache_hit: true,
+                site: 0,
+            },
+            ping: Some(SimDuration::from_millis_f64(7.0)),
+        }
+    }
+
+    fn failure_record() -> ProbeRecord {
+        ProbeRecord {
+            at: SimTime::from_nanos(2_000_000_000),
+            vantage: "home-1".into(),
+            resolver: "chewbacca.meganerd.nl".into(),
+            resolver_region: Region::Europe,
+            mainstream: false,
+            domain: "amazon.com".into(),
+            protocol: Protocol::DoH,
+            outcome: ProbeOutcome::Failure {
+                kind: ProbeErrorKind::ConnectTimeout,
+                elapsed: SimDuration::from_secs(15),
+            },
+            ping: None,
+        }
+    }
+
+    #[test]
+    fn success_round_trips_through_json() {
+        let r = success_record();
+        let j = r.to_json();
+        assert_eq!(ProbeRecord::from_json(&j), Some(r.clone()));
+        // And through text.
+        let text = j.to_string_compact();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(ProbeRecord::from_json(&back), Some(r));
+    }
+
+    #[test]
+    fn failure_round_trips_through_json() {
+        let r = failure_record();
+        let text = r.to_json().to_string_compact();
+        let back = ProbeRecord::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert!(!back.outcome.is_success());
+        assert_eq!(back.outcome.response_time(), None);
+    }
+
+    #[test]
+    fn response_time_is_sum_of_phases() {
+        let r = success_record();
+        match &r.outcome {
+            ProbeOutcome::Success { timings, .. } => {
+                assert!(
+                    (timings.total().as_millis_f64() - 23.2).abs() < 1e-6,
+                    "{}",
+                    timings.total()
+                );
+            }
+            _ => unreachable!(),
+        }
+        assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn json_contains_expected_fields() {
+        let text = success_record().to_json().to_string_compact();
+        for field in [
+            "\"vantage\"",
+            "\"resolver\"",
+            "\"response_ms\"",
+            "\"ping_ms\"",
+            "\"cache_hit\"",
+            "\"mainstream\":true",
+        ] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+
+    #[test]
+    fn null_ping_round_trips() {
+        let r = failure_record();
+        let j = r.to_json();
+        assert_eq!(j.get("ping_ms"), Some(&Json::Null));
+        assert_eq!(ProbeRecord::from_json(&j).unwrap().ping, None);
+    }
+
+    #[test]
+    fn protocol_labels_round_trip() {
+        for p in [
+            Protocol::Do53,
+            Protocol::DoT,
+            Protocol::DoH,
+            Protocol::DoQ,
+            Protocol::ODoH,
+        ] {
+            assert_eq!(Protocol::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Protocol::from_label("dns-over-carrier-pigeon"), None);
+    }
+
+    #[test]
+    fn malformed_json_yields_none() {
+        let j = Json::object([("success", Json::Bool(true))]);
+        assert_eq!(ProbeRecord::from_json(&j), None);
+    }
+}

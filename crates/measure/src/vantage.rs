@@ -1,0 +1,129 @@
+//! The study's vantage points: four Raspberry Pi devices in a Chicago
+//! apartment complex (home broadband) and three Amazon EC2 instances
+//! (Ohio, Frankfurt, Seoul) — §3.2 of the paper.
+
+use netsim::geo::{cities, City};
+use netsim::{AccessProfile, Host, HostId};
+
+/// The class of a vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VantageKind {
+    /// Residential broadband (Raspberry Pi behind home cable).
+    HomeNetwork,
+    /// Cloud VM (EC2 t2.xlarge).
+    CloudInstance,
+}
+
+/// One vantage point of the campaign.
+#[derive(Debug, Clone)]
+pub struct Vantage {
+    /// Stable label used in results, e.g. `"ec2-ohio"` or `"home-2"`.
+    pub label: &'static str,
+    /// Class.
+    pub kind: VantageKind,
+    /// Where it is.
+    pub city: City,
+}
+
+impl Vantage {
+    /// Builds the simulated host for this vantage.
+    pub fn host(&self, id: u32) -> Host {
+        let access = match self.kind {
+            VantageKind::HomeNetwork => AccessProfile::home_cable(),
+            VantageKind::CloudInstance => AccessProfile::cloud_vm(),
+        };
+        Host::in_city(HostId(id), self.label, self.city, access)
+    }
+
+    /// True for home vantage points.
+    pub fn is_home(&self) -> bool {
+        self.kind == VantageKind::HomeNetwork
+    }
+}
+
+/// The four Chicago home devices.
+pub fn home_devices() -> Vec<Vantage> {
+    ["home-1", "home-2", "home-3", "home-4"]
+        .into_iter()
+        .map(|label| Vantage {
+            label,
+            kind: VantageKind::HomeNetwork,
+            city: cities::CHICAGO,
+        })
+        .collect()
+}
+
+/// The three EC2 instances.
+pub fn ec2_instances() -> Vec<Vantage> {
+    vec![
+        Vantage {
+            label: "ec2-ohio",
+            kind: VantageKind::CloudInstance,
+            city: cities::COLUMBUS_OH,
+        },
+        Vantage {
+            label: "ec2-frankfurt",
+            kind: VantageKind::CloudInstance,
+            city: cities::FRANKFURT,
+        },
+        Vantage {
+            label: "ec2-seoul",
+            kind: VantageKind::CloudInstance,
+            city: cities::SEOUL,
+        },
+    ]
+}
+
+/// All seven vantage points.
+pub fn all() -> Vec<Vantage> {
+    let mut v = home_devices();
+    v.extend(ec2_instances());
+    v
+}
+
+/// Looks a vantage up by label.
+pub fn find(label: &str) -> Option<Vantage> {
+    all().into_iter().find(|v| v.label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Region;
+
+    #[test]
+    fn seven_vantage_points() {
+        let v = all();
+        assert_eq!(v.len(), 7);
+        assert_eq!(v.iter().filter(|x| x.is_home()).count(), 4);
+    }
+
+    #[test]
+    fn homes_are_in_chicago() {
+        for v in home_devices() {
+            assert_eq!(v.city.name, "Chicago");
+            assert_eq!(v.kind, VantageKind::HomeNetwork);
+        }
+    }
+
+    #[test]
+    fn ec2_regions_match_paper() {
+        let ec2 = ec2_instances();
+        assert_eq!(ec2[0].city.region, Region::NorthAmerica);
+        assert_eq!(ec2[1].city.region, Region::Europe);
+        assert_eq!(ec2[2].city.region, Region::Asia);
+    }
+
+    #[test]
+    fn host_access_profile_matches_kind() {
+        let home = find("home-1").unwrap().host(0);
+        let cloud = find("ec2-ohio").unwrap().host(1);
+        assert!(home.access.median_ms > cloud.access.median_ms);
+        assert_eq!(home.label, "home-1");
+    }
+
+    #[test]
+    fn find_unknown_is_none() {
+        assert!(find("ec2-mars").is_none());
+    }
+}

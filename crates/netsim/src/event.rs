@@ -1,0 +1,173 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events fire in timestamp order; ties break by insertion order (FIFO), so
+//! runs are reproducible regardless of how the underlying heap reorders
+//! equal keys.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::time::SimTime;
+
+struct Scheduled<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A priority queue of timestamped events, popped in time order.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is before the last popped event — scheduling into
+    /// the past indicates a simulation bug.
+    pub fn schedule(&mut self, time: SimTime, payload: T) {
+        assert!(
+            time >= self.last_popped,
+            "scheduled event at {time} before current time {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, payload }));
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.last_popped = s.time;
+        Some((s.time, s.payload))
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.pop().unwrap().0, t(7));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let (time, v) = q.pop().unwrap();
+        assert_eq!((time, v), (t(10), 1));
+        // Scheduling at exactly the current time is allowed.
+        q.schedule(t(10), 3);
+        q.schedule(t(15), 4);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(rest, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! ICMP echo (ping) simulation.
+//!
+//! The paper pairs every DNS measurement with one ICMP round-trip-time probe
+//! to separate network latency from resolver processing. Some resolvers
+//! filter ICMP entirely — "certain resolvers did not respond to our ICMP
+//! ping probes; for those resolvers, no latency data is shown" — which the
+//! [`IcmpPolicy`] models.
+
+use crate::link::Path;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Whether an endpoint answers ICMP echo requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpPolicy {
+    /// Replies to pings.
+    Respond,
+    /// Silently drops pings (firewall policy).
+    Filtered,
+}
+
+/// The result of one ping probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PingOutcome {
+    /// Echo reply received after the given round-trip time.
+    Reply(SimDuration),
+    /// No reply within the timeout (lost, or the endpoint filters ICMP).
+    Timeout,
+}
+
+impl PingOutcome {
+    /// The RTT, if a reply arrived.
+    pub fn rtt(self) -> Option<SimDuration> {
+        match self {
+            PingOutcome::Reply(d) => Some(d),
+            PingOutcome::Timeout => None,
+        }
+    }
+}
+
+/// ICMP echo payload size used by the probe (standard `ping` default: 56
+/// data bytes + 8 ICMP header + 20 IP header).
+pub const ICMP_PACKET_BYTES: usize = 84;
+
+/// Sends one echo request along `path` and waits up to `timeout`.
+pub fn ping(
+    path: &Path,
+    policy: IcmpPolicy,
+    timeout: SimDuration,
+    rng: &mut SimRng,
+) -> PingOutcome {
+    if policy == IcmpPolicy::Filtered {
+        return PingOutcome::Timeout;
+    }
+    match path.sample_rtt(ICMP_PACKET_BYTES, ICMP_PACKET_BYTES, rng) {
+        Some(rtt) if rtt <= timeout => PingOutcome::Reply(rtt),
+        _ => PingOutcome::Timeout,
+    }
+}
+
+/// Sends up to `attempts` pings and returns the first reply, with the total
+/// time spent (each timeout costs the full timeout interval) — mirroring how
+/// command-line `ping -c` behaves under loss.
+pub fn ping_with_retries(
+    path: &Path,
+    policy: IcmpPolicy,
+    timeout: SimDuration,
+    attempts: usize,
+    rng: &mut SimRng,
+) -> (PingOutcome, SimDuration) {
+    let mut spent = SimDuration::ZERO;
+    for _ in 0..attempts {
+        match ping(path, policy, timeout, rng) {
+            PingOutcome::Reply(rtt) => return (PingOutcome::Reply(rtt), spent + rtt),
+            PingOutcome::Timeout => spent += timeout,
+        }
+    }
+    (PingOutcome::Timeout, spent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::cities;
+    use crate::node::AccessProfile;
+
+    fn path() -> Path {
+        Path::between(
+            cities::COLUMBUS_OH.point,
+            AccessProfile::cloud_vm(),
+            cities::ASHBURN_VA.point,
+            AccessProfile::datacenter(),
+        )
+    }
+
+    #[test]
+    fn respond_policy_yields_rtts() {
+        let mut rng = SimRng::from_seed(1);
+        let p = path();
+        let mut replies = 0;
+        for _ in 0..1000 {
+            if let PingOutcome::Reply(rtt) =
+                ping(&p, IcmpPolicy::Respond, SimDuration::from_secs(1), &mut rng)
+            {
+                replies += 1;
+                assert!(rtt.as_millis_f64() > 1.0);
+                assert!(rtt.as_millis_f64() < 100.0);
+            }
+        }
+        assert!(replies > 990, "only {replies} replies");
+    }
+
+    #[test]
+    fn filtered_policy_never_replies() {
+        let mut rng = SimRng::from_seed(2);
+        let p = path();
+        for _ in 0..100 {
+            assert_eq!(
+                ping(&p, IcmpPolicy::Filtered, SimDuration::from_secs(1), &mut rng),
+                PingOutcome::Timeout
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_shorter_than_rtt_times_out() {
+        let mut rng = SimRng::from_seed(3);
+        let p = path();
+        assert_eq!(
+            ping(&p, IcmpPolicy::Respond, SimDuration::from_micros(1), &mut rng),
+            PingOutcome::Timeout
+        );
+    }
+
+    #[test]
+    fn retries_recover_from_loss() {
+        let mut p = path();
+        p.extra_loss = 0.5; // half of traversals drop
+        let mut rng = SimRng::from_seed(4);
+        let mut ok = 0;
+        for _ in 0..200 {
+            let (outcome, _) = ping_with_retries(
+                &p,
+                IcmpPolicy::Respond,
+                SimDuration::from_millis(500),
+                4,
+                &mut rng,
+            );
+            if outcome.rtt().is_some() {
+                ok += 1;
+            }
+        }
+        // Each attempt succeeds with P ≈ (1-0.5)^2 = 0.25 (loss applies per
+        // traversal, both directions), so 4 attempts succeed with
+        // P ≈ 1-0.75^4 ≈ 0.68 — expect ~137/200; far above the ~50/200 a
+        // single attempt would get.
+        assert!((110..=170).contains(&ok), "{ok}/200 succeeded with retries");
+    }
+
+    #[test]
+    fn retry_time_accounts_timeouts() {
+        let p = path();
+        let mut rng = SimRng::from_seed(5);
+        let timeout = SimDuration::from_millis(100);
+        // Filtered: all attempts burn the timeout.
+        let (outcome, spent) =
+            ping_with_retries(&p, IcmpPolicy::Filtered, timeout, 3, &mut rng);
+        assert_eq!(outcome, PingOutcome::Timeout);
+        assert_eq!(spent, SimDuration::from_millis(300));
+    }
+}

@@ -1,0 +1,155 @@
+//! Lightweight event tracing for debugging simulations.
+//!
+//! A [`Trace`] records timestamped, categorised entries; tests and example
+//! binaries can dump them to understand where a probe's time went.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Category of a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A packet was sent.
+    Send,
+    /// A packet arrived.
+    Receive,
+    /// A packet was dropped.
+    Drop,
+    /// A timer fired (retransmission, timeout).
+    Timer,
+    /// A connection state transition.
+    State,
+    /// Application-level note.
+    Note,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Send => "SEND",
+            TraceKind::Receive => "RECV",
+            TraceKind::Drop => "DROP",
+            TraceKind::Timer => "TIMER",
+            TraceKind::State => "STATE",
+            TraceKind::Note => "NOTE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One trace entry.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// What kind of event.
+    pub kind: TraceKind,
+    /// Free-form description.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:5} {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// An append-only event log. Disabled traces cost one branch per record.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A disabled trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry if enabled.
+    pub fn record(&mut self, at: SimTime, kind: TraceKind, detail: impl Into<String>) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                kind,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Renders all entries, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, TraceKind::Send, "syn");
+        t.record(
+            SimTime::ZERO + SimDuration::from_millis(10),
+            TraceKind::Receive,
+            "syn-ack",
+        );
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.of_kind(TraceKind::Send).count(), 1);
+        assert!(t.render().contains("syn-ack"));
+    }
+
+    #[test]
+    fn silent_when_disabled() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::Drop, "lost");
+        assert!(t.entries().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEntry {
+            at: SimTime::ZERO + SimDuration::from_millis(5),
+            kind: TraceKind::Timer,
+            detail: "rto fired".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("TIMER"));
+        assert!(s.contains("5.000ms"));
+        assert!(s.contains("rto fired"));
+    }
+}

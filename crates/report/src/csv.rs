@@ -1,0 +1,137 @@
+//! Minimal CSV output (RFC 4180 quoting) for exporting regenerated table
+//! and figure data to external plotting tools.
+
+/// Escapes one CSV field.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A CSV document under construction.
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// Starts a document with a header row.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut c = Csv::default();
+        c.row(header);
+        c
+    }
+
+    /// Appends a row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let line: Vec<String> = cells.into_iter().map(|c| field(c.as_ref())).collect();
+        self.lines.push(line.join(","));
+        self
+    }
+
+    /// Number of rows including the header.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when not even a header exists.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The finished document (CRLF line endings per RFC 4180).
+    pub fn render(&self) -> String {
+        let mut out = self.lines.join("\r\n");
+        out.push_str("\r\n");
+        out
+    }
+}
+
+/// Parses a CSV document (quoted fields, embedded commas/newlines/quotes).
+pub fn parse(doc: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut chars = doc.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                c => cell.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => cell.push(c),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let mut c = Csv::new(["resolver", "median_ms"]);
+        c.row(["dns.google", "17.5"]);
+        let doc = c.render();
+        let rows = parse(&doc);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["dns.google", "17.5"]);
+    }
+
+    #[test]
+    fn quoting_round_trips() {
+        let mut c = Csv::new(["a"]);
+        c.row(["with,comma"]);
+        c.row(["with\"quote"]);
+        c.row(["with\nnewline"]);
+        let rows = parse(&c.render());
+        assert_eq!(rows[1][0], "with,comma");
+        assert_eq!(rows[2][0], "with\"quote");
+        assert_eq!(rows[3][0], "with\nnewline");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let c = Csv::new(["x"]);
+        assert!(c.render().ends_with("\r\n"));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn parse_handles_trailing_unterminated_row() {
+        let rows = parse("a,b\r\n1,2");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,154 @@
+//! The §4 availability analysis: "we received 5,098,281 successful
+//! responses and 311,351 errors. The most common errors we received ...
+//! were related to a failure to establish a connection."
+
+use crate::analysis::Dataset;
+use crate::table::TextTable;
+
+/// The regenerated availability result.
+#[derive(Debug, Clone)]
+pub struct AvailabilityReport {
+    /// Successful probes.
+    pub successes: u64,
+    /// Failed probes.
+    pub errors: u64,
+    /// Share of errors that are connection-establishment failures.
+    pub connection_error_share: f64,
+    /// The single most common error label.
+    pub dominant_error: Option<String>,
+    /// Resolvers with availability below 50 % from any vantage (the
+    /// effectively-dead services).
+    pub mostly_unavailable: Vec<String>,
+}
+
+impl AvailabilityReport {
+    /// Overall probe error rate.
+    pub fn error_rate(&self) -> f64 {
+        let total = self.successes + self.errors;
+        if total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the availability analysis over a campaign dataset.
+pub fn run(dataset: &Dataset) -> AvailabilityReport {
+    let agg = dataset.availability();
+    let conn_errors: u64 = agg
+        .errors
+        .iter()
+        .filter(|(label, _)| {
+            measure::ProbeErrorKind::from_label(label)
+                .map(|k| k.is_connection_failure())
+                .unwrap_or(false)
+        })
+        .map(|(_, &c)| c)
+        .sum();
+    let total_errors = agg.error_count();
+    let ledger = dataset.availability_by_resolver();
+    AvailabilityReport {
+        successes: agg.successes,
+        errors: total_errors,
+        connection_error_share: if total_errors == 0 {
+            0.0
+        } else {
+            conn_errors as f64 / total_errors as f64
+        },
+        dominant_error: agg.dominant_error().map(str::to_string),
+        mostly_unavailable: ledger
+            .worst(0.5)
+            .into_iter()
+            .map(|(k, _)| k.to_string())
+            .collect(),
+    }
+}
+
+/// Renders the report with an error-class breakdown table.
+pub fn render(dataset: &Dataset) -> String {
+    let report = run(dataset);
+    let agg = dataset.availability();
+    let mut t = TextTable::new(["Error class", "Count", "Share of errors"]);
+    let mut classes: Vec<(&String, &u64)> = agg.errors.iter().collect();
+    classes.sort_by(|a, b| b.1.cmp(a.1));
+    for (label, count) in classes {
+        t.row([
+            label.clone(),
+            count.to_string(),
+            format!("{:.1}%", 100.0 * *count as f64 / report.errors.max(1) as f64),
+        ]);
+    }
+    format!(
+        "Availability (paper: 5,098,281 successes / 311,351 errors = 5.76% error rate,\n\
+         dominated by connection-establishment failures)\n\n\
+         successes: {}\nerrors:    {}\nerror rate: {:.2}%\n\
+         connection-failure share of errors: {:.1}%\n\
+         resolvers under 50% availability: {}\n\n{}",
+        report.successes,
+        report.errors,
+        100.0 * report.error_rate(),
+        100.0 * report.connection_error_share,
+        report.mostly_unavailable.join(", "),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig};
+
+    fn dataset() -> Dataset {
+        // Mix of reliability classes, including a mostly-dead resolver.
+        let entries = [
+            "dns.google",
+            "dns.quad9.net",
+            "doh.ffmuc.net",
+            "dohtrial.att.net",
+            "chewbacca.meganerd.nl",
+        ]
+        .into_iter()
+        .map(|h| catalog::resolvers::find(h).unwrap())
+        .collect();
+        let result = Campaign::with_resolvers(CampaignConfig::quick(11, 12), entries).run();
+        Dataset::new(result.records)
+    }
+
+    #[test]
+    fn errors_dominated_by_connection_failures() {
+        let report = run(&dataset());
+        assert!(report.errors > 0);
+        assert!(
+            report.connection_error_share > 0.6,
+            "connection failures should dominate: {}",
+            report.connection_error_share
+        );
+    }
+
+    #[test]
+    fn dead_resolver_identified() {
+        let report = run(&dataset());
+        assert!(report
+            .mostly_unavailable
+            .contains(&"chewbacca.meganerd.nl".to_string()));
+        assert!(!report
+            .mostly_unavailable
+            .contains(&"dns.google".to_string()));
+    }
+
+    #[test]
+    fn render_mentions_the_papers_numbers() {
+        let s = render(&dataset());
+        assert!(s.contains("5,098,281"));
+        assert!(s.contains("error rate"));
+        assert!(s.contains("connect"));
+    }
+
+    #[test]
+    fn error_rate_bounds() {
+        let report = run(&dataset());
+        let rate = report.error_rate();
+        assert!(rate > 0.0 && rate < 0.5, "rate {rate}");
+    }
+}

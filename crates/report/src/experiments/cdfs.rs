@@ -1,0 +1,166 @@
+//! ECDF comparison: mainstream versus non-mainstream response-time
+//! distributions per vantage point — the distributional view behind the
+//! paper's per-resolver box plots, with a Kolmogorov–Smirnov distance to
+//! quantify the separation.
+
+use edns_stats::Ecdf;
+
+use crate::analysis::{Dataset, VantageGroup};
+
+/// The two-population comparison for one vantage group.
+#[derive(Debug)]
+pub struct CdfComparison {
+    /// Vantage title.
+    pub vantage: String,
+    /// ECDF of all mainstream response times.
+    pub mainstream: Option<Ecdf>,
+    /// ECDF of all non-mainstream response times.
+    pub non_mainstream: Option<Ecdf>,
+}
+
+impl CdfComparison {
+    /// KS distance between the two populations (None if either is empty).
+    pub fn ks_distance(&self) -> Option<f64> {
+        Some(self.mainstream.as_ref()?.ks_distance(self.non_mainstream.as_ref()?))
+    }
+
+    /// Median gap (non-mainstream − mainstream), ms.
+    pub fn median_gap_ms(&self) -> Option<f64> {
+        Some(self.non_mainstream.as_ref()?.inverse(0.5) - self.mainstream.as_ref()?.inverse(0.5))
+    }
+}
+
+/// Builds the comparison for one vantage group.
+pub fn compare(dataset: &Dataset, group: &VantageGroup) -> CdfComparison {
+    let mut mainstream = Vec::new();
+    let mut non_mainstream = Vec::new();
+    for r in &dataset.records {
+        if !group.matches(&r.vantage) {
+            continue;
+        }
+        if let Some(rt) = r.outcome.response_time() {
+            if r.mainstream {
+                mainstream.push(rt.as_millis_f64());
+            } else {
+                non_mainstream.push(rt.as_millis_f64());
+            }
+        }
+    }
+    CdfComparison {
+        vantage: group.title().to_string(),
+        mainstream: Ecdf::new(&mainstream),
+        non_mainstream: Ecdf::new(&non_mainstream),
+    }
+}
+
+/// Runs the comparison for every vantage group.
+pub fn run(dataset: &Dataset) -> Vec<CdfComparison> {
+    VantageGroup::panels()
+        .iter()
+        .map(|g| compare(dataset, g))
+        .collect()
+}
+
+/// Renders ASCII CDF curves (percentile table) for each vantage group.
+pub fn render(dataset: &Dataset) -> String {
+    let mut out = String::from(
+        "Response-time distributions: mainstream vs non-mainstream\n\
+         (percentiles in ms; KS = max CDF separation)\n\n",
+    );
+    for cmp in run(dataset) {
+        out.push_str(&format!("== {} ==\n", cmp.vantage));
+        match (&cmp.mainstream, &cmp.non_mainstream) {
+            (Some(m), Some(n)) => {
+                out.push_str("        p10     p25     p50     p75     p90     p99\n");
+                for (label, e) in [("mainstream", m), ("non-mainstr", n)] {
+                    out.push_str(&format!(
+                        "{label:<11}{:7.1} {:7.1} {:7.1} {:7.1} {:7.1} {:7.1}\n",
+                        e.inverse(0.10),
+                        e.inverse(0.25),
+                        e.inverse(0.50),
+                        e.inverse(0.75),
+                        e.inverse(0.90),
+                        e.inverse(0.99),
+                    ));
+                }
+                out.push_str(&format!(
+                    "KS distance {:.3}, median gap {:+.1} ms\n",
+                    cmp.ks_distance().unwrap_or(f64::NAN),
+                    cmp.median_gap_ms().unwrap_or(f64::NAN),
+                ));
+                out.push_str(&crate::figure::render_cdf_curves(
+                    &[("mainstream", m), ("non-mainstream", n)],
+                    crate::figure::AXIS_MAX_MS,
+                    64,
+                    10,
+                ));
+                out.push('\n');
+            }
+            _ => out.push_str("(insufficient data)\n\n"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig};
+
+    fn dataset() -> Dataset {
+        let mut entries = catalog::resolvers::mainstream();
+        for h in ["doh.ffmuc.net", "dns.bebasid.com", "helios.plan9-dns.com", "ordns.he.net"] {
+            entries.push(catalog::resolvers::find(h).unwrap());
+        }
+        Dataset::new(
+            Campaign::with_resolvers(CampaignConfig::quick(61, 6), entries)
+                .run()
+                .records,
+        )
+    }
+
+    #[test]
+    fn mainstream_distribution_stochastically_dominates() {
+        let d = dataset();
+        for cmp in run(&d) {
+            let gap = cmp.median_gap_ms().unwrap();
+            assert!(
+                gap > 0.0,
+                "{}: non-mainstream median should be higher (gap {gap:+.1})",
+                cmp.vantage
+            );
+            let ks = cmp.ks_distance().unwrap();
+            assert!(
+                ks > 0.2,
+                "{}: populations should separate clearly (KS {ks:.3})",
+                cmp.vantage
+            );
+        }
+    }
+
+    #[test]
+    fn seoul_separation_is_the_largest() {
+        // From Seoul, non-mainstream (mostly NA/EU unicast in this subset)
+        // moves far right while anycast mainstream stays put.
+        let d = dataset();
+        let comps = run(&d);
+        let gap = |title: &str| {
+            comps
+                .iter()
+                .find(|c| c.vantage == title)
+                .and_then(|c| c.median_gap_ms())
+                .unwrap()
+        };
+        assert!(gap("Seoul EC2") > gap("Ohio EC2"));
+    }
+
+    #[test]
+    fn render_contains_percentile_rows() {
+        let d = dataset();
+        let s = render(&d);
+        assert!(s.contains("p50"));
+        assert!(s.contains("KS distance"));
+        assert!(s.contains("Seoul EC2"));
+        assert_eq!(s.matches("mainstream").count() >= 4, true);
+    }
+}

@@ -1,0 +1,209 @@
+//! Temporal drift: the paper re-measured for 1–3 days per month after its
+//! main EC2 span "to ensure that resolver performance did not change
+//! drastically since October 2023". This experiment compares per-resolver
+//! medians between time windows and reports the drift.
+
+use std::collections::BTreeMap;
+
+use netsim::SimTime;
+
+use crate::analysis::{Dataset, VantageGroup};
+
+/// Median response times for one resolver in each time window.
+#[derive(Debug, Clone)]
+pub struct DriftRow {
+    /// Resolver hostname.
+    pub resolver: String,
+    /// `(window_start_day, median_ms)` per window, in time order.
+    pub window_medians: Vec<(u64, f64)>,
+}
+
+impl DriftRow {
+    /// Largest relative change between consecutive windows
+    /// (`|m2 − m1| / m1`), or `None` with fewer than two windows.
+    pub fn max_relative_drift(&self) -> Option<f64> {
+        let mut max: Option<f64> = None;
+        for w in self.window_medians.windows(2) {
+            let (_, m1) = w[0];
+            let (_, m2) = w[1];
+            if m1 > 0.0 {
+                let d = (m2 - m1).abs() / m1;
+                max = Some(max.map_or(d, |m| m.max(d)));
+            }
+        }
+        max
+    }
+}
+
+/// Splits the dataset's records into windows by the day boundaries in
+/// `window_starts` (days since the campaign epoch; each window extends to
+/// the next boundary) and computes medians per resolver per window for the
+/// given vantage group.
+pub fn drift(
+    dataset: &Dataset,
+    group: &VantageGroup,
+    window_starts: &[u64],
+) -> Vec<DriftRow> {
+    assert!(!window_starts.is_empty(), "need at least one window");
+    let day = |t: SimTime| t.as_secs() / 86_400;
+    let window_of = |t: SimTime| -> u64 {
+        let d = day(t);
+        let mut current = window_starts[0];
+        for &s in window_starts {
+            if d >= s {
+                current = s;
+            }
+        }
+        current
+    };
+
+    // resolver -> window -> samples
+    let mut samples: BTreeMap<String, BTreeMap<u64, Vec<f64>>> = BTreeMap::new();
+    for r in &dataset.records {
+        if !group.matches(&r.vantage) {
+            continue;
+        }
+        if let Some(rt) = r.outcome.response_time() {
+            samples
+                .entry(r.resolver.clone())
+                .or_default()
+                .entry(window_of(r.at))
+                .or_default()
+                .push(rt.as_millis_f64());
+        }
+    }
+    samples
+        .into_iter()
+        .map(|(resolver, windows)| DriftRow {
+            resolver,
+            window_medians: windows
+                .into_iter()
+                .filter_map(|(w, xs)| Some((w, edns_stats::median(&xs)?)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the drift table, flagging resolvers whose medians moved more
+/// than `threshold` (fraction) between windows.
+pub fn render(
+    dataset: &Dataset,
+    group: &VantageGroup,
+    window_starts: &[u64],
+    threshold: f64,
+) -> String {
+    let rows = drift(dataset, group, window_starts);
+    let mut out = format!(
+        "Temporal drift from {} across {} windows (threshold {:.0}%):\n\n",
+        group.title(),
+        window_starts.len(),
+        threshold * 100.0
+    );
+    let mut stable = 0;
+    let mut drifted = Vec::new();
+    for row in &rows {
+        match row.max_relative_drift() {
+            Some(d) if d > threshold => drifted.push((row.resolver.clone(), d)),
+            Some(_) => stable += 1,
+            None => {}
+        }
+    }
+    out.push_str(&format!(
+        "{} resolvers stable, {} drifted beyond threshold\n",
+        stable,
+        drifted.len()
+    ));
+    drifted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    for (resolver, d) in drifted.iter().take(10) {
+        out.push_str(&format!("  {resolver:<42} {:+.0}%\n", d * 100.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig, Span};
+
+    /// A config with two separated EC2 windows, like the paper's main span
+    /// plus a follow-up.
+    fn two_window_config(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            domains: measure::standard_domains(),
+            probe: measure::ProbeConfig::default(),
+            spans: vec![
+                Span {
+                    start_day: 0,
+                    days: 3,
+                    rounds_per_day: 4,
+                    vantages: vec!["ec2-ohio", "ec2-frankfurt", "ec2-seoul"],
+                },
+                Span {
+                    start_day: 120,
+                    days: 2,
+                    rounds_per_day: 4,
+                    vantages: vec!["ec2-ohio", "ec2-frankfurt", "ec2-seoul"],
+                },
+            ],
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let entries = ["dns.google", "dns.quad9.net", "doh.ffmuc.net", "dns.alidns.com"]
+            .into_iter()
+            .map(|h| catalog::resolvers::find(h).unwrap())
+            .collect();
+        Dataset::new(
+            Campaign::with_resolvers(two_window_config(81), entries)
+                .run()
+                .records,
+        )
+    }
+
+    #[test]
+    fn performance_is_stable_across_windows() {
+        // The paper's motivation held: nothing changed drastically. Our
+        // simulated deployments are stationary, so drift must be small.
+        let d = dataset();
+        let rows = drift(&d, &VantageGroup::Label("ec2-ohio"), &[0, 120]);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.window_medians.len(), 2, "{row:?}");
+            let drift = row.max_relative_drift().unwrap();
+            assert!(
+                drift < 0.25,
+                "{} drifted {:.0}%",
+                row.resolver,
+                drift * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn windows_partition_records() {
+        let d = dataset();
+        let rows = drift(&d, &VantageGroup::Label("ec2-seoul"), &[0, 120]);
+        for row in rows {
+            let days: Vec<u64> = row.window_medians.iter().map(|(w, _)| *w).collect();
+            assert_eq!(days, vec![0, 120]);
+        }
+    }
+
+    #[test]
+    fn render_reports_stability() {
+        let d = dataset();
+        let s = render(&d, &VantageGroup::Label("ec2-ohio"), &[0, 120], 0.25);
+        assert!(s.contains("resolvers stable"));
+        assert!(s.contains("Ohio EC2"));
+    }
+
+    #[test]
+    fn single_window_has_no_drift() {
+        let d = dataset();
+        let rows = drift(&d, &VantageGroup::Label("ec2-ohio"), &[0]);
+        for row in rows {
+            assert_eq!(row.max_relative_drift(), None);
+        }
+    }
+}

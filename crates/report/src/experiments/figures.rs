@@ -1,0 +1,183 @@
+//! Figures 1–4: per-region panels of paired response-time / ping box plots
+//! from each vantage point.
+//!
+//! * Figure 1 — North-America resolvers from the Ohio EC2 instance (the
+//!   paper's headline figure; identical to Figure 2b).
+//! * Figure 2 — North-America resolvers from all four vantage groups.
+//! * Figure 3 — Europe resolvers from all four vantage groups.
+//! * Figure 4 — Asia resolvers from all four vantage groups.
+//!
+//! Each panel plots the region's resolvers plus the mainstream reference
+//! set, fastest median first.
+
+use edns_stats::BoxPlot;
+use netsim::Region;
+
+use crate::analysis::{Dataset, VantageGroup};
+use crate::figure::{FigurePanel, FigureRow};
+
+/// Builds one panel: `region`'s resolvers (plus mainstream) as seen from
+/// `group`.
+pub fn panel(dataset: &Dataset, region: Region, group: &VantageGroup) -> FigurePanel {
+    let mainstream: std::collections::HashSet<String> = dataset
+        .records
+        .iter()
+        .filter(|r| r.mainstream)
+        .map(|r| r.resolver.clone())
+        .collect();
+    let rows = dataset
+        .panel_order(region, group)
+        .into_iter()
+        .map(|resolver| {
+            let response = BoxPlot::of(
+                resolver.clone(),
+                &dataset.response_series(group, &resolver),
+            );
+            let ping = BoxPlot::of(resolver.clone(), &dataset.ping_series(group, &resolver));
+            FigureRow {
+                mainstream: mainstream.contains(&resolver),
+                resolver,
+                response,
+                ping,
+            }
+        })
+        .collect();
+    FigurePanel {
+        title: format!("{region} resolvers — {}", group.title()),
+        rows,
+    }
+}
+
+/// Figure 1: North-America resolvers from Ohio.
+pub fn figure1(dataset: &Dataset) -> FigurePanel {
+    panel(dataset, Region::NorthAmerica, &VantageGroup::Label("ec2-ohio"))
+}
+
+/// Figures 2–4: one panel per vantage group for the given region.
+pub fn figure(dataset: &Dataset, region: Region) -> Vec<FigurePanel> {
+    VantageGroup::panels()
+        .iter()
+        .map(|g| panel(dataset, region, g))
+        .collect()
+}
+
+/// Renders a full figure (all four panels).
+pub fn render(dataset: &Dataset, region: Region, width: usize) -> String {
+    figure(dataset, region)
+        .iter()
+        .map(|p| p.render(width))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig};
+
+    fn dataset() -> Dataset {
+        let entries = [
+            "dns.google",            // mainstream NA
+            "dns.quad9.net",         // mainstream NA
+            "ordns.he.net",          // NA non-mainstream anycast
+            "doh.la.ahadns.net",     // NA unicast
+            "doh.ffmuc.net",         // EU unicast
+            "dns.brahma.world",      // EU fast
+            "dns.alidns.com",        // Asia anycast
+            "dns.twnic.tw",          // Asia unicast
+        ]
+        .into_iter()
+        .map(|h| catalog::resolvers::find(h).unwrap())
+        .collect();
+        let result = Campaign::with_resolvers(CampaignConfig::quick(21, 6), entries).run();
+        Dataset::new(result.records)
+    }
+
+    #[test]
+    fn figure1_contains_na_resolvers_plus_mainstream_only() {
+        let d = dataset();
+        let p = figure1(&d);
+        let names: Vec<&str> = p.rows.iter().map(|r| r.resolver.as_str()).collect();
+        assert!(names.contains(&"ordns.he.net"));
+        assert!(names.contains(&"dns.google"));
+        assert!(!names.contains(&"doh.ffmuc.net"), "EU resolver in NA figure");
+        assert!(!names.contains(&"dns.twnic.tw"), "Asia resolver in NA figure");
+    }
+
+    #[test]
+    fn panels_are_sorted_fastest_first() {
+        let d = dataset();
+        let p = figure1(&d);
+        let medians: Vec<f64> = p
+            .rows
+            .iter()
+            .map(|r| {
+                r.response
+                    .as_ref()
+                    .map(|b| b.summary.median)
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect();
+        for w in medians.windows(2) {
+            assert!(w[0] <= w[1], "panel not sorted: {medians:?}");
+        }
+    }
+
+    #[test]
+    fn four_panels_per_figure() {
+        let d = dataset();
+        let f3 = figure(&d, Region::Europe);
+        assert_eq!(f3.len(), 4);
+        assert!(f3[0].title.contains("Home"));
+        assert!(f3[3].title.contains("Seoul"));
+    }
+
+    #[test]
+    fn mainstream_rows_flagged() {
+        let d = dataset();
+        let p = figure1(&d);
+        let g = p.rows.iter().find(|r| r.resolver == "dns.google").unwrap();
+        assert!(g.mainstream);
+        let he = p.rows.iter().find(|r| r.resolver == "ordns.he.net").unwrap();
+        assert!(!he.mainstream);
+    }
+
+    #[test]
+    fn remote_vantage_shifts_unicast_medians_right() {
+        let d = dataset();
+        let panels = figure(&d, Region::Europe);
+        let med = |panel: &FigurePanel, name: &str| {
+            panel
+                .rows
+                .iter()
+                .find(|r| r.resolver == name)
+                .and_then(|r| r.response.as_ref().map(|b| b.summary.median))
+                .unwrap()
+        };
+        // doh.ffmuc.net (Munich unicast): fast from Frankfurt, slow from Seoul.
+        let from_frankfurt = med(&panels[2], "doh.ffmuc.net");
+        let from_seoul = med(&panels[3], "doh.ffmuc.net");
+        assert!(
+            from_seoul > from_frankfurt * 3.0,
+            "Frankfurt {from_frankfurt} vs Seoul {from_seoul}"
+        );
+        // dns.google (anycast) stays tame from everywhere: its nearest
+        // site is local (Frankfurt) or one short hop away (Tokyo for the
+        // Seoul instance).
+        let g_seoul = med(&panels[3], "dns.google");
+        assert!(
+            g_seoul < 120.0,
+            "anycast should stay under ~120 ms from Seoul: {g_seoul}"
+        );
+        assert!(g_seoul < from_seoul / 3.0, "anycast {g_seoul} vs unicast {from_seoul}");
+    }
+
+    #[test]
+    fn render_produces_full_figure_text() {
+        let d = dataset();
+        let s = render(&d, Region::Asia, 70);
+        assert!(s.contains("Asia resolvers"));
+        assert!(s.contains("dns.alidns.com"));
+        assert!(s.matches("===").count() >= 4);
+    }
+}

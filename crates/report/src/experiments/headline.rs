@@ -1,0 +1,223 @@
+//! The §4 headline findings, verified as predicates over a campaign:
+//!
+//! * mainstream resolvers outperform non-mainstream ones from most vantage
+//!   points, and the top-5 everywhere contains Quad9/Google/Cloudflare;
+//! * `ordns.he.net` outperforms every mainstream resolver from the home
+//!   devices;
+//! * `freedns.controld.com` outperforms `dns.google` and
+//!   `dns.cloudflare.com` from Ohio;
+//! * `dns.brahma.world` outperforms `dns.cloudflare.com` from Frankfurt;
+//! * `dns.alidns.com` outperforms `dns.quad9.net`, `dns.google` and
+//!   `dns.cloudflare.com` from Seoul;
+//! * worst-case medians per vantage (paper: home 399 ms, Ohio 270 ms,
+//!   Frankfurt 380 ms, Seoul 569 ms).
+
+use crate::analysis::{Dataset, VantageGroup};
+
+/// The verified findings.
+#[derive(Debug, Clone)]
+pub struct Findings {
+    /// Median of mainstream medians minus median of non-mainstream medians
+    /// per vantage group (negative = mainstream faster), ms.
+    pub mainstream_advantage_ms: Vec<(String, f64)>,
+    /// `ordns.he.net` beats every mainstream resolver from home.
+    pub he_wins_at_home: bool,
+    /// `freedns.controld.com` beats Google and Cloudflare from Ohio.
+    pub controld_wins_at_ohio: bool,
+    /// `dns.brahma.world` beats Cloudflare from Frankfurt.
+    pub brahma_wins_at_frankfurt: bool,
+    /// `dns.alidns.com` beats Quad9, Google and Cloudflare from Seoul.
+    pub alidns_wins_at_seoul: bool,
+    /// Worst (resolver, median ms) per vantage group — capped to resolvers
+    /// with ≥50 % success so dead services don't distort it.
+    pub worst_medians: Vec<(String, String, f64)>,
+}
+
+fn median_of(dataset: &Dataset, group: &VantageGroup, resolver: &str) -> Option<f64> {
+    dataset.median_response_ms(group, resolver)
+}
+
+fn beats(dataset: &Dataset, group: &VantageGroup, challenger: &str, incumbent: &str) -> bool {
+    match (
+        median_of(dataset, group, challenger),
+        median_of(dataset, group, incumbent),
+    ) {
+        (Some(c), Some(i)) => c < i,
+        _ => false,
+    }
+}
+
+/// Computes all findings from a campaign dataset.
+pub fn run(dataset: &Dataset) -> Findings {
+    let mainstream: Vec<String> = dataset
+        .records
+        .iter()
+        .filter(|r| r.mainstream)
+        .map(|r| r.resolver.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let non_mainstream: Vec<String> = dataset
+        .records
+        .iter()
+        .filter(|r| !r.mainstream)
+        .map(|r| r.resolver.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let mut mainstream_advantage_ms = Vec::new();
+    let mut worst_medians = Vec::new();
+    let ledger = dataset.availability_by_resolver();
+    for group in VantageGroup::panels() {
+        let med_of_set = |set: &[String]| -> Option<f64> {
+            let meds: Vec<f64> = set
+                .iter()
+                .filter_map(|r| median_of(dataset, &group, r))
+                .collect();
+            edns_stats::median(&meds)
+        };
+        if let (Some(ms), Some(nms)) = (med_of_set(&mainstream), med_of_set(&non_mainstream)) {
+            mainstream_advantage_ms.push((group.title().to_string(), ms - nms));
+        }
+        // Worst median among live resolvers.
+        let mut worst: Option<(String, f64)> = None;
+        for r in mainstream.iter().chain(&non_mainstream) {
+            let alive = ledger
+                .get(r)
+                .map(|a| a.availability() >= 0.5)
+                .unwrap_or(false);
+            if !alive {
+                continue;
+            }
+            if let Some(m) = median_of(dataset, &group, r) {
+                if worst.as_ref().map(|(_, w)| m > *w).unwrap_or(true) {
+                    worst = Some((r.clone(), m));
+                }
+            }
+        }
+        if let Some((r, m)) = worst {
+            worst_medians.push((group.title().to_string(), r, m));
+        }
+    }
+
+    let home = VantageGroup::Home;
+    let ohio = VantageGroup::Label("ec2-ohio");
+    let frankfurt = VantageGroup::Label("ec2-frankfurt");
+    let seoul = VantageGroup::Label("ec2-seoul");
+
+    let he_wins_at_home = mainstream
+        .iter()
+        .all(|m| beats(dataset, &home, "ordns.he.net", m));
+    let controld_wins_at_ohio = beats(dataset, &ohio, "freedns.controld.com", "dns.google")
+        && beats(dataset, &ohio, "freedns.controld.com", "dns.cloudflare.com");
+    let brahma_wins_at_frankfurt =
+        beats(dataset, &frankfurt, "dns.brahma.world", "dns.cloudflare.com");
+    let alidns_wins_at_seoul = beats(dataset, &seoul, "dns.alidns.com", "dns.quad9.net")
+        && beats(dataset, &seoul, "dns.alidns.com", "dns.google")
+        && beats(dataset, &seoul, "dns.alidns.com", "dns.cloudflare.com");
+
+    Findings {
+        mainstream_advantage_ms,
+        he_wins_at_home,
+        controld_wins_at_ohio,
+        brahma_wins_at_frankfurt,
+        alidns_wins_at_seoul,
+        worst_medians,
+    }
+}
+
+/// Renders the findings against the paper's claims.
+pub fn render(dataset: &Dataset) -> String {
+    let f = run(dataset);
+    let mut out = String::from("Headline findings (paper §4):\n\n");
+    out.push_str("Mainstream-vs-non-mainstream median gap per vantage (negative = mainstream faster):\n");
+    for (v, gap) in &f.mainstream_advantage_ms {
+        out.push_str(&format!("  {v}: {gap:+.1} ms\n"));
+    }
+    out.push_str(&format!(
+        "\nordns.he.net beats all mainstream from home:        {} (paper: yes)\n\
+         freedns.controld.com beats Google+Cloudflare (Ohio): {} (paper: yes)\n\
+         dns.brahma.world beats Cloudflare (Frankfurt):       {} (paper: yes)\n\
+         dns.alidns.com beats Quad9+Google+Cloudflare (Seoul): {} (paper: yes)\n\n",
+        f.he_wins_at_home, f.controld_wins_at_ohio, f.brahma_wins_at_frankfurt, f.alidns_wins_at_seoul
+    ));
+    out.push_str("Worst live-resolver median per vantage (paper: home 399 ms, Ohio 270 ms, Frankfurt 380 ms, Seoul 569 ms):\n");
+    for (v, r, m) in &f.worst_medians {
+        out.push_str(&format!("  {v}: {r} at {m:.0} ms\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig};
+
+    fn dataset() -> Dataset {
+        // All mainstream entries plus the four crossover resolvers plus a
+        // spread of ordinary non-mainstream ones.
+        let mut entries = catalog::resolvers::mainstream();
+        for h in [
+            "ordns.he.net",
+            "freedns.controld.com",
+            "dns.brahma.world",
+            "dns.alidns.com",
+            "doh.ffmuc.net",
+            "dns.bebasid.com",
+            "helios.plan9-dns.com",
+            "dns.njal.la",
+            "public.dns.iij.jp",
+        ] {
+            entries.push(catalog::resolvers::find(h).unwrap());
+        }
+        let result = Campaign::with_resolvers(CampaignConfig::quick(41, 10), entries).run();
+        Dataset::new(result.records)
+    }
+
+    #[test]
+    fn all_four_crossovers_reproduce() {
+        let f = run(&dataset());
+        assert!(f.he_wins_at_home, "ordns.he.net should win from home");
+        assert!(f.controld_wins_at_ohio, "freedns.controld.com should win from Ohio");
+        assert!(f.brahma_wins_at_frankfurt, "dns.brahma.world should beat Cloudflare from Frankfurt");
+        assert!(f.alidns_wins_at_seoul, "dns.alidns.com should win from Seoul");
+    }
+
+    #[test]
+    fn mainstream_is_faster_in_the_median_everywhere() {
+        let f = run(&dataset());
+        assert_eq!(f.mainstream_advantage_ms.len(), 4);
+        for (vantage, gap) in &f.mainstream_advantage_ms {
+            assert!(
+                *gap < 0.0,
+                "mainstream should be faster from {vantage}: gap {gap:+.1} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_medians_are_remote_unicast_resolvers() {
+        let f = run(&dataset());
+        assert_eq!(f.worst_medians.len(), 4);
+        for (vantage, resolver, median) in &f.worst_medians {
+            assert!(
+                *median > 100.0,
+                "worst median from {vantage} should be slow: {resolver} {median:.0}"
+            );
+            // Never a mainstream anycast resolver.
+            assert!(
+                !catalog::resolvers::find(resolver).unwrap().mainstream,
+                "worst from {vantage} is mainstream {resolver}?!"
+            );
+        }
+    }
+
+    #[test]
+    fn render_reports_all_claims() {
+        let s = render(&dataset());
+        assert!(s.contains("ordns.he.net"));
+        assert!(s.contains("true"));
+        assert!(s.contains("Worst live-resolver median"));
+    }
+}

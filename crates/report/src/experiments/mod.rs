@@ -1,0 +1,11 @@
+//! One module per paper artifact, each regenerating its table or figure
+//! from campaign output. See `DESIGN.md`'s per-experiment index.
+
+pub mod availability;
+pub mod cdfs;
+pub mod drift;
+pub mod figures;
+pub mod headline;
+pub mod protocols;
+pub mod table1;
+pub mod tables23;

@@ -1,0 +1,126 @@
+//! Protocol comparison: Do53 vs DoT vs DoH vs DoQ vs ODoH on identical
+//! paths — the related-work axis (Zhu et al., Böttger et al., Hounsel et
+//! al.) that the paper's released tool supports. Runs one campaign per
+//! protocol with the same seed so path draws differ only by protocol
+//! behaviour.
+
+use measure::{Campaign, CampaignConfig, Protocol};
+
+use crate::analysis::{Dataset, VantageGroup};
+use crate::table::TextTable;
+
+/// Median response time per (protocol, vantage group).
+#[derive(Debug, Clone)]
+pub struct ProtocolRow {
+    /// The protocol.
+    pub protocol: Protocol,
+    /// `(vantage title, median ms)` per vantage group.
+    pub medians: Vec<(String, f64)>,
+}
+
+/// The protocols compared, in cost order on cold connections.
+pub const PROTOCOLS: [Protocol; 5] = [
+    Protocol::Do53,
+    Protocol::DoT,
+    Protocol::DoH,
+    Protocol::DoQ,
+    Protocol::ODoH,
+];
+
+/// Runs the comparison over `hostnames` with `rounds` rounds per day.
+pub fn run(seed: u64, rounds: u32, hostnames: &[&str]) -> Vec<ProtocolRow> {
+    let entries: Vec<catalog::ResolverEntry> = hostnames
+        .iter()
+        .filter_map(|h| catalog::resolvers::find(h))
+        .collect();
+    PROTOCOLS
+        .iter()
+        .map(|&protocol| {
+            let mut config = CampaignConfig::quick(seed, rounds);
+            config.probe.protocol = protocol;
+            let dataset = Dataset::new(
+                Campaign::with_resolvers(config, entries.clone())
+                    .run()
+                    .records,
+            );
+            let medians = VantageGroup::panels()
+                .iter()
+                .filter_map(|g| {
+                    let all: Vec<f64> = entries
+                        .iter()
+                        .filter_map(|e| dataset.median_response_ms(g, e.hostname))
+                        .collect();
+                    Some((g.title().to_string(), edns_stats::median(&all)?))
+                })
+                .collect();
+            ProtocolRow { protocol, medians }
+        })
+        .collect()
+}
+
+/// Renders the comparison table.
+pub fn render(seed: u64, rounds: u32, hostnames: &[&str]) -> String {
+    let rows = run(seed, rounds, hostnames);
+    let mut header = vec!["Protocol".to_string()];
+    if let Some(first) = rows.first() {
+        header.extend(first.medians.iter().map(|(v, _)| v.clone()));
+    }
+    let mut t = TextTable::new(header);
+    for row in &rows {
+        let mut cells = vec![row.protocol.label().to_string()];
+        cells.extend(row.medians.iter().map(|(_, m)| format!("{m:.1}")));
+        t.row(cells);
+    }
+    format!(
+        "Median cold-connection response time (ms) by protocol, over {} resolvers:\n\n{}",
+        hostnames.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SET: [&str; 3] = ["dns.google", "dns.quad9.net", "security.cloudflare-dns.com"];
+
+    #[test]
+    fn cold_protocol_ordering_matches_handshake_counts() {
+        let rows = run(91, 4, &SET);
+        assert_eq!(rows.len(), 5);
+        let med = |p: Protocol, vantage: &str| -> f64 {
+            rows.iter()
+                .find(|r| r.protocol == p)
+                .and_then(|r| {
+                    r.medians
+                        .iter()
+                        .find(|(v, _)| v == vantage)
+                        .map(|(_, m)| *m)
+                })
+                .unwrap()
+        };
+        for vantage in ["Ohio EC2", "Frankfurt EC2"] {
+            let do53 = med(Protocol::Do53, vantage);
+            let dot = med(Protocol::DoT, vantage);
+            let doh = med(Protocol::DoH, vantage);
+            let doq = med(Protocol::DoQ, vantage);
+            // 1 RTT < 2 RTT (QUIC) < 3 RTT (TCP+TLS+query).
+            assert!(do53 < doq, "{vantage}: do53 {do53} vs doq {doq}");
+            assert!(doq < dot, "{vantage}: doq {doq} vs dot {dot}");
+            // DoT and DoH both pay 3 flights; they should be close.
+            assert!(
+                (dot - doh).abs() < dot * 0.3,
+                "{vantage}: dot {dot} vs doh {doh}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_lists_every_protocol() {
+        let s = render(92, 2, &SET);
+        for p in PROTOCOLS {
+            assert!(s.contains(p.label()), "missing {p}");
+        }
+        assert!(s.contains("Ohio EC2"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Tables 2 and 3: the non-mainstream resolvers with the largest
+//! median-response-time gap between a local and a remote vantage point.
+//!
+//! * Table 2 — Asia resolvers measured from Seoul (local) vs Frankfurt
+//!   (remote): `antivirus.bebasid.com`, `dns.twnic.tw`, `dnslow.me`,
+//!   `jp.tiar.app`, `public.dns.iij.jp`.
+//! * Table 3 — Europe resolvers measured from Frankfurt (local) vs Seoul
+//!   (remote): `doh.ffmuc.net`, `dns0.eu`, `open.dns0.eu`, `kids.dns0.eu`,
+//!   `dns.njal.la`.
+
+use crate::analysis::{Dataset, VantageGroup};
+use crate::table::TextTable;
+
+/// One row of a vantage-gap table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapRow {
+    /// Resolver hostname.
+    pub resolver: String,
+    /// Median response time from the local vantage point, ms.
+    pub local_ms: f64,
+    /// Median response time from the remote vantage point, ms.
+    pub remote_ms: f64,
+}
+
+impl GapRow {
+    /// remote − local gap.
+    pub fn gap_ms(&self) -> f64 {
+        self.remote_ms - self.local_ms
+    }
+}
+
+/// The resolvers Table 2 lists (Asia).
+pub const TABLE2_RESOLVERS: [&str; 5] = [
+    "antivirus.bebasid.com",
+    "dns.twnic.tw",
+    "dnslow.me",
+    "jp.tiar.app",
+    "public.dns.iij.jp",
+];
+
+/// The resolvers Table 3 lists (Europe).
+pub const TABLE3_RESOLVERS: [&str; 5] = [
+    "doh.ffmuc.net",
+    "dns0.eu",
+    "open.dns0.eu",
+    "kids.dns0.eu",
+    "dns.njal.la",
+];
+
+fn gap_rows(
+    dataset: &Dataset,
+    resolvers: &[&str],
+    local: &VantageGroup,
+    remote: &VantageGroup,
+) -> Vec<GapRow> {
+    resolvers
+        .iter()
+        .filter_map(|r| {
+            let local_ms = dataset.median_response_ms(local, r)?;
+            let remote_ms = dataset.median_response_ms(remote, r)?;
+            Some(GapRow {
+                resolver: r.to_string(),
+                local_ms,
+                remote_ms,
+            })
+        })
+        .collect()
+}
+
+/// Table 2 rows: Asia resolvers, Seoul local / Frankfurt remote.
+pub fn table2(dataset: &Dataset) -> Vec<GapRow> {
+    gap_rows(
+        dataset,
+        &TABLE2_RESOLVERS,
+        &VantageGroup::Label("ec2-seoul"),
+        &VantageGroup::Label("ec2-frankfurt"),
+    )
+}
+
+/// Table 3 rows: Europe resolvers, Frankfurt local / Seoul remote.
+pub fn table3(dataset: &Dataset) -> Vec<GapRow> {
+    gap_rows(
+        dataset,
+        &TABLE3_RESOLVERS,
+        &VantageGroup::Label("ec2-frankfurt"),
+        &VantageGroup::Label("ec2-seoul"),
+    )
+}
+
+/// Finds the `n` non-mainstream resolvers of `region` with the largest
+/// vantage gap — the selection rule behind both tables, runnable over the
+/// whole population rather than just the paper's published five.
+pub fn largest_gaps(
+    dataset: &Dataset,
+    region: netsim::Region,
+    local: &VantageGroup,
+    remote: &VantageGroup,
+    n: usize,
+) -> Vec<GapRow> {
+    let mut rows: Vec<GapRow> = dataset
+        .records
+        .iter()
+        .filter(|r| r.resolver_region == region && !r.mainstream)
+        .map(|r| r.resolver.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .filter_map(|resolver| {
+            let local_ms = dataset.median_response_ms(local, &resolver)?;
+            let remote_ms = dataset.median_response_ms(remote, &resolver)?;
+            Some(GapRow {
+                resolver,
+                local_ms,
+                remote_ms,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.gap_ms().partial_cmp(&a.gap_ms()).expect("no NaN"));
+    rows.truncate(n);
+    rows
+}
+
+fn render_table(caption: &str, local_name: &str, remote_name: &str, rows: &[GapRow]) -> String {
+    let mut t = TextTable::new([
+        "Resolver",
+        &format!("{local_name} (ms)"),
+        &format!("{remote_name} (ms)"),
+        "Gap (ms)",
+    ]);
+    for r in rows {
+        t.row([
+            r.resolver.clone(),
+            format!("{:.0}", r.local_ms),
+            format!("{:.0}", r.remote_ms),
+            format!("{:.0}", r.gap_ms()),
+        ]);
+    }
+    format!("{caption}\n\n{}", t.render())
+}
+
+/// Renders Table 2.
+pub fn render_table2(dataset: &Dataset) -> String {
+    render_table(
+        "Table 2: Median DNS response times for non-mainstream resolvers (Asia).",
+        "Seoul",
+        "Frankfurt",
+        &table2(dataset),
+    )
+}
+
+/// Renders Table 3.
+pub fn render_table3(dataset: &Dataset) -> String {
+    render_table(
+        "Table 3: Median DNS response times for non-mainstream resolvers (Europe).",
+        "Frankfurt",
+        "Seoul",
+        &table3(dataset),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig};
+
+    fn dataset() -> Dataset {
+        let mut hosts: Vec<&str> = TABLE2_RESOLVERS.to_vec();
+        hosts.extend(TABLE3_RESOLVERS);
+        let entries = hosts
+            .into_iter()
+            .map(|h| catalog::resolvers::find(h).unwrap())
+            .collect();
+        let result = Campaign::with_resolvers(CampaignConfig::quick(31, 8), entries).run();
+        Dataset::new(result.records)
+    }
+
+    #[test]
+    fn table2_local_beats_remote_for_every_row() {
+        let rows = table2(&dataset());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.local_ms < r.remote_ms,
+                "{}: Seoul {} should beat Frankfurt {}",
+                r.resolver,
+                r.local_ms,
+                r.remote_ms
+            );
+        }
+    }
+
+    #[test]
+    fn table3_local_beats_remote_for_every_row() {
+        let rows = table3(&dataset());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.local_ms < r.remote_ms,
+                "{}: Frankfurt {} should beat Seoul {}",
+                r.resolver,
+                r.local_ms,
+                r.remote_ms
+            );
+        }
+    }
+
+    #[test]
+    fn gaps_are_hundreds_of_ms() {
+        // The paper's gaps range from ~200 to ~500 ms.
+        for r in table2(&dataset()).iter().chain(&table3(&dataset())) {
+            assert!(
+                r.gap_ms() > 80.0,
+                "{} gap only {:.0} ms",
+                r.resolver,
+                r.gap_ms()
+            );
+            assert!(r.gap_ms() < 1500.0, "{} gap {:.0} ms", r.resolver, r.gap_ms());
+        }
+    }
+
+    #[test]
+    fn renders_contain_captions_and_rows() {
+        let d = dataset();
+        let s2 = render_table2(&d);
+        assert!(s2.contains("Table 2"));
+        assert!(s2.contains("dns.twnic.tw"));
+        let s3 = render_table3(&d);
+        assert!(s3.contains("Table 3"));
+        assert!(s3.contains("dns0.eu"));
+    }
+
+    #[test]
+    fn largest_gaps_selection_rule() {
+        let d = dataset();
+        let top = largest_gaps(
+            &d,
+            netsim::Region::Europe,
+            &VantageGroup::Label("ec2-frankfurt"),
+            &VantageGroup::Label("ec2-seoul"),
+            3,
+        );
+        assert_eq!(top.len(), 3);
+        // Sorted descending by gap.
+        for w in top.windows(2) {
+            assert!(w[0].gap_ms() >= w[1].gap_ms());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Machine-readable export: every regenerated experiment as a JSON document
+//! (using the measurement tool's own JSON model), so external tooling can
+//! consume the reproduction without parsing text tables.
+
+use measure::json::Json;
+use netsim::Region;
+
+use crate::analysis::Dataset;
+use crate::experiments::{availability, cdfs, figures, headline, tables23};
+
+fn f(v: f64) -> Json {
+    Json::Float(v)
+}
+
+/// The availability experiment as JSON.
+pub fn availability_json(dataset: &Dataset) -> Json {
+    let r = availability::run(dataset);
+    Json::object([
+        ("successes", Json::Int(r.successes as i64)),
+        ("errors", Json::Int(r.errors as i64)),
+        ("error_rate", f(r.error_rate())),
+        ("connection_error_share", f(r.connection_error_share)),
+        (
+            "dominant_error",
+            r.dominant_error
+                .clone()
+                .map(Json::Str)
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "mostly_unavailable",
+            Json::Array(
+                r.mostly_unavailable
+                    .iter()
+                    .cloned()
+                    .map(Json::Str)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One figure (all four panels) as JSON: per-resolver medians and quartiles.
+pub fn figure_json(dataset: &Dataset, region: Region) -> Json {
+    let panels = figures::figure(dataset, region)
+        .into_iter()
+        .map(|panel| {
+            let rows = panel
+                .rows
+                .iter()
+                .map(|row| {
+                    let mut pairs = vec![
+                        ("resolver", Json::Str(row.resolver.clone())),
+                        ("mainstream", Json::Bool(row.mainstream)),
+                    ];
+                    match &row.response {
+                        Some(b) => {
+                            pairs.push(("median_ms", f(b.summary.median)));
+                            pairs.push(("q1_ms", f(b.summary.q1)));
+                            pairs.push(("q3_ms", f(b.summary.q3)));
+                            pairs.push(("samples", Json::Int(b.summary.count as i64)));
+                        }
+                        None => pairs.push(("median_ms", Json::Null)),
+                    }
+                    match &row.ping {
+                        Some(b) => pairs.push(("ping_median_ms", f(b.summary.median))),
+                        None => pairs.push(("ping_median_ms", Json::Null)),
+                    }
+                    Json::object(pairs)
+                })
+                .collect();
+            Json::object([
+                ("vantage", Json::Str(panel.title)),
+                ("rows", Json::Array(rows)),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("region", Json::Str(region.to_string())),
+        ("panels", Json::Array(panels)),
+    ])
+}
+
+fn gap_rows_json(rows: &[tables23::GapRow], local: &str, remote: &str) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|r| {
+                Json::object([
+                    ("resolver", Json::Str(r.resolver.clone())),
+                    (match local {
+                        "seoul" => "seoul_ms",
+                        _ => "frankfurt_ms",
+                    }, f(r.local_ms)),
+                    (match remote {
+                        "seoul" => "seoul_ms",
+                        _ => "frankfurt_ms",
+                    }, f(r.remote_ms)),
+                    ("gap_ms", f(r.gap_ms())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Tables 2 and 3 as JSON.
+pub fn tables_json(dataset: &Dataset) -> Json {
+    Json::object([
+        (
+            "table2_asia",
+            gap_rows_json(&tables23::table2(dataset), "seoul", "frankfurt"),
+        ),
+        (
+            "table3_europe",
+            gap_rows_json(&tables23::table3(dataset), "frankfurt", "seoul"),
+        ),
+    ])
+}
+
+/// The headline findings as JSON.
+pub fn headline_json(dataset: &Dataset) -> Json {
+    let h = headline::run(dataset);
+    Json::object([
+        (
+            "mainstream_advantage_ms",
+            Json::Array(
+                h.mainstream_advantage_ms
+                    .iter()
+                    .map(|(v, gap)| {
+                        Json::object([("vantage", Json::Str(v.clone())), ("gap_ms", f(*gap))])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("he_wins_at_home", Json::Bool(h.he_wins_at_home)),
+        ("controld_wins_at_ohio", Json::Bool(h.controld_wins_at_ohio)),
+        (
+            "brahma_wins_at_frankfurt",
+            Json::Bool(h.brahma_wins_at_frankfurt),
+        ),
+        ("alidns_wins_at_seoul", Json::Bool(h.alidns_wins_at_seoul)),
+        (
+            "worst_medians",
+            Json::Array(
+                h.worst_medians
+                    .iter()
+                    .map(|(v, r, m)| {
+                        Json::object([
+                            ("vantage", Json::Str(v.clone())),
+                            ("resolver", Json::Str(r.clone())),
+                            ("median_ms", f(*m)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// CDF comparisons as JSON.
+pub fn cdfs_json(dataset: &Dataset) -> Json {
+    Json::Array(
+        cdfs::run(dataset)
+            .into_iter()
+            .map(|cmp| {
+                Json::object([
+                    ("vantage", Json::Str(cmp.vantage.clone())),
+                    (
+                        "ks_distance",
+                        cmp.ks_distance().map(f).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "median_gap_ms",
+                        cmp.median_gap_ms().map(f).unwrap_or(Json::Null),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Everything, as one document keyed by experiment id.
+pub fn all_experiments_json(dataset: &Dataset) -> Json {
+    Json::object([
+        ("availability", availability_json(dataset)),
+        ("figure2_north_america", figure_json(dataset, Region::NorthAmerica)),
+        ("figure3_europe", figure_json(dataset, Region::Europe)),
+        ("figure4_asia", figure_json(dataset, Region::Asia)),
+        ("tables", tables_json(dataset)),
+        ("headline", headline_json(dataset)),
+        ("cdf_comparison", cdfs_json(dataset)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig};
+
+    fn dataset() -> Dataset {
+        let mut entries = catalog::resolvers::mainstream();
+        for h in [
+            "ordns.he.net",
+            "freedns.controld.com",
+            "dns.brahma.world",
+            "dns.alidns.com",
+            "doh.ffmuc.net",
+            "dns0.eu",
+            "open.dns0.eu",
+            "kids.dns0.eu",
+            "dns.njal.la",
+            "antivirus.bebasid.com",
+            "dns.twnic.tw",
+            "dnslow.me",
+            "jp.tiar.app",
+            "public.dns.iij.jp",
+        ] {
+            entries.push(catalog::resolvers::find(h).unwrap());
+        }
+        Dataset::new(
+            Campaign::with_resolvers(CampaignConfig::quick(71, 6), entries)
+                .run()
+                .records,
+        )
+    }
+
+    #[test]
+    fn all_experiments_serialise_and_parse_back() {
+        let d = dataset();
+        let doc = all_experiments_json(&d);
+        let text = doc.to_string_compact();
+        let back = measure::json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Spot fields.
+        assert!(back.get("availability").unwrap().get("successes").is_some());
+        assert_eq!(
+            back.get("headline")
+                .unwrap()
+                .get("he_wins_at_home")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn figure_json_has_four_panels_with_rows() {
+        let d = dataset();
+        let fig = figure_json(&d, Region::Asia);
+        let panels = fig.get("panels").unwrap().as_array().unwrap();
+        assert_eq!(panels.len(), 4);
+        let rows = panels[0].get("rows").unwrap().as_array().unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows[0].get("resolver").is_some());
+        assert!(rows[0].get("median_ms").is_some());
+    }
+
+    #[test]
+    fn tables_json_round_trips_values() {
+        let d = dataset();
+        let t = tables_json(&d);
+        let t2 = t.get("table2_asia").unwrap().as_array().unwrap();
+        assert_eq!(t2.len(), 5);
+        for row in t2 {
+            let gap = row.get("gap_ms").unwrap().as_f64().unwrap();
+            assert!(gap > 0.0, "Asia rows are faster from Seoul");
+        }
+    }
+
+    #[test]
+    fn availability_json_fields() {
+        let d = dataset();
+        let a = availability_json(&d);
+        let rate = a.get("error_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..0.3).contains(&rate));
+        assert!(a.get("connection_error_share").unwrap().as_f64().unwrap() > 0.3);
+    }
+}

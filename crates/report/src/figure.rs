@@ -1,0 +1,207 @@
+//! Figure rendering: each paper figure panel is a column of resolvers, each
+//! with paired box plots — DNS response time and ICMP ping time — on a
+//! shared axis truncated at 600 ms, "since responses beyond this range will
+//! not result in good application performance".
+
+use edns_stats::BoxPlot;
+
+/// The axis truncation the paper applies to its plots.
+pub const AXIS_MAX_MS: f64 = 600.0;
+
+/// One figure row: a resolver with its two distributions.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// Resolver hostname.
+    pub resolver: String,
+    /// Bold in the paper (mainstream).
+    pub mainstream: bool,
+    /// Response-time box (absent when every probe failed).
+    pub response: Option<BoxPlot>,
+    /// Ping box (absent when the resolver filters ICMP).
+    pub ping: Option<BoxPlot>,
+}
+
+/// One rendered panel (sub-figure).
+#[derive(Debug, Clone)]
+pub struct FigurePanel {
+    /// Panel title, e.g. `"Ohio EC2"`.
+    pub title: String,
+    /// Rows in display order (fastest median first).
+    pub rows: Vec<FigureRow>,
+}
+
+impl FigurePanel {
+    /// Renders the panel as text: two lines per resolver (`R:` response,
+    /// `P:` ping), axis from 0 to [`AXIS_MAX_MS`].
+    pub fn render(&self, width: usize) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.resolver.len() + 2)
+            .max()
+            .unwrap_or(10)
+            .max(10);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== {} (axis 0..{} ms; M=median, ===box, |--| whiskers, o outliers) ===\n",
+            self.title, AXIS_MAX_MS
+        ));
+        for row in &self.rows {
+            let name = if row.mainstream {
+                format!("**{}**", row.resolver)
+            } else {
+                row.resolver.clone()
+            };
+            match &row.response {
+                Some(b) => {
+                    out.push_str(&format!(
+                        "{name:<label_w$} R [{}] med={:.1}ms\n",
+                        b.render_row(0.0, AXIS_MAX_MS, width),
+                        b.summary.median
+                    ));
+                }
+                None => out.push_str(&format!("{name:<label_w$} R (no successful probes)\n")),
+            }
+            match &row.ping {
+                Some(b) => out.push_str(&format!(
+                    "{:<label_w$} P [{}] med={:.1}ms\n",
+                    "",
+                    b.render_row(0.0, AXIS_MAX_MS, width),
+                    b.summary.median
+                )),
+                None => out.push_str(&format!("{:<label_w$} P (no ICMP replies)\n", "")),
+            }
+        }
+        out
+    }
+}
+
+/// Renders one or more ECDF curves as an ASCII plot: x = value (ms),
+/// y = cumulative probability. Each curve is drawn with its own glyph.
+pub fn render_cdf_curves(
+    curves: &[(&str, &edns_stats::Ecdf)],
+    x_max: f64,
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(20);
+    let height = height.max(5);
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+
+    for (ci, (_, ecdf)) in curves.iter().enumerate() {
+        let glyph = glyphs[ci % glyphs.len()];
+        for col in 0..width {
+            let x = x_max * col as f64 / (width - 1) as f64;
+            let p = ecdf.at(x);
+            // Row 0 is the top (p = 1).
+            let row = ((1.0 - p) * (height - 1) as f64).round() as usize;
+            let row = row.min(height - 1);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let p = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{p:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("     +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "      0 ms{}{x_max:.0} ms\n",
+        " ".repeat(width.saturating_sub(10 + format!("{x_max:.0}").len()))
+    ));
+    for (ci, (label, _)) in curves.iter().enumerate() {
+        out.push_str(&format!("      {} {label}\n", glyphs[ci % glyphs.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel() -> FigurePanel {
+        let fast: Vec<f64> = (0..40).map(|i| 15.0 + (i % 7) as f64).collect();
+        let slow: Vec<f64> = (0..40).map(|i| 180.0 + (i % 30) as f64 * 4.0).collect();
+        FigurePanel {
+            title: "Test Panel".into(),
+            rows: vec![
+                FigureRow {
+                    resolver: "dns.google".into(),
+                    mainstream: true,
+                    response: BoxPlot::of("dns.google", &fast),
+                    ping: BoxPlot::of("dns.google", &fast),
+                },
+                FigureRow {
+                    resolver: "slow.example".into(),
+                    mainstream: false,
+                    response: BoxPlot::of("slow.example", &slow),
+                    ping: None,
+                },
+                FigureRow {
+                    resolver: "dead.example".into(),
+                    mainstream: false,
+                    response: None,
+                    ping: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_marks_mainstream_bold() {
+        let s = panel().render(80);
+        assert!(s.contains("**dns.google**"));
+        assert!(s.contains("slow.example"));
+        assert!(!s.contains("**slow.example**"));
+    }
+
+    #[test]
+    fn render_handles_missing_data() {
+        let s = panel().render(80);
+        assert!(s.contains("(no ICMP replies)"));
+        assert!(s.contains("(no successful probes)"));
+    }
+
+    #[test]
+    fn medians_annotated() {
+        let s = panel().render(80);
+        assert!(s.contains("med="));
+        assert!(s.contains("Test Panel"));
+    }
+
+    #[test]
+    fn cdf_curves_render_with_legend_and_monotone_shape() {
+        let fast: Vec<f64> = (0..100).map(|i| 10.0 + (i % 20) as f64).collect();
+        let slow: Vec<f64> = (0..100).map(|i| 150.0 + (i % 60) as f64).collect();
+        let ef = edns_stats::Ecdf::new(&fast).unwrap();
+        let es = edns_stats::Ecdf::new(&slow).unwrap();
+        let s = render_cdf_curves(&[("fast", &ef), ("slow", &es)], 300.0, 60, 12);
+        assert!(s.contains("* fast"));
+        assert!(s.contains("+ slow"));
+        assert!(s.contains("1.00 |"));
+        assert!(s.contains("0.00 |"));
+        // The fast curve must reach the top (p=1) earlier (further left):
+        let top_row = s.lines().next().unwrap();
+        let fast_top = top_row.find('*');
+        let slow_top = top_row.find('+');
+        match (fast_top, slow_top) {
+            (Some(f), Some(sl)) => assert!(f < sl, "{top_row}"),
+            (Some(_), None) => {} // slow never reaches top within axis: fine
+            other => panic!("unexpected top row {other:?}: {top_row}"),
+        }
+    }
+
+    #[test]
+    fn fast_box_sits_left_of_slow_box() {
+        let s = panel().render(100);
+        let lines: Vec<&str> = s.lines().collect();
+        // Line 1: google response row; line 3: slow response row.
+        let g = lines[1].find('M').unwrap();
+        let sl = lines[3].find('M').unwrap();
+        assert!(g < sl, "fast median marker should be further left");
+    }
+}

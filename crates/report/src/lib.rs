@@ -1,0 +1,30 @@
+//! # report
+//!
+//! Regenerates every table and figure of the paper from campaign output:
+//!
+//! | Experiment | Module |
+//! |---|---|
+//! | Table 1 (browser × provider matrix) | [`experiments::table1`] |
+//! | §4 availability (success/error counts, dominant error class) | [`experiments::availability`] |
+//! | Figure 1 (NA resolvers from Ohio) | [`experiments::figures::figure1`] |
+//! | Figures 2–4 (NA/EU/Asia resolvers × 4 vantage groups) | [`experiments::figures`] |
+//! | Tables 2–3 (local-vs-remote median gaps) | [`experiments::tables23`] |
+//! | §4 headline claims (crossovers, worst medians) | [`experiments::headline`] |
+//!
+//! Figures render as text panels of paired box plots (response time + ping
+//! per resolver, axis truncated at 600 ms as in the paper); tables render
+//! via [`TextTable`] and can be exported with [`csv`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod csv;
+pub mod experiments;
+pub mod export;
+pub mod figure;
+pub mod table;
+
+pub use analysis::{Dataset, VantageGroup};
+pub use figure::{FigurePanel, FigureRow, AXIS_MAX_MS};
+pub use table::TextTable;

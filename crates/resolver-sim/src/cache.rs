@@ -1,0 +1,258 @@
+//! The resolver-side record cache: TTL expiry plus LRU eviction.
+//!
+//! The paper's methodology leans on caching — "it is reasonable to expect
+//! that most people query sites that are already in cache ... the presence
+//! of cached entries enables a more controlled experiment" — so the cache's
+//! hit behaviour directly shapes measured response times.
+
+use std::collections::HashMap;
+
+use dns_wire::{Name, RData, RecordType};
+use netsim::{SimDuration, SimTime};
+
+/// A cached answer: the records plus when they expire.
+#[derive(Debug, Clone)]
+struct Entry {
+    records: Vec<RData>,
+    expires: SimTime,
+    /// LRU clock value at last touch.
+    last_used: u64,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned unexpired records.
+    pub hits: u64,
+    /// Lookups that found nothing (or only expired records).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries dropped because their TTL lapsed.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A TTL + LRU record cache keyed by `(name, type)`.
+#[derive(Debug)]
+pub struct RecordCache {
+    entries: HashMap<(Name, RecordType), Entry>,
+    capacity: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl RecordCache {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        RecordCache {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current number of live entries (including not-yet-collected expired
+    /// ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up records for `(name, rtype)` at time `now`.
+    pub fn get(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<RData>> {
+        self.clock += 1;
+        let key = (name.clone(), rtype);
+        match self.entries.get_mut(&key) {
+            Some(e) if e.expires > now => {
+                e.last_used = self.clock;
+                self.stats.hits += 1;
+                Some(e.records.clone())
+            }
+            Some(_) => {
+                // Expired in place: collect it.
+                self.entries.remove(&key);
+                self.stats.expirations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts records with the given TTL, evicting the least-recently-used
+    /// entry if at capacity.
+    pub fn insert(
+        &mut self,
+        name: Name,
+        rtype: RecordType,
+        records: Vec<RData>,
+        ttl: SimDuration,
+        now: SimTime,
+    ) {
+        self.clock += 1;
+        let key = (name, rtype);
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Evict the LRU entry.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                records,
+                expires: now + ttl,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Drops every expired entry (periodic maintenance).
+    pub fn purge_expired(&mut self, now: SimTime) {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires > now);
+        self.stats.expirations += (before - self.entries.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a(o: u8) -> Vec<RData> {
+        vec![RData::A(Ipv4Addr::new(10, 0, 0, o))]
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn hit_before_ttl_miss_after() {
+        let mut c = RecordCache::new(16);
+        c.insert(
+            name("google.com"),
+            RecordType::A,
+            a(1),
+            SimDuration::from_secs(300),
+            at(0),
+        );
+        assert_eq!(c.get(&name("google.com"), RecordType::A, at(299)), Some(a(1)));
+        assert_eq!(c.get(&name("google.com"), RecordType::A, at(300)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.expirations), (1, 1, 1));
+    }
+
+    #[test]
+    fn type_is_part_of_the_key() {
+        let mut c = RecordCache::new(16);
+        c.insert(
+            name("x.com"),
+            RecordType::A,
+            a(1),
+            SimDuration::from_secs(60),
+            at(0),
+        );
+        assert!(c.get(&name("x.com"), RecordType::AAAA, at(1)).is_none());
+        assert!(c.get(&name("x.com"), RecordType::A, at(1)).is_some());
+    }
+
+    #[test]
+    fn name_lookup_is_case_insensitive() {
+        let mut c = RecordCache::new(16);
+        c.insert(
+            name("Google.COM"),
+            RecordType::A,
+            a(1),
+            SimDuration::from_secs(60),
+            at(0),
+        );
+        assert!(c.get(&name("google.com"), RecordType::A, at(1)).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_entries() {
+        let mut c = RecordCache::new(2);
+        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(60), at(0));
+        c.insert(name("b.com"), RecordType::A, a(2), SimDuration::from_secs(60), at(0));
+        // Touch a.com so b.com becomes the LRU victim.
+        assert!(c.get(&name("a.com"), RecordType::A, at(1)).is_some());
+        c.insert(name("c.com"), RecordType::A, a(3), SimDuration::from_secs(60), at(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&name("a.com"), RecordType::A, at(2)).is_some());
+        assert!(c.get(&name("b.com"), RecordType::A, at(2)).is_none());
+        assert!(c.get(&name("c.com"), RecordType::A, at(2)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_ttl() {
+        let mut c = RecordCache::new(4);
+        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(10), at(0));
+        c.insert(name("a.com"), RecordType::A, a(2), SimDuration::from_secs(100), at(5));
+        assert_eq!(c.get(&name("a.com"), RecordType::A, at(50)), Some(a(2)));
+    }
+
+    #[test]
+    fn purge_removes_only_expired() {
+        let mut c = RecordCache::new(8);
+        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(10), at(0));
+        c.insert(name("b.com"), RecordType::A, a(2), SimDuration::from_secs(100), at(0));
+        c.purge_expired(at(50));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&name("b.com"), RecordType::A, at(50)).is_some());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = RecordCache::new(8);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(60), at(0));
+        c.get(&name("a.com"), RecordType::A, at(1));
+        c.get(&name("z.com"), RecordType::A, at(1));
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        RecordCache::new(0);
+    }
+}

@@ -1,0 +1,192 @@
+//! A complete resolver instance: deployment topology (sites + routing),
+//! one frontend per site, ICMP policy and health model.
+
+use netsim::{Deployment, Host, IcmpPolicy, Path, SimRng, SimTime};
+
+use crate::server::{HealthModel, ResolverServer, ServerProfile};
+
+/// A fully assembled simulated resolver service.
+#[derive(Debug)]
+pub struct ResolverInstance {
+    /// Hostname, e.g. `dns.google`.
+    pub hostname: String,
+    /// Network topology: sites and unicast/anycast routing.
+    pub deployment: Deployment,
+    /// One frontend per site (parallel to `deployment.sites`).
+    pub servers: Vec<ResolverServer>,
+    /// Whether the service answers ICMP echo.
+    pub icmp: IcmpPolicy,
+    /// Per-probe failure model.
+    pub health: HealthModel,
+    /// Scheduled outage windows: while simulated time is inside one, every
+    /// probe sees a blackholed service (the paper's conclusion that
+    /// non-mainstream "availability and performance may be more variable
+    /// over time" made testable).
+    pub outages: Vec<(SimTime, SimTime)>,
+}
+
+impl ResolverInstance {
+    /// Assembles an instance, building one frontend per site with the given
+    /// profile.
+    pub fn new(
+        hostname: impl Into<String>,
+        deployment: Deployment,
+        profile: ServerProfile,
+        icmp: IcmpPolicy,
+        health: HealthModel,
+    ) -> Self {
+        let servers = deployment
+            .sites
+            .iter()
+            .map(|s| ResolverServer::new(s.city, profile))
+            .collect();
+        ResolverInstance {
+            hostname: hostname.into(),
+            deployment,
+            servers,
+            icmp,
+            health,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Schedules an outage window.
+    pub fn add_outage(&mut self, from: SimTime, until: SimTime) {
+        assert!(until > from, "outage must have positive duration");
+        self.outages.push((from, until));
+    }
+
+    /// True when `now` falls inside a scheduled outage.
+    pub fn in_outage(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|(a, b)| now >= *a && now < *b)
+    }
+
+    /// Samples this probe's observed health at simulated time `now`,
+    /// honouring scheduled outages.
+    pub fn sample_health_at(&self, now: SimTime, rng: &mut SimRng) -> crate::server::ProbeHealth {
+        if self.in_outage(now) {
+            return crate::server::ProbeHealth::Blackholed;
+        }
+        self.health.sample(rng)
+    }
+
+    /// Routes a client to its serving site, returning the site index and
+    /// path (anycast picks the nearest site).
+    pub fn route(&self, client: &Host) -> (usize, Path) {
+        self.deployment.path_from(client)
+    }
+
+    /// Mutable access to the frontend at `site`.
+    pub fn server_mut(&mut self, site: usize) -> &mut ResolverServer {
+        &mut self.servers[site]
+    }
+
+    /// Samples this probe's observed health.
+    pub fn sample_health(&self, rng: &mut SimRng) -> crate::server::ProbeHealth {
+        self.health.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::cities;
+    use netsim::{AccessProfile, HostId, Site};
+
+    fn client(city: netsim::City) -> Host {
+        Host::in_city(HostId(0), "c", city, AccessProfile::cloud_vm())
+    }
+
+    fn anycast_instance() -> ResolverInstance {
+        ResolverInstance::new(
+            "dns.example",
+            Deployment::anycast(vec![
+                Site::datacenter(cities::ASHBURN_VA),
+                Site::datacenter(cities::FRANKFURT),
+                Site::datacenter(cities::SEOUL),
+            ]),
+            ServerProfile::production(),
+            IcmpPolicy::Respond,
+            HealthModel::reliable(),
+        )
+    }
+
+    #[test]
+    fn one_server_per_site() {
+        let inst = anycast_instance();
+        assert_eq!(inst.servers.len(), 3);
+        assert_eq!(inst.servers[1].location().name, "Frankfurt");
+    }
+
+    #[test]
+    fn routing_reaches_different_servers_by_region() {
+        let inst = anycast_instance();
+        let (us, _) = inst.route(&client(cities::CHICAGO));
+        let (eu, _) = inst.route(&client(cities::MUNICH));
+        let (asia, _) = inst.route(&client(cities::TOKYO));
+        assert_eq!((us, eu, asia), (0, 1, 2));
+    }
+
+    #[test]
+    fn unicast_instance_has_single_server() {
+        let inst = ResolverInstance::new(
+            "small.example",
+            Deployment::unicast(Site::small(cities::MALMO)),
+            ServerProfile::hobbyist(),
+            IcmpPolicy::Filtered,
+            HealthModel::typical(),
+        );
+        assert_eq!(inst.servers.len(), 1);
+        let (site, path) = inst.route(&client(cities::SEOUL));
+        assert_eq!(site, 0);
+        assert!(path.base_one_way_ms() > 40.0, "Seoul→Malmö is far");
+    }
+
+    #[test]
+    fn health_sampling_works() {
+        let inst = anycast_instance();
+        let mut rng = SimRng::from_seed(1);
+        let healthy = (0..1000)
+            .filter(|_| inst.sample_health(&mut rng) == crate::server::ProbeHealth::Healthy)
+            .count();
+        assert!(healthy > 990);
+    }
+
+    #[test]
+    fn outage_windows_blackhole_probes() {
+        use netsim::SimDuration;
+        let mut inst = anycast_instance();
+        let start = SimTime::ZERO + SimDuration::from_hours(10);
+        let end = SimTime::ZERO + SimDuration::from_hours(14);
+        inst.add_outage(start, end);
+        let mut rng = SimRng::from_seed(2);
+        // Inside the window: always blackholed.
+        for h in 10..14 {
+            let t = SimTime::ZERO + SimDuration::from_hours(h);
+            assert!(inst.in_outage(t));
+            assert_eq!(
+                inst.sample_health_at(t, &mut rng),
+                crate::server::ProbeHealth::Blackholed
+            );
+        }
+        // Outside: normal sampling (reliable => almost always healthy).
+        let before = SimTime::ZERO + SimDuration::from_hours(9);
+        assert!(!inst.in_outage(before));
+        let healthy = (0..100)
+            .filter(|_| {
+                inst.sample_health_at(before, &mut rng)
+                    == crate::server::ProbeHealth::Healthy
+            })
+            .count();
+        assert!(healthy > 95);
+        // The end boundary is exclusive.
+        assert!(!inst.in_outage(end));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn empty_outage_rejected() {
+        let mut inst = anycast_instance();
+        inst.add_outage(SimTime::ZERO, SimTime::ZERO);
+    }
+}

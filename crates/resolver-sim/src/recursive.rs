@@ -1,0 +1,332 @@
+//! The recursive-resolution engine running at each resolver site: answer
+//! from cache when possible, otherwise iterate root → TLD → authoritative
+//! and pay the network round trips each referral costs.
+
+use dns_wire::{Name, RData, Rcode, RecordType};
+use netsim::geo::City;
+use netsim::{AccessProfile, Path, SimDuration, SimRng, SimTime};
+
+use crate::authority::{AuthorityAnswer, AuthorityTree};
+use crate::cache::RecordCache;
+
+/// The outcome of resolving one query at the recursive resolver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resolution {
+    /// The response code.
+    pub rcode: Rcode,
+    /// Answer records (empty for NXDOMAIN/NODATA).
+    pub records: Vec<RData>,
+    /// Time spent querying upstream authorities (zero on cache hit).
+    pub upstream_time: SimDuration,
+    /// Whether the answer came from cache.
+    pub cache_hit: bool,
+}
+
+/// A recursive resolver engine located at one site.
+#[derive(Debug)]
+pub struct RecursiveResolver {
+    /// Where this resolver site is (drives upstream latencies).
+    pub location: City,
+    cache: RecordCache,
+    /// RFC 2308 negative cache: names known not to exist, with expiry.
+    negative: std::collections::HashMap<(Name, RecordType), netsim::SimTime>,
+    /// Number of upstream exchanges performed (for tests/metrics).
+    pub upstream_queries: u64,
+}
+
+/// Negative-caching TTL (RFC 2308 caps it at the zone SOA minimum; our
+/// standard zones use 300 s).
+const NEGATIVE_TTL: SimDuration = SimDuration::from_secs(300);
+
+/// Bytes of a typical upstream UDP query / response.
+const UPSTREAM_QUERY_BYTES: usize = 64;
+const UPSTREAM_RESPONSE_BYTES: usize = 240;
+
+impl RecursiveResolver {
+    /// Creates a resolver engine at `location` with the given cache size.
+    pub fn new(location: City, cache_capacity: usize) -> Self {
+        RecursiveResolver {
+            location,
+            cache: RecordCache::new(cache_capacity),
+            negative: std::collections::HashMap::new(),
+            upstream_queries: 0,
+        }
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// One round trip from this site to an authority at `target`.
+    fn upstream_rtt(&mut self, target: City, rng: &mut SimRng) -> SimDuration {
+        self.upstream_queries += 1;
+        let path = Path::between(
+            self.location.point,
+            AccessProfile::datacenter(),
+            target.point,
+            AccessProfile::datacenter(),
+        );
+        // Authorities are redundant; a lost packet costs one retry at a
+        // conservative 400 ms timeout, after which a replica answers.
+        match path.sample_rtt(UPSTREAM_QUERY_BYTES, UPSTREAM_RESPONSE_BYTES, rng) {
+            Some(rtt) => rtt,
+            None => {
+                let retry = path
+                    .sample_rtt(UPSTREAM_QUERY_BYTES, UPSTREAM_RESPONSE_BYTES, rng)
+                    .unwrap_or(SimDuration::from_millis(60));
+                SimDuration::from_millis(400) + retry
+            }
+        }
+    }
+
+    /// Resolves `qname`/`qtype` at simulated time `now`.
+    pub fn resolve(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        authorities: &AuthorityTree,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Resolution {
+        if let Some(records) = self.cache.get(qname, qtype, now) {
+            return Resolution {
+                rcode: Rcode::NoError,
+                records,
+                upstream_time: SimDuration::ZERO,
+                cache_hit: true,
+            };
+        }
+        // RFC 2308 negative cache: a recent NXDOMAIN answers instantly.
+        if let Some(&expiry) = self.negative.get(&(qname.clone(), qtype)) {
+            if expiry > now {
+                return Resolution {
+                    rcode: Rcode::NxDomain,
+                    records: Vec::new(),
+                    upstream_time: SimDuration::ZERO,
+                    cache_hit: true,
+                };
+            }
+            self.negative.remove(&(qname.clone(), qtype));
+        }
+
+        let mut upstream = SimDuration::ZERO;
+
+        // Query the root (resolvers cache TLD referrals for days; charge a
+        // root round trip only when the TLD referral is not cached).
+        let tld_key = {
+            let labels: Vec<&[u8]> = qname.labels().collect();
+            match labels.last() {
+                Some(l) => Name::from_labels([*l]).expect("tld label"),
+                None => Name::root(),
+            }
+        };
+        let tld_loc = if self
+            .cache
+            .get(&tld_key, RecordType::NS, now)
+            .is_none()
+        {
+            upstream += self.upstream_rtt(authorities.root_location, rng);
+            match authorities.root_referral(qname) {
+                AuthorityAnswer::Delegation { ns_location, .. } => {
+                    self.cache.insert(
+                        tld_key.clone(),
+                        RecordType::NS,
+                        vec![],
+                        SimDuration::from_hours(48),
+                        now,
+                    );
+                    Some(ns_location)
+                }
+                _ => None,
+            }
+        } else {
+            // Referral cached: recover the location from the tree directly.
+            match authorities.root_referral(qname) {
+                AuthorityAnswer::Delegation { ns_location, .. } => Some(ns_location),
+                _ => None,
+            }
+        };
+
+        let Some(tld_loc) = tld_loc else {
+            self.negative
+                .insert((qname.clone(), qtype), now + NEGATIVE_TTL);
+            return Resolution {
+                rcode: Rcode::NxDomain,
+                records: Vec::new(),
+                upstream_time: upstream,
+                cache_hit: false,
+            };
+        };
+
+        // Query the TLD for the leaf delegation.
+        upstream += self.upstream_rtt(tld_loc, rng);
+        let leaf = match authorities.tld_referral(qname) {
+            AuthorityAnswer::Delegation { ns_location, .. } => ns_location,
+            _ => {
+                self.negative
+                    .insert((qname.clone(), qtype), now + NEGATIVE_TTL);
+                return Resolution {
+                    rcode: Rcode::NxDomain,
+                    records: Vec::new(),
+                    upstream_time: upstream,
+                    cache_hit: false,
+                }
+            }
+        };
+
+        // Query the authoritative server.
+        upstream += self.upstream_rtt(leaf, rng);
+        match authorities.authoritative_answer(qname, qtype) {
+            AuthorityAnswer::Answer { records, ttl_secs } => {
+                self.cache.insert(
+                    qname.clone(),
+                    qtype,
+                    records.clone(),
+                    SimDuration::from_secs(ttl_secs),
+                    now,
+                );
+                Resolution {
+                    rcode: Rcode::NoError,
+                    records,
+                    upstream_time: upstream,
+                    cache_hit: false,
+                }
+            }
+            _ => {
+                self.negative
+                    .insert((qname.clone(), qtype), now + NEGATIVE_TTL);
+                Resolution {
+                    rcode: Rcode::NxDomain,
+                    records: Vec::new(),
+                    upstream_time: upstream,
+                    cache_hit: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::cities;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn cold_then_warm_resolution() {
+        let auth = AuthorityTree::standard();
+        let mut r = RecursiveResolver::new(cities::FRANKFURT, 1024);
+        let mut rng = SimRng::from_seed(1);
+        let cold = r.resolve(&n("google.com"), RecordType::A, &auth, at(0), &mut rng);
+        assert_eq!(cold.rcode, Rcode::NoError);
+        assert!(!cold.cache_hit);
+        assert!(!cold.records.is_empty());
+        assert!(cold.upstream_time > SimDuration::ZERO);
+        // Root + TLD + auth = 3 upstream exchanges on a fully cold cache.
+        assert_eq!(r.upstream_queries, 3);
+
+        let warm = r.resolve(&n("google.com"), RecordType::A, &auth, at(1), &mut rng);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.upstream_time, SimDuration::ZERO);
+        assert_eq!(warm.records, cold.records);
+        assert_eq!(r.upstream_queries, 3, "warm hit adds no upstream queries");
+    }
+
+    #[test]
+    fn tld_referral_is_cached_across_domains() {
+        let auth = AuthorityTree::standard();
+        let mut r = RecursiveResolver::new(cities::FRANKFURT, 1024);
+        let mut rng = SimRng::from_seed(2);
+        r.resolve(&n("google.com"), RecordType::A, &auth, at(0), &mut rng);
+        let q_after_first = r.upstream_queries;
+        assert_eq!(q_after_first, 3);
+        // Second .com domain: root referral cached, so 2 new exchanges.
+        r.resolve(&n("amazon.com"), RecordType::A, &auth, at(1), &mut rng);
+        assert_eq!(r.upstream_queries, 5);
+    }
+
+    #[test]
+    fn expired_entry_triggers_refetch() {
+        let auth = AuthorityTree::standard();
+        let mut r = RecursiveResolver::new(cities::FRANKFURT, 1024);
+        let mut rng = SimRng::from_seed(3);
+        // amazon.com has a 60 s TTL.
+        r.resolve(&n("amazon.com"), RecordType::A, &auth, at(0), &mut rng);
+        let res = r.resolve(&n("amazon.com"), RecordType::A, &auth, at(61), &mut rng);
+        assert!(!res.cache_hit);
+        assert!(res.upstream_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_tld_and_leaf() {
+        let auth = AuthorityTree::standard();
+        let mut r = RecursiveResolver::new(cities::SEOUL, 64);
+        let mut rng = SimRng::from_seed(4);
+        let res = r.resolve(&n("host.invalid"), RecordType::A, &auth, at(0), &mut rng);
+        assert_eq!(res.rcode, Rcode::NxDomain);
+        let res = r.resolve(&n("unknown-zone.com"), RecordType::A, &auth, at(1), &mut rng);
+        assert_eq!(res.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn nxdomain_is_negatively_cached() {
+        let auth = AuthorityTree::standard();
+        let mut r = RecursiveResolver::new(cities::FRANKFURT, 64);
+        let mut rng = SimRng::from_seed(9);
+        // First NXDOMAIN pays upstream round trips.
+        let first = r.resolve(&n("nope.google.com"), RecordType::A, &auth, at(0), &mut rng);
+        assert_eq!(first.rcode, Rcode::NxDomain);
+        assert!(!first.cache_hit);
+        assert!(first.upstream_time > SimDuration::ZERO);
+        let queries_after_first = r.upstream_queries;
+        // Within the negative TTL: instant, no new upstream queries.
+        let second = r.resolve(&n("nope.google.com"), RecordType::A, &auth, at(10), &mut rng);
+        assert_eq!(second.rcode, Rcode::NxDomain);
+        assert!(second.cache_hit);
+        assert_eq!(second.upstream_time, SimDuration::ZERO);
+        assert_eq!(r.upstream_queries, queries_after_first);
+        // After the negative TTL (300 s): re-resolved upstream.
+        let third = r.resolve(&n("nope.google.com"), RecordType::A, &auth, at(301), &mut rng);
+        assert!(!third.cache_hit);
+        assert!(r.upstream_queries > queries_after_first);
+    }
+
+    #[test]
+    fn negative_cache_is_per_type() {
+        let auth = AuthorityTree::standard();
+        let mut r = RecursiveResolver::new(cities::FRANKFURT, 64);
+        let mut rng = SimRng::from_seed(10);
+        r.resolve(&n("nope.google.com"), RecordType::A, &auth, at(0), &mut rng);
+        // A different type for the same name is not negatively cached.
+        let res = r.resolve(&n("nope.google.com"), RecordType::AAAA, &auth, at(1), &mut rng);
+        assert!(!res.cache_hit);
+    }
+
+    #[test]
+    fn distant_resolver_pays_more_upstream_time() {
+        let auth = AuthorityTree::standard();
+        let mut near = RecursiveResolver::new(cities::ASHBURN_VA, 64);
+        let mut far = RecursiveResolver::new(cities::SEOUL, 64);
+        let mut rng = SimRng::from_seed(5);
+        // Authorities for .com sit in Ashburn, so a Seoul resolver pays
+        // trans-Pacific round trips on a cold miss.
+        let near_t = near
+            .resolve(&n("google.com"), RecordType::A, &auth, at(0), &mut rng)
+            .upstream_time;
+        let far_t = far
+            .resolve(&n("google.com"), RecordType::A, &auth, at(0), &mut rng)
+            .upstream_time;
+        assert!(
+            far_t.as_millis_f64() > near_t.as_millis_f64() * 5.0,
+            "near {near_t} vs far {far_t}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests: cache invariants, zone-file parser robustness,
+//! and recursive-resolution consistency.
+
+use proptest::prelude::*;
+
+use dns_wire::{Name, RData, RecordType};
+use netsim::geo::cities;
+use netsim::{SimDuration, SimRng, SimTime};
+use resolver_sim::{parse_zone, AuthorityTree, RecordCache, RecursiveResolver};
+
+fn at(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(("[a-d]{1,3}\\.com", 0u64..100, 1u64..200), 1..200),
+    ) {
+        let mut cache = RecordCache::new(capacity);
+        for (domain, time, ttl) in ops {
+            let name = Name::parse(&domain).unwrap();
+            cache.insert(
+                name.clone(),
+                RecordType::A,
+                vec![RData::A(std::net::Ipv4Addr::new(1, 2, 3, 4))],
+                SimDuration::from_secs(ttl),
+                at(time),
+            );
+            prop_assert!(cache.len() <= capacity, "len {} > capacity {}", cache.len(), capacity);
+            let _ = cache.get(&name, RecordType::A, at(time));
+        }
+    }
+
+    #[test]
+    fn cache_hit_implies_unexpired(
+        ttl in 1u64..100,
+        insert_at in 0u64..50,
+        query_at in 0u64..200,
+    ) {
+        prop_assume!(query_at >= insert_at);
+        let mut cache = RecordCache::new(8);
+        let name = Name::parse("x.test").unwrap();
+        cache.insert(
+            name.clone(),
+            RecordType::A,
+            vec![RData::A(std::net::Ipv4Addr::LOCALHOST)],
+            SimDuration::from_secs(ttl),
+            at(insert_at),
+        );
+        let hit = cache.get(&name, RecordType::A, at(query_at)).is_some();
+        prop_assert_eq!(hit, query_at < insert_at + ttl);
+    }
+
+    #[test]
+    fn zone_parser_never_panics(text in "\\PC{0,400}") {
+        let _ = parse_zone(&text, Some("fuzz.test"), cities::SEOUL);
+    }
+
+    #[test]
+    fn zone_parser_never_panics_on_liney_input(
+        lines in proptest::collection::vec("[ -~]{0,60}", 0..20)
+    ) {
+        let text = lines.join("\n");
+        let _ = parse_zone(&text, Some("fuzz.test"), cities::SEOUL);
+    }
+
+    #[test]
+    fn resolution_is_deterministic_and_consistent(
+        seed in any::<u64>(),
+        domain in "[a-z]{1,8}\\.(com|org|invalid)",
+    ) {
+        let auth = AuthorityTree::standard();
+        let qname = Name::parse(&domain).unwrap();
+        let run = |s| {
+            let mut r = RecursiveResolver::new(cities::FRANKFURT, 64);
+            let mut rng = SimRng::from_seed(s);
+            let first = r.resolve(&qname, RecordType::A, &auth, at(0), &mut rng);
+            let second = r.resolve(&qname, RecordType::A, &auth, at(1), &mut rng);
+            (first, second)
+        };
+        let (a1, a2) = run(seed);
+        let (b1, b2) = run(seed);
+        prop_assert_eq!(&a1, &b1);
+        prop_assert_eq!(&a2, &b2);
+        // The second query (1 s later) must be served from cache — positive
+        // or negative — and agree with the first on rcode and records.
+        prop_assert!(a2.cache_hit);
+        prop_assert_eq!(a1.rcode, a2.rcode);
+        prop_assert_eq!(a1.records, a2.records);
+        prop_assert_eq!(a2.upstream_time, SimDuration::ZERO);
+    }
+}

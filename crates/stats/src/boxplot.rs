@@ -1,0 +1,125 @@
+//! Box-and-whisker data and ASCII rendering — the paper's figures are rows
+//! of paired box plots (DNS response time + ICMP ping per resolver).
+
+use crate::summary::Summary;
+
+/// The geometry of one box plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxPlot {
+    /// Label (resolver hostname).
+    pub label: String,
+    /// Five-number summary + moments.
+    pub summary: Summary,
+    /// Whisker ends (Tukey 1.5 × IQR).
+    pub whisker_lo: f64,
+    /// Upper whisker.
+    pub whisker_hi: f64,
+    /// Points beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxPlot {
+    /// Builds a box plot from raw data; `None` when data is unusable.
+    pub fn of(label: impl Into<String>, data: &[f64]) -> Option<BoxPlot> {
+        let summary = Summary::of(data)?;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let (whisker_lo, whisker_hi) = summary.whiskers(&sorted);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < whisker_lo || x > whisker_hi)
+            .collect();
+        Some(BoxPlot {
+            label: label.into(),
+            summary,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        })
+    }
+
+    /// Renders this box on an axis from `axis_lo..axis_hi` mapped to
+    /// `width` columns: `|-----[==M==]-------|` style. Values past the axis
+    /// are clamped (the paper truncates its plots at 600 ms the same way).
+    pub fn render_row(&self, axis_lo: f64, axis_hi: f64, width: usize) -> String {
+        let width = width.max(10);
+        let col = |x: f64| -> usize {
+            let t = ((x - axis_lo) / (axis_hi - axis_lo)).clamp(0.0, 1.0);
+            ((t * (width - 1) as f64).round() as usize).min(width - 1)
+        };
+        let mut row = vec![' '; width];
+        let (wl, wh) = (col(self.whisker_lo), col(self.whisker_hi));
+        let (q1, q3) = (col(self.summary.q1), col(self.summary.q3));
+        let med = col(self.summary.median);
+        for cell in row.iter_mut().take(wh + 1).skip(wl) {
+            *cell = '-';
+        }
+        for cell in row.iter_mut().take(q3 + 1).skip(q1) {
+            *cell = '=';
+        }
+        row[wl] = '|';
+        row[wh] = '|';
+        row[med] = 'M';
+        for &o in &self.outliers {
+            let c = col(o);
+            if row[c] == ' ' {
+                row[c] = 'o';
+            }
+        }
+        row.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<f64> {
+        let mut d: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        d.push(200.0);
+        d
+    }
+
+    #[test]
+    fn boxplot_identifies_outliers() {
+        let b = BoxPlot::of("r", &data()).unwrap();
+        assert_eq!(b.outliers, vec![200.0]);
+        assert!(b.whisker_hi <= 20.0);
+        assert_eq!(b.whisker_lo, 1.0);
+    }
+
+    #[test]
+    fn empty_data_is_none() {
+        assert!(BoxPlot::of("r", &[]).is_none());
+    }
+
+    #[test]
+    fn render_has_median_marker_and_whiskers() {
+        let b = BoxPlot::of("r", &data()).unwrap();
+        let row = b.render_row(0.0, 30.0, 60);
+        assert_eq!(row.len(), 60);
+        assert!(row.contains('M'));
+        assert!(row.contains('='));
+        assert!(row.matches('|').count() >= 2);
+    }
+
+    #[test]
+    fn render_clamps_out_of_axis_values() {
+        let b = BoxPlot::of("r", &data()).unwrap();
+        // Axis far left of the data: everything clamps to the last column.
+        let row = b.render_row(0.0, 0.5, 20);
+        assert_eq!(row.len(), 20);
+        assert!(row.ends_with('M') || row.ends_with('|') || row.ends_with('o'));
+    }
+
+    #[test]
+    fn median_between_quartiles_on_axis() {
+        let b = BoxPlot::of("r", &(1..=100).map(f64::from).collect::<Vec<_>>()).unwrap();
+        let row = b.render_row(0.0, 101.0, 101);
+        let m = row.find('M').unwrap();
+        let eq_start = row.find('=').unwrap();
+        let eq_end = row.rfind('=').unwrap();
+        assert!(eq_start <= m && m <= eq_end);
+    }
+}

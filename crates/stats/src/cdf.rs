@@ -1,0 +1,119 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over a sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF; `None` on empty or NaN-contaminated input.
+    pub fn new(data: &[f64]) -> Option<Ecdf> {
+        if data.is_empty() || data.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Ecdf { sorted })
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty samples).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn at(&self, x: f64) -> f64 {
+        // partition_point: count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The inverse CDF (quantile function).
+    pub fn inverse(&self, q: f64) -> f64 {
+        crate::summary::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced points across the sample's
+    /// range, returning `(x, P(X ≤ x))` pairs — plot-ready.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        let n = n.max(2);
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+
+    /// The Kolmogorov–Smirnov statistic between two ECDFs: the maximum
+    /// vertical distance, evaluated at every sample point of both.
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(&other.sorted) {
+            d = d.max((self.at(x) - other.at(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.at(0.0), 0.0);
+        assert_eq!(e.at(1.0), 0.25);
+        assert_eq!(e.at(2.5), 0.5);
+        assert_eq!(e.at(4.0), 1.0);
+        assert_eq!(e.at(100.0), 1.0);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Ecdf::new(&[]).is_none());
+        assert!(Ecdf::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn inverse_matches_quantile() {
+        let data: Vec<f64> = (1..=99).map(|i| i as f64).collect();
+        let e = Ecdf::new(&data).unwrap();
+        assert_eq!(e.inverse(0.5), 50.0);
+        assert_eq!(e.inverse(0.0), 1.0);
+        assert_eq!(e.inverse(1.0), 99.0);
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let data: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        let curve = Ecdf::new(&data).unwrap().curve(20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing");
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ks_distance_properties() {
+        let a = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        let b = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.ks_distance(&b), 0.0);
+        let shifted = Ecdf::new(&[101.0, 102.0, 103.0]).unwrap();
+        assert_eq!(a.ks_distance(&shifted), 1.0);
+        // Symmetric.
+        let c = Ecdf::new(&[1.5, 2.5]).unwrap();
+        assert!((a.ks_distance(&c) - c.ks_distance(&a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Fixed-width histograms for latency distributions.
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus under/overflow.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins across `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo, "invalid range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Adds many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total samples seen (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range's end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin contents.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// The mode bin's index, or `None` when no in-range samples exist.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let (i, &max) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)?;
+        if max == 0 {
+            None
+        } else {
+            Some(i)
+        }
+    }
+
+    /// Renders a terminal sparkline-style bar chart, one row per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("{lo:8.1}-{hi:<8.1} |{bar} {c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.0, 1.9, 2.0, 5.5, 9.99]);
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.extend([-1.0, 5.0, 10.0, 99.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn bin_edges_and_mode() {
+        let mut h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_edges(0), (0.0, 25.0));
+        assert_eq!(h.bin_edges(3), (75.0, 100.0));
+        assert_eq!(h.mode_bin(), None);
+        h.extend([10.0, 30.0, 31.0, 32.0]);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.extend([1.0, 1.0, 3.0]);
+        let s = h.render(10);
+        assert!(s.contains("##"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        Histogram::new(5.0, 5.0, 3);
+    }
+}

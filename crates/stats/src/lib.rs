@@ -1,0 +1,30 @@
+//! # edns-stats
+//!
+//! Statistics for the measurement analysis: quantiles and five-number
+//! summaries ([`summary`]), box-plot geometry with Tukey whiskers
+//! ([`boxplot`] — the paper's figures are rows of box plots), empirical
+//! CDFs ([`cdf`]), fixed-width histograms ([`histogram`]), Pearson/Spearman
+//! correlation ([`correlation`] — for the latency-vs-response-time
+//! question), and availability ledgers ([`availability`] — the
+//! success/error accounting of §4).
+//!
+//! Everything rejects NaN inputs explicitly rather than propagating them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod boxplot;
+pub mod cdf;
+pub mod correlation;
+pub mod histogram;
+pub mod streaming;
+pub mod summary;
+
+pub use availability::{Availability, AvailabilityLedger};
+pub use boxplot::BoxPlot;
+pub use cdf::Ecdf;
+pub use correlation::{pearson, spearman};
+pub use histogram::Histogram;
+pub use streaming::{P2Quantile, RunningMoments};
+pub use summary::{mean, median, quantile, quantile_sorted, std_dev, Summary};

@@ -1,0 +1,333 @@
+//! Streaming statistics: the P² quantile estimator (Jain & Chlamtac 1985)
+//! and a running moments accumulator — used to track latency percentiles
+//! over multi-month campaigns without storing every sample.
+
+/// The P² algorithm: estimates one quantile online with five markers and
+/// O(1) memory, within a small relative error for unimodal distributions.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Samples seen so far.
+    count: usize,
+    /// Initial buffer until five samples arrive.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile (0 < q < 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Samples seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.heights.copy_from_slice(&self.init);
+            }
+            return;
+        }
+
+        // Find the cell k containing x and update extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (0..4)
+                .find(|&i| x >= self.heights[i] && x < self.heights[i + 1])
+                .expect("x bracketed by extreme markers")
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + sign / (np - nm)
+            * ((n - nm + sign) * (hp - h) / (np - n) + (np - n - sign) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate (exact while fewer than five samples).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.init.len() < 5 {
+            let mut sorted = self.init.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            return Some(crate::summary::quantile_sorted(&sorted, self.q));
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// Running mean/variance via Welford's algorithm, plus min/max.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The running mean.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n−1).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum seen.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum seen.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = mean;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim_free_rng::Lcg;
+
+    /// A tiny LCG so these tests don't need a rand dependency.
+    mod netsim_free_rng {
+        pub struct Lcg(pub u64);
+        impl Lcg {
+            pub fn next_f64(&mut self) -> f64 {
+                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (self.0 >> 11) as f64 / (1u64 << 53) as f64
+            }
+        }
+    }
+
+    #[test]
+    fn p2_tracks_the_median_of_uniform_data() {
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = Lcg(42);
+        for _ in 0..50_000 {
+            est.observe(rng.next_f64() * 100.0);
+        }
+        let e = est.estimate().unwrap();
+        assert!((e - 50.0).abs() < 2.0, "median estimate {e}");
+    }
+
+    #[test]
+    fn p2_tracks_a_tail_quantile() {
+        let mut est = P2Quantile::new(0.95);
+        let mut rng = Lcg(7);
+        for _ in 0..50_000 {
+            est.observe(rng.next_f64());
+        }
+        let e = est.estimate().unwrap();
+        assert!((e - 0.95).abs() < 0.02, "p95 estimate {e}");
+    }
+
+    #[test]
+    fn p2_exact_for_small_samples() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        for x in [3.0, 1.0, 2.0] {
+            est.observe(x);
+        }
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn p2_handles_skewed_data() {
+        // Exponential-ish: inverse-CDF transform of uniform.
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = Lcg(99);
+        let mut all = Vec::new();
+        for _ in 0..20_000 {
+            let x = -(1.0 - rng.next_f64()).ln() * 10.0;
+            est.observe(x);
+            all.push(x);
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let truth = all[all.len() / 2];
+        let e = est.estimate().unwrap();
+        assert!(
+            (e - truth).abs() / truth < 0.05,
+            "estimate {e} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn p2_rejects_bad_quantile() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn moments_match_batch_computation() {
+        let data: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt()).collect();
+        let mut m = RunningMoments::new();
+        for &x in &data {
+            m.observe(x);
+        }
+        let mean = crate::summary::mean(&data).unwrap();
+        let sd = crate::summary::std_dev(&data).unwrap();
+        assert!((m.mean().unwrap() - mean).abs() < 1e-9);
+        assert!((m.std_dev().unwrap() - sd).abs() < 1e-9);
+        assert_eq!(m.min(), Some(1.0));
+        assert_eq!(m.max(), Some(10.0));
+        assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn moments_merge_equals_single_stream() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut whole = RunningMoments::new();
+        for &x in &data {
+            whole.observe(x);
+        }
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 3 == 0 {
+                a.observe(x);
+            } else {
+                b.observe(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moments_merge_with_empty() {
+        let mut a = RunningMoments::new();
+        let empty = RunningMoments::new();
+        a.observe(5.0);
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+        let mut b = RunningMoments::new();
+        b.merge(&a);
+        assert_eq!(b.mean(), Some(5.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Summary statistics: medians, percentiles, five-number summaries.
+
+/// Computes the `q`-quantile (0 ≤ q ≤ 1) of unsorted data using linear
+/// interpolation between order statistics (type-7, the R/NumPy default).
+///
+/// Returns `None` on empty input or if any value is NaN.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || data.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of already-sorted data (ascending). Panics on empty input.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median.
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// Arithmetic mean.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    Some(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Sample standard deviation (n−1 denominator).
+pub fn std_dev(data: &[f64]) -> Option<f64> {
+    if data.len() < 2 {
+        return None;
+    }
+    let m = mean(data)?;
+    let var = data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// A full distribution summary, the unit the report figures are built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarises unsorted data; `None` when empty or NaN-contaminated.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() || data.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.50),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean: mean(&sorted).expect("non-empty"),
+            p90: quantile_sorted(&sorted, 0.90),
+            p99: quantile_sorted(&sorted, 0.99),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Tukey whisker positions: the most extreme data points within
+    /// `1.5 × IQR` of the quartiles, clamped so the whiskers never retreat
+    /// inside the box (interpolated quartiles on tiny samples with extreme
+    /// outliers can otherwise place every in-fence point past a quartile).
+    pub fn whiskers(&self, sorted: &[f64]) -> (f64, f64) {
+        let lo_fence = self.q1 - 1.5 * self.iqr();
+        let hi_fence = self.q3 + 1.5 * self.iqr();
+        let lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(self.min)
+            .min(self.q1);
+        let hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(self.max)
+            .max(self.q3);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(4.0));
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((quantile(&data, 0.75).unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert_eq!(median(&[1.0, f64::NAN]), None);
+        assert_eq!(Summary::of(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), Some(5.0));
+        let sd = std_dev(&data).unwrap();
+        assert!((sd - 2.138).abs() < 0.01, "{sd}");
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn summary_five_numbers() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&data).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!((s.q1 - 25.75).abs() < 1e-12);
+        assert!((s.q3 - 75.25).abs() < 1e-12);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert!((s.iqr() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whiskers_clip_outliers() {
+        let mut data: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        data.push(1000.0); // outlier
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = Summary::of(&data).unwrap();
+        let (lo, hi) = s.whiskers(&data);
+        assert_eq!(lo, 1.0);
+        assert!(hi <= 20.0, "outlier must be outside whisker: {hi}");
+    }
+
+    #[test]
+    fn quantile_sorted_extremes() {
+        let sorted = [10.0, 20.0, 30.0];
+        assert_eq!(quantile_sorted(&sorted, -0.5), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 2.0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_sorted_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+}

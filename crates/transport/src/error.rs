@@ -1,0 +1,110 @@
+//! Transport-level failures, each carrying the simulated time burned before
+//! the failure surfaced — measurement campaigns account that time.
+
+use std::fmt;
+
+use netsim::SimDuration;
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// TCP connection establishment never completed (SYN retries exhausted).
+    ConnectTimeout,
+    /// The peer actively refused the connection (RST / closed port).
+    ConnectionRefused,
+    /// The TLS handshake failed or timed out.
+    TlsHandshakeFailure,
+    /// The TLS certificate did not validate.
+    CertificateInvalid,
+    /// An established connection stopped answering (request retries
+    /// exhausted).
+    RequestTimeout,
+    /// The peer returned a protocol-level error (HTTP 5xx, H2 GOAWAY,
+    /// QUIC CONNECTION_CLOSE).
+    ProtocolError,
+}
+
+impl fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransportErrorKind::ConnectTimeout => "connect timeout",
+            TransportErrorKind::ConnectionRefused => "connection refused",
+            TransportErrorKind::TlsHandshakeFailure => "TLS handshake failure",
+            TransportErrorKind::CertificateInvalid => "certificate invalid",
+            TransportErrorKind::RequestTimeout => "request timeout",
+            TransportErrorKind::ProtocolError => "protocol error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A transport failure plus the time it took to manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportError {
+    /// What went wrong.
+    pub kind: TransportErrorKind,
+    /// Simulated time spent before the failure was observed.
+    pub elapsed: SimDuration,
+}
+
+impl TransportError {
+    /// Constructs an error.
+    pub fn new(kind: TransportErrorKind, elapsed: SimDuration) -> Self {
+        TransportError { kind, elapsed }
+    }
+
+    /// True for failures that manifest as "could not establish a
+    /// connection" — the dominant error class in the paper's campaign.
+    pub fn is_connection_failure(&self) -> bool {
+        matches!(
+            self.kind,
+            TransportErrorKind::ConnectTimeout
+                | TransportErrorKind::ConnectionRefused
+                | TransportErrorKind::TlsHandshakeFailure
+                | TransportErrorKind::CertificateInvalid
+        )
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after {}", self.kind, self.elapsed)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_failure_classification() {
+        let conn = TransportError::new(
+            TransportErrorKind::ConnectTimeout,
+            SimDuration::from_secs(3),
+        );
+        assert!(conn.is_connection_failure());
+        let req = TransportError::new(
+            TransportErrorKind::RequestTimeout,
+            SimDuration::from_secs(5),
+        );
+        assert!(!req.is_connection_failure());
+        let tls = TransportError::new(
+            TransportErrorKind::TlsHandshakeFailure,
+            SimDuration::from_millis(900),
+        );
+        assert!(tls.is_connection_failure());
+    }
+
+    #[test]
+    fn display_mentions_kind_and_time() {
+        let e = TransportError::new(
+            TransportErrorKind::ConnectionRefused,
+            SimDuration::from_millis(42),
+        );
+        let s = e.to_string();
+        assert!(s.contains("refused"));
+        assert!(s.contains("42.000ms"));
+    }
+}

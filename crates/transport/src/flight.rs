@@ -1,0 +1,242 @@
+//! The reliable-exchange primitive every handshake is built from.
+//!
+//! One *flight exchange* sends a request flight, waits for the response
+//! flight, and retransmits on timeout with exponential backoff — the
+//! behaviour common to TCP SYN retries, TLS handshake retransmission and
+//! QUIC PTO. Modelling it once keeps every transport's loss behaviour
+//! consistent.
+
+use netsim::{Path, SimDuration, SimRng};
+
+use crate::error::{TransportError, TransportErrorKind};
+
+/// Retransmission policy for a flight exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Initial retransmission timeout.
+    pub initial_rto: SimDuration,
+    /// Backoff multiplier applied after each timeout (conventionally 2).
+    pub backoff: u32,
+    /// Maximum number of transmissions (first try + retries).
+    pub max_attempts: u32,
+    /// Cap on the per-attempt RTO.
+    pub max_rto: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Linux-like TCP SYN policy: 1 s initial RTO, doubling, 4 attempts
+    /// (trimmed from the kernel's 6 to match the measurement tool's
+    /// connect timeout).
+    pub fn tcp_syn() -> Self {
+        RetryPolicy {
+            initial_rto: SimDuration::from_secs(1),
+            backoff: 2,
+            max_attempts: 4,
+            max_rto: SimDuration::from_secs(8),
+        }
+    }
+
+    /// In-connection data retransmission: RTO from the RTT estimate.
+    pub fn data(rto: SimDuration) -> Self {
+        RetryPolicy {
+            initial_rto: rto,
+            backoff: 2,
+            max_attempts: 5,
+            max_rto: SimDuration::from_secs(10),
+        }
+    }
+
+    /// QUIC-style probe timeout: more aggressive initial PTO.
+    pub fn quic_pto() -> Self {
+        RetryPolicy {
+            initial_rto: SimDuration::from_millis(300),
+            backoff: 2,
+            max_attempts: 6,
+            max_rto: SimDuration::from_secs(8),
+        }
+    }
+}
+
+/// Outcome of a successful exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeOutcome {
+    /// Total elapsed time including any retransmission stalls.
+    pub elapsed: SimDuration,
+    /// The round-trip time of the *successful* attempt (for RTT estimators).
+    pub final_rtt: SimDuration,
+    /// Number of transmissions used (1 = no loss).
+    pub attempts: u32,
+}
+
+/// Performs one reliable request/response flight exchange.
+///
+/// Each attempt sends `fwd_bytes`, waits `server_time` of peer processing,
+/// and receives `rev_bytes`. If either direction drops, the attempt costs
+/// the current RTO and the next attempt begins with the RTO doubled.
+pub fn exchange(
+    path: &Path,
+    fwd_bytes: usize,
+    rev_bytes: usize,
+    server_time: SimDuration,
+    policy: RetryPolicy,
+    timeout_kind: TransportErrorKind,
+    rng: &mut SimRng,
+) -> Result<ExchangeOutcome, TransportError> {
+    let mut elapsed = SimDuration::ZERO;
+    let mut rto = policy.initial_rto;
+    for attempt in 1..=policy.max_attempts {
+        let fwd = path.sample_forward(fwd_bytes, rng).delay();
+        let rev = path.sample_reverse(rev_bytes, rng).delay();
+        if let (Some(f), Some(r)) = (fwd, rev) {
+            let rtt = f + server_time + r;
+            // A reply that lands after the RTO fires is treated as lost:
+            // the client has already retransmitted.
+            if rtt <= rto {
+                return Ok(ExchangeOutcome {
+                    elapsed: elapsed + rtt,
+                    final_rtt: rtt,
+                    attempts: attempt,
+                });
+            }
+        }
+        elapsed += rto;
+        rto = std::cmp::min(rto.times(policy.backoff as u64), policy.max_rto);
+    }
+    Err(TransportError::new(timeout_kind, elapsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::cities;
+    use netsim::AccessProfile;
+
+    fn clean_path() -> Path {
+        Path::between(
+            cities::COLUMBUS_OH.point,
+            AccessProfile::cloud_vm(),
+            cities::ASHBURN_VA.point,
+            AccessProfile::datacenter(),
+        )
+    }
+
+    fn lossy_path(loss: f64) -> Path {
+        let mut p = clean_path();
+        p.extra_loss = loss;
+        p
+    }
+
+    #[test]
+    fn clean_exchange_is_one_attempt() {
+        let mut rng = SimRng::from_seed(1);
+        let out = exchange(
+            &clean_path(),
+            100,
+            200,
+            SimDuration::from_millis(1),
+            RetryPolicy::tcp_syn(),
+            TransportErrorKind::ConnectTimeout,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.elapsed, out.final_rtt);
+        assert!(out.elapsed.as_millis_f64() < 50.0);
+    }
+
+    #[test]
+    fn total_loss_times_out_with_backoff() {
+        let mut rng = SimRng::from_seed(2);
+        let err = exchange(
+            &lossy_path(1.0),
+            100,
+            200,
+            SimDuration::ZERO,
+            RetryPolicy::tcp_syn(),
+            TransportErrorKind::ConnectTimeout,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::ConnectTimeout);
+        // 1 + 2 + 4 + 8 seconds of RTO.
+        assert_eq!(err.elapsed, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn moderate_loss_costs_rto_stalls() {
+        let mut rng = SimRng::from_seed(3);
+        let mut stalled = 0;
+        let mut total = 0;
+        for _ in 0..500 {
+            if let Ok(out) = exchange(
+                &lossy_path(0.3),
+                100,
+                200,
+                SimDuration::ZERO,
+                RetryPolicy::tcp_syn(),
+                TransportErrorKind::ConnectTimeout,
+                &mut rng,
+            ) {
+                total += 1;
+                if out.attempts > 1 {
+                    stalled += 1;
+                    // A retransmitted connect includes at least one full RTO.
+                    assert!(out.elapsed >= SimDuration::from_secs(1));
+                }
+            }
+        }
+        assert!(total > 400, "most should eventually succeed: {total}");
+        assert!(stalled > 100, "loss should cause visible stalls: {stalled}");
+    }
+
+    #[test]
+    fn reply_slower_than_rto_is_retransmitted() {
+        let mut rng = SimRng::from_seed(4);
+        // Server takes 2 s; initial RTO 1 s — first attempt always "fails",
+        // later attempts succeed once RTO >= RTT.
+        let out = exchange(
+            &clean_path(),
+            100,
+            200,
+            SimDuration::from_secs(2),
+            RetryPolicy::tcp_syn(),
+            TransportErrorKind::RequestTimeout,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.attempts >= 2);
+        // elapsed includes the burned RTO(s).
+        assert!(out.elapsed >= SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn rto_cap_is_respected() {
+        let mut rng = SimRng::from_seed(5);
+        let policy = RetryPolicy {
+            initial_rto: SimDuration::from_secs(1),
+            backoff: 2,
+            max_attempts: 8,
+            max_rto: SimDuration::from_secs(2),
+        };
+        let err = exchange(
+            &lossy_path(1.0),
+            1,
+            1,
+            SimDuration::ZERO,
+            policy,
+            TransportErrorKind::RequestTimeout,
+            &mut rng,
+        )
+        .unwrap_err();
+        // 1 + 2 + 2*6 = 15 s, not 1+2+4+8+...
+        assert_eq!(err.elapsed, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn policies_have_sane_defaults() {
+        assert_eq!(RetryPolicy::tcp_syn().max_attempts, 4);
+        assert!(RetryPolicy::quic_pto().initial_rto < RetryPolicy::tcp_syn().initial_rto);
+        let d = RetryPolicy::data(SimDuration::from_millis(250));
+        assert_eq!(d.initial_rto, SimDuration::from_millis(250));
+    }
+}

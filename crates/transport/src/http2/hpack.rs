@@ -1,0 +1,542 @@
+//! HPACK header compression (RFC 7541) — the subset a DoH client needs:
+//! the full static table, prefix-integer coding, indexed fields, and
+//! literal fields with incremental indexing into a dynamic table.
+//!
+//! Huffman string coding is not emitted; incoming Huffman-flagged strings
+//! are rejected as unsupported (the simulated servers never send them).
+
+use std::collections::VecDeque;
+
+/// One header field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderField {
+    /// Field name (lowercase; pseudo-headers start with `:`).
+    pub name: String,
+    /// Field value.
+    pub value: String,
+}
+
+impl HeaderField {
+    /// Builds a field.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        HeaderField {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+
+    /// RFC 7541 §4.1 size: name + value + 32 octets of overhead.
+    pub fn hpack_size(&self) -> usize {
+        self.name.len() + self.value.len() + 32
+    }
+}
+
+/// The RFC 7541 Appendix A static table (1-indexed).
+pub const STATIC_TABLE: &[(&str, &str)] = &[
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+];
+
+/// HPACK coding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HpackError {
+    /// Input ended inside a field.
+    Truncated,
+    /// An index referenced a nonexistent table entry.
+    BadIndex(usize),
+    /// A Huffman-coded string was encountered (unsupported subset).
+    HuffmanUnsupported,
+    /// A prefix integer overflowed.
+    IntegerOverflow,
+    /// A string was not valid UTF-8 (this stack only emits ASCII headers).
+    BadString,
+}
+
+impl std::fmt::Display for HpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HpackError::Truncated => write!(f, "hpack input truncated"),
+            HpackError::BadIndex(i) => write!(f, "hpack index {i} out of range"),
+            HpackError::HuffmanUnsupported => write!(f, "huffman strings unsupported"),
+            HpackError::IntegerOverflow => write!(f, "hpack integer overflow"),
+            HpackError::BadString => write!(f, "hpack string not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for HpackError {}
+
+/// Encodes an integer with an N-bit prefix (RFC 7541 §5.1).
+pub fn encode_integer(out: &mut Vec<u8>, value: usize, prefix_bits: u8, first_byte_flags: u8) {
+    let max_prefix = (1usize << prefix_bits) - 1;
+    if value < max_prefix {
+        out.push(first_byte_flags | value as u8);
+        return;
+    }
+    out.push(first_byte_flags | max_prefix as u8);
+    let mut rest = value - max_prefix;
+    while rest >= 128 {
+        out.push((rest % 128) as u8 | 0x80);
+        rest /= 128;
+    }
+    out.push(rest as u8);
+}
+
+/// Decodes an N-bit-prefix integer, returning (value, octets consumed).
+pub fn decode_integer(buf: &[u8], prefix_bits: u8) -> Result<(usize, usize), HpackError> {
+    if buf.is_empty() {
+        return Err(HpackError::Truncated);
+    }
+    let max_prefix = (1usize << prefix_bits) - 1;
+    let mut value = (buf[0] as usize) & max_prefix;
+    if value < max_prefix {
+        return Ok((value, 1));
+    }
+    let mut shift = 0u32;
+    for (i, &b) in buf[1..].iter().enumerate() {
+        let add = ((b & 0x7F) as usize)
+            .checked_shl(shift)
+            .ok_or(HpackError::IntegerOverflow)?;
+        value = value.checked_add(add).ok_or(HpackError::IntegerOverflow)?;
+        if b & 0x80 == 0 {
+            return Ok((value, i + 2));
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(HpackError::IntegerOverflow);
+        }
+    }
+    Err(HpackError::Truncated)
+}
+
+fn encode_string(out: &mut Vec<u8>, s: &str) {
+    // Huffman bit clear: raw octets.
+    encode_integer(out, s.len(), 7, 0x00);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_string(buf: &[u8]) -> Result<(String, usize), HpackError> {
+    if buf.is_empty() {
+        return Err(HpackError::Truncated);
+    }
+    if buf[0] & 0x80 != 0 {
+        return Err(HpackError::HuffmanUnsupported);
+    }
+    let (len, used) = decode_integer(buf, 7)?;
+    if buf.len() < used + len {
+        return Err(HpackError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[used..used + len])
+        .map_err(|_| HpackError::BadString)?
+        .to_string();
+    Ok((s, used + len))
+}
+
+/// Shared encoder/decoder table state (RFC 7541 §2.3).
+#[derive(Debug)]
+struct Table {
+    dynamic: VecDeque<HeaderField>,
+    max_size: usize,
+    size: usize,
+}
+
+impl Table {
+    fn new(max_size: usize) -> Self {
+        Table {
+            dynamic: VecDeque::new(),
+            max_size,
+            size: 0,
+        }
+    }
+
+    /// Absolute index space: 1..=61 static, then dynamic newest-first.
+    fn get(&self, index: usize) -> Option<HeaderField> {
+        if index == 0 {
+            return None;
+        }
+        if index <= STATIC_TABLE.len() {
+            let (n, v) = STATIC_TABLE[index - 1];
+            return Some(HeaderField::new(n, v));
+        }
+        self.dynamic.get(index - STATIC_TABLE.len() - 1).cloned()
+    }
+
+    fn insert(&mut self, field: HeaderField) {
+        let fsize = field.hpack_size();
+        while self.size + fsize > self.max_size {
+            match self.dynamic.pop_back() {
+                Some(evicted) => self.size -= evicted.hpack_size(),
+                None => return, // field larger than the table: table empties
+            }
+        }
+        self.size += fsize;
+        self.dynamic.push_front(field);
+    }
+
+    /// Finds a full (name, value) match, returning its 1-based index.
+    fn find_full(&self, field: &HeaderField) -> Option<usize> {
+        for (i, (n, v)) in STATIC_TABLE.iter().enumerate() {
+            if *n == field.name && *v == field.value {
+                return Some(i + 1);
+            }
+        }
+        self.dynamic
+            .iter()
+            .position(|f| f == field)
+            .map(|i| STATIC_TABLE.len() + 1 + i)
+    }
+
+    /// Finds a name-only match.
+    fn find_name(&self, name: &str) -> Option<usize> {
+        for (i, (n, _)) in STATIC_TABLE.iter().enumerate() {
+            if *n == name {
+                return Some(i + 1);
+            }
+        }
+        self.dynamic
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| STATIC_TABLE.len() + 1 + i)
+    }
+}
+
+/// Default dynamic-table size (RFC 7540 SETTINGS_HEADER_TABLE_SIZE).
+pub const DEFAULT_TABLE_SIZE: usize = 4096;
+
+/// An HPACK encoder with a dynamic table.
+#[derive(Debug)]
+pub struct Encoder {
+    table: Table,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new(DEFAULT_TABLE_SIZE)
+    }
+}
+
+impl Encoder {
+    /// Creates an encoder with the given dynamic-table budget.
+    pub fn new(max_table_size: usize) -> Self {
+        Encoder {
+            table: Table::new(max_table_size),
+        }
+    }
+
+    /// Encodes a header list into a header block fragment.
+    pub fn encode(&mut self, fields: &[HeaderField]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in fields {
+            if let Some(idx) = self.table.find_full(f) {
+                // Indexed field: 1-bit pattern '1'.
+                encode_integer(&mut out, idx, 7, 0x80);
+            } else if let Some(idx) = self.table.find_name(&f.name) {
+                // Literal with incremental indexing, indexed name: '01'.
+                encode_integer(&mut out, idx, 6, 0x40);
+                encode_string(&mut out, &f.value);
+                self.table.insert(f.clone());
+            } else {
+                // Literal with incremental indexing, new name.
+                out.push(0x40);
+                encode_string(&mut out, &f.name);
+                encode_string(&mut out, &f.value);
+                self.table.insert(f.clone());
+            }
+        }
+        out
+    }
+}
+
+/// An HPACK decoder with a dynamic table.
+#[derive(Debug)]
+pub struct Decoder {
+    table: Table,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new(DEFAULT_TABLE_SIZE)
+    }
+}
+
+impl Decoder {
+    /// Creates a decoder with the given dynamic-table budget.
+    pub fn new(max_table_size: usize) -> Self {
+        Decoder {
+            table: Table::new(max_table_size),
+        }
+    }
+
+    /// Decodes a header block fragment into a header list.
+    pub fn decode(&mut self, mut buf: &[u8]) -> Result<Vec<HeaderField>, HpackError> {
+        let mut fields = Vec::new();
+        while !buf.is_empty() {
+            let b = buf[0];
+            if b & 0x80 != 0 {
+                // Indexed field.
+                let (idx, used) = decode_integer(buf, 7)?;
+                buf = &buf[used..];
+                fields.push(self.table.get(idx).ok_or(HpackError::BadIndex(idx))?);
+            } else if b & 0x40 != 0 {
+                // Literal with incremental indexing.
+                let (idx, used) = decode_integer(buf, 6)?;
+                buf = &buf[used..];
+                let name = if idx == 0 {
+                    let (n, used) = decode_string(buf)?;
+                    buf = &buf[used..];
+                    n
+                } else {
+                    self.table
+                        .get(idx)
+                        .ok_or(HpackError::BadIndex(idx))?
+                        .name
+                };
+                let (value, used) = decode_string(buf)?;
+                buf = &buf[used..];
+                let f = HeaderField::new(name, value);
+                self.table.insert(f.clone());
+                fields.push(f);
+            } else if b & 0x20 != 0 {
+                // Dynamic table size update.
+                let (size, used) = decode_integer(buf, 5)?;
+                buf = &buf[used..];
+                self.table.max_size = size;
+                while self.table.size > size {
+                    if let Some(e) = self.table.dynamic.pop_back() {
+                        self.table.size -= e.hpack_size();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                // Literal without indexing / never indexed ('0000' / '0001').
+                let (idx, used) = decode_integer(buf, 4)?;
+                buf = &buf[used..];
+                let name = if idx == 0 {
+                    let (n, used) = decode_string(buf)?;
+                    buf = &buf[used..];
+                    n
+                } else {
+                    self.table
+                        .get(idx)
+                        .ok_or(HpackError::BadIndex(idx))?
+                        .name
+                };
+                let (value, used) = decode_string(buf)?;
+                buf = &buf[used..];
+                fields.push(HeaderField::new(name, value));
+            }
+        }
+        Ok(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doh_request_headers() -> Vec<HeaderField> {
+        vec![
+            HeaderField::new(":method", "GET"),
+            HeaderField::new(":scheme", "https"),
+            HeaderField::new(":authority", "dns.google"),
+            HeaderField::new(":path", "/dns-query?dns=AAABAAABAAAAAAAA"),
+            HeaderField::new("accept", "application/dns-message"),
+        ]
+    }
+
+    #[test]
+    fn integer_coding_rfc_examples() {
+        // RFC 7541 §C.1.1: 10 with 5-bit prefix => 0x0a.
+        let mut out = Vec::new();
+        encode_integer(&mut out, 10, 5, 0);
+        assert_eq!(out, [0x0A]);
+        assert_eq!(decode_integer(&out, 5).unwrap(), (10, 1));
+
+        // §C.1.2: 1337 with 5-bit prefix => 1f 9a 0a.
+        let mut out = Vec::new();
+        encode_integer(&mut out, 1337, 5, 0);
+        assert_eq!(out, [0x1F, 0x9A, 0x0A]);
+        assert_eq!(decode_integer(&out, 5).unwrap(), (1337, 3));
+
+        // §C.1.3: 42 with 8-bit prefix => 2a.
+        let mut out = Vec::new();
+        encode_integer(&mut out, 42, 8, 0);
+        assert_eq!(out, [0x2A]);
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let buf = [0x1F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert_eq!(
+            decode_integer(&buf, 5),
+            Err(HpackError::IntegerOverflow)
+        );
+    }
+
+    #[test]
+    fn header_list_round_trip() {
+        let mut enc = Encoder::default();
+        let mut dec = Decoder::default();
+        let fields = doh_request_headers();
+        let block = enc.encode(&fields);
+        assert_eq!(dec.decode(&block).unwrap(), fields);
+    }
+
+    #[test]
+    fn repeat_requests_compress_better() {
+        let mut enc = Encoder::default();
+        let fields = doh_request_headers();
+        let first = enc.encode(&fields).len();
+        let second = enc.encode(&fields).len();
+        assert!(
+            second < first / 2,
+            "dynamic table should shrink repeats: {first} -> {second}"
+        );
+        // And a decoder tracking the same stream still decodes both.
+        let mut enc2 = Encoder::default();
+        let mut dec = Decoder::default();
+        let b1 = enc2.encode(&fields);
+        let b2 = enc2.encode(&fields);
+        assert_eq!(dec.decode(&b1).unwrap(), fields);
+        assert_eq!(dec.decode(&b2).unwrap(), fields);
+    }
+
+    #[test]
+    fn static_full_match_is_one_byte() {
+        let mut enc = Encoder::default();
+        let block = enc.encode(&[HeaderField::new(":method", "GET")]);
+        assert_eq!(block, [0x82]); // index 2
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let mut dec = Decoder::default();
+        // Indexed field, index 100 with empty dynamic table.
+        let mut buf = Vec::new();
+        encode_integer(&mut buf, 100, 7, 0x80);
+        assert_eq!(dec.decode(&buf), Err(HpackError::BadIndex(100)));
+    }
+
+    #[test]
+    fn huffman_flag_rejected() {
+        let mut dec = Decoder::default();
+        // Literal new name with huffman bit set on the name string.
+        let buf = [0x40, 0x81, 0xFF];
+        assert_eq!(dec.decode(&buf), Err(HpackError::HuffmanUnsupported));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut dec = Decoder::default();
+        let mut enc = Encoder::default();
+        let block = enc.encode(&doh_request_headers());
+        assert_eq!(
+            dec.decode(&block[..block.len() - 3]),
+            Err(HpackError::Truncated)
+        );
+    }
+
+    #[test]
+    fn table_eviction_under_small_budget() {
+        let mut enc = Encoder::new(80); // fits ~1 small field
+        let mut dec = Decoder::new(80);
+        for i in 0..20 {
+            let f = vec![HeaderField::new("x-custom", format!("value-{i}"))];
+            let block = enc.encode(&f);
+            assert_eq!(dec.decode(&block).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn literal_without_indexing_decodes() {
+        // 0x00 prefix, new name "a", value "b".
+        let buf = [0x00, 0x01, b'a', 0x01, b'b'];
+        let mut dec = Decoder::default();
+        assert_eq!(
+            dec.decode(&buf).unwrap(),
+            vec![HeaderField::new("a", "b")]
+        );
+    }
+
+    #[test]
+    fn static_table_has_61_entries() {
+        assert_eq!(STATIC_TABLE.len(), 61);
+        assert_eq!(STATIC_TABLE[1], (":method", "GET"));
+        assert_eq!(STATIC_TABLE[60], ("www-authenticate", ""));
+    }
+
+    #[test]
+    fn dynamic_table_size_update_is_applied() {
+        let mut enc = Encoder::default();
+        let mut dec = Decoder::default();
+        let f = vec![HeaderField::new("x-long-header-name", "some-value")];
+        let b1 = enc.encode(&f);
+        dec.decode(&b1).unwrap();
+        // Shrink the decoder's table to zero via a size-update instruction,
+        // then an indexed reference to the (now evicted) entry must fail.
+        let mut update = Vec::new();
+        encode_integer(&mut update, 0, 5, 0x20);
+        encode_integer(&mut update, 62, 7, 0x80); // first dynamic index
+        assert!(dec.decode(&update).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! TCP connection model: three-way handshake, RTT estimation (RFC 6298) and
+//! reliable request/response exchanges on an established connection.
+
+use netsim::{Path, SimDuration, SimRng};
+
+use crate::error::{TransportError, TransportErrorKind};
+use crate::flight::{exchange, ExchangeOutcome, RetryPolicy};
+
+/// TCP tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// SYN retransmission policy.
+    pub syn_policy: RetryPolicy,
+    /// Bytes of a SYN segment (IP + TCP headers + options).
+    pub syn_bytes: usize,
+    /// Minimum data RTO (RFC 6298 floors it at 1 s; Linux uses 200 ms).
+    pub min_rto: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            syn_policy: RetryPolicy::tcp_syn(),
+            syn_bytes: 60,
+            min_rto: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// RFC 6298 smoothed RTT estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+}
+
+impl RttEstimator {
+    /// Initialises from the first RTT measurement.
+    pub fn new(first_rtt: SimDuration) -> Self {
+        let r = first_rtt.as_millis_f64();
+        RttEstimator {
+            srtt: r,
+            rttvar: r / 2.0,
+        }
+    }
+
+    /// Incorporates a new measurement (alpha 1/8, beta 1/4).
+    pub fn update(&mut self, rtt: SimDuration) {
+        let r = rtt.as_millis_f64();
+        self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - r).abs();
+        self.srtt = 0.875 * self.srtt + 0.125 * r;
+    }
+
+    /// The smoothed RTT.
+    pub fn srtt(&self) -> SimDuration {
+        SimDuration::from_millis_f64(self.srtt)
+    }
+
+    /// The retransmission timeout: `SRTT + 4·RTTVAR`, floored at `min_rto`.
+    pub fn rto(&self, min_rto: SimDuration) -> SimDuration {
+        std::cmp::max(
+            SimDuration::from_millis_f64(self.srtt + 4.0 * self.rttvar),
+            min_rto,
+        )
+    }
+}
+
+/// An established TCP connection to a server across a path.
+#[derive(Debug)]
+pub struct TcpConnection {
+    config: TcpConfig,
+    estimator: RttEstimator,
+    /// Total simulated time this connection has consumed.
+    total_elapsed: SimDuration,
+}
+
+impl TcpConnection {
+    /// Performs the three-way handshake.
+    ///
+    /// The model charges one full round trip (SYN → SYN-ACK); the final ACK
+    /// travels with the first data segment, as real stacks do. If the server
+    /// refuses connections, the failure surfaces after one round trip.
+    pub fn connect(
+        path: &Path,
+        refused: bool,
+        rng: &mut SimRng,
+        config: TcpConfig,
+    ) -> Result<(Self, SimDuration), TransportError> {
+        let out = exchange(
+            path,
+            config.syn_bytes,
+            config.syn_bytes,
+            SimDuration::ZERO,
+            config.syn_policy,
+            TransportErrorKind::ConnectTimeout,
+            rng,
+        )?;
+        if refused {
+            // RST arrives in place of the SYN-ACK.
+            return Err(TransportError::new(
+                TransportErrorKind::ConnectionRefused,
+                out.elapsed,
+            ));
+        }
+        Ok((
+            TcpConnection {
+                config,
+                estimator: RttEstimator::new(out.final_rtt),
+                total_elapsed: out.elapsed,
+            },
+            out.elapsed,
+        ))
+    }
+
+    /// The connection's current smoothed RTT estimate.
+    pub fn srtt(&self) -> SimDuration {
+        self.estimator.srtt()
+    }
+
+    /// Total time consumed by this connection so far.
+    pub fn total_elapsed(&self) -> SimDuration {
+        self.total_elapsed
+    }
+
+    /// Sends `req_bytes`, lets the server work for `server_time`, and
+    /// receives `resp_bytes`, with RTO-based retransmission.
+    pub fn request_response(
+        &mut self,
+        path: &Path,
+        req_bytes: usize,
+        resp_bytes: usize,
+        server_time: SimDuration,
+        rng: &mut SimRng,
+    ) -> Result<ExchangeOutcome, TransportError> {
+        // Data RTO must also cover the server's think time, otherwise a
+        // slow-but-healthy peer triggers spurious retransmits forever.
+        let rto = self.estimator.rto(self.config.min_rto) + server_time;
+        let out = exchange(
+            path,
+            req_bytes,
+            resp_bytes,
+            server_time,
+            RetryPolicy::data(rto),
+            TransportErrorKind::RequestTimeout,
+            rng,
+        )?;
+        self.estimator.update(out.final_rtt);
+        self.total_elapsed += out.elapsed;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::cities;
+    use netsim::AccessProfile;
+
+    fn path() -> Path {
+        Path::between(
+            cities::COLUMBUS_OH.point,
+            AccessProfile::cloud_vm(),
+            cities::ASHBURN_VA.point,
+            AccessProfile::datacenter(),
+        )
+    }
+
+    #[test]
+    fn connect_costs_about_one_rtt() {
+        let mut rng = SimRng::from_seed(1);
+        let (conn, elapsed) =
+            TcpConnection::connect(&path(), false, &mut rng, TcpConfig::default()).unwrap();
+        assert!((2.0..40.0).contains(&elapsed.as_millis_f64()), "{elapsed}");
+        assert_eq!(conn.total_elapsed(), elapsed);
+    }
+
+    #[test]
+    fn refused_costs_one_rtt_and_reports_refused() {
+        let mut rng = SimRng::from_seed(2);
+        let err =
+            TcpConnection::connect(&path(), true, &mut rng, TcpConfig::default()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::ConnectionRefused);
+        assert!(err.elapsed.as_millis_f64() < 50.0);
+        assert!(err.is_connection_failure());
+    }
+
+    #[test]
+    fn connect_through_blackhole_times_out() {
+        let mut p = path();
+        p.extra_loss = 1.0;
+        let mut rng = SimRng::from_seed(3);
+        let err = TcpConnection::connect(&p, false, &mut rng, TcpConfig::default()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::ConnectTimeout);
+        assert_eq!(err.elapsed, SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn request_response_accumulates_time_and_updates_rtt() {
+        let mut rng = SimRng::from_seed(4);
+        let p = path();
+        let (mut conn, connect_time) =
+            TcpConnection::connect(&p, false, &mut rng, TcpConfig::default()).unwrap();
+        let out = conn
+            .request_response(&p, 300, 500, SimDuration::from_millis(2), &mut rng)
+            .unwrap();
+        assert!(out.elapsed > SimDuration::from_millis(1));
+        assert_eq!(conn.total_elapsed(), connect_time + out.elapsed);
+        // Multiple requests keep the estimator sane.
+        for _ in 0..20 {
+            conn.request_response(&p, 300, 500, SimDuration::from_millis(2), &mut rng)
+                .unwrap();
+        }
+        let srtt = conn.srtt().as_millis_f64();
+        assert!((2.0..30.0).contains(&srtt), "srtt {srtt}");
+    }
+
+    #[test]
+    fn slow_server_does_not_cause_spurious_timeout() {
+        let mut rng = SimRng::from_seed(5);
+        let p = path();
+        let (mut conn, _) =
+            TcpConnection::connect(&p, false, &mut rng, TcpConfig::default()).unwrap();
+        // 800 ms server time >> data RTO floor; must still succeed in one
+        // attempt because the RTO covers server think time.
+        let out = conn
+            .request_response(&p, 100, 100, SimDuration::from_millis(800), &mut rng)
+            .unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.elapsed >= SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn estimator_converges() {
+        let mut e = RttEstimator::new(SimDuration::from_millis(100));
+        for _ in 0..100 {
+            e.update(SimDuration::from_millis(20));
+        }
+        let srtt = e.srtt().as_millis_f64();
+        assert!((19.0..25.0).contains(&srtt), "srtt {srtt}");
+        // RTO respects the floor.
+        assert!(e.rto(SimDuration::from_millis(200)) >= SimDuration::from_millis(200));
+    }
+}

@@ -1,0 +1,295 @@
+//! TLS 1.3 handshake model (RFC 8446): full 1-RTT handshakes, PSK session
+//! resumption, and session tickets.
+//!
+//! The model counts the round trips and bytes a real TLS 1.3 stack incurs:
+//!
+//! * **Full handshake** — ClientHello → {ServerHello, EncryptedExtensions,
+//!   Certificate, CertificateVerify, Finished} is one round trip; the
+//!   client's Finished rides with the first application data. The server
+//!   flight carries the certificate chain (several kilobytes).
+//! * **PSK resumption** — still one round trip in TLS 1.3 but the server
+//!   flight shrinks to a few hundred bytes and both sides skip certificate
+//!   crypto.
+//! * Asymmetric-crypto processing time is charged on both sides.
+
+use netsim::{Path, SimDuration, SimRng};
+
+use crate::error::{TransportError, TransportErrorKind};
+use crate::flight::{exchange, RetryPolicy};
+use crate::tcp::TcpConnection;
+
+/// TLS configuration for a client connection attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct TlsConfig {
+    /// Size of the ClientHello flight.
+    pub client_hello_bytes: usize,
+    /// Size of the server's full-handshake flight (dominated by the
+    /// certificate chain; ~4 KB is typical for a Let's Encrypt chain).
+    pub server_flight_bytes: usize,
+    /// Size of the server flight under PSK resumption.
+    pub resumed_flight_bytes: usize,
+    /// Server-side asymmetric crypto time (signing / key exchange).
+    pub server_crypto: SimDuration,
+    /// Client-side crypto time (verification / key exchange).
+    pub client_crypto: SimDuration,
+    /// Handshake retransmission policy.
+    pub policy: RetryPolicy,
+}
+
+impl Default for TlsConfig {
+    fn default() -> Self {
+        TlsConfig {
+            client_hello_bytes: 350,
+            server_flight_bytes: 4200,
+            resumed_flight_bytes: 350,
+            server_crypto: SimDuration::from_micros(700),
+            client_crypto: SimDuration::from_micros(500),
+            policy: RetryPolicy {
+                initial_rto: SimDuration::from_secs(1),
+                backoff: 2,
+                max_attempts: 3,
+                max_rto: SimDuration::from_secs(4),
+            },
+        }
+    }
+}
+
+/// A resumption ticket minted by a completed handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTicket {
+    /// Opaque ticket identity (for tests and tracing).
+    pub id: u64,
+}
+
+/// Server-side TLS behaviour knobs (modelling broken deployments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TlsServerBehavior {
+    /// Normal, valid certificate.
+    #[default]
+    Normal,
+    /// Presents an expired/invalid certificate: handshake completes a round
+    /// trip then the client aborts.
+    BadCertificate,
+    /// Never completes the handshake (middlebox interference).
+    Stall,
+}
+
+/// An established TLS session over a TCP connection.
+#[derive(Debug)]
+pub struct TlsSession {
+    /// Whether this session was resumed from a ticket.
+    pub resumed: bool,
+    /// Ticket for resuming a future session.
+    pub ticket: SessionTicket,
+    /// Time the handshake consumed.
+    pub handshake_time: SimDuration,
+}
+
+impl TlsSession {
+    /// Runs the TLS 1.3 handshake over an established TCP connection.
+    ///
+    /// Passing a `ticket` attempts PSK resumption. Returns the session and
+    /// the handshake duration (already included in the session).
+    pub fn handshake(
+        tcp: &mut TcpConnection,
+        path: &Path,
+        config: TlsConfig,
+        behavior: TlsServerBehavior,
+        ticket: Option<SessionTicket>,
+        rng: &mut SimRng,
+    ) -> Result<TlsSession, TransportError> {
+        if behavior == TlsServerBehavior::Stall {
+            // The handshake never completes; the client burns its full
+            // retransmission schedule then reports a handshake failure.
+            let mut elapsed = SimDuration::ZERO;
+            let mut rto = config.policy.initial_rto;
+            for _ in 0..config.policy.max_attempts {
+                elapsed += rto;
+                rto = std::cmp::min(rto.times(config.policy.backoff as u64), config.policy.max_rto);
+            }
+            return Err(TransportError::new(
+                TransportErrorKind::TlsHandshakeFailure,
+                elapsed,
+            ));
+        }
+
+        let resumed = ticket.is_some();
+        // PSK resumption skips certificate signing/verification on both
+        // sides; charge a quarter of the asymmetric-crypto budget.
+        let (server_bytes, server_crypto, client_crypto) = if resumed {
+            (
+                config.resumed_flight_bytes,
+                SimDuration::from_nanos(config.server_crypto.as_nanos() / 4),
+                SimDuration::from_nanos(config.client_crypto.as_nanos() / 4),
+            )
+        } else {
+            (
+                config.server_flight_bytes,
+                config.server_crypto,
+                config.client_crypto,
+            )
+        };
+
+        let out = exchange(
+            path,
+            config.client_hello_bytes,
+            server_bytes,
+            server_crypto,
+            config.policy,
+            TransportErrorKind::TlsHandshakeFailure,
+            rng,
+        )?;
+        let handshake_time = out.elapsed + client_crypto;
+
+        if behavior == TlsServerBehavior::BadCertificate {
+            return Err(TransportError::new(
+                TransportErrorKind::CertificateInvalid,
+                handshake_time,
+            ));
+        }
+
+        // Derive a deterministic ticket id from the connection's timing.
+        let id = handshake_time.as_nanos() ^ (tcp.srtt().as_nanos() << 1);
+        Ok(TlsSession {
+            resumed,
+            ticket: SessionTicket { id },
+            handshake_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpConfig;
+    use netsim::geo::cities;
+    use netsim::AccessProfile;
+
+    fn path() -> Path {
+        Path::between(
+            cities::COLUMBUS_OH.point,
+            AccessProfile::cloud_vm(),
+            cities::ASHBURN_VA.point,
+            AccessProfile::datacenter(),
+        )
+    }
+
+    fn tcp(rng: &mut SimRng) -> TcpConnection {
+        TcpConnection::connect(&path(), false, rng, TcpConfig::default())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn full_handshake_costs_about_one_rtt_plus_crypto() {
+        let mut rng = SimRng::from_seed(1);
+        let mut conn = tcp(&mut rng);
+        let sess = TlsSession::handshake(
+            &mut conn,
+            &path(),
+            TlsConfig::default(),
+            TlsServerBehavior::Normal,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!sess.resumed);
+        let ms = sess.handshake_time.as_millis_f64();
+        assert!((2.0..40.0).contains(&ms), "handshake {ms} ms");
+    }
+
+    #[test]
+    fn resumption_is_cheaper_in_the_median() {
+        // Means are dominated by rare 1-second RTO outliers, so compare the
+        // medians — the statistic the paper reports throughout.
+        let mut rng = SimRng::from_seed(2);
+        let p = path();
+        let n = 400;
+        let mut full = Vec::with_capacity(n);
+        let mut res = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut conn = tcp(&mut rng);
+            let s1 = TlsSession::handshake(
+                &mut conn,
+                &p,
+                TlsConfig::default(),
+                TlsServerBehavior::Normal,
+                None,
+                &mut rng,
+            )
+            .unwrap();
+            full.push(s1.handshake_time.as_millis_f64());
+            let mut conn2 = tcp(&mut rng);
+            let s2 = TlsSession::handshake(
+                &mut conn2,
+                &p,
+                TlsConfig::default(),
+                TlsServerBehavior::Normal,
+                Some(s1.ticket),
+                &mut rng,
+            )
+            .unwrap();
+            assert!(s2.resumed);
+            res.push(s2.handshake_time.as_millis_f64());
+        }
+        full.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (mf, mr) = (full[n / 2], res[n / 2]);
+        // PSK skips ~0.9 ms of asymmetric crypto in this configuration.
+        assert!(mr < mf - 0.4, "resumed median {mr} vs full median {mf}");
+    }
+
+    #[test]
+    fn bad_certificate_fails_after_the_round_trip() {
+        let mut rng = SimRng::from_seed(3);
+        let mut conn = tcp(&mut rng);
+        let err = TlsSession::handshake(
+            &mut conn,
+            &path(),
+            TlsConfig::default(),
+            TlsServerBehavior::BadCertificate,
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::CertificateInvalid);
+        assert!(err.elapsed.as_millis_f64() > 1.0);
+        assert!(err.is_connection_failure());
+    }
+
+    #[test]
+    fn stall_burns_full_retry_schedule() {
+        let mut rng = SimRng::from_seed(4);
+        let mut conn = tcp(&mut rng);
+        let err = TlsSession::handshake(
+            &mut conn,
+            &path(),
+            TlsConfig::default(),
+            TlsServerBehavior::Stall,
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::TlsHandshakeFailure);
+        // 1 + 2 + 4 seconds.
+        assert_eq!(err.elapsed, SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn handshake_over_blackhole_times_out() {
+        let mut rng = SimRng::from_seed(5);
+        let mut conn = tcp(&mut rng);
+        let mut p = path();
+        p.extra_loss = 1.0;
+        let err = TlsSession::handshake(
+            &mut conn,
+            &p,
+            TlsConfig::default(),
+            TlsServerBehavior::Normal,
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::TlsHandshakeFailure);
+    }
+}

@@ -1,0 +1,37 @@
+//! # webperf
+//!
+//! The paper's stated future-work direction: "an assessment of the effects
+//! of encrypted DNS performance on application performance, including web
+//! page load time, across the full set of encrypted DNS resolvers."
+//!
+//! This crate implements a WProf-style dependency-graph page-load model
+//! ([`Page`]) and a loader ([`Loader`]) that resolves every page domain
+//! through a chosen (simulated) encrypted resolver, charges the browser-
+//! faithful costs — cold resolver connection for the first lookup, reused
+//! channel afterwards, per-domain web connection setup, transfer time —
+//! and attributes the DNS share of the critical path by counterfactual
+//! (load time with DNS vs. with free DNS).
+//!
+//! ```
+//! use webperf::{Loader, Page};
+//! use measure::ProbeTarget;
+//! use netsim::{geo::cities, AccessProfile, Host, HostId, SimRng, SimTime};
+//!
+//! let loader = Loader::default();
+//! let page = Page::news_site("news.example.com");
+//! let client = Host::in_city(HostId(0), "c", cities::CHICAGO, AccessProfile::home_cable());
+//! let mut resolver = ProbeTarget::from_entry(catalog::resolvers::find("dns.google").unwrap());
+//! let mut rng = SimRng::from_seed(1);
+//! let report = loader.load(&page, &client, true, &mut resolver, SimTime::ZERO, &mut rng);
+//! assert!(report.plt_ms > 0.0);
+//! assert!(report.dns_share() < 0.6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loader;
+pub mod page;
+
+pub use loader::{LoadReport, Loader, WebConfig};
+pub use page::{Page, PageObject};

@@ -1,0 +1,184 @@
+//! Page models: the object/dependency structure whose fetches a browser
+//! must resolve, connect and download.
+//!
+//! The model follows WProf's observation (Wang et al., NSDI'13) that page
+//! load time is governed by a *dependency critical path*: HTML first, then
+//! the CSS/JS it references, then the images those reference. DNS
+//! resolutions sit at the head of every first connection to a domain and
+//! can contribute "up to 13% of the critical path delay" for uncached
+//! names.
+
+use dns_wire::Name;
+use netsim::SimRng;
+
+/// One fetchable object.
+#[derive(Debug, Clone)]
+pub struct PageObject {
+    /// The domain the object is served from.
+    pub domain: Name,
+    /// Transfer size in bytes.
+    pub bytes: usize,
+    /// Indices of objects that must complete before this one can start
+    /// (the discovery chain: HTML → CSS/JS → images).
+    pub depends_on: Vec<usize>,
+}
+
+/// A web page: a DAG of objects over a set of domains.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Human-readable label.
+    pub label: String,
+    /// The objects; index 0 is the root HTML document.
+    pub objects: Vec<PageObject>,
+}
+
+impl Page {
+    /// The distinct domains the page touches (first-party first).
+    pub fn domains(&self) -> Vec<Name> {
+        let mut out: Vec<Name> = Vec::new();
+        for o in &self.objects {
+            if !out.contains(&o.domain) {
+                out.push(o.domain.clone());
+            }
+        }
+        out
+    }
+
+    /// A small first-party-only page: HTML + CSS + few images, one domain.
+    pub fn simple(origin: &str) -> Page {
+        let d = Name::parse(origin).expect("valid origin");
+        let obj = |bytes: usize, deps: Vec<usize>| PageObject {
+            domain: d.clone(),
+            bytes,
+            depends_on: deps,
+        };
+        Page {
+            label: format!("simple page on {origin}"),
+            objects: vec![
+                obj(30_000, vec![]),      // 0: HTML
+                obj(60_000, vec![0]),     // 1: CSS
+                obj(90_000, vec![0]),     // 2: JS
+                obj(120_000, vec![1]),    // 3: hero image
+                obj(40_000, vec![1]),     // 4: image
+            ],
+        }
+    }
+
+    /// A media-style page: first-party HTML plus third-party CDNs, ads and
+    /// analytics across several domains — the workload where DNS choices
+    /// matter most.
+    pub fn news_site(origin: &str) -> Page {
+        let first = Name::parse(origin).expect("valid origin");
+        let cdn = Name::parse("cdn.example-static.net").unwrap();
+        let ads = Name::parse("ads.example-exchange.com").unwrap();
+        let metrics = Name::parse("telemetry.example-metrics.io").unwrap();
+        let social = Name::parse("embed.example-social.org").unwrap();
+        let o = |domain: &Name, bytes: usize, deps: Vec<usize>| PageObject {
+            domain: domain.clone(),
+            bytes,
+            depends_on: deps,
+        };
+        Page {
+            label: format!("news site on {origin}"),
+            objects: vec![
+                o(&first, 80_000, vec![]),        // 0: HTML
+                o(&cdn, 150_000, vec![0]),        // 1: framework JS
+                o(&cdn, 70_000, vec![0]),         // 2: CSS
+                o(&first, 50_000, vec![2]),       // 3: article images
+                o(&ads, 30_000, vec![1]),         // 4: ad loader
+                o(&ads, 90_000, vec![4]),         // 5: ad creative
+                o(&metrics, 5_000, vec![1]),      // 6: beacon
+                o(&social, 60_000, vec![1]),      // 7: embed
+                o(&cdn, 110_000, vec![3]),        // 8: lazy images
+            ],
+        }
+    }
+
+    /// A randomised page in the news-site shape: `n_objects` objects over
+    /// `n_domains` synthetic domains with a layered dependency structure.
+    pub fn synthetic(n_objects: usize, n_domains: usize, rng: &mut SimRng) -> Page {
+        assert!(n_objects >= 1 && n_domains >= 1);
+        let domains: Vec<Name> = (0..n_domains)
+            .map(|i| Name::parse(&format!("host-{i}.page.example.com")).unwrap())
+            .collect();
+        let mut objects = vec![PageObject {
+            domain: domains[0].clone(),
+            bytes: 60_000,
+            depends_on: vec![],
+        }];
+        for i in 1..n_objects {
+            // Depend on an earlier object; bias toward the root layers.
+            let dep = (rng.uniform() * rng.uniform() * i as f64) as usize;
+            objects.push(PageObject {
+                domain: domains[rng.below(n_domains)].clone(),
+                bytes: 5_000 + (rng.uniform() * 150_000.0) as usize,
+                depends_on: vec![dep.min(i - 1)],
+            });
+        }
+        Page {
+            label: format!("synthetic({n_objects} objects, {n_domains} domains)"),
+            objects,
+        }
+    }
+
+    /// Validates that the dependency graph is acyclic-by-construction
+    /// (every edge points to a lower index) — call in tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, o) in self.objects.iter().enumerate() {
+            for &d in &o.depends_on {
+                if d >= i {
+                    return Err(format!("object {i} depends on later object {d}"));
+                }
+            }
+            if o.bytes == 0 {
+                return Err(format!("object {i} is empty"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_pages_are_valid() {
+        assert!(Page::simple("example.com").validate().is_ok());
+        let news = Page::news_site("news.example.com");
+        assert!(news.validate().is_ok());
+        assert_eq!(news.domains().len(), 5);
+        assert_eq!(news.objects.len(), 9);
+    }
+
+    #[test]
+    fn simple_page_is_single_domain() {
+        let p = Page::simple("example.com");
+        assert_eq!(p.domains().len(), 1);
+    }
+
+    #[test]
+    fn synthetic_pages_are_valid_and_deterministic() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(1);
+        let pa = Page::synthetic(40, 8, &mut a);
+        let pb = Page::synthetic(40, 8, &mut b);
+        assert!(pa.validate().is_ok());
+        assert_eq!(pa.objects.len(), pb.objects.len());
+        for (x, y) in pa.objects.iter().zip(&pb.objects) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.depends_on, y.depends_on);
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_graphs() {
+        let mut p = Page::simple("example.com");
+        p.objects[1].depends_on = vec![3];
+        assert!(p.validate().is_err());
+        let mut p = Page::simple("example.com");
+        p.objects[0].bytes = 0;
+        assert!(p.validate().is_err());
+    }
+}

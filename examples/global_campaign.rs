@@ -1,0 +1,116 @@
+//! The full reproduction: run the campaign over the entire measured
+//! population from all seven vantage points, then regenerate every table
+//! and figure of the paper and write the artifacts to
+//! `target/edns-bench-out/`.
+//!
+//! ```sh
+//! cargo run --release --example global_campaign            # standard scale
+//! cargo run --release --example global_campaign -- --paper # full schedule
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use edns_bench::measure::CampaignResult;
+use edns_bench::netsim::Region;
+use edns_bench::report::csv::Csv;
+use edns_bench::report::experiments::tables23;
+use edns_bench::{Reproduction, Scale};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let scale = if paper_scale { Scale::Paper } else { Scale::Standard };
+    let seed = 2023;
+
+    eprintln!(
+        "Running the {} campaign over the full {}-resolver population...",
+        if paper_scale { "FULL PAPER-SCHEDULE" } else { "standard" },
+        edns_bench::catalog::resolvers::all().len()
+    );
+    let start = std::time::Instant::now();
+    let repro = Reproduction::run(seed, scale);
+    eprintln!(
+        "{} probes simulated in {:.1}s",
+        repro.probe_count(),
+        start.elapsed().as_secs_f64()
+    );
+
+    let out_dir = Path::new("target/edns-bench-out");
+    fs::create_dir_all(out_dir).expect("create output dir");
+
+    // The complete rendered report (all tables + figures).
+    let report = repro.render_all(72);
+    fs::write(out_dir.join("report.txt"), &report).expect("write report");
+    println!("{report}");
+
+    // Raw results as JSON Lines — the tool's native output format.
+    let result = CampaignResult {
+        records: repro.dataset.records.clone(),
+        seed,
+    };
+    fs::write(out_dir.join("results.jsonl"), result.to_json_lines())
+        .expect("write results");
+
+    // Per-figure median CSVs for external plotting.
+    for (name, region) in [
+        ("figure2_north_america", Region::NorthAmerica),
+        ("figure3_europe", Region::Europe),
+        ("figure4_asia", Region::Asia),
+    ] {
+        let mut csv = Csv::new(["resolver", "vantage", "median_ms", "ping_median_ms"]);
+        for group in edns_bench::report::VantageGroup::panels() {
+            for resolver in repro.dataset.panel_order(region, &group) {
+                let median = repro
+                    .dataset
+                    .median_response_ms(&group, &resolver)
+                    .map(|m| format!("{m:.2}"))
+                    .unwrap_or_default();
+                let ping = edns_bench::edns_stats::median(
+                    &repro.dataset.ping_series(&group, &resolver),
+                )
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_default();
+                csv.row([resolver.as_str(), group.title(), &median, &ping]);
+            }
+        }
+        fs::write(out_dir.join(format!("{name}.csv")), csv.render()).expect("write csv");
+    }
+
+    // Tables 2 and 3 as CSV.
+    let mut csv = Csv::new(["table", "resolver", "local_ms", "remote_ms"]);
+    for row in tables23::table2(&repro.dataset) {
+        csv.row([
+            "table2",
+            &row.resolver,
+            &format!("{:.1}", row.local_ms),
+            &format!("{:.1}", row.remote_ms),
+        ]);
+    }
+    for row in tables23::table3(&repro.dataset) {
+        csv.row([
+            "table3",
+            &row.resolver,
+            &format!("{:.1}", row.local_ms),
+            &format!("{:.1}", row.remote_ms),
+        ]);
+    }
+    fs::write(out_dir.join("tables23.csv"), csv.render()).expect("write tables csv");
+
+    // Temporal drift across the paper's measurement windows (only
+    // meaningful at paper scale, which contains the follow-up spans).
+    if paper_scale {
+        let drift = repro.drift_report();
+        println!("{drift}");
+        fs::write(out_dir.join("drift.txt"), drift).expect("write drift");
+    }
+
+    // Machine-readable export of every experiment.
+    let experiments = edns_bench::report::export::all_experiments_json(&repro.dataset);
+    fs::write(
+        out_dir.join("experiments.json"),
+        experiments.to_string_compact(),
+    )
+    .expect("write experiments json");
+
+    eprintln!("\nArtifacts written to {}", out_dir.display());
+}

@@ -1,0 +1,116 @@
+//! Query distribution: the K-resolver idea (Hoang et al.) evaluated with
+//! this paper's measurements — spread queries over several well-performing
+//! resolvers so no single provider can build a complete browsing profile,
+//! and quantify what that costs in latency.
+//!
+//! ```sh
+//! cargo run --release --example query_distribution
+//! ```
+
+use distribute::{Session, Strategy, Workload};
+use edns_bench::netsim::geo::cities;
+use edns_bench::netsim::{AccessProfile, Host, HostId};
+use edns_bench::report::TextTable;
+
+fn main() {
+    // The resolver set a measurement-informed client would pick from Ohio:
+    // the top performers of the campaign, mainstream and not.
+    let resolver_set = [
+        "dns.quad9.net",
+        "dns.google",
+        "ordns.he.net",
+        "freedns.controld.com",
+        "security.cloudflare-dns.com",
+    ];
+    let client = Host::in_city(
+        HostId(0),
+        "client",
+        cities::COLUMBUS_OH,
+        AccessProfile::cloud_vm(),
+    );
+    let workload = Workload::zipf(200, 1.0);
+    let queries = 600;
+
+    println!(
+        "Distributing {queries} queries (Zipf over {} domains) across {} resolvers:\n  {}\n",
+        workload.len(),
+        resolver_set.len(),
+        resolver_set.join(", ")
+    );
+
+    let strategies = [
+        Strategy::Single(0),
+        Strategy::RoundRobin,
+        Strategy::UniformRandom,
+        Strategy::HashByDomain,
+        Strategy::Race(2),
+        Strategy::Race(3),
+    ];
+
+    let mut t = TextTable::new([
+        "Strategy",
+        "Median (ms)",
+        "p95 (ms)",
+        "Answered",
+        "Max query share",
+        "Max profile coverage",
+        "Entropy (bits)",
+    ]);
+    let mut add_row = |r: &distribute::SessionResult| {
+        t.row([
+            r.strategy.clone(),
+            format!("{:.1}", r.median_ms().unwrap_or(f64::NAN)),
+            format!("{:.1}", r.p95_ms().unwrap_or(f64::NAN)),
+            format!("{:.1}%", 100.0 * r.success_rate()),
+            format!("{:.0}%", 100.0 * r.exposure.max_query_share()),
+            format!("{:.0}%", 100.0 * r.exposure.max_profile_coverage()),
+            format!("{:.2}", r.exposure.entropy_bits()),
+        ]);
+    };
+    for strategy in &strategies {
+        let mut session = Session::new(&client, false, &resolver_set);
+        add_row(&session.run(strategy, &workload, queries, 42));
+    }
+    // The measurement-informed option: an ε-greedy bandit that learns.
+    let mut session = Session::new(&client, false, &resolver_set);
+    add_row(&session.run_adaptive(0.05, &workload, queries, 42));
+    println!("{}", t.render());
+
+    println!(
+        "Reading the tradeoff:\n\
+         - single[0] is the browser default: one provider sees 100% of the profile.\n\
+         - hash-by-domain (K-resolver) caps what any provider reconstructs while\n\
+           keeping per-query latency identical to a single well-chosen resolver —\n\
+           but only because every resolver in the set performs well from this\n\
+           vantage point. That is exactly why the paper argues distribution\n\
+           'must be informed about how the choice of resolver affects performance'.\n\
+         - race-k buys the minimum of k samples (lower median AND p95) at the\n\
+           cost of near-total profile exposure and k-fold query load."
+    );
+
+    // Show what happens when the set naively includes a slow remote resolver.
+    println!("\nSame experiment with a naive set including two remote unicast resolvers:\n");
+    let naive_set = [
+        "dns.quad9.net",
+        "doh.ffmuc.net",      // Munich
+        "dns.bebasid.com",    // Bandung
+        "dns.google",
+        "ordns.he.net",
+    ];
+    let mut t = TextTable::new(["Strategy", "Median (ms)", "p95 (ms)"]);
+    for strategy in [Strategy::Single(0), Strategy::RoundRobin, Strategy::HashByDomain] {
+        let mut session = Session::new(&client, false, &naive_set);
+        let r = session.run(&strategy, &workload, queries, 43);
+        t.row([
+            r.strategy.clone(),
+            format!("{:.1}", r.median_ms().unwrap_or(f64::NAN)),
+            format!("{:.1}", r.p95_ms().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "With 2 of 5 resolvers an ocean away, round-robin drags ~40% of queries\n\
+         into the hundreds of milliseconds — measurement-informed selection is\n\
+         a prerequisite for decentralising encrypted DNS."
+    );
+}

@@ -1,0 +1,259 @@
+//! Failure-injection integration tests: craft resolvers with targeted
+//! failure modes and verify the measurement pipeline classifies each one
+//! correctly, end to end.
+
+use edns_bench::catalog::{HealthClass, ProfileClass, ResolverEntry};
+use edns_bench::dns_wire::Name;
+use edns_bench::measure::{ProbeConfig, ProbeErrorKind, ProbeOutcome, ProbeTarget, Prober};
+use edns_bench::netsim::geo::cities;
+use edns_bench::netsim::{AccessProfile, Host, HostId, SimRng, SimTime};
+use edns_bench::resolver_sim::HealthModel;
+
+fn base_entry() -> ResolverEntry {
+    ResolverEntry {
+        hostname: "injected.test",
+        operator: "test",
+        mainstream: false,
+        doh_path: "/dns-query",
+        cities: vec![cities::ASHBURN_VA],
+        anycast: false,
+        small_site: false,
+        profile: ProfileClass::Production,
+        health: HealthClass::Reliable,
+        icmp_filtered: false,
+        region_override: None,
+        home_extra_ms: 0.0,
+        extra_loss: 0.0,
+        proc_override_ms: 0.0,
+        http1_only: false,
+    }
+}
+
+fn client() -> Host {
+    Host::in_city(
+        HostId(0),
+        "c",
+        cities::COLUMBUS_OH,
+        AccessProfile::cloud_vm(),
+    )
+}
+
+/// Probes an instance whose health model is overridden to always produce
+/// one failure mode, and returns the observed error kinds.
+fn observe(health: HealthModel, probes: usize) -> Vec<Option<ProbeErrorKind>> {
+    let prober = Prober::new();
+    let mut target = ProbeTarget::from_entry(base_entry());
+    target.instance.health = health;
+    let mut rng = SimRng::from_seed(1);
+    let domain = Name::parse("google.com").unwrap();
+    (0..probes)
+        .map(|i| {
+            let (outcome, _) = prober.probe(
+                &client(),
+                &mut target,
+                &domain,
+                SimTime::from_nanos(i as u64 * 3_600_000_000_000),
+                false,
+                ProbeConfig::default(),
+                &mut rng,
+            );
+            match outcome {
+                ProbeOutcome::Success { .. } => None,
+                ProbeOutcome::Failure { kind, .. } => Some(kind),
+            }
+        })
+        .collect()
+}
+
+fn always(mode: &str) -> HealthModel {
+    let mut m = HealthModel {
+        p_refuse: 0.0,
+        p_blackhole: 0.0,
+        p_tls: 0.0,
+        p_bad_cert: 0.0,
+        p_http: 0.0,
+    };
+    match mode {
+        "refuse" => m.p_refuse = 1.0,
+        "blackhole" => m.p_blackhole = 1.0,
+        "tls" => m.p_tls = 1.0,
+        "cert" => m.p_bad_cert = 1.0,
+        "http" => m.p_http = 1.0,
+        _ => unreachable!(),
+    }
+    m
+}
+
+#[test]
+fn refused_connections_classify_as_connection_refused() {
+    let kinds = observe(always("refuse"), 10);
+    assert!(kinds
+        .iter()
+        .all(|k| *k == Some(ProbeErrorKind::ConnectionRefused)));
+}
+
+#[test]
+fn blackholes_classify_as_connect_timeout_after_full_backoff() {
+    let prober = Prober::new();
+    let mut target = ProbeTarget::from_entry(base_entry());
+    target.instance.health = always("blackhole");
+    let mut rng = SimRng::from_seed(2);
+    let (outcome, _) = prober.probe(
+        &client(),
+        &mut target,
+        &Name::parse("google.com").unwrap(),
+        SimTime::ZERO,
+        false,
+        ProbeConfig::default(),
+        &mut rng,
+    );
+    match outcome {
+        ProbeOutcome::Failure { kind, elapsed } => {
+            assert_eq!(kind, ProbeErrorKind::ConnectTimeout);
+            // TCP SYN schedule: 1+2+4+8 s.
+            assert_eq!(elapsed.as_secs_f64(), 15.0);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn tls_stalls_classify_as_tls_failure() {
+    let kinds = observe(always("tls"), 10);
+    assert!(kinds.iter().all(|k| *k == Some(ProbeErrorKind::TlsFailure)));
+}
+
+#[test]
+fn bad_certificates_classify_as_certificate_error() {
+    let kinds = observe(always("cert"), 10);
+    assert!(kinds
+        .iter()
+        .all(|k| *k == Some(ProbeErrorKind::CertificateError)));
+}
+
+#[test]
+fn http_500s_classify_as_http_status() {
+    let kinds = observe(always("http"), 10);
+    assert!(kinds.iter().all(|k| *k == Some(ProbeErrorKind::HttpStatus)));
+}
+
+#[test]
+fn healthy_instances_never_fail_with_clean_paths() {
+    let kinds = observe(
+        HealthModel {
+            p_refuse: 0.0,
+            p_blackhole: 0.0,
+            p_tls: 0.0,
+            p_bad_cert: 0.0,
+            p_http: 0.0,
+        },
+        30,
+    );
+    // Path loss can still rarely bite, but with datacenter paths and four
+    // SYN retries a probe essentially never fails.
+    let failures = kinds.iter().filter(|k| k.is_some()).count();
+    assert_eq!(failures, 0, "{kinds:?}");
+}
+
+#[test]
+fn failure_modes_cost_realistic_time() {
+    // Refused: ~1 RTT. Bad cert: connect + handshake. TLS stall: retry
+    // schedule (1+2+4 s). The taxonomy must preserve these magnitudes for
+    // the campaign's error accounting.
+    let prober = Prober::new();
+    let domain = Name::parse("google.com").unwrap();
+    let elapsed_of = |mode: &str| {
+        let mut target = ProbeTarget::from_entry(base_entry());
+        target.instance.health = always(mode);
+        let mut rng = SimRng::from_seed(3);
+        let (outcome, _) = prober.probe(
+            &client(),
+            &mut target,
+            &domain,
+            SimTime::ZERO,
+            false,
+            ProbeConfig::default(),
+            &mut rng,
+        );
+        match outcome {
+            ProbeOutcome::Failure { elapsed, .. } => elapsed.as_millis_f64(),
+            other => panic!("{other:?}"),
+        }
+    };
+    let refused = elapsed_of("refuse");
+    assert!(refused < 60.0, "refused should fail fast: {refused} ms");
+    let cert = elapsed_of("cert");
+    assert!(
+        (refused..1000.0).contains(&cert),
+        "bad cert costs connect+handshake: {cert} ms"
+    );
+    let tls = elapsed_of("tls");
+    assert!(
+        (7000.0..7100.0).contains(&tls),
+        "TLS stall burns the 1+2+4 s retry schedule plus the connect RTT: {tls} ms"
+    );
+}
+
+#[test]
+fn scheduled_outages_turn_probes_into_connect_timeouts() {
+    use edns_bench::netsim::SimDuration;
+
+    let prober = Prober::new();
+    let mut target = ProbeTarget::from_entry(base_entry());
+    // Outage from hour 48 to hour 96.
+    target.instance.add_outage(
+        SimTime::ZERO + SimDuration::from_hours(48),
+        SimTime::ZERO + SimDuration::from_hours(96),
+    );
+    let mut rng = SimRng::from_seed(6);
+    let domain = Name::parse("google.com").unwrap();
+    let mut ok_outside = 0;
+    let mut timeouts_inside = 0;
+    for hour in (0..144).step_by(6) {
+        let now = SimTime::ZERO + SimDuration::from_hours(hour);
+        let (outcome, _) = prober.probe(
+            &client(),
+            &mut target,
+            &domain,
+            now,
+            false,
+            ProbeConfig::default(),
+            &mut rng,
+        );
+        let inside = (48..96).contains(&hour);
+        match (inside, outcome) {
+            (true, ProbeOutcome::Failure { kind, .. }) => {
+                assert_eq!(kind, ProbeErrorKind::ConnectTimeout);
+                timeouts_inside += 1;
+            }
+            (true, other) => panic!("probe during outage succeeded: {other:?}"),
+            (false, o) if o.is_success() => ok_outside += 1,
+            (false, _) => {} // rare organic failure
+        }
+    }
+    assert_eq!(timeouts_inside, 8, "every in-outage probe times out");
+    assert!(ok_outside >= 15, "{ok_outside} healthy outside the window");
+}
+
+#[test]
+fn injected_failures_flow_through_campaign_accounting() {
+    use edns_bench::measure::{Campaign, CampaignConfig};
+    use edns_bench::report::experiments::availability;
+    use edns_bench::report::Dataset;
+
+    // A population where one resolver always refuses.
+    let mut bad = base_entry();
+    bad.hostname = "always-refuses.test";
+    bad.health = HealthClass::MostlyDown;
+    let entries = vec![
+        edns_bench::catalog::resolvers::find("dns.google").unwrap(),
+        bad,
+    ];
+    let result = Campaign::with_resolvers(CampaignConfig::quick(5, 6), entries).run();
+    let d = Dataset::new(result.records);
+    let report = availability::run(&d);
+    assert!(report
+        .mostly_unavailable
+        .contains(&"always-refuses.test".to_string()));
+    assert!(report.connection_error_share > 0.8);
+}

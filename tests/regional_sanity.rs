@@ -1,0 +1,129 @@
+//! Regional sanity over the full population: every single-site resolver
+//! must be fastest from the EC2 vantage point on its *hosting* continent —
+//! the geometric invariant underlying the paper's entire analysis.
+
+use edns_bench::netsim::Region;
+use edns_bench::report::VantageGroup;
+use edns_bench::{Reproduction, Scale};
+
+fn ec2_vantage_for(region: Region) -> Option<&'static str> {
+    match region {
+        Region::NorthAmerica => Some("ec2-ohio"),
+        Region::Europe => Some("ec2-frankfurt"),
+        Region::Asia => Some("ec2-seoul"),
+        _ => None,
+    }
+}
+
+#[test]
+fn unicast_resolvers_are_fastest_from_their_hosting_region() {
+    let repro = Reproduction::run_with_threads(77, Scale::Standard, 4);
+    let ledger = repro.dataset.availability_by_resolver();
+    let mut checked = 0;
+    for entry in edns_bench::catalog::resolvers::all() {
+        // Only single-site resolvers have one "home" region; skip dead ones
+        // (their medians are noise) and regions without a matching vantage.
+        if entry.cities.len() != 1 {
+            continue;
+        }
+        let alive = ledger
+            .get(entry.hostname)
+            .map(|a| a.availability() > 0.5)
+            .unwrap_or(false);
+        if !alive {
+            continue;
+        }
+        let hosting_region = entry.cities[0].region;
+        let Some(home_vantage) = ec2_vantage_for(hosting_region) else {
+            continue;
+        };
+        let medians: Vec<(&str, f64)> = ["ec2-ohio", "ec2-frankfurt", "ec2-seoul"]
+            .iter()
+            .filter_map(|v| {
+                repro
+                    .dataset
+                    .median_response_ms(&VantageGroup::Label(v), entry.hostname)
+                    .map(|m| (*v, m))
+            })
+            .collect();
+        assert_eq!(medians.len(), 3, "{}", entry.hostname);
+        let fastest = medians
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .unwrap();
+        assert_eq!(
+            fastest.0, home_vantage,
+            "{} is hosted in {} ({:?}) but fastest from {} ({:?})",
+            entry.hostname, entry.cities[0].name, hosting_region, fastest.0, medians
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "only {checked} unicast resolvers checked");
+}
+
+#[test]
+fn anycast_resolvers_have_low_spread_across_vantages() {
+    let repro = Reproduction::run_with_threads(78, Scale::Standard, 4);
+    for entry in edns_bench::catalog::resolvers::all() {
+        // "Global" means a site on each measured continent (doh.sb, for
+        // example, is anycast but EU+Asia only and rightly slow from Ohio).
+        let regions: std::collections::HashSet<Region> =
+            entry.cities.iter().map(|c| c.region).collect();
+        let global = entry.anycast
+            && [Region::NorthAmerica, Region::Europe, Region::Asia]
+                .iter()
+                .all(|r| regions.contains(r));
+        if !global {
+            continue;
+        }
+        // A globally replicated service should not exceed ~150 ms median
+        // from any EC2 vantage point (the farthest site pairing in our
+        // footprints is Seoul→Tokyo).
+        for v in ["ec2-ohio", "ec2-frankfurt", "ec2-seoul"] {
+            let m = repro
+                .dataset
+                .median_response_ms(&VantageGroup::Label(v), entry.hostname)
+                .unwrap();
+            assert!(
+                m < 150.0,
+                "{} from {v}: {m:.0} ms despite global anycast",
+                entry.hostname
+            );
+        }
+    }
+}
+
+#[test]
+fn ping_tracks_response_time_within_each_resolver() {
+    // For ping-responding resolvers, the ICMP median must be below the DNS
+    // response median (the DNS exchange includes at least one RTT plus
+    // handshakes) — the consistency check §3.1's paired probes enable.
+    let repro = Reproduction::run_with_threads(79, Scale::Standard, 4);
+    let ledger = repro.dataset.availability_by_resolver();
+    let ohio = VantageGroup::Label("ec2-ohio");
+    let mut checked = 0;
+    for entry in edns_bench::catalog::resolvers::all() {
+        let alive = ledger
+            .get(entry.hostname)
+            .map(|a| a.availability() > 0.9)
+            .unwrap_or(false);
+        if !alive || entry.icmp_filtered {
+            continue;
+        }
+        let pings = repro.dataset.ping_series(&ohio, entry.hostname);
+        let Some(ping_med) = edns_bench::edns_stats::median(&pings) else {
+            continue;
+        };
+        let resp_med = repro
+            .dataset
+            .median_response_ms(&ohio, entry.hostname)
+            .unwrap();
+        assert!(
+            ping_med < resp_med,
+            "{}: ping {ping_med:.1} ms >= response {resp_med:.1} ms",
+            entry.hostname
+        );
+        checked += 1;
+    }
+    assert!(checked >= 40, "only {checked} resolvers checked");
+}
