@@ -1,0 +1,227 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! This workspace builds with no crates.io access, so the external
+//! `proptest` dev-dependency is replaced by this local crate. It keeps the
+//! API the workspace's property tests use — the `proptest!` macro,
+//! `prop_assert*`/`prop_assume`/`prop_oneof!`, `any::<T>()`, regex string
+//! strategies, collection strategies, tuple strategies and the combinators
+//! `prop_map`/`prop_filter`/`prop_filter_map`/`prop_recursive` — with
+//! deterministic randomized generation but **no shrinking**: a failing case
+//! reports its inputs instead of minimising them.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespaced re-exports matching `proptest::prelude::prop::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface used by tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...) {...}`
+/// becomes a regular test running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base_seed = $crate::test_runner::fnv64(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    if attempts > u64::from(config.cases) * 64 + 4096 {
+                        panic!(
+                            "proptest '{}': too many cases rejected by prop_assume!",
+                            stringify!($name),
+                        );
+                    }
+                    let mut rng = $crate::test_runner::TestRng::for_case(base_seed, attempts);
+                    $( let $arg = ($strat).generate(&mut rng); )+
+                    let inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed: {}\ninputs (case {}):\n{}",
+                                stringify!($name), msg, accepted + 1, inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\nassertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), l, r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: {:?}", l),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\nassertion failed: `left != right`\n  both: {:?}",
+                    format!($($fmt)+), l,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_rejects_without_consuming_budget(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_and_combinators(v in prop_oneof![
+            (0usize..10).prop_map(|n| vec![0u8; n]),
+            prop::collection::vec(any::<u8>(), 3..5),
+            Just(vec![9u8]),
+        ]) {
+            prop_assert!(v.len() <= 10);
+        }
+
+        #[test]
+        fn filters_reject(b in (0u8..=255).prop_filter("not a dot", |b| *b != b'.')) {
+            prop_assert_ne!(b, b'.');
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_within_a_binary() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 0..10);
+        let a = strat.generate(&mut crate::test_runner::TestRng::for_case(1, 1));
+        let b = strat.generate(&mut crate::test_runner::TestRng::for_case(1, 1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling helpers: [`Index`].
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A stand-in for "an index into a collection whose length is not yet
+/// known"; resolved against a concrete length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves to an index in `[0, size)`. Panics if `size` is zero, like
+    /// proptest proper.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,357 @@
+//! The [`Strategy`] trait and combinators.
+//!
+//! Unlike proptest proper there is no shrinking: a strategy is just a
+//! deterministic function from an RNG to a value, with rejection support
+//! for `prop_filter`/`prop_assume`.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::string::generate_matching;
+use crate::test_runner::TestRng;
+
+/// How many rejections [`Strategy::generate`] tolerates before declaring the
+/// strategy unsatisfiable.
+const MAX_REJECTS: u32 = 10_000;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Attempts to generate one value; `None` means this candidate was
+    /// rejected (by a filter) and the caller should retry.
+    fn try_generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Generates one value, retrying rejected candidates.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = self.try_generate(rng) {
+                return v;
+            }
+        }
+        panic!("strategy rejected {MAX_REJECTS} candidates; filter too strict")
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Maps values through a partial function, rejecting `None`s.
+    fn prop_filter_map<O: Debug, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        _whence: impl Into<String>,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into a branch case. Each level mixes the leaf
+    /// back in so generation bottoms out. `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            strat = Union::new(vec![base.clone(), branch]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn dyn_try_generate(&self, rng: &mut TestRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_try_generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.try_generate(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Arc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<V> {
+        self.inner.dyn_try_generate(rng)
+    }
+}
+
+impl<V> Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms`; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<V> {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].try_generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn try_generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.try_generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.try_generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.try_generate(rng).and_then(&self.f)
+    }
+}
+
+/// `&'static str` is the regex-pattern string strategy.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<String> {
+        Some(generate_matching(self, rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn try_generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn try_generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                Some(if span == 0 {
+                    // Wrapped: the range covers the whole u64 domain.
+                    rng.next_u64() as $t
+                } else {
+                    lo + rng.below(span) as $t
+                })
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn try_generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.try_generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+}
+
+/// The `any::<T>()` strategy: standard generation for `T`.
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// Creates the standard strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T> Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("any")
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn try_generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// Types with a standard whole-domain generator (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for [u8; 4] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; 4] {
+        (rng.next_u64() as u32).to_le_bytes()
+    }
+}
+
+impl Arbitrary for [u8; 16] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+        out[8..].copy_from_slice(&rng.next_u64().to_le_bytes());
+        out
+    }
+}

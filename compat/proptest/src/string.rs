@@ -1,0 +1,317 @@
+//! Generation of strings matching the small regex subset the workspace's
+//! property tests use: literals, escapes (`\.`, `\\`, `\PC`, `\d`),
+//! character classes with ranges, groups with alternation, and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::test_runner::TestRng;
+
+/// Printable pool for `\PC` (any non-control character): ASCII printables
+/// plus a spread of multi-byte code points so UTF-8 handling gets exercised.
+const NON_ASCII_PRINTABLE: &[char] = &[
+    'é', 'ü', 'ß', 'ñ', 'α', 'Ω', 'б', 'я', '中', '文', '日', '한', '€', '©', '♥', '→', '𝕏', '😀',
+];
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges (a single char is a degenerate range).
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character.
+    AnyPrintable,
+    /// `( alt | alt | ... )`.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex {:?} at offset {}: {what} (offline proptest subset)",
+            self.pattern, self.pos
+        )
+    }
+
+    /// sequence (`|` sequence)*
+    fn parse_alternation(&mut self) -> Vec<Vec<Node>> {
+        let mut alts = vec![self.parse_sequence()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_sequence());
+        }
+        alts
+    }
+
+    fn parse_sequence(&mut self) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom();
+            seq.push(self.parse_quantified(atom));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump().expect("atom") {
+            '\\' => match self.bump() {
+                Some('P') => match self.bump() {
+                    Some('C') => Node::AnyPrintable,
+                    _ => self.fail("only \\PC is supported of the \\P classes"),
+                },
+                Some('d') => Node::Class(vec![('0', '9')]),
+                Some(
+                    c @ ('.' | '\\' | '/' | '-' | '+' | '*' | '?' | '(' | ')' | '[' | ']' | '{'
+                    | '}' | '|'),
+                ) => Node::Literal(c),
+                Some('n') => Node::Literal('\n'),
+                Some('t') => Node::Literal('\t'),
+                other => self.fail(&format!("escape {other:?}")),
+            },
+            '[' => self.parse_class(),
+            '(' => {
+                let alts = self.parse_alternation();
+                if self.bump() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Node::Group(alts)
+            }
+            '.' => Node::AnyPrintable,
+            c @ ('*' | '+' | '?' | '{') => self.fail(&format!("dangling quantifier {c:?}")),
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        if self.peek() == Some('^') {
+            self.fail("negated classes");
+        }
+        loop {
+            let c = match self.bump() {
+                None => self.fail("unclosed class"),
+                Some(']') => break,
+                Some('\\') => self.bump().unwrap_or_else(|| self.fail("unclosed escape")),
+                Some(c) => c,
+            };
+            // `c-d` range, unless '-' is last (then it is a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump() {
+                    None => self.fail("unclosed class"),
+                    Some('\\') => self.bump().unwrap_or_else(|| self.fail("unclosed escape")),
+                    Some(hi) => hi,
+                };
+                assert!(c <= hi, "inverted class range");
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantified(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number();
+                let hi = match self.bump() {
+                    Some('}') => lo,
+                    Some(',') => {
+                        let hi = self.parse_number();
+                        if self.bump() != Some('}') {
+                            self.fail("unclosed quantifier");
+                        }
+                        hi
+                    }
+                    _ => self.fail("malformed quantifier"),
+                };
+                assert!(lo <= hi, "inverted quantifier");
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n: u32 = 0;
+        let mut seen = false;
+        while let Some(c) = self.peek() {
+            match c.to_digit(10) {
+                Some(d) => {
+                    n = n * 10 + d;
+                    seen = true;
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        if !seen {
+            self.fail("expected number in quantifier");
+        }
+        n
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = u64::from(*hi as u32 - *lo as u32 + 1);
+                if pick < size {
+                    let code = *lo as u32 + pick as u32;
+                    // Class ranges in the tested patterns never cross the
+                    // surrogate gap, so this conversion cannot fail.
+                    out.push(char::from_u32(code).expect("valid scalar in class range"));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("weighted pick within total");
+        }
+        Node::AnyPrintable => {
+            // Mostly printable ASCII, sometimes a multi-byte code point.
+            if rng.below(5) == 0 {
+                let i = rng.below(NON_ASCII_PRINTABLE.len() as u64) as usize;
+                out.push(NON_ASCII_PRINTABLE[i]);
+            } else {
+                out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii printable"));
+            }
+        }
+        Node::Group(alts) => {
+            let i = rng.below(alts.len() as u64) as usize;
+            for n in &alts[i] {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    };
+    let alts = parser.parse_alternation();
+    if parser.pos != parser.chars.len() {
+        parser.fail("trailing input");
+    }
+    let mut out = String::new();
+    let i = rng.below(alts.len() as u64) as usize;
+    for n in &alts[i] {
+        emit(n, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0xDEAD_BEEF, 1)
+    }
+
+    #[test]
+    fn classes_quantifiers_and_groups() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z0-9]{1,12}(\\.[a-z0-9]{1,10}){1,3}", &mut r);
+            assert!(s.contains('.'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn alternation_groups() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[a-z]{1,8}\\.(com|org|invalid)", &mut r);
+            let tld = s.split('.').nth(1).unwrap();
+            assert!(["com", "org", "invalid"].contains(&tld), "{s}");
+        }
+    }
+
+    #[test]
+    fn printable_class_space_to_tilde() {
+        let mut r = rng();
+        let s = generate_matching("[ -~]{0,40}", &mut r);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn pc_escape_avoids_controls() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("\\PC{0,60}", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_prefix_survives() {
+        let mut r = rng();
+        let s = generate_matching("sdns://[A-Za-z0-9_-]{0,80}", &mut r);
+        assert!(s.starts_with("sdns://"));
+    }
+
+    #[test]
+    fn dash_last_in_class_is_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-z-]{10}", &mut r);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

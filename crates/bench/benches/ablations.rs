@@ -12,8 +12,7 @@ use measure::{ProbeConfig, ProbeTarget, Prober};
 use netsim::geo::cities;
 use netsim::{AccessProfile, Host, HostId, Path, SimDuration, SimRng, SimTime};
 use transport::{
-    QuicConfig, QuicConnection, TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior,
-    TlsSession,
+    QuicConfig, QuicConnection, TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior, TlsSession,
 };
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -47,13 +46,19 @@ fn connection_reuse(c: &mut Criterion) {
             &mut rng,
         )
         .unwrap();
-        let q = tcp.request_response(&path, 300, 468, server, &mut rng).unwrap();
+        let q = tcp
+            .request_response(&path, 300, 468, server, &mut rng)
+            .unwrap();
         cold.push((connect + tls.handshake_time + q.elapsed).as_millis_f64());
-        let q = tcp.request_response(&path, 120, 468, server, &mut rng).unwrap();
+        let q = tcp
+            .request_response(&path, 120, 468, server, &mut rng)
+            .unwrap();
         warm.push(q.elapsed.as_millis_f64());
         let (conn, _) = QuicConnection::connect(&path, QuicConfig::default(), &mut rng).unwrap();
         let mut r = QuicConnection::resume_zero_rtt(&path, QuicConfig::default(), conn.ticket);
-        let q = r.stream_exchange(&path, 120, 468, server, &mut rng).unwrap();
+        let q = r
+            .stream_exchange(&path, 120, 468, server, &mut rng)
+            .unwrap();
         zrtt.push(q.elapsed.as_millis_f64());
     }
     eprintln!(
@@ -121,13 +126,9 @@ fn anycast_vs_unicast(c: &mut Criterion) {
     eprintln!();
 
     c.bench_function("ablation_probe_anycast", |b| {
-        let client = Host::in_city(
-            HostId(0),
-            "c",
-            cities::SEOUL,
-            AccessProfile::cloud_vm(),
-        );
-        let mut target = ProbeTarget::from_entry(catalog::resolvers::find("dns.quad9.net").unwrap());
+        let client = Host::in_city(HostId(0), "c", cities::SEOUL, AccessProfile::cloud_vm());
+        let mut target =
+            ProbeTarget::from_entry(catalog::resolvers::find("dns.quad9.net").unwrap());
         let mut rng = SimRng::from_seed(6);
         let mut i = 0;
         b.iter(|| {
@@ -156,8 +157,9 @@ fn padding_cost(c: &mut Criterion) {
         AccessProfile::cloud_vm(),
     );
     for (name, padding) in [("padded", true), ("unpadded", false)] {
-        c.bench_function(&format!("ablation_doh_probe_{name}"), |b| {
-            let mut target = ProbeTarget::from_entry(catalog::resolvers::find("dns.google").unwrap());
+        c.bench_function(format!("ablation_doh_probe_{name}"), |b| {
+            let mut target =
+                ProbeTarget::from_entry(catalog::resolvers::find("dns.google").unwrap());
             let mut rng = SimRng::from_seed(7);
             let cfg = ProbeConfig {
                 padding,

@@ -52,10 +52,10 @@ fn figure_bench(c: &mut Criterion, name: &str, region: Region) {
     let d = dataset(2, 3, &host_refs);
     // Print the regenerated figure once (all four panels).
     eprintln!("\n{}", figures::render(&d, region, 64));
-    c.bench_function(&format!("{name}_analysis"), |b| {
+    c.bench_function(format!("{name}_analysis"), |b| {
         b.iter(|| figures::figure(black_box(&d), region))
     });
-    c.bench_function(&format!("{name}_campaign_plus_render"), |b| {
+    c.bench_function(format!("{name}_campaign_plus_render"), |b| {
         b.iter(|| {
             let d = Dataset::new(campaign(2, ROUNDS, &host_refs).run().records);
             figures::render(&d, region, 64).len()

@@ -71,9 +71,13 @@ fn page_load_bench(c: &mut Criterion) {
     );
 
     eprintln!("\npage-load medians by resolver (news page, Chicago home):");
-    for hostname in ["ordns.he.net", "dns.google", "doh.ffmuc.net", "dns.bebasid.com"] {
-        let mut target =
-            ProbeTarget::from_entry(catalog::resolvers::find(hostname).unwrap());
+    for hostname in [
+        "ordns.he.net",
+        "dns.google",
+        "doh.ffmuc.net",
+        "dns.bebasid.com",
+    ] {
+        let mut target = ProbeTarget::from_entry(catalog::resolvers::find(hostname).unwrap());
         let mut rng = SimRng::derived(3, hostname);
         let mut plts = Vec::new();
         for i in 0..20 {
@@ -99,8 +103,7 @@ fn page_load_bench(c: &mut Criterion) {
     eprintln!();
 
     c.bench_function("page_load_news_site", |b| {
-        let mut target =
-            ProbeTarget::from_entry(catalog::resolvers::find("dns.google").unwrap());
+        let mut target = ProbeTarget::from_entry(catalog::resolvers::find("dns.google").unwrap());
         let mut rng = SimRng::from_seed(4);
         let mut i = 0u64;
         b.iter(|| {

@@ -32,12 +32,7 @@ fn bench_anycast_route(c: &mut Criterion) {
         Site::datacenter(cities::LONDON),
         Site::datacenter(cities::SINGAPORE),
     ]);
-    let client = Host::in_city(
-        HostId(0),
-        "c",
-        cities::SEOUL,
-        AccessProfile::cloud_vm(),
-    );
+    let client = Host::in_city(HostId(0), "c", cities::SEOUL, AccessProfile::cloud_vm());
     c.bench_function("anycast_route_6_sites", |b| {
         b.iter(|| black_box(&deployment).route(black_box(&client)))
     });
@@ -71,7 +66,7 @@ fn bench_probe_per_protocol(c: &mut Criterion) {
     );
     let domain = Name::parse("google.com").unwrap();
     for protocol in [Protocol::Do53, Protocol::DoT, Protocol::DoH, Protocol::DoQ] {
-        c.bench_function(&format!("probe_{}", protocol.label()), |b| {
+        c.bench_function(format!("probe_{}", protocol.label()), |b| {
             let mut target =
                 ProbeTarget::from_entry(catalog::resolvers::find("dns.quad9.net").unwrap());
             let mut rng = SimRng::from_seed(7);

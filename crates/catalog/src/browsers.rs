@@ -109,7 +109,10 @@ pub fn offers(browser: Browser, provider: Provider) -> bool {
     use Browser::*;
     use Provider::*;
     match browser {
-        Chrome => matches!(provider, Cloudflare | Google | Quad9 | CleanBrowsing | OpenDns),
+        Chrome => matches!(
+            provider,
+            Cloudflare | Google | Quad9 | CleanBrowsing | OpenDns
+        ),
         Firefox => matches!(provider, Cloudflare | NextDns),
         Edge => true, // Edge lists all six
         Opera => matches!(provider, Cloudflare | Google),
@@ -147,7 +150,10 @@ mod tests {
     #[test]
     fn cloudflare_is_universal() {
         for b in Browser::all() {
-            assert!(offers(b, Provider::Cloudflare), "{b} should offer Cloudflare");
+            assert!(
+                offers(b, Provider::Cloudflare),
+                "{b} should offer Cloudflare"
+            );
         }
     }
 

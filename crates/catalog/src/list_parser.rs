@@ -82,7 +82,11 @@ pub fn render(entries: &[crate::profile::ResolverEntry]) -> String {
             "Operated by {}. Region: {}.{}\n",
             e.operator,
             e.region(),
-            if e.mainstream { " Browser default." } else { "" }
+            if e.mainstream {
+                " Browser default."
+            } else {
+                ""
+            }
         ));
         out.push_str(&Stamp::doh(e.hostname, e.doh_path).encode());
         out.push_str("\n\n");
@@ -112,7 +116,10 @@ mod tests {
         assert_eq!(entries[0].name, "example");
         assert_eq!(entries[0].description, "A fine resolver, no logging.");
         assert_eq!(entries[0].stamps.len(), 2);
-        assert_eq!(entries[0].doh_stamp().unwrap().endpoint(), "dns.example.com");
+        assert_eq!(
+            entries[0].doh_stamp().unwrap().endpoint(),
+            "dns.example.com"
+        );
     }
 
     #[test]

@@ -55,8 +55,7 @@ mod tests {
     fn three_relays_on_three_continents() {
         let relays = odoh_relays();
         assert_eq!(relays.len(), 3);
-        let regions: std::collections::HashSet<_> =
-            relays.iter().map(|r| r.city.region).collect();
+        let regions: std::collections::HashSet<_> = relays.iter().map(|r| r.city.region).collect();
         assert!(regions.len() >= 3);
     }
 

@@ -45,7 +45,13 @@ fn base(hostname: &'static str, operator: &'static str, cities: Vec<City>) -> Re
 /// nearest site to the Chicago homes and the Ohio instance is Ashburn).
 fn cloudflare_sites() -> Vec<City> {
     vec![
-        ASHBURN_VA, LOS_ANGELES, FRANKFURT, LONDON, TOKYO, SINGAPORE, SYDNEY,
+        ASHBURN_VA,
+        LOS_ANGELES,
+        FRANKFURT,
+        LONDON,
+        TOKYO,
+        SINGAPORE,
+        SYDNEY,
     ]
 }
 
@@ -68,7 +74,9 @@ fn nextdns_sites() -> Vec<City> {
 /// Chicago, which is what lets `ordns.he.net` beat every mainstream
 /// resolver from the paper's Chicago home vantage points.
 fn hurricane_sites() -> Vec<City> {
-    vec![FREMONT_CA, CHICAGO, NEW_YORK, ASHBURN_VA, FRANKFURT, LONDON, TOKYO]
+    vec![
+        FREMONT_CA, CHICAGO, NEW_YORK, ASHBURN_VA, FRANKFURT, LONDON, TOKYO,
+    ]
 }
 
 fn mk_cloudflare(hostname: &'static str) -> ResolverEntry {
@@ -96,11 +104,7 @@ fn mk_quad9(hostname: &'static str, region: Region) -> ResolverEntry {
 fn mk_adguard(hostname: &'static str) -> ResolverEntry {
     // AdGuard is anycast with a European home; not a browser default, so
     // non-mainstream by the paper's definition.
-    let mut e = base(
-        hostname,
-        "AdGuard",
-        vec![FRANKFURT, NEW_YORK, TOKYO],
-    );
+    let mut e = base(hostname, "AdGuard", vec![FRANKFURT, NEW_YORK, TOKYO]);
     e.anycast = true;
     e.profile = ProfileClass::Production;
     e.health = HealthClass::Reliable;
@@ -241,14 +245,24 @@ pub fn all() -> Vec<ResolverEntry> {
     }
 
     // ---- ODoH targets (hosted in Europe, geolocated to North America) --
-    v.push(mk_alekberg("odoh-target.alekberg.net", AMSTERDAM, true, true));
+    v.push(mk_alekberg(
+        "odoh-target.alekberg.net",
+        AMSTERDAM,
+        true,
+        true,
+    ));
     v.push(mk_alekberg(
         "odoh-target-noads.alekberg.net",
         AMSTERDAM,
         true,
         true,
     ));
-    v.push(mk_alekberg("odoh-target-se.alekberg.net", MALMO, true, true));
+    v.push(mk_alekberg(
+        "odoh-target-se.alekberg.net",
+        MALMO,
+        true,
+        true,
+    ));
     v.push(mk_alekberg(
         "odoh-target-noads-se.alekberg.net",
         MALMO,
@@ -284,7 +298,11 @@ pub fn all() -> Vec<ResolverEntry> {
     }
     {
         // doh.sb (xTom): anycast over Europe and Asia.
-        let mut e = base("doh.sb", "xTom", vec![AMSTERDAM, FRANKFURT, SINGAPORE, TOKYO]);
+        let mut e = base(
+            "doh.sb",
+            "xTom",
+            vec![AMSTERDAM, FRANKFURT, SINGAPORE, TOKYO],
+        );
         e.anycast = true;
         e.profile = ProfileClass::Production;
         e.proc_override_ms = 0.9;
@@ -326,7 +344,12 @@ pub fn all() -> Vec<ResolverEntry> {
     }
     // alekberg.net conventional DoH endpoints (Europe-geolocated).
     v.push(mk_alekberg("dnsnl.alekberg.net", AMSTERDAM, false, false));
-    v.push(mk_alekberg("dnsnl-noads.alekberg.net", AMSTERDAM, false, false));
+    v.push(mk_alekberg(
+        "dnsnl-noads.alekberg.net",
+        AMSTERDAM,
+        false,
+        false,
+    ));
     v.push(mk_alekberg("dnsse.alekberg.net", MALMO, false, false));
     v.push(mk_alekberg("dnsse-noads.alekberg.net", MALMO, false, false));
     {
@@ -558,7 +581,11 @@ mod tests {
     #[test]
     fn population_size_and_uniqueness() {
         let entries = all();
-        assert_eq!(entries.len(), 76, "75 appendix hostnames + dns.cloudflare.com");
+        assert_eq!(
+            entries.len(),
+            76,
+            "75 appendix hostnames + dns.cloudflare.com"
+        );
         let mut names: Vec<&str> = entries.iter().map(|e| e.hostname).collect();
         names.sort_unstable();
         names.dedup();
@@ -577,7 +604,10 @@ mod tests {
             .iter()
             .filter(|e| !e.hostname.starts_with("odoh-target"))
             .count();
-        assert_eq!(non_odoh, 19, "18 appendix NA hostnames + dns.cloudflare.com");
+        assert_eq!(
+            non_odoh, 19,
+            "18 appendix NA hostnames + dns.cloudflare.com"
+        );
         assert_eq!(na.len(), 23, "North America as plotted (incl. ODoH)");
         assert_eq!(in_region(Region::Asia).len(), 13, "Asia");
         assert_eq!(in_region(Region::Europe).len(), 33, "Europe");
@@ -589,11 +619,12 @@ mod tests {
     fn mainstream_set_matches_table1_operators() {
         let ms = mainstream();
         assert_eq!(ms.len(), 12);
-        let operators: std::collections::HashSet<&str> =
-            ms.iter().map(|e| e.operator).collect();
+        let operators: std::collections::HashSet<&str> = ms.iter().map(|e| e.operator).collect();
         assert_eq!(
             operators,
-            ["Cloudflare", "Google", "Quad9", "NextDNS"].into_iter().collect()
+            ["Cloudflare", "Google", "Quad9", "NextDNS"]
+                .into_iter()
+                .collect()
         );
         // Every mainstream entry is globally anycast.
         assert!(ms.iter().all(|e| e.anycast && e.cities.len() >= 4));

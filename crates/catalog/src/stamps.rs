@@ -380,7 +380,10 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert_eq!(Stamp::decode("https://x").unwrap_err(), StampError::BadScheme);
+        assert_eq!(
+            Stamp::decode("https://x").unwrap_err(),
+            StampError::BadScheme
+        );
         assert_eq!(
             Stamp::decode("sdns://!!!").unwrap_err(),
             StampError::BadBase64

@@ -113,6 +113,14 @@ impl Reproduction {
         headline::run(&self.dataset)
     }
 
+    /// The resolver × vantage × protocol metrics snapshot: counters, error
+    /// tallies, and response / ping / per-phase latency histograms. Built
+    /// from the canonically ordered records, so two same-seed reproductions
+    /// snapshot identically.
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        measure::metrics_of(&self.dataset.records)
+    }
+
     /// Temporal drift between the paper's EC2 measurement windows (the main
     /// Sep–Oct 2023 span and the Feb/Mar/Apr 2024 follow-ups). Meaningful
     /// for [`Scale::Paper`] campaigns, whose schedule contains those spans.
@@ -184,6 +192,9 @@ mod tests {
         assert_eq!(r.probe_count(), 7 * 3 * 4 * 3);
         let av = r.availability();
         assert!(av.successes > 0);
+        let metrics = r.metrics();
+        assert_eq!(metrics.total_probes() as usize, r.probe_count());
+        assert_eq!(metrics.cells.len(), 7 * 3);
     }
 
     #[test]
@@ -217,7 +228,9 @@ mod tests {
             ],
         );
         let doc = r.render_all(60);
-        for needle in ["Table 1", "Figure 1", "Figure 3", "Table 2", "Table 3", "Headline"] {
+        for needle in [
+            "Table 1", "Figure 1", "Figure 3", "Table 2", "Table 3", "Headline",
+        ] {
             assert!(doc.contains(needle), "missing {needle}");
         }
     }

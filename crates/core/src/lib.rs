@@ -52,6 +52,7 @@ pub use dns_wire;
 pub use edns_stats;
 pub use measure;
 pub use netsim;
+pub use obs;
 pub use report;
 pub use resolver_sim;
 pub use transport;

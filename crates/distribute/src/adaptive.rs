@@ -122,10 +122,7 @@ mod tests {
         }
         assert_eq!(sel.best(), 0);
         // Exploitation dominates: the best arm gets most traffic.
-        assert!(
-            picks[0] > 300,
-            "best arm should dominate picks: {picks:?}"
-        );
+        assert!(picks[0] > 300, "best arm should dominate picks: {picks:?}");
         // ...but exploration never stops entirely.
         assert!(picks.iter().all(|&p| p > 5), "{picks:?}");
     }

@@ -59,8 +59,7 @@ impl<'a> Session<'a> {
             .iter()
             .map(|h| {
                 ProbeTarget::from_entry(
-                    catalog::resolvers::find(h)
-                        .unwrap_or_else(|| panic!("unknown resolver {h}")),
+                    catalog::resolvers::find(h).unwrap_or_else(|| panic!("unknown resolver {h}")),
                 )
             })
             .collect();
@@ -79,7 +78,7 @@ impl<'a> Session<'a> {
 
     /// Hostname of resolver `i`.
     pub fn hostname(&self, i: usize) -> &str {
-        &self.targets[i].entry.hostname
+        self.targets[i].entry.hostname
     }
 
     /// Runs `queries` workload samples through `strategy`.
@@ -282,8 +281,8 @@ mod tests {
         // for them on 2/5 of queries; the bandit learns to avoid them.
         let naive_set = [
             "dns.quad9.net",
-            "doh.ffmuc.net",     // Munich, far from Ohio
-            "dns.bebasid.com",   // Indonesia, very far
+            "doh.ffmuc.net",   // Munich, far from Ohio
+            "dns.bebasid.com", // Indonesia, very far
             "dns.google",
             "ordns.he.net",
         ];

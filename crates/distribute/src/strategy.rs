@@ -116,7 +116,12 @@ mod tests {
         let set: std::collections::HashSet<_> = picks.iter().collect();
         assert_eq!(set.len(), 3, "distinct resolvers");
         // k clamps to n.
-        assert_eq!(Strategy::Race(9).choose(&name("a.com"), 0, 4, &mut rng).len(), 4);
+        assert_eq!(
+            Strategy::Race(9)
+                .choose(&name("a.com"), 0, 4, &mut rng)
+                .len(),
+            4
+        );
     }
 
     #[test]

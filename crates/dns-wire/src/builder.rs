@@ -1,6 +1,6 @@
 //! Fluent construction of queries and responses.
 
-use crate::constants::{RecordType, Rcode};
+use crate::constants::{Rcode, RecordType};
 use crate::message::{Edns, Message};
 use crate::name::Name;
 use crate::question::Question;
@@ -78,7 +78,10 @@ impl MessageBuilder {
 
     /// Attaches EDNS(0) with the given advertised UDP payload size.
     pub fn edns_udp_size(mut self, size: u16) -> Self {
-        self.msg.edns.get_or_insert_with(Edns::default).udp_payload_size = size;
+        self.msg
+            .edns
+            .get_or_insert_with(Edns::default)
+            .udp_payload_size = size;
         self
     }
 
@@ -146,8 +149,7 @@ mod tests {
 
     #[test]
     fn query_defaults() {
-        let q = MessageBuilder::query(42, Name::parse("a.example").unwrap(), RecordType::A)
-            .build();
+        let q = MessageBuilder::query(42, Name::parse("a.example").unwrap(), RecordType::A).build();
         assert_eq!(q.header.id, 42);
         assert!(!q.header.flags.response);
         assert!(q.edns.is_none());

@@ -41,27 +41,27 @@
 #![warn(missing_docs)]
 
 pub mod base64url;
-pub mod odoh;
-pub mod tcp_frame;
 mod builder;
 mod constants;
 mod error;
 mod header;
 mod message;
 mod name;
+pub mod odoh;
 mod question;
 mod rdata;
 mod record;
+pub mod tcp_frame;
 mod wire;
 
 pub use builder::MessageBuilder;
 pub use constants::{Opcode, Rcode, RecordClass, RecordType};
 pub use error::WireError;
 pub use header::{Flags, Header, HEADER_LEN};
-pub use rdata::option_code;
 pub use message::{Edns, Message};
 pub use name::Name;
 pub use question::Question;
+pub use rdata::option_code;
 pub use rdata::{
     CaaData, OptData, OptOption, RData, SoaData, SrvData, SvcParam, SvcbData, TxtData,
 };

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::constants::{RecordType, Rcode};
+use crate::constants::{Rcode, RecordType};
 use crate::error::WireError;
 use crate::header::Header;
 use crate::name::NameCompressor;

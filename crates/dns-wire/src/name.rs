@@ -114,11 +114,7 @@ impl Name {
     /// Uncompressed wire length: one length octet per label, each label's
     /// octets, and the terminating root octet.
     pub fn wire_len(&self) -> usize {
-        1 + self
-            .labels
-            .iter()
-            .map(|l| 1 + l.len())
-            .sum::<usize>()
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
     }
 
     /// The parent name (one label removed), or `None` at the root.
@@ -280,10 +276,7 @@ impl Name {
 }
 
 fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 fn suffix_key(labels: &[Vec<u8>]) -> String {
@@ -398,7 +391,12 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["example.com.", "a.b.c.d.e.", "x.", "sub.domain.example.org."] {
+        for s in [
+            "example.com.",
+            "a.b.c.d.e.",
+            "x.",
+            "sub.domain.example.org.",
+        ] {
             assert_eq!(Name::parse(s).unwrap().to_string(), s);
         }
     }
@@ -458,10 +456,7 @@ mod tests {
         let mut w = Writer::new();
         n.encode_uncompressed(&mut w).unwrap();
         assert_eq!(w.len(), n.wire_len());
-        assert_eq!(
-            w.as_slice(),
-            b"\x03dns\x07example\x03com\x00".as_slice()
-        );
+        assert_eq!(w.as_slice(), b"\x03dns\x07example\x03com\x00".as_slice());
     }
 
     #[test]
@@ -602,7 +597,7 @@ mod tests {
 
     #[test]
     fn canonical_ordering_is_by_reversed_labels() {
-        let mut names = vec![
+        let mut names = [
             Name::parse("z.example.com").unwrap(),
             Name::parse("example.com").unwrap(),
             Name::parse("a.example.com").unwrap(),

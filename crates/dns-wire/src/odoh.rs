@@ -178,7 +178,10 @@ pub fn seal_query(key: &TargetKey, dns_query: &[u8], kem_entropy: u64) -> Oblivi
 
 /// Opens a client→target message at the target.
 /// Returns the DNS query and the KEM share (needed to seal the response).
-pub fn open_query(key: &TargetKey, msg: &ObliviousMessage) -> Result<(Vec<u8>, Vec<u8>), WireError> {
+pub fn open_query(
+    key: &TargetKey,
+    msg: &ObliviousMessage,
+) -> Result<(Vec<u8>, Vec<u8>), WireError> {
     if msg.message_type != MESSAGE_TYPE_QUERY {
         return Err(WireError::InvalidText {
             reason: "not an ODoH query",

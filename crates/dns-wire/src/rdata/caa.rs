@@ -55,7 +55,9 @@ impl CaaData {
             });
         }
         if r.position() + tag_len > end {
-            return Err(WireError::Truncated { expected: "CAA tag" });
+            return Err(WireError::Truncated {
+                expected: "CAA tag",
+            });
         }
         let tag = r.read_slice(tag_len, "CAA tag")?.to_vec();
         let value_len = end - r.position();

@@ -123,11 +123,7 @@ impl RData {
     ///
     /// The reader must be positioned at the first rdata octet; on success the
     /// cursor sits exactly `rdlen` octets later.
-    pub fn decode(
-        r: &mut Reader<'_>,
-        rtype: RecordType,
-        rdlen: usize,
-    ) -> Result<Self, WireError> {
+    pub fn decode(r: &mut Reader<'_>, rtype: RecordType, rdlen: usize) -> Result<Self, WireError> {
         let start = r.position();
         if r.remaining() < rdlen {
             return Err(WireError::Truncated { expected: "rdata" });

@@ -56,7 +56,12 @@ impl fmt::Display for SoaData {
         write!(
             f,
             "{} {} {} {} {} {} {}",
-            self.mname, self.rname, self.serial, self.refresh, self.retry, self.expire,
+            self.mname,
+            self.rname,
+            self.serial,
+            self.refresh,
+            self.retry,
+            self.expire,
             self.minimum
         )
     }

@@ -109,7 +109,7 @@ impl SvcParam {
                 Ok(SvcParam::Port(u16::from_be_bytes([value[0], value[1]])))
             }
             param_key::IPV4HINT => {
-                if value.len() % 4 != 0 || value.is_empty() {
+                if !value.len().is_multiple_of(4) || value.is_empty() {
                     return Err(WireError::InvalidText {
                         reason: "ipv4hint must be a non-empty multiple of 4 octets",
                     });
@@ -122,7 +122,7 @@ impl SvcParam {
                 ))
             }
             param_key::IPV6HINT => {
-                if value.len() % 16 != 0 || value.is_empty() {
+                if !value.len().is_multiple_of(16) || value.is_empty() {
                     return Err(WireError::InvalidText {
                         reason: "ipv6hint must be a non-empty multiple of 16 octets",
                     });
@@ -244,9 +244,7 @@ impl fmt::Display for SvcbData {
                     let joined: Vec<String> = ips.iter().map(|i| i.to_string()).collect();
                     write!(f, " ipv6hint={}", joined.join(","))?;
                 }
-                SvcParam::DohPath(p) => {
-                    write!(f, " dohpath={}", String::from_utf8_lossy(p))?
-                }
+                SvcParam::DohPath(p) => write!(f, " dohpath={}", String::from_utf8_lossy(p))?,
                 SvcParam::Opaque { key, .. } => write!(f, " key{key}")?,
             }
         }
@@ -321,7 +319,7 @@ mod tests {
             priority: 1,
             target: Name::root(),
             params: vec![
-                SvcParam::DohPath(b"/q".to_vec()), // key 7
+                SvcParam::DohPath(b"/q".to_vec()),    // key 7
                 SvcParam::Alpn(vec![b"h2".to_vec()]), // key 1
             ],
         };

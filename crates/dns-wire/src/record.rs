@@ -124,11 +124,7 @@ mod tests {
 
     #[test]
     fn rdlength_is_backpatched() {
-        let rr = ResourceRecord::new(
-            Name::root(),
-            60,
-            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
-        );
+        let rr = ResourceRecord::new(Name::root(), 60, RData::A(Ipv4Addr::new(1, 2, 3, 4)));
         let mut w = Writer::new();
         let mut c = NameCompressor::new();
         rr.encode(&mut w, &mut c).unwrap();
@@ -150,11 +146,7 @@ mod tests {
     #[test]
     fn decode_rejects_bad_rdlength() {
         // Build a valid record then corrupt RDLENGTH upward.
-        let rr = ResourceRecord::new(
-            Name::root(),
-            60,
-            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
-        );
+        let rr = ResourceRecord::new(Name::root(), 60, RData::A(Ipv4Addr::new(1, 2, 3, 4)));
         let mut w = Writer::new();
         let mut c = NameCompressor::new();
         rr.encode(&mut w, &mut c).unwrap();

@@ -72,14 +72,9 @@ impl StreamDeframer {
     pub fn feed(&mut self, chunk: &[u8]) -> Vec<Vec<u8>> {
         self.buf.extend_from_slice(chunk);
         let mut out = Vec::new();
-        loop {
-            match deframe(&self.buf) {
-                Deframed::Complete { message, consumed } => {
-                    self.buf.drain(..consumed);
-                    out.push(message);
-                }
-                Deframed::NeedMore { .. } => break,
-            }
+        while let Deframed::Complete { message, consumed } = deframe(&self.buf) {
+            self.buf.drain(..consumed);
+            out.push(message);
         }
         out
     }

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use dns_wire::{
-    base64url, Message, MessageBuilder, Name, RData, RecordType, ResourceRecord, SoaData,
-    SrvData, TxtData,
+    base64url, Message, MessageBuilder, Name, RData, RecordType, ResourceRecord, SoaData, SrvData,
+    TxtData,
 };
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -19,9 +19,8 @@ fn arb_label() -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn arb_name() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(arb_label(), 0..=5).prop_filter_map("name too long", |labels| {
-        Name::from_labels(labels).ok()
-    })
+    proptest::collection::vec(arb_label(), 0..=5)
+        .prop_filter_map("name too long", |labels| Name::from_labels(labels).ok())
 }
 
 fn arb_rdata() -> impl Strategy<Value = RData> {

@@ -16,7 +16,6 @@ use measure::{
 };
 use netsim::SimTime;
 
-
 /// Prints to stdout, ignoring broken pipes (`edns-measure ... | head` must
 /// exit cleanly, not panic).
 macro_rules! out {
@@ -56,14 +55,19 @@ USAGE:
       Print the measured resolver population.
 
   edns-measure probe <resolver> [--vantage LABEL] [--protocol doh|dot|do53|doq|odoh]
-                     [--count N] [--domain NAME] [--seed S]
+                     [--count N] [--domain NAME] [--seed S] [--trace]
       Issue dig-style probes against one resolver and print per-probe
       timings plus a summary. Default: 5 DoH probes of google.com from
-      ec2-ohio with seed 0.
+      ec2-ohio with seed 0. --trace prints each probe's span timeline
+      (dns_encode, connect, tls_handshake, http_exchange, ...).
 
   edns-measure campaign [--scale quick|standard|paper] [--seed S] [--out FILE]
+                        [--metrics]
       Run a full campaign over the whole population and write JSON-Lines
-      results (default scale standard, output results.jsonl).
+      results (default scale standard, output results.jsonl). --metrics
+      prints the per-resolver × vantage metrics snapshot (counters, error
+      tallies, phase histograms). For JSON/CSV metrics exports see
+      examples/global_campaign.rs, which uses the report crate.
 
   edns-measure report <results.jsonl>
       Regenerate the availability analysis and headline findings from a
@@ -76,6 +80,11 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Whether a bare `--flag` is present.
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -123,6 +132,7 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
         .unwrap_or("0")
         .parse()
         .map_err(|_| "bad --seed")?;
+    let trace = flag_present(args, "--trace");
 
     let prober = Prober::new();
     let mut target = ProbeTarget::from_entry(entry);
@@ -140,16 +150,34 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
     let mut errors = 0;
     for i in 0..count {
         let now = SimTime::from_nanos(i * 3_600_000_000_000);
-        let (outcome, ping) = prober.probe(&client, &mut target, &domain, now, vantage.is_home(), cfg, &mut rng);
+        let mut log = if trace {
+            obs::SpanLog::with_capacity(64)
+        } else {
+            obs::SpanLog::disabled()
+        };
+        let (outcome, ping) = prober.probe_traced(
+            &client,
+            &mut target,
+            &domain,
+            now,
+            vantage.is_home(),
+            cfg,
+            &mut rng,
+            &mut log,
+        );
         match outcome {
-            ProbeOutcome::Success { timings, cache_hit, site } => {
+            ProbeOutcome::Success {
+                timings,
+                cache_hit,
+                site,
+            } => {
                 out!(
                     "probe {:>2}: response {:8.2} ms  (connect {:6.2} + secure {:6.2} + query {:6.2})  ping {}  site {}{}",
                     i + 1,
                     timings.total().as_millis_f64(),
                     timings.connect.as_millis_f64(),
-                    timings.secure.as_millis_f64(),
-                    timings.query.as_millis_f64(),
+                    timings.tls_handshake.as_millis_f64(),
+                    timings.exchange().as_millis_f64(),
                     ping.map(|p| format!("{:6.2} ms", p.as_millis_f64()))
                         .unwrap_or_else(|| "  (filtered)".into()),
                     site,
@@ -164,6 +192,11 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
                     elapsed.as_millis_f64()
                 );
                 errors += 1;
+            }
+        }
+        if trace {
+            for line in log.render().lines() {
+                out!("          {line}");
             }
         }
     }
@@ -198,7 +231,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         catalog::resolvers::all().len()
     );
     let start = std::time::Instant::now();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let result = campaign.run_parallel(threads);
     eprintln!(
         "done in {:.1}s: {} ok / {} errors",
@@ -208,6 +243,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     );
     std::fs::write(out, result.to_json_lines()).map_err(|e| e.to_string())?;
     eprintln!("results written to {out}");
+    if flag_present(args, "--metrics") {
+        out!("{}", result.metrics().render());
+    }
     Ok(())
 }
 
@@ -240,13 +278,15 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
                 .get(resolver)
                 .and_then(|a| a.dominant_error().map(str::to_string))
                 .unwrap_or_default();
-            out!("  {resolver:<42} {:6.2}%  ({dominant})", availability * 100.0);
+            out!(
+                "  {resolver:<42} {:6.2}%  ({dominant})",
+                availability * 100.0
+            );
         }
     }
 
     // Fastest resolvers per vantage, from the streaming medians.
-    let vantages: std::collections::BTreeSet<&str> =
-        summary.iter().map(|(v, _, _)| v).collect();
+    let vantages: std::collections::BTreeSet<&str> = summary.iter().map(|(v, _, _)| v).collect();
     for vantage in vantages {
         let mut rows: Vec<(&str, f64)> = summary
             .iter()

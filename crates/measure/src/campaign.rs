@@ -9,10 +9,11 @@
 
 use dns_wire::Name;
 use netsim::rng::SimRng;
+use obs::{MetricsRegistry, MetricsSnapshot, Phase};
 
 use crate::config::CampaignConfig;
 use crate::probe::{ProbeTarget, Prober};
-use crate::results::ProbeRecord;
+use crate::results::{ProbeOutcome, ProbeRecord};
 use crate::vantage::Vantage;
 
 /// A completed campaign: all records plus the configuration that made them.
@@ -28,7 +29,10 @@ pub struct CampaignResult {
 impl CampaignResult {
     /// Successful probe count.
     pub fn successes(&self) -> usize {
-        self.records.iter().filter(|r| r.outcome.is_success()).count()
+        self.records
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count()
     }
 
     /// Failed probe count.
@@ -38,9 +42,16 @@ impl CampaignResult {
 
     /// Serialises all records as JSON Lines — the tool's output format.
     pub fn to_json_lines(&self) -> String {
-        let values: Vec<crate::json::Json> =
-            self.records.iter().map(|r| r.to_json()).collect();
+        let values: Vec<crate::json::Json> = self.records.iter().map(|r| r.to_json()).collect();
         crate::json::to_json_lines(values.iter())
+    }
+
+    /// Builds the resolver × vantage × protocol metrics snapshot for this
+    /// campaign. Records are already in canonical order and the registry
+    /// iterates its cells sorted, so two same-seed campaigns export
+    /// byte-identical snapshots.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        metrics_of(&self.records)
     }
 
     /// Parses records back from JSON Lines.
@@ -52,6 +63,40 @@ impl CampaignResult {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(CampaignResult { records, seed })
     }
+}
+
+/// Builds a metrics snapshot from probe records: counters per cell, error
+/// tallies by label, and latency histograms for responses, pings and each
+/// of the six probe phases.
+pub fn metrics_of(records: &[ProbeRecord]) -> MetricsSnapshot {
+    let mut registry = MetricsRegistry::new();
+    for r in records {
+        let cell = registry.cell(&r.resolver, &r.vantage, r.protocol.label());
+        cell.probes.inc();
+        match &r.outcome {
+            ProbeOutcome::Success {
+                timings, cache_hit, ..
+            } => {
+                cell.successes.inc();
+                if *cache_hit {
+                    cell.cache_hits.inc();
+                }
+                let ms = timings.total().as_millis_f64();
+                cell.response_ms.observe(ms);
+                cell.last_response_ms.set(ms);
+                for p in Phase::ALL {
+                    cell.phase(p).observe(timings.phase(p).as_millis_f64());
+                }
+            }
+            ProbeOutcome::Failure { kind, .. } => {
+                *cell.errors.entry(kind.label().to_string()).or_insert(0) += 1;
+            }
+        }
+        if let Some(p) = r.ping {
+            cell.ping_ms.observe(p.as_millis_f64());
+        }
+    }
+    registry.snapshot()
 }
 
 /// Runs campaigns over a resolver population.
@@ -96,12 +141,12 @@ impl Campaign {
         let threads = threads.max(1).min(pairs.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut buckets: Vec<Vec<ProbeRecord>> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
                 let pairs = &pairs;
                 let next = &next;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -117,8 +162,7 @@ impl Campaign {
             for h in handles {
                 buckets.push(h.join().expect("campaign worker panicked"));
             }
-        })
-        .expect("campaign scope");
+        });
         Self::finish(buckets.into_iter().flatten().collect(), self.config.seed)
     }
 
@@ -202,10 +246,15 @@ mod tests {
     use crate::config::CampaignConfig;
 
     fn small_campaign(seed: u64) -> Campaign {
-        let entries = ["dns.google", "dns.quad9.net", "doh.ffmuc.net", "dns.bebasid.com"]
-            .into_iter()
-            .map(|h| catalog::resolvers::find(h).unwrap())
-            .collect();
+        let entries = [
+            "dns.google",
+            "dns.quad9.net",
+            "doh.ffmuc.net",
+            "dns.bebasid.com",
+        ]
+        .into_iter()
+        .map(|h| catalog::resolvers::find(h).unwrap())
+        .collect();
         Campaign::with_resolvers(CampaignConfig::quick(seed, 3), entries)
     }
 

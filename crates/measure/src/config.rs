@@ -143,10 +143,7 @@ impl CampaignConfig {
             .collect();
         labels.sort_unstable();
         labels.dedup();
-        labels
-            .into_iter()
-            .filter_map(vantage::find)
-            .collect()
+        labels.into_iter().filter_map(vantage::find).collect()
     }
 
     /// Total probes this configuration will issue, given `resolvers`

@@ -3,7 +3,7 @@
 //! RFC 8484 binary format. Converts between [`dns_wire::Message`] and the
 //! de-facto JSON schema (`Status`, `TC`, `RD`, `RA`, `Question`, `Answer`).
 
-use dns_wire::{Message, Name, RData, RecordType};
+use dns_wire::{Message, Name, RecordType};
 
 use crate::json::Json;
 
@@ -114,7 +114,7 @@ pub fn query_path(base_path: &str, name: &Name, rtype: RecordType) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dns_wire::{MessageBuilder, Rcode};
+    use dns_wire::{MessageBuilder, RData, Rcode};
     use std::net::Ipv4Addr;
 
     fn response() -> Message {
@@ -161,8 +161,8 @@ mod tests {
 
     #[test]
     fn nxdomain_status_carried() {
-        let q = MessageBuilder::query(0, Name::parse("nope.example").unwrap(), RecordType::A)
-            .build();
+        let q =
+            MessageBuilder::query(0, Name::parse("nope.example").unwrap(), RecordType::A).build();
         let msg = MessageBuilder::response_to(&q, Rcode::NxDomain).build();
         let parsed = from_json(&to_json(&msg)).unwrap();
         assert_eq!(parsed.status, 3);
@@ -173,7 +173,11 @@ mod tests {
     #[test]
     fn query_path_shape() {
         assert_eq!(
-            query_path("/resolve", &Name::parse("example.com").unwrap(), RecordType::AAAA),
+            query_path(
+                "/resolve",
+                &Name::parse("example.com").unwrap(),
+                RecordType::AAAA
+            ),
             "/resolve?name=example.com&type=AAAA"
         );
     }

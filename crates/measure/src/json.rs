@@ -31,12 +31,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Object field access.
@@ -155,7 +150,9 @@ impl LastTokenCheck for String {
         let tail: String = self
             .chars()
             .rev()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' || *c == '+')
+            .take_while(|c| {
+                c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' || *c == '+'
+            })
             .collect();
         tail.contains('.') || tail.contains('e') || tail.contains('E')
     }
@@ -325,8 +322,8 @@ impl<'a> Parser<'a> {
                                 .b
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let s = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let s =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let n = u32::from_str_radix(s, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             self.pos += 4;
@@ -379,8 +376,7 @@ impl<'a> Parser<'a> {
                             .b
                             .get(start..start + len)
                             .ok_or_else(|| self.err("bad utf-8"))?;
-                        let s =
-                            std::str::from_utf8(bytes).map_err(|_| self.err("bad utf-8"))?;
+                        let s = std::str::from_utf8(bytes).map_err(|_| self.err("bad utf-8"))?;
                         out.push_str(s);
                         self.pos = start + len;
                     }
@@ -405,8 +401,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.b[start..self.pos])
-            .map_err(|_| self.err("bad number"))?;
+        let text =
+            std::str::from_utf8(&self.b[start..self.pos]).map_err(|_| self.err("bad number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Float)
@@ -481,7 +477,10 @@ mod tests {
         let v = Json::Float(12.345678);
         assert_eq!(parse(&v.to_string_compact()).unwrap(), v);
         let v = Json::Float(1.5e-9);
-        assert_eq!(parse(&v.to_string_compact()).unwrap().as_f64(), Some(1.5e-9));
+        assert_eq!(
+            parse(&v.to_string_compact()).unwrap().as_f64(),
+            Some(1.5e-9)
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod results;
 pub mod summary;
 pub mod vantage;
 
-pub use campaign::{Campaign, CampaignResult};
+pub use campaign::{metrics_of, Campaign, CampaignResult};
 pub use config::{standard_domains, CampaignConfig, Span};
 pub use errors::ProbeErrorKind;
 pub use probe::{ProbeConfig, ProbeTarget, Prober};

@@ -13,6 +13,7 @@ use bytes::Bytes;
 use catalog::ResolverEntry;
 use dns_wire::{base64url, Message, MessageBuilder, Name, Rcode, RecordType};
 use netsim::{icmp, Host, Path, SimDuration, SimRng, SimTime};
+use obs::{Nanos, Phase, SpanLog};
 use resolver_sim::{AuthorityTree, ProbeHealth, ResolverInstance};
 use transport::{
     doh_headers, H2Connection, H2Request, HeaderField, QuicConfig, QuicConnection, RetryPolicy,
@@ -21,6 +22,29 @@ use transport::{
 
 use crate::errors::ProbeErrorKind;
 use crate::results::{ProbeOutcome, ProbeTimings, Protocol};
+
+/// Deterministic client-side cost of building and encoding a DNS query:
+/// a fixed setup term plus a per-byte term. Microsecond-scale, so it shows
+/// up in the phase breakdown without moving the calibrated response-time
+/// distributions; crucially it draws nothing from the RNG, so enabling the
+/// phase accounting cannot perturb a seeded run.
+fn encode_cost(wire_len: usize) -> SimDuration {
+    SimDuration::from_nanos(2_000 + 25 * wire_len as u64)
+}
+
+/// Deterministic client-side cost of decoding and validating a DNS
+/// response. Slightly above the encode cost: parsing walks unknown input.
+fn decode_cost(wire_len: usize) -> SimDuration {
+    SimDuration::from_nanos(3_000 + 35 * wire_len as u64)
+}
+
+/// Records a codec phase as a span and returns the advanced clock.
+fn record_codec_span(log: &mut SpanLog, t0: Nanos, phase: Phase, cost: SimDuration) -> Nanos {
+    log.enter(t0, phase.name());
+    let t = t0 + cost.as_nanos();
+    log.exit(t, phase.name());
+    t
+}
 
 /// A resolver as seen by the prober: catalog metadata plus live simulated
 /// state.
@@ -95,6 +119,7 @@ impl Prober {
     ///
     /// `is_home` marks residential vantage points, which some resolvers
     /// serve over worse peering (the catalog's `home_extra_ms`).
+    #[allow(clippy::too_many_arguments)]
     pub fn probe(
         &self,
         client: &Host,
@@ -105,6 +130,28 @@ impl Prober {
         cfg: ProbeConfig,
         rng: &mut SimRng,
     ) -> (ProbeOutcome, Option<SimDuration>) {
+        // A disabled log allocates nothing and costs one branch per
+        // recording site, so the untraced path stays the hot path.
+        let mut log = SpanLog::disabled();
+        self.probe_traced(client, target, domain, now, is_home, cfg, rng, &mut log)
+    }
+
+    /// [`probe`](Self::probe) with span tracing: every phase of the probe
+    /// is recorded into `log` as a span in simulated time. Tracing never
+    /// touches the RNG, so a traced run produces bit-identical outcomes to
+    /// an untraced one under the same seed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_traced(
+        &self,
+        client: &Host,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        is_home: bool,
+        cfg: ProbeConfig,
+        rng: &mut SimRng,
+        log: &mut SpanLog,
+    ) -> (ProbeOutcome, Option<SimDuration>) {
         let (site, mut path) = target.instance.route(client);
         if is_home {
             path.extra_latency_ms += target.entry.home_extra_ms;
@@ -112,9 +159,15 @@ impl Prober {
 
         // Paired ICMP probe (§3.1 "Latency").
         let ping = icmp::ping(&path, target.instance.icmp, cfg.ping_timeout, rng).rtt();
+        match ping {
+            Some(rtt) => log.instant(now.as_nanos() + rtt.as_nanos(), "icmp_echo_reply"),
+            None => log.instant(now.as_nanos(), "icmp_filtered"),
+        }
 
         let health = target.instance.sample_health_at(now, rng);
-        let outcome = self.dns_probe(client, target, domain, now, site, &path, health, cfg, rng);
+        let outcome = self.dns_probe(
+            client, target, domain, now, site, &path, health, cfg, rng, log,
+        );
         (outcome, ping)
     }
 
@@ -130,6 +183,7 @@ impl Prober {
         health: ProbeHealth,
         cfg: ProbeConfig,
         rng: &mut SimRng,
+        log: &mut SpanLog,
     ) -> ProbeOutcome {
         // Outage states shape the path / transport behaviour.
         let mut path = path.clone();
@@ -144,25 +198,53 @@ impl Prober {
         };
 
         match cfg.protocol {
-            Protocol::DoH => {
-                self.doh_probe(target, domain, now, site, &path, refused, tls_behavior, health, cfg, rng)
+            Protocol::DoH => self.doh_probe(
+                target,
+                domain,
+                now,
+                site,
+                &path,
+                refused,
+                tls_behavior,
+                health,
+                cfg,
+                rng,
+                log,
+            ),
+            Protocol::DoT => self.dot_probe(
+                target,
+                domain,
+                now,
+                site,
+                &path,
+                refused,
+                tls_behavior,
+                health,
+                cfg,
+                rng,
+                log,
+            ),
+            Protocol::Do53 => {
+                self.do53_probe(target, domain, now, site, &path, health, cfg, rng, log)
             }
-            Protocol::DoT => {
-                self.dot_probe(target, domain, now, site, &path, refused, tls_behavior, health, cfg, rng)
-            }
-            Protocol::Do53 => self.do53_probe(target, domain, now, site, &path, health, cfg, rng),
-            Protocol::DoQ => self.doq_probe(target, domain, now, site, &path, refused, health, cfg, rng),
+            Protocol::DoQ => self.doq_probe(
+                target, domain, now, site, &path, refused, health, cfg, rng, log,
+            ),
             Protocol::ODoH => {
-                self.odoh_probe(_client, target, domain, now, site, health, cfg, rng)
+                self.odoh_probe(_client, target, domain, now, site, health, cfg, rng, log)
             }
         }
     }
 
     /// Builds the query message (id 0 per RFC 8484 cache friendliness).
     fn build_query(&self, domain: &Name, cfg: ProbeConfig, encrypted: bool) -> Message {
-        let mut b = MessageBuilder::query(if encrypted { 0 } else { 0x2b2b }, domain.clone(), RecordType::A)
-            .recursion_desired(true)
-            .edns_udp_size(1232);
+        let mut b = MessageBuilder::query(
+            if encrypted { 0 } else { 0x2b2b },
+            domain.clone(),
+            RecordType::A,
+        )
+        .recursion_desired(true)
+        .edns_udp_size(1232);
         if cfg.padding && encrypted {
             b = b.padding_to(128);
         }
@@ -200,7 +282,12 @@ impl Prober {
         (server_time, resolution.cache_hit, resolution.rcode, wire)
     }
 
-    fn check_rcode(rcode: Rcode, timings: ProbeTimings, cache_hit: bool, site: usize) -> ProbeOutcome {
+    fn check_rcode(
+        rcode: Rcode,
+        timings: ProbeTimings,
+        cache_hit: bool,
+        site: usize,
+    ) -> ProbeOutcome {
         if rcode.is_success() {
             ProbeOutcome::Success {
                 timings,
@@ -228,10 +315,20 @@ impl Prober {
         health: ProbeHealth,
         cfg: ProbeConfig,
         rng: &mut SimRng,
+        log: &mut SpanLog,
     ) -> ProbeOutcome {
+        // Encode the query first: the phase timeline starts with the
+        // client-side codec work. Building the message draws no randomness,
+        // so hoisting it above the transport legs leaves the RNG stream —
+        // and therefore every calibrated distribution — untouched.
+        let query = self.build_query(domain, cfg, true);
+        let query_wire = query.encode().expect("query encodes");
+        let dns_encode = encode_cost(query_wire.len());
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
+
         // TCP.
         let (mut tcp, connect) =
-            match TcpConnection::connect(path, refused, rng, TcpConfig::default()) {
+            match TcpConnection::connect_traced(path, refused, rng, TcpConfig::default(), t, log) {
                 Ok(ok) => ok,
                 Err(e) => {
                     return ProbeOutcome::Failure {
@@ -240,14 +337,17 @@ impl Prober {
                     }
                 }
             };
+        t += connect.as_nanos();
         // TLS.
-        let tls = match TlsSession::handshake(
+        let tls = match TlsSession::handshake_traced(
             &mut tcp,
             path,
             TlsConfig::default(),
             tls_behavior,
             None,
             rng,
+            t,
+            log,
         ) {
             Ok(s) => s,
             Err(e) => {
@@ -257,17 +357,23 @@ impl Prober {
                 }
             }
         };
+        t += tls.handshake_time.as_nanos();
 
         // Build the HTTP/2 request with real wire bytes.
-        let query = self.build_query(domain, cfg, true);
-        let query_wire = query.encode().expect("query encodes");
         let (http_path, body) = if cfg.doh_get {
             (
-                format!("{}?dns={}", target.entry.doh_path, base64url::encode(&query_wire)),
+                format!(
+                    "{}?dns={}",
+                    target.entry.doh_path,
+                    base64url::encode(&query_wire)
+                ),
                 Bytes::new(),
             )
         } else {
-            (target.entry.doh_path.to_string(), Bytes::from(query_wire.clone()))
+            (
+                target.entry.doh_path.to_string(),
+                Bytes::from(query_wire.clone()),
+            )
         };
         let req = H2Request {
             headers: doh_headers(target.entry.hostname, &http_path, !cfg.doh_get, body.len()),
@@ -278,7 +384,11 @@ impl Prober {
         // response; the client re-derives it by decoding the HTTP body.
         let (server_time, cache_hit, _rcode, dns_response) =
             self.serve(target, &query, domain, now, site, rng);
-        let http_status = if health == ProbeHealth::HttpError { 500 } else { 200 };
+        let http_status = if health == ProbeHealth::HttpError {
+            500
+        } else {
+            200
+        };
         let content_type = HeaderField::new("content-type", "application/dns-message");
 
         // HTTP/1.1-only servers don't offer h2 in their ALPN; the client
@@ -287,12 +397,14 @@ impl Prober {
             let req_wire = transport::h1_encode_request(&req.headers, &req.body);
             let resp_wire =
                 transport::h1_encode_response(http_status, &[content_type], &dns_response);
-            let out = match tcp.request_response(
+            let out = match tcp.request_response_traced(
                 path,
                 req_wire.len(),
                 resp_wire.len(),
                 server_time,
                 rng,
+                t,
+                log,
             ) {
                 Ok(out) => out,
                 Err(e) => {
@@ -313,7 +425,7 @@ impl Prober {
             }
         } else {
             let mut h2 = H2Connection::new();
-            let result = h2.round_trip(
+            let result = h2.round_trip_traced(
                 &mut tcp,
                 path,
                 &req,
@@ -328,6 +440,8 @@ impl Prober {
                 },
                 server_time,
                 rng,
+                t,
+                log,
             );
             match result {
                 Ok((resp, elapsed)) => (resp.status, resp.body, elapsed),
@@ -339,12 +453,18 @@ impl Prober {
                 }
             }
         };
+        t += query_time.as_nanos();
 
-        let timings = ProbeTimings {
+        let dns_decode = decode_cost(body.len());
+        record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+        let timings = ProbeTimings::from_legs(
+            dns_encode,
             connect,
-            secure: tls.handshake_time,
-            query: query_time,
-        };
+            tls.handshake_time,
+            query_time,
+            server_time,
+            dns_decode,
+        );
         if status != 200 {
             return ProbeOutcome::Failure {
                 kind: ProbeErrorKind::HttpStatus,
@@ -374,9 +494,15 @@ impl Prober {
         health: ProbeHealth,
         cfg: ProbeConfig,
         rng: &mut SimRng,
+        log: &mut SpanLog,
     ) -> ProbeOutcome {
+        let query = self.build_query(domain, cfg, true);
+        let query_wire = query.encode().expect("query encodes");
+        let dns_encode = encode_cost(query_wire.len());
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
+
         let (mut tcp, connect) =
-            match TcpConnection::connect(path, refused, rng, TcpConfig::default()) {
+            match TcpConnection::connect_traced(path, refused, rng, TcpConfig::default(), t, log) {
                 Ok(ok) => ok,
                 Err(e) => {
                     return ProbeOutcome::Failure {
@@ -385,13 +511,16 @@ impl Prober {
                     }
                 }
             };
-        let tls = match TlsSession::handshake(
+        t += connect.as_nanos();
+        let tls = match TlsSession::handshake_traced(
             &mut tcp,
             path,
             TlsConfig::default(),
             tls_behavior,
             None,
             rng,
+            t,
+            log,
         ) {
             Ok(s) => s,
             Err(e) => {
@@ -401,18 +530,19 @@ impl Prober {
                 }
             }
         };
-        let query = self.build_query(domain, cfg, true);
-        let query_wire = query.encode().expect("query encodes");
+        t += tls.handshake_time.as_nanos();
         let (server_time, cache_hit, rcode, dns_response) =
             self.serve(target, &query, domain, now, site, rng);
         if health == ProbeHealth::HttpError {
             // DoT has no HTTP layer; the analogous failure is a ServFail.
-            let out = tcp.request_response(
+            let out = tcp.request_response_traced(
                 path,
                 2 + query_wire.len(),
                 2 + 12,
                 server_time,
                 rng,
+                t,
+                log,
             );
             return match out {
                 Ok(o) => ProbeOutcome::Failure {
@@ -428,19 +558,27 @@ impl Prober {
         // RFC 7858: each DNS message is TCP-framed with a length prefix.
         let framed_query = dns_wire::tcp_frame::frame(&query_wire).expect("query frames");
         let framed_response = dns_wire::tcp_frame::frame(&dns_response).expect("response frames");
-        match tcp.request_response(
+        match tcp.request_response_traced(
             path,
             framed_query.len(),
             framed_response.len(),
             server_time,
             rng,
+            t,
+            log,
         ) {
             Ok(out) => {
-                let timings = ProbeTimings {
+                t += out.elapsed.as_nanos();
+                let dns_decode = decode_cost(dns_response.len());
+                record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+                let timings = ProbeTimings::from_legs(
+                    dns_encode,
                     connect,
-                    secure: tls.handshake_time,
-                    query: out.elapsed,
-                };
+                    tls.handshake_time,
+                    out.elapsed,
+                    server_time,
+                    dns_decode,
+                );
                 Self::check_rcode(rcode, timings, cache_hit, site)
             }
             Err(e) => ProbeOutcome::Failure {
@@ -461,6 +599,7 @@ impl Prober {
         health: ProbeHealth,
         cfg: ProbeConfig,
         rng: &mut SimRng,
+        log: &mut SpanLog,
     ) -> ProbeOutcome {
         // Plain DNS has no connection; refused/TLS failures manifest as
         // silence (dig retries then times out).
@@ -474,6 +613,8 @@ impl Prober {
         }
         let query = self.build_query(domain, cfg, false);
         let query_wire = query.encode().expect("query encodes");
+        let dns_encode = encode_cost(query_wire.len());
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
         let (server_time, cache_hit, rcode, dns_response) =
             self.serve(target, &query, domain, now, site, rng);
         // dig defaults: 5 s timeout, 3 tries.
@@ -483,7 +624,7 @@ impl Prober {
             max_attempts: 3,
             max_rto: SimDuration::from_secs(5),
         };
-        match transport::exchange(
+        match transport::exchange_traced(
             &path,
             query_wire.len(),
             dns_response.len(),
@@ -491,13 +632,21 @@ impl Prober {
             policy,
             TransportErrorKind::RequestTimeout,
             rng,
+            t,
+            log,
         ) {
             Ok(out) => {
-                let timings = ProbeTimings {
-                    connect: SimDuration::ZERO,
-                    secure: SimDuration::ZERO,
-                    query: out.elapsed,
-                };
+                t += out.elapsed.as_nanos();
+                let dns_decode = decode_cost(dns_response.len());
+                record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+                let timings = ProbeTimings::from_legs(
+                    dns_encode,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    out.elapsed,
+                    server_time,
+                    dns_decode,
+                );
                 if health == ProbeHealth::HttpError {
                     return ProbeOutcome::Failure {
                         kind: ProbeErrorKind::DnsError,
@@ -528,6 +677,7 @@ impl Prober {
         health: ProbeHealth,
         cfg: ProbeConfig,
         rng: &mut SimRng,
+        log: &mut SpanLog,
     ) -> ProbeOutcome {
         use dns_wire::odoh;
         use netsim::AccessProfile;
@@ -562,27 +712,40 @@ impl Prober {
         let kem_entropy = (rng.uniform() * u64::MAX as f64) as u64;
         let sealed_query = odoh::seal_query(&key, &query_wire, kem_entropy);
         let sealed_query_wire = sealed_query.encode().expect("odoh encodes");
+        // The encode phase covers building the query and sealing it to the
+        // target's key (the sealed message is what goes on the wire).
+        let dns_encode = encode_cost(sealed_query_wire.len());
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
 
         // Connect to the relay (TCP + TLS).
         let refused_relay = false; // relays are modelled reliable
-        let (mut tcp, connect) =
-            match TcpConnection::connect(&client_relay, refused_relay, rng, TcpConfig::default()) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    return ProbeOutcome::Failure {
-                        kind: e.into(),
-                        elapsed: e.elapsed,
-                    }
+        let (mut tcp, connect) = match TcpConnection::connect_traced(
+            &client_relay,
+            refused_relay,
+            rng,
+            TcpConfig::default(),
+            t,
+            log,
+        ) {
+            Ok(ok) => ok,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: e.elapsed,
                 }
-            };
+            }
+        };
+        t += connect.as_nanos();
         let tls_behavior = TlsServerBehavior::Normal;
-        let tls = match TlsSession::handshake(
+        let tls = match TlsSession::handshake_traced(
             &mut tcp,
             &client_relay,
             TlsConfig::default(),
             tls_behavior,
             None,
             rng,
+            t,
+            log,
         ) {
             Ok(s) => s,
             Err(e) => {
@@ -592,6 +755,7 @@ impl Prober {
                 }
             }
         };
+        t += tls.handshake_time.as_nanos();
 
         // Target side: resolve and seal the response.
         let (server_time, cache_hit, rcode, dns_response) =
@@ -609,31 +773,29 @@ impl Prober {
         let sealed_response_wire = sealed_response.encode().expect("odoh encodes");
 
         // Relay forwards over its warm target connection: one round trip.
-        let relay_forward = match relay_target.sample_rtt(
-            sealed_query_wire.len(),
-            sealed_response_wire.len(),
-            rng,
-        ) {
-            Some(rtt) => rtt + server_time,
-            None => {
-                // Relay retries once, then reports 502 to the client after
-                // a 2-second upstream timeout.
-                match relay_target.sample_rtt(
-                    sealed_query_wire.len(),
-                    sealed_response_wire.len(),
-                    rng,
-                ) {
-                    Some(rtt) => SimDuration::from_secs(2) + rtt + server_time,
-                    None => {
-                        let elapsed = connect + tls.handshake_time + SimDuration::from_secs(4);
-                        return ProbeOutcome::Failure {
-                            kind: ProbeErrorKind::HttpStatus,
-                            elapsed,
-                        };
+        let relay_forward =
+            match relay_target.sample_rtt(sealed_query_wire.len(), sealed_response_wire.len(), rng)
+            {
+                Some(rtt) => rtt + server_time,
+                None => {
+                    // Relay retries once, then reports 502 to the client after
+                    // a 2-second upstream timeout.
+                    match relay_target.sample_rtt(
+                        sealed_query_wire.len(),
+                        sealed_response_wire.len(),
+                        rng,
+                    ) {
+                        Some(rtt) => SimDuration::from_secs(2) + rtt + server_time,
+                        None => {
+                            let elapsed = connect + tls.handshake_time + SimDuration::from_secs(4);
+                            return ProbeOutcome::Failure {
+                                kind: ProbeErrorKind::HttpStatus,
+                                elapsed,
+                            };
+                        }
                     }
                 }
-            }
-        };
+            };
 
         // Client ↔ relay HTTP exchange, with the relay's forwarding time as
         // its "server time".
@@ -648,9 +810,13 @@ impl Prober {
             },
             body: Bytes::from(sealed_query_wire),
         };
-        let http_status = if health == ProbeHealth::HttpError { 500 } else { 200 };
+        let http_status = if health == ProbeHealth::HttpError {
+            500
+        } else {
+            200
+        };
         let mut h2 = H2Connection::new();
-        let result = h2.round_trip(
+        let result = h2.round_trip_traced(
             &mut tcp,
             &client_relay,
             &req,
@@ -668,6 +834,8 @@ impl Prober {
             },
             relay_forward,
             rng,
+            t,
+            log,
         );
         let (resp, query_time) = match result {
             Ok(ok) => ok,
@@ -678,11 +846,22 @@ impl Prober {
                 }
             }
         };
-        let timings = ProbeTimings {
+        t += query_time.as_nanos();
+        // The decode phase covers decapsulating the sealed response and
+        // parsing the DNS message inside it.
+        let dns_decode = decode_cost(resp.body.len());
+        record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+        // Through a relay, everything past the client↔relay wire exchange —
+        // the relay→target leg plus the target's own processing — is
+        // "server" time from the client's point of view.
+        let timings = ProbeTimings::from_legs(
+            dns_encode,
             connect,
-            secure: tls.handshake_time,
-            query: query_time,
-        };
+            tls.handshake_time,
+            query_time,
+            relay_forward,
+            dns_decode,
+        );
         if resp.status != 200 {
             return ProbeOutcome::Failure {
                 kind: ProbeErrorKind::HttpStatus,
@@ -717,43 +896,59 @@ impl Prober {
         health: ProbeHealth,
         cfg: ProbeConfig,
         rng: &mut SimRng,
+        log: &mut SpanLog,
     ) -> ProbeOutcome {
         if refused {
             // QUIC: a closed port answers with ICMP unreachable ≈ one RTT.
             let rtt = path
                 .sample_rtt(1200, 60, rng)
                 .unwrap_or(SimDuration::from_millis(300));
+            log.instant(now.as_nanos() + rtt.as_nanos(), "connection_refused");
             return ProbeOutcome::Failure {
                 kind: ProbeErrorKind::ConnectionRefused,
                 elapsed: rtt,
             };
         }
-        let (mut quic, connect) = match QuicConnection::connect(path, QuicConfig::default(), rng) {
-            Ok(ok) => ok,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: e.elapsed,
-                }
-            }
-        };
         let query = self.build_query(domain, cfg, true);
         let query_wire = query.encode().expect("query encodes");
+        let dns_encode = encode_cost(query_wire.len());
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
+        let (mut quic, connect) =
+            match QuicConnection::connect_traced(path, QuicConfig::default(), rng, t, log) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: e.elapsed,
+                    }
+                }
+            };
+        t += connect.as_nanos();
         let (server_time, cache_hit, rcode, dns_response) =
             self.serve(target, &query, domain, now, site, rng);
-        match quic.stream_exchange(
+        match quic.stream_exchange_traced(
             path,
             2 + query_wire.len(),
             2 + dns_response.len(),
             server_time,
             rng,
+            t,
+            log,
         ) {
             Ok(out) => {
-                let timings = ProbeTimings {
+                t += out.elapsed.as_nanos();
+                let dns_decode = decode_cost(dns_response.len());
+                record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+                // The QUIC handshake folds transport and crypto setup into
+                // one leg, so `tls_handshake` is structurally zero.
+                let timings = ProbeTimings::from_legs(
+                    dns_encode,
                     connect,
-                    secure: SimDuration::ZERO,
-                    query: out.elapsed,
-                };
+                    SimDuration::ZERO,
+                    out.elapsed,
+                    server_time,
+                    dns_decode,
+                );
                 if health == ProbeHealth::HttpError {
                     return ProbeOutcome::Failure {
                         kind: ProbeErrorKind::DnsError,
@@ -834,18 +1029,37 @@ mod tests {
         let mut far_median = Vec::new();
         for i in 0..40 {
             let now = SimTime::from_nanos(i * 3_600_000_000_000);
-            let (o, _) = prober.probe(&client(), &mut near, &domain(), now, false, ProbeConfig::default(), &mut rng);
+            let (o, _) = prober.probe(
+                &client(),
+                &mut near,
+                &domain(),
+                now,
+                false,
+                ProbeConfig::default(),
+                &mut rng,
+            );
             if let Some(rt) = o.response_time() {
                 near_median.push(rt.as_millis_f64());
             }
-            let (o, _) = prober.probe(&client(), &mut far, &domain(), now, false, ProbeConfig::default(), &mut rng);
+            let (o, _) = prober.probe(
+                &client(),
+                &mut far,
+                &domain(),
+                now,
+                false,
+                ProbeConfig::default(),
+                &mut rng,
+            );
             if let Some(rt) = o.response_time() {
                 far_median.push(rt.as_millis_f64());
             }
         }
         near_median.sort_by(|a, b| a.partial_cmp(b).unwrap());
         far_median.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let (n, f) = (near_median[near_median.len() / 2], far_median[far_median.len() / 2]);
+        let (n, f) = (
+            near_median[near_median.len() / 2],
+            far_median[far_median.len() / 2],
+        );
         assert!(f > n * 5.0, "near {n} ms vs far {f} ms");
     }
 

@@ -2,6 +2,7 @@
 //! writes to its output file.
 
 use netsim::{Region, SimDuration, SimTime};
+use obs::Phase;
 
 use crate::errors::ProbeErrorKind;
 use crate::json::Json;
@@ -52,23 +53,91 @@ impl std::fmt::Display for Protocol {
     }
 }
 
-/// Timing breakdown of a successful probe.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Timing breakdown of a successful probe over the six canonical phases
+/// ([`obs::Phase`]). The phases are disjoint and sum exactly to the probe's
+/// end-to-end response time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ProbeTimings {
-    /// Transport connection establishment (TCP handshake; zero for UDP).
+    /// Building and encoding the DNS query message.
+    pub dns_encode: SimDuration,
+    /// Transport connection establishment (TCP handshake; the combined
+    /// QUIC handshake for DoQ; zero for UDP).
     pub connect: SimDuration,
-    /// Secure-channel establishment (TLS/QUIC handshake).
-    pub secure: SimDuration,
-    /// The DNS query/response exchange itself.
-    pub query: SimDuration,
+    /// TLS session establishment (zero for Do53 and DoQ, where the
+    /// handshake is folded into `connect`).
+    pub tls_handshake: SimDuration,
+    /// The query/response exchange on the wire, excluding the resolver's
+    /// own processing time.
+    pub http_exchange: SimDuration,
+    /// Time spent inside the resolver (cache lookup or recursion).
+    pub server_processing: SimDuration,
+    /// Decoding and validating the DNS response message.
+    pub dns_decode: SimDuration,
 }
 
 impl ProbeTimings {
+    /// Assembles timings from the raw legs a probe measures: the exchange
+    /// leg arrives as one wire-level elapsed time that *includes* the
+    /// server's processing time, and is split here so the phases stay
+    /// disjoint.
+    pub fn from_legs(
+        dns_encode: SimDuration,
+        connect: SimDuration,
+        tls_handshake: SimDuration,
+        exchange_elapsed: SimDuration,
+        server_time: SimDuration,
+        dns_decode: SimDuration,
+    ) -> ProbeTimings {
+        let http_exchange = exchange_elapsed.saturating_sub(server_time);
+        ProbeTimings {
+            dns_encode,
+            connect,
+            tls_handshake,
+            http_exchange,
+            server_processing: exchange_elapsed.saturating_sub(http_exchange),
+            dns_decode,
+        }
+    }
+
     /// End-to-end response time — what the paper reports: "the end-to-end
     /// time it takes for a client to initiate a query and receive a
-    /// response" with a fresh `dig`-style connection.
+    /// response" with a fresh `dig`-style connection. Exactly the sum of
+    /// the six phases.
     pub fn total(&self) -> SimDuration {
-        self.connect + self.secure + self.query
+        Phase::ALL
+            .iter()
+            .map(|p| self.phase(*p))
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// The duration of one canonical phase.
+    pub fn phase(&self, phase: Phase) -> SimDuration {
+        match phase {
+            Phase::DnsEncode => self.dns_encode,
+            Phase::Connect => self.connect,
+            Phase::TlsHandshake => self.tls_handshake,
+            Phase::HttpExchange => self.http_exchange,
+            Phase::ServerProcessing => self.server_processing,
+            Phase::DnsDecode => self.dns_decode,
+        }
+    }
+
+    /// Mutable access to one canonical phase.
+    pub fn phase_mut(&mut self, phase: Phase) -> &mut SimDuration {
+        match phase {
+            Phase::DnsEncode => &mut self.dns_encode,
+            Phase::Connect => &mut self.connect,
+            Phase::TlsHandshake => &mut self.tls_handshake,
+            Phase::HttpExchange => &mut self.http_exchange,
+            Phase::ServerProcessing => &mut self.server_processing,
+            Phase::DnsDecode => &mut self.dns_decode,
+        }
+    }
+
+    /// The wire-level exchange leg (network + server) — the legacy
+    /// `query_ms` field, and what a warm connection would pay per query.
+    pub fn exchange(&self) -> SimDuration {
+        self.http_exchange + self.server_processing
     }
 }
 
@@ -131,6 +200,18 @@ pub struct ProbeRecord {
     pub ping: Option<SimDuration>,
 }
 
+/// The JSON key for one phase inside the `phases` object.
+fn phase_key(p: Phase) -> &'static str {
+    match p {
+        Phase::DnsEncode => "dns_encode_ms",
+        Phase::Connect => "connect_ms",
+        Phase::TlsHandshake => "tls_handshake_ms",
+        Phase::HttpExchange => "http_exchange_ms",
+        Phase::ServerProcessing => "server_processing_ms",
+        Phase::DnsDecode => "dns_decode_ms",
+    }
+}
+
 fn region_label(r: Region) -> &'static str {
     match r {
         Region::NorthAmerica => "north_america",
@@ -174,12 +255,23 @@ impl ProbeRecord {
                 site,
             } => {
                 pairs.push(("success", Json::Bool(true)));
+                // Legacy three-leg fields, kept so existing consumers and
+                // old result files stay compatible.
                 pairs.push(("connect_ms", Json::Float(timings.connect.as_millis_f64())));
-                pairs.push(("secure_ms", Json::Float(timings.secure.as_millis_f64())));
-                pairs.push(("query_ms", Json::Float(timings.query.as_millis_f64())));
                 pairs.push((
-                    "response_ms",
-                    Json::Float(timings.total().as_millis_f64()),
+                    "secure_ms",
+                    Json::Float(timings.tls_handshake.as_millis_f64()),
+                ));
+                pairs.push(("query_ms", Json::Float(timings.exchange().as_millis_f64())));
+                pairs.push(("response_ms", Json::Float(timings.total().as_millis_f64())));
+                // The full six-phase breakdown; the values sum to
+                // `response_ms`.
+                pairs.push((
+                    "phases",
+                    Json::object(
+                        Phase::ALL
+                            .map(|p| (phase_key(p), Json::Float(timings.phase(p).as_millis_f64()))),
+                    ),
                 ));
                 pairs.push(("cache_hit", Json::Bool(*cache_hit)));
                 pairs.push(("site", Json::Int(*site as i64)));
@@ -203,12 +295,28 @@ impl ProbeRecord {
         let at = SimTime::from_nanos((v.get("ts_ms")?.as_f64()? * 1e6).round() as u64);
         let success = v.get("success")?.as_bool()?;
         let outcome = if success {
-            ProbeOutcome::Success {
-                timings: ProbeTimings {
+            let timings = match v.get("phases") {
+                // New records carry the full six-phase breakdown.
+                Some(phases) => {
+                    let mut t = ProbeTimings::default();
+                    for p in Phase::ALL {
+                        let ms = phases.get(phase_key(p))?.as_f64()?;
+                        *t.phase_mut(p) = SimDuration::from_millis_f64(ms);
+                    }
+                    t
+                }
+                // Legacy records only have the three coarse legs; the
+                // exchange leg maps to `http_exchange` whole, with the
+                // unknowable phases left at zero.
+                None => ProbeTimings {
                     connect: SimDuration::from_millis_f64(v.get("connect_ms")?.as_f64()?),
-                    secure: SimDuration::from_millis_f64(v.get("secure_ms")?.as_f64()?),
-                    query: SimDuration::from_millis_f64(v.get("query_ms")?.as_f64()?),
+                    tls_handshake: SimDuration::from_millis_f64(v.get("secure_ms")?.as_f64()?),
+                    http_exchange: SimDuration::from_millis_f64(v.get("query_ms")?.as_f64()?),
+                    ..ProbeTimings::default()
                 },
+            };
+            ProbeOutcome::Success {
+                timings,
                 cache_hit: v.get("cache_hit")?.as_bool()?,
                 site: v.get("site")?.as_i64()? as usize,
             }
@@ -251,9 +359,12 @@ mod tests {
             protocol: Protocol::DoH,
             outcome: ProbeOutcome::Success {
                 timings: ProbeTimings {
+                    dns_encode: SimDuration::from_millis_f64(0.004),
                     connect: SimDuration::from_millis_f64(7.2),
-                    secure: SimDuration::from_millis_f64(8.1),
-                    query: SimDuration::from_millis_f64(7.9),
+                    tls_handshake: SimDuration::from_millis_f64(8.1),
+                    http_exchange: SimDuration::from_millis_f64(7.4),
+                    server_processing: SimDuration::from_millis_f64(0.5),
+                    dns_decode: SimDuration::from_millis_f64(0.006),
                 },
                 cache_hit: true,
                 site: 0,
@@ -306,14 +417,97 @@ mod tests {
         match &r.outcome {
             ProbeOutcome::Success { timings, .. } => {
                 assert!(
-                    (timings.total().as_millis_f64() - 23.2).abs() < 1e-6,
+                    (timings.total().as_millis_f64() - 23.21).abs() < 1e-6,
                     "{}",
                     timings.total()
                 );
+                let phase_sum: f64 = Phase::ALL
+                    .iter()
+                    .map(|p| timings.phase(*p).as_millis_f64())
+                    .sum();
+                assert!((phase_sum - timings.total().as_millis_f64()).abs() < 1e-9);
             }
             _ => unreachable!(),
         }
         assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn phase_breakdown_round_trips_through_json() {
+        let r = success_record();
+        let text = r.to_json().to_string_compact();
+        for key in [
+            "\"phases\"",
+            "\"dns_encode_ms\"",
+            "\"tls_handshake_ms\"",
+            "\"http_exchange_ms\"",
+            "\"server_processing_ms\"",
+            "\"dns_decode_ms\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        let back = ProbeRecord::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn legacy_records_without_phases_still_parse() {
+        // A pre-phase-breakdown record: only the three coarse legs.
+        let j = Json::object([
+            ("ts_ms", Json::Float(1500.0)),
+            ("vantage", Json::Str("ec2-ohio".into())),
+            ("resolver", Json::Str("dns.google".into())),
+            ("resolver_region", Json::Str("north_america".into())),
+            ("mainstream", Json::Bool(true)),
+            ("domain", Json::Str("google.com".into())),
+            ("protocol", Json::Str("doh".into())),
+            ("success", Json::Bool(true)),
+            ("connect_ms", Json::Float(7.2)),
+            ("secure_ms", Json::Float(8.1)),
+            ("query_ms", Json::Float(7.9)),
+            ("response_ms", Json::Float(23.2)),
+            ("cache_hit", Json::Bool(true)),
+            ("site", Json::Int(0)),
+            ("ping_ms", Json::Null),
+        ]);
+        let r = ProbeRecord::from_json(&j).unwrap();
+        match &r.outcome {
+            ProbeOutcome::Success { timings, .. } => {
+                assert_eq!(timings.connect, SimDuration::from_millis_f64(7.2));
+                assert_eq!(timings.tls_handshake, SimDuration::from_millis_f64(8.1));
+                assert_eq!(timings.exchange(), SimDuration::from_millis_f64(7.9));
+                assert_eq!(timings.dns_encode, SimDuration::ZERO);
+                assert!((timings.total().as_millis_f64() - 23.2).abs() < 1e-6);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn from_legs_splits_server_time_out_of_the_exchange() {
+        let t = ProbeTimings::from_legs(
+            SimDuration::from_nanos(4_000),
+            SimDuration::from_millis(7),
+            SimDuration::from_millis(8),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(3),
+            SimDuration::from_nanos(6_000),
+        );
+        assert_eq!(t.http_exchange, SimDuration::from_millis(7));
+        assert_eq!(t.server_processing, SimDuration::from_millis(3));
+        assert_eq!(t.exchange(), SimDuration::from_millis(10));
+        // A server time larger than the measured exchange (cannot happen in
+        // practice) clamps rather than panicking, keeping total == sum.
+        let t = ProbeTimings::from_legs(
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        );
+        assert_eq!(t.http_exchange, SimDuration::ZERO);
+        assert_eq!(t.server_processing, SimDuration::from_millis(2));
     }
 
     #[test]

@@ -101,8 +101,7 @@ impl StreamingSummary {
 
     /// The cell for (vantage, resolver), if populated.
     pub fn cell(&self, vantage: &str, resolver: &str) -> Option<&CellStats> {
-        self.cells
-            .get(&(vantage.to_string(), resolver.to_string()))
+        self.cells.get(&(vantage.to_string(), resolver.to_string()))
     }
 
     /// Iterates `(vantage, resolver, stats)` in key order.

@@ -4,8 +4,8 @@
 //! runs are reproducible regardless of how the underlying heap reorders
 //! equal keys.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 

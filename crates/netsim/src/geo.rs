@@ -83,8 +83,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 
@@ -244,10 +243,14 @@ mod tests {
     #[test]
     fn propagation_delay_realistic() {
         // Chicago–Frankfurt one-way with inflation ≈ 52 ms (RTT ~105 ms).
-        let ms = cities::CHICAGO.point.propagation_ms(&cities::FRANKFURT.point);
+        let ms = cities::CHICAGO
+            .point
+            .propagation_ms(&cities::FRANKFURT.point);
         assert!((45.0..60.0).contains(&ms), "one-way {ms} ms");
         // Ohio–Seoul one-way ≈ 80 ms (RTT ~160 ms).
-        let ms = cities::COLUMBUS_OH.point.propagation_ms(&cities::SEOUL.point);
+        let ms = cities::COLUMBUS_OH
+            .point
+            .propagation_ms(&cities::SEOUL.point);
         assert!((70.0..95.0).contains(&ms), "one-way {ms} ms");
     }
 

@@ -116,7 +116,12 @@ mod tests {
         let p = path();
         for _ in 0..100 {
             assert_eq!(
-                ping(&p, IcmpPolicy::Filtered, SimDuration::from_secs(1), &mut rng),
+                ping(
+                    &p,
+                    IcmpPolicy::Filtered,
+                    SimDuration::from_secs(1),
+                    &mut rng
+                ),
                 PingOutcome::Timeout
             );
         }
@@ -127,7 +132,12 @@ mod tests {
         let mut rng = SimRng::from_seed(3);
         let p = path();
         assert_eq!(
-            ping(&p, IcmpPolicy::Respond, SimDuration::from_micros(1), &mut rng),
+            ping(
+                &p,
+                IcmpPolicy::Respond,
+                SimDuration::from_micros(1),
+                &mut rng
+            ),
             PingOutcome::Timeout
         );
     }
@@ -163,8 +173,7 @@ mod tests {
         let mut rng = SimRng::from_seed(5);
         let timeout = SimDuration::from_millis(100);
         // Filtered: all attempts burn the timeout.
-        let (outcome, spent) =
-            ping_with_retries(&p, IcmpPolicy::Filtered, timeout, 3, &mut rng);
+        let (outcome, spent) = ping_with_retries(&p, IcmpPolicy::Filtered, timeout, 3, &mut rng);
         assert_eq!(outcome, PingOutcome::Timeout);
         assert_eq!(spent, SimDuration::from_millis(300));
     }

@@ -113,7 +113,12 @@ impl Path {
 
     /// Samples a full round trip for a small probe (forward `fwd_bytes`,
     /// reverse `rev_bytes`); `None` when either direction drops.
-    pub fn sample_rtt(&self, fwd_bytes: usize, rev_bytes: usize, rng: &mut SimRng) -> Option<SimDuration> {
+    pub fn sample_rtt(
+        &self,
+        fwd_bytes: usize,
+        rev_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
         let f = self.sample_forward(fwd_bytes, rng).delay()?;
         let r = self.sample_reverse(rev_bytes, rng).delay()?;
         Some(f + r)
@@ -236,10 +241,7 @@ mod tests {
         let mut a = SimRng::from_seed(42);
         let mut b = SimRng::from_seed(42);
         for _ in 0..100 {
-            assert_eq!(
-                p.sample_rtt(80, 120, &mut a),
-                p.sample_rtt(80, 120, &mut b)
-            );
+            assert_eq!(p.sample_rtt(80, 120, &mut a), p.sample_rtt(80, 120, &mut b));
         }
     }
 }

@@ -141,7 +141,12 @@ pub struct Host {
 
 impl Host {
     /// Creates a host placed in a catalog city.
-    pub fn in_city(id: HostId, label: impl Into<String>, city: City, access: AccessProfile) -> Self {
+    pub fn in_city(
+        id: HostId,
+        label: impl Into<String>,
+        city: City,
+        access: AccessProfile,
+    ) -> Self {
         Host {
             id,
             label: label.into(),

@@ -91,13 +91,9 @@ impl Deployment {
                 let mut best = 0;
                 let mut best_ms = f64::INFINITY;
                 for (i, site) in self.sites.iter().enumerate() {
-                    let ms = Path::between(
-                        client.location,
-                        client.access,
-                        site.city.point,
-                        site.access,
-                    )
-                    .base_one_way_ms();
+                    let ms =
+                        Path::between(client.location, client.access, site.city.point, site.access)
+                            .base_one_way_ms();
                     if ms < best_ms {
                         best_ms = ms;
                         best = i;
@@ -112,12 +108,7 @@ impl Deployment {
     pub fn path_from(&self, client: &Host) -> (usize, Path) {
         let idx = self.route(client);
         let site = &self.sites[idx];
-        let mut path = Path::between(
-            client.location,
-            client.access,
-            site.city.point,
-            site.access,
-        );
+        let mut path = Path::between(client.location, client.access, site.city.point, site.access);
         path.extra_loss = site.extra_loss;
         (idx, path)
     }

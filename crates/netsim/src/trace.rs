@@ -2,7 +2,15 @@
 //!
 //! A [`Trace`] records timestamped, categorised entries; tests and example
 //! binaries can dump them to understand where a probe's time went.
+//!
+//! Recording is allocation-free on the hot path: static string details are
+//! stored borrowed ([`Cow::Borrowed`]), and formatted details go through
+//! [`Trace::record_with`], whose closure only runs when the trace is
+//! enabled. For phase-level probe accounting see the `obs` crate —
+//! [`Trace::to_span_log`] bridges entries onto an [`obs::SpanLog`]
+//! timeline as instant markers.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use crate::time::SimTime;
@@ -24,17 +32,23 @@ pub enum TraceKind {
     Note,
 }
 
-impl fmt::Display for TraceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl TraceKind {
+    /// Stable uppercase label, usable as a static `obs` event name.
+    pub fn label(self) -> &'static str {
+        match self {
             TraceKind::Send => "SEND",
             TraceKind::Receive => "RECV",
             TraceKind::Drop => "DROP",
             TraceKind::Timer => "TIMER",
             TraceKind::State => "STATE",
             TraceKind::Note => "NOTE",
-        };
-        write!(f, "{s}")
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
     }
 }
 
@@ -45,8 +59,8 @@ pub struct TraceEntry {
     pub at: SimTime,
     /// What kind of event.
     pub kind: TraceKind,
-    /// Free-form description.
-    pub detail: String,
+    /// Free-form description. Static strings are stored without copying.
+    pub detail: Cow<'static, str>,
 }
 
 impl fmt::Display for TraceEntry {
@@ -55,7 +69,8 @@ impl fmt::Display for TraceEntry {
     }
 }
 
-/// An append-only event log. Disabled traces cost one branch per record.
+/// An append-only event log. Disabled traces cost one branch per record —
+/// no allocation, no formatting.
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
@@ -81,13 +96,28 @@ impl Trace {
         self.enabled
     }
 
-    /// Records an entry if enabled.
-    pub fn record(&mut self, at: SimTime, kind: TraceKind, detail: impl Into<String>) {
+    /// Records an entry if enabled. Pass a `&'static str` to record without
+    /// allocating; if the detail must be formatted, prefer
+    /// [`record_with`](Self::record_with) so the formatting cost is only
+    /// paid when the trace is enabled.
+    pub fn record(&mut self, at: SimTime, kind: TraceKind, detail: impl Into<Cow<'static, str>>) {
         if self.enabled {
             self.entries.push(TraceEntry {
                 at,
                 kind,
                 detail: detail.into(),
+            });
+        }
+    }
+
+    /// Records an entry whose detail is built lazily: `detail()` only runs
+    /// when the trace is enabled, so disabled traces never format.
+    pub fn record_with(&mut self, at: SimTime, kind: TraceKind, detail: impl FnOnce() -> String) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                kind,
+                detail: Cow::Owned(detail()),
             });
         }
     }
@@ -110,6 +140,17 @@ impl Trace {
             out.push('\n');
         }
         out
+    }
+
+    /// Projects the entries onto an [`obs::SpanLog`] as instant markers
+    /// named after each entry's kind, so packet-level events can be merged
+    /// with phase-level probe spans on one timeline.
+    pub fn to_span_log(&self) -> obs::SpanLog {
+        let mut log = obs::SpanLog::with_capacity(self.entries.len());
+        for e in &self.entries {
+            log.instant(e.at.as_nanos(), e.kind.label());
+        }
+        log
     }
 }
 
@@ -138,6 +179,45 @@ mod tests {
         t.record(SimTime::ZERO, TraceKind::Drop, "lost");
         assert!(t.entries().is_empty());
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn static_details_are_borrowed_not_copied() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, TraceKind::State, "established");
+        assert!(matches!(t.entries()[0].detail, Cow::Borrowed(_)));
+        t.record_with(SimTime::ZERO, TraceKind::Note, || format!("seq={}", 42));
+        assert!(matches!(t.entries()[1].detail, Cow::Owned(_)));
+        assert_eq!(t.entries()[1].detail, "seq=42");
+    }
+
+    #[test]
+    fn disabled_trace_never_runs_the_detail_closure() {
+        let mut t = Trace::disabled();
+        let mut ran = false;
+        t.record_with(SimTime::ZERO, TraceKind::Note, || {
+            ran = true;
+            String::from("should not happen")
+        });
+        assert!(!ran);
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn projects_onto_a_span_log() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, TraceKind::Send, "syn");
+        t.record(
+            SimTime::ZERO + SimDuration::from_millis(10),
+            TraceKind::Receive,
+            "syn-ack",
+        );
+        let log = t.to_span_log();
+        let events: Vec<_> = log.events().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "SEND");
+        assert_eq!(events[1].name, "RECV");
+        assert_eq!(events[1].at, 10_000_000);
     }
 
     #[test]

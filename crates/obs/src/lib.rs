@@ -1,0 +1,33 @@
+//! Observability substrate for the measurement stack.
+//!
+//! Three pieces, all dependency-free so every layer of the workspace can use
+//! them without cycles:
+//!
+//! * [`SpanLog`] — a ring-buffered span/event trace in simulated time. Span
+//!   names are `&'static str`, events are plain `Copy` structs, and a
+//!   disabled log costs one branch and **zero heap allocations** on the hot
+//!   path (asserted by a counting-allocator test in `measure`).
+//! * [`Phase`] — the canonical probe phase taxonomy (`dns_encode`,
+//!   `connect`, `tls_handshake`, `http_exchange`, `server_processing`,
+//!   `dns_decode`) that timings, histograms and JSON records all share.
+//! * [`MetricsRegistry`] / [`MetricsSnapshot`] — monotonic counters, gauges
+//!   and fixed-bucket latency histograms keyed by resolver × vantage ×
+//!   protocol. Iteration order is `BTreeMap`-sorted, so snapshots of the
+//!   same campaign are byte-identical render-for-render under a fixed seed.
+//!
+//! Timestamps are raw simulated-time nanoseconds (`u64`); the simulator's
+//! `SimTime` converts losslessly via its `as_nanos`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod phase;
+mod span;
+
+pub use metrics::{
+    CellMetrics, CellSnapshot, Counter, Gauge, Histogram, MetricKey, MetricsRegistry,
+    MetricsSnapshot, LATENCY_BUCKETS_MS,
+};
+pub use phase::Phase;
+pub use span::{Nanos, Span, SpanEvent, SpanEventKind, SpanLog};

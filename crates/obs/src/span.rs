@@ -1,0 +1,330 @@
+//! Ring-buffered span/event tracing in simulated time.
+//!
+//! The hot-path contract: once a [`SpanLog`] is constructed, recording an
+//! event never allocates. Names are `&'static str`, events are `Copy`, and
+//! the ring storage is reserved up front. A disabled log short-circuits on
+//! one branch, so tracing can stay compiled into release probes.
+
+/// A simulated-time timestamp in nanoseconds.
+pub type Nanos = u64;
+
+/// What a recorded event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEventKind {
+    /// A span opened.
+    Enter,
+    /// A span closed.
+    Exit,
+    /// A point event with no duration.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Simulated time of the event.
+    pub at: Nanos,
+    /// Static event/span name.
+    pub name: &'static str,
+    /// Enter, exit, or instant.
+    pub kind: SpanEventKind,
+}
+
+/// A completed span reconstructed from matched enter/exit events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Span name.
+    pub name: &'static str,
+    /// Enter time.
+    pub start: Nanos,
+    /// Exit time.
+    pub end: Nanos,
+    /// Nesting depth at enter time (0 = top level).
+    pub depth: usize,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A bounded, pre-allocated event trace.
+#[derive(Debug, Clone)]
+pub struct SpanLog {
+    enabled: bool,
+    capacity: usize,
+    ring: Vec<SpanEvent>,
+    /// Next write position once the ring is full.
+    head: usize,
+    /// Total events offered to the log (including overwritten ones).
+    recorded: u64,
+}
+
+impl SpanLog {
+    /// A disabled log: records nothing, allocates nothing, costs one branch
+    /// per call. This is what hot paths hold when tracing is off.
+    pub fn disabled() -> SpanLog {
+        SpanLog {
+            enabled: false,
+            capacity: 0,
+            ring: Vec::new(),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// An enabled log retaining the most recent `capacity` events. All
+    /// storage is reserved here; recording never allocates.
+    pub fn with_capacity(capacity: usize) -> SpanLog {
+        SpanLog {
+            enabled: capacity > 0,
+            capacity,
+            ring: Vec::with_capacity(capacity),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a span-enter event.
+    #[inline]
+    pub fn enter(&mut self, at: Nanos, name: &'static str) {
+        if self.enabled {
+            self.push(SpanEvent {
+                at,
+                name,
+                kind: SpanEventKind::Enter,
+            });
+        }
+    }
+
+    /// Records a span-exit event.
+    #[inline]
+    pub fn exit(&mut self, at: Nanos, name: &'static str) {
+        if self.enabled {
+            self.push(SpanEvent {
+                at,
+                name,
+                kind: SpanEventKind::Exit,
+            });
+        }
+    }
+
+    /// Records a point event.
+    #[inline]
+    pub fn instant(&mut self, at: Nanos, name: &'static str) {
+        if self.enabled {
+            self.push(SpanEvent {
+                at,
+                name,
+                kind: SpanEventKind::Instant,
+            });
+        }
+    }
+
+    fn push(&mut self, ev: SpanEvent) {
+        if self.ring.len() < self.capacity {
+            // Within reserved capacity: never reallocates.
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Total events offered, including any that were overwritten.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> {
+        let (wrapped, linear) = self.ring.split_at(self.head);
+        linear.iter().chain(wrapped.iter())
+    }
+
+    /// Forgets all retained events (capacity is kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+        self.recorded = 0;
+    }
+
+    /// Reconstructs completed spans by matching enter/exit events,
+    /// in order of span entry.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut stack: Vec<(usize, &'static str, Nanos)> = Vec::new();
+        let mut out: Vec<(usize, Span)> = Vec::new();
+        let mut next_order = 0usize;
+        for ev in self.events() {
+            match ev.kind {
+                SpanEventKind::Enter => {
+                    stack.push((next_order, ev.name, ev.at));
+                    next_order += 1;
+                }
+                SpanEventKind::Exit => {
+                    // Match the innermost open span with this name; tolerate
+                    // a truncated ring by ignoring unmatched exits.
+                    if let Some(pos) = stack.iter().rposition(|(_, n, _)| *n == ev.name) {
+                        let depth = pos;
+                        let (order, name, start) = stack.remove(pos);
+                        out.push((
+                            order,
+                            Span {
+                                name,
+                                start,
+                                end: ev.at,
+                                depth,
+                            },
+                        ));
+                    }
+                }
+                SpanEventKind::Instant => {}
+            }
+        }
+        out.sort_by_key(|(order, _)| *order);
+        out.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Total duration per span name, ordered by first entry.
+    pub fn totals(&self) -> Vec<(&'static str, Nanos)> {
+        let mut out: Vec<(&'static str, Nanos)> = Vec::new();
+        for span in self.spans() {
+            match out.iter_mut().find(|(n, _)| *n == span.name) {
+                Some((_, total)) => *total += span.duration(),
+                None => out.push((span.name, span.duration())),
+            }
+        }
+        out
+    }
+
+    /// Renders the trace as an indented timeline. Allocates (export path
+    /// only). Output depends only on recorded events, so identical traces
+    /// render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut depth = 0usize;
+        for ev in self.events() {
+            let ms = ev.at as f64 / 1e6;
+            match ev.kind {
+                SpanEventKind::Enter => {
+                    out.push_str(&format!(
+                        "[{ms:>12.3} ms] {:indent$}> {}\n",
+                        "",
+                        ev.name,
+                        indent = depth * 2
+                    ));
+                    depth += 1;
+                }
+                SpanEventKind::Exit => {
+                    depth = depth.saturating_sub(1);
+                    out.push_str(&format!(
+                        "[{ms:>12.3} ms] {:indent$}< {}\n",
+                        "",
+                        ev.name,
+                        indent = depth * 2
+                    ));
+                }
+                SpanEventKind::Instant => {
+                    out.push_str(&format!(
+                        "[{ms:>12.3} ms] {:indent$}* {}\n",
+                        "",
+                        ev.name,
+                        indent = depth * 2
+                    ));
+                }
+            }
+        }
+        if self.dropped() > 0 {
+            out.push_str(&format!("({} earlier events dropped)\n", self.dropped()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = SpanLog::disabled();
+        log.enter(1, "connect");
+        log.exit(2, "connect");
+        log.instant(3, "x");
+        assert_eq!(log.recorded(), 0);
+        assert_eq!(log.events().count(), 0);
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn spans_match_nested_enter_exit() {
+        let mut log = SpanLog::with_capacity(16);
+        log.enter(0, "probe");
+        log.enter(10, "connect");
+        log.exit(30, "connect");
+        log.enter(30, "tls_handshake");
+        log.exit(75, "tls_handshake");
+        log.exit(80, "probe");
+        let spans = log.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "probe");
+        assert_eq!(spans[0].duration(), 80);
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "connect");
+        assert_eq!(spans[1].duration(), 20);
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(log.totals()[0], ("probe", 80));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let mut log = SpanLog::with_capacity(4);
+        for i in 0..10u64 {
+            log.instant(i, "tick");
+        }
+        assert_eq!(log.recorded(), 10);
+        assert_eq!(log.dropped(), 6);
+        let times: Vec<Nanos> = log.events().map(|e| e.at).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let build = || {
+            let mut log = SpanLog::with_capacity(8);
+            log.enter(1_000_000, "connect");
+            log.exit(31_000_000, "connect");
+            log.instant(31_000_000, "first_byte");
+            log
+        };
+        let a = build().render();
+        let b = build().render();
+        assert_eq!(a, b);
+        assert!(a.contains("> connect"));
+        assert!(a.contains("* first_byte"));
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_enablement() {
+        let mut log = SpanLog::with_capacity(4);
+        log.instant(1, "x");
+        log.clear();
+        assert!(log.is_enabled());
+        assert_eq!(log.recorded(), 0);
+        log.instant(2, "y");
+        assert_eq!(log.events().count(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Proves the span hot path never touches the heap: a counting global
+//! allocator wraps the system allocator, and recording against both a
+//! disabled log and a pre-allocated enabled log must register zero
+//! allocations.
+//!
+//! All assertions live in one test function so parallel test threads
+//! cannot pollute the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use obs::SpanLog;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn recording_never_allocates() {
+    // Disabled log: the cheapest possible path.
+    let mut disabled = SpanLog::disabled();
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            disabled.enter(i, "connect");
+            disabled.instant(i, "marker");
+            disabled.exit(i + 1, "connect");
+        }
+    });
+    assert_eq!(n, 0, "disabled SpanLog allocated on the hot path");
+    assert_eq!(disabled.recorded(), 0);
+
+    // Enabled log with pre-reserved capacity: recording must reuse the
+    // ring buffer, never grow it — even once the ring wraps.
+    let mut enabled = SpanLog::with_capacity(64);
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            enabled.enter(i, "connect");
+            enabled.instant(i, "marker");
+            enabled.exit(i + 1, "connect");
+        }
+    });
+    assert_eq!(n, 0, "enabled SpanLog allocated while recording");
+    assert_eq!(enabled.recorded(), 30_000);
+    assert!(enabled.dropped() > 0, "ring should have wrapped");
+}

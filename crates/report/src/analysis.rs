@@ -123,9 +123,7 @@ impl Dataset {
             .figure_rows(region)
             .into_iter()
             .map(|r| {
-                let m = self
-                    .median_response_ms(group, &r)
-                    .unwrap_or(f64::INFINITY);
+                let m = self.median_response_ms(group, &r).unwrap_or(f64::INFINITY);
                 (r, m)
             })
             .collect();

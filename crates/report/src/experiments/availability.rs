@@ -76,7 +76,10 @@ pub fn render(dataset: &Dataset) -> String {
         t.row([
             label.clone(),
             count.to_string(),
-            format!("{:.1}%", 100.0 * *count as f64 / report.errors.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * *count as f64 / report.errors.max(1) as f64
+            ),
         ]);
     }
     format!(

@@ -21,7 +21,11 @@ pub struct CdfComparison {
 impl CdfComparison {
     /// KS distance between the two populations (None if either is empty).
     pub fn ks_distance(&self) -> Option<f64> {
-        Some(self.mainstream.as_ref()?.ks_distance(self.non_mainstream.as_ref()?))
+        Some(
+            self.mainstream
+                .as_ref()?
+                .ks_distance(self.non_mainstream.as_ref()?),
+        )
     }
 
     /// Median gap (non-mainstream − mainstream), ms.
@@ -109,7 +113,12 @@ mod tests {
 
     fn dataset() -> Dataset {
         let mut entries = catalog::resolvers::mainstream();
-        for h in ["doh.ffmuc.net", "dns.bebasid.com", "helios.plan9-dns.com", "ordns.he.net"] {
+        for h in [
+            "doh.ffmuc.net",
+            "dns.bebasid.com",
+            "helios.plan9-dns.com",
+            "ordns.he.net",
+        ] {
             entries.push(catalog::resolvers::find(h).unwrap());
         }
         Dataset::new(
@@ -161,6 +170,6 @@ mod tests {
         assert!(s.contains("p50"));
         assert!(s.contains("KS distance"));
         assert!(s.contains("Seoul EC2"));
-        assert_eq!(s.matches("mainstream").count() >= 4, true);
+        assert!(s.matches("mainstream").count() >= 4);
     }
 }

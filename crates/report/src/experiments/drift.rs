@@ -39,11 +39,7 @@ impl DriftRow {
 /// `window_starts` (days since the campaign epoch; each window extends to
 /// the next boundary) and computes medians per resolver per window for the
 /// given vantage group.
-pub fn drift(
-    dataset: &Dataset,
-    group: &VantageGroup,
-    window_starts: &[u64],
-) -> Vec<DriftRow> {
+pub fn drift(dataset: &Dataset, group: &VantageGroup, window_starts: &[u64]) -> Vec<DriftRow> {
     assert!(!window_starts.is_empty(), "need at least one window");
     let day = |t: SimTime| t.as_secs() / 86_400;
     let window_of = |t: SimTime| -> u64 {
@@ -150,10 +146,15 @@ mod tests {
     }
 
     fn dataset() -> Dataset {
-        let entries = ["dns.google", "dns.quad9.net", "doh.ffmuc.net", "dns.alidns.com"]
-            .into_iter()
-            .map(|h| catalog::resolvers::find(h).unwrap())
-            .collect();
+        let entries = [
+            "dns.google",
+            "dns.quad9.net",
+            "doh.ffmuc.net",
+            "dns.alidns.com",
+        ]
+        .into_iter()
+        .map(|h| catalog::resolvers::find(h).unwrap())
+        .collect();
         Dataset::new(
             Campaign::with_resolvers(two_window_config(81), entries)
                 .run()

@@ -29,10 +29,8 @@ pub fn panel(dataset: &Dataset, region: Region, group: &VantageGroup) -> FigureP
         .panel_order(region, group)
         .into_iter()
         .map(|resolver| {
-            let response = BoxPlot::of(
-                resolver.clone(),
-                &dataset.response_series(group, &resolver),
-            );
+            let response =
+                BoxPlot::of(resolver.clone(), &dataset.response_series(group, &resolver));
             let ping = BoxPlot::of(resolver.clone(), &dataset.ping_series(group, &resolver));
             FigureRow {
                 mainstream: mainstream.contains(&resolver),
@@ -50,7 +48,11 @@ pub fn panel(dataset: &Dataset, region: Region, group: &VantageGroup) -> FigureP
 
 /// Figure 1: North-America resolvers from Ohio.
 pub fn figure1(dataset: &Dataset) -> FigurePanel {
-    panel(dataset, Region::NorthAmerica, &VantageGroup::Label("ec2-ohio"))
+    panel(
+        dataset,
+        Region::NorthAmerica,
+        &VantageGroup::Label("ec2-ohio"),
+    )
 }
 
 /// Figures 2–4: one panel per vantage group for the given region.
@@ -77,14 +79,14 @@ mod tests {
 
     fn dataset() -> Dataset {
         let entries = [
-            "dns.google",            // mainstream NA
-            "dns.quad9.net",         // mainstream NA
-            "ordns.he.net",          // NA non-mainstream anycast
-            "doh.la.ahadns.net",     // NA unicast
-            "doh.ffmuc.net",         // EU unicast
-            "dns.brahma.world",      // EU fast
-            "dns.alidns.com",        // Asia anycast
-            "dns.twnic.tw",          // Asia unicast
+            "dns.google",        // mainstream NA
+            "dns.quad9.net",     // mainstream NA
+            "ordns.he.net",      // NA non-mainstream anycast
+            "doh.la.ahadns.net", // NA unicast
+            "doh.ffmuc.net",     // EU unicast
+            "dns.brahma.world",  // EU fast
+            "dns.alidns.com",    // Asia anycast
+            "dns.twnic.tw",      // Asia unicast
         ]
         .into_iter()
         .map(|h| catalog::resolvers::find(h).unwrap())
@@ -100,8 +102,14 @@ mod tests {
         let names: Vec<&str> = p.rows.iter().map(|r| r.resolver.as_str()).collect();
         assert!(names.contains(&"ordns.he.net"));
         assert!(names.contains(&"dns.google"));
-        assert!(!names.contains(&"doh.ffmuc.net"), "EU resolver in NA figure");
-        assert!(!names.contains(&"dns.twnic.tw"), "Asia resolver in NA figure");
+        assert!(
+            !names.contains(&"doh.ffmuc.net"),
+            "EU resolver in NA figure"
+        );
+        assert!(
+            !names.contains(&"dns.twnic.tw"),
+            "Asia resolver in NA figure"
+        );
     }
 
     #[test]
@@ -138,7 +146,11 @@ mod tests {
         let p = figure1(&d);
         let g = p.rows.iter().find(|r| r.resolver == "dns.google").unwrap();
         assert!(g.mainstream);
-        let he = p.rows.iter().find(|r| r.resolver == "ordns.he.net").unwrap();
+        let he = p
+            .rows
+            .iter()
+            .find(|r| r.resolver == "ordns.he.net")
+            .unwrap();
         assert!(!he.mainstream);
     }
 
@@ -169,7 +181,10 @@ mod tests {
             g_seoul < 120.0,
             "anycast should stay under ~120 ms from Seoul: {g_seoul}"
         );
-        assert!(g_seoul < from_seoul / 3.0, "anycast {g_seoul} vs unicast {from_seoul}");
+        assert!(
+            g_seoul < from_seoul / 3.0,
+            "anycast {g_seoul} vs unicast {from_seoul}"
+        );
     }
 
     #[test]

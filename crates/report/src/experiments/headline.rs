@@ -111,8 +111,12 @@ pub fn run(dataset: &Dataset) -> Findings {
         .all(|m| beats(dataset, &home, "ordns.he.net", m));
     let controld_wins_at_ohio = beats(dataset, &ohio, "freedns.controld.com", "dns.google")
         && beats(dataset, &ohio, "freedns.controld.com", "dns.cloudflare.com");
-    let brahma_wins_at_frankfurt =
-        beats(dataset, &frankfurt, "dns.brahma.world", "dns.cloudflare.com");
+    let brahma_wins_at_frankfurt = beats(
+        dataset,
+        &frankfurt,
+        "dns.brahma.world",
+        "dns.cloudflare.com",
+    );
     let alidns_wins_at_seoul = beats(dataset, &seoul, "dns.alidns.com", "dns.quad9.net")
         && beats(dataset, &seoul, "dns.alidns.com", "dns.google")
         && beats(dataset, &seoul, "dns.alidns.com", "dns.cloudflare.com");
@@ -131,7 +135,9 @@ pub fn run(dataset: &Dataset) -> Findings {
 pub fn render(dataset: &Dataset) -> String {
     let f = run(dataset);
     let mut out = String::from("Headline findings (paper §4):\n\n");
-    out.push_str("Mainstream-vs-non-mainstream median gap per vantage (negative = mainstream faster):\n");
+    out.push_str(
+        "Mainstream-vs-non-mainstream median gap per vantage (negative = mainstream faster):\n",
+    );
     for (v, gap) in &f.mainstream_advantage_ms {
         out.push_str(&format!("  {v}: {gap:+.1} ms\n"));
     }
@@ -140,7 +146,10 @@ pub fn render(dataset: &Dataset) -> String {
          freedns.controld.com beats Google+Cloudflare (Ohio): {} (paper: yes)\n\
          dns.brahma.world beats Cloudflare (Frankfurt):       {} (paper: yes)\n\
          dns.alidns.com beats Quad9+Google+Cloudflare (Seoul): {} (paper: yes)\n\n",
-        f.he_wins_at_home, f.controld_wins_at_ohio, f.brahma_wins_at_frankfurt, f.alidns_wins_at_seoul
+        f.he_wins_at_home,
+        f.controld_wins_at_ohio,
+        f.brahma_wins_at_frankfurt,
+        f.alidns_wins_at_seoul
     ));
     out.push_str("Worst live-resolver median per vantage (paper: home 399 ms, Ohio 270 ms, Frankfurt 380 ms, Seoul 569 ms):\n");
     for (v, r, m) in &f.worst_medians {
@@ -179,9 +188,18 @@ mod tests {
     fn all_four_crossovers_reproduce() {
         let f = run(&dataset());
         assert!(f.he_wins_at_home, "ordns.he.net should win from home");
-        assert!(f.controld_wins_at_ohio, "freedns.controld.com should win from Ohio");
-        assert!(f.brahma_wins_at_frankfurt, "dns.brahma.world should beat Cloudflare from Frankfurt");
-        assert!(f.alidns_wins_at_seoul, "dns.alidns.com should win from Seoul");
+        assert!(
+            f.controld_wins_at_ohio,
+            "freedns.controld.com should win from Ohio"
+        );
+        assert!(
+            f.brahma_wins_at_frankfurt,
+            "dns.brahma.world should beat Cloudflare from Frankfurt"
+        );
+        assert!(
+            f.alidns_wins_at_seoul,
+            "dns.alidns.com should win from Seoul"
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ pub fn run() -> TextTable {
     for b in Browser::all() {
         let mut row = vec![b.to_string()];
         for p in Provider::all() {
-            row.push(if offers(b, p) { "v".to_string() } else { String::new() });
+            row.push(if offers(b, p) {
+                "v".to_string()
+            } else {
+                String::new()
+            });
         }
         t.row(row);
     }

@@ -213,7 +213,12 @@ mod tests {
                 r.resolver,
                 r.gap_ms()
             );
-            assert!(r.gap_ms() < 1500.0, "{} gap {:.0} ms", r.resolver, r.gap_ms());
+            assert!(
+                r.gap_ms() < 1500.0,
+                "{} gap {:.0} ms",
+                r.resolver,
+                r.gap_ms()
+            );
         }
     }
 

@@ -87,14 +87,20 @@ fn gap_rows_json(rows: &[tables23::GapRow], local: &str, remote: &str) -> Json {
             .map(|r| {
                 Json::object([
                     ("resolver", Json::Str(r.resolver.clone())),
-                    (match local {
-                        "seoul" => "seoul_ms",
-                        _ => "frankfurt_ms",
-                    }, f(r.local_ms)),
-                    (match remote {
-                        "seoul" => "seoul_ms",
-                        _ => "frankfurt_ms",
-                    }, f(r.remote_ms)),
+                    (
+                        match local {
+                            "seoul" => "seoul_ms",
+                            _ => "frankfurt_ms",
+                        },
+                        f(r.local_ms),
+                    ),
+                    (
+                        match remote {
+                            "seoul" => "seoul_ms",
+                            _ => "frankfurt_ms",
+                        },
+                        f(r.remote_ms),
+                    ),
                     ("gap_ms", f(r.gap_ms())),
                 ])
             })
@@ -182,7 +188,10 @@ pub fn cdfs_json(dataset: &Dataset) -> Json {
 pub fn all_experiments_json(dataset: &Dataset) -> Json {
     Json::object([
         ("availability", availability_json(dataset)),
-        ("figure2_north_america", figure_json(dataset, Region::NorthAmerica)),
+        (
+            "figure2_north_america",
+            figure_json(dataset, Region::NorthAmerica),
+        ),
         ("figure3_europe", figure_json(dataset, Region::Europe)),
         ("figure4_asia", figure_json(dataset, Region::Asia)),
         ("tables", tables_json(dataset)),

@@ -91,6 +91,8 @@ pub fn render_cdf_curves(
 
     for (ci, (_, ecdf)) in curves.iter().enumerate() {
         let glyph = glyphs[ci % glyphs.len()];
+        // Indexing by col is deliberate: the row is computed per column.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let x = x_max * col as f64 / (width - 1) as f64;
             let p = ecdf.at(x);

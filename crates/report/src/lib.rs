@@ -23,8 +23,10 @@ pub mod csv;
 pub mod experiments;
 pub mod export;
 pub mod figure;
+pub mod metrics_export;
 pub mod table;
 
 pub use analysis::{Dataset, VantageGroup};
 pub use figure::{FigurePanel, FigureRow, AXIS_MAX_MS};
+pub use metrics_export::{metrics_csv, metrics_json};
 pub use table::TextTable;

@@ -74,8 +74,7 @@ impl TextTable {
         let mut out = String::new();
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        let total: usize =
-            widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {

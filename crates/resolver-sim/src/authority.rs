@@ -224,8 +224,7 @@ impl AuthorityTree {
         );
         t.add_zone(wikipedia);
 
-        let mut wikipedia_org =
-            Zone::new(Name::parse("wikipedia.org").unwrap(), cities::AMSTERDAM);
+        let mut wikipedia_org = Zone::new(Name::parse("wikipedia.org").unwrap(), cities::AMSTERDAM);
         wikipedia_org.add(
             Name::parse("wikipedia.org").unwrap(),
             RecordType::A,
@@ -295,7 +294,10 @@ mod tests {
             AuthorityAnswer::Delegation { zone, .. } => assert_eq!(zone, n("com")),
             other => panic!("expected delegation, got {other:?}"),
         }
-        assert_eq!(t.root_referral(&n("foo.invalid")), AuthorityAnswer::NxDomain);
+        assert_eq!(
+            t.root_referral(&n("foo.invalid")),
+            AuthorityAnswer::NxDomain
+        );
     }
 
     #[test]
@@ -392,12 +394,7 @@ mod tests {
         let mut z = Zone::new(n("w.test"), cities::FRANKFURT);
         t.add_tld("test", cities::ASHBURN_VA);
         z.add_wildcard(RecordType::A, vec![RData::A(Ipv4Addr::new(1, 1, 1, 1))], 60);
-        z.add(
-            n("special.w.test"),
-            RecordType::TXT,
-            vec![],
-            60,
-        );
+        z.add(n("special.w.test"), RecordType::TXT, vec![], 60);
         t.add_zone(z);
         // special.w.test exists (TXT) so the wildcard must NOT synthesise A.
         match t.authoritative_answer(&n("special.w.test"), RecordType::A) {

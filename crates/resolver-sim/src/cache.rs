@@ -174,7 +174,10 @@ mod tests {
             SimDuration::from_secs(300),
             at(0),
         );
-        assert_eq!(c.get(&name("google.com"), RecordType::A, at(299)), Some(a(1)));
+        assert_eq!(
+            c.get(&name("google.com"), RecordType::A, at(299)),
+            Some(a(1))
+        );
         assert_eq!(c.get(&name("google.com"), RecordType::A, at(300)), None);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.expirations), (1, 1, 1));
@@ -210,11 +213,29 @@ mod tests {
     #[test]
     fn lru_eviction_prefers_cold_entries() {
         let mut c = RecordCache::new(2);
-        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(60), at(0));
-        c.insert(name("b.com"), RecordType::A, a(2), SimDuration::from_secs(60), at(0));
+        c.insert(
+            name("a.com"),
+            RecordType::A,
+            a(1),
+            SimDuration::from_secs(60),
+            at(0),
+        );
+        c.insert(
+            name("b.com"),
+            RecordType::A,
+            a(2),
+            SimDuration::from_secs(60),
+            at(0),
+        );
         // Touch a.com so b.com becomes the LRU victim.
         assert!(c.get(&name("a.com"), RecordType::A, at(1)).is_some());
-        c.insert(name("c.com"), RecordType::A, a(3), SimDuration::from_secs(60), at(1));
+        c.insert(
+            name("c.com"),
+            RecordType::A,
+            a(3),
+            SimDuration::from_secs(60),
+            at(1),
+        );
         assert_eq!(c.len(), 2);
         assert!(c.get(&name("a.com"), RecordType::A, at(2)).is_some());
         assert!(c.get(&name("b.com"), RecordType::A, at(2)).is_none());
@@ -225,16 +246,40 @@ mod tests {
     #[test]
     fn reinsert_refreshes_ttl() {
         let mut c = RecordCache::new(4);
-        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(10), at(0));
-        c.insert(name("a.com"), RecordType::A, a(2), SimDuration::from_secs(100), at(5));
+        c.insert(
+            name("a.com"),
+            RecordType::A,
+            a(1),
+            SimDuration::from_secs(10),
+            at(0),
+        );
+        c.insert(
+            name("a.com"),
+            RecordType::A,
+            a(2),
+            SimDuration::from_secs(100),
+            at(5),
+        );
         assert_eq!(c.get(&name("a.com"), RecordType::A, at(50)), Some(a(2)));
     }
 
     #[test]
     fn purge_removes_only_expired() {
         let mut c = RecordCache::new(8);
-        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(10), at(0));
-        c.insert(name("b.com"), RecordType::A, a(2), SimDuration::from_secs(100), at(0));
+        c.insert(
+            name("a.com"),
+            RecordType::A,
+            a(1),
+            SimDuration::from_secs(10),
+            at(0),
+        );
+        c.insert(
+            name("b.com"),
+            RecordType::A,
+            a(2),
+            SimDuration::from_secs(100),
+            at(0),
+        );
         c.purge_expired(at(50));
         assert_eq!(c.len(), 1);
         assert!(c.get(&name("b.com"), RecordType::A, at(50)).is_some());
@@ -244,7 +289,13 @@ mod tests {
     fn hit_ratio() {
         let mut c = RecordCache::new(8);
         assert_eq!(c.stats().hit_ratio(), 0.0);
-        c.insert(name("a.com"), RecordType::A, a(1), SimDuration::from_secs(60), at(0));
+        c.insert(
+            name("a.com"),
+            RecordType::A,
+            a(1),
+            SimDuration::from_secs(60),
+            at(0),
+        );
         c.get(&name("a.com"), RecordType::A, at(1));
         c.get(&name("z.com"), RecordType::A, at(1));
         assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);

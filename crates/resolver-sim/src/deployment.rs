@@ -174,8 +174,7 @@ mod tests {
         assert!(!inst.in_outage(before));
         let healthy = (0..100)
             .filter(|_| {
-                inst.sample_health_at(before, &mut rng)
-                    == crate::server::ProbeHealth::Healthy
+                inst.sample_health_at(before, &mut rng) == crate::server::ProbeHealth::Healthy
             })
             .count();
         assert!(healthy > 95);

@@ -121,11 +121,7 @@ impl RecursiveResolver {
                 None => Name::root(),
             }
         };
-        let tld_loc = if self
-            .cache
-            .get(&tld_key, RecordType::NS, now)
-            .is_none()
-        {
+        let tld_loc = if self.cache.get(&tld_key, RecordType::NS, now).is_none() {
             upstream += self.upstream_rtt(authorities.root_location, rng);
             match authorities.root_referral(qname) {
                 AuthorityAnswer::Delegation { ns_location, .. } => {
@@ -171,7 +167,7 @@ impl RecursiveResolver {
                     records: Vec::new(),
                     upstream_time: upstream,
                     cache_hit: false,
-                }
+                };
             }
         };
 
@@ -272,7 +268,13 @@ mod tests {
         let mut rng = SimRng::from_seed(4);
         let res = r.resolve(&n("host.invalid"), RecordType::A, &auth, at(0), &mut rng);
         assert_eq!(res.rcode, Rcode::NxDomain);
-        let res = r.resolve(&n("unknown-zone.com"), RecordType::A, &auth, at(1), &mut rng);
+        let res = r.resolve(
+            &n("unknown-zone.com"),
+            RecordType::A,
+            &auth,
+            at(1),
+            &mut rng,
+        );
         assert_eq!(res.rcode, Rcode::NxDomain);
     }
 
@@ -288,13 +290,25 @@ mod tests {
         assert!(first.upstream_time > SimDuration::ZERO);
         let queries_after_first = r.upstream_queries;
         // Within the negative TTL: instant, no new upstream queries.
-        let second = r.resolve(&n("nope.google.com"), RecordType::A, &auth, at(10), &mut rng);
+        let second = r.resolve(
+            &n("nope.google.com"),
+            RecordType::A,
+            &auth,
+            at(10),
+            &mut rng,
+        );
         assert_eq!(second.rcode, Rcode::NxDomain);
         assert!(second.cache_hit);
         assert_eq!(second.upstream_time, SimDuration::ZERO);
         assert_eq!(r.upstream_queries, queries_after_first);
         // After the negative TTL (300 s): re-resolved upstream.
-        let third = r.resolve(&n("nope.google.com"), RecordType::A, &auth, at(301), &mut rng);
+        let third = r.resolve(
+            &n("nope.google.com"),
+            RecordType::A,
+            &auth,
+            at(301),
+            &mut rng,
+        );
         assert!(!third.cache_hit);
         assert!(r.upstream_queries > queries_after_first);
     }
@@ -306,7 +320,13 @@ mod tests {
         let mut rng = SimRng::from_seed(10);
         r.resolve(&n("nope.google.com"), RecordType::A, &auth, at(0), &mut rng);
         // A different type for the same name is not negatively cached.
-        let res = r.resolve(&n("nope.google.com"), RecordType::AAAA, &auth, at(1), &mut rng);
+        let res = r.resolve(
+            &n("nope.google.com"),
+            RecordType::AAAA,
+            &auth,
+            at(1),
+            &mut rng,
+        );
         assert!(!res.cache_hit);
     }
 

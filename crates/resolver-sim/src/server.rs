@@ -243,7 +243,8 @@ impl ResolverServer {
 
         let resolution = self.engine.resolve(qname, qtype, authorities, now, rng);
 
-        let mut proc_ms = rng.lognormal_median(self.profile.proc_median_ms, self.profile.proc_sigma)
+        let mut proc_ms = rng
+            .lognormal_median(self.profile.proc_median_ms, self.profile.proc_sigma)
             * self.load_factor(now);
         if rng.chance(self.profile.overload_prob) {
             proc_ms += rng.exponential(self.profile.overload_mean_ms);
@@ -302,7 +303,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 190, "warmth should make most probes cache hits: {hits}");
+        assert!(
+            hits > 190,
+            "warmth should make most probes cache hits: {hits}"
+        );
     }
 
     #[test]

@@ -81,10 +81,7 @@ fn resolve_name(token: &str, origin: &Name, line: usize) -> Result<Name, ZonePar
         return Name::parse(stripped).map_err(|e| err(line, format!("bad name {token:?}: {e}")));
     }
     // Relative: append the origin.
-    let mut labels: Vec<Vec<u8>> = token
-        .split('.')
-        .map(|l| l.as_bytes().to_vec())
-        .collect();
+    let mut labels: Vec<Vec<u8>> = token.split('.').map(|l| l.as_bytes().to_vec()).collect();
     for l in origin.labels() {
         labels.push(l.to_vec());
     }
@@ -125,9 +122,8 @@ pub fn parse_zone(
         if f[0] == "$ORIGIN" {
             let o = f.get(1).ok_or_else(|| err(line, "$ORIGIN needs a name"))?;
             let stripped = o.strip_suffix('.').unwrap_or(o);
-            origin = Some(
-                Name::parse(stripped).map_err(|e| err(line, format!("bad $ORIGIN: {e}")))?,
-            );
+            origin =
+                Some(Name::parse(stripped).map_err(|e| err(line, format!("bad $ORIGIN: {e}")))?);
             continue;
         }
         if f[0] == "$TTL" {
@@ -175,11 +171,7 @@ pub fn parse_zone(
             f.remove(0)
         };
 
-        let wildcard = owner
-            .labels()
-            .next()
-            .map(|l| l == b"*")
-            .unwrap_or(false);
+        let wildcard = owner.labels().next().map(|l| l == b"*").unwrap_or(false);
 
         let (rtype, rdatas): (RecordType, Vec<RData>) = match rtype_token.as_str() {
             "A" => {
@@ -378,16 +370,20 @@ ns      IN  NS    ns1.provider.net.
 
     #[test]
     fn errors_carry_line_numbers() {
-        let e = parse_zone("$ORIGIN x.test.\nfoo IN A not-an-ip\n", None, cities::SEOUL)
-            .unwrap_err();
+        let e =
+            parse_zone("$ORIGIN x.test.\nfoo IN A not-an-ip\n", None, cities::SEOUL).unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("line 2"));
 
         let e = parse_zone("foo IN A 1.2.3.4\n", None, cities::SEOUL).unwrap_err();
         assert!(e.msg.contains("before $ORIGIN"));
 
-        let e = parse_zone("$ORIGIN x.test.\nfoo IN WKS whatever\n", None, cities::SEOUL)
-            .unwrap_err();
+        let e = parse_zone(
+            "$ORIGIN x.test.\nfoo IN WKS whatever\n",
+            None,
+            cities::SEOUL,
+        )
+        .unwrap_err();
         assert!(e.msg.contains("unsupported"));
 
         assert!(parse_zone("; only comments\n", Some("x.test"), cities::SEOUL).is_err());

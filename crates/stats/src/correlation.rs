@@ -101,7 +101,9 @@ mod tests {
     fn uncorrelated_is_near_zero() {
         // Deterministic "noise": alternate high/low against a ramp.
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let r = pearson(&x, &y).unwrap();
         assert!(r.abs() < 0.1, "{r}");
     }

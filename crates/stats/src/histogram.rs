@@ -75,11 +75,7 @@ impl Histogram {
 
     /// The mode bin's index, or `None` when no in-range samples exist.
     pub fn mode_bin(&self) -> Option<usize> {
-        let (i, &max) = self
-            .bins
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)?;
+        let (i, &max) = self.bins.iter().enumerate().max_by_key(|(_, &c)| c)?;
         if max == 0 {
             None
         } else {

@@ -106,8 +106,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = if sign > 0.0 { i + 1 } else { i - 1 };
         self.heights[i]
-            + sign * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// The current estimate (exact while fewer than five samples).
@@ -216,7 +215,10 @@ mod tests {
         pub struct Lcg(pub u64);
         impl Lcg {
             pub fn next_f64(&mut self) -> f64 {
-                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (self.0 >> 11) as f64 / (1u64 << 53) as f64
             }
         }

@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn malformed_responses_rejected() {
         assert!(parse_response(b"not http").is_err());
-        assert!(parse_response(b"HTTP/1.1 200 OK\r\n").is_err(), "no header end");
+        assert!(
+            parse_response(b"HTTP/1.1 200 OK\r\n").is_err(),
+            "no header end"
+        );
         assert!(parse_response(b"SPDY/3 200 OK\r\n\r\n").is_err());
         assert!(parse_response(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
         // Truncated body vs declared length.

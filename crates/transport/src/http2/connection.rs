@@ -109,12 +109,7 @@ impl H2Connection {
         let block = encoder.encode(&headers);
         let frames = vec![
             Frame::new(FrameType::Headers, flags::END_HEADERS, stream_id, block),
-            Frame::new(
-                FrameType::Data,
-                flags::END_STREAM,
-                stream_id,
-                body.to_vec(),
-            ),
+            Frame::new(FrameType::Data, flags::END_STREAM, stream_id, body.to_vec()),
         ];
         Frame::encode_all(&frames, false)
     }
@@ -234,7 +229,12 @@ mod tests {
         assert_eq!(sid2, 3);
         assert!(!wire2.starts_with(Frame::PREFACE));
         // Second request is smaller: no preface and HPACK dynamic hits.
-        assert!(wire2.len() < wire1.len() / 2, "{} vs {}", wire1.len(), wire2.len());
+        assert!(
+            wire2.len() < wire1.len() / 2,
+            "{} vs {}",
+            wire1.len(),
+            wire2.len()
+        );
     }
 
     #[test]
@@ -247,8 +247,7 @@ mod tests {
         };
         let (_, wire) = conn.encode_request(&req);
         // Skip the preface then inspect frames.
-        let frames =
-            Frame::decode_all(wire.slice(Frame::PREFACE.len()..)).unwrap();
+        let frames = Frame::decode_all(wire.slice(Frame::PREFACE.len()..)).unwrap();
         assert_eq!(frames[0].ftype, FrameType::Settings);
         assert_eq!(frames[1].ftype, FrameType::Headers);
         assert!(!frames[1].has_flag(flags::END_STREAM));
@@ -277,10 +276,7 @@ mod tests {
     #[test]
     fn goaway_is_protocol_error() {
         let mut conn = H2Connection::new();
-        let wire = Frame::encode_all(
-            &[Frame::new(FrameType::Goaway, 0, 0, Bytes::new())],
-            false,
-        );
+        let wire = Frame::encode_all(&[Frame::new(FrameType::Goaway, 0, 0, Bytes::new())], false);
         let err = conn.parse_response(wire).unwrap_err();
         assert_eq!(err.kind, TransportErrorKind::ProtocolError);
     }
@@ -327,6 +323,8 @@ mod tests {
         assert!(!get.iter().any(|h| h.name == "content-type"));
         let post = doh_headers("r.example", "/dns-query", true, 33);
         assert_eq!(post[0].value, "POST");
-        assert!(post.iter().any(|h| h.name == "content-length" && h.value == "33"));
+        assert!(post
+            .iter()
+            .any(|h| h.name == "content-length" && h.value == "33"));
     }
 }

@@ -111,8 +111,14 @@ impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameError::ShortHeader => write!(f, "frame header truncated"),
-            FrameError::ShortPayload { declared, available } => {
-                write!(f, "frame payload truncated: {declared} declared, {available} available")
+            FrameError::ShortPayload {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "frame payload truncated: {declared} declared, {available} available"
+                )
             }
             FrameError::TooLong(n) => write!(f, "frame length {n} exceeds maximum"),
         }

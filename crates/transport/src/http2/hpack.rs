@@ -345,10 +345,7 @@ impl Decoder {
                     buf = &buf[used..];
                     n
                 } else {
-                    self.table
-                        .get(idx)
-                        .ok_or(HpackError::BadIndex(idx))?
-                        .name
+                    self.table.get(idx).ok_or(HpackError::BadIndex(idx))?.name
                 };
                 let (value, used) = decode_string(buf)?;
                 buf = &buf[used..];
@@ -376,10 +373,7 @@ impl Decoder {
                     buf = &buf[used..];
                     n
                 } else {
-                    self.table
-                        .get(idx)
-                        .ok_or(HpackError::BadIndex(idx))?
-                        .name
+                    self.table.get(idx).ok_or(HpackError::BadIndex(idx))?.name
                 };
                 let (value, used) = decode_string(buf)?;
                 buf = &buf[used..];
@@ -427,10 +421,7 @@ mod tests {
     #[test]
     fn integer_overflow_detected() {
         let buf = [0x1F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
-        assert_eq!(
-            decode_integer(&buf, 5),
-            Err(HpackError::IntegerOverflow)
-        );
+        assert_eq!(decode_integer(&buf, 5), Err(HpackError::IntegerOverflow));
     }
 
     #[test]
@@ -512,10 +503,7 @@ mod tests {
         // 0x00 prefix, new name "a", value "b".
         let buf = [0x00, 0x01, b'a', 0x01, b'b'];
         let mut dec = Decoder::default();
-        assert_eq!(
-            dec.decode(&buf).unwrap(),
-            vec![HeaderField::new("a", "b")]
-        );
+        assert_eq!(dec.decode(&buf).unwrap(), vec![HeaderField::new("a", "b")]);
     }
 
     #[test]

@@ -31,11 +31,16 @@ pub mod http2;
 pub mod quic;
 pub mod tcp;
 pub mod tls;
+pub mod traced;
 
 pub use error::{TransportError, TransportErrorKind};
 pub use flight::{exchange, ExchangeOutcome, RetryPolicy};
-pub use http1::{encode_request as h1_encode_request, encode_response as h1_encode_response, parse_response as h1_parse_response, H1Response};
+pub use http1::{
+    encode_request as h1_encode_request, encode_response as h1_encode_response,
+    parse_response as h1_parse_response, H1Response,
+};
 pub use http2::{doh_headers, H2Connection, H2Request, H2Response, HeaderField};
 pub use quic::{QuicConfig, QuicConnection};
 pub use tcp::{RttEstimator, TcpConfig, TcpConnection};
 pub use tls::{SessionTicket, TlsConfig, TlsServerBehavior, TlsSession};
+pub use traced::{exchange_traced, record_exchange_spans};

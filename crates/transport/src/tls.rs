@@ -105,7 +105,10 @@ impl TlsSession {
             let mut rto = config.policy.initial_rto;
             for _ in 0..config.policy.max_attempts {
                 elapsed += rto;
-                rto = std::cmp::min(rto.times(config.policy.backoff as u64), config.policy.max_rto);
+                rto = std::cmp::min(
+                    rto.times(config.policy.backoff as u64),
+                    config.policy.max_rto,
+                );
             }
             return Err(TransportError::new(
                 TransportErrorKind::TlsHandshakeFailure,

@@ -1,0 +1,340 @@
+//! Span-traced variants of the transport operations.
+//!
+//! Each `*_traced` method delegates to its untraced counterpart and records
+//! the phase as a span in an [`obs::SpanLog`], anchored at a caller-supplied
+//! simulated-time origin. The untraced methods stay the hot path: a probe
+//! that doesn't want tracing passes a disabled log (or calls the plain
+//! method) and pays nothing.
+//!
+//! Phase spans are recorded as *disjoint, consecutive* intervals matching
+//! the probe's phase accounting: the wire-exchange span excludes the
+//! server's processing time, which gets its own span immediately after.
+//! Failures close the open span at the failure time and drop an instant
+//! marker naming what failed.
+
+use netsim::{Path, SimDuration, SimRng};
+use obs::{Nanos, Phase, SpanLog};
+
+use crate::error::TransportError;
+use crate::flight::{exchange, ExchangeOutcome, RetryPolicy};
+use crate::http2::{Encoder, H2Connection, H2Request, H2Response};
+use crate::quic::{QuicConfig, QuicConnection};
+use crate::tcp::{TcpConfig, TcpConnection};
+use crate::tls::{SessionTicket, TlsConfig, TlsServerBehavior, TlsSession};
+use crate::TransportErrorKind;
+use bytes::Bytes;
+
+/// Records the wire-exchange and server-processing spans for an exchange
+/// that took `elapsed` in total, of which the server spent `server_time`.
+/// Returns the simulated time at which the exchange completed.
+pub fn record_exchange_spans(
+    log: &mut SpanLog,
+    t0: Nanos,
+    elapsed: SimDuration,
+    server_time: SimDuration,
+) -> Nanos {
+    let wire = elapsed.saturating_sub(server_time);
+    let server = elapsed.saturating_sub(wire);
+    let mut t = t0;
+    log.enter(t, Phase::HttpExchange.name());
+    t += wire.as_nanos();
+    log.exit(t, Phase::HttpExchange.name());
+    log.enter(t, Phase::ServerProcessing.name());
+    t += server.as_nanos();
+    log.exit(t, Phase::ServerProcessing.name());
+    t
+}
+
+/// Closes the `phase` span at the failure time and drops a named marker.
+fn record_failure(log: &mut SpanLog, phase: Phase, t0: Nanos, e: &TransportError) {
+    let at = t0 + e.elapsed.as_nanos();
+    log.exit(at, phase.name());
+    log.instant(
+        at,
+        match e.kind {
+            TransportErrorKind::ConnectTimeout => "connect_timeout",
+            TransportErrorKind::ConnectionRefused => "connection_refused",
+            TransportErrorKind::TlsHandshakeFailure => "tls_failure",
+            TransportErrorKind::CertificateInvalid => "certificate_invalid",
+            TransportErrorKind::RequestTimeout => "request_timeout",
+            TransportErrorKind::ProtocolError => "protocol_error",
+        },
+    );
+}
+
+impl TcpConnection {
+    /// [`TcpConnection::connect`] with a `connect` phase span.
+    pub fn connect_traced(
+        path: &Path,
+        refused: bool,
+        rng: &mut SimRng,
+        config: TcpConfig,
+        t0: Nanos,
+        log: &mut SpanLog,
+    ) -> Result<(Self, SimDuration), TransportError> {
+        log.enter(t0, Phase::Connect.name());
+        match Self::connect(path, refused, rng, config) {
+            Ok((conn, d)) => {
+                log.exit(t0 + d.as_nanos(), Phase::Connect.name());
+                Ok((conn, d))
+            }
+            Err(e) => {
+                record_failure(log, Phase::Connect, t0, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`TcpConnection::request_response`] with wire-exchange and
+    /// server-processing spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn request_response_traced(
+        &mut self,
+        path: &Path,
+        req_bytes: usize,
+        resp_bytes: usize,
+        server_time: SimDuration,
+        rng: &mut SimRng,
+        t0: Nanos,
+        log: &mut SpanLog,
+    ) -> Result<ExchangeOutcome, TransportError> {
+        match self.request_response(path, req_bytes, resp_bytes, server_time, rng) {
+            Ok(out) => {
+                record_exchange_spans(log, t0, out.elapsed, server_time);
+                Ok(out)
+            }
+            Err(e) => {
+                log.instant(t0 + e.elapsed.as_nanos(), "request_timeout");
+                Err(e)
+            }
+        }
+    }
+}
+
+impl TlsSession {
+    /// [`TlsSession::handshake`] with a `tls_handshake` phase span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handshake_traced(
+        tcp: &mut TcpConnection,
+        path: &Path,
+        config: TlsConfig,
+        behavior: TlsServerBehavior,
+        ticket: Option<SessionTicket>,
+        rng: &mut SimRng,
+        t0: Nanos,
+        log: &mut SpanLog,
+    ) -> Result<TlsSession, TransportError> {
+        log.enter(t0, Phase::TlsHandshake.name());
+        match Self::handshake(tcp, path, config, behavior, ticket, rng) {
+            Ok(s) => {
+                log.exit(t0 + s.handshake_time.as_nanos(), Phase::TlsHandshake.name());
+                Ok(s)
+            }
+            Err(e) => {
+                record_failure(log, Phase::TlsHandshake, t0, &e);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl QuicConnection {
+    /// [`QuicConnection::connect`] with a `connect` phase span (QUIC folds
+    /// transport and crypto setup into one handshake).
+    pub fn connect_traced(
+        path: &Path,
+        config: QuicConfig,
+        rng: &mut SimRng,
+        t0: Nanos,
+        log: &mut SpanLog,
+    ) -> Result<(Self, SimDuration), TransportError> {
+        log.enter(t0, Phase::Connect.name());
+        match Self::connect(path, config, rng) {
+            Ok((conn, d)) => {
+                log.exit(t0 + d.as_nanos(), Phase::Connect.name());
+                Ok((conn, d))
+            }
+            Err(e) => {
+                record_failure(log, Phase::Connect, t0, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`QuicConnection::stream_exchange`] with wire-exchange and
+    /// server-processing spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_exchange_traced(
+        &mut self,
+        path: &Path,
+        req_bytes: usize,
+        resp_bytes: usize,
+        server_time: SimDuration,
+        rng: &mut SimRng,
+        t0: Nanos,
+        log: &mut SpanLog,
+    ) -> Result<ExchangeOutcome, TransportError> {
+        match self.stream_exchange(path, req_bytes, resp_bytes, server_time, rng) {
+            Ok(out) => {
+                record_exchange_spans(log, t0, out.elapsed, server_time);
+                Ok(out)
+            }
+            Err(e) => {
+                log.instant(t0 + e.elapsed.as_nanos(), "request_timeout");
+                Err(e)
+            }
+        }
+    }
+}
+
+impl H2Connection {
+    /// [`H2Connection::round_trip`] with wire-exchange and
+    /// server-processing spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn round_trip_traced(
+        &mut self,
+        tcp: &mut TcpConnection,
+        path: &Path,
+        req: &H2Request,
+        response_wire: impl FnOnce(u32, &mut Encoder) -> Bytes,
+        server_time: SimDuration,
+        rng: &mut SimRng,
+        t0: Nanos,
+        log: &mut SpanLog,
+    ) -> Result<(H2Response, SimDuration), TransportError> {
+        match self.round_trip(tcp, path, req, response_wire, server_time, rng) {
+            Ok((resp, elapsed)) => {
+                record_exchange_spans(log, t0, elapsed, server_time);
+                Ok((resp, elapsed))
+            }
+            Err(e) => {
+                log.instant(t0 + e.elapsed.as_nanos(), "request_timeout");
+                Err(e)
+            }
+        }
+    }
+}
+
+/// [`exchange`] with wire-exchange and server-processing spans — the traced
+/// face of the connectionless (Do53) request path.
+#[allow(clippy::too_many_arguments)]
+pub fn exchange_traced(
+    path: &Path,
+    req_bytes: usize,
+    resp_bytes: usize,
+    server_time: SimDuration,
+    policy: RetryPolicy,
+    timeout_kind: TransportErrorKind,
+    rng: &mut SimRng,
+    t0: Nanos,
+    log: &mut SpanLog,
+) -> Result<ExchangeOutcome, TransportError> {
+    match exchange(
+        path,
+        req_bytes,
+        resp_bytes,
+        server_time,
+        policy,
+        timeout_kind,
+        rng,
+    ) {
+        Ok(out) => {
+            record_exchange_spans(log, t0, out.elapsed, server_time);
+            Ok(out)
+        }
+        Err(e) => {
+            log.instant(t0 + e.elapsed.as_nanos(), "request_timeout");
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::cities;
+    use netsim::AccessProfile;
+
+    fn clean_path() -> Path {
+        let mut p = Path::between(
+            cities::COLUMBUS_OH.point,
+            AccessProfile::cloud_vm(),
+            cities::CHICAGO.point,
+            AccessProfile::datacenter(),
+        );
+        p.extra_loss = 0.0;
+        p
+    }
+
+    #[test]
+    fn traced_connect_matches_untraced_and_records_span() {
+        let path = clean_path();
+        let mut log = SpanLog::with_capacity(16);
+        let mut rng_a = SimRng::from_seed(1);
+        let mut rng_b = SimRng::from_seed(1);
+        let (_, d_plain) =
+            TcpConnection::connect(&path, false, &mut rng_a, TcpConfig::default()).unwrap();
+        let (_, d_traced) = TcpConnection::connect_traced(
+            &path,
+            false,
+            &mut rng_b,
+            TcpConfig::default(),
+            0,
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(d_plain, d_traced, "tracing must not perturb the RNG stream");
+        let spans = log.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, Phase::Connect.name());
+        assert_eq!(spans[0].duration(), d_traced.as_nanos());
+    }
+
+    #[test]
+    fn refused_connect_records_failure_marker() {
+        let path = clean_path();
+        let mut log = SpanLog::with_capacity(16);
+        let mut rng = SimRng::from_seed(2);
+        let err =
+            TcpConnection::connect_traced(&path, true, &mut rng, TcpConfig::default(), 0, &mut log)
+                .unwrap_err();
+        assert!(log
+            .events()
+            .any(|e| e.name == "connection_refused" && e.at == err.elapsed.as_nanos()));
+    }
+
+    #[test]
+    fn exchange_spans_split_out_server_time() {
+        let mut log = SpanLog::with_capacity(16);
+        let end = record_exchange_spans(
+            &mut log,
+            1_000,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(3),
+        );
+        assert_eq!(end, 1_000 + 10_000_000);
+        let spans = log.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, Phase::HttpExchange.name());
+        assert_eq!(spans[0].duration(), 7_000_000);
+        assert_eq!(spans[1].name, Phase::ServerProcessing.name());
+        assert_eq!(spans[1].duration(), 3_000_000);
+    }
+
+    #[test]
+    fn disabled_log_leaves_traced_calls_silent() {
+        let path = clean_path();
+        let mut log = SpanLog::disabled();
+        let mut rng = SimRng::from_seed(3);
+        let ok = TcpConnection::connect_traced(
+            &path,
+            false,
+            &mut rng,
+            TcpConfig::default(),
+            0,
+            &mut log,
+        );
+        assert!(ok.is_ok());
+        assert_eq!(log.recorded(), 0);
+    }
+}

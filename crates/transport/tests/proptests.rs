@@ -12,8 +12,7 @@ use transport::{exchange, RetryPolicy, TransportErrorKind};
 
 fn arb_header() -> impl Strategy<Value = HeaderField> {
     // Header names are lowercase tokens; values printable ASCII.
-    ("[a-z][a-z0-9-]{0,20}", "[ -~]{0,40}")
-        .prop_map(|(n, v)| HeaderField::new(n, v))
+    ("[a-z][a-z0-9-]{0,20}", "[ -~]{0,40}").prop_map(|(n, v)| HeaderField::new(n, v))
 }
 
 fn arb_pseudo_or_header() -> impl Strategy<Value = HeaderField> {

@@ -119,7 +119,7 @@ impl Loader {
                     let ms = if i == 0 {
                         timings.total().as_millis_f64()
                     } else {
-                        timings.query.as_millis_f64()
+                        timings.exchange().as_millis_f64()
                     };
                     dns_times_ms.insert(domain, ms);
                 }
@@ -177,10 +177,7 @@ impl Loader {
                 }
             };
             let rtt = web_rng.lognormal_median(self.web.web_rtt_ms, self.web.web_rtt_sigma);
-            let transfer = rtt
-                + client
-                    .access
-                    .serialization_ms(obj.bytes, false);
+            let transfer = rtt + client.access.serialization_ms(obj.bytes, false);
             finish[i] = ready + transfer;
         }
         finish
@@ -197,12 +194,7 @@ mod tests {
     use netsim::{AccessProfile, HostId};
 
     fn client() -> Host {
-        Host::in_city(
-            HostId(0),
-            "c",
-            cities::CHICAGO,
-            AccessProfile::home_cable(),
-        )
+        Host::in_city(HostId(0), "c", cities::CHICAGO, AccessProfile::home_cable())
     }
 
     fn target(hostname: &str) -> ProbeTarget {
@@ -215,7 +207,14 @@ mod tests {
         let page = Page::news_site("example.com");
         let mut resolver = target("dns.google");
         let mut rng = SimRng::from_seed(1);
-        let report = loader.load(&page, &client(), true, &mut resolver, SimTime::ZERO, &mut rng);
+        let report = loader.load(
+            &page,
+            &client(),
+            true,
+            &mut resolver,
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert!(report.failed_domains.is_empty());
         assert!(report.plt_ms > 100.0, "plt {}", report.plt_ms);
         assert!(report.plt_no_dns_ms < report.plt_ms);
@@ -252,7 +251,14 @@ mod tests {
         let page = Page::simple("example.com");
         let mut resolver = target("dns.quad9.net");
         let mut rng = SimRng::from_seed(3);
-        let report = loader.load(&page, &client(), true, &mut resolver, SimTime::ZERO, &mut rng);
+        let report = loader.load(
+            &page,
+            &client(),
+            true,
+            &mut resolver,
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(report.dns_times_ms.len(), 1);
         assert!(report.dns_critical_ms > 0.0);
     }
@@ -263,12 +269,16 @@ mod tests {
         let page = Page::news_site("example.com");
         let mut resolver = target("chewbacca.meganerd.nl");
         let mut rng = SimRng::from_seed(4);
-        let report = loader.load(&page, &client(), true, &mut resolver, SimTime::ZERO, &mut rng);
-        // Mostly-down: most domains fail to resolve; the page is crippled.
-        assert!(
-            !report.failed_domains.is_empty(),
-            "expected failed domains"
+        let report = loader.load(
+            &page,
+            &client(),
+            true,
+            &mut resolver,
+            SimTime::ZERO,
+            &mut rng,
         );
+        // Mostly-down: most domains fail to resolve; the page is crippled.
+        assert!(!report.failed_domains.is_empty(), "expected failed domains");
     }
 
     #[test]
@@ -277,7 +287,14 @@ mod tests {
         let mut rng = SimRng::from_seed(5);
         let page = Page::synthetic(30, 6, &mut rng);
         let mut resolver = target("dns.google");
-        let report = loader.load(&page, &client(), true, &mut resolver, SimTime::ZERO, &mut rng);
+        let report = loader.load(
+            &page,
+            &client(),
+            true,
+            &mut resolver,
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert!(report.plt_ms > 0.0);
     }
 }

@@ -55,11 +55,11 @@ impl Page {
         Page {
             label: format!("simple page on {origin}"),
             objects: vec![
-                obj(30_000, vec![]),      // 0: HTML
-                obj(60_000, vec![0]),     // 1: CSS
-                obj(90_000, vec![0]),     // 2: JS
-                obj(120_000, vec![1]),    // 3: hero image
-                obj(40_000, vec![1]),     // 4: image
+                obj(30_000, vec![]),   // 0: HTML
+                obj(60_000, vec![0]),  // 1: CSS
+                obj(90_000, vec![0]),  // 2: JS
+                obj(120_000, vec![1]), // 3: hero image
+                obj(40_000, vec![1]),  // 4: image
             ],
         }
     }
@@ -81,15 +81,15 @@ impl Page {
         Page {
             label: format!("news site on {origin}"),
             objects: vec![
-                o(&first, 80_000, vec![]),        // 0: HTML
-                o(&cdn, 150_000, vec![0]),        // 1: framework JS
-                o(&cdn, 70_000, vec![0]),         // 2: CSS
-                o(&first, 50_000, vec![2]),       // 3: article images
-                o(&ads, 30_000, vec![1]),         // 4: ad loader
-                o(&ads, 90_000, vec![4]),         // 5: ad creative
-                o(&metrics, 5_000, vec![1]),      // 6: beacon
-                o(&social, 60_000, vec![1]),      // 7: embed
-                o(&cdn, 110_000, vec![3]),        // 8: lazy images
+                o(&first, 80_000, vec![]),   // 0: HTML
+                o(&cdn, 150_000, vec![0]),   // 1: framework JS
+                o(&cdn, 70_000, vec![0]),    // 2: CSS
+                o(&first, 50_000, vec![2]),  // 3: article images
+                o(&ads, 30_000, vec![1]),    // 4: ad loader
+                o(&ads, 90_000, vec![4]),    // 5: ad creative
+                o(&metrics, 5_000, vec![1]), // 6: beacon
+                o(&social, 60_000, vec![1]), // 7: embed
+                o(&cdn, 110_000, vec![3]),   // 8: lazy images
             ],
         }
     }

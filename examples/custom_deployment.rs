@@ -33,7 +33,10 @@ fn main() {
     let mut authorities = AuthorityTree::standard();
     authorities.add_tld("dev", cities::ASHBURN_VA);
     let zone = parse_zone(MY_ZONE, None, cities::FRANKFURT).expect("zone parses");
-    println!("Loaded zone {} ({} at {})", zone.apex, "myservice.dev", zone.location.name);
+    println!(
+        "Loaded zone {} (myservice.dev at {})",
+        zone.apex, zone.location.name
+    );
     authorities.add_zone(zone);
     let prober = Prober::with_authorities(authorities);
 
@@ -73,7 +76,13 @@ fn main() {
         ("Seoul", cities::SEOUL),
     ];
 
-    let mut t = TextTable::new(["Deployment", "Ohio (ms)", "Frankfurt (ms)", "Seoul (ms)", "Worst"]);
+    let mut t = TextTable::new([
+        "Deployment",
+        "Ohio (ms)",
+        "Frankfurt (ms)",
+        "Seoul (ms)",
+        "Worst",
+    ]);
     for (label, deployment) in candidates {
         let mut medians = Vec::new();
         for (_, city) in vantages {
@@ -116,9 +125,7 @@ fn main() {
             format!("{worst:.1}"),
         ]);
     }
-    println!(
-        "\nMedian cold-DoH response time for api.myservice.dev by deployment:\n"
-    );
+    println!("\nMedian cold-DoH response time for api.myservice.dev by deployment:\n");
     println!("{}", t.render());
     println!(
         "The table retells the paper's core finding from the operator's side:\n\

@@ -4,8 +4,9 @@
 //! `target/edns-bench-out/`.
 //!
 //! ```sh
-//! cargo run --release --example global_campaign            # standard scale
-//! cargo run --release --example global_campaign -- --paper # full schedule
+//! cargo run --release --example global_campaign              # standard scale
+//! cargo run --release --example global_campaign -- --paper   # full schedule
+//! cargo run --release --example global_campaign -- --metrics # + print metrics
 //! ```
 
 use std::fs;
@@ -19,12 +20,21 @@ use edns_bench::{Reproduction, Scale};
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
-    let scale = if paper_scale { Scale::Paper } else { Scale::Standard };
+    let print_metrics = std::env::args().any(|a| a == "--metrics");
+    let scale = if paper_scale {
+        Scale::Paper
+    } else {
+        Scale::Standard
+    };
     let seed = 2023;
 
     eprintln!(
         "Running the {} campaign over the full {}-resolver population...",
-        if paper_scale { "FULL PAPER-SCHEDULE" } else { "standard" },
+        if paper_scale {
+            "FULL PAPER-SCHEDULE"
+        } else {
+            "standard"
+        },
         edns_bench::catalog::resolvers::all().len()
     );
     let start = std::time::Instant::now();
@@ -48,8 +58,7 @@ fn main() {
         records: repro.dataset.records.clone(),
         seed,
     };
-    fs::write(out_dir.join("results.jsonl"), result.to_json_lines())
-        .expect("write results");
+    fs::write(out_dir.join("results.jsonl"), result.to_json_lines()).expect("write results");
 
     // Per-figure median CSVs for external plotting.
     for (name, region) in [
@@ -65,11 +74,10 @@ fn main() {
                     .median_response_ms(&group, &resolver)
                     .map(|m| format!("{m:.2}"))
                     .unwrap_or_default();
-                let ping = edns_bench::edns_stats::median(
-                    &repro.dataset.ping_series(&group, &resolver),
-                )
-                .map(|m| format!("{m:.2}"))
-                .unwrap_or_default();
+                let ping =
+                    edns_bench::edns_stats::median(&repro.dataset.ping_series(&group, &resolver))
+                        .map(|m| format!("{m:.2}"))
+                        .unwrap_or_default();
                 csv.row([resolver.as_str(), group.title(), &median, &ping]);
             }
         }
@@ -111,6 +119,23 @@ fn main() {
         experiments.to_string_compact(),
     )
     .expect("write experiments json");
+
+    // The resolver × vantage × protocol metrics snapshot: counters, error
+    // tallies and phase-level latency histograms, as JSON and CSV.
+    let metrics = repro.metrics();
+    fs::write(
+        out_dir.join("metrics.json"),
+        edns_bench::report::metrics_json(&metrics).to_string_compact(),
+    )
+    .expect("write metrics json");
+    fs::write(
+        out_dir.join("metrics.csv"),
+        edns_bench::report::metrics_csv(&metrics).render(),
+    )
+    .expect("write metrics csv");
+    if print_metrics {
+        println!("{}", metrics.render());
+    }
 
     eprintln!("\nArtifacts written to {}", out_dir.display());
 }

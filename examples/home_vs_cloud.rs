@@ -23,7 +23,10 @@ fn main() {
         "antivirus.bebasid.com",
         "doh.ffmuc.net",
     ];
-    eprintln!("Measuring {} resolvers from home + cloud...", resolvers.len());
+    eprintln!(
+        "Measuring {} resolvers from home + cloud...",
+        resolvers.len()
+    );
     let repro = Reproduction::run_subset(101, Scale::Standard, &resolvers);
 
     let home = VantageGroup::Home;
@@ -56,8 +59,14 @@ fn main() {
     println!("{}", t.render());
 
     // The paper's specific anomalies.
-    let twnic_home = repro.dataset.median_response_ms(&home, "dns.twnic.tw").unwrap();
-    let twnic_ohio = repro.dataset.median_response_ms(&ohio, "dns.twnic.tw").unwrap();
+    let twnic_home = repro
+        .dataset
+        .median_response_ms(&home, "dns.twnic.tw")
+        .unwrap();
+    let twnic_ohio = repro
+        .dataset
+        .median_response_ms(&ohio, "dns.twnic.tw")
+        .unwrap();
     println!(
         "dns.twnic.tw: {twnic_home:.0} ms from home vs {twnic_ohio:.0} ms from EC2 — \n\
          'high ping times and response times from the home network measurements,\n\

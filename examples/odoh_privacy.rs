@@ -65,7 +65,12 @@ fn main() {
         let client = Host::in_city(HostId(0), "c", city, AccessProfile::cloud_vm());
         let relay = relays::nearest_relay(&client.location);
         println!("nearest relay: {} ({})\n", relay.hostname, relay.city.name);
-        let mut t = TextTable::new(["Target", "direct DoH (ms)", "via ODoH relay (ms)", "overhead"]);
+        let mut t = TextTable::new([
+            "Target",
+            "direct DoH (ms)",
+            "via ODoH relay (ms)",
+            "overhead",
+        ]);
         for hostname in targets {
             let mut medians = Vec::new();
             for protocol in [Protocol::DoH, Protocol::ODoH] {

@@ -29,10 +29,10 @@ fn main() {
         "dns.quad9.net",
         "security.cloudflare-dns.com",
         "freedns.controld.com",
-        "dns.brahma.world",     // Frankfurt — remote from Chicago
-        "doh.ffmuc.net",        // Munich, hobbyist
-        "dns.alidns.com",       // Asia anycast (nearest site far from Chicago)
-        "dns.bebasid.com",      // Indonesia
+        "dns.brahma.world", // Frankfurt — remote from Chicago
+        "doh.ffmuc.net",    // Munich, hobbyist
+        "dns.alidns.com",   // Asia anycast (nearest site far from Chicago)
+        "dns.bebasid.com",  // Indonesia
     ];
     let client = Host::in_city(
         HostId(0),
@@ -60,9 +60,8 @@ fn main() {
         "Failed loads",
     ]);
     for hostname in resolvers {
-        let mut target = ProbeTarget::from_entry(
-            edns_bench::catalog::resolvers::find(hostname).unwrap(),
-        );
+        let mut target =
+            ProbeTarget::from_entry(edns_bench::catalog::resolvers::find(hostname).unwrap());
         let mut rng = SimRng::derived(7, hostname);
         let mut plts = Vec::new();
         let mut dns_ms = Vec::new();
@@ -86,7 +85,13 @@ fn main() {
             }
         }
         if plts.is_empty() {
-            t.row([hostname.to_string(), "-".into(), "-".into(), "-".into(), rounds.to_string()]);
+            t.row([
+                hostname.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                rounds.to_string(),
+            ]);
             continue;
         }
         t.row([

@@ -13,8 +13,7 @@ use edns_bench::netsim::geo::cities;
 use edns_bench::netsim::{AccessProfile, Host, HostId, SimRng, SimTime};
 use edns_bench::report::TextTable;
 use edns_bench::transport::{
-    QuicConfig, QuicConnection, TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior,
-    TlsSession,
+    QuicConfig, QuicConnection, TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior, TlsSession,
 };
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -111,7 +110,8 @@ fn main() {
 
         // QUIC 0-RTT resumption: query rides the first flight.
         let (quic, _) = QuicConnection::connect(&path, QuicConfig::default(), &mut rng).unwrap();
-        let mut resumed = QuicConnection::resume_zero_rtt(&path, QuicConfig::default(), quic.ticket);
+        let mut resumed =
+            QuicConnection::resume_zero_rtt(&path, QuicConfig::default(), quic.ticket);
         let q = resumed
             .stream_exchange(&path, 120, 468, server_time, &mut rng)
             .unwrap();
@@ -119,7 +119,10 @@ fn main() {
     }
     let mut t = TextTable::new(["Mode", "Median (ms)"]);
     t.row(["cold DoH (TCP+TLS+query)", &format!("{:.1}", median(cold))]);
-    t.row(["warm DoH (reused connection)", &format!("{:.1}", median(warm))]);
+    t.row([
+        "warm DoH (reused connection)",
+        &format!("{:.1}", median(warm)),
+    ]);
     t.row(["DoQ 0-RTT resumption", &format!("{:.1}", median(zero_rtt))]);
     println!("{}", t.render());
     println!(

@@ -92,13 +92,17 @@ fn main() {
     println!("\nSame experiment with a naive set including two remote unicast resolvers:\n");
     let naive_set = [
         "dns.quad9.net",
-        "doh.ffmuc.net",      // Munich
-        "dns.bebasid.com",    // Bandung
+        "doh.ffmuc.net",   // Munich
+        "dns.bebasid.com", // Bandung
         "dns.google",
         "ordns.he.net",
     ];
     let mut t = TextTable::new(["Strategy", "Median (ms)", "p95 (ms)"]);
-    for strategy in [Strategy::Single(0), Strategy::RoundRobin, Strategy::HashByDomain] {
+    for strategy in [
+        Strategy::Single(0),
+        Strategy::RoundRobin,
+        Strategy::HashByDomain,
+    ] {
         let mut session = Session::new(&client, false, &naive_set);
         let r = session.run(&strategy, &workload, queries, 43);
         t.row([

@@ -23,7 +23,10 @@ fn main() {
         "chewbacca.meganerd.nl",
     ];
 
-    println!("Running a quick campaign over {} resolvers...\n", resolvers.len());
+    println!(
+        "Running a quick campaign over {} resolvers...\n",
+        resolvers.len()
+    );
     let repro = Reproduction::run_subset(42, Scale::Standard, &resolvers);
     println!(
         "{} probes issued ({} ok / {} errors)\n",

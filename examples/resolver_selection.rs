@@ -55,7 +55,12 @@ fn main() {
                 (i + 1).to_string(),
                 r.clone(),
                 format!("{median:.1}"),
-                if *mainstream { "mainstream" } else { "non-mainstream" }.to_string(),
+                if *mainstream {
+                    "mainstream"
+                } else {
+                    "non-mainstream"
+                }
+                .to_string(),
             ]);
         }
         println!("{}", t.render());

@@ -26,7 +26,11 @@ fn main() {
     let entries = list_parser::parse(&doc);
     assert_eq!(entries.len(), population.len());
     let with_doh = entries.iter().filter(|e| e.doh_stamp().is_some()).count();
-    println!("\nParsed back {} entries, {} with DoH stamps.", entries.len(), with_doh);
+    println!(
+        "\nParsed back {} entries, {} with DoH stamps.",
+        entries.len(),
+        with_doh
+    );
 
     // Decode a few stamps and show their contents.
     println!("\nDecoded stamps:");

@@ -66,7 +66,10 @@ fn all_four_crossover_resolvers_reproduce() {
     let f = repro().headline();
     assert!(f.he_wins_at_home, "ordns.he.net from home");
     assert!(f.controld_wins_at_ohio, "freedns.controld.com from Ohio");
-    assert!(f.brahma_wins_at_frankfurt, "dns.brahma.world from Frankfurt");
+    assert!(
+        f.brahma_wins_at_frankfurt,
+        "dns.brahma.world from Frankfurt"
+    );
     assert!(f.alidns_wins_at_seoul, "dns.alidns.com from Seoul");
 }
 
@@ -107,7 +110,10 @@ fn table3_every_european_resolver_is_faster_from_frankfurt() {
     // doh.ffmuc.net is the slowest-from-Seoul row in the paper (569 ms).
     let ffmuc = rows.iter().find(|r| r.resolver == "doh.ffmuc.net").unwrap();
     let max_remote = rows.iter().map(|r| r.remote_ms).fold(0.0, f64::max);
-    assert_eq!(ffmuc.remote_ms, max_remote, "ffmuc should be the worst from Seoul");
+    assert_eq!(
+        ffmuc.remote_ms, max_remote,
+        "ffmuc should be the worst from Seoul"
+    );
 }
 
 #[test]
@@ -162,8 +168,8 @@ fn figures_have_the_papers_row_counts() {
     // Regional counts per §3.2 (plus our documented additions in NA).
     assert_eq!(r.dataset.figure_rows(Region::Asia).len(), 13 + 12); // 13 Asia + 12 mainstream refs
     assert_eq!(r.dataset.figure_rows(Region::Europe).len(), 33 + 9); // 3 quad9 EU already in region
-    // NA region holds 23 resolvers of which 9 are mainstream; the 3
-    // EU-geolocated Quad9 endpoints join as references.
+                                                                     // NA region holds 23 resolvers of which 9 are mainstream; the 3
+                                                                     // EU-geolocated Quad9 endpoints join as references.
     assert_eq!(r.dataset.figure_rows(Region::NorthAmerica).len(), 23 + 3);
 }
 
@@ -177,7 +183,10 @@ fn anycast_resolvers_are_stable_across_vantages_unicast_are_not() {
     let worst_ec2_median = |resolver: &str| -> f64 {
         ["ec2-ohio", "ec2-frankfurt", "ec2-seoul"]
             .iter()
-            .filter_map(|v| r.dataset.median_response_ms(&VantageGroup::Label(v), resolver))
+            .filter_map(|v| {
+                r.dataset
+                    .median_response_ms(&VantageGroup::Label(v), resolver)
+            })
             .fold(0.0, f64::max)
     };
     for anycast in ["dns.google", "dns.quad9.net", "security.cloudflare-dns.com"] {
@@ -215,7 +224,10 @@ fn ping_and_response_time_correlate() {
     }
     assert!(pings.len() > 30, "most resolvers answer pings");
     let rho = edns_bench::edns_stats::spearman(&pings, &responses).unwrap();
-    assert!(rho > 0.7, "medians should correlate strongly: rho = {rho:.2}");
+    assert!(
+        rho > 0.7,
+        "medians should correlate strongly: rho = {rho:.2}"
+    );
 }
 
 #[test]
@@ -234,9 +246,7 @@ fn domain_choice_does_not_skew_response_times() {
                 .records
                 .iter()
                 .filter(|rec| {
-                    rec.resolver == resolver
-                        && rec.domain == domain
-                        && ohio.matches(&rec.vantage)
+                    rec.resolver == resolver && rec.domain == domain && ohio.matches(&rec.vantage)
                 })
                 .filter_map(|rec| rec.outcome.response_time())
                 .map(|d| d.as_millis_f64())

@@ -2,9 +2,7 @@
 //! framing, TLS/TCP state machines, recursive resolution, deployments — in
 //! one DoH transaction, verifying the actual bytes that would travel.
 
-use edns_bench::dns_wire::{
-    base64url, Message, MessageBuilder, Name, Rcode, RecordType,
-};
+use edns_bench::dns_wire::{base64url, Message, MessageBuilder, Name, Rcode, RecordType};
 use edns_bench::netsim::geo::cities;
 use edns_bench::netsim::{AccessProfile, Deployment, Host, HostId, SimRng, Site};
 use edns_bench::resolver_sim::{AuthorityTree, ResolverInstance, ServerProfile};
@@ -51,7 +49,8 @@ fn a_full_doh_transaction_end_to_end() {
     assert!(!b64.contains('='), "unpadded base64url per RFC 8484");
 
     // 2. Transport: TCP -> TLS -> HTTP/2.
-    let (mut tcp, _) = TcpConnection::connect(&path, false, &mut rng, TcpConfig::default()).unwrap();
+    let (mut tcp, _) =
+        TcpConnection::connect(&path, false, &mut rng, TcpConfig::default()).unwrap();
     TlsSession::handshake(
         &mut tcp,
         &path,
@@ -64,13 +63,10 @@ fn a_full_doh_transaction_end_to_end() {
 
     // 3. Server: recursive resolution through root -> TLD -> authoritative.
     let now = edns_bench::netsim::SimTime::ZERO;
-    let (server_time, resolution) = resolver.server_mut(site).handle_query(
-        &qname,
-        RecordType::A,
-        &authorities,
-        now,
-        &mut rng,
-    );
+    let (server_time, resolution) =
+        resolver
+            .server_mut(site)
+            .handle_query(&qname, RecordType::A, &authorities, now, &mut rng);
     assert_eq!(resolution.rcode, Rcode::NoError);
     assert!(!resolution.records.is_empty());
 
@@ -79,11 +75,13 @@ fn a_full_doh_transaction_end_to_end() {
         .recursion_available(true)
         .build();
     for rdata in &resolution.records {
-        response.answers.push(edns_bench::dns_wire::ResourceRecord::new(
-            qname.clone(),
-            300,
-            rdata.clone(),
-        ));
+        response
+            .answers
+            .push(edns_bench::dns_wire::ResourceRecord::new(
+                qname.clone(),
+                300,
+                rdata.clone(),
+            ));
     }
     let response_wire = response.encode().unwrap();
 
@@ -136,9 +134,8 @@ fn doh_get_and_post_produce_equivalent_answers() {
     );
     let domain = Name::parse("wikipedia.com").unwrap();
     for doh_get in [true, false] {
-        let mut target = ProbeTarget::from_entry(
-            edns_bench::catalog::resolvers::find("dns.google").unwrap(),
-        );
+        let mut target =
+            ProbeTarget::from_entry(edns_bench::catalog::resolvers::find("dns.google").unwrap());
         let mut rng = SimRng::from_seed(5);
         let cfg = ProbeConfig {
             protocol: Protocol::DoH,

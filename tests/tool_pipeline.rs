@@ -70,7 +70,9 @@ fn campaign_json_is_line_oriented_and_parseable_by_field() {
     let first = doc.lines().next().unwrap();
     let v = edns_bench::measure::json::parse(first).unwrap();
     // The documented record schema.
-    for field in ["ts_ms", "vantage", "resolver", "domain", "protocol", "success"] {
+    for field in [
+        "ts_ms", "vantage", "resolver", "domain", "protocol", "success",
+    ] {
         assert!(v.get(field).is_some(), "missing {field} in {first}");
     }
 }
