@@ -1,0 +1,60 @@
+//! Benchmarks of the campaign hot path the interning/merge/streaming
+//! rework targets: end-to-end campaign execution, per-pair merge
+//! ordering, streaming JSONL serialization, and metrics aggregation.
+//!
+//! Headline numbers (probes/sec, MB/s) are tracked by
+//! `BENCH_campaign.json` at the repo root, regenerated with
+//! `cargo run --release -p bench --bin campaign_throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use measure::{metrics_of, Campaign, CampaignConfig, CampaignResult};
+
+fn quick_campaign(rounds: u32) -> Campaign {
+    Campaign::new(CampaignConfig::quick(42, rounds))
+}
+
+/// End-to-end: schedule, probe, merge. The dominant cost of the tool.
+fn bench_campaign_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    let campaign = quick_campaign(2);
+    g.bench_function("run_serial_quick2", |b| {
+        b.iter(|| black_box(&campaign).run())
+    });
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    g.bench_function("run_parallel_quick2", |b| {
+        b.iter(|| black_box(&campaign).run_parallel(threads))
+    });
+    g.finish();
+}
+
+/// Serialization: records → JSON Lines (streaming writer, no Json tree).
+fn bench_jsonl(c: &mut Criterion) {
+    let result = quick_campaign(2).run();
+    let mut g = c.benchmark_group("serialize");
+    g.sample_size(20);
+    g.bench_function("to_json_lines_quick2", |b| {
+        b.iter(|| black_box(&result).to_json_lines())
+    });
+    let doc = result.to_json_lines();
+    g.bench_function("from_json_lines_quick2", |b| {
+        b.iter(|| CampaignResult::from_json_lines(42, black_box(&doc)).unwrap())
+    });
+    g.finish();
+}
+
+/// Metrics: records → resolver × vantage × protocol snapshot.
+fn bench_metrics(c: &mut Criterion) {
+    let result = quick_campaign(2).run();
+    let mut g = c.benchmark_group("metrics");
+    g.sample_size(20);
+    g.bench_function("metrics_of_quick2", |b| {
+        b.iter(|| metrics_of(black_box(&result.records)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign_run, bench_jsonl, bench_metrics);
+criterion_main!(benches);

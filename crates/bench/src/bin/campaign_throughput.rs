@@ -1,0 +1,97 @@
+//! Campaign hot-path throughput check: runs a full-population campaign and
+//! reports probes/sec (serial and parallel), JSONL serialization bytes/sec,
+//! metrics-aggregation probes/sec, and the end-to-end pipeline rate
+//! (probe → merge → JSONL → metrics) as one JSON object on stdout.
+//!
+//! Used two ways:
+//!
+//! * `cargo run --release -p bench --bin campaign_throughput` — the numbers
+//!   recorded in `BENCH_campaign.json` at the repo root;
+//! * `cargo run --release -p bench --bin campaign_throughput -- --quick`
+//!   — the CI smoke profile: a smaller campaign plus a hard floor on the
+//!   pipeline rate so hot-path regressions fail the workflow loudly.
+
+use std::time::Instant;
+
+use measure::{metrics_of, Campaign, CampaignConfig};
+
+/// CI floor for the quick profile, in end-to-end pipeline probes/sec
+/// (probe + merge + JSONL + metrics). The pre-interning implementation
+/// measured ~2.1e4 on the reference container; the streaming hot path
+/// clears 7e4. Tripping this floor means the hot path lost its ≥2×
+/// advantage over the old tree-serializing, globally-sorting pipeline.
+const QUICK_FLOOR_PIPELINE_PROBES_PER_SEC: f64 = 40_000.0;
+
+fn campaign(rounds: u32) -> Campaign {
+    Campaign::new(CampaignConfig::quick(42, rounds))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 6 } else { 40 };
+
+    // Warm up lazy statics (catalog tables, label interner) outside the
+    // timed region.
+    campaign(1).run();
+
+    let c = campaign(rounds);
+    let probes = c.probe_count() as f64;
+
+    let t = Instant::now();
+    let serial = c.run();
+    let serial_s = t.elapsed().as_secs_f64();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let t = Instant::now();
+    let parallel = c.run_parallel(threads);
+    let parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(serial.records, parallel.records, "parallel determinism");
+
+    let t = Instant::now();
+    let jsonl = serial.to_json_lines();
+    let jsonl_s = t.elapsed().as_secs_f64();
+    let jsonl_bytes = jsonl.len() as f64;
+
+    let t = Instant::now();
+    let snapshot = metrics_of(&serial.records);
+    let metrics_s = t.elapsed().as_secs_f64();
+    assert!(snapshot.total_probes() as f64 == probes);
+
+    let serial_pps = probes / serial_s;
+    let parallel_pps = probes / parallel_s;
+    let pipeline_s = serial_s + jsonl_s + metrics_s;
+    let pipeline_pps = probes / pipeline_s;
+    println!(
+        concat!(
+            "{{\"profile\":\"{}\",\"probes\":{},\"threads\":{},",
+            "\"serial_s\":{:.3},\"serial_probes_per_sec\":{:.0},",
+            "\"parallel_s\":{:.3},\"parallel_probes_per_sec\":{:.0},",
+            "\"jsonl_bytes\":{},\"jsonl_s\":{:.3},\"jsonl_mb_per_sec\":{:.1},",
+            "\"metrics_s\":{:.3},\"metrics_probes_per_sec\":{:.0},",
+            "\"pipeline_s\":{:.3},\"pipeline_probes_per_sec\":{:.0}}}"
+        ),
+        if quick { "quick" } else { "full" },
+        probes as u64,
+        threads,
+        serial_s,
+        serial_pps,
+        parallel_s,
+        parallel_pps,
+        jsonl_bytes as u64,
+        jsonl_s,
+        jsonl_bytes / jsonl_s / 1e6,
+        metrics_s,
+        probes / metrics_s,
+        pipeline_s,
+        pipeline_pps,
+    );
+
+    if quick && pipeline_pps < QUICK_FLOOR_PIPELINE_PROBES_PER_SEC {
+        eprintln!(
+            "FAIL: pipeline throughput {pipeline_pps:.0} probes/sec below floor {QUICK_FLOOR_PIPELINE_PROBES_PER_SEC:.0}"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates the golden campaign fixtures under
+//! `crates/measure/tests/golden/`. Run from the repo root after an
+//! *intentional* output-format change:
+//!
+//! ```text
+//! cargo run --release -p bench --bin golden_regen
+//! ```
+//!
+//! The fixtures pin the JSONL byte format and the metrics snapshot render
+//! for a fixed-seed campaign; `crates/measure/tests/golden_output.rs`
+//! asserts the hot path reproduces them byte-for-byte.
+
+use measure::{Campaign, CampaignConfig};
+
+fn main() {
+    let entries = [
+        "dns.google",
+        "dns.quad9.net",
+        "doh.ffmuc.net",
+        "chewbacca.meganerd.nl",
+    ]
+    .into_iter()
+    .map(|h| catalog::resolvers::find(h).unwrap())
+    .collect();
+    let result = Campaign::with_resolvers(CampaignConfig::quick(4, 3), entries).run();
+    let dir = std::path::Path::new("crates/measure/tests/golden");
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("campaign_seed4.jsonl"), result.to_json_lines()).unwrap();
+    std::fs::write(
+        dir.join("campaign_seed4.metrics.txt"),
+        result.metrics().render(),
+    )
+    .unwrap();
+    eprintln!("wrote {} records", result.records.len());
+}

@@ -263,8 +263,8 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     for r in &result.records {
         summary.observe(r);
         match &r.outcome {
-            ProbeOutcome::Success { .. } => ledger.success(&r.resolver),
-            ProbeOutcome::Failure { kind, .. } => ledger.error(&r.resolver, kind.label()),
+            ProbeOutcome::Success { .. } => ledger.success(r.resolver()),
+            ProbeOutcome::Failure { kind, .. } => ledger.error(r.resolver(), kind.label()),
         }
     }
 

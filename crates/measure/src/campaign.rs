@@ -5,11 +5,18 @@
 //! Determinism under parallelism: every (vantage, resolver) pair gets its
 //! own RNG stream derived from the master seed and its labels, and its own
 //! simulated resolver state, so results do not depend on thread scheduling.
-//! Records are sorted into canonical order before being returned.
+//! Each pair emits its records already in canonical order, and the pair
+//! streams are combined by a stable k-way merge keyed on precomputed
+//! integer ranks — output is identical at any thread count without ever
+//! sorting the full record vector, and without a single string comparison
+//! on the merge path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use dns_wire::Name;
 use netsim::rng::SimRng;
-use obs::{MetricsRegistry, MetricsSnapshot, Phase};
+use obs::{Label, MetricsRegistry, MetricsSnapshot, Phase};
 
 use crate::config::CampaignConfig;
 use crate::probe::{ProbeTarget, Prober};
@@ -41,15 +48,25 @@ impl CampaignResult {
     }
 
     /// Serialises all records as JSON Lines — the tool's output format.
+    ///
+    /// Streams every record straight into one output buffer (no
+    /// intermediate JSON tree); byte-identical to serialising each record
+    /// through [`ProbeRecord::to_json`], as pinned by the golden-file test.
     pub fn to_json_lines(&self) -> String {
-        let values: Vec<crate::json::Json> = self.records.iter().map(|r| r.to_json()).collect();
-        crate::json::to_json_lines(values.iter())
+        // ~470 bytes per rendered record; reserving up front keeps buffer
+        // growth out of the per-record loop.
+        let mut out = String::with_capacity(self.records.len() * 480);
+        for r in &self.records {
+            r.write_json_line(&mut out);
+            out.push('\n');
+        }
+        out
     }
 
     /// Builds the resolver × vantage × protocol metrics snapshot for this
-    /// campaign. Records are already in canonical order and the registry
-    /// iterates its cells sorted, so two same-seed campaigns export
-    /// byte-identical snapshots.
+    /// campaign. Records are already in canonical order and the snapshot
+    /// sorts its cells, so two same-seed campaigns export byte-identical
+    /// snapshots.
     pub fn metrics(&self) -> MetricsSnapshot {
         metrics_of(&self.records)
     }
@@ -65,58 +82,144 @@ impl CampaignResult {
     }
 }
 
+/// Folds one probe record into a metrics registry. Allocation-free per
+/// record once the record's cell and error entries exist: the cell lookup
+/// hashes three interned label ids and every tally is a counter bump or a
+/// fixed-bucket histogram observation.
+pub fn observe_record(registry: &mut MetricsRegistry, r: &ProbeRecord) {
+    let cell = registry.cell_interned(r.resolver_id(), r.vantage_id(), r.protocol.interned_label());
+    cell.probes.inc();
+    match &r.outcome {
+        ProbeOutcome::Success {
+            timings, cache_hit, ..
+        } => {
+            cell.successes.inc();
+            if *cache_hit {
+                cell.cache_hits.inc();
+            }
+            let ms = timings.total().as_millis_f64();
+            cell.response_ms.observe(ms);
+            cell.last_response_ms.set(ms);
+            for p in Phase::ALL {
+                cell.phase(p).observe(timings.phase(p).as_millis_f64());
+            }
+        }
+        ProbeOutcome::Failure { kind, .. } => {
+            // Keyed by the kind's static label: no per-failure allocation.
+            *cell.errors.entry(kind.label()).or_insert(0) += 1;
+        }
+    }
+    if let Some(p) = r.ping {
+        cell.ping_ms.observe(p.as_millis_f64());
+    }
+}
+
 /// Builds a metrics snapshot from probe records: counters per cell, error
 /// tallies by label, and latency histograms for responses, pings and each
 /// of the six probe phases.
 pub fn metrics_of(records: &[ProbeRecord]) -> MetricsSnapshot {
     let mut registry = MetricsRegistry::new();
     for r in records {
-        let cell = registry.cell(&r.resolver, &r.vantage, r.protocol.label());
-        cell.probes.inc();
-        match &r.outcome {
-            ProbeOutcome::Success {
-                timings, cache_hit, ..
-            } => {
-                cell.successes.inc();
-                if *cache_hit {
-                    cell.cache_hits.inc();
-                }
-                let ms = timings.total().as_millis_f64();
-                cell.response_ms.observe(ms);
-                cell.last_response_ms.set(ms);
-                for p in Phase::ALL {
-                    cell.phase(p).observe(timings.phase(p).as_millis_f64());
-                }
-            }
-            ProbeOutcome::Failure { kind, .. } => {
-                *cell.errors.entry(kind.label().to_string()).or_insert(0) += 1;
-            }
-        }
-        if let Some(p) = r.ping {
-            cell.ping_ms.observe(p.as_millis_f64());
-        }
+        observe_record(&mut registry, r);
     }
     registry.snapshot()
 }
 
+/// One queried domain, parsed and interned once per campaign.
+#[derive(Debug, Clone)]
+struct CampaignDomain {
+    label: Label,
+    name: Name,
+}
+
+/// One (vantage, resolver) unit of work, with its interned labels and its
+/// rank in the canonical (vantage, resolver) string order.
+#[derive(Debug, Clone)]
+struct PairPlan {
+    vantage: Vantage,
+    entry: catalog::ResolverEntry,
+    vantage_label: Label,
+    resolver_label: Label,
+    /// Position of this pair when all pairs are sorted by
+    /// (vantage label, resolver hostname) — the merge compares this
+    /// integer instead of the two strings.
+    order: u32,
+}
+
 /// Runs campaigns over a resolver population.
+#[derive(Debug)]
 pub struct Campaign {
     config: CampaignConfig,
     entries: Vec<catalog::ResolverEntry>,
+    /// The campaign's domains in config (probe) order.
+    domains: Vec<CampaignDomain>,
+    /// Label-index → rank of the domain in sorted-domain order; the merge
+    /// and the per-pair ordering compare these integers instead of domain
+    /// strings.
+    domain_ranks: Vec<u32>,
 }
 
 impl Campaign {
     /// A campaign over the full measured population.
+    ///
+    /// # Panics
+    /// If the configuration is invalid (see [`CampaignConfig::validate`]);
+    /// use [`try_new`](Self::try_new) to handle that gracefully.
     pub fn new(config: CampaignConfig) -> Self {
-        Campaign {
-            config,
-            entries: catalog::resolvers::all(),
-        }
+        Self::try_new(config).expect("invalid campaign config")
+    }
+
+    /// A campaign over the full measured population, validating the
+    /// configuration (domain syntax) up front.
+    pub fn try_new(config: CampaignConfig) -> Result<Self, String> {
+        Self::try_with_resolvers(config, catalog::resolvers::all())
     }
 
     /// A campaign over a chosen subset of resolvers.
+    ///
+    /// # Panics
+    /// If the configuration is invalid (see [`CampaignConfig::validate`]);
+    /// use [`try_with_resolvers`](Self::try_with_resolvers) to handle that
+    /// gracefully.
     pub fn with_resolvers(config: CampaignConfig, entries: Vec<catalog::ResolverEntry>) -> Self {
-        Campaign { config, entries }
+        Self::try_with_resolvers(config, entries).expect("invalid campaign config")
+    }
+
+    /// A campaign over a chosen subset of resolvers, validating the
+    /// configuration (domain syntax) up front. Domains are parsed and
+    /// interned exactly once here — not once per (vantage, resolver) pair.
+    pub fn try_with_resolvers(
+        config: CampaignConfig,
+        entries: Vec<catalog::ResolverEntry>,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let domains: Vec<CampaignDomain> = config
+            .domains
+            .iter()
+            .map(|d| CampaignDomain {
+                label: Label::intern(d),
+                // validate() proved every domain parses.
+                name: Name::parse(d).expect("validated domain"),
+            })
+            .collect();
+        let mut sorted: Vec<Label> = domains.iter().map(|d| d.label).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let table = domains
+            .iter()
+            .map(|d| d.label.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut domain_ranks = vec![u32::MAX; table];
+        for (rank, label) in sorted.iter().enumerate() {
+            domain_ranks[label.index()] = rank as u32;
+        }
+        Ok(Campaign {
+            config,
+            entries,
+            domains,
+            domain_ranks,
+        })
     }
 
     /// The number of probes this campaign will issue.
@@ -124,61 +227,99 @@ impl Campaign {
         self.config.probe_count(self.entries.len())
     }
 
+    fn domain_rank(&self, label: Label) -> u32 {
+        self.domain_ranks
+            .get(label.index())
+            .copied()
+            .unwrap_or(u32::MAX)
+    }
+
     /// Runs every probe on the calling thread.
     pub fn run(&self) -> CampaignResult {
-        let pairs = self.pairs();
-        let mut records = Vec::with_capacity(self.probe_count());
-        for (vantage, entry) in &pairs {
-            records.extend(self.run_pair(vantage, entry));
+        let plans = self.pair_plans();
+        let outputs: Vec<Vec<ProbeRecord>> = plans.iter().map(|p| self.run_pair(p)).collect();
+        CampaignResult {
+            records: self.merge_pairs(outputs, &plans),
+            seed: self.config.seed,
         }
-        Self::finish(records, self.config.seed)
     }
 
     /// Runs the campaign across `threads` worker threads (deterministic —
-    /// identical output to [`run`](Self::run)).
+    /// identical output to [`run`](Self::run) at any thread count).
     pub fn run_parallel(&self, threads: usize) -> CampaignResult {
-        let pairs = self.pairs();
-        let threads = threads.max(1).min(pairs.len().max(1));
+        let plans = self.pair_plans();
+        let threads = threads.max(1).min(plans.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut buckets: Vec<Vec<ProbeRecord>> = Vec::new();
+        let mut outputs: Vec<Vec<ProbeRecord>> = Vec::new();
+        outputs.resize_with(plans.len(), Vec::new);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
-                let pairs = &pairs;
+                let plans = &plans;
                 let next = &next;
                 handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
+                    // Each worker returns (pair_index, records): where a
+                    // pair ran never affects where its records land.
+                    let mut out: Vec<(usize, Vec<ProbeRecord>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= pairs.len() {
+                        if i >= plans.len() {
                             break;
                         }
-                        let (vantage, entry) = &pairs[i];
-                        out.extend(self.run_pair(vantage, entry));
+                        out.push((i, self.run_pair(&plans[i])));
                     }
                     out
                 }));
             }
             for h in handles {
-                buckets.push(h.join().expect("campaign worker panicked"));
+                for (i, records) in h.join().expect("campaign worker panicked") {
+                    outputs[i] = records;
+                }
             }
         });
-        Self::finish(buckets.into_iter().flatten().collect(), self.config.seed)
+        CampaignResult {
+            records: self.merge_pairs(outputs, &plans),
+            seed: self.config.seed,
+        }
     }
 
-    fn pairs(&self) -> Vec<(Vantage, catalog::ResolverEntry)> {
+    /// Every (vantage, resolver) pair with its interned labels and merge
+    /// rank.
+    fn pair_plans(&self) -> Vec<PairPlan> {
         let vantages = self.config.vantages();
-        let mut out = Vec::with_capacity(vantages.len() * self.entries.len());
+        let mut plans = Vec::with_capacity(vantages.len() * self.entries.len());
         for v in &vantages {
+            let vantage_label = Label::from_static(v.label);
             for e in &self.entries {
-                out.push((v.clone(), e.clone()));
+                plans.push(PairPlan {
+                    vantage: v.clone(),
+                    entry: e.clone(),
+                    vantage_label,
+                    resolver_label: Label::from_static(e.hostname),
+                    order: 0,
+                });
             }
         }
-        out
+        // Rank pairs by their (vantage, resolver) strings once; the merge
+        // then compares only these integers. Stable sort keeps duplicate
+        // pairs in schedule order, mirroring the stable global sort the
+        // merge replaces.
+        let mut by_key: Vec<usize> = (0..plans.len()).collect();
+        by_key.sort_by(|&a, &b| {
+            (plans[a].vantage.label, plans[a].entry.hostname)
+                .cmp(&(plans[b].vantage.label, plans[b].entry.hostname))
+        });
+        for (rank, idx) in by_key.into_iter().enumerate() {
+            plans[idx].order = rank as u32;
+        }
+        plans
     }
 
-    /// Runs the full probe series for one (vantage, resolver) pair.
-    fn run_pair(&self, vantage: &Vantage, entry: &catalog::ResolverEntry) -> Vec<ProbeRecord> {
+    /// Runs the full probe series for one (vantage, resolver) pair,
+    /// returning its records in canonical (time, domain) order.
+    fn run_pair(&self, plan: &PairPlan) -> Vec<ProbeRecord> {
+        let vantage = &plan.vantage;
+        let entry = &plan.entry;
         let prober = Prober::new();
         let mut target = ProbeTarget::from_entry(entry.clone());
         let mut rng = SimRng::derived(
@@ -187,12 +328,6 @@ impl Campaign {
         );
         let client = vantage.host(0);
         let is_home = vantage.is_home();
-        let domains: Vec<Name> = self
-            .config
-            .domains
-            .iter()
-            .map(|d| Name::parse(d).expect("valid domain"))
-            .collect();
 
         let mut records = Vec::new();
         for span in &self.config.spans {
@@ -200,43 +335,91 @@ impl Campaign {
                 continue;
             }
             for at in span.round_times() {
-                for (domain_text, domain) in self.config.domains.iter().zip(&domains) {
+                for domain in &self.domains {
                     let (outcome, ping) = prober.probe(
                         &client,
                         &mut target,
-                        domain,
+                        &domain.name,
                         at,
                         is_home,
                         self.config.probe,
                         &mut rng,
                     );
-                    records.push(ProbeRecord {
+                    records.push(ProbeRecord::new(
                         at,
-                        vantage: vantage.label.to_string(),
-                        resolver: entry.hostname.to_string(),
-                        resolver_region: entry.region(),
-                        mainstream: entry.mainstream,
-                        domain: domain_text.clone(),
-                        protocol: self.config.probe.protocol,
+                        plan.vantage_label,
+                        plan.resolver_label,
+                        entry.region(),
+                        entry.mainstream,
+                        domain.label,
+                        self.config.probe.protocol,
                         outcome,
                         ping,
-                    });
+                    ));
                 }
             }
         }
+        // Probes run in schedule order (the RNG stream depends on it);
+        // canonical order only differs by the within-round domain
+        // permutation, so this stable integer-keyed sort is near-free.
+        records.sort_by_cached_key(|r| (r.at, self.domain_rank(r.domain_id())));
         records
     }
 
-    fn finish(mut records: Vec<ProbeRecord>, seed: u64) -> CampaignResult {
-        records.sort_by(|a, b| {
-            (a.at, &a.vantage, &a.resolver, &a.domain).cmp(&(
-                b.at,
-                &b.vantage,
-                &b.resolver,
-                &b.domain,
-            ))
-        });
-        CampaignResult { records, seed }
+    /// Stable k-way merge of per-pair record streams into canonical
+    /// (time, vantage, resolver, domain) order. Each stream is already
+    /// sorted, so the merge is O(n log pairs) integer-tuple comparisons —
+    /// no global sort, no string comparison, no record is copied twice.
+    fn merge_pairs(&self, outputs: Vec<Vec<ProbeRecord>>, plans: &[PairPlan]) -> Vec<ProbeRecord> {
+        debug_assert_eq!(outputs.len(), plans.len());
+        let total: usize = outputs.iter().map(Vec::len).sum();
+        let mut merged = Vec::with_capacity(total);
+
+        struct Cursor {
+            head: Option<ProbeRecord>,
+            rest: std::vec::IntoIter<ProbeRecord>,
+        }
+        let mut cursors: Vec<Cursor> = outputs
+            .into_iter()
+            .map(|records| {
+                let mut rest = records.into_iter();
+                Cursor {
+                    head: rest.next(),
+                    rest,
+                }
+            })
+            .collect();
+
+        // Min-heap keyed by (time, pair rank, domain rank, pair index).
+        // The pair index both addresses the cursor and breaks exact-key
+        // ties in schedule order (stability).
+        let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u32)>> =
+            BinaryHeap::with_capacity(cursors.len());
+        for (i, c) in cursors.iter().enumerate() {
+            if let Some(r) = &c.head {
+                heap.push(Reverse((
+                    r.at.as_nanos(),
+                    plans[i].order,
+                    self.domain_rank(r.domain_id()),
+                    i as u32,
+                )));
+            }
+        }
+        while let Some(Reverse((_, order, _, i))) = heap.pop() {
+            let cursor = &mut cursors[i as usize];
+            let record = cursor.head.take().expect("heap entry without record");
+            cursor.head = cursor.rest.next();
+            if let Some(r) = &cursor.head {
+                heap.push(Reverse((
+                    r.at.as_nanos(),
+                    order,
+                    self.domain_rank(r.domain_id()),
+                    i,
+                )));
+            }
+            merged.push(record);
+        }
+        merged
     }
 }
 
@@ -286,8 +469,8 @@ mod tests {
     fn records_are_canonically_ordered() {
         let result = small_campaign(3).run();
         for w in result.records.windows(2) {
-            let ka = (w[0].at, &w[0].vantage, &w[0].resolver, &w[0].domain);
-            let kb = (w[1].at, &w[1].vantage, &w[1].resolver, &w[1].domain);
+            let ka = (w[0].at, w[0].vantage(), w[0].resolver(), w[0].domain());
+            let kb = (w[1].at, w[1].vantage(), w[1].resolver(), w[1].domain());
             assert!(ka <= kb);
         }
     }
@@ -310,6 +493,21 @@ mod tests {
             vec![catalog::resolvers::find("dns.google").unwrap()],
         );
         let result = c.run();
-        assert!(result.records.iter().all(|r| r.vantage.starts_with("ec2-")));
+        assert!(result
+            .records
+            .iter()
+            .all(|r| r.vantage().starts_with("ec2-")));
+    }
+
+    #[test]
+    fn invalid_domain_is_rejected_at_construction() {
+        let mut config = CampaignConfig::quick(1, 1);
+        config.domains.push("not..a.domain".to_string());
+        let err = Campaign::try_with_resolvers(
+            config,
+            vec![catalog::resolvers::find("dns.google").unwrap()],
+        )
+        .unwrap_err();
+        assert!(err.contains("not..a.domain"), "{err}");
     }
 }

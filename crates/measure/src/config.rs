@@ -146,6 +146,25 @@ impl CampaignConfig {
         labels.into_iter().filter_map(vantage::find).collect()
     }
 
+    /// Validates the configuration up front, so malformed input surfaces
+    /// as one clear error at campaign construction instead of a panic deep
+    /// inside a probe loop. Checks that every domain parses as a DNS name
+    /// and that at least one domain and span are present.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.domains.is_empty() {
+            return Err("campaign config has no domains".to_string());
+        }
+        for d in &self.domains {
+            if let Err(e) = dns_wire::Name::parse(d) {
+                return Err(format!("invalid domain {d:?}: {e}"));
+            }
+        }
+        if self.spans.is_empty() {
+            return Err("campaign config has no measurement spans".to_string());
+        }
+        Ok(())
+    }
+
     /// Total probes this configuration will issue, given `resolvers`
     /// resolvers.
     pub fn probe_count(&self, resolvers: usize) -> usize {
@@ -211,6 +230,27 @@ mod tests {
         let mut c = CampaignConfig::quick(1, 1);
         c.spans.push(c.spans[0].clone());
         assert_eq!(c.vantages().len(), 7);
+    }
+
+    #[test]
+    fn validate_accepts_standard_configs() {
+        assert_eq!(CampaignConfig::paper(1).validate(), Ok(()));
+        assert_eq!(CampaignConfig::quick(1, 2).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_domains_and_empty_configs() {
+        let mut c = CampaignConfig::quick(1, 1);
+        c.domains.push("bad..domain".to_string());
+        assert!(c.validate().unwrap_err().contains("bad..domain"));
+
+        let mut c = CampaignConfig::quick(1, 1);
+        c.domains.clear();
+        assert!(c.validate().unwrap_err().contains("no domains"));
+
+        let mut c = CampaignConfig::quick(1, 1);
+        c.spans.clear();
+        assert!(c.validate().unwrap_err().contains("no measurement spans"));
     }
 
     #[test]

@@ -99,19 +99,7 @@ impl Json {
             Json::Int(i) => {
                 let _ = write!(out, "{i}");
             }
-            Json::Float(f) => {
-                if f.is_finite() {
-                    let _ = write!(out, "{f}");
-                    // Ensure floats stay floats on re-parse (e.g. 3 -> 3.0).
-                    if !out.ends_with(|c: char| !c.is_ascii_digit() && c != '-')
-                        && !out.contains_last_token_dot_or_exp()
-                    {
-                        out.push_str(".0");
-                    }
-                } else {
-                    out.push_str("null"); // JSON has no NaN/Inf
-                }
-            }
+            Json::Float(f) => write_float(out, *f),
             Json::Str(s) => write_escaped(out, s),
             Json::Array(items) => {
                 out.push('[');
@@ -139,6 +127,31 @@ impl Json {
     }
 }
 
+/// Appends one JSON float to `out` exactly as the document model would:
+/// shortest-round-trip formatting with a `.0` suffix when the rendering
+/// would otherwise re-parse as an integer, `null` for non-finite values.
+/// Shared by [`Json::to_string_compact`] and the streaming record writer so
+/// the two paths are byte-identical by construction.
+pub fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f}");
+        // Ensure floats stay floats on re-parse (e.g. 3 -> 3.0).
+        if !out.ends_with(|c: char| !c.is_ascii_digit() && c != '-')
+            && !out.contains_last_token_dot_or_exp()
+        {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null"); // JSON has no NaN/Inf
+    }
+}
+
+/// Appends one JSON string literal (quotes and escapes included) to `out`.
+/// Shared by the document model and the streaming record writer.
+pub fn write_str(out: &mut String, s: &str) {
+    write_escaped(out, s);
+}
+
 /// Helper trait so `write` above can check whether the last numeric token
 /// already contains a '.' or exponent (to append `.0` only when needed).
 trait LastTokenCheck {
@@ -147,14 +160,17 @@ trait LastTokenCheck {
 
 impl LastTokenCheck for String {
     fn contains_last_token_dot_or_exp(&self) -> bool {
-        let tail: String = self
-            .chars()
-            .rev()
-            .take_while(|c| {
-                c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' || *c == '+'
-            })
-            .collect();
-        tail.contains('.') || tail.contains('e') || tail.contains('E')
+        // Scan the trailing numeric token in reverse without building a
+        // temporary string — this runs once per float on the hot
+        // serialization path.
+        for &b in self.as_bytes().iter().rev() {
+            match b {
+                b'.' | b'e' | b'E' => return true,
+                b'0'..=b'9' | b'-' | b'+' => continue,
+                _ => return false,
+            }
+        }
+        false
     }
 }
 

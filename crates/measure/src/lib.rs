@@ -35,7 +35,12 @@ pub mod results;
 pub mod summary;
 pub mod vantage;
 
-pub use campaign::{metrics_of, Campaign, CampaignResult};
+/// The label interner the measurement stack's hot path is built on
+/// (re-exported from `obs` so callers need only one import path).
+pub use obs::intern;
+pub use obs::Label;
+
+pub use campaign::{metrics_of, observe_record, Campaign, CampaignResult};
 pub use config::{standard_domains, CampaignConfig, Span};
 pub use errors::ProbeErrorKind;
 pub use probe::{ProbeConfig, ProbeTarget, Prober};

@@ -2,7 +2,7 @@
 //! writes to its output file.
 
 use netsim::{Region, SimDuration, SimTime};
-use obs::Phase;
+use obs::{Label, Phase};
 
 use crate::errors::ProbeErrorKind;
 use crate::json::Json;
@@ -44,6 +44,28 @@ impl Protocol {
             "odoh" => Protocol::ODoH,
             _ => return None,
         })
+    }
+
+    /// The interned form of [`label`](Self::label) — allocation-free after
+    /// the first call, for metrics-cell lookups on the hot path.
+    pub fn interned_label(self) -> Label {
+        static LABELS: std::sync::OnceLock<[Label; 5]> = std::sync::OnceLock::new();
+        let labels = LABELS.get_or_init(|| {
+            [
+                Label::from_static("do53"),
+                Label::from_static("dot"),
+                Label::from_static("doh"),
+                Label::from_static("doq"),
+                Label::from_static("odoh"),
+            ]
+        });
+        labels[match self {
+            Protocol::Do53 => 0,
+            Protocol::DoT => 1,
+            Protocol::DoH => 2,
+            Protocol::DoQ => 3,
+            Protocol::ODoH => 4,
+        }]
     }
 }
 
@@ -178,20 +200,26 @@ impl ProbeOutcome {
 }
 
 /// One complete record, as written to the results file.
+///
+/// The three textual coordinates — vantage, resolver, domain — are stored
+/// as interned [`Label`]s (4 bytes each, `Copy`), so constructing, cloning
+/// and comparing records never touches the heap. String views come from
+/// the [`vantage`](Self::vantage) / [`resolver`](Self::resolver) /
+/// [`domain`](Self::domain) accessors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProbeRecord {
     /// Simulated timestamp of the probe.
     pub at: SimTime,
     /// Vantage label, e.g. `"ec2-ohio"`.
-    pub vantage: String,
+    pub(crate) vantage: Label,
     /// Resolver hostname.
-    pub resolver: String,
+    pub(crate) resolver: Label,
     /// The resolver's geolocated region.
     pub resolver_region: Region,
     /// Whether the resolver is a browser default.
     pub mainstream: bool,
     /// Queried domain.
-    pub domain: String,
+    pub(crate) domain: Label,
     /// Protocol used.
     pub protocol: Protocol,
     /// Outcome.
@@ -234,18 +262,204 @@ fn region_from_label(s: &str) -> Option<Region> {
 }
 
 impl ProbeRecord {
+    /// Builds a record from interned coordinate labels. Allocation-free.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        at: SimTime,
+        vantage: Label,
+        resolver: Label,
+        resolver_region: Region,
+        mainstream: bool,
+        domain: Label,
+        protocol: Protocol,
+        outcome: ProbeOutcome,
+        ping: Option<SimDuration>,
+    ) -> ProbeRecord {
+        ProbeRecord {
+            at,
+            vantage,
+            resolver,
+            resolver_region,
+            mainstream,
+            domain,
+            protocol,
+            outcome,
+            ping,
+        }
+    }
+
+    /// Vantage label, e.g. `"ec2-ohio"`.
+    pub fn vantage(&self) -> &'static str {
+        self.vantage.as_str()
+    }
+
+    /// Resolver hostname.
+    pub fn resolver(&self) -> &'static str {
+        self.resolver.as_str()
+    }
+
+    /// Queried domain.
+    pub fn domain(&self) -> &'static str {
+        self.domain.as_str()
+    }
+
+    /// The interned vantage label.
+    pub fn vantage_id(&self) -> Label {
+        self.vantage
+    }
+
+    /// The interned resolver hostname.
+    pub fn resolver_id(&self) -> Label {
+        self.resolver
+    }
+
+    /// The interned domain.
+    pub fn domain_id(&self) -> Label {
+        self.domain
+    }
+
+    /// Appends this record's JSON-Lines rendering (no trailing newline) to
+    /// a caller-owned buffer. Byte-identical to
+    /// `self.to_json().to_string_compact()` — the keys below are exactly
+    /// the document model's sorted key order — but with zero intermediate
+    /// tree: once `out` has warmed up, serialising a record performs no
+    /// heap allocation (asserted by `tests/serialize_alloc.rs`).
+    pub fn write_json_line(&self, out: &mut String) {
+        fn key(out: &mut String, first: bool, k: &str) {
+            if !first {
+                out.push(',');
+            }
+            crate::json::write_str(out, k);
+            out.push(':');
+        }
+        fn float_field(out: &mut String, first: bool, k: &str, v: f64) {
+            key(out, first, k);
+            crate::json::write_float(out, v);
+        }
+        fn str_field(out: &mut String, first: bool, k: &str, v: &str) {
+            key(out, first, k);
+            crate::json::write_str(out, v);
+        }
+        fn bool_field(out: &mut String, first: bool, k: &str, v: bool) {
+            key(out, first, k);
+            out.push_str(if v { "true" } else { "false" });
+        }
+
+        out.push('{');
+        match &self.outcome {
+            ProbeOutcome::Success {
+                timings,
+                cache_hit,
+                site,
+            } => {
+                bool_field(out, true, "cache_hit", *cache_hit);
+                float_field(out, false, "connect_ms", timings.connect.as_millis_f64());
+                str_field(out, false, "domain", self.domain());
+                bool_field(out, false, "mainstream", self.mainstream);
+                key(out, false, "phases");
+                out.push('{');
+                // The phases object in its sorted key order.
+                float_field(out, true, "connect_ms", timings.connect.as_millis_f64());
+                float_field(
+                    out,
+                    false,
+                    "dns_decode_ms",
+                    timings.dns_decode.as_millis_f64(),
+                );
+                float_field(
+                    out,
+                    false,
+                    "dns_encode_ms",
+                    timings.dns_encode.as_millis_f64(),
+                );
+                float_field(
+                    out,
+                    false,
+                    "http_exchange_ms",
+                    timings.http_exchange.as_millis_f64(),
+                );
+                float_field(
+                    out,
+                    false,
+                    "server_processing_ms",
+                    timings.server_processing.as_millis_f64(),
+                );
+                float_field(
+                    out,
+                    false,
+                    "tls_handshake_ms",
+                    timings.tls_handshake.as_millis_f64(),
+                );
+                out.push('}');
+                match self.ping {
+                    Some(p) => float_field(out, false, "ping_ms", p.as_millis_f64()),
+                    None => {
+                        key(out, false, "ping_ms");
+                        out.push_str("null");
+                    }
+                }
+                str_field(out, false, "protocol", self.protocol.label());
+                float_field(out, false, "query_ms", timings.exchange().as_millis_f64());
+                str_field(out, false, "resolver", self.resolver());
+                str_field(
+                    out,
+                    false,
+                    "resolver_region",
+                    region_label(self.resolver_region),
+                );
+                float_field(out, false, "response_ms", timings.total().as_millis_f64());
+                float_field(
+                    out,
+                    false,
+                    "secure_ms",
+                    timings.tls_handshake.as_millis_f64(),
+                );
+                key(out, false, "site");
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{}", *site as i64));
+                bool_field(out, false, "success", true);
+                float_field(out, false, "ts_ms", self.at.as_millis_f64());
+                str_field(out, false, "vantage", self.vantage());
+            }
+            ProbeOutcome::Failure { kind, elapsed } => {
+                str_field(out, true, "domain", self.domain());
+                float_field(out, false, "elapsed_ms", elapsed.as_millis_f64());
+                str_field(out, false, "error", kind.label());
+                bool_field(out, false, "mainstream", self.mainstream);
+                match self.ping {
+                    Some(p) => float_field(out, false, "ping_ms", p.as_millis_f64()),
+                    None => {
+                        key(out, false, "ping_ms");
+                        out.push_str("null");
+                    }
+                }
+                str_field(out, false, "protocol", self.protocol.label());
+                str_field(out, false, "resolver", self.resolver());
+                str_field(
+                    out,
+                    false,
+                    "resolver_region",
+                    region_label(self.resolver_region),
+                );
+                bool_field(out, false, "success", false);
+                float_field(out, false, "ts_ms", self.at.as_millis_f64());
+                str_field(out, false, "vantage", self.vantage());
+            }
+        }
+        out.push('}');
+    }
+
     /// Serialises to the tool's JSON record shape.
     pub fn to_json(&self) -> Json {
         let mut pairs: Vec<(&'static str, Json)> = vec![
             ("ts_ms", Json::Float(self.at.as_millis_f64())),
-            ("vantage", Json::Str(self.vantage.clone())),
-            ("resolver", Json::Str(self.resolver.clone())),
+            ("vantage", Json::Str(self.vantage().to_string())),
+            ("resolver", Json::Str(self.resolver().to_string())),
             (
                 "resolver_region",
                 Json::Str(region_label(self.resolver_region).to_string()),
             ),
             ("mainstream", Json::Bool(self.mainstream)),
-            ("domain", Json::Str(self.domain.clone())),
+            ("domain", Json::Str(self.domain().to_string())),
             ("protocol", Json::Str(self.protocol.label().to_string())),
         ];
         match &self.outcome {
@@ -332,11 +546,11 @@ impl ProbeRecord {
         };
         Some(ProbeRecord {
             at,
-            vantage: v.get("vantage")?.as_str()?.to_string(),
-            resolver: v.get("resolver")?.as_str()?.to_string(),
+            vantage: Label::intern(v.get("vantage")?.as_str()?),
+            resolver: Label::intern(v.get("resolver")?.as_str()?),
             resolver_region: region_from_label(v.get("resolver_region")?.as_str()?)?,
             mainstream: v.get("mainstream")?.as_bool()?,
-            domain: v.get("domain")?.as_str()?.to_string(),
+            domain: Label::intern(v.get("domain")?.as_str()?),
             protocol: Protocol::from_label(v.get("protocol")?.as_str()?)?,
             outcome,
             ping,
@@ -351,11 +565,11 @@ mod tests {
     fn success_record() -> ProbeRecord {
         ProbeRecord {
             at: SimTime::from_nanos(1_500_000_000),
-            vantage: "ec2-ohio".into(),
-            resolver: "dns.google".into(),
+            vantage: Label::from_static("ec2-ohio"),
+            resolver: Label::from_static("dns.google"),
             resolver_region: Region::NorthAmerica,
             mainstream: true,
-            domain: "google.com".into(),
+            domain: Label::from_static("google.com"),
             protocol: Protocol::DoH,
             outcome: ProbeOutcome::Success {
                 timings: ProbeTimings {
@@ -376,11 +590,11 @@ mod tests {
     fn failure_record() -> ProbeRecord {
         ProbeRecord {
             at: SimTime::from_nanos(2_000_000_000),
-            vantage: "home-1".into(),
-            resolver: "chewbacca.meganerd.nl".into(),
+            vantage: Label::from_static("home-1"),
+            resolver: Label::from_static("chewbacca.meganerd.nl"),
             resolver_region: Region::Europe,
             mainstream: false,
-            domain: "amazon.com".into(),
+            domain: Label::from_static("amazon.com"),
             protocol: Protocol::DoH,
             outcome: ProbeOutcome::Failure {
                 kind: ProbeErrorKind::ConnectTimeout,
@@ -508,6 +722,32 @@ mod tests {
         );
         assert_eq!(t.http_exchange, SimDuration::ZERO);
         assert_eq!(t.server_processing, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn streaming_writer_matches_tree_writer() {
+        for r in [success_record(), failure_record()] {
+            let mut streamed = String::new();
+            r.write_json_line(&mut streamed);
+            assert_eq!(streamed, r.to_json().to_string_compact());
+        }
+        // A success record without a ping exercises the null branch.
+        let mut r = success_record();
+        r.ping = None;
+        let mut streamed = String::new();
+        r.write_json_line(&mut streamed);
+        assert_eq!(streamed, r.to_json().to_string_compact());
+    }
+
+    #[test]
+    fn accessors_resolve_interned_labels() {
+        let r = success_record();
+        assert_eq!(r.vantage(), "ec2-ohio");
+        assert_eq!(r.resolver(), "dns.google");
+        assert_eq!(r.domain(), "google.com");
+        assert_eq!(r.vantage_id().as_str(), "ec2-ohio");
+        assert_eq!(r.resolver_id(), obs::Label::intern("dns.google"));
+        assert_eq!(r.domain_id(), obs::Label::intern("google.com"));
     }
 
     #[test]

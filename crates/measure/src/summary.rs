@@ -6,6 +6,7 @@
 use std::collections::BTreeMap;
 
 use edns_stats::{P2Quantile, RunningMoments};
+use obs::Label;
 
 use crate::results::{ProbeOutcome, ProbeRecord};
 
@@ -51,10 +52,12 @@ impl CellStats {
     }
 }
 
-/// One-pass analyzer over probe records.
+/// One-pass analyzer over probe records. Cells are keyed by interned
+/// labels ([`Label`] orders like its string), so observing a record
+/// allocates nothing once its cell exists.
 #[derive(Debug, Default)]
 pub struct StreamingSummary {
-    cells: BTreeMap<(String, String), CellStats>,
+    cells: BTreeMap<(Label, Label), CellStats>,
 }
 
 impl StreamingSummary {
@@ -65,7 +68,7 @@ impl StreamingSummary {
 
     /// Consumes one record.
     pub fn observe(&mut self, record: &ProbeRecord) {
-        let key = (record.vantage.clone(), record.resolver.clone());
+        let key = (record.vantage_id(), record.resolver_id());
         let cell = self.cells.entry(key).or_default();
         match &record.outcome {
             ProbeOutcome::Success { timings, .. } => {
@@ -99,9 +102,11 @@ impl StreamingSummary {
         self.cells.is_empty()
     }
 
-    /// The cell for (vantage, resolver), if populated.
+    /// The cell for (vantage, resolver), if populated. Never interns:
+    /// labels this summary has not seen cannot name a populated cell.
     pub fn cell(&self, vantage: &str, resolver: &str) -> Option<&CellStats> {
-        self.cells.get(&(vantage.to_string(), resolver.to_string()))
+        let key = (Label::find(vantage)?, Label::find(resolver)?);
+        self.cells.get(&key)
     }
 
     /// Iterates `(vantage, resolver, stats)` in key order.
@@ -141,7 +146,7 @@ mod tests {
         let batch: Vec<f64> = result
             .records
             .iter()
-            .filter(|r| r.vantage == "ec2-ohio" && r.resolver == "dns.google")
+            .filter(|r| r.vantage() == "ec2-ohio" && r.resolver() == "dns.google")
             .filter_map(|r| r.outcome.response_time())
             .map(|d| d.as_millis_f64())
             .collect();

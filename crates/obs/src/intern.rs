@@ -1,0 +1,187 @@
+//! A process-wide label interner for the measurement stack's small, hot
+//! label vocabularies — vantage labels, resolver hostnames, queried
+//! domains, protocol and error-kind labels.
+//!
+//! Every distinct label string is stored exactly once (leaked, so lookups
+//! hand back `&'static str` with no lifetime plumbing) and is represented
+//! everywhere else by a copyable 4-byte [`Label`]. Interning a label that
+//! has already been seen allocates nothing: it is one read-locked hash
+//! lookup. Resolving a [`Label`] back to its string is one read-locked
+//! vector index. The table only ever grows, and its size is bounded by the
+//! number of *distinct* labels a process touches (a few hundred for a
+//! paper-scale campaign), not by record count.
+//!
+//! Equality compares ids. The [`Ord`] impl compares the *resolved strings*,
+//! so `Label` sorts exactly like the label text it stands for — canonical
+//! orderings built on labels match the string orderings the output formats
+//! promise. Hot paths that sort millions of keys should not lean on this
+//! `Ord`; they precompute dense integer ranks once per campaign (see
+//! `measure::campaign`) and compare those.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned label: a 4-byte handle to a process-wide string table.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({:?})", self.as_str())
+    }
+}
+
+struct Store {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn store() -> &'static RwLock<Store> {
+    static STORE: OnceLock<RwLock<Store>> = OnceLock::new();
+    STORE.get_or_init(|| {
+        RwLock::new(Store {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Interns `s`, copying (and leaking) it only the first time this
+    /// process sees it. Re-interning an existing label is allocation-free.
+    pub fn intern(s: &str) -> Label {
+        if let Some(l) = Label::find(s) {
+            return l;
+        }
+        let mut st = store().write().expect("interner poisoned");
+        if let Some(&i) = st.by_name.get(s) {
+            return Label(i);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        Self::insert(&mut st, leaked)
+    }
+
+    /// Interns a string that is already `'static`, avoiding the copy.
+    pub fn from_static(s: &'static str) -> Label {
+        if let Some(l) = Label::find(s) {
+            return l;
+        }
+        let mut st = store().write().expect("interner poisoned");
+        if let Some(&i) = st.by_name.get(s) {
+            return Label(i);
+        }
+        Self::insert(&mut st, s)
+    }
+
+    fn insert(st: &mut Store, name: &'static str) -> Label {
+        let i = u32::try_from(st.names.len()).expect("label table overflow");
+        st.names.push(name);
+        st.by_name.insert(name, i);
+        Label(i)
+    }
+
+    /// The label for `s`, if some code path has already interned it.
+    /// Never inserts, never allocates.
+    pub fn find(s: &str) -> Option<Label> {
+        store()
+            .read()
+            .expect("interner poisoned")
+            .by_name
+            .get(s)
+            .map(|&i| Label(i))
+    }
+
+    /// The interned string. Allocation-free (one read-locked index).
+    pub fn as_str(self) -> &'static str {
+        store().read().expect("interner poisoned").names[self.0 as usize]
+    }
+
+    /// The label's dense table index — stable for the process lifetime,
+    /// usable as a direct index into side tables (e.g. rank arrays).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    /// Lexicographic order of the resolved strings, so label-keyed maps
+    /// iterate exactly like their string-keyed predecessors.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Label::intern("intern-test-alpha");
+        let b = Label::intern("intern-test-alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "intern-test-alpha");
+        assert_eq!(Label::find("intern-test-alpha"), Some(a));
+    }
+
+    #[test]
+    fn static_and_owned_paths_agree() {
+        let a = Label::from_static("intern-test-static");
+        let b = Label::intern("intern-test-static");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn find_does_not_insert() {
+        assert_eq!(Label::find("intern-test-never-interned-xyzzy"), None);
+    }
+
+    #[test]
+    fn order_matches_string_order() {
+        let mut labels = [
+            Label::intern("intern-ord-c"),
+            Label::intern("intern-ord-a"),
+            Label::intern("intern-ord-b"),
+        ];
+        labels.sort();
+        let strs: Vec<&str> = labels.iter().map(|l| l.as_str()).collect();
+        assert_eq!(strs, ["intern-ord-a", "intern-ord-b", "intern-ord-c"]);
+    }
+
+    #[test]
+    fn display_and_as_ref() {
+        let l = Label::intern("intern-test-display");
+        assert_eq!(format!("{l}"), "intern-test-display");
+        assert_eq!(l.as_ref(), "intern-test-display");
+    }
+
+    #[test]
+    fn distinct_labels_have_distinct_indices() {
+        let a = Label::intern("intern-test-idx-one");
+        let b = Label::intern("intern-test-idx-two");
+        assert_ne!(a.index(), b.index());
+    }
+}

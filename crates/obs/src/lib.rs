@@ -12,8 +12,12 @@
 //!   `dns_decode`) that timings, histograms and JSON records all share.
 //! * [`MetricsRegistry`] / [`MetricsSnapshot`] — monotonic counters, gauges
 //!   and fixed-bucket latency histograms keyed by resolver × vantage ×
-//!   protocol. Iteration order is `BTreeMap`-sorted, so snapshots of the
+//!   protocol. Snapshots order cells canonically, so snapshots of the
 //!   same campaign are byte-identical render-for-render under a fixed seed.
+//! * [`Label`] — a process-wide string interner for the stack's small hot
+//!   label vocabularies (vantages, resolvers, domains, protocols, error
+//!   kinds): 4-byte copyable handles, allocation-free re-interning and
+//!   `&'static str` resolution.
 //!
 //! Timestamps are raw simulated-time nanoseconds (`u64`); the simulator's
 //! `SimTime` converts losslessly via its `as_nanos`.
@@ -21,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod intern;
 mod metrics;
 mod phase;
 mod span;
 
+pub use intern::Label;
 pub use metrics::{
     CellMetrics, CellSnapshot, Counter, Gauge, Histogram, MetricKey, MetricsRegistry,
     MetricsSnapshot, LATENCY_BUCKETS_MS,

@@ -6,8 +6,9 @@
 //! their (canonically sorted) probe records, which makes snapshots of two
 //! same-seed campaigns byte-identical in every rendered form.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
+use crate::intern::Label;
 use crate::phase::Phase;
 
 /// Fixed latency bucket upper bounds, in milliseconds. A final implicit
@@ -187,8 +188,10 @@ pub struct CellMetrics {
     pub successes: Counter,
     /// Successful probes answered from the resolver cache.
     pub cache_hits: Counter,
-    /// Failure counts by error label, sorted by label.
-    pub errors: BTreeMap<String, u64>,
+    /// Failure counts by error label, sorted by label. Keys are static
+    /// (interned) strings, so tallying a failure never allocates once its
+    /// (cell, kind) entry exists.
+    pub errors: BTreeMap<&'static str, u64>,
     /// End-to-end response time of successful probes.
     pub response_ms: Histogram,
     /// ICMP ping RTT, when measured.
@@ -207,9 +210,16 @@ impl CellMetrics {
 }
 
 /// The registry campaigns populate.
+///
+/// Cells are indexed by interned [`Label`] triples, so the per-observation
+/// lookup is one integer-keyed hash probe — no string allocation, hashing
+/// of at most 12 bytes. Canonical (resolver, vantage, protocol) ordering is
+/// imposed once, at [`snapshot`](Self::snapshot) time, instead of on every
+/// insertion.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
-    cells: BTreeMap<MetricKey, CellMetrics>,
+    index: HashMap<(Label, Label, Label), usize>,
+    cells: Vec<(MetricKey, CellMetrics)>,
 }
 
 impl MetricsRegistry {
@@ -218,16 +228,42 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// The cell for a key, created on first touch.
+    /// The cell for a key, created on first touch. Interns the three
+    /// strings; prefer [`cell_interned`](Self::cell_interned) on hot paths
+    /// that already hold labels.
     pub fn cell(&mut self, resolver: &str, vantage: &str, protocol: &str) -> &mut CellMetrics {
-        // Key allocation only happens on cell creation, not per observation.
-        self.cells
-            .entry(MetricKey {
-                resolver: resolver.to_string(),
-                vantage: vantage.to_string(),
-                protocol: protocol.to_string(),
-            })
-            .or_default()
+        self.cell_interned(
+            Label::intern(resolver),
+            Label::intern(vantage),
+            Label::intern(protocol),
+        )
+    }
+
+    /// The cell for an interned key, created on first touch. Allocates only
+    /// when the cell itself is new, never per observation.
+    pub fn cell_interned(
+        &mut self,
+        resolver: Label,
+        vantage: Label,
+        protocol: Label,
+    ) -> &mut CellMetrics {
+        let idx = match self.index.get(&(resolver, vantage, protocol)) {
+            Some(&i) => i,
+            None => {
+                let i = self.cells.len();
+                self.cells.push((
+                    MetricKey {
+                        resolver: resolver.as_str().to_string(),
+                        vantage: vantage.as_str().to_string(),
+                        protocol: protocol.as_str().to_string(),
+                    },
+                    CellMetrics::default(),
+                ));
+                self.index.insert((resolver, vantage, protocol), i);
+                i
+            }
+        };
+        &mut self.cells[idx].1
     }
 
     /// Number of populated cells.
@@ -243,16 +279,16 @@ impl MetricsRegistry {
     /// Freezes the registry into an exportable snapshot (cells in canonical
     /// key order).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            cells: self
-                .cells
-                .iter()
-                .map(|(k, m)| CellSnapshot {
-                    key: k.clone(),
-                    metrics: m.clone(),
-                })
-                .collect(),
-        }
+        let mut cells: Vec<CellSnapshot> = self
+            .cells
+            .iter()
+            .map(|(k, m)| CellSnapshot {
+                key: k.clone(),
+                metrics: m.clone(),
+            })
+            .collect();
+        cells.sort_by(|a, b| a.key.cmp(&b.key));
+        MetricsSnapshot { cells }
     }
 }
 
@@ -382,7 +418,7 @@ mod tests {
             cell.response_ms.observe(42.0);
             cell.response_ms.observe(240.0);
             cell.phase(Phase::Connect).observe(30.0);
-            *cell.errors.entry("connect_timeout".into()).or_insert(0) += 1;
+            *cell.errors.entry("connect_timeout").or_insert(0) += 1;
             r.snapshot().render()
         };
         assert_eq!(build(), build());

@@ -62,7 +62,11 @@ impl Dataset {
 
     /// Distinct resolver hostnames present, sorted.
     pub fn resolvers(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.records.iter().map(|r| r.resolver.clone()).collect();
+        let mut v: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| r.resolver().to_string())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -76,7 +80,7 @@ impl Dataset {
     ) -> impl Iterator<Item = &'a ProbeRecord> {
         self.records
             .iter()
-            .filter(move |r| r.resolver == resolver && group.matches(&r.vantage))
+            .filter(move |r| r.resolver() == resolver && group.matches(r.vantage()))
     }
 
     /// Successful end-to-end response times in milliseconds.
@@ -109,7 +113,7 @@ impl Dataset {
             .records
             .iter()
             .filter(|r| r.resolver_region == region || r.mainstream)
-            .map(|r| r.resolver.clone())
+            .map(|r| r.resolver().to_string())
             .collect();
         rows.sort_unstable();
         rows.dedup();
@@ -148,8 +152,8 @@ impl Dataset {
         let mut l = edns_stats::AvailabilityLedger::new();
         for r in &self.records {
             match &r.outcome {
-                ProbeOutcome::Success { .. } => l.success(&r.resolver),
-                ProbeOutcome::Failure { kind, .. } => l.error(&r.resolver, kind.label()),
+                ProbeOutcome::Success { .. } => l.success(r.resolver()),
+                ProbeOutcome::Failure { kind, .. } => l.error(r.resolver(), kind.label()),
             }
         }
         l

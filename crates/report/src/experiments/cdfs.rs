@@ -39,7 +39,7 @@ pub fn compare(dataset: &Dataset, group: &VantageGroup) -> CdfComparison {
     let mut mainstream = Vec::new();
     let mut non_mainstream = Vec::new();
     for r in &dataset.records {
-        if !group.matches(&r.vantage) {
+        if !group.matches(r.vantage()) {
             continue;
         }
         if let Some(rt) = r.outcome.response_time() {

@@ -56,12 +56,12 @@ pub fn drift(dataset: &Dataset, group: &VantageGroup, window_starts: &[u64]) -> 
     // resolver -> window -> samples
     let mut samples: BTreeMap<String, BTreeMap<u64, Vec<f64>>> = BTreeMap::new();
     for r in &dataset.records {
-        if !group.matches(&r.vantage) {
+        if !group.matches(r.vantage()) {
             continue;
         }
         if let Some(rt) = r.outcome.response_time() {
             samples
-                .entry(r.resolver.clone())
+                .entry(r.resolver().to_string())
                 .or_default()
                 .entry(window_of(r.at))
                 .or_default()

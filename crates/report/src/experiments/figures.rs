@@ -23,7 +23,7 @@ pub fn panel(dataset: &Dataset, region: Region, group: &VantageGroup) -> FigureP
         .records
         .iter()
         .filter(|r| r.mainstream)
-        .map(|r| r.resolver.clone())
+        .map(|r| r.resolver().to_string())
         .collect();
     let rows = dataset
         .panel_order(region, group)

@@ -53,7 +53,7 @@ pub fn run(dataset: &Dataset) -> Findings {
         .records
         .iter()
         .filter(|r| r.mainstream)
-        .map(|r| r.resolver.clone())
+        .map(|r| r.resolver().to_string())
         .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .collect();
@@ -61,7 +61,7 @@ pub fn run(dataset: &Dataset) -> Findings {
         .records
         .iter()
         .filter(|r| !r.mainstream)
-        .map(|r| r.resolver.clone())
+        .map(|r| r.resolver().to_string())
         .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .collect();

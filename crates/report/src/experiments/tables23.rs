@@ -101,7 +101,7 @@ pub fn largest_gaps(
         .records
         .iter()
         .filter(|r| r.resolver_region == region && !r.mainstream)
-        .map(|r| r.resolver.clone())
+        .map(|r| r.resolver().to_string())
         .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .filter_map(|resolver| {

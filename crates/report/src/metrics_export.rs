@@ -42,7 +42,7 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> Json {
             let errors: BTreeMap<String, Json> = m
                 .errors
                 .iter()
-                .map(|(label, &n)| (label.clone(), Json::Int(n as i64)))
+                .map(|(&label, &n)| (label.to_string(), Json::Int(n as i64)))
                 .collect();
             let phases: BTreeMap<String, Json> = Phase::ALL
                 .iter()

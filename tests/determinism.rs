@@ -92,12 +92,12 @@ fn adding_a_resolver_does_not_perturb_existing_streams() {
     let google_small: Vec<_> = small
         .records
         .iter()
-        .filter(|r| r.resolver == "dns.google")
+        .filter(|r| r.resolver() == "dns.google")
         .collect();
     let google_big: Vec<_> = big
         .records
         .iter()
-        .filter(|r| r.resolver == "dns.google")
+        .filter(|r| r.resolver() == "dns.google")
         .collect();
     assert_eq!(google_small, google_big);
 }

@@ -19,12 +19,8 @@ fn campaign_covers_full_population_and_all_vantages() {
     let r = repro();
     let resolvers = r.dataset.resolvers();
     assert_eq!(resolvers.len(), edns_bench::catalog::resolvers::all().len());
-    let vantages: std::collections::HashSet<&str> = r
-        .dataset
-        .records
-        .iter()
-        .map(|rec| rec.vantage.as_str())
-        .collect();
+    let vantages: std::collections::HashSet<&str> =
+        r.dataset.records.iter().map(|rec| rec.vantage()).collect();
     assert_eq!(vantages.len(), 7);
 }
 
@@ -246,7 +242,9 @@ fn domain_choice_does_not_skew_response_times() {
                 .records
                 .iter()
                 .filter(|rec| {
-                    rec.resolver == resolver && rec.domain == domain && ohio.matches(&rec.vantage)
+                    rec.resolver() == resolver
+                        && rec.domain() == domain
+                        && ohio.matches(rec.vantage())
                 })
                 .filter_map(|rec| rec.outcome.response_time())
                 .map(|d| d.as_millis_f64())
