@@ -12,8 +12,8 @@
 
 use measure::{Campaign, CampaignConfig};
 
-fn main() {
-    let entries = [
+fn entries() -> Vec<catalog::ResolverEntry> {
+    [
         "dns.google",
         "dns.quad9.net",
         "doh.ffmuc.net",
@@ -21,10 +21,17 @@ fn main() {
     ]
     .into_iter()
     .map(|h| catalog::resolvers::find(h).unwrap())
-    .collect();
-    let result = Campaign::with_resolvers(CampaignConfig::quick(4, 3), entries).run();
+    .collect()
+}
+
+fn main() {
     let dir = std::path::Path::new("crates/measure/tests/golden");
     std::fs::create_dir_all(dir).unwrap();
+
+    // Baseline: retries disabled, no fault plan. This fixture predates the
+    // retry layer and must never change when retry/fault code does — the
+    // disabled layer is byte-transparent.
+    let result = Campaign::with_resolvers(CampaignConfig::quick(4, 3), entries()).run();
     std::fs::write(dir.join("campaign_seed4.jsonl"), result.to_json_lines()).unwrap();
     std::fs::write(
         dir.join("campaign_seed4.metrics.txt"),
@@ -32,4 +39,21 @@ fn main() {
     )
     .unwrap();
     eprintln!("wrote {} records", result.records.len());
+
+    // Extended schema: the same campaign under dig-default retries and the
+    // seeded fault plan, pinning the per-attempt accounting keys.
+    let faulted =
+        Campaign::with_resolvers(CampaignConfig::quick(4, 3).with_default_faults(), entries())
+            .run();
+    std::fs::write(
+        dir.join("campaign_seed4_retries.jsonl"),
+        faulted.to_json_lines(),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("campaign_seed4_retries.metrics.txt"),
+        faulted.metrics().render(),
+    )
+    .unwrap();
+    eprintln!("wrote {} faulted records", faulted.records.len());
 }

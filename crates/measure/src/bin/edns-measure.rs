@@ -12,9 +12,10 @@ use std::process::ExitCode;
 use dns_wire::Name;
 use measure::{
     Campaign, CampaignConfig, CampaignResult, ProbeConfig, ProbeOutcome, ProbeTarget, Prober,
-    Protocol,
+    Protocol, RetryPolicy,
 };
-use netsim::SimTime;
+use netsim::faults::FaultPlan;
+use netsim::{SimDuration, SimTime};
 
 /// Prints to stdout, ignoring broken pipes (`edns-measure ... | head` must
 /// exit cleanly, not panic).
@@ -56,13 +57,16 @@ USAGE:
 
   edns-measure probe <resolver> [--vantage LABEL] [--protocol doh|dot|do53|doq|odoh]
                      [--count N] [--domain NAME] [--seed S] [--trace]
+                     [--retries N] [--timeout SECS] [--backoff-ms MS]
+                     [--jitter F] [--faults none|default]
       Issue dig-style probes against one resolver and print per-probe
       timings plus a summary. Default: 5 DoH probes of google.com from
       ec2-ohio with seed 0. --trace prints each probe's span timeline
       (dns_encode, connect, tls_handshake, http_exchange, ...).
 
   edns-measure campaign [--scale quick|standard|paper] [--seed S] [--out FILE]
-                        [--metrics]
+                        [--metrics] [--retries N] [--timeout SECS]
+                        [--backoff-ms MS] [--jitter F] [--faults none|default]
       Run a full campaign over the whole population and write JSON-Lines
       results (default scale standard, output results.jsonl). --metrics
       prints the per-resolver × vantage metrics snapshot (counters, error
@@ -72,6 +76,16 @@ USAGE:
   edns-measure report <results.jsonl>
       Regenerate the availability analysis and headline findings from a
       results file.
+
+RETRY & FAULT FLAGS:
+  --retries N       attempts per probe (default 1 = no retries)
+  --timeout SECS    per-attempt timeout, seconds (dig default: 5)
+  --backoff-ms MS   base exponential backoff between attempts (default 0)
+  --jitter F        multiplicative backoff jitter fraction in [0, 1)
+  --faults MODE     'none' (default) or 'default': the seeded fault plan
+                    of outages, brownouts, cert-expiry and rate-limit
+                    windows. '--faults default' also switches retries to
+                    dig defaults (3 tries, 5 s timeout) unless overridden.
 ";
 
 /// Fetches the value following `--flag`, if present.
@@ -85,6 +99,43 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Whether a bare `--flag` is present.
 fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Overrides fields of `policy` from the shared retry flags. Returns
+/// whether any flag was given.
+fn apply_retry_flags(args: &[String], policy: &mut RetryPolicy) -> Result<bool, String> {
+    let mut touched = false;
+    if let Some(v) = flag_value(args, "--retries") {
+        policy.tries = v.parse().map_err(|_| "bad --retries")?;
+        touched = true;
+    }
+    if let Some(v) = flag_value(args, "--timeout") {
+        let secs: f64 = v.parse().map_err(|_| "bad --timeout")?;
+        policy.attempt_timeout = Some(SimDuration::from_millis_f64(secs * 1000.0));
+        touched = true;
+    }
+    if let Some(v) = flag_value(args, "--backoff-ms") {
+        let ms: f64 = v.parse().map_err(|_| "bad --backoff-ms")?;
+        policy.backoff_base = SimDuration::from_millis_f64(ms);
+        touched = true;
+    }
+    if let Some(v) = flag_value(args, "--jitter") {
+        policy.jitter = v.parse().map_err(|_| "bad --jitter")?;
+        touched = true;
+    }
+    policy
+        .validate()
+        .map_err(|e| format!("bad retry policy: {e}"))?;
+    Ok(touched)
+}
+
+/// Parses `--faults none|default` (default `none`).
+fn faults_enabled(args: &[String]) -> Result<bool, String> {
+    match flag_value(args, "--faults").unwrap_or("none") {
+        "none" => Ok(false),
+        "default" => Ok(true),
+        other => Err(format!("unknown fault mode {other:?}; try none|default")),
+    }
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -133,6 +184,19 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --seed")?;
     let trace = flag_present(args, "--trace");
+    let faults_on = faults_enabled(args)?;
+    let mut retry = if faults_on {
+        RetryPolicy::dig_defaults()
+    } else {
+        RetryPolicy::none()
+    };
+    apply_retry_flags(args, &mut retry)?;
+    let faults = if faults_on {
+        // Cover the hourly probe cadence with an hour of slack.
+        measure::config::default_fault_plan(seed, SimDuration::from_secs((count + 1) * 3600))
+    } else {
+        FaultPlan::EMPTY
+    };
 
     let prober = Prober::new();
     let mut target = ProbeTarget::from_entry(entry);
@@ -140,6 +204,7 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
     let mut rng = netsim::SimRng::derived(seed, &format!("cli:{vantage_label}:{hostname}"));
     let cfg = ProbeConfig {
         protocol,
+        retry,
         ..ProbeConfig::default()
     };
 
@@ -155,16 +220,22 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
         } else {
             obs::SpanLog::disabled()
         };
-        let (outcome, ping) = prober.probe_traced(
+        let (outcome, ping, retry_info) = prober.probe_with_faults_traced(
             &client,
             &mut target,
             &domain,
             now,
             vantage.is_home(),
             cfg,
+            &faults,
             &mut rng,
             &mut log,
         );
+        let attempts_note = retry_info
+            .as_ref()
+            .filter(|info| info.attempts > 1)
+            .map(|info| format!("  [{} attempts]", info.attempts))
+            .unwrap_or_default();
         match outcome {
             ProbeOutcome::Success {
                 timings,
@@ -172,7 +243,7 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
                 site,
             } => {
                 out!(
-                    "probe {:>2}: response {:8.2} ms  (connect {:6.2} + secure {:6.2} + query {:6.2})  ping {}  site {}{}",
+                    "probe {:>2}: response {:8.2} ms  (connect {:6.2} + secure {:6.2} + query {:6.2})  ping {}  site {}{}{}",
                     i + 1,
                     timings.total().as_millis_f64(),
                     timings.connect.as_millis_f64(),
@@ -182,14 +253,16 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
                         .unwrap_or_else(|| "  (filtered)".into()),
                     site,
                     if cache_hit { "" } else { "  [cache miss]" },
+                    attempts_note,
                 );
                 times.push(timings.total().as_millis_f64());
             }
             ProbeOutcome::Failure { kind, elapsed } => {
                 out!(
-                    "probe {:>2}: FAILED ({kind}) after {:.1} ms",
+                    "probe {:>2}: FAILED ({kind}) after {:.1} ms{}",
                     i + 1,
-                    elapsed.as_millis_f64()
+                    elapsed.as_millis_f64(),
+                    attempts_note,
                 );
                 errors += 1;
             }
@@ -216,12 +289,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .unwrap_or("0")
         .parse()
         .map_err(|_| "bad --seed")?;
-    let config = match flag_value(args, "--scale").unwrap_or("standard") {
+    let mut config = match flag_value(args, "--scale").unwrap_or("standard") {
         "quick" => CampaignConfig::quick(seed, 4),
         "standard" => CampaignConfig::quick(seed, 24),
         "paper" => CampaignConfig::paper(seed),
         other => return Err(format!("unknown scale {other:?}")),
     };
+    if faults_enabled(args)? {
+        // Dig-default retries plus the seeded fault plan.
+        config = config.with_default_faults();
+    }
+    apply_retry_flags(args, &mut config.probe.retry)?;
     let out = flag_value(args, "--out").unwrap_or("results.jsonl");
 
     let campaign = Campaign::new(config);
@@ -257,15 +335,28 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let successes = result.successes();
     out!("{n} records: {successes} ok / {} errors\n", n - successes);
 
-    // One streaming pass: per-resolver availability + per-cell medians.
+    // One streaming pass: per-resolver availability + per-cell medians
+    // + retry-layer outcomes.
     let mut summary = measure::StreamingSummary::new();
     let mut ledger = edns_stats::AvailabilityLedger::new();
+    let mut recovered = 0u64;
+    let mut exhausted = 0u64;
     for r in &result.records {
         summary.observe(r);
         match &r.outcome {
             ProbeOutcome::Success { .. } => ledger.success(r.resolver()),
             ProbeOutcome::Failure { kind, .. } => ledger.error(r.resolver(), kind.label()),
         }
+        if let Some(retry) = &r.retry {
+            match &r.outcome {
+                ProbeOutcome::Success { .. } if retry.recovered() => recovered += 1,
+                ProbeOutcome::Failure { .. } if retry.exhausted() => exhausted += 1,
+                _ => {}
+            }
+        }
+    }
+    if recovered > 0 || exhausted > 0 {
+        out!("retry layer: {recovered} transient failures recovered, {exhausted} probes exhausted their budget\n");
     }
 
     let worst = ledger.worst(0.995);

@@ -109,6 +109,27 @@ pub fn observe_record(registry: &mut MetricsRegistry, r: &ProbeRecord) {
             *cell.errors.entry(kind.label()).or_insert(0) += 1;
         }
     }
+    if let Some(retry) = &r.retry {
+        // Every error in `attempt_errors` names a retried (non-final)
+        // attempt on success; on failure the last entry is the probe's
+        // final verdict, already tallied in `errors` above.
+        let retried = match &r.outcome {
+            ProbeOutcome::Success { .. } => retry.attempt_errors.as_slice(),
+            ProbeOutcome::Failure { .. } => {
+                let n = retry.attempt_errors.len();
+                &retry.attempt_errors[..n.saturating_sub(1)]
+            }
+        };
+        for kind in retried {
+            cell.retries(kind.phase()).inc();
+        }
+        if retry.recovered() {
+            cell.recovered.inc();
+        }
+        if matches!(r.outcome, ProbeOutcome::Failure { .. }) && retry.exhausted() {
+            cell.exhausted.inc();
+        }
+    }
     if let Some(p) = r.ping {
         cell.ping_ms.observe(p.as_millis_f64());
     }
@@ -336,26 +357,30 @@ impl Campaign {
             }
             for at in span.round_times() {
                 for domain in &self.domains {
-                    let (outcome, ping) = prober.probe(
+                    let (outcome, ping, retry) = prober.probe_with_faults(
                         &client,
                         &mut target,
                         &domain.name,
                         at,
                         is_home,
                         self.config.probe,
+                        &self.config.faults,
                         &mut rng,
                     );
-                    records.push(ProbeRecord::new(
-                        at,
-                        plan.vantage_label,
-                        plan.resolver_label,
-                        entry.region(),
-                        entry.mainstream,
-                        domain.label,
-                        self.config.probe.protocol,
-                        outcome,
-                        ping,
-                    ));
+                    records.push(
+                        ProbeRecord::new(
+                            at,
+                            plan.vantage_label,
+                            plan.resolver_label,
+                            entry.region(),
+                            entry.mainstream,
+                            domain.label,
+                            self.config.probe.protocol,
+                            outcome,
+                            ping,
+                        )
+                        .with_retry(retry),
+                    );
                 }
             }
         }

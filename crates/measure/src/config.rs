@@ -7,6 +7,8 @@
 //! * EC2 instances — September 19 to October 16, 2023, three times a day,
 //!   then 1–3 day follow-up spans in February, March and April 2024.
 
+use netsim::faults::{scatter_windows, FaultKind, FaultPlan, FaultScope};
+use netsim::rng::derive_seed;
 use netsim::{SimDuration, SimTime};
 
 use crate::probe::ProbeConfig;
@@ -59,6 +61,10 @@ pub struct CampaignConfig {
     pub probe: ProbeConfig,
     /// Measurement spans.
     pub spans: Vec<Span>,
+    /// Scripted fault schedule. [`FaultPlan::EMPTY`] (the default in every
+    /// constructor) injects nothing and keeps campaign output
+    /// byte-identical to a faultless build.
+    pub faults: FaultPlan,
 }
 
 const HOME_LABELS: [&str; 4] = ["home-1", "home-2", "home-3", "home-4"];
@@ -107,6 +113,7 @@ impl CampaignConfig {
                     vantages: EC2_LABELS.to_vec(),
                 },
             ],
+            faults: FaultPlan::EMPTY,
         }
     }
 
@@ -131,7 +138,34 @@ impl CampaignConfig {
                     vantages: EC2_LABELS.to_vec(),
                 },
             ],
+            faults: FaultPlan::EMPTY,
         }
+    }
+
+    /// The simulated horizon the spans cover, from the campaign epoch to
+    /// the end of the last span — the window a generated fault plan
+    /// scatters its events over.
+    pub fn horizon(&self) -> SimDuration {
+        let end_day = self
+            .spans
+            .iter()
+            .map(|s| s.start_day + s.days)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        SimDuration::from_secs(u64::from(end_day) * 86_400)
+    }
+
+    /// Switches the campaign to the paper-calibrated client and network:
+    /// `dig`'s retry defaults plus the [`default_fault_plan`] for this
+    /// config's seed and horizon. With this, the campaign's error rate is
+    /// an emergent property of injected transient faults — calibrated to
+    /// the paper's ≈5.8 % dominated by connection-establishment failures —
+    /// rather than of fixed per-resolver health constants alone.
+    pub fn with_default_faults(mut self) -> Self {
+        self.probe.retry = crate::retry::RetryPolicy::dig_defaults();
+        self.faults = default_fault_plan(self.seed, self.horizon());
+        self
     }
 
     /// The vantage points this campaign uses, deduplicated.
@@ -175,6 +209,166 @@ impl CampaignConfig {
             .sum();
         rounds * resolvers * self.domains.len()
     }
+}
+
+/// The calibrated default fault schedule: deterministic per `(seed,
+/// horizon)`, scattering transient faults over the campaign window so
+/// that a full-population campaign probed with
+/// [`RetryPolicy::dig_defaults`](crate::retry::RetryPolicy::dig_defaults)
+/// lands on the paper's §4 error taxonomy — ≈5.8 % overall error rate
+/// with connection-establishment failures the largest class.
+///
+/// Ingredients, per simulated day:
+///
+/// * **site outages** — every resolver goes dark occasionally; hobbyist
+///   deployments far more often and for longer (the paper's
+///   `chewbacca.meganerd.nl` pattern). Outage windows dwarf the 15 s
+///   retry budget, so these exhaust as `connect_timeout` — the dominant
+///   class.
+/// * **brownouts** — non-mainstream frontends slow down and shed load
+///   with SERVFAILs under their evening peaks.
+/// * **certificate expiries** — small sites let certificates lapse for
+///   hours (`certificate_error`, also a connection failure).
+/// * **rate limiting** — big anycast operators throttle the prober with
+///   429s in short windows.
+/// * **loss bursts** — regional congestion that single attempts often
+///   survive and retries usually recover from (the transient-recovered
+///   population the availability report now separates).
+/// * **link flaps** — one home vantage's cable drops for minutes at a
+///   time, hitting every resolver probed from it.
+pub fn default_fault_plan(seed: u64, horizon: SimDuration) -> FaultPlan {
+    let plan_seed = derive_seed(seed, "fault-plan");
+    let mut plan = FaultPlan::with_seed(plan_seed);
+    let days = (horizon.as_nanos() / SimDuration::from_hours(24).as_nanos()).max(1) as usize;
+    let mins = SimDuration::from_mins;
+
+    for entry in catalog::resolvers::all() {
+        let host = entry.hostname;
+        let hobbyist = entry.small_site;
+        let scope = || FaultScope::Resolver(host.to_string());
+
+        // Site outages.
+        let (count, lo, hi) = if hobbyist {
+            (2 * days, mins(8), mins(25))
+        } else if entry.mainstream {
+            (days.div_ceil(4), mins(1), mins(4))
+        } else {
+            (days, mins(3), mins(12))
+        };
+        for (from, until) in
+            scatter_windows(plan_seed, &format!("outage:{host}"), horizon, count, lo, hi)
+        {
+            plan.push(FaultKind::SiteOutage, scope(), from, until);
+        }
+
+        if !entry.mainstream {
+            // Brownouts: slow frontends shedding load at peak.
+            for (from, until) in scatter_windows(
+                plan_seed,
+                &format!("brownout:{host}"),
+                horizon,
+                days,
+                mins(10),
+                mins(30),
+            ) {
+                plan.push(
+                    FaultKind::Brownout {
+                        slowdown: 4.0,
+                        servfail_rate: 0.3,
+                    },
+                    scope(),
+                    from,
+                    until,
+                );
+            }
+        }
+
+        if hobbyist {
+            // Lapsed certificates on hobbyist deployments.
+            for (from, until) in scatter_windows(
+                plan_seed,
+                &format!("cert:{host}"),
+                horizon,
+                days.div_ceil(2),
+                mins(15),
+                mins(50),
+            ) {
+                plan.push(FaultKind::CertExpiry, scope(), from, until);
+            }
+        }
+
+        if entry.mainstream {
+            // Rate limiting by the big operators.
+            for (from, until) in scatter_windows(
+                plan_seed,
+                &format!("ratelimit:{host}"),
+                horizon,
+                days.div_ceil(2),
+                mins(5),
+                mins(15),
+            ) {
+                plan.push(
+                    FaultKind::RateLimit { reject_rate: 0.7 },
+                    scope(),
+                    from,
+                    until,
+                );
+            }
+        }
+    }
+
+    // Regional congestion: loss and latency bursts.
+    for region in [
+        netsim::Region::NorthAmerica,
+        netsim::Region::Europe,
+        netsim::Region::Asia,
+    ] {
+        let tag = format!("{region:?}");
+        for (from, until) in scatter_windows(
+            plan_seed,
+            &format!("loss:{tag}"),
+            horizon,
+            2 * days,
+            mins(5),
+            mins(20),
+        ) {
+            plan.push(
+                FaultKind::LossBurst { loss: 0.3 },
+                FaultScope::Region(region),
+                from,
+                until,
+            );
+        }
+        for (from, until) in scatter_windows(
+            plan_seed,
+            &format!("latency:{tag}"),
+            horizon,
+            days,
+            mins(10),
+            mins(30),
+        ) {
+            plan.push(
+                FaultKind::LatencyBurst { extra_ms: 60.0 },
+                FaultScope::Region(region),
+                from,
+                until,
+            );
+        }
+    }
+
+    // One home vantage's cable link flaps.
+    for (from, until) in scatter_windows(plan_seed, "flap:home-3", horizon, days, mins(2), mins(8))
+    {
+        plan.push(
+            FaultKind::LinkFlap,
+            FaultScope::Vantage("home-3".to_string()),
+            from,
+            until,
+        );
+    }
+
+    debug_assert_eq!(plan.validate(), Ok(()));
+    plan
 }
 
 /// The paper's three measured domains.

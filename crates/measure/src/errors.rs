@@ -22,6 +22,8 @@ pub enum ProbeErrorKind {
     CertificateError,
     /// The HTTP layer returned a non-2xx status.
     HttpStatus,
+    /// The HTTP layer rejected the request with a 429 (rate limiting).
+    RateLimited,
     /// The connection established but the query timed out.
     QueryTimeout,
     /// The DNS payload was malformed or the rcode was a server failure.
@@ -49,6 +51,7 @@ impl ProbeErrorKind {
             ProbeErrorKind::TlsFailure => "tls_failure",
             ProbeErrorKind::CertificateError => "certificate_error",
             ProbeErrorKind::HttpStatus => "http_status",
+            ProbeErrorKind::RateLimited => "rate_limited",
             ProbeErrorKind::QueryTimeout => "query_timeout",
             ProbeErrorKind::DnsError => "dns_error",
         }
@@ -62,6 +65,7 @@ impl ProbeErrorKind {
             "tls_failure" => ProbeErrorKind::TlsFailure,
             "certificate_error" => ProbeErrorKind::CertificateError,
             "http_status" => ProbeErrorKind::HttpStatus,
+            "rate_limited" => ProbeErrorKind::RateLimited,
             "query_timeout" => ProbeErrorKind::QueryTimeout,
             "dns_error" => ProbeErrorKind::DnsError,
             _ => return None,
@@ -69,16 +73,34 @@ impl ProbeErrorKind {
     }
 
     /// All variants (for aggregation tables).
-    pub fn all() -> [ProbeErrorKind; 7] {
+    pub fn all() -> [ProbeErrorKind; 8] {
         [
             ProbeErrorKind::ConnectTimeout,
             ProbeErrorKind::ConnectionRefused,
             ProbeErrorKind::TlsFailure,
             ProbeErrorKind::CertificateError,
             ProbeErrorKind::HttpStatus,
+            ProbeErrorKind::RateLimited,
             ProbeErrorKind::QueryTimeout,
             ProbeErrorKind::DnsError,
         ]
+    }
+
+    /// The probe phase this failure surfaces in — used to attribute retry
+    /// counters per phase in the metrics registry.
+    pub fn phase(self) -> obs::Phase {
+        match self {
+            ProbeErrorKind::ConnectTimeout | ProbeErrorKind::ConnectionRefused => {
+                obs::Phase::Connect
+            }
+            ProbeErrorKind::TlsFailure | ProbeErrorKind::CertificateError => {
+                obs::Phase::TlsHandshake
+            }
+            ProbeErrorKind::HttpStatus
+            | ProbeErrorKind::RateLimited
+            | ProbeErrorKind::QueryTimeout => obs::Phase::HttpExchange,
+            ProbeErrorKind::DnsError => obs::Phase::ServerProcessing,
+        }
     }
 }
 
@@ -120,6 +142,19 @@ mod tests {
         assert!(ProbeErrorKind::TlsFailure.is_connection_failure());
         assert!(!ProbeErrorKind::QueryTimeout.is_connection_failure());
         assert!(!ProbeErrorKind::DnsError.is_connection_failure());
+        assert!(!ProbeErrorKind::RateLimited.is_connection_failure());
+    }
+
+    #[test]
+    fn every_kind_has_a_phase() {
+        for k in ProbeErrorKind::all() {
+            let _ = k.phase();
+        }
+        assert_eq!(
+            ProbeErrorKind::RateLimited.phase(),
+            obs::Phase::HttpExchange
+        );
+        assert_eq!(ProbeErrorKind::ConnectTimeout.phase(), obs::Phase::Connect);
     }
 
     #[test]

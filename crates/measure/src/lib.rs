@@ -32,6 +32,7 @@ pub mod errors;
 pub mod json;
 pub mod probe;
 pub mod results;
+pub mod retry;
 pub mod summary;
 pub mod vantage;
 
@@ -45,5 +46,6 @@ pub use config::{standard_domains, CampaignConfig, Span};
 pub use errors::ProbeErrorKind;
 pub use probe::{ProbeConfig, ProbeTarget, Prober};
 pub use results::{ProbeOutcome, ProbeRecord, ProbeTimings, Protocol};
+pub use retry::{RetryInfo, RetryPolicy};
 pub use summary::{CellStats, StreamingSummary};
 pub use vantage::{Vantage, VantageKind};

@@ -12,16 +12,18 @@
 use bytes::Bytes;
 use catalog::ResolverEntry;
 use dns_wire::{base64url, Message, MessageBuilder, Name, Rcode, RecordType};
+use netsim::faults::{FaultEffects, FaultPlan, FaultTarget};
 use netsim::{icmp, Host, Path, SimDuration, SimRng, SimTime};
 use obs::{Nanos, Phase, SpanLog};
 use resolver_sim::{AuthorityTree, ProbeHealth, ResolverInstance};
 use transport::{
-    doh_headers, H2Connection, H2Request, HeaderField, QuicConfig, QuicConnection, RetryPolicy,
+    doh_headers, FaultHooks, H2Connection, H2Request, HeaderField, QuicConfig, QuicConnection,
     TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior, TlsSession, TransportErrorKind,
 };
 
 use crate::errors::ProbeErrorKind;
 use crate::results::{ProbeOutcome, ProbeTimings, Protocol};
+use crate::retry::{RetryInfo, RetryPolicy};
 
 /// Deterministic client-side cost of building and encoding a DNS query:
 /// a fixed setup term plus a per-byte term. Microsecond-scale, so it shows
@@ -75,6 +77,10 @@ pub struct ProbeConfig {
     pub doh_get: bool,
     /// Pad queries to 128 octets (RFC 8467) on encrypted transports.
     pub padding: bool,
+    /// Client retry schedule. [`RetryPolicy::none`] (the default) keeps
+    /// the probe single-attempt and its output byte-identical to the
+    /// pre-retry tool.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ProbeConfig {
@@ -84,6 +90,7 @@ impl Default for ProbeConfig {
             ping_timeout: SimDuration::from_secs(1),
             doh_get: true,
             padding: true,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -152,23 +159,185 @@ impl Prober {
         rng: &mut SimRng,
         log: &mut SpanLog,
     ) -> (ProbeOutcome, Option<SimDuration>) {
+        let (outcome, ping, _) = self.probe_with_faults_traced(
+            client,
+            target,
+            domain,
+            now,
+            is_home,
+            cfg,
+            &FaultPlan::EMPTY,
+            rng,
+            log,
+        );
+        (outcome, ping)
+    }
+
+    /// One measurement under a fault plan, with per-attempt retry
+    /// accounting. This is the full probe engine; [`probe`](Self::probe)
+    /// is this with the empty plan.
+    ///
+    /// Each attempt re-resolves the plan at the attempt's start time and
+    /// re-samples the resolver's health, so a transient window can end
+    /// between attempts — that is exactly the recovery the paper's `dig`
+    /// retries provide. The returned [`RetryInfo`] is `Some` iff the
+    /// configured policy is [enabled](RetryPolicy::enabled).
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with_faults(
+        &self,
+        client: &Host,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        is_home: bool,
+        cfg: ProbeConfig,
+        faults: &FaultPlan,
+        rng: &mut SimRng,
+    ) -> (ProbeOutcome, Option<SimDuration>, Option<RetryInfo>) {
+        let mut log = SpanLog::disabled();
+        self.probe_with_faults_traced(
+            client, target, domain, now, is_home, cfg, faults, rng, &mut log,
+        )
+    }
+
+    /// [`probe_with_faults`](Self::probe_with_faults) with span tracing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with_faults_traced(
+        &self,
+        client: &Host,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        is_home: bool,
+        cfg: ProbeConfig,
+        faults: &FaultPlan,
+        rng: &mut SimRng,
+        log: &mut SpanLog,
+    ) -> (ProbeOutcome, Option<SimDuration>, Option<RetryInfo>) {
         let (site, mut path) = target.instance.route(client);
         if is_home {
             path.extra_latency_ms += target.entry.home_extra_ms;
         }
 
-        // Paired ICMP probe (§3.1 "Latency").
+        // Paired ICMP probe (§3.1 "Latency"). Pings travel the base path:
+        // like the paper's tooling, the ICMP companion is a reachability
+        // signal, not a fault-injection subject.
         let ping = icmp::ping(&path, target.instance.icmp, cfg.ping_timeout, rng).rtt();
         match ping {
             Some(rtt) => log.instant(now.as_nanos() + rtt.as_nanos(), "icmp_echo_reply"),
             None => log.instant(now.as_nanos(), "icmp_filtered"),
         }
 
-        let health = target.instance.sample_health_at(now, rng);
-        let outcome = self.dns_probe(
-            client, target, domain, now, site, &path, health, cfg, rng, log,
-        );
-        (outcome, ping)
+        let ftarget = FaultTarget {
+            resolver: target.entry.hostname,
+            region: target.entry.region(),
+            vantage: &client.label,
+        };
+        let policy = cfg.retry;
+        let mut attempts = 0u32;
+        let mut attempt_errors: Vec<ProbeErrorKind> = Vec::new();
+        // Simulated time since probe start: failed attempts and backoff
+        // waits accumulate here, so retries see later plan windows.
+        let mut offset = SimDuration::ZERO;
+        let mut prev_backoff = SimDuration::ZERO;
+
+        loop {
+            attempts += 1;
+            let attempt_now = now + offset;
+            let effects = faults.effects_at(attempt_now, &ftarget);
+            let mut health = target.instance.sample_health_at(attempt_now, rng);
+            // Plan-driven health overrides: an injected site outage
+            // blackholes the service outright; an expired certificate
+            // surfaces unless the service is unreachable anyway.
+            if effects.site_outage {
+                health = ProbeHealth::Blackholed;
+            } else if effects.bad_certificate && health != ProbeHealth::Blackholed {
+                health = ProbeHealth::BadCertificate;
+            }
+
+            let outcome = self.dns_probe(
+                client,
+                target,
+                domain,
+                attempt_now,
+                site,
+                &path,
+                health,
+                &effects,
+                cfg,
+                rng,
+                log,
+            );
+
+            // Apply the per-attempt timeout: a "successful" exchange that
+            // outlives the client's patience is a timeout from the
+            // client's point of view, exactly as with `dig`.
+            let attempt_result = match outcome {
+                ProbeOutcome::Success { timings, .. }
+                    if policy
+                        .attempt_timeout
+                        .is_some_and(|to| timings.total() > to) =>
+                {
+                    Err((
+                        ProbeErrorKind::QueryTimeout,
+                        policy.attempt_timeout.expect("guard checked"),
+                    ))
+                }
+                ProbeOutcome::Success {
+                    timings,
+                    cache_hit,
+                    site,
+                } => Ok((timings, cache_hit, site)),
+                ProbeOutcome::Failure { kind, elapsed } => {
+                    let spent = match policy.attempt_timeout {
+                        Some(to) => elapsed.min(to),
+                        None => elapsed,
+                    };
+                    Err((kind, spent))
+                }
+            };
+
+            match attempt_result {
+                Ok((timings, cache_hit, site)) => {
+                    let ttlb = offset + timings.total();
+                    let info = RetryInfo {
+                        attempts,
+                        attempt_errors,
+                        ttfb: ttlb.saturating_sub(timings.dns_decode),
+                        ttlb,
+                    };
+                    return (
+                        ProbeOutcome::Success {
+                            timings,
+                            cache_hit,
+                            site,
+                        },
+                        ping,
+                        policy.enabled().then_some(info),
+                    );
+                }
+                Err((kind, spent)) => {
+                    attempt_errors.push(kind);
+                    if attempts >= policy.tries {
+                        let elapsed = offset + spent;
+                        let info = RetryInfo {
+                            attempts,
+                            attempt_errors,
+                            ttfb: elapsed,
+                            ttlb: elapsed,
+                        };
+                        return (
+                            ProbeOutcome::Failure { kind, elapsed },
+                            ping,
+                            policy.enabled().then_some(info),
+                        );
+                    }
+                    // Burned attempt plus the (possibly jittered) wait.
+                    prev_backoff = policy.backoff_after(attempts, prev_backoff, rng);
+                    offset = offset + spent + prev_backoff;
+                }
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -181,58 +350,55 @@ impl Prober {
         site: usize,
         path: &Path,
         health: ProbeHealth,
+        effects: &FaultEffects,
         cfg: ProbeConfig,
         rng: &mut SimRng,
         log: &mut SpanLog,
     ) -> ProbeOutcome {
-        // Outage states shape the path / transport behaviour.
+        // Outage states and link-layer faults shape the path / transport
+        // behaviour.
         let mut path = path.clone();
-        if health == ProbeHealth::Blackholed {
+        if health == ProbeHealth::Blackholed || effects.link_down {
             path.extra_loss = 1.0;
         }
+        if effects.extra_loss > 0.0 {
+            path.extra_loss = (path.extra_loss + effects.extra_loss).min(1.0);
+        }
+        path.extra_latency_ms += effects.extra_latency_ms;
         let refused = health == ProbeHealth::Refusing;
         let tls_behavior = match health {
             ProbeHealth::TlsBroken => TlsServerBehavior::Stall,
             ProbeHealth::BadCertificate => TlsServerBehavior::BadCertificate,
             _ => TlsServerBehavior::Normal,
         };
+        let hooks = FaultHooks {
+            refuse_connect: refused,
+            tls_behavior,
+            // HTTP-level rate limiting surfaces as a 429 on HTTP-carried
+            // protocols; `serve` folds it into a SERVFAIL elsewhere.
+            http_status_override: if effects.rate_limited {
+                Some(429)
+            } else {
+                None
+            },
+        };
 
         match cfg.protocol {
             Protocol::DoH => self.doh_probe(
-                target,
-                domain,
-                now,
-                site,
-                &path,
-                refused,
-                tls_behavior,
-                health,
-                cfg,
-                rng,
-                log,
+                target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
             ),
             Protocol::DoT => self.dot_probe(
-                target,
-                domain,
-                now,
-                site,
-                &path,
-                refused,
-                tls_behavior,
-                health,
-                cfg,
-                rng,
-                log,
+                target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
             ),
-            Protocol::Do53 => {
-                self.do53_probe(target, domain, now, site, &path, health, cfg, rng, log)
-            }
+            Protocol::Do53 => self.do53_probe(
+                target, domain, now, site, &path, health, effects, cfg, rng, log,
+            ),
             Protocol::DoQ => self.doq_probe(
-                target, domain, now, site, &path, refused, health, cfg, rng, log,
+                target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
             ),
-            Protocol::ODoH => {
-                self.odoh_probe(_client, target, domain, now, site, health, cfg, rng, log)
-            }
+            Protocol::ODoH => self.odoh_probe(
+                _client, target, domain, now, site, health, effects, cfg, rng, log,
+            ),
         }
     }
 
@@ -252,6 +418,12 @@ impl Prober {
     }
 
     /// Runs the server side and builds the DNS response message bytes.
+    ///
+    /// `http_layer` says whether the carrying protocol has an HTTP layer:
+    /// there an injected rate limit surfaces as a 429 before any DNS
+    /// payload matters, while on bare transports (Do53/DoT/DoQ) the
+    /// overloaded frontend sheds load by answering SERVFAIL instead.
+    #[allow(clippy::too_many_arguments)]
     fn serve(
         &self,
         target: &mut ProbeTarget,
@@ -259,27 +431,38 @@ impl Prober {
         domain: &Name,
         now: SimTime,
         site: usize,
+        effects: &FaultEffects,
+        http_layer: bool,
         rng: &mut SimRng,
     ) -> (SimDuration, bool, Rcode, Vec<u8>) {
-        let (server_time, resolution) = target.instance.server_mut(site).handle_query(
+        let (server_time, resolution) = target.instance.server_mut(site).handle_query_loaded(
             domain,
             RecordType::A,
             &self.authorities,
             now,
+            effects.slowdown,
             rng,
         );
-        let mut response = MessageBuilder::response_to(query, resolution.rcode)
+        let shed = effects.servfail || (!http_layer && effects.rate_limited);
+        let rcode = if shed {
+            Rcode::ServFail
+        } else {
+            resolution.rcode
+        };
+        let mut response = MessageBuilder::response_to(query, rcode)
             .recursion_available(true)
             .build();
-        for rdata in &resolution.records {
-            response.answers.push(dns_wire::ResourceRecord::new(
-                domain.clone(),
-                300,
-                rdata.clone(),
-            ));
+        if !shed {
+            for rdata in &resolution.records {
+                response.answers.push(dns_wire::ResourceRecord::new(
+                    domain.clone(),
+                    300,
+                    rdata.clone(),
+                ));
+            }
         }
         let wire = response.encode().expect("response encodes");
-        (server_time, resolution.cache_hit, resolution.rcode, wire)
+        (server_time, resolution.cache_hit, rcode, wire)
     }
 
     fn check_rcode(
@@ -310,9 +493,9 @@ impl Prober {
         now: SimTime,
         site: usize,
         path: &Path,
-        refused: bool,
-        tls_behavior: TlsServerBehavior,
+        hooks: FaultHooks,
         health: ProbeHealth,
+        effects: &FaultEffects,
         cfg: ProbeConfig,
         rng: &mut SimRng,
         log: &mut SpanLog,
@@ -327,23 +510,29 @@ impl Prober {
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
 
         // TCP.
-        let (mut tcp, connect) =
-            match TcpConnection::connect_traced(path, refused, rng, TcpConfig::default(), t, log) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    return ProbeOutcome::Failure {
-                        kind: e.into(),
-                        elapsed: e.elapsed,
-                    }
+        let (mut tcp, connect) = match TcpConnection::connect_traced(
+            path,
+            hooks.refuse_connect,
+            rng,
+            TcpConfig::default(),
+            t,
+            log,
+        ) {
+            Ok(ok) => ok,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: e.elapsed,
                 }
-            };
+            }
+        };
         t += connect.as_nanos();
         // TLS.
         let tls = match TlsSession::handshake_traced(
             &mut tcp,
             path,
             TlsConfig::default(),
-            tls_behavior,
+            hooks.tls_behavior,
             None,
             rng,
             t,
@@ -383,12 +572,13 @@ impl Prober {
         // Server side. The authoritative rcode travels inside the encoded
         // response; the client re-derives it by decoding the HTTP body.
         let (server_time, cache_hit, _rcode, dns_response) =
-            self.serve(target, &query, domain, now, site, rng);
-        let http_status = if health == ProbeHealth::HttpError {
+            self.serve(target, &query, domain, now, site, effects, true, rng);
+        let base_status = if health == ProbeHealth::HttpError {
             500
         } else {
             200
         };
+        let http_status = hooks.http_status(base_status);
         let content_type = HeaderField::new("content-type", "application/dns-message");
 
         // HTTP/1.1-only servers don't offer h2 in their ALPN; the client
@@ -467,7 +657,11 @@ impl Prober {
         );
         if status != 200 {
             return ProbeOutcome::Failure {
-                kind: ProbeErrorKind::HttpStatus,
+                kind: if status == 429 {
+                    ProbeErrorKind::RateLimited
+                } else {
+                    ProbeErrorKind::HttpStatus
+                },
                 elapsed: timings.total(),
             };
         }
@@ -489,9 +683,9 @@ impl Prober {
         now: SimTime,
         site: usize,
         path: &Path,
-        refused: bool,
-        tls_behavior: TlsServerBehavior,
+        hooks: FaultHooks,
         health: ProbeHealth,
+        effects: &FaultEffects,
         cfg: ProbeConfig,
         rng: &mut SimRng,
         log: &mut SpanLog,
@@ -501,22 +695,28 @@ impl Prober {
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
 
-        let (mut tcp, connect) =
-            match TcpConnection::connect_traced(path, refused, rng, TcpConfig::default(), t, log) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    return ProbeOutcome::Failure {
-                        kind: e.into(),
-                        elapsed: e.elapsed,
-                    }
+        let (mut tcp, connect) = match TcpConnection::connect_traced(
+            path,
+            hooks.refuse_connect,
+            rng,
+            TcpConfig::default(),
+            t,
+            log,
+        ) {
+            Ok(ok) => ok,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: e.elapsed,
                 }
-            };
+            }
+        };
         t += connect.as_nanos();
         let tls = match TlsSession::handshake_traced(
             &mut tcp,
             path,
             TlsConfig::default(),
-            tls_behavior,
+            hooks.tls_behavior,
             None,
             rng,
             t,
@@ -532,7 +732,7 @@ impl Prober {
         };
         t += tls.handshake_time.as_nanos();
         let (server_time, cache_hit, rcode, dns_response) =
-            self.serve(target, &query, domain, now, site, rng);
+            self.serve(target, &query, domain, now, site, effects, false, rng);
         if health == ProbeHealth::HttpError {
             // DoT has no HTTP layer; the analogous failure is a ServFail.
             let out = tcp.request_response_traced(
@@ -597,6 +797,7 @@ impl Prober {
         site: usize,
         path: &Path,
         health: ProbeHealth,
+        effects: &FaultEffects,
         cfg: ProbeConfig,
         rng: &mut SimRng,
         log: &mut SpanLog,
@@ -616,14 +817,10 @@ impl Prober {
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
         let (server_time, cache_hit, rcode, dns_response) =
-            self.serve(target, &query, domain, now, site, rng);
-        // dig defaults: 5 s timeout, 3 tries.
-        let policy = RetryPolicy {
-            initial_rto: SimDuration::from_secs(5),
-            backoff: 1,
-            max_attempts: 3,
-            max_rto: SimDuration::from_secs(5),
-        };
+            self.serve(target, &query, domain, now, site, effects, false, rng);
+        // The datagram-level retransmit schedule is `dig`'s: one home for
+        // the constants, shared with the probe-level retry layer.
+        let policy = RetryPolicy::dig_defaults().as_flight_policy();
         match transport::exchange_traced(
             &path,
             query_wire.len(),
@@ -675,6 +872,7 @@ impl Prober {
         now: SimTime,
         site: usize,
         health: ProbeHealth,
+        effects: &FaultEffects,
         cfg: ProbeConfig,
         rng: &mut SimRng,
         log: &mut SpanLog,
@@ -759,7 +957,7 @@ impl Prober {
 
         // Target side: resolve and seal the response.
         let (server_time, cache_hit, rcode, dns_response) =
-            self.serve(target, &query, domain, now, site, rng);
+            self.serve(target, &query, domain, now, site, effects, true, rng);
         let (_plain, kem) = match odoh::open_query(&key, &sealed_query) {
             Ok(ok) => ok,
             Err(_) => {
@@ -810,7 +1008,11 @@ impl Prober {
             },
             body: Bytes::from(sealed_query_wire),
         };
-        let http_status = if health == ProbeHealth::HttpError {
+        // A rate-limited target answers the relay with a 429, which the
+        // relay forwards to the client.
+        let http_status = if effects.rate_limited {
+            429
+        } else if health == ProbeHealth::HttpError {
             500
         } else {
             200
@@ -864,7 +1066,11 @@ impl Prober {
         );
         if resp.status != 200 {
             return ProbeOutcome::Failure {
-                kind: ProbeErrorKind::HttpStatus,
+                kind: if resp.status == 429 {
+                    ProbeErrorKind::RateLimited
+                } else {
+                    ProbeErrorKind::HttpStatus
+                },
                 elapsed: timings.total(),
             };
         }
@@ -892,13 +1098,14 @@ impl Prober {
         now: SimTime,
         site: usize,
         path: &Path,
-        refused: bool,
+        hooks: FaultHooks,
         health: ProbeHealth,
+        effects: &FaultEffects,
         cfg: ProbeConfig,
         rng: &mut SimRng,
         log: &mut SpanLog,
     ) -> ProbeOutcome {
-        if refused {
+        if hooks.refuse_connect {
             // QUIC: a closed port answers with ICMP unreachable ≈ one RTT.
             let rtt = path
                 .sample_rtt(1200, 60, rng)
@@ -925,7 +1132,7 @@ impl Prober {
             };
         t += connect.as_nanos();
         let (server_time, cache_hit, rcode, dns_response) =
-            self.serve(target, &query, domain, now, site, rng);
+            self.serve(target, &query, domain, now, site, effects, false, rng);
         match quic.stream_exchange_traced(
             path,
             2 + query_wire.len(),

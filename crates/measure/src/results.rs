@@ -6,6 +6,7 @@ use obs::{Label, Phase};
 
 use crate::errors::ProbeErrorKind;
 use crate::json::Json;
+use crate::retry::RetryInfo;
 
 /// The encrypted-DNS protocol a probe used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -226,6 +227,9 @@ pub struct ProbeRecord {
     pub outcome: ProbeOutcome,
     /// Paired ICMP RTT, when the resolver answered the ping.
     pub ping: Option<SimDuration>,
+    /// Per-attempt retry accounting; `None` when the retry layer is
+    /// disabled (keeps the JSON byte-identical to pre-retry output).
+    pub retry: Option<RetryInfo>,
 }
 
 /// The JSON key for one phase inside the `phases` object.
@@ -285,7 +289,14 @@ impl ProbeRecord {
             protocol,
             outcome,
             ping,
+            retry: None,
         }
+    }
+
+    /// Attaches per-attempt retry accounting (builder-style).
+    pub fn with_retry(mut self, retry: Option<RetryInfo>) -> ProbeRecord {
+        self.retry = retry;
+        self
     }
 
     /// Vantage label, e.g. `"ec2-ohio"`.
@@ -344,15 +355,42 @@ impl ProbeRecord {
             key(out, first, k);
             out.push_str(if v { "true" } else { "false" });
         }
+        fn int_field(out: &mut String, first: bool, k: &str, v: i64) {
+            key(out, first, k);
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{v}"));
+        }
+        // Leading retry keys ("attempt_errors", "attempts") sort before
+        // every other top-level key in both record shapes.
+        fn retry_prefix(out: &mut String, info: &RetryInfo) {
+            key(out, true, "attempt_errors");
+            out.push('[');
+            for (i, e) in info.attempt_errors.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::json::write_str(out, e.label());
+            }
+            out.push(']');
+            int_field(out, false, "attempts", info.attempts as i64);
+        }
+        // Trailing retry keys sort between "ts_ms" and "vantage".
+        fn retry_suffix(out: &mut String, info: &RetryInfo) {
+            float_field(out, false, "ttfb_ms", info.ttfb.as_millis_f64());
+            float_field(out, false, "ttlb_ms", info.ttlb.as_millis_f64());
+        }
 
         out.push('{');
+        let lead = self.retry.is_none();
+        if let Some(info) = &self.retry {
+            retry_prefix(out, info);
+        }
         match &self.outcome {
             ProbeOutcome::Success {
                 timings,
                 cache_hit,
                 site,
             } => {
-                bool_field(out, true, "cache_hit", *cache_hit);
+                bool_field(out, lead, "cache_hit", *cache_hit);
                 float_field(out, false, "connect_ms", timings.connect.as_millis_f64());
                 str_field(out, false, "domain", self.domain());
                 bool_field(out, false, "mainstream", self.mainstream);
@@ -418,10 +456,13 @@ impl ProbeRecord {
                 let _ = std::fmt::Write::write_fmt(out, format_args!("{}", *site as i64));
                 bool_field(out, false, "success", true);
                 float_field(out, false, "ts_ms", self.at.as_millis_f64());
+                if let Some(info) = &self.retry {
+                    retry_suffix(out, info);
+                }
                 str_field(out, false, "vantage", self.vantage());
             }
             ProbeOutcome::Failure { kind, elapsed } => {
-                str_field(out, true, "domain", self.domain());
+                str_field(out, lead, "domain", self.domain());
                 float_field(out, false, "elapsed_ms", elapsed.as_millis_f64());
                 str_field(out, false, "error", kind.label());
                 bool_field(out, false, "mainstream", self.mainstream);
@@ -442,6 +483,9 @@ impl ProbeRecord {
                 );
                 bool_field(out, false, "success", false);
                 float_field(out, false, "ts_ms", self.at.as_millis_f64());
+                if let Some(info) = &self.retry {
+                    retry_suffix(out, info);
+                }
                 str_field(out, false, "vantage", self.vantage());
             }
         }
@@ -501,6 +545,20 @@ impl ProbeRecord {
         } else {
             pairs.push(("ping_ms", Json::Null));
         }
+        if let Some(info) = &self.retry {
+            pairs.push(("attempts", Json::Int(info.attempts as i64)));
+            pairs.push((
+                "attempt_errors",
+                Json::Array(
+                    info.attempt_errors
+                        .iter()
+                        .map(|e| Json::Str(e.label().to_string()))
+                        .collect(),
+                ),
+            ));
+            pairs.push(("ttfb_ms", Json::Float(info.ttfb.as_millis_f64())));
+            pairs.push(("ttlb_ms", Json::Float(info.ttlb.as_millis_f64())));
+        }
         Json::object(pairs)
     }
 
@@ -544,6 +602,23 @@ impl ProbeRecord {
             Some(Json::Null) | None => None,
             Some(p) => Some(SimDuration::from_millis_f64(p.as_f64()?)),
         };
+        // Retry accounting is optional: pre-retry records simply lack the
+        // "attempts" key.
+        let retry = match v.get("attempts") {
+            Some(attempts) => {
+                let mut attempt_errors = Vec::new();
+                for e in v.get("attempt_errors")?.as_array()? {
+                    attempt_errors.push(ProbeErrorKind::from_label(e.as_str()?)?);
+                }
+                Some(RetryInfo {
+                    attempts: attempts.as_i64()? as u32,
+                    attempt_errors,
+                    ttfb: SimDuration::from_millis_f64(v.get("ttfb_ms")?.as_f64()?),
+                    ttlb: SimDuration::from_millis_f64(v.get("ttlb_ms")?.as_f64()?),
+                })
+            }
+            None => None,
+        };
         Some(ProbeRecord {
             at,
             vantage: Label::intern(v.get("vantage")?.as_str()?),
@@ -554,6 +629,7 @@ impl ProbeRecord {
             protocol: Protocol::from_label(v.get("protocol")?.as_str()?)?,
             outcome,
             ping,
+            retry,
         })
     }
 }
@@ -584,6 +660,7 @@ mod tests {
                 site: 0,
             },
             ping: Some(SimDuration::from_millis_f64(7.0)),
+            retry: None,
         }
     }
 
@@ -601,6 +678,7 @@ mod tests {
                 elapsed: SimDuration::from_secs(15),
             },
             ping: None,
+            retry: None,
         }
     }
 
@@ -791,5 +869,63 @@ mod tests {
     fn malformed_json_yields_none() {
         let j = Json::object([("success", Json::Bool(true))]);
         assert_eq!(ProbeRecord::from_json(&j), None);
+    }
+
+    fn retried_success() -> ProbeRecord {
+        success_record().with_retry(Some(RetryInfo {
+            attempts: 3,
+            attempt_errors: vec![ProbeErrorKind::ConnectTimeout, ProbeErrorKind::RateLimited],
+            ttfb: SimDuration::from_millis_f64(10_023.2),
+            ttlb: SimDuration::from_millis_f64(10_023.21),
+        }))
+    }
+
+    fn exhausted_failure() -> ProbeRecord {
+        failure_record().with_retry(Some(RetryInfo {
+            attempts: 3,
+            attempt_errors: vec![ProbeErrorKind::ConnectTimeout; 3],
+            ttfb: SimDuration::from_secs(15),
+            ttlb: SimDuration::from_secs(15),
+        }))
+    }
+
+    #[test]
+    fn retry_accounting_round_trips_through_json() {
+        for r in [retried_success(), exhausted_failure()] {
+            let text = r.to_json().to_string_compact();
+            assert!(text.contains("\"attempts\":3"), "{text}");
+            assert!(text.contains("\"attempt_errors\":["), "{text}");
+            assert!(text.contains("\"ttlb_ms\""), "{text}");
+            let back = ProbeRecord::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn streaming_writer_matches_tree_writer_with_retries() {
+        for r in [retried_success(), exhausted_failure()] {
+            let mut streamed = String::new();
+            r.write_json_line(&mut streamed);
+            assert_eq!(streamed, r.to_json().to_string_compact());
+        }
+        // Recovered on attempt 2: a success with a single burned attempt.
+        let r = success_record().with_retry(Some(RetryInfo {
+            attempts: 2,
+            attempt_errors: vec![ProbeErrorKind::TlsFailure],
+            ttfb: SimDuration::from_secs(5),
+            ttlb: SimDuration::from_secs(5),
+        }));
+        let mut streamed = String::new();
+        r.write_json_line(&mut streamed);
+        assert_eq!(streamed, r.to_json().to_string_compact());
+    }
+
+    #[test]
+    fn disabled_retry_layer_adds_no_keys() {
+        for r in [success_record(), failure_record()] {
+            let text = r.to_json().to_string_compact();
+            assert!(!text.contains("attempts"), "{text}");
+            assert!(!text.contains("ttfb_ms"), "{text}");
+        }
     }
 }

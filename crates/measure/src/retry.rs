@@ -1,0 +1,347 @@
+//! Client retry policy: tries, per-attempt timeout, exponential backoff.
+//!
+//! The paper's measurement client is `dig` with its stock defaults — 5 s
+//! per-attempt timeout, 3 tries, no backoff — and those numbers shape the
+//! error taxonomy: a blackholed resolver costs exactly `tries × timeout`
+//! before it is written down as a connection failure. [`RetryPolicy`]
+//! makes that schedule explicit and configurable, and
+//! [`RetryPolicy::dig_defaults`] is the single home for the magic
+//! constants previously scattered through `probe.rs`.
+//!
+//! Determinism contract: with [`RetryPolicy::none`] (the default) the
+//! retry layer is invisible — one attempt, no extra RNG draws, no extra
+//! JSON keys — so campaign output stays byte-identical to a build without
+//! it. Jitter, when configured, draws from the probe's own seeded RNG
+//! stream, keeping `run_parallel(n)` bit-identical to `run()`.
+
+use crate::errors::ProbeErrorKind;
+use netsim::{SimDuration, SimRng};
+use transport::RetryPolicy as FlightRetryPolicy;
+
+/// `dig`'s stock per-attempt timeout (`+timeout=5`).
+pub const DIG_TIMEOUT: SimDuration = SimDuration::from_secs(5);
+/// `dig`'s stock try count (`+tries=3`).
+pub const DIG_TRIES: u32 = 3;
+
+/// A probe-level retry schedule: how many attempts, how long each may
+/// run, and how long to wait between them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub tries: u32,
+    /// Per-attempt wall-clock budget. `None` lets each attempt run to its
+    /// natural transport conclusion (the protocol's own timeouts apply).
+    pub attempt_timeout: Option<SimDuration>,
+    /// Base backoff before the first retry; doubles each further retry.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the (pre-jitter) backoff.
+    pub backoff_cap: SimDuration,
+    /// Multiplicative jitter fraction in `0.0..=1.0`: each backoff is
+    /// scaled by `1 + jitter·u` with `u` uniform in `[0, 1)` from the
+    /// probe's seeded RNG. `0.0` draws nothing.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No retry behaviour at all: one attempt, no timeout, no backoff.
+    /// This is the default and is byte-transparent to golden output.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            tries: 1,
+            attempt_timeout: None,
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// The paper's client: `dig` stock defaults — 3 tries, 5 s per
+    /// attempt, immediate retry (no backoff, no jitter).
+    pub const fn dig_defaults() -> Self {
+        RetryPolicy {
+            tries: DIG_TRIES,
+            attempt_timeout: Some(DIG_TIMEOUT),
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// Whether the retry layer is active (and per-attempt accounting is
+    /// recorded). False exactly for [`RetryPolicy::none`]-shaped policies.
+    pub fn enabled(&self) -> bool {
+        self.tries > 1 || self.attempt_timeout.is_some()
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tries == 0 {
+            return Err("retry policy: tries must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err("retry policy: jitter must be in [0, 1]".into());
+        }
+        if self.backoff_cap < self.backoff_base && self.backoff_cap != SimDuration::ZERO {
+            return Err("retry policy: backoff cap below base".into());
+        }
+        Ok(())
+    }
+
+    /// The pre-jitter backoff after `failed_attempt` (1-based):
+    /// `min(base · 2^(failed_attempt-1), cap)`.
+    fn base_backoff(&self, failed_attempt: u32) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let doubled = self
+            .backoff_base
+            .as_nanos()
+            .saturating_mul(1u64 << (failed_attempt - 1).min(62));
+        let capped = if self.backoff_cap == SimDuration::ZERO {
+            doubled
+        } else {
+            doubled.min(self.backoff_cap.as_nanos())
+        };
+        SimDuration::from_nanos(capped)
+    }
+
+    /// The wait before retrying after `failed_attempt` (1-based), with
+    /// jitter applied and clamped so the realized schedule is monotonically
+    /// non-decreasing (`prev` is the previous realized backoff).
+    pub fn backoff_after(
+        &self,
+        failed_attempt: u32,
+        prev: SimDuration,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let base = self.base_backoff(failed_attempt);
+        if base == SimDuration::ZERO {
+            return prev.max(SimDuration::ZERO);
+        }
+        let jittered = if self.jitter > 0.0 {
+            let scale = 1.0 + self.jitter * rng.uniform();
+            SimDuration::from_nanos((base.as_nanos() as f64 * scale) as u64)
+        } else {
+            base
+        };
+        jittered.max(prev)
+    }
+
+    /// The realized backoff schedule for a fully-exhausted probe:
+    /// `tries - 1` waits, in order.
+    pub fn backoff_schedule(&self, rng: &mut SimRng) -> Vec<SimDuration> {
+        let mut prev = SimDuration::ZERO;
+        (1..self.tries)
+            .map(|attempt| {
+                prev = self.backoff_after(attempt, prev, rng);
+                prev
+            })
+            .collect()
+    }
+
+    /// The largest backoff any single wait can realize: `cap · (1 + jitter)`
+    /// (or `base · 2^(tries-2) · (1 + jitter)` when uncapped).
+    pub fn max_backoff(&self) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO || self.tries < 2 {
+            return SimDuration::ZERO;
+        }
+        let ceiling = if self.backoff_cap == SimDuration::ZERO {
+            self.base_backoff(self.tries - 1)
+        } else {
+            self.backoff_cap
+        };
+        SimDuration::from_nanos((ceiling.as_nanos() as f64 * (1.0 + self.jitter)).ceil() as u64)
+    }
+
+    /// Upper bound on total probe duration when every attempt has a
+    /// timeout: `tries × (timeout + max backoff)`. `None` when attempts
+    /// are unbounded.
+    pub fn max_total(&self) -> Option<SimDuration> {
+        let timeout = self.attempt_timeout?;
+        let per_attempt = SimDuration::from_nanos(
+            timeout
+                .as_nanos()
+                .saturating_add(self.max_backoff().as_nanos()),
+        );
+        Some(per_attempt.times(self.tries as u64))
+    }
+
+    /// The equivalent transport flight policy for a single datagram
+    /// exchange. `dig_defaults().as_flight_policy()` reproduces the Do53
+    /// probe's historical constants exactly (5 s RTO, no backoff growth,
+    /// 3 attempts).
+    pub fn as_flight_policy(&self) -> FlightRetryPolicy {
+        let rto = self.attempt_timeout.unwrap_or(DIG_TIMEOUT);
+        FlightRetryPolicy {
+            initial_rto: rto,
+            backoff: 1,
+            max_attempts: self.tries,
+            max_rto: rto,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Per-attempt accounting for one retried probe, recorded in the probe
+/// record when the policy is [enabled](RetryPolicy::enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryInfo {
+    /// Attempts actually made (1-based; `<= tries`).
+    pub attempts: u32,
+    /// Error kinds of the failed attempts, in attempt order. On a
+    /// recovered probe this holds the burned attempts; on an exhausted
+    /// probe the final attempt's error is the last element.
+    pub attempt_errors: Vec<ProbeErrorKind>,
+    /// Probe start to first response byte of the successful attempt
+    /// (equals [`ttlb`](Self::ttlb) minus decode time on success; equals
+    /// `ttlb` on failure).
+    pub ttfb: SimDuration,
+    /// Probe start to the end of the final attempt, burned attempts and
+    /// backoff waits included.
+    pub ttlb: SimDuration,
+}
+
+impl RetryInfo {
+    /// Whether the probe succeeded only after burning earlier attempts.
+    pub fn recovered(&self) -> bool {
+        self.attempts > 1 && self.attempt_errors.len() < self.attempts as usize
+    }
+
+    /// Whether every attempt failed.
+    pub fn exhausted(&self) -> bool {
+        !self.attempt_errors.is_empty() && self.attempt_errors.len() == self.attempts as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled_and_dig_is_enabled() {
+        assert!(!RetryPolicy::none().enabled());
+        assert!(RetryPolicy::dig_defaults().enabled());
+        assert_eq!(RetryPolicy::default(), RetryPolicy::none());
+    }
+
+    #[test]
+    fn dig_defaults_match_historical_flight_constants() {
+        let flight = RetryPolicy::dig_defaults().as_flight_policy();
+        assert_eq!(flight.initial_rto, SimDuration::from_secs(5));
+        assert_eq!(flight.backoff, 1);
+        assert_eq!(flight.max_attempts, 3);
+        assert_eq!(flight.max_rto, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            tries: 6,
+            attempt_timeout: Some(SimDuration::from_secs(2)),
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_millis(500),
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::from_seed(7);
+        let schedule = policy.backoff_schedule(&mut rng);
+        assert_eq!(
+            schedule,
+            vec![
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(400),
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(500),
+            ]
+        );
+        assert_eq!(policy.max_backoff(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let policy = RetryPolicy {
+            tries: 5,
+            attempt_timeout: Some(SimDuration::from_secs(1)),
+            backoff_base: SimDuration::from_millis(50),
+            backoff_cap: SimDuration::from_millis(400),
+            jitter: 0.5,
+        };
+        let a = policy.backoff_schedule(&mut SimRng::from_seed(11));
+        let b = policy.backoff_schedule(&mut SimRng::from_seed(11));
+        let c = policy.backoff_schedule(&mut SimRng::from_seed(12));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different jitter");
+        for pair in a.windows(2) {
+            assert!(pair[1] >= pair[0], "schedule must be non-decreasing");
+        }
+        for wait in &a {
+            assert!(*wait <= policy.max_backoff());
+        }
+    }
+
+    #[test]
+    fn max_total_bounds_the_schedule() {
+        let policy = RetryPolicy {
+            tries: 4,
+            attempt_timeout: Some(SimDuration::from_secs(3)),
+            backoff_base: SimDuration::from_millis(200),
+            backoff_cap: SimDuration::from_secs(1),
+            jitter: 0.25,
+        };
+        let total = policy.max_total().unwrap();
+        let mut rng = SimRng::from_seed(3);
+        let waits: u64 = policy
+            .backoff_schedule(&mut rng)
+            .iter()
+            .map(|d| d.as_nanos())
+            .sum();
+        let worst_case = 4 * SimDuration::from_secs(3).as_nanos() + waits;
+        assert!(worst_case <= total.as_nanos());
+        assert!(RetryPolicy::none().max_total().is_none());
+    }
+
+    #[test]
+    fn validate_flags_nonsense() {
+        assert!(RetryPolicy::none().validate().is_ok());
+        assert!(RetryPolicy::dig_defaults().validate().is_ok());
+        let mut p = RetryPolicy::dig_defaults();
+        p.tries = 0;
+        assert!(p.validate().is_err());
+        p = RetryPolicy::dig_defaults();
+        p.jitter = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn retry_info_classification() {
+        let recovered = RetryInfo {
+            attempts: 3,
+            attempt_errors: vec![ProbeErrorKind::ConnectTimeout; 2],
+            ttfb: SimDuration::from_secs(10),
+            ttlb: SimDuration::from_secs(10),
+        };
+        assert!(recovered.recovered());
+        assert!(!recovered.exhausted());
+        let exhausted = RetryInfo {
+            attempts: 3,
+            attempt_errors: vec![ProbeErrorKind::ConnectTimeout; 3],
+            ttfb: SimDuration::from_secs(15),
+            ttlb: SimDuration::from_secs(15),
+        };
+        assert!(!exhausted.recovered());
+        assert!(exhausted.exhausted());
+        let clean = RetryInfo {
+            attempts: 1,
+            attempt_errors: Vec::new(),
+            ttfb: SimDuration::from_millis(40),
+            ttlb: SimDuration::from_millis(42),
+        };
+        assert!(!clean.recovered());
+        assert!(!clean.exhausted());
+    }
+}

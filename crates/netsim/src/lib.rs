@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod geo;
 pub mod icmp;
 pub mod link;
@@ -53,6 +54,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use faults::{FaultEffects, FaultEvent, FaultKind, FaultPlan, FaultScope, FaultTarget};
 pub use geo::{City, GeoPoint, Region};
 pub use icmp::{ping, ping_with_retries, IcmpPolicy, PingOutcome};
 pub use link::{Path, Traversal};

@@ -200,12 +200,30 @@ pub struct CellMetrics {
     pub phase_ms: [Histogram; Phase::COUNT],
     /// Most recent successful response time (ms).
     pub last_response_ms: Gauge,
+    /// Retried (non-final) attempt failures, attributed to the probe
+    /// phase in which the failed attempt died, indexed by
+    /// [`Phase::index`]. All zero when the retry layer is disabled.
+    pub retries_by_phase: [Counter; Phase::COUNT],
+    /// Probes that failed at least once but succeeded within budget.
+    pub recovered: Counter,
+    /// Probes that burned every retry attempt and still failed.
+    pub exhausted: Counter,
 }
 
 impl CellMetrics {
     /// The histogram for `phase`.
     pub fn phase(&mut self, phase: Phase) -> &mut Histogram {
         &mut self.phase_ms[phase.index()]
+    }
+
+    /// The retried-attempt counter for `phase`.
+    pub fn retries(&mut self, phase: Phase) -> &mut Counter {
+        &mut self.retries_by_phase[phase.index()]
+    }
+
+    /// Total retried attempts across all phases.
+    pub fn total_retries(&self) -> u64 {
+        self.retries_by_phase.iter().map(|c| c.get()).sum()
     }
 }
 
@@ -319,6 +337,21 @@ impl MetricsSnapshot {
         self.cells.iter().map(|c| c.metrics.successes.get()).sum()
     }
 
+    /// Total retried (non-final) attempts across all cells.
+    pub fn total_retries(&self) -> u64 {
+        self.cells.iter().map(|c| c.metrics.total_retries()).sum()
+    }
+
+    /// Total probes that recovered via retry across all cells.
+    pub fn total_recovered(&self) -> u64 {
+        self.cells.iter().map(|c| c.metrics.recovered.get()).sum()
+    }
+
+    /// Total probes that exhausted their retry budget across all cells.
+    pub fn total_exhausted(&self) -> u64 {
+        self.cells.iter().map(|c| c.metrics.exhausted.get()).sum()
+    }
+
     /// Renders a human-readable table: one block per cell with response and
     /// per-phase histograms. Deterministic for identical snapshots.
     pub fn render(&self) -> String {
@@ -359,6 +392,23 @@ impl MetricsSnapshot {
             }
             if m.ping_ms.count() > 0 {
                 out.push_str(&format!("  ping      {}\n", m.ping_ms.render_compact()));
+            }
+            if m.total_retries() > 0 || m.recovered.get() > 0 || m.exhausted.get() > 0 {
+                let by_phase: Vec<String> = Phase::ALL
+                    .iter()
+                    .filter(|p| m.retries_by_phase[p.index()].get() > 0)
+                    .map(|p| format!("{}={}", p.name(), m.retries_by_phase[p.index()].get()))
+                    .collect();
+                out.push_str(&format!(
+                    "  retries: total={} recovered={} exhausted={}",
+                    m.total_retries(),
+                    m.recovered.get(),
+                    m.exhausted.get(),
+                ));
+                if !by_phase.is_empty() {
+                    out.push_str(&format!(" [{}]", by_phase.join(" ")));
+                }
+                out.push('\n');
             }
         }
         out
@@ -422,6 +472,35 @@ mod tests {
             r.snapshot().render()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn retry_counters_render_only_when_nonzero() {
+        let mut r = MetricsRegistry::new();
+        let cell = r.cell("x", "v", "doh");
+        cell.probes.inc();
+        cell.successes.inc();
+        cell.response_ms.observe(50.0);
+        let quiet = r.snapshot().render();
+        assert!(
+            !quiet.contains("retries:"),
+            "zero retry counters must not render: {quiet}"
+        );
+
+        let cell = r.cell("x", "v", "doh");
+        cell.retries(Phase::Connect).add(2);
+        cell.retries(Phase::TlsHandshake).inc();
+        cell.recovered.inc();
+        assert_eq!(cell.total_retries(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.total_retries(), 3);
+        assert_eq!(snap.total_recovered(), 1);
+        assert_eq!(snap.total_exhausted(), 0);
+        let loud = snap.render();
+        assert!(
+            loud.contains("retries: total=3 recovered=1 exhausted=0 [connect=2 tls_handshake=1]"),
+            "{loud}"
+        );
     }
 
     #[test]

@@ -147,6 +147,25 @@ impl Dataset {
         a
     }
 
+    /// Retry-layer outcome tallies: probes that failed at least once but
+    /// recovered within their retry budget, and probes that exhausted it.
+    /// Both are zero for datasets recorded with retries disabled, whose
+    /// records carry no attempt accounting.
+    pub fn retry_outcomes(&self) -> (u64, u64) {
+        let mut recovered = 0u64;
+        let mut exhausted = 0u64;
+        for r in &self.records {
+            if let Some(retry) = &r.retry {
+                match &r.outcome {
+                    ProbeOutcome::Success { .. } if retry.recovered() => recovered += 1,
+                    ProbeOutcome::Failure { .. } if retry.exhausted() => exhausted += 1,
+                    _ => {}
+                }
+            }
+        }
+        (recovered, exhausted)
+    }
+
     /// Per-resolver availability ledger.
     pub fn availability_by_resolver(&self) -> edns_stats::AvailabilityLedger {
         let mut l = edns_stats::AvailabilityLedger::new();

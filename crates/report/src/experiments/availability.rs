@@ -16,6 +16,12 @@ pub struct AvailabilityReport {
     pub connection_error_share: f64,
     /// The single most common error label.
     pub dominant_error: Option<String>,
+    /// Probes that failed at least once but succeeded within their retry
+    /// budget — transient faults the retry layer absorbed. These count as
+    /// successes above; the paper's error tally only sees exhausted probes.
+    pub transient_recovered: u64,
+    /// Probes that burned every retry attempt and still failed.
+    pub exhausted: u64,
     /// Resolvers with availability below 50 % from any vantage (the
     /// effectively-dead services).
     pub mostly_unavailable: Vec<String>,
@@ -48,9 +54,12 @@ pub fn run(dataset: &Dataset) -> AvailabilityReport {
         .sum();
     let total_errors = agg.error_count();
     let ledger = dataset.availability_by_resolver();
+    let (transient_recovered, exhausted) = dataset.retry_outcomes();
     AvailabilityReport {
         successes: agg.successes,
         errors: total_errors,
+        transient_recovered,
+        exhausted,
         connection_error_share: if total_errors == 0 {
             0.0
         } else {
@@ -82,16 +91,26 @@ pub fn render(dataset: &Dataset) -> String {
             ),
         ]);
     }
+    let retry_lines = if report.transient_recovered > 0 || report.exhausted > 0 {
+        format!(
+            "transient failures recovered by retry: {}\n\
+             probes exhausting their retry budget: {}\n",
+            report.transient_recovered, report.exhausted,
+        )
+    } else {
+        String::new()
+    };
     format!(
         "Availability (paper: 5,098,281 successes / 311,351 errors = 5.76% error rate,\n\
          dominated by connection-establishment failures)\n\n\
          successes: {}\nerrors:    {}\nerror rate: {:.2}%\n\
          connection-failure share of errors: {:.1}%\n\
-         resolvers under 50% availability: {}\n\n{}",
+         {}resolvers under 50% availability: {}\n\n{}",
         report.successes,
         report.errors,
         100.0 * report.error_rate(),
         100.0 * report.connection_error_share,
+        retry_lines,
         report.mostly_unavailable.join(", "),
         t.render()
     )
@@ -153,5 +172,42 @@ mod tests {
         let report = run(&dataset());
         let rate = report.error_rate();
         assert!(rate > 0.0 && rate < 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn retries_disabled_report_no_retry_outcomes() {
+        let report = run(&dataset());
+        assert_eq!(report.transient_recovered, 0);
+        assert_eq!(report.exhausted, 0);
+        assert!(!render(&dataset()).contains("retry budget"));
+    }
+
+    #[test]
+    fn retry_layer_distinguishes_recovered_from_exhausted() {
+        let entries = [
+            "dns.google",
+            "dns.quad9.net",
+            "doh.ffmuc.net",
+            "dohtrial.att.net",
+            "chewbacca.meganerd.nl",
+        ]
+        .into_iter()
+        .map(|h| catalog::resolvers::find(h).unwrap())
+        .collect();
+        let config = CampaignConfig::quick(11, 12).with_default_faults();
+        let result = Campaign::with_resolvers(config, entries).run();
+        let d = Dataset::new(result.records);
+        let report = run(&d);
+        assert!(
+            report.exhausted > 0,
+            "a mostly-dead resolver must exhaust retry budgets"
+        );
+        assert_eq!(
+            report.exhausted, report.errors,
+            "with retries on, every surviving error exhausted its budget"
+        );
+        let rendered = render(&d);
+        assert!(rendered.contains("recovered by retry"));
+        assert!(rendered.contains("retry budget"));
     }
 }

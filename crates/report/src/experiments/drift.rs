@@ -128,6 +128,7 @@ mod tests {
             seed,
             domains: measure::standard_domains(),
             probe: measure::ProbeConfig::default(),
+            faults: netsim::faults::FaultPlan::EMPTY,
             spans: vec![
                 Span {
                     start_day: 0,

@@ -232,6 +232,22 @@ impl ResolverServer {
         now: SimTime,
         rng: &mut SimRng,
     ) -> (SimDuration, Resolution) {
+        self.handle_query_loaded(qname, qtype, authorities, now, 1.0, rng)
+    }
+
+    /// [`handle_query`](Self::handle_query) under an injected brownout:
+    /// frontend processing is scaled by `slowdown` (`1.0` = none). The RNG
+    /// draw sequence is identical to the unloaded path, so a fault plan
+    /// that activates a brownout perturbs only the probes it covers.
+    pub fn handle_query_loaded(
+        &mut self,
+        qname: &Name,
+        qtype: RecordType,
+        authorities: &AuthorityTree,
+        now: SimTime,
+        slowdown: f64,
+        rng: &mut SimRng,
+    ) -> (SimDuration, Resolution) {
         // Background traffic from the resolver's other users keeps popular
         // names warm with probability `cache_warmth`: pre-resolve silently.
         if rng.chance(self.profile.cache_warmth) {
@@ -249,6 +265,7 @@ impl ResolverServer {
         if rng.chance(self.profile.overload_prob) {
             proc_ms += rng.exponential(self.profile.overload_mean_ms);
         }
+        proc_ms *= slowdown.max(1.0);
         let total = SimDuration::from_millis_f64(proc_ms) + resolution.upstream_time;
         (total, resolution)
     }
@@ -289,6 +306,48 @@ mod tests {
             p_times[250],
             h_times[250]
         );
+    }
+
+    #[test]
+    fn brownout_slowdown_scales_processing_only() {
+        let auth = AuthorityTree::standard();
+        let mut a = ResolverServer::new(cities::ASHBURN_VA, ServerProfile::production());
+        let mut b = ResolverServer::new(cities::ASHBURN_VA, ServerProfile::production());
+        // Identical seeds: the loaded path must consume the RNG identically.
+        let mut rng_a = SimRng::from_seed(9);
+        let mut rng_b = SimRng::from_seed(9);
+        for i in 0..50 {
+            let (t1, r1) =
+                a.handle_query(&n("google.com"), RecordType::A, &auth, at(i), &mut rng_a);
+            let (t5, r5) = b.handle_query_loaded(
+                &n("google.com"),
+                RecordType::A,
+                &auth,
+                at(i),
+                5.0,
+                &mut rng_b,
+            );
+            assert_eq!(r1.cache_hit, r5.cache_hit);
+            let proc1 = t1.saturating_sub(r1.upstream_time).as_millis_f64();
+            let proc5 = t5.saturating_sub(r5.upstream_time).as_millis_f64();
+            assert!(
+                (proc5 - proc1 * 5.0).abs() < 1e-4,
+                "slowdown must scale processing 5x: {proc1} vs {proc5}"
+            );
+        }
+        // A slowdown of 1.0 is the identity.
+        let mut rng_a = SimRng::from_seed(10);
+        let mut rng_b = SimRng::from_seed(10);
+        let (t1, _) = a.handle_query(&n("google.com"), RecordType::A, &auth, at(99), &mut rng_a);
+        let (t2, _) = b.handle_query_loaded(
+            &n("google.com"),
+            RecordType::A,
+            &auth,
+            at(99),
+            1.0,
+            &mut rng_b,
+        );
+        assert_eq!(t1, t2);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Per-attempt fault hooks the prober threads into transport exchanges.
+//!
+//! The measurement layer resolves a fault plan plus the resolver's sampled
+//! health into one [`FaultHooks`] value per probe attempt, and the
+//! protocol-specific probe paths consult it at the three layers faults can
+//! surface: TCP/QUIC connect (refusal), the TLS handshake (stall or an
+//! expired certificate), and the HTTP exchange (a status override such as
+//! a 429 or 500). [`FaultHooks::NONE`] is the transparent default — every
+//! check short-circuits and the exchange behaves exactly as if the hook
+//! layer did not exist.
+
+use crate::tls::TlsServerBehavior;
+
+/// How one connection attempt is sabotaged, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultHooks {
+    /// The server actively refuses the transport connection (TCP RST /
+    /// QUIC CONNECTION_REFUSED).
+    pub refuse_connect: bool,
+    /// How the TLS server misbehaves during the handshake.
+    pub tls_behavior: TlsServerBehavior,
+    /// Overrides the HTTP response status (e.g. `Some(429)` for rate
+    /// limiting, `Some(500)` for a broken frontend).
+    pub http_status_override: Option<u16>,
+}
+
+impl FaultHooks {
+    /// The transparent hook set: nothing is sabotaged.
+    pub const NONE: FaultHooks = FaultHooks {
+        refuse_connect: false,
+        tls_behavior: TlsServerBehavior::Normal,
+        http_status_override: None,
+    };
+
+    /// An owned transparent hook set.
+    pub fn none() -> Self {
+        Self::NONE
+    }
+
+    /// The HTTP status this attempt observes, given the server's default.
+    pub fn http_status(&self, default: u16) -> u16 {
+        self.http_status_override.unwrap_or(default)
+    }
+}
+
+impl Default for FaultHooks {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_transparent() {
+        let hooks = FaultHooks::none();
+        assert_eq!(hooks, FaultHooks::NONE);
+        assert!(!hooks.refuse_connect);
+        assert_eq!(hooks.tls_behavior, TlsServerBehavior::Normal);
+        assert_eq!(hooks.http_status(200), 200);
+        assert_eq!(hooks.http_status(500), 500);
+    }
+
+    #[test]
+    fn status_override_wins() {
+        let hooks = FaultHooks {
+            http_status_override: Some(429),
+            ..FaultHooks::NONE
+        };
+        assert_eq!(hooks.http_status(200), 429);
+        assert_eq!(hooks.http_status(500), 429);
+    }
+}

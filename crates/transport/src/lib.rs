@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod flight;
 pub mod http1;
 pub mod http2;
@@ -34,6 +35,7 @@ pub mod tls;
 pub mod traced;
 
 pub use error::{TransportError, TransportErrorKind};
+pub use fault::FaultHooks;
 pub use flight::{exchange, ExchangeOutcome, RetryPolicy};
 pub use http1::{
     encode_request as h1_encode_request, encode_response as h1_encode_response,

@@ -235,6 +235,218 @@ fn scheduled_outages_turn_probes_into_connect_timeouts() {
     assert!(ok_outside >= 15, "{ok_outside} healthy outside the window");
 }
 
+// ---------------------------------------------------------------------------
+// The failure-mode matrix: every ProbeErrorKind crossed with every retry
+// policy, driven end to end through fault injection.
+// ---------------------------------------------------------------------------
+
+use edns_bench::measure::{RetryInfo, RetryPolicy};
+use edns_bench::netsim::faults::{FaultKind, FaultPlan, FaultScope};
+use edns_bench::netsim::SimDuration;
+
+/// The three policies of the matrix: no retries, dig defaults, and an
+/// aggressive custom policy with backoff and jitter.
+fn policies() -> [(&'static str, RetryPolicy); 3] {
+    [
+        ("none", RetryPolicy::none()),
+        ("dig", RetryPolicy::dig_defaults()),
+        (
+            "custom",
+            RetryPolicy {
+                tries: 4,
+                attempt_timeout: Some(SimDuration::from_secs(2)),
+                backoff_base: SimDuration::from_millis_f64(100.0),
+                backoff_cap: SimDuration::from_millis_f64(800.0),
+                jitter: 0.5,
+            },
+        ),
+    ]
+}
+
+/// Every error kind, produced by a targeted persistent fault: scheduled
+/// plan events where the fault layer models them (outages, certificate
+/// expiry, rate limiting, brownouts), health overrides where the failure
+/// is the server's own (refusals, TLS stalls, HTTP 500s).
+fn matrix_modes() -> [(&'static str, ProbeErrorKind); 8] {
+    [
+        ("outage", ProbeErrorKind::ConnectTimeout),
+        ("refuse", ProbeErrorKind::ConnectionRefused),
+        ("tls", ProbeErrorKind::TlsFailure),
+        ("cert", ProbeErrorKind::CertificateError),
+        ("http", ProbeErrorKind::HttpStatus),
+        ("ratelimit", ProbeErrorKind::RateLimited),
+        ("servfail", ProbeErrorKind::DnsError),
+        ("qtimeout", ProbeErrorKind::QueryTimeout),
+    ]
+}
+
+/// Runs one probe against a resolver under a persistent instance of
+/// `mode`, with the given retry policy.
+fn run_matrix_probe(mode: &str, policy: RetryPolicy) -> (ProbeOutcome, Option<RetryInfo>) {
+    let prober = Prober::new();
+    let mut target = ProbeTarget::from_entry(base_entry());
+    let mut plan = FaultPlan::with_seed(9);
+    let until = SimTime::ZERO + SimDuration::from_hours(10);
+    let scope = FaultScope::Resolver("injected.test".to_string());
+    match mode {
+        "outage" => plan.push(FaultKind::SiteOutage, scope, SimTime::ZERO, until),
+        "refuse" => target.instance.health = always("refuse"),
+        "tls" => target.instance.health = always("tls"),
+        "cert" => plan.push(FaultKind::CertExpiry, scope, SimTime::ZERO, until),
+        "http" => target.instance.health = always("http"),
+        "ratelimit" => plan.push(
+            FaultKind::RateLimit { reject_rate: 1.0 },
+            scope,
+            SimTime::ZERO,
+            until,
+        ),
+        "servfail" => plan.push(
+            FaultKind::Brownout {
+                slowdown: 1.0,
+                servfail_rate: 1.0,
+            },
+            scope,
+            SimTime::ZERO,
+            until,
+        ),
+        // A brownout so slow that any finite per-attempt timeout fires.
+        "qtimeout" => plan.push(
+            FaultKind::Brownout {
+                slowdown: 1e6,
+                servfail_rate: 0.0,
+            },
+            scope,
+            SimTime::ZERO,
+            until,
+        ),
+        other => unreachable!("{other}"),
+    }
+    let mut rng = SimRng::from_seed(7);
+    let cfg = ProbeConfig {
+        retry: policy,
+        ..ProbeConfig::default()
+    };
+    let (outcome, _ping, retry) = prober.probe_with_faults(
+        &client(),
+        &mut target,
+        &Name::parse("google.com").unwrap(),
+        SimTime::ZERO,
+        false,
+        cfg,
+        &plan,
+        &mut rng,
+    );
+    (outcome, retry)
+}
+
+#[test]
+fn failure_mode_matrix_pins_classification_and_attempt_accounting() {
+    for (mode, expected) in matrix_modes() {
+        for (policy_name, policy) in policies() {
+            let (outcome, retry) = run_matrix_probe(mode, policy);
+            let label = format!("{mode} × {policy_name}");
+
+            // QueryTimeout only exists where a per-attempt timeout does:
+            // with no deadline the pathological brownout still answers.
+            if mode == "qtimeout" && policy.attempt_timeout.is_none() {
+                assert!(outcome.is_success(), "{label}: {outcome:?}");
+                continue;
+            }
+
+            let (kind, elapsed) = match outcome {
+                ProbeOutcome::Failure { kind, elapsed } => (kind, elapsed),
+                other => panic!("{label}: persistent fault must fail: {other:?}"),
+            };
+            assert_eq!(kind, expected, "{label}");
+
+            if policy.enabled() {
+                let info = retry
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{label}: enabled policy must record attempts"));
+                assert_eq!(
+                    info.attempts, policy.tries,
+                    "{label}: persistent faults burn the whole budget"
+                );
+                assert_eq!(info.attempt_errors.len() as u32, policy.tries, "{label}");
+                assert!(
+                    info.attempt_errors.iter().all(|k| *k == expected),
+                    "{label}: {:?}",
+                    info.attempt_errors
+                );
+                assert!(info.exhausted(), "{label}");
+                assert!(!info.recovered(), "{label}");
+                if let Some(bound) = policy.max_total() {
+                    assert!(
+                        elapsed <= bound,
+                        "{label}: elapsed {elapsed:?} exceeds budget {bound:?}"
+                    );
+                }
+            } else {
+                assert!(
+                    retry.is_none(),
+                    "{label}: disabled policy must record nothing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_fault_windows_recover_between_attempts() {
+    // An outage covering only the first attempt: dig defaults burn one
+    // 5 s attempt inside the window, then attempt 2 lands after it.
+    let prober = Prober::new();
+    let mut target = ProbeTarget::from_entry(base_entry());
+    let mut plan = FaultPlan::with_seed(9);
+    plan.push(
+        FaultKind::SiteOutage,
+        FaultScope::Resolver("injected.test".to_string()),
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_secs(1),
+    );
+    let mut rng = SimRng::from_seed(8);
+    let cfg = ProbeConfig {
+        retry: RetryPolicy::dig_defaults(),
+        ..ProbeConfig::default()
+    };
+    let (outcome, _ping, retry) = prober.probe_with_faults(
+        &client(),
+        &mut target,
+        &Name::parse("google.com").unwrap(),
+        SimTime::ZERO,
+        false,
+        cfg,
+        &plan,
+        &mut rng,
+    );
+    assert!(outcome.is_success(), "{outcome:?}");
+    let info = retry.expect("enabled policy records attempts");
+    assert_eq!(info.attempts, 2, "recovered on the second attempt");
+    assert_eq!(info.attempt_errors, vec![ProbeErrorKind::ConnectTimeout]);
+    assert!(info.recovered());
+    assert!(!info.exhausted());
+}
+
+#[test]
+fn connection_failure_class_is_exactly_the_papers_dominant_set() {
+    // The paper's §4 "failure to establish a connection" bucket: anything
+    // that dies before the DNS exchange. Pinned as an exact set so a new
+    // error kind must consciously choose a side.
+    let connection: Vec<ProbeErrorKind> = ProbeErrorKind::all()
+        .into_iter()
+        .filter(|k| k.is_connection_failure())
+        .collect();
+    assert_eq!(
+        connection,
+        vec![
+            ProbeErrorKind::ConnectTimeout,
+            ProbeErrorKind::ConnectionRefused,
+            ProbeErrorKind::TlsFailure,
+            ProbeErrorKind::CertificateError,
+        ]
+    );
+}
+
 #[test]
 fn injected_failures_flow_through_campaign_accounting() {
     use edns_bench::measure::{Campaign, CampaignConfig};
