@@ -9,6 +9,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Wall-clock reads are this crate's purpose: it measures real elapsed time
+// for operator-facing bench numbers, never for simulation results.
+#![allow(clippy::disallowed_methods)]
 
 use std::time::{Duration, Instant};
 

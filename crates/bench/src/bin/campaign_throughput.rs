@@ -11,6 +11,9 @@
 //!   — the CI smoke profile: a smaller campaign plus a hard floor on the
 //!   pipeline rate so hot-path regressions fail the workflow loudly.
 
+// Bench harness: real elapsed time is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use measure::{metrics_of, Campaign, CampaignConfig};

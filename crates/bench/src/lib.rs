@@ -1,6 +1,8 @@
 //! Shared helpers for the Criterion benches: canned campaigns and datasets
 //! sized so each bench target regenerates its paper artifact in seconds.
 
+#![forbid(unsafe_code)]
+
 use measure::{Campaign, CampaignConfig};
 use report::Dataset;
 

@@ -123,6 +123,7 @@ impl ResolverEntry {
         let deployment = if self.anycast && sites.len() > 1 {
             Deployment::anycast(sites)
         } else {
+            // detlint:allow(unwrap, catalog entries always list at least one city)
             Deployment::unicast(sites.into_iter().next().expect("at least one site"))
         };
         let mut profile = self.profile.server_profile();

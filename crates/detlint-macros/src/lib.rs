@@ -1,0 +1,38 @@
+//! Marker attributes for the detlint static-analysis pass.
+//!
+//! These attributes expand to nothing — they exist so that source code can
+//! carry machine-checkable annotations that `cargo xtask lint` (the
+//! `xtask` crate's *detlint* pass) understands. Keeping them as real
+//! attributes (rather than comments) means the annotation moves with the
+//! item through refactors and shows up in rustdoc.
+//!
+//! Only the built-in `proc_macro` crate is used: this workspace builds
+//! with no crates.io access, so there is no `syn`/`quote` here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Marks a function as part of the allocation-free hot path.
+///
+/// The attribute itself is an identity transform — it does not change the
+/// function at all. Its meaning is enforced by two independent layers:
+///
+/// * **statically** — detlint's `deny-alloc` rule rejects allocating
+///   constructs (`format!`, `vec!`, `String::from`, `.to_string()`,
+///   `.to_owned()`, `.clone()`, `Box::new`, …) anywhere in the body of an
+///   annotated function;
+/// * **dynamically** — the counting-allocator tests
+///   (`crates/measure/tests/hot_path_alloc.rs`,
+///   `crates/measure/tests/serialize_alloc.rs`, `crates/obs/tests/zero_alloc.rs`)
+///   assert zero allocations at runtime for the same paths.
+///
+/// One-time capacity reservations (`Vec::with_capacity`,
+/// `String::with_capacity`) are deliberately *not* rejected statically:
+/// they are amortised setup, and the counting-allocator tests are the
+/// authority on whether they stay off the per-record path.
+#[proc_macro_attribute]
+pub fn deny_alloc(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

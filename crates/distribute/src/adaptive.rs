@@ -62,8 +62,9 @@ impl AdaptiveSelector {
         self.arms
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.score().partial_cmp(&b.1.score()).expect("no NaN"))
+            .min_by(|a, b| a.1.score().total_cmp(&b.1.score()))
             .map(|(i, _)| i)
+            // detlint:allow(unwrap, constructor asserts at least one arm)
             .expect("non-empty arms")
     }
 
@@ -89,8 +90,9 @@ impl AdaptiveSelector {
         self.arms
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.score().partial_cmp(&b.1.score()).expect("no NaN"))
+            .min_by(|a, b| a.1.score().total_cmp(&b.1.score()))
             .map(|(i, _)| i)
+            // detlint:allow(unwrap, constructor asserts at least one arm)
             .expect("non-empty arms")
     }
 

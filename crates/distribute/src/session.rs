@@ -59,6 +59,7 @@ impl<'a> Session<'a> {
             .iter()
             .map(|h| {
                 ProbeTarget::from_entry(
+                    // detlint:allow(unwrap, resolver hostnames come from the static catalog; a typo is a programming error)
                     catalog::resolvers::find(h).unwrap_or_else(|| panic!("unknown resolver {h}")),
                 )
             })

@@ -18,6 +18,7 @@ impl Workload {
     pub fn zipf(n: usize, s: f64) -> Workload {
         assert!(n > 0, "workload needs at least one domain");
         let domains = (0..n)
+            // detlint:allow(unwrap, generated site-NNNN names are always valid DNS labels)
             .map(|i| Name::parse(&format!("site-{i:04}.example.com")).expect("valid"))
             .collect();
         let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect();

@@ -106,6 +106,7 @@ impl MessageBuilder {
             self.msg
                 .edns
                 .as_mut()
+                // detlint:allow(unwrap, the padding branch runs only after edns was inserted above)
                 .expect("edns inserted above")
                 .options
                 .options

@@ -308,14 +308,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         campaign.probe_count(),
         catalog::resolvers::all().len()
     );
-    let start = std::time::Instant::now();
+    // Operator feedback only — never part of the measured output (which
+    // runs purely in simulated time). obs::clock is the audited wall-clock
+    // shim; detlint rejects a bare Instant::now here.
+    let start = obs::clock::Stopwatch::start();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
     let result = campaign.run_parallel(threads);
     eprintln!(
         "done in {:.1}s: {} ok / {} errors",
-        start.elapsed().as_secs_f64(),
+        start.elapsed_secs(),
         result.successes(),
         result.errors()
     );

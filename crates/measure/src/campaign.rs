@@ -14,6 +14,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use detlint_macros::deny_alloc;
 use dns_wire::Name;
 use netsim::rng::SimRng;
 use obs::{Label, MetricsRegistry, MetricsSnapshot, Phase};
@@ -86,6 +87,7 @@ impl CampaignResult {
 /// record once the record's cell and error entries exist: the cell lookup
 /// hashes three interned label ids and every tally is a counter bump or a
 /// fixed-bucket histogram observation.
+#[deny_alloc]
 pub fn observe_record(registry: &mut MetricsRegistry, r: &ProbeRecord) {
     let cell = registry.cell_interned(r.resolver_id(), r.vantage_id(), r.protocol.interned_label());
     cell.probes.inc();
@@ -138,6 +140,7 @@ pub fn observe_record(registry: &mut MetricsRegistry, r: &ProbeRecord) {
 /// Builds a metrics snapshot from probe records: counters per cell, error
 /// tallies by label, and latency histograms for responses, pings and each
 /// of the six probe phases.
+#[deny_alloc]
 pub fn metrics_of(records: &[ProbeRecord]) -> MetricsSnapshot {
     let mut registry = MetricsRegistry::new();
     for r in records {
@@ -187,6 +190,7 @@ impl Campaign {
     /// If the configuration is invalid (see [`CampaignConfig::validate`]);
     /// use [`try_new`](Self::try_new) to handle that gracefully.
     pub fn new(config: CampaignConfig) -> Self {
+        // detlint:allow(unwrap, documented panicking constructor; try_new is the fallible path)
         Self::try_new(config).expect("invalid campaign config")
     }
 
@@ -203,6 +207,7 @@ impl Campaign {
     /// use [`try_with_resolvers`](Self::try_with_resolvers) to handle that
     /// gracefully.
     pub fn with_resolvers(config: CampaignConfig, entries: Vec<catalog::ResolverEntry>) -> Self {
+        // detlint:allow(unwrap, documented panicking constructor; try_with_resolvers is the fallible path)
         Self::try_with_resolvers(config, entries).expect("invalid campaign config")
     }
 
@@ -220,6 +225,7 @@ impl Campaign {
             .map(|d| CampaignDomain {
                 label: Label::intern(d),
                 // validate() proved every domain parses.
+                // detlint:allow(unwrap, validate() proved every domain parses)
                 name: Name::parse(d).expect("validated domain"),
             })
             .collect();
@@ -293,6 +299,7 @@ impl Campaign {
                 }));
             }
             for h in handles {
+                // detlint:allow(unwrap, propagates a worker panic; there is no partial result to salvage)
                 for (i, records) in h.join().expect("campaign worker panicked") {
                     outputs[i] = records;
                 }
@@ -395,6 +402,7 @@ impl Campaign {
     /// (time, vantage, resolver, domain) order. Each stream is already
     /// sorted, so the merge is O(n log pairs) integer-tuple comparisons —
     /// no global sort, no string comparison, no record is copied twice.
+    #[deny_alloc]
     fn merge_pairs(&self, outputs: Vec<Vec<ProbeRecord>>, plans: &[PairPlan]) -> Vec<ProbeRecord> {
         debug_assert_eq!(outputs.len(), plans.len());
         let total: usize = outputs.iter().map(Vec::len).sum();
@@ -432,6 +440,7 @@ impl Campaign {
         }
         while let Some(Reverse((_, order, _, i))) = heap.pop() {
             let cursor = &mut cursors[i as usize];
+            // detlint:allow(unwrap, heap entries are only pushed with a populated head record)
             let record = cursor.head.take().expect("heap entry without record");
             cursor.head = cursor.rest.next();
             if let Some(r) = &cursor.head {

@@ -280,6 +280,7 @@ impl Prober {
                 {
                     Err((
                         ProbeErrorKind::QueryTimeout,
+                        // detlint:allow(unwrap, the match guard checked attempt_timeout is Some)
                         policy.attempt_timeout.expect("guard checked"),
                     ))
                 }
@@ -461,6 +462,7 @@ impl Prober {
                 ));
             }
         }
+        // detlint:allow(unwrap, responses assembled by the simulated resolver are well-formed)
         let wire = response.encode().expect("response encodes");
         (server_time, resolution.cache_hit, rcode, wire)
     }
@@ -505,6 +507,7 @@ impl Prober {
         // so hoisting it above the transport legs leaves the RNG stream —
         // and therefore every calibrated distribution — untouched.
         let query = self.build_query(domain, cfg, true);
+        // detlint:allow(unwrap, queries built by build_query are well-formed; encoding cannot fail)
         let query_wire = query.encode().expect("query encodes");
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
@@ -691,6 +694,7 @@ impl Prober {
         log: &mut SpanLog,
     ) -> ProbeOutcome {
         let query = self.build_query(domain, cfg, true);
+        // detlint:allow(unwrap, queries built by build_query are well-formed; encoding cannot fail)
         let query_wire = query.encode().expect("query encodes");
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
@@ -756,7 +760,9 @@ impl Prober {
             };
         }
         // RFC 7858: each DNS message is TCP-framed with a length prefix.
+        // detlint:allow(unwrap, probe queries are far below the 64 KiB TCP framing limit)
         let framed_query = dns_wire::tcp_frame::frame(&query_wire).expect("query frames");
+        // detlint:allow(unwrap, simulated responses are far below the 64 KiB TCP framing limit)
         let framed_response = dns_wire::tcp_frame::frame(&dns_response).expect("response frames");
         match tcp.request_response_traced(
             path,
@@ -813,6 +819,7 @@ impl Prober {
             path.extra_loss = 1.0;
         }
         let query = self.build_query(domain, cfg, false);
+        // detlint:allow(unwrap, queries built by build_query are well-formed; encoding cannot fail)
         let query_wire = query.encode().expect("query encodes");
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
@@ -906,9 +913,11 @@ impl Prober {
             target.entry.hostname,
         ));
         let query = self.build_query(domain, cfg, true);
+        // detlint:allow(unwrap, queries built by build_query are well-formed; encoding cannot fail)
         let query_wire = query.encode().expect("query encodes");
         let kem_entropy = (rng.uniform() * u64::MAX as f64) as u64;
         let sealed_query = odoh::seal_query(&key, &query_wire, kem_entropy);
+        // detlint:allow(unwrap, sealed ODoH messages built here are well-formed by construction)
         let sealed_query_wire = sealed_query.encode().expect("odoh encodes");
         // The encode phase covers building the query and sealing it to the
         // target's key (the sealed message is what goes on the wire).
@@ -968,6 +977,7 @@ impl Prober {
             }
         };
         let sealed_response = odoh::seal_response(&key, &kem, &dns_response);
+        // detlint:allow(unwrap, sealed ODoH messages built here are well-formed by construction)
         let sealed_response_wire = sealed_response.encode().expect("odoh encodes");
 
         // Relay forwards over its warm target connection: one round trip.
@@ -1117,6 +1127,7 @@ impl Prober {
             };
         }
         let query = self.build_query(domain, cfg, true);
+        // detlint:allow(unwrap, queries built by build_query are well-formed; encoding cannot fail)
         let query_wire = query.encode().expect("query encodes");
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);

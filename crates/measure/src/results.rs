@@ -1,6 +1,7 @@
 //! Result records: one JSON-serialisable record per probe, as the tool
 //! writes to its output file.
 
+use detlint_macros::deny_alloc;
 use netsim::{Region, SimDuration, SimTime};
 use obs::{Label, Phase};
 
@@ -335,6 +336,7 @@ impl ProbeRecord {
     /// the document model's sorted key order — but with zero intermediate
     /// tree: once `out` has warmed up, serialising a record performs no
     /// heap allocation (asserted by `tests/serialize_alloc.rs`).
+    #[deny_alloc]
     pub fn write_json_line(&self, out: &mut String) {
         fn key(out: &mut String, first: bool, k: &str) {
             if !first {

@@ -1,0 +1,89 @@
+//! Concurrency model of `run_parallel`'s work-claim protocol: workers
+//! claim pair indices from a shared atomic counter and return
+//! `(index, output)` — where a pair ran must never affect where its
+//! output lands, so the merged result is identical under every
+//! interleaving and every worker count.
+//!
+//! Written against loom's API. Under `compat/loom` this runs as repeated
+//! real-thread stress; pointing the workspace `loom` dependency at the
+//! real crate upgrades it to exhaustive interleaving exploration.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+const PAIRS: usize = 5;
+
+/// Deterministic stand-in for `run_pair`: output depends only on the pair
+/// index, exactly like a campaign pair depends only on its derived seed.
+fn run_pair(i: usize) -> Vec<u64> {
+    (0..3).map(|k| (i as u64) * 100 + k).collect()
+}
+
+/// The claim loop from `Campaign::run_parallel`, verbatim in miniature.
+fn claim_and_run(next: &AtomicUsize) -> Vec<(usize, Vec<u64>)> {
+    let mut out = Vec::new();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= PAIRS {
+            break;
+        }
+        out.push((i, run_pair(i)));
+    }
+    out
+}
+
+#[test]
+fn every_pair_claimed_exactly_once() {
+    loom::model(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                thread::spawn(move || claim_and_run(&next))
+            })
+            .collect();
+        let mut outputs: Vec<Option<Vec<u64>>> = vec![None; PAIRS];
+        for h in handles {
+            for (i, records) in h.join().expect("worker panicked") {
+                assert!(outputs[i].is_none(), "pair {i} claimed twice");
+                outputs[i] = Some(records);
+            }
+        }
+        // Every slot filled, and slot i holds pair i's output: the merge
+        // input is interleaving-independent.
+        for (i, slot) in outputs.iter().enumerate() {
+            assert_eq!(
+                slot.as_deref(),
+                Some(run_pair(i).as_slice()),
+                "slot {i} must hold pair {i}'s output"
+            );
+        }
+    });
+}
+
+#[test]
+fn worker_count_does_not_change_the_merge_input() {
+    loom::model(|| {
+        let mut canonical: Option<Vec<Vec<u64>>> = None;
+        for workers in [1usize, 3] {
+            let next = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = Arc::clone(&next);
+                    thread::spawn(move || claim_and_run(&next))
+                })
+                .collect();
+            let mut outputs: Vec<Vec<u64>> = vec![Vec::new(); PAIRS];
+            for h in handles {
+                for (i, records) in h.join().expect("worker panicked") {
+                    outputs[i] = records;
+                }
+            }
+            match &canonical {
+                None => canonical = Some(outputs),
+                Some(c) => assert_eq!(&outputs, c, "{workers} workers diverged"),
+            }
+        }
+    });
+}

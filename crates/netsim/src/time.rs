@@ -47,6 +47,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // detlint:allow(unwrap, simulated clocks are monotone; time running backwards is a simulator bug worth crashing on)
                 .expect("simulated time ran backwards"),
         )
     }

@@ -1,0 +1,52 @@
+//! The audited wall-clock shim — the **only** place in the measurement
+//! stack (outside the `bench` harness) that may read real time.
+//!
+//! Everything on the measurement path runs in simulated time
+//! (`netsim::SimTime`), so results are a pure function of the seed.
+//! What legitimately needs the wall clock is *operator feedback*: a CLI
+//! telling its user how long a campaign took. Routing those reads through
+//! this module keeps them enumerable — detlint's `wall-clock` rule and the
+//! clippy `disallowed_methods` deny reject `Instant::now`/`SystemTime::now`
+//! everywhere else.
+//!
+//! Nothing returned from here may flow into result records, metrics,
+//! reports or any other deterministic output. The API returns only opaque
+//! elapsed durations (no absolute timestamps) to make that misuse awkward.
+
+use std::time::Instant;
+
+/// A started wall-clock stopwatch for operator-facing progress output.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    #[allow(clippy::disallowed_methods)] // the audited wall-clock read
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock seconds since [`start`](Self::start).
+    #[allow(clippy::disallowed_methods)] // the audited wall-clock read
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

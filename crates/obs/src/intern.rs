@@ -54,6 +54,7 @@ impl Label {
         if let Some(l) = Label::find(s) {
             return l;
         }
+        // detlint:allow(unwrap, lock poisoning means another thread already panicked; propagating is the only safe option)
         let mut st = store().write().expect("interner poisoned");
         if let Some(&i) = st.by_name.get(s) {
             return Label(i);
@@ -67,6 +68,7 @@ impl Label {
         if let Some(l) = Label::find(s) {
             return l;
         }
+        // detlint:allow(unwrap, lock poisoning means another thread already panicked; propagating is the only safe option)
         let mut st = store().write().expect("interner poisoned");
         if let Some(&i) = st.by_name.get(s) {
             return Label(i);
@@ -75,6 +77,7 @@ impl Label {
     }
 
     fn insert(st: &mut Store, name: &'static str) -> Label {
+        // detlint:allow(unwrap, more than u32::MAX distinct labels is unreachable for this workload)
         let i = u32::try_from(st.names.len()).expect("label table overflow");
         st.names.push(name);
         st.by_name.insert(name, i);
@@ -86,6 +89,7 @@ impl Label {
     pub fn find(s: &str) -> Option<Label> {
         store()
             .read()
+            // detlint:allow(unwrap, lock poisoning means another thread already panicked; propagating is the only safe option)
             .expect("interner poisoned")
             .by_name
             .get(s)
@@ -94,6 +98,7 @@ impl Label {
 
     /// The interned string. Allocation-free (one read-locked index).
     pub fn as_str(self) -> &'static str {
+        // detlint:allow(unwrap, lock poisoning means another thread already panicked; propagating is the only safe option)
         store().read().expect("interner poisoned").names[self.0 as usize]
     }
 

@@ -18,6 +18,9 @@
 //!   label vocabularies (vantages, resolvers, domains, protocols, error
 //!   kinds): 4-byte copyable handles, allocation-free re-interning and
 //!   `&'static str` resolution.
+//! * [`clock`] — the audited wall-clock shim: the one sanctioned home for
+//!   real-time reads (operator-facing progress output only; results run
+//!   purely in simulated time). Enforced by `cargo xtask lint`.
 //!
 //! Timestamps are raw simulated-time nanoseconds (`u64`); the simulator's
 //! `SimTime` converts losslessly via its `as_nanos`.
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod intern;
 mod metrics;
 mod phase;

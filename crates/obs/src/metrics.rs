@@ -132,14 +132,14 @@ impl Histogram {
                     LATENCY_BUCKETS_MS[i]
                 } else {
                     // Open-ended overflow bucket: report its lower edge.
-                    return *LATENCY_BUCKETS_MS.last().expect("non-empty buckets");
+                    return LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1];
                 };
                 let frac = (rank - seen as f64) / c as f64;
                 return lo + (hi - lo) * frac.clamp(0.0, 1.0);
             }
             seen = next;
         }
-        *LATENCY_BUCKETS_MS.last().expect("non-empty buckets")
+        LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]
     }
 
     /// A one-line sparkline of bucket occupancy plus summary statistics.

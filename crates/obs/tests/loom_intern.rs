@@ -1,0 +1,58 @@
+//! Concurrency model of the label interner: concurrent interning of the
+//! same string from multiple threads must be idempotent — every thread
+//! gets the same handle, and the handle resolves back to the string.
+//!
+//! Written against loom's API. Under `compat/loom` this runs as repeated
+//! real-thread stress; pointing the workspace `loom` dependency at the
+//! real crate upgrades it to exhaustive interleaving exploration.
+
+use loom::sync::Arc;
+use loom::thread;
+use obs::Label;
+
+#[test]
+fn concurrent_interning_is_idempotent() {
+    loom::model(|| {
+        // Distinct per-iteration strings would leak a new table entry per
+        // stress run; a fixed vocabulary matches real usage (labels are a
+        // small closed set) and exercises the insert-then-hit path.
+        let words: Arc<[&str; 3]> = Arc::new(["loom.alpha", "loom.beta", "loom.gamma"]);
+        let handles: Vec<thread::JoinHandle<[Label; 3]>> = (0..3)
+            .map(|shift| {
+                let words = Arc::clone(&words);
+                thread::spawn(move || {
+                    // Each thread interns the vocabulary in a different
+                    // order, racing insert against lookup.
+                    let mut out = [Label::intern("loom.alpha"); 3];
+                    for k in 0..3 {
+                        let idx = (k + shift) % 3;
+                        out[idx] = Label::intern(words[idx]);
+                    }
+                    out
+                })
+            })
+            .collect();
+        let results: Vec<[Label; 3]> = handles
+            .into_iter()
+            .map(|h| h.join().expect("interner thread panicked"))
+            .collect();
+        for got in &results[1..] {
+            assert_eq!(*got, results[0], "same string must yield same label");
+        }
+        for (i, word) in words.iter().enumerate() {
+            assert_eq!(results[0][i].as_str(), *word, "label resolves back");
+        }
+    });
+}
+
+#[test]
+fn find_never_invents_labels() {
+    loom::model(|| {
+        let seen = thread::spawn(|| Label::find("loom.never-interned").is_some())
+            .join()
+            .expect("find thread panicked");
+        assert!(!seen, "find must not insert");
+        let l = Label::intern("loom.delta");
+        assert_eq!(Label::find("loom.delta"), Some(l));
+    });
+}

@@ -131,7 +131,7 @@ impl Dataset {
                 (r, m)
             })
             .collect();
-        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        rows.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         rows.into_iter().map(|(r, _)| r).collect()
     }
 

@@ -109,7 +109,7 @@ pub fn render(
         stable,
         drifted.len()
     ));
-    drifted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    drifted.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (resolver, d) in drifted.iter().take(10) {
         out.push_str(&format!("  {resolver:<42} {:+.0}%\n", d * 100.0));
     }

@@ -19,7 +19,9 @@ use crate::figure::{FigurePanel, FigureRow};
 /// Builds one panel: `region`'s resolvers (plus mainstream) as seen from
 /// `group`.
 pub fn panel(dataset: &Dataset, region: Region, group: &VantageGroup) -> FigurePanel {
-    let mainstream: std::collections::HashSet<String> = dataset
+    // BTreeSet, not HashSet: only membership is tested today, but an ordered
+    // set keeps any future iteration deterministic for free (detlint hash-iter).
+    let mainstream: std::collections::BTreeSet<String> = dataset
         .records
         .iter()
         .filter(|r| r.mainstream)

@@ -114,7 +114,7 @@ pub fn largest_gaps(
             })
         })
         .collect();
-    rows.sort_by(|a, b| b.gap_ms().partial_cmp(&a.gap_ms()).expect("no NaN"));
+    rows.sort_by(|a, b| b.gap_ms().total_cmp(&a.gap_ms()));
     rows.truncate(n);
     rows
 }

@@ -6,7 +6,7 @@
 //! placement matters because a cache miss costs the recursive resolver real
 //! (simulated) round trips to each level of the hierarchy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use dns_wire::{Name, RData, RecordType};
@@ -41,7 +41,7 @@ pub struct Zone {
     /// Name-server location (one representative site).
     pub location: City,
     /// Records by (relative or absolute) owner name and type.
-    records: HashMap<(Name, RecordType), (Vec<RData>, u64)>,
+    records: BTreeMap<(Name, RecordType), (Vec<RData>, u64)>,
 }
 
 impl Zone {
@@ -50,7 +50,7 @@ impl Zone {
         Zone {
             apex,
             location,
-            records: HashMap::new(),
+            records: BTreeMap::new(),
         }
     }
 
@@ -62,6 +62,7 @@ impl Zone {
     /// Adds a wildcard record set (`*.apex`, RFC 1034 §4.3.3): synthesised
     /// for any name under the apex that has no explicit records.
     pub fn add_wildcard(&mut self, rtype: RecordType, records: Vec<RData>, ttl_secs: u64) {
+        // detlint:allow(unwrap, a single-asterisk label always fits the 63-octet limit)
         let star = self.apex.child("*").expect("wildcard label fits");
         self.records.insert((star, rtype), (records, ttl_secs));
     }
@@ -96,7 +97,7 @@ pub struct AuthorityTree {
     /// Leaf zones by apex.
     zones: Vec<Zone>,
     /// TLD name → representative TLD-server location.
-    tlds: HashMap<Name, City>,
+    tlds: BTreeMap<Name, City>,
     /// Root server location (anycast in reality; one site suffices since
     /// recursive resolvers prime the root hint rarely).
     pub root_location: City,
@@ -107,7 +108,7 @@ impl AuthorityTree {
     pub fn new() -> Self {
         AuthorityTree {
             zones: Vec::new(),
-            tlds: HashMap::new(),
+            tlds: BTreeMap::new(),
             root_location: cities::ASHBURN_VA,
         }
     }
@@ -115,6 +116,7 @@ impl AuthorityTree {
     /// Registers a TLD with its server location.
     pub fn add_tld(&mut self, tld: &str, location: City) {
         self.tlds
+            // detlint:allow(unwrap, TLDs are registered from fixed literals in standard(); a bad one is a programming error)
             .insert(Name::parse(tld).expect("valid tld"), location);
     }
 
@@ -138,6 +140,7 @@ impl AuthorityTree {
         let Some(tld_label) = labels.last() else {
             return AuthorityAnswer::NxDomain;
         };
+        // detlint:allow(unwrap, a single label taken from an already-parsed name is always valid)
         let tld = Name::from_labels([*tld_label]).expect("tld label");
         match self.tlds.get(&tld) {
             Some(loc) => AuthorityAnswer::Delegation {
@@ -178,6 +181,12 @@ impl AuthorityTree {
         }
     }
 
+    /// Parses a compile-time-constant name used by the built-in zone data.
+    fn static_name(s: &str) -> Name {
+        // detlint:allow(unwrap, zone literals are fixed at compile time and covered by tests)
+        Name::parse(s).expect("static zone name parses")
+    }
+
     /// Builds the hierarchy the measurement campaign queries: `.com`, `.org`
     /// and the three measured domains — google.com, amazon.com,
     /// wikipedia.com (the paper §3.2) — plus wikipedia.org for realism.
@@ -187,24 +196,27 @@ impl AuthorityTree {
         t.add_tld("org", cities::ASHBURN_VA);
         t.add_tld("net", cities::ASHBURN_VA);
 
-        let mut google = Zone::new(Name::parse("google.com").unwrap(), cities::ASHBURN_VA);
+        let mut google = Zone::new(Self::static_name("google.com"), cities::ASHBURN_VA);
         google.add(
-            Name::parse("google.com").unwrap(),
+            Self::static_name("google.com"),
             RecordType::A,
             vec![RData::A(Ipv4Addr::new(142, 250, 190, 78))],
             300,
         );
         google.add(
-            Name::parse("google.com").unwrap(),
+            Self::static_name("google.com"),
             RecordType::AAAA,
-            vec![RData::Aaaa("2607:f8b0:4009:819::200e".parse().unwrap())],
+            vec![RData::Aaaa(
+                // detlint:allow(unwrap, fixed IPv6 literal parses)
+                "2607:f8b0:4009:819::200e".parse().expect("static ip"),
+            )],
             300,
         );
         t.add_zone(google);
 
-        let mut amazon = Zone::new(Name::parse("amazon.com").unwrap(), cities::ASHBURN_VA);
+        let mut amazon = Zone::new(Self::static_name("amazon.com"), cities::ASHBURN_VA);
         amazon.add(
-            Name::parse("amazon.com").unwrap(),
+            Self::static_name("amazon.com"),
             RecordType::A,
             vec![
                 RData::A(Ipv4Addr::new(205, 251, 242, 103)),
@@ -215,18 +227,18 @@ impl AuthorityTree {
         );
         t.add_zone(amazon);
 
-        let mut wikipedia = Zone::new(Name::parse("wikipedia.com").unwrap(), cities::ASHBURN_VA);
+        let mut wikipedia = Zone::new(Self::static_name("wikipedia.com"), cities::ASHBURN_VA);
         wikipedia.add(
-            Name::parse("wikipedia.com").unwrap(),
+            Self::static_name("wikipedia.com"),
             RecordType::A,
             vec![RData::A(Ipv4Addr::new(208, 80, 154, 232))],
             600,
         );
         t.add_zone(wikipedia);
 
-        let mut wikipedia_org = Zone::new(Name::parse("wikipedia.org").unwrap(), cities::AMSTERDAM);
+        let mut wikipedia_org = Zone::new(Self::static_name("wikipedia.org"), cities::AMSTERDAM);
         wikipedia_org.add(
-            Name::parse("wikipedia.org").unwrap(),
+            Self::static_name("wikipedia.org"),
             RecordType::A,
             vec![RData::A(Ipv4Addr::new(91, 198, 174, 192))],
             600,
@@ -235,9 +247,9 @@ impl AuthorityTree {
 
         // example.com with a wildcard: synthetic workloads (Zipf domain
         // universes like site-0042.example.com) resolve through it.
-        let mut example = Zone::new(Name::parse("example.com").unwrap(), cities::LOS_ANGELES);
+        let mut example = Zone::new(Self::static_name("example.com"), cities::LOS_ANGELES);
         example.add(
-            Name::parse("example.com").unwrap(),
+            Self::static_name("example.com"),
             RecordType::A,
             vec![RData::A(Ipv4Addr::new(93, 184, 216, 34))],
             3600,
@@ -258,10 +270,10 @@ impl AuthorityTree {
             ("example-metrics.io", cities::FREMONT_CA, [104, 16, 2, 3]),
             ("example-social.org", cities::AMSTERDAM, [157, 240, 1, 35]),
         ] {
-            let mut z = Zone::new(Name::parse(apex).unwrap(), city);
+            let mut z = Zone::new(Self::static_name(apex), city);
             let ip = Ipv4Addr::new(a[0], a[1], a[2], a[3]);
             z.add(
-                Name::parse(apex).unwrap(),
+                Self::static_name(apex),
                 RecordType::A,
                 vec![RData::A(ip)],
                 300,

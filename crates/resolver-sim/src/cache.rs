@@ -5,7 +5,7 @@
 //! of cached entries enables a more controlled experiment" — so the cache's
 //! hit behaviour directly shapes measured response times.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dns_wire::{Name, RData, RecordType};
 use netsim::{SimDuration, SimTime};
@@ -47,7 +47,7 @@ impl CacheStats {
 /// A TTL + LRU record cache keyed by `(name, type)`.
 #[derive(Debug)]
 pub struct RecordCache {
-    entries: HashMap<(Name, RecordType), Entry>,
+    entries: BTreeMap<(Name, RecordType), Entry>,
     capacity: usize,
     clock: u64,
     stats: CacheStats,
@@ -58,7 +58,7 @@ impl RecordCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         RecordCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             capacity,
             clock: 0,
             stats: CacheStats::default(),

@@ -117,6 +117,7 @@ impl RecursiveResolver {
         let tld_key = {
             let labels: Vec<&[u8]> = qname.labels().collect();
             match labels.last() {
+                // detlint:allow(unwrap, a single label taken from an already-parsed name is always valid)
                 Some(l) => Name::from_labels([*l]).expect("tld label"),
                 None => Name::root(),
             }

@@ -249,6 +249,7 @@ pub fn parse_zone(
             other => return Err(err(line, format!("unsupported record type {other:?}"))),
         };
 
+        // detlint:allow(unwrap, record lines are rejected earlier unless a zone header initialised the zone)
         let z = zone.as_mut().expect("zone initialised above");
         if wildcard {
             z.add_wildcard(rtype, rdatas, ttl);

@@ -111,7 +111,7 @@ impl AvailabilityLedger {
             .map(|(k, a)| (k.as_str(), a.availability()))
             .filter(|(_, av)| *av < threshold)
             .collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
         out
     }
 }

@@ -23,7 +23,7 @@ impl BoxPlot {
     pub fn of(label: impl Into<String>, data: &[f64]) -> Option<BoxPlot> {
         let summary = Summary::of(data)?;
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let (whisker_lo, whisker_hi) = summary.whiskers(&sorted);
         let outliers = sorted
             .iter()

@@ -13,7 +13,7 @@ impl Ecdf {
             return None;
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Some(Ecdf { sorted })
     }
 

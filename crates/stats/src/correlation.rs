@@ -33,7 +33,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
 /// Average ranks, with ties sharing the mean of their rank range.
 fn ranks(data: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..data.len()).collect();
-    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("no NaN"));
+    idx.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
     let mut out = vec![0.0; data.len()];
     let mut i = 0;
     while i < idx.len() {

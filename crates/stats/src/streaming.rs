@@ -47,7 +47,7 @@ impl P2Quantile {
         if self.init.len() < 5 {
             self.init.push(x);
             if self.init.len() == 5 {
-                self.init.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.init.sort_by(|a, b| a.total_cmp(b));
                 self.heights.copy_from_slice(&self.init);
             }
             return;
@@ -63,6 +63,7 @@ impl P2Quantile {
         } else {
             (0..4)
                 .find(|&i| x >= self.heights[i] && x < self.heights[i + 1])
+                // detlint:allow(unwrap, the two branches above ensure heights[0] <= x < heights[4], so a cell exists)
                 .expect("x bracketed by extreme markers")
         };
 
@@ -116,7 +117,7 @@ impl P2Quantile {
         }
         if self.init.len() < 5 {
             let mut sorted = self.init.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            sorted.sort_by(|a, b| a.total_cmp(b));
             return Some(crate::summary::quantile_sorted(&sorted, self.q));
         }
         Some(self.heights[2])

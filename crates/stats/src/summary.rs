@@ -9,7 +9,7 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -81,7 +81,7 @@ impl Summary {
             return None;
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Some(Summary {
             count: sorted.len(),
             min: sorted[0],
@@ -89,7 +89,7 @@ impl Summary {
             median: quantile_sorted(&sorted, 0.50),
             q3: quantile_sorted(&sorted, 0.75),
             max: sorted[sorted.len() - 1],
-            mean: mean(&sorted).expect("non-empty"),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p90: quantile_sorted(&sorted, 0.90),
             p99: quantile_sorted(&sorted, 0.99),
         })

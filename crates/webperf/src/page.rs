@@ -33,6 +33,15 @@ pub struct Page {
 }
 
 impl Page {
+    /// Parses a page-template domain. Templates use fixed literals or
+    /// caller-supplied origins; a typo here is a programming error, not a
+    /// runtime condition, so it panics with context rather than returning
+    /// a `Result` every template would immediately unwrap.
+    fn template_name(s: &str) -> Name {
+        // detlint:allow(unwrap, template domains are fixed literals or caller-validated origins, covered by tests)
+        Name::parse(s).expect("page template domain parses")
+    }
+
     /// The distinct domains the page touches (first-party first).
     pub fn domains(&self) -> Vec<Name> {
         let mut out: Vec<Name> = Vec::new();
@@ -46,7 +55,7 @@ impl Page {
 
     /// A small first-party-only page: HTML + CSS + few images, one domain.
     pub fn simple(origin: &str) -> Page {
-        let d = Name::parse(origin).expect("valid origin");
+        let d = Self::template_name(origin);
         let obj = |bytes: usize, deps: Vec<usize>| PageObject {
             domain: d.clone(),
             bytes,
@@ -68,11 +77,11 @@ impl Page {
     /// analytics across several domains — the workload where DNS choices
     /// matter most.
     pub fn news_site(origin: &str) -> Page {
-        let first = Name::parse(origin).expect("valid origin");
-        let cdn = Name::parse("cdn.example-static.net").unwrap();
-        let ads = Name::parse("ads.example-exchange.com").unwrap();
-        let metrics = Name::parse("telemetry.example-metrics.io").unwrap();
-        let social = Name::parse("embed.example-social.org").unwrap();
+        let first = Self::template_name(origin);
+        let cdn = Self::template_name("cdn.example-static.net");
+        let ads = Self::template_name("ads.example-exchange.com");
+        let metrics = Self::template_name("telemetry.example-metrics.io");
+        let social = Self::template_name("embed.example-social.org");
         let o = |domain: &Name, bytes: usize, deps: Vec<usize>| PageObject {
             domain: domain.clone(),
             bytes,
@@ -99,7 +108,7 @@ impl Page {
     pub fn synthetic(n_objects: usize, n_domains: usize, rng: &mut SimRng) -> Page {
         assert!(n_objects >= 1 && n_domains >= 1);
         let domains: Vec<Name> = (0..n_domains)
-            .map(|i| Name::parse(&format!("host-{i}.page.example.com")).unwrap())
+            .map(|i| Self::template_name(&format!("host-{i}.page.example.com")))
             .collect();
         let mut objects = vec![PageObject {
             domain: domains[0].clone(),

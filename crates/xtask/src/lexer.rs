@@ -1,0 +1,430 @@
+//! A minimal Rust lexer: just enough tokenisation for detlint's rules.
+//!
+//! This is deliberately *not* a parser. detlint's rules are lexical
+//! patterns over token streams (method names, path segments, attribute
+//! shapes, brace regions), so all the lexer has to get right is the part
+//! that defeats naive `grep`: comments, string/char literals (so a
+//! `"thread_rng"` inside a string never fires a rule), raw strings,
+//! lifetimes vs char literals, and line numbers for every token.
+//!
+//! The workspace builds with no crates.io access, so there is no `syn`
+//! here; detlint is honest about being a token-level pass and its rules
+//! are designed (and UI-tested) around that.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `HashMap`).
+    Ident(String),
+    /// A single punctuation character (`.`, `{`, `!`, …).
+    Punct(char),
+    /// A numeric literal, verbatim (`0`, `1.5`, `0xFF`, `1_000f64`).
+    Number(String),
+    /// A lifetime (`'a`) — kept distinct so it never looks like an ident.
+    Lifetime(String),
+    /// Any string/char/byte literal; contents are discarded.
+    Literal,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(i) if i == s)
+    }
+
+    /// True if this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// A `//` comment found while lexing, with its line and whether any token
+/// precedes it on that line (used to decide which line a
+/// `detlint:allow(...)` comment covers).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Comment text after the `//`, untrimmed.
+    pub text: String,
+    /// Whether code tokens precede the comment on its line.
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: tokens plus the `//` comments (for escape-hatch
+/// parsing).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` line comments, in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes Rust source. Never fails: unterminated constructs simply consume
+/// the rest of the input (detlint lints code that already compiles, so
+/// this only matters for resilience on garbage input).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut tokens_on_line = false;
+
+    // Multiline literals: count their newlines. The literal itself is a
+    // token on its final line, so `tokens_on_line` stays true afterwards.
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&c| c == b'\n').count() as u32;
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                tokens_on_line = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let end = memchr_newline(b, start);
+                out.comments.push(LineComment {
+                    line,
+                    text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+                    trailing: tokens_on_line,
+                });
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, with nesting.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == b'\n' {
+                            line += 1;
+                            tokens_on_line = false;
+                        }
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                let end = scan_string(b, i + 1);
+                bump_lines!(&b[i..end]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                tokens_on_line = true;
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let end = scan_raw_or_byte(b, i);
+                let start_line = line;
+                bump_lines!(&b[i..end]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+                tokens_on_line = true;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a` / `'static` (no closing
+                // quote after one ident) is a lifetime; anything else is a
+                // char literal.
+                let (kind, end) = scan_quote(b, i);
+                out.tokens.push(Token { kind, line });
+                tokens_on_line = true;
+                i = end;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(String::from_utf8_lossy(&b[i..j]).into_owned()),
+                    line,
+                });
+                tokens_on_line = true;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // A fractional part — but not the `..` of a range.
+                if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    j += 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                } else if j < b.len() && b[j] == b'.' && b.get(j + 1) != Some(&b'.') {
+                    // Trailing-dot float like `0.` — consume the dot unless
+                    // it starts a range or a method call (`1.max(…)`).
+                    if !b
+                        .get(j + 1)
+                        .is_some_and(|d| d.is_ascii_alphabetic() || *d == b'_')
+                    {
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number(String::from_utf8_lossy(&b[i..j]).into_owned()),
+                    line,
+                });
+                tokens_on_line = true;
+                i = j;
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                tokens_on_line = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> usize {
+    b[from..]
+        .iter()
+        .position(|&c| c == b'\n')
+        .map_or(b.len(), |p| from + p)
+}
+
+/// Scans a `"…"` string body starting just after the opening quote;
+/// returns the index just past the closing quote.
+fn scan_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, br"…", b"…", b'…'
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => matches!(b.get(i + 1), Some(b'"') | Some(b'\'') | Some(b'r')),
+        _ => false,
+    }
+}
+
+fn scan_raw_or_byte(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // Byte char literal b'x'.
+        let (_, end) = scan_quote(b, j);
+        return end;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        // Not actually a string (e.g. the ident `r#type`); treat the
+        // leading bytes as an ident by rescanning from `i` as ident chars.
+        let mut k = i;
+        while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric() || b[k] == b'#') {
+            k += 1;
+        }
+        return k.max(i + 1);
+    }
+    j += 1;
+    if raw {
+        // Find `"` followed by `hashes` hashes.
+        while j < b.len() {
+            if b[j] == b'"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                return j + 1 + hashes;
+            }
+            j += 1;
+        }
+        b.len()
+    } else {
+        scan_string(b, j)
+    }
+}
+
+/// Scans from a `'`: returns a lifetime or char-literal token and the end
+/// index.
+fn scan_quote(b: &[u8], i: usize) -> (TokenKind, usize) {
+    // i points at the opening quote (or at `b` for byte chars — caller
+    // already skipped to the quote in that case).
+    let q = if b[i] == b'\'' { i } else { i + 1 };
+    let first = b.get(q + 1).copied();
+    match first {
+        Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+            // Could be 'a (lifetime) or 'a' (char). Scan the ident run.
+            let mut j = q + 2;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'\'') && j == q + 2 {
+                (TokenKind::Literal, j + 1)
+            } else {
+                (
+                    TokenKind::Lifetime(String::from_utf8_lossy(&b[q + 1..j]).into_owned()),
+                    j,
+                )
+            }
+        }
+        Some(b'\\') => {
+            // Escaped char literal '\n', '\u{…}', …
+            let mut j = q + 2;
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            (TokenKind::Literal, (j + 1).min(b.len()))
+        }
+        Some(_) => {
+            let mut j = q + 1;
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            (TokenKind::Literal, (j + 1).min(b.len()))
+        }
+        None => (TokenKind::Literal, b.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r#"
+            // thread_rng in a comment
+            let x = "Instant::now inside a string";
+            /* SystemTime::now in a block comment */
+            let y = call();
+        "#;
+        let ids = idents(src);
+        assert!(ids.contains(&"call".to_string()));
+        assert!(!ids.iter().any(|i| i == "thread_rng" || i == "Instant"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime(_)))
+            .count();
+        assert_eq!(lifetimes, 3);
+        // 'x' lexes as a literal, not a lifetime.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::Literal)));
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let src = r###"let s = r#"unwrap() panic!"#; s.len();"###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic"));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_eat_source() {
+        let src = "let r#type = 1; after();";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  c";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_consume_dots() {
+        let src = "for i in 0..n { sum += 1.5; }";
+        let lexed = lex(src);
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "{lexed:?}");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Number(n) if n == "1.5")));
+    }
+
+    #[test]
+    fn trailing_comment_flag() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+}

@@ -1,0 +1,201 @@
+//! Workspace automation for the edns-bench repo.
+//!
+//! The one task so far is **detlint** (`cargo xtask lint`): a static
+//! analysis pass that enforces the repo's determinism and hot-path
+//! invariants — the properties the golden-fixture and counting-allocator
+//! tests check *dynamically* — at the source level, before a hazard can
+//! churn a fixture. See [`rules`] for the rule table and the
+//! `detlint:allow(rule, reason)` escape hatch, and DESIGN.md §8 for the
+//! policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, lint_source_with, FilePolicy, Finding, Rule};
+
+/// The result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "detlint: {} finding(s) in {} file(s) scanned\n",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (stable key order, sorted findings).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule.id()),
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lints every first-party library source in the workspace: all of
+/// `crates/*/src/**/*.rs`.
+///
+/// `compat/` (vendored dependency subsets), `tests/`, `benches/` and
+/// `examples/` are out of scope: tests and benches are exempt by policy,
+/// and compat code is third-party idiom we deliberately do not rewrite.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        report.findings.extend(rules::lint_source(&rel, &src));
+        report.files_scanned += 1;
+    }
+    report.findings.sort();
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root from this crate's manifest dir (xtask lives
+/// at `<root>/crates/xtask`).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        // The acceptance bar for the whole repo: zero findings (escape
+        // hatches with reasons included). Run via `cargo xtask lint` for
+        // the full report.
+        let report = lint_workspace(&workspace_root()).expect("scan workspace");
+        assert!(
+            report.files_scanned > 50,
+            "scanned {}",
+            report.files_scanned
+        );
+        assert!(
+            report.is_clean(),
+            "detlint findings:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: Rule::WallClock,
+                message: "a \"quoted\" message".into(),
+            }],
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"clean\": false"), "{json}");
+    }
+}

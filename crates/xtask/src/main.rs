@@ -1,0 +1,83 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `lint [--json] [PATH…]` — run detlint, the determinism & hot-path
+//!   invariant checker, over `crates/*/src` (or just the given files).
+//!   Exits nonzero when findings exist. `--json` prints a machine-readable
+//!   report instead of text.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask {other:?}\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--json] [PATH…]");
+    eprintln!();
+    eprintln!("rules: hash-iter, wall-clock, deny-alloc, unwrap, float-order");
+    eprintln!("escape hatch: // detlint:allow(rule, reason)");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let report = if paths.is_empty() {
+        match xtask::lint_workspace(&xtask::workspace_root()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let root = xtask::workspace_root();
+        let mut report = xtask::Report::default();
+        for p in paths {
+            let path = Path::new(p);
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(path) {
+                Ok(src) => {
+                    report.findings.extend(xtask::lint_source(&rel, &src));
+                    report.files_scanned += 1;
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        report.findings.sort();
+        report
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

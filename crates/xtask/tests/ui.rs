@@ -1,0 +1,112 @@
+//! detlint UI tests: each `tests/ui/<name>.rs` fixture is linted under the
+//! strict policy and its findings are compared line-for-line against the
+//! `tests/ui/<name>.expected` snapshot (`line:rule` per finding).
+//!
+//! To update a snapshot after an intentional rule change, run with
+//! `DETLINT_UI_BLESS=1` and review the diff like any other golden file.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{lint_source_with, FilePolicy, Report, Rule};
+
+fn ui_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/ui")
+}
+
+fn findings_of(fixture: &Path) -> String {
+    let src = std::fs::read_to_string(fixture).expect("fixture readable");
+    let name = fixture.file_name().unwrap().to_string_lossy().into_owned();
+    let mut out = String::new();
+    for f in lint_source_with(&name, &src, &FilePolicy::strict()) {
+        out.push_str(&format!("{}:{}\n", f.line, f.rule.id()));
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_expected_findings() {
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(ui_dir())
+        .expect("tests/ui exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(fixtures.len() >= 6, "one fixture per rule at minimum");
+
+    let bless = std::env::var_os("DETLINT_UI_BLESS").is_some();
+    let mut failures = Vec::new();
+    for fixture in &fixtures {
+        let got = findings_of(fixture);
+        let expected_path = fixture.with_extension("expected");
+        if bless {
+            std::fs::write(&expected_path, &got).expect("write snapshot");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "missing snapshot {} — run with DETLINT_UI_BLESS=1",
+                expected_path.display()
+            )
+        });
+        if got != expected {
+            failures.push(format!(
+                "== {}\n-- expected --\n{expected}-- got --\n{got}",
+                fixture.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn missing_reason_does_not_suppress() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // detlint:allow(unwrap)\n    x.unwrap()\n}\n";
+    let findings = lint_source_with("fixture.rs", src, &FilePolicy::strict());
+    let rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    assert!(
+        rules.contains(&Rule::BadAllow),
+        "reasonless allow must be flagged: {findings:?}"
+    );
+    assert!(
+        rules.contains(&Rule::Unwrap),
+        "reasonless allow must not suppress: {findings:?}"
+    );
+}
+
+#[test]
+fn reasoned_allow_suppresses_exactly_one_line() {
+    let src = "fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n\
+               \x20   // detlint:allow(unwrap, first line is checked by the caller)\n\
+               \x20   let a = x.unwrap();\n\
+               \x20   let b = y.unwrap();\n\
+               \x20   a + b\n}\n";
+    let findings = lint_source_with("fixture.rs", src, &FilePolicy::strict());
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Unwrap);
+    assert_eq!(findings[0].line, 4, "only the un-allowed line remains");
+}
+
+#[test]
+fn json_report_is_stable_and_escaped() {
+    let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+    let findings = lint_source_with("a \"quoted\" path.rs", src, &FilePolicy::strict());
+    let report = Report {
+        findings,
+        files_scanned: 1,
+    };
+    let json = report.render_json();
+    assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
+    assert!(json.contains("\"line\": 2"), "{json}");
+    assert!(json.contains("a \\\"quoted\\\" path.rs"), "{json}");
+    assert!(json.contains("\"clean\": false"), "{json}");
+    assert!(json.ends_with("}\n"), "{json}");
+
+    let clean = Report {
+        findings: Vec::new(),
+        files_scanned: 3,
+    };
+    assert_eq!(
+        clean.render_json(),
+        "{\n  \"findings\": [],\n  \"files_scanned\": 3,\n  \"clean\": true\n}\n"
+    );
+}

@@ -1,0 +1,12 @@
+// detlint UI fixture: bad-allow. Not compiled — detlint is lexical.
+// A reason is mandatory: an allow that cannot say why does not suppress.
+
+fn missing_reason(x: Option<u32>) -> u32 {
+    // detlint:allow(unwrap)
+    x.unwrap()
+}
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    // detlint:allow(no-such-rule, this rule id does not exist)
+    x.unwrap()
+}

@@ -1,0 +1,33 @@
+// detlint UI fixture: float-order. Not compiled — detlint is lexical.
+//
+// The hazard is a float reduction *fed by hash-container iteration*: float
+// addition is not associative, so a seed-dependent visit order changes the
+// result. Reductions over slices (deterministic order) are fine.
+use std::collections::HashMap;
+
+fn hits(m: &HashMap<String, f64>, counts: &HashMap<String, u64>) -> f64 {
+    let total: f64 = m.values().sum();
+    let mut acc = 0.0f64;
+    for (_k, v) in counts.iter() {
+        acc += *v as f64;
+    }
+    total + acc
+}
+
+fn allowed(m: &HashMap<String, f64>) -> f64 {
+    // detlint:allow(hash-iter, the sum below is the only consumer)
+    // detlint:allow(float-order, values are integral millisecond counts, exactly representable)
+    let total: f64 = m.values().sum();
+    total
+}
+
+fn clean_integer(m: &HashMap<String, u64>) -> u64 {
+    // detlint:allow(hash-iter, integer sums are order-independent)
+    let total: u64 = m.values().sum();
+    total
+}
+
+fn clean_ordered(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().sum();
+    total
+}

@@ -1,0 +1,22 @@
+// detlint UI fixture: hash-iter. Not compiled — detlint is lexical.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn iterates(m: &HashMap<String, u32>, s: &HashSet<u32>) {
+    for (k, v) in m.iter() {}
+    for x in s {}
+    let _ = m.keys().count();
+    let _ = m.values().count();
+    m.retain(|_, v| *v > 0);
+}
+
+fn allowed(m: &HashMap<String, u32>) {
+    // detlint:allow(hash-iter, summing counters is order-independent)
+    let total: u32 = m.values().sum();
+}
+
+fn clean(b: &BTreeMap<String, u32>, m: &HashMap<String, u32>) {
+    for (k, v) in b.iter() {}
+    let _ = m.get("x");
+    let _ = m.len();
+    let _ = m.contains_key("y");
+}

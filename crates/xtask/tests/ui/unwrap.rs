@@ -1,0 +1,36 @@
+// detlint UI fixture: unwrap. Not compiled — detlint is lexical.
+
+pub fn hits(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("present");
+    if a == 0 {
+        panic!("zero is invalid here");
+    }
+    a + b
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    // detlint:allow(unwrap, caller checked is_some immediately above)
+    x.unwrap()
+}
+
+pub fn trailing_allowed(x: Option<u32>) -> u32 {
+    x.unwrap() // detlint:allow(unwrap, trailing form covers its own line)
+}
+
+struct Parser;
+impl Parser {
+    fn expect(&mut self, b: u8) {}
+    fn clean(&mut self) {
+        self.expect(b':');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

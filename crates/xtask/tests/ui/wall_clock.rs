@@ -1,0 +1,21 @@
+// detlint UI fixture: wall-clock. Not compiled — detlint is lexical.
+
+fn timing() {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+}
+
+fn entropy() {
+    let mut rng = rand::thread_rng();
+    let seeded = StdRng::from_entropy();
+}
+
+fn allowed() {
+    // detlint:allow(wall-clock, operator-facing progress display only)
+    let t = std::time::Instant::now();
+}
+
+fn clean(clock: &SimClock) {
+    let now = clock.now();
+    let later = now + SimDuration::from_millis(5);
+}

@@ -37,12 +37,13 @@ fn main() {
         },
         edns_bench::catalog::resolvers::all().len()
     );
-    let start = std::time::Instant::now();
+    // Operator-facing progress timing goes through the audited shim.
+    let start = edns_bench::obs::clock::Stopwatch::start();
     let repro = Reproduction::run(seed, scale);
     eprintln!(
         "{} probes simulated in {:.1}s",
         repro.probe_count(),
-        start.elapsed().as_secs_f64()
+        start.elapsed_secs()
     );
 
     let out_dir = Path::new("target/edns-bench-out");
