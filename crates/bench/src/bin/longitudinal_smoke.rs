@@ -1,0 +1,118 @@
+//! Longitudinal campaign smoke: runs a sharded, checkpointed multi-month
+//! simulated campaign over the full resolver population and proves the
+//! engine's memory stays O(shard) while JSONL streams to disk — the
+//! property that makes multi-million-probe campaigns feasible.
+//!
+//! Two profiles:
+//!
+//! * `cargo run --release -p bench --bin longitudinal_smoke` — the full
+//!   profile: 133 simulated days (>1M probes), 64 shards. The numbers
+//!   recorded in `BENCH_campaign.json` at the repo root.
+//! * `-- --quick` — the CI profile: 20 simulated days (~150k probes),
+//!   16 shards, with a hard peak-RSS cap so an accumulation regression
+//!   (anything re-growing a whole-campaign `Vec<ProbeRecord>`) fails the
+//!   workflow loudly.
+//!
+//! Both profiles exercise a kill/resume: the run is stopped after a few
+//! shards, resumed by a fresh runner, and the checkpointed shard count is
+//! asserted. Prints one JSON object on stdout.
+
+// Bench harness: real elapsed time is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use measure::{Campaign, CampaignConfig, ShardedRunner};
+
+/// Peak-RSS cap for the CI profile. The bounded-memory engine peaks well
+/// under 200 MB on the reference container; holding every record of even
+/// the quick-profile campaign in memory again would blow past this.
+const QUICK_RSS_CAP_KB: u64 = 512 * 1024;
+
+/// Peak RSS of this process in kB, from /proc/self/status (VmHWM).
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (days, shards, kill_after) = if quick {
+        (20, 16u32, 3)
+    } else {
+        (133, 64u32, 8)
+    };
+
+    let config = CampaignConfig::longitudinal(42, days);
+    let campaign = Campaign::new(config);
+    let probes = campaign.probe_count() as u64;
+    assert!(
+        quick || probes >= 1_000_000,
+        "full profile must simulate at least one million probes, got {probes}"
+    );
+
+    let dir = std::env::temp_dir().join(format!("edns-longitudinal-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let t = Instant::now();
+    // Phase 1: run a few shards, then drop the runner — the kill.
+    let first = ShardedRunner::new(&campaign, shards, &dir).unwrap();
+    let remaining = first.advance(kill_after).unwrap();
+    assert_eq!(remaining, shards as usize - kill_after);
+    drop(first);
+
+    // Phase 2: a fresh runner resumes from the checkpoint directory and
+    // finishes the campaign.
+    let runner = ShardedRunner::new(&campaign, shards, &dir).unwrap();
+    let outcome = runner.run(threads).unwrap();
+    let elapsed = t.elapsed().as_secs_f64();
+
+    assert_eq!(outcome.records, probes, "record count must match the plan");
+    assert_eq!(
+        outcome.run.shards_resumed.get(),
+        kill_after as u64,
+        "resume must adopt exactly the checkpointed shards"
+    );
+    let jsonl_bytes = std::fs::metadata(&outcome.jsonl_path).unwrap().len();
+    let overall = outcome.aggregates.overall();
+    let rss_kb = peak_rss_kb();
+    if quick {
+        assert!(
+            rss_kb > 0 && rss_kb < QUICK_RSS_CAP_KB,
+            "peak RSS {rss_kb} kB breaches the {QUICK_RSS_CAP_KB} kB bounded-memory cap"
+        );
+    }
+
+    println!(
+        concat!(
+            "{{\"profile\":\"{}\",\"days\":{},\"shards\":{},\"threads\":{},",
+            "\"probes\":{},\"resumed_shards\":{},\"jsonl_bytes\":{},",
+            "\"elapsed_s\":{:.3},\"probes_per_sec\":{:.0},",
+            "\"peak_rss_kb\":{},\"availability_pct\":{:.2},",
+            "\"response_p50_ms\":{:.1},\"response_p95_ms\":{:.1}}}"
+        ),
+        if quick { "quick" } else { "full" },
+        days,
+        shards,
+        threads,
+        outcome.records,
+        kill_after,
+        jsonl_bytes,
+        elapsed,
+        outcome.records as f64 / elapsed,
+        rss_kb,
+        overall.availability.availability() * 100.0,
+        overall.response.quantile(0.5).unwrap_or(0.0),
+        overall.response.quantile(0.95).unwrap_or(0.0),
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

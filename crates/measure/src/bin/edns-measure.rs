@@ -67,11 +67,22 @@ USAGE:
   edns-measure campaign [--scale quick|standard|paper] [--seed S] [--out FILE]
                         [--metrics] [--retries N] [--timeout SECS]
                         [--backoff-ms MS] [--jitter F] [--faults none|default]
+                        [--days N] [--shards K] [--checkpoint-dir DIR]
       Run a full campaign over the whole population and write JSON-Lines
       results (default scale standard, output results.jsonl). --metrics
       prints the per-resolver × vantage metrics snapshot (counters, error
       tallies, phase histograms). For JSON/CSV metrics exports see
       examples/global_campaign.rs, which uses the report crate.
+
+      LONGITUDINAL MODE: --days N switches to the simulated multi-month
+      schedule (home 6 rounds/day + EC2 3 rounds/day over N days; 133
+      days tops a million probes) and runs through the sharded,
+      resumable engine: the pair space splits into K shards (--shards,
+      default 8), each checkpointed under --checkpoint-dir (default
+      'checkpoints') as it completes. A killed campaign re-run with the
+      same flags resumes from the last completed shard and produces
+      byte-identical output. --shards/--checkpoint-dir without --days
+      shard the selected --scale instead.
 
   edns-measure report <results.jsonl>
       Regenerate the availability analysis and headline findings from a
@@ -289,11 +300,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .unwrap_or("0")
         .parse()
         .map_err(|_| "bad --seed")?;
-    let mut config = match flag_value(args, "--scale").unwrap_or("standard") {
-        "quick" => CampaignConfig::quick(seed, 4),
-        "standard" => CampaignConfig::quick(seed, 24),
-        "paper" => CampaignConfig::paper(seed),
-        other => return Err(format!("unknown scale {other:?}")),
+    let days: Option<u32> = flag_value(args, "--days")
+        .map(|v| v.parse().map_err(|_| "bad --days"))
+        .transpose()?;
+    let mut config = match days {
+        Some(days) => CampaignConfig::longitudinal(seed, days),
+        None => match flag_value(args, "--scale").unwrap_or("standard") {
+            "quick" => CampaignConfig::quick(seed, 4),
+            "standard" => CampaignConfig::quick(seed, 24),
+            "paper" => CampaignConfig::paper(seed),
+            other => return Err(format!("unknown scale {other:?}")),
+        },
     };
     if faults_enabled(args)? {
         // Dig-default retries plus the seeded fault plan.
@@ -301,6 +318,13 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     apply_retry_flags(args, &mut config.probe.retry)?;
     let out = flag_value(args, "--out").unwrap_or("results.jsonl");
+
+    let sharded = days.is_some()
+        || flag_value(args, "--shards").is_some()
+        || flag_value(args, "--checkpoint-dir").is_some();
+    if sharded {
+        return cmd_campaign_sharded(args, config, out);
+    }
 
     let campaign = Campaign::new(config);
     eprintln!(
@@ -326,6 +350,60 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     eprintln!("results written to {out}");
     if flag_present(args, "--metrics") {
         out!("{}", result.metrics().render());
+    }
+    Ok(())
+}
+
+/// The longitudinal path: shard the campaign, execute with checkpoints,
+/// resume whatever an earlier (killed) invocation already finished, and
+/// stream the assembled JSONL to `out`.
+fn cmd_campaign_sharded(args: &[String], config: CampaignConfig, out: &str) -> Result<(), String> {
+    let shards: u32 = flag_value(args, "--shards")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "bad --shards")?;
+    let dir = flag_value(args, "--checkpoint-dir").unwrap_or("checkpoints");
+
+    let campaign = Campaign::new(config);
+    let runner = measure::ShardedRunner::new(&campaign, shards, dir).map_err(|e| e.to_string())?;
+    eprintln!(
+        "running {} probes over {} resolvers in {} shards (checkpoints in {dir})...",
+        campaign.probe_count(),
+        campaign.entries().len(),
+        runner.shards(),
+    );
+    // Operator feedback only — results run purely in simulated time.
+    let start = obs::clock::Stopwatch::start();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let outcome = runner.run(threads).map_err(|e| e.to_string())?;
+    let overall = outcome.aggregates.overall();
+    eprintln!(
+        "done in {:.1}s: {} records, availability {:.2}% ({} resumed of {} shards)",
+        start.elapsed_secs(),
+        outcome.records,
+        overall.availability.availability() * 100.0,
+        outcome.run.shards_resumed.get(),
+        outcome.run.shards_planned.get(),
+    );
+    if outcome.jsonl_path != std::path::Path::new(out) {
+        std::fs::copy(&outcome.jsonl_path, out).map_err(|e| e.to_string())?;
+    }
+    eprintln!("results written to {out}");
+    out!("{}", outcome.run.render());
+    if let (Some(p50), Some(p95)) = (
+        overall.response.quantile(0.5),
+        overall.response.quantile(0.95),
+    ) {
+        out!(
+            "response times: mean {:.1} ms, p50 ~{p50:.1} ms, p95 ~{p95:.1} ms over {} successes",
+            overall.response.mean().unwrap_or(0.0),
+            overall.response.count(),
+        );
+    }
+    if flag_present(args, "--metrics") {
+        out!("{}", outcome.metrics.render());
     }
     Ok(())
 }

@@ -159,15 +159,15 @@ struct CampaignDomain {
 /// One (vantage, resolver) unit of work, with its interned labels and its
 /// rank in the canonical (vantage, resolver) string order.
 #[derive(Debug, Clone)]
-struct PairPlan {
-    vantage: Vantage,
-    entry: catalog::ResolverEntry,
-    vantage_label: Label,
-    resolver_label: Label,
+pub(crate) struct PairPlan {
+    pub(crate) vantage: Vantage,
+    pub(crate) entry: catalog::ResolverEntry,
+    pub(crate) vantage_label: Label,
+    pub(crate) resolver_label: Label,
     /// Position of this pair when all pairs are sorted by
     /// (vantage label, resolver hostname) — the merge compares this
     /// integer instead of the two strings.
-    order: u32,
+    pub(crate) order: u32,
 }
 
 /// Runs campaigns over a resolver population.
@@ -254,7 +254,17 @@ impl Campaign {
         self.config.probe_count(self.entries.len())
     }
 
-    fn domain_rank(&self, label: Label) -> u32 {
+    /// The campaign's configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The resolver population this campaign probes.
+    pub fn entries(&self) -> &[catalog::ResolverEntry] {
+        &self.entries
+    }
+
+    pub(crate) fn domain_rank(&self, label: Label) -> u32 {
         self.domain_ranks
             .get(label.index())
             .copied()
@@ -313,7 +323,7 @@ impl Campaign {
 
     /// Every (vantage, resolver) pair with its interned labels and merge
     /// rank.
-    fn pair_plans(&self) -> Vec<PairPlan> {
+    pub(crate) fn pair_plans(&self) -> Vec<PairPlan> {
         let vantages = self.config.vantages();
         let mut plans = Vec::with_capacity(vantages.len() * self.entries.len());
         for v in &vantages {
@@ -345,7 +355,7 @@ impl Campaign {
 
     /// Runs the full probe series for one (vantage, resolver) pair,
     /// returning its records in canonical (time, domain) order.
-    fn run_pair(&self, plan: &PairPlan) -> Vec<ProbeRecord> {
+    pub(crate) fn run_pair(&self, plan: &PairPlan) -> Vec<ProbeRecord> {
         let vantage = &plan.vantage;
         let entry = &plan.entry;
         let prober = Prober::new();
@@ -403,7 +413,11 @@ impl Campaign {
     /// sorted, so the merge is O(n log pairs) integer-tuple comparisons —
     /// no global sort, no string comparison, no record is copied twice.
     #[deny_alloc]
-    fn merge_pairs(&self, outputs: Vec<Vec<ProbeRecord>>, plans: &[PairPlan]) -> Vec<ProbeRecord> {
+    pub(crate) fn merge_pairs(
+        &self,
+        outputs: Vec<Vec<ProbeRecord>>,
+        plans: &[PairPlan],
+    ) -> Vec<ProbeRecord> {
         debug_assert_eq!(outputs.len(), plans.len());
         let total: usize = outputs.iter().map(Vec::len).sum();
         let mut merged = Vec::with_capacity(total);

@@ -1,0 +1,644 @@
+//! Versioned, checksummed campaign checkpoints.
+//!
+//! A sharded campaign persists its progress as a *manifest*: one file
+//! recording, per shard, whether the shard is still pending or complete —
+//! and for complete shards, the shard's record count, its JSONL byte count
+//! and checksum, and the per-pair aggregate cells it produced. A killed
+//! campaign resumes by loading the manifest, re-validating every complete
+//! shard's data file against the recorded checksum, and running only what
+//! is left.
+//!
+//! The on-disk format is one header line followed by a JSON body:
+//!
+//! ```text
+//! edns-checkpoint v1 <16-hex fnv64 of body>
+//! {"entries":[...],"fingerprint":"...","pairs":21,"seed":"2a","shards":4}
+//! ```
+//!
+//! The header carries the format version and a checksum of the body, so a
+//! truncated write, a corrupt byte, or a manifest from a different format
+//! version is detected and rejected with a typed [`CheckpointError`] — the
+//! engine then re-runs from scratch rather than silently resuming from bad
+//! state. The `fingerprint` binds the manifest to one campaign
+//! configuration (seed, pair list, schedule); resuming with a different
+//! configuration is a [`CheckpointError::ConfigMismatch`].
+//!
+//! Every float in the body is written with the workspace's
+//! shortest-round-trip formatter ([`crate::json::write_float`]), which
+//! re-parses bit-exactly — a decode of an encode reproduces the aggregate
+//! cells down to the last bit, which the resume-determinism tests rely on.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use edns_stats::{Availability, LatencySketch, RunningMoments, SKETCH_BUCKET_COUNT};
+use obs::Label;
+
+use crate::aggregate::{AggregateCell, PairAggregate};
+use crate::json::Json;
+
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The magic token opening every checkpoint header line.
+pub const CHECKPOINT_MAGIC: &str = "edns-checkpoint";
+
+/// 64-bit FNV-1a — the workspace's dependency-free content checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a checkpoint could not be loaded or trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure (message includes the path and OS error).
+    Io(String),
+    /// The file does not start with the `edns-checkpoint` magic — not a
+    /// checkpoint at all.
+    BadMagic,
+    /// The file is a checkpoint, but from a different format version.
+    VersionMismatch {
+        /// The version token found in the header (e.g. `"v2"`).
+        found: String,
+    },
+    /// The body does not hash to the checksum recorded in the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the body as found on disk.
+        actual: u64,
+    },
+    /// The file ends before the body (or the body is empty) — a torn
+    /// write.
+    Truncated,
+    /// The body is not valid JSON, or is missing required fields.
+    Parse(String),
+    /// The manifest belongs to a different campaign configuration.
+    ConfigMismatch(String),
+    /// A shard's recorded data is internally inconsistent, or its data
+    /// file fails re-validation.
+    ShardData(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::VersionMismatch { found } => write!(
+                f,
+                "checkpoint version {found} is not supported (this build reads v{CHECKPOINT_VERSION})"
+            ),
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected:016x}, body hashes to {actual:016x}"
+            ),
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::Parse(msg) => write!(f, "checkpoint body malformed: {msg}"),
+            CheckpointError::ConfigMismatch(msg) => {
+                write!(f, "checkpoint is for a different campaign: {msg}")
+            }
+            CheckpointError::ShardData(msg) => write!(f, "shard data invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One completed shard's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Shard index.
+    pub shard: u32,
+    /// Probe records in the shard's data file.
+    pub records: u64,
+    /// Size of the shard's JSONL data file in bytes.
+    pub bytes: u64,
+    /// FNV-1a checksum of the shard's JSONL data file.
+    pub checksum: u64,
+    /// The shard's per-pair aggregate cells, in pair-index order.
+    pub pairs: Vec<PairAggregate>,
+}
+
+/// A shard's state in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardState {
+    /// Not yet executed (or its previous execution did not survive).
+    Pending,
+    /// Executed, with its durable state.
+    Complete(ShardCheckpoint),
+}
+
+impl ShardState {
+    /// Whether this shard is complete.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ShardState::Complete(_))
+    }
+}
+
+/// The campaign's durable progress record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Fingerprint of the campaign configuration this manifest belongs to.
+    pub fingerprint: u64,
+    /// Campaign seed (also folded into the fingerprint; kept separately
+    /// for human inspection).
+    pub seed: u64,
+    /// Total (vantage, resolver) pairs in the campaign.
+    pub pairs: u32,
+    /// Per-shard states; `states.len()` is the shard count.
+    pub states: Vec<ShardState>,
+}
+
+impl Manifest {
+    /// A fresh manifest with every shard pending.
+    pub fn new(fingerprint: u64, seed: u64, shards: u32, pairs: u32) -> Manifest {
+        Manifest {
+            fingerprint,
+            seed,
+            pairs,
+            states: vec![ShardState::Pending; shards as usize],
+        }
+    }
+
+    /// Number of complete shards.
+    pub fn complete_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_complete()).count()
+    }
+
+    /// Whether every shard is complete.
+    pub fn is_complete(&self) -> bool {
+        self.states.iter().all(ShardState::is_complete)
+    }
+
+    /// Serialises the manifest: header line plus compact JSON body.
+    pub fn encode(&self) -> String {
+        let entries: Vec<Json> = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                ShardState::Pending => Json::object([
+                    ("shard", Json::Int(i as i64)),
+                    ("state", Json::Str("pending".to_string())),
+                ]),
+                ShardState::Complete(c) => Json::object([
+                    ("shard", Json::Int(i as i64)),
+                    ("state", Json::Str("complete".to_string())),
+                    ("records", Json::Int(c.records as i64)),
+                    ("bytes", Json::Int(c.bytes as i64)),
+                    ("checksum", Json::Str(format!("{:016x}", c.checksum))),
+                    (
+                        "cells",
+                        Json::Array(c.pairs.iter().map(pair_aggregate_to_json).collect()),
+                    ),
+                ]),
+            })
+            .collect();
+        let body = Json::object([
+            (
+                "fingerprint",
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("seed", Json::Str(format!("{:x}", self.seed))),
+            ("shards", Json::Int(self.states.len() as i64)),
+            ("pairs", Json::Int(self.pairs as i64)),
+            ("entries", Json::Array(entries)),
+        ])
+        .to_string_compact();
+        format!(
+            "{CHECKPOINT_MAGIC} v{CHECKPOINT_VERSION} {:016x}\n{body}\n",
+            fnv64(body.as_bytes())
+        )
+    }
+
+    /// Parses and validates a serialised manifest.
+    pub fn decode(text: &str) -> Result<Manifest, CheckpointError> {
+        let mut lines = text.splitn(2, '\n');
+        let header = lines.next().unwrap_or("");
+        let mut tokens = header.split(' ');
+        if tokens.next() != Some(CHECKPOINT_MAGIC) {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = tokens.next().ok_or(CheckpointError::Truncated)?;
+        if version != format!("v{CHECKPOINT_VERSION}") {
+            return Err(CheckpointError::VersionMismatch {
+                found: version.to_string(),
+            });
+        }
+        let checksum_hex = tokens.next().ok_or(CheckpointError::Truncated)?;
+        let expected = u64::from_str_radix(checksum_hex, 16)
+            .map_err(|_| CheckpointError::Parse("unreadable header checksum".to_string()))?;
+        let body = lines.next().ok_or(CheckpointError::Truncated)?;
+        let body = body.strip_suffix('\n').unwrap_or(body);
+        if body.is_empty() {
+            return Err(CheckpointError::Truncated);
+        }
+        let actual = fnv64(body.as_bytes());
+        if actual != expected {
+            return Err(CheckpointError::ChecksumMismatch { expected, actual });
+        }
+        let v = crate::json::parse(body).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+
+        let fingerprint = hex_field(&v, "fingerprint")?;
+        let seed = hex_field(&v, "seed")?;
+        let shards = int_field(&v, "shards")? as usize;
+        let pairs = int_field(&v, "pairs")? as u32;
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| parse_err("missing entries array"))?;
+        if entries.len() != shards {
+            return Err(parse_err("entries length disagrees with shard count"));
+        }
+        let mut states = Vec::with_capacity(shards);
+        for (i, e) in entries.iter().enumerate() {
+            if int_field(e, "shard")? != i as u64 {
+                return Err(parse_err("entries out of order"));
+            }
+            let state = e
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or_else(|| parse_err("missing shard state"))?;
+            match state {
+                "pending" => states.push(ShardState::Pending),
+                "complete" => {
+                    let cells = e
+                        .get("cells")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| parse_err("complete shard missing cells"))?;
+                    let pairs = cells
+                        .iter()
+                        .map(pair_aggregate_from_json)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    states.push(ShardState::Complete(ShardCheckpoint {
+                        shard: i as u32,
+                        records: int_field(e, "records")?,
+                        bytes: int_field(e, "bytes")?,
+                        checksum: hex_field(e, "checksum")?,
+                        pairs,
+                    }));
+                }
+                other => {
+                    return Err(parse_err_owned(format!("unknown shard state {other:?}")));
+                }
+            }
+        }
+        Ok(Manifest {
+            fingerprint,
+            seed,
+            pairs,
+            states,
+        })
+    }
+
+    /// Writes the manifest atomically: the serialised form goes to a
+    /// `.tmp` sibling which is then renamed over `path`, so a crash never
+    /// leaves a half-written manifest under the real name.
+    pub fn store(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode())
+            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))
+    }
+
+    /// Loads and validates a manifest from `path`.
+    pub fn load(path: &Path) -> Result<Manifest, CheckpointError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        Manifest::decode(&text)
+    }
+}
+
+fn parse_err(msg: &str) -> CheckpointError {
+    CheckpointError::Parse(msg.to_string())
+}
+
+fn parse_err_owned(msg: String) -> CheckpointError {
+    CheckpointError::Parse(msg)
+}
+
+fn int_field(v: &Json, key: &str) -> Result<u64, CheckpointError> {
+    v.get(key)
+        .and_then(Json::as_i64)
+        .filter(|&n| n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| parse_err_owned(format!("missing or invalid field {key:?}")))
+}
+
+fn hex_field(v: &Json, key: &str) -> Result<u64, CheckpointError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| parse_err_owned(format!("missing or invalid hex field {key:?}")))
+}
+
+fn float_field(v: &Json, key: &str) -> Result<f64, CheckpointError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .filter(|f| f.is_finite())
+        .ok_or_else(|| parse_err_owned(format!("missing or invalid float field {key:?}")))
+}
+
+/// Encodes a latency sketch. Empty sketches collapse to `{"n":0}`, which
+/// keeps the infinite min/max sentinels of an empty [`RunningMoments`] out
+/// of the JSON (JSON has no `Infinity`).
+pub fn sketch_to_json(s: &LatencySketch) -> Json {
+    if s.count() == 0 {
+        return Json::object([("n", Json::Int(0))]);
+    }
+    Json::object([
+        ("n", Json::Int(s.count() as i64)),
+        ("mean", Json::Float(s.mean().unwrap_or(0.0))),
+        ("m2", Json::Float(s.moments().m2().unwrap_or(0.0))),
+        ("min", Json::Float(s.min().unwrap_or(0.0))),
+        ("max", Json::Float(s.max().unwrap_or(0.0))),
+        (
+            "buckets",
+            Json::Array(
+                s.bucket_counts()
+                    .iter()
+                    .map(|&c| Json::Int(c as i64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a latency sketch, validating bucket arity and that the bucket
+/// total matches the moment count.
+pub fn sketch_from_json(v: &Json) -> Result<LatencySketch, CheckpointError> {
+    let n = int_field(v, "n")?;
+    if n == 0 {
+        return Ok(LatencySketch::new());
+    }
+    let moments = RunningMoments::from_parts(
+        n,
+        float_field(v, "mean")?,
+        float_field(v, "m2")?,
+        float_field(v, "min")?,
+        float_field(v, "max")?,
+    );
+    let buckets = v
+        .get("buckets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| parse_err("sketch missing buckets"))?;
+    if buckets.len() != SKETCH_BUCKET_COUNT {
+        return Err(parse_err("sketch bucket arity mismatch"));
+    }
+    let mut counts = [0u64; SKETCH_BUCKET_COUNT];
+    for (slot, b) in counts.iter_mut().zip(buckets) {
+        *slot = b
+            .as_i64()
+            .filter(|&c| c >= 0)
+            .ok_or_else(|| parse_err("sketch bucket not a count"))? as u64;
+    }
+    if counts.iter().sum::<u64>() != n {
+        return Err(parse_err("sketch bucket total disagrees with count"));
+    }
+    Ok(LatencySketch::from_parts(moments, counts))
+}
+
+/// Encodes an availability tally.
+pub fn availability_to_json(a: &Availability) -> Json {
+    let errors: BTreeMap<String, Json> = a
+        .errors
+        .iter()
+        .map(|(k, &c)| (k.clone(), Json::Int(c as i64)))
+        .collect();
+    Json::object([
+        ("successes", Json::Int(a.successes as i64)),
+        ("errors", Json::Object(errors)),
+    ])
+}
+
+/// Decodes an availability tally.
+pub fn availability_from_json(v: &Json) -> Result<Availability, CheckpointError> {
+    let successes = int_field(v, "successes")?;
+    let errors_obj = match v.get("errors") {
+        Some(Json::Object(m)) => m,
+        _ => return Err(parse_err("availability missing errors object")),
+    };
+    let mut errors = BTreeMap::new();
+    for (k, c) in errors_obj {
+        let c = c
+            .as_i64()
+            .filter(|&n| n >= 0)
+            .ok_or_else(|| parse_err("availability error count invalid"))?;
+        errors.insert(k.clone(), c as u64);
+    }
+    Ok(Availability { successes, errors })
+}
+
+/// Encodes one pair's aggregate cell.
+pub fn pair_aggregate_to_json(p: &PairAggregate) -> Json {
+    Json::object([
+        ("pair", Json::Int(p.pair as i64)),
+        ("vantage", Json::Str(p.vantage.as_str().to_string())),
+        ("resolver", Json::Str(p.resolver.as_str().to_string())),
+        ("availability", availability_to_json(&p.cell.availability)),
+        ("response", sketch_to_json(&p.cell.response)),
+        ("ping", sketch_to_json(&p.cell.ping)),
+    ])
+}
+
+/// Decodes one pair's aggregate cell.
+pub fn pair_aggregate_from_json(v: &Json) -> Result<PairAggregate, CheckpointError> {
+    let vantage = v
+        .get("vantage")
+        .and_then(Json::as_str)
+        .ok_or_else(|| parse_err("cell missing vantage"))?;
+    let resolver = v
+        .get("resolver")
+        .and_then(Json::as_str)
+        .ok_or_else(|| parse_err("cell missing resolver"))?;
+    let availability = availability_from_json(
+        v.get("availability")
+            .ok_or_else(|| parse_err("cell missing availability"))?,
+    )?;
+    let response = sketch_from_json(
+        v.get("response")
+            .ok_or_else(|| parse_err("cell missing response sketch"))?,
+    )?;
+    let ping = sketch_from_json(
+        v.get("ping")
+            .ok_or_else(|| parse_err("cell missing ping sketch"))?,
+    )?;
+    Ok(PairAggregate {
+        pair: int_field(v, "pair")? as u32,
+        vantage: Label::intern(vantage),
+        resolver: Label::intern(resolver),
+        cell: AggregateCell {
+            availability,
+            response,
+            ping,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> AggregateCell {
+        let mut cell = AggregateCell::default();
+        cell.availability.success();
+        cell.availability.success();
+        cell.availability.error("query_timeout");
+        cell.response.observe(12.5);
+        cell.response.observe(48.25);
+        cell.ping.observe(3.75);
+        cell
+    }
+
+    fn sample_manifest() -> Manifest {
+        let mut m = Manifest::new(0xfeed_beef, 42, 3, 4);
+        m.states[1] = ShardState::Complete(ShardCheckpoint {
+            shard: 1,
+            records: 120,
+            bytes: 34_567,
+            checksum: 0xdead_beef_dead_beef,
+            pairs: vec![
+                PairAggregate {
+                    pair: 2,
+                    vantage: Label::intern("home-us-east"),
+                    resolver: Label::intern("dns.google"),
+                    cell: sample_cell(),
+                },
+                PairAggregate {
+                    pair: 3,
+                    vantage: Label::intern("home-us-east"),
+                    resolver: Label::intern("dns.quad9.net"),
+                    cell: AggregateCell::default(),
+                },
+            ],
+        });
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_exactly() {
+        let m = sample_manifest();
+        let text = m.encode();
+        let back = Manifest::decode(&text).unwrap();
+        assert_eq!(back, m);
+        // Encoding is a fixed point.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn header_is_versioned_and_checksummed() {
+        let text = sample_manifest().encode();
+        let header = text.lines().next().unwrap();
+        assert!(header.starts_with("edns-checkpoint v1 "));
+        let hex = header.rsplit(' ').next().unwrap();
+        assert_eq!(hex.len(), 16);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(
+            Manifest::decode("not-a-checkpoint v1 00\n{}"),
+            Err(CheckpointError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let text = sample_manifest().encode().replace("v1", "v2");
+        assert_eq!(
+            Manifest::decode(&text),
+            Err(CheckpointError::VersionMismatch {
+                found: "v2".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let text = sample_manifest().encode();
+        // Flip one digit inside the body.
+        let corrupted = text.replacen("120", "121", 1);
+        assert!(matches!(
+            Manifest::decode(&corrupted),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let text = sample_manifest().encode();
+        let header_only = text.lines().next().unwrap().to_string();
+        assert_eq!(
+            Manifest::decode(&header_only),
+            Err(CheckpointError::Truncated)
+        );
+        let half = &text[..text.len() / 2];
+        assert!(matches!(
+            Manifest::decode(half),
+            Err(CheckpointError::ChecksumMismatch { .. } | CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn empty_sketch_encodes_compactly() {
+        let s = LatencySketch::new();
+        let v = sketch_to_json(&s);
+        assert_eq!(v.to_string_compact(), r#"{"n":0}"#);
+        assert_eq!(sketch_from_json(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn sketch_round_trip_is_bit_exact() {
+        let mut s = LatencySketch::new();
+        for x in [0.125, 3.9, 17.0, 230.75, 1999.5, 0.3] {
+            s.observe(x);
+        }
+        let back = sketch_from_json(&sketch_to_json(&s)).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.mean().unwrap().to_bits(), s.mean().unwrap().to_bits());
+        assert_eq!(
+            back.moments().m2().unwrap().to_bits(),
+            s.moments().m2().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn sketch_validation_catches_tampering() {
+        let mut s = LatencySketch::new();
+        s.observe(5.0);
+        let v = sketch_to_json(&s);
+        let mut tampered = match v {
+            Json::Object(m) => m,
+            _ => unreachable!(),
+        };
+        tampered.insert("n".to_string(), Json::Int(2));
+        assert!(sketch_from_json(&Json::Object(tampered)).is_err());
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("edns-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.ckpt");
+        let m = sample_manifest();
+        m.store(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), m);
+        // The tmp sibling does not linger.
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -142,6 +142,36 @@ impl CampaignConfig {
         }
     }
 
+    /// A simulated longitudinal campaign over the full population: `days`
+    /// days of the paper's steady-state cadence — home vantages every
+    /// four hours (6 rounds/day), EC2 vantages three times a day — over
+    /// all three domains. One day schedules 7 524 probes against the full
+    /// catalog ((4×6 + 3×3) vantage-rounds × 76 resolvers × 3 domains),
+    /// so `--days 133` clears a million probes: the scale the sharded,
+    /// checkpointed engine ([`crate::shard::ShardedRunner`]) exists for.
+    pub fn longitudinal(seed: u64, days: u32) -> Self {
+        CampaignConfig {
+            seed,
+            domains: standard_domains(),
+            probe: ProbeConfig::default(),
+            spans: vec![
+                Span {
+                    start_day: 0,
+                    days,
+                    rounds_per_day: 6,
+                    vantages: HOME_LABELS.to_vec(),
+                },
+                Span {
+                    start_day: 0,
+                    days,
+                    rounds_per_day: 3,
+                    vantages: EC2_LABELS.to_vec(),
+                },
+            ],
+            faults: FaultPlan::EMPTY,
+        }
+    }
+
     /// The simulated horizon the spans cover, from the campaign epoch to
     /// the end of the last span — the window a generated fault plan
     /// scatters its events over.

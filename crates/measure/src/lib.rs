@@ -25,7 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod campaign;
+pub mod checkpoint;
 pub mod config;
 pub mod dns_json;
 pub mod errors;
@@ -33,6 +35,7 @@ pub mod json;
 pub mod probe;
 pub mod results;
 pub mod retry;
+pub mod shard;
 pub mod summary;
 pub mod vantage;
 
@@ -41,11 +44,14 @@ pub mod vantage;
 pub use obs::intern;
 pub use obs::Label;
 
+pub use aggregate::{AggregateCell, CampaignAggregates, PairAggregate};
 pub use campaign::{metrics_of, observe_record, Campaign, CampaignResult};
+pub use checkpoint::{CheckpointError, Manifest, ShardCheckpoint, ShardState, CHECKPOINT_VERSION};
 pub use config::{standard_domains, CampaignConfig, Span};
 pub use errors::ProbeErrorKind;
 pub use probe::{ProbeConfig, ProbeTarget, Prober};
 pub use results::{ProbeOutcome, ProbeRecord, ProbeTimings, Protocol};
 pub use retry::{RetryInfo, RetryPolicy};
+pub use shard::{ShardedOutcome, ShardedRunner};
 pub use summary::{CellStats, StreamingSummary};
 pub use vantage::{Vantage, VantageKind};

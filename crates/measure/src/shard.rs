@@ -1,0 +1,594 @@
+//! The sharded, resumable campaign engine.
+//!
+//! A campaign's probe space is split into `K` deterministic *shards*:
+//! contiguous, balanced ranges of the (vantage, resolver) pair list. A
+//! whole pair always lives in exactly one shard — the per-pair RNG stream
+//! is sequential, so a pair can never be split without replaying it.
+//! Shards execute independently (work-queue over a thread pool, or one at
+//! a time via [`ShardedRunner::advance`]); each completed shard writes its
+//! records as a JSONL data file (tmp + rename, so a crash never leaves a
+//! torn file under the real name) and checkpoints its per-pair aggregate
+//! cells into the campaign [`Manifest`].
+//!
+//! *Assembly* streams the shard files through a k-way merge into the final
+//! campaign JSONL, folding each record into the metrics registry and
+//! installing checkpointed aggregate cells — memory stays O(shards) buffer
+//! heads + O(pairs) cells, never O(records).
+//!
+//! Determinism contract (DESIGN.md §9): for any seed, shard count, thread
+//! count, and any kill/resume schedule,
+//!
+//! ```text
+//! run() == run_parallel(n) == ShardedRunner::run(t) == kill+resume
+//! ```
+//!
+//! — byte-identical final JSONL, identical metrics snapshot, identical
+//! aggregate cells. Within a shard, records merge by the same
+//! `(time, pair rank, domain rank)` key the one-shot engine uses; across
+//! shards the key is globally unique per pair (duplicate pairs are
+//! rejected at construction), so the k-way merge over shard files
+//! reproduces the one-shot order exactly.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use obs::{Label, MetricsRegistry, MetricsSnapshot, ShardRunMetrics, SpanLog};
+
+use crate::aggregate::{CampaignAggregates, PairAggregate};
+use crate::campaign::{observe_record, Campaign};
+use crate::checkpoint::{
+    fnv64, CheckpointError, Manifest, ShardCheckpoint, ShardState, CHECKPOINT_VERSION,
+};
+use crate::json;
+use crate::results::ProbeRecord;
+
+/// The manifest's file name inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.ckpt";
+
+/// The assembled campaign's file name inside a checkpoint directory.
+pub const CAMPAIGN_FILE: &str = "campaign.jsonl";
+
+/// Everything a sharded run produces.
+#[derive(Debug)]
+pub struct ShardedOutcome {
+    /// Path of the assembled campaign JSONL (byte-identical to the
+    /// one-shot engine's `to_json_lines` output).
+    pub jsonl_path: PathBuf,
+    /// Records in the assembled file.
+    pub records: u64,
+    /// The campaign metrics snapshot, identical to `metrics_of` over the
+    /// one-shot record vector.
+    pub metrics: MetricsSnapshot,
+    /// Bounded-memory per-pair aggregates.
+    pub aggregates: CampaignAggregates,
+    /// Scheduler telemetry: planned/executed/resumed shard counts,
+    /// checkpoint traffic, merge volume.
+    pub run: ShardRunMetrics,
+    /// One span per shard laying its simulated-time extent on a timeline.
+    pub spans: SpanLog,
+}
+
+/// Splits a campaign into shards and executes them resumably.
+#[derive(Debug)]
+pub struct ShardedRunner<'a> {
+    campaign: &'a Campaign,
+    shards: u32,
+    dir: PathBuf,
+}
+
+impl<'a> ShardedRunner<'a> {
+    /// A runner over `campaign` with `shards` shards, checkpointing into
+    /// `dir` (created if absent).
+    ///
+    /// Rejects a shard count of zero and campaigns with duplicate
+    /// (vantage, resolver) pairs — a duplicated pair would appear in two
+    /// shards with the same merge rank, making the cross-shard order
+    /// ambiguous.
+    pub fn new(
+        campaign: &'a Campaign,
+        shards: u32,
+        dir: impl Into<PathBuf>,
+    ) -> Result<ShardedRunner<'a>, CheckpointError> {
+        if shards == 0 {
+            return Err(CheckpointError::ShardData(
+                "shard count must be at least 1".to_string(),
+            ));
+        }
+        let plans = campaign.pair_plans();
+        let mut seen: BTreeSet<(Label, Label)> = BTreeSet::new();
+        for p in &plans {
+            if !seen.insert((p.vantage_label, p.resolver_label)) {
+                return Err(CheckpointError::ShardData(format!(
+                    "duplicate (vantage, resolver) pair ({}, {})",
+                    p.vantage_label.as_str(),
+                    p.resolver_label.as_str()
+                )));
+            }
+        }
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CheckpointError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(ShardedRunner {
+            campaign,
+            shards: shards.min(plans.len().max(1) as u32),
+            dir,
+        })
+    }
+
+    /// The effective shard count (clamped to the pair count).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The manifest path.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+
+    /// The data-file path of shard `index`.
+    pub fn shard_path(&self, index: u32) -> PathBuf {
+        self.dir.join(format!("shard-{index:04}.jsonl"))
+    }
+
+    /// Pair range of shard `index`: contiguous and balanced (sizes differ
+    /// by at most one).
+    pub fn shard_range(&self, index: u32) -> Range<usize> {
+        let pairs = self.campaign.pair_plans().len();
+        let k = self.shards as usize;
+        let i = index as usize;
+        (i * pairs / k)..((i + 1) * pairs / k)
+    }
+
+    /// The fingerprint binding checkpoints to this campaign configuration:
+    /// seed, shard count, schedule, domains, and the exact pair list.
+    pub fn fingerprint(&self) -> u64 {
+        let config = self.campaign.config();
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "v{CHECKPOINT_VERSION};seed={:x};shards={};",
+            config.seed, self.shards
+        );
+        for d in &config.domains {
+            let _ = write!(s, "domain={d};");
+        }
+        for span in &config.spans {
+            let _ = write!(
+                s,
+                "span={},{},{},[{}];",
+                span.start_day,
+                span.days,
+                span.rounds_per_day,
+                span.vantages.join(",")
+            );
+        }
+        for p in self.campaign.pair_plans() {
+            let _ = write!(
+                s,
+                "pair={}/{};",
+                p.vantage_label.as_str(),
+                p.resolver_label.as_str()
+            );
+        }
+        fnv64(s.as_bytes())
+    }
+
+    /// Loads the manifest if one exists and belongs to this configuration,
+    /// re-validating every complete shard's data file; otherwise starts a
+    /// fresh one. A manifest for a different configuration, a corrupt
+    /// manifest, or a complete shard whose data file is missing or fails
+    /// its checksum is a typed error — never a silent restart.
+    pub fn load_or_init(&self) -> Result<Manifest, CheckpointError> {
+        let path = self.manifest_path();
+        if !path.exists() {
+            return Ok(Manifest::new(
+                self.fingerprint(),
+                self.campaign.config().seed,
+                self.shards,
+                self.campaign.pair_plans().len() as u32,
+            ));
+        }
+        let manifest = Manifest::load(&path)?;
+        let expected = self.fingerprint();
+        if manifest.fingerprint != expected {
+            return Err(CheckpointError::ConfigMismatch(format!(
+                "manifest fingerprint {:016x}, this campaign is {expected:016x}",
+                manifest.fingerprint
+            )));
+        }
+        if manifest.states.len() != self.shards as usize {
+            return Err(CheckpointError::ConfigMismatch(format!(
+                "manifest has {} shards, this run wants {}",
+                manifest.states.len(),
+                self.shards
+            )));
+        }
+        for (i, state) in manifest.states.iter().enumerate() {
+            if let ShardState::Complete(c) = state {
+                self.validate_shard_file(i as u32, c)?;
+            }
+        }
+        Ok(manifest)
+    }
+
+    fn validate_shard_file(&self, index: u32, c: &ShardCheckpoint) -> Result<(), CheckpointError> {
+        let path = self.shard_path(index);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| CheckpointError::ShardData(format!("read {}: {e}", path.display())))?;
+        if bytes.len() as u64 != c.bytes {
+            return Err(CheckpointError::ShardData(format!(
+                "{} is {} bytes, manifest says {}",
+                path.display(),
+                bytes.len(),
+                c.bytes
+            )));
+        }
+        let sum = fnv64(&bytes);
+        if sum != c.checksum {
+            return Err(CheckpointError::ShardData(format!(
+                "{} hashes to {sum:016x}, manifest says {:016x}",
+                path.display(),
+                c.checksum
+            )));
+        }
+        Ok(())
+    }
+
+    /// Executes shard `index` and persists its data file (tmp + rename).
+    fn execute_shard(&self, index: u32) -> Result<ShardCheckpoint, CheckpointError> {
+        let plans = self.campaign.pair_plans();
+        let range = self.shard_range(index);
+        let shard_plans = &plans[range.clone()];
+        let outputs: Vec<Vec<ProbeRecord>> = shard_plans
+            .iter()
+            .map(|p| self.campaign.run_pair(p))
+            .collect();
+
+        // Per-pair aggregate cells, folded in each pair's own canonical
+        // order (merging never reorders records within a pair).
+        let mut cells = Vec::with_capacity(shard_plans.len());
+        for (offset, records) in outputs.iter().enumerate() {
+            let plan = &shard_plans[offset];
+            let mut agg = PairAggregate {
+                pair: (range.start + offset) as u32,
+                vantage: plan.vantage_label,
+                resolver: plan.resolver_label,
+                cell: Default::default(),
+            };
+            for r in records {
+                agg.cell.observe(r);
+            }
+            cells.push(agg);
+        }
+
+        let merged = self.campaign.merge_pairs(outputs, shard_plans);
+        let mut body = String::new();
+        for r in &merged {
+            r.write_json_line(&mut body);
+            body.push('\n');
+        }
+        let path = self.shard_path(index);
+        let tmp = path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, &body)
+            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))?;
+        Ok(ShardCheckpoint {
+            shard: index,
+            records: merged.len() as u64,
+            bytes: body.len() as u64,
+            checksum: fnv64(body.as_bytes()),
+            pairs: cells,
+        })
+    }
+
+    /// Runs the whole campaign across `threads` workers, resuming from any
+    /// existing checkpoints, and assembles the final output.
+    pub fn run(&self, threads: usize) -> Result<ShardedOutcome, CheckpointError> {
+        let mut run = ShardRunMetrics::new();
+        run.shards_planned.add(self.shards as u64);
+        let manifest = self.load_or_init()?;
+        let pending: Vec<u32> = manifest
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_complete())
+            .map(|(i, _)| i as u32)
+            .collect();
+        run.shards_resumed
+            .add((self.shards as usize - pending.len()) as u64);
+
+        let shared = Mutex::new((manifest, run));
+        let threads = threads.max(1).min(pending.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let first_error: Mutex<Option<CheckpointError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let pending = &pending;
+                let next = &next;
+                let shared = &shared;
+                let first_error = &first_error;
+                handles.push(scope.spawn(move || loop {
+                    let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if slot >= pending.len() {
+                        break;
+                    }
+                    let index = pending[slot];
+                    match self.execute_shard(index) {
+                        Ok(checkpoint) => {
+                            if let Err(e) = self.commit_shard(shared, checkpoint) {
+                                first_error
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .get_or_insert(e);
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            first_error
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .get_or_insert(e);
+                            break;
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                // detlint:allow(unwrap, propagates a worker panic; there is no partial result to salvage)
+                h.join().expect("shard worker panicked");
+            }
+        });
+        if let Some(e) = first_error.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            return Err(e);
+        }
+        let (manifest, run) = match shared.into_inner() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        self.assemble(&manifest, run)
+    }
+
+    /// Commits one completed shard: updates the manifest state and
+    /// rewrites the manifest atomically (this is the resume boundary).
+    fn commit_shard(
+        &self,
+        shared: &Mutex<(Manifest, ShardRunMetrics)>,
+        checkpoint: ShardCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        let mut guard = shared.lock().unwrap_or_else(|p| p.into_inner());
+        let (manifest, run) = &mut *guard;
+        run.shards_executed.add(1);
+        run.pairs_run.add(checkpoint.pairs.len() as u64);
+        run.records_produced.add(checkpoint.records);
+        let index = checkpoint.shard as usize;
+        manifest.states[index] = ShardState::Complete(checkpoint);
+        let encoded_len = manifest.encode().len() as u64;
+        manifest.store(&self.manifest_path())?;
+        run.manifest_writes.add(1);
+        run.checkpoint_bytes.add(encoded_len);
+        Ok(())
+    }
+
+    /// Executes up to `max_shards` pending shards serially (lowest index
+    /// first), checkpointing after each — the kill/resume simulation hook.
+    /// Returns the number of shards still pending afterwards.
+    pub fn advance(&self, max_shards: usize) -> Result<usize, CheckpointError> {
+        let mut manifest = self.load_or_init()?;
+        let mut done = 0;
+        for i in 0..manifest.states.len() {
+            if done >= max_shards {
+                break;
+            }
+            if manifest.states[i].is_complete() {
+                continue;
+            }
+            let checkpoint = self.execute_shard(i as u32)?;
+            manifest.states[i] = ShardState::Complete(checkpoint);
+            manifest.store(&self.manifest_path())?;
+            done += 1;
+        }
+        Ok(manifest.states.iter().filter(|s| !s.is_complete()).count())
+    }
+
+    /// Streams the completed shard files through a k-way merge into the
+    /// final campaign JSONL, rebuilding metrics and installing the
+    /// checkpointed aggregates. Memory: one buffered line per shard plus
+    /// the O(pairs) aggregate cells.
+    fn assemble(
+        &self,
+        manifest: &Manifest,
+        mut run: ShardRunMetrics,
+    ) -> Result<ShardedOutcome, CheckpointError> {
+        if !manifest.is_complete() {
+            return Err(CheckpointError::ShardData(
+                "cannot assemble: shards still pending".to_string(),
+            ));
+        }
+        let plans = self.campaign.pair_plans();
+        // (vantage, resolver) → merge rank, for head-line keying.
+        let ranks: BTreeMap<(Label, Label), u32> = plans
+            .iter()
+            .map(|p| ((p.vantage_label, p.resolver_label), p.order))
+            .collect();
+
+        struct Cursor {
+            reader: BufReader<std::fs::File>,
+            /// The head line (without trailing newline) and its record.
+            head: Option<(String, ProbeRecord)>,
+            first_at: u64,
+            last_at: u64,
+        }
+        let parse_line = |line: &str, path: &Path| -> Result<ProbeRecord, CheckpointError> {
+            let v = json::parse(line)
+                .map_err(|e| CheckpointError::ShardData(format!("{}: {e}", path.display())))?;
+            ProbeRecord::from_json(&v).ok_or_else(|| {
+                CheckpointError::ShardData(format!(
+                    "{}: line is not a probe record",
+                    path.display()
+                ))
+            })
+        };
+        let advance_cursor = |cursor: &mut Cursor, path: &Path| -> Result<(), CheckpointError> {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n = cursor
+                    .reader
+                    .read_line(&mut line)
+                    .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+                if n == 0 {
+                    cursor.head = None;
+                    return Ok(());
+                }
+                let trimmed = line.trim_end_matches('\n');
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let record = parse_line(trimmed, path)?;
+                cursor.head = Some((trimmed.to_string(), record));
+                return Ok(());
+            }
+        };
+
+        let mut cursors = Vec::with_capacity(self.shards as usize);
+        for i in 0..self.shards {
+            let path = self.shard_path(i);
+            let file = std::fs::File::open(&path)
+                .map_err(|e| CheckpointError::Io(format!("open {}: {e}", path.display())))?;
+            let mut cursor = Cursor {
+                reader: BufReader::new(file),
+                head: None,
+                first_at: 0,
+                last_at: 0,
+            };
+            advance_cursor(&mut cursor, &path)?;
+            if let Some((_, r)) = &cursor.head {
+                cursor.first_at = r.at.as_nanos();
+                cursor.last_at = cursor.first_at;
+            }
+            cursors.push(cursor);
+        }
+
+        let key = |r: &ProbeRecord| -> Result<(u64, u32, u32), CheckpointError> {
+            let rank = ranks
+                .get(&(r.vantage_id(), r.resolver_id()))
+                .copied()
+                .ok_or_else(|| {
+                    CheckpointError::ShardData(format!(
+                        "record for unknown pair ({}, {})",
+                        r.vantage_id().as_str(),
+                        r.resolver_id().as_str()
+                    ))
+                })?;
+            Ok((
+                r.at.as_nanos(),
+                rank,
+                self.campaign.domain_rank(r.domain_id()),
+            ))
+        };
+
+        // Min-heap over shard heads. The record key (time, pair rank,
+        // domain rank) is unique across shards — a pair lives in exactly
+        // one shard — so the trailing shard index only stabilises ties
+        // *within* a shard, preserving each file's own order.
+        let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u32)>> =
+            BinaryHeap::with_capacity(cursors.len());
+        for (i, c) in cursors.iter().enumerate() {
+            if let Some((_, r)) = &c.head {
+                let (at, rank, domain) = key(r)?;
+                heap.push(Reverse((at, rank, domain, i as u32)));
+            }
+        }
+
+        let jsonl_path = self.dir.join(CAMPAIGN_FILE);
+        let tmp = jsonl_path.with_extension("jsonl.tmp");
+        let out_file = std::fs::File::create(&tmp)
+            .map_err(|e| CheckpointError::Io(format!("create {}: {e}", tmp.display())))?;
+        let mut out = std::io::BufWriter::new(out_file);
+        let mut registry = MetricsRegistry::new();
+        let mut records = 0u64;
+        while let Some(Reverse((_, _, _, i))) = heap.pop() {
+            let path = self.shard_path(i);
+            let cursor = &mut cursors[i as usize];
+            let (line, record) = match cursor.head.take() {
+                Some(h) => h,
+                None => {
+                    return Err(CheckpointError::ShardData(format!(
+                        "merge cursor for {} lost its head",
+                        path.display()
+                    )))
+                }
+            };
+            cursor.last_at = record.at.as_nanos();
+            observe_record(&mut registry, &record);
+            out.write_all(line.as_bytes())
+                .and_then(|_| out.write_all(b"\n"))
+                .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+            records += 1;
+            advance_cursor(cursor, &path)?;
+            if let Some((_, r)) = &cursor.head {
+                let (at, rank, domain) = key(r)?;
+                heap.push(Reverse((at, rank, domain, i)));
+            }
+        }
+        out.flush()
+            .map_err(|e| CheckpointError::Io(format!("flush {}: {e}", tmp.display())))?;
+        drop(out);
+        std::fs::rename(&tmp, &jsonl_path)
+            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", jsonl_path.display())))?;
+        run.records_merged.add(records);
+
+        // Install the checkpointed aggregate cells — every pair exactly
+        // once, in pair-index order.
+        let mut aggregates = CampaignAggregates::for_campaign(self.campaign);
+        let mut installed = 0u32;
+        for state in &manifest.states {
+            if let ShardState::Complete(c) = state {
+                for p in &c.pairs {
+                    aggregates.install(p).map_err(CheckpointError::ShardData)?;
+                    installed += 1;
+                }
+            }
+        }
+        if installed != plans.len() as u32 {
+            return Err(CheckpointError::ShardData(format!(
+                "manifest holds {installed} pair cells, campaign has {}",
+                plans.len()
+            )));
+        }
+
+        // Shard spans, recorded in shard-index order so the log is
+        // independent of execution interleaving.
+        let mut spans = SpanLog::with_capacity((self.shards as usize * 2).max(16));
+        for (i, c) in cursors.iter().enumerate() {
+            obs::sharding::record_shard_span(&mut spans, i as u32, c.first_at, c.last_at);
+        }
+
+        Ok(ShardedOutcome {
+            jsonl_path,
+            records,
+            metrics: registry.snapshot(),
+            aggregates,
+            run,
+            spans,
+        })
+    }
+
+    /// Convenience: runs any remaining shards serially and assembles.
+    /// Equivalent to [`run`](Self::run) with one thread.
+    pub fn finish(&self) -> Result<ShardedOutcome, CheckpointError> {
+        self.run(1)
+    }
+}

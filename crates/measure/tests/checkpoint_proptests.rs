@@ -1,0 +1,170 @@
+//! Property tests for the checkpoint codec: manifests built from
+//! arbitrary shard states must encode/decode exactly, and the encoding
+//! must be a fixed point (encode ∘ decode ∘ encode = encode).
+
+use proptest::prelude::*;
+
+use measure::aggregate::{AggregateCell, PairAggregate};
+use measure::checkpoint::{
+    availability_from_json, availability_to_json, sketch_from_json, sketch_to_json, Manifest,
+    ShardCheckpoint, ShardState,
+};
+use measure::Label;
+
+use edns_stats::{Availability, LatencySketch};
+
+const ERROR_LABELS: [&str; 4] = [
+    "connect_timeout",
+    "query_timeout",
+    "tls_failure",
+    "http_error",
+];
+
+fn arb_sketch() -> impl Strategy<Value = LatencySketch> {
+    proptest::collection::vec(0.01f64..60_000.0, 0..40).prop_map(|samples| {
+        let mut s = LatencySketch::new();
+        for x in samples {
+            s.observe(x);
+        }
+        s
+    })
+}
+
+fn arb_availability() -> impl Strategy<Value = Availability> {
+    (
+        0u64..10_000,
+        proptest::collection::vec((0usize..ERROR_LABELS.len(), 1u64..500), 0..4),
+    )
+        .prop_map(|(successes, errors)| {
+            let mut a = Availability {
+                successes,
+                ..Availability::default()
+            };
+            for (label, count) in errors {
+                *a.errors.entry(ERROR_LABELS[label].to_string()).or_insert(0) += count;
+            }
+            a
+        })
+}
+
+fn arb_cell() -> impl Strategy<Value = AggregateCell> {
+    (arb_availability(), arb_sketch(), arb_sketch()).prop_map(|(availability, response, ping)| {
+        AggregateCell {
+            availability,
+            response,
+            ping,
+        }
+    })
+}
+
+fn arb_pair() -> impl Strategy<Value = PairAggregate> {
+    (0u32..512, arb_cell(), "[a-z]{1,8}", "[a-z.]{1,12}").prop_map(
+        |(pair, cell, vantage, resolver)| PairAggregate {
+            pair,
+            vantage: Label::intern(&vantage),
+            resolver: Label::intern(&resolver),
+            cell,
+        },
+    )
+}
+
+fn arb_state() -> impl Strategy<Value = ShardState> {
+    (
+        any::<bool>(),
+        0u64..1_000_000,
+        0u64..100_000_000,
+        any::<u64>(),
+        proptest::collection::vec(arb_pair(), 0..5),
+    )
+        .prop_map(|(complete, records, bytes, checksum, pairs)| {
+            if complete {
+                // The shard index is rewritten to the entry slot by the
+                // caller; 0 is a placeholder.
+                ShardState::Complete(ShardCheckpoint {
+                    shard: 0,
+                    records,
+                    bytes,
+                    checksum,
+                    pairs,
+                })
+            } else {
+                ShardState::Pending
+            }
+        })
+}
+
+fn arb_manifest() -> impl Strategy<Value = Manifest> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        0u32..4096,
+        proptest::collection::vec(arb_state(), 1..8),
+    )
+        .prop_map(|(fingerprint, seed, pairs, mut states)| {
+            for (i, s) in states.iter_mut().enumerate() {
+                if let ShardState::Complete(c) = s {
+                    c.shard = i as u32;
+                }
+            }
+            Manifest {
+                fingerprint,
+                seed,
+                pairs,
+                states,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn manifest_encode_decode_round_trips(m in arb_manifest()) {
+        let text = m.encode();
+        let back = Manifest::decode(&text).unwrap();
+        prop_assert_eq!(&back, &m);
+        // Fixed point: re-encoding the decoded manifest is byte-identical.
+        prop_assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn sketch_json_round_trips_bit_exactly(s in arb_sketch()) {
+        let back = sketch_from_json(&sketch_to_json(&s)).unwrap();
+        prop_assert_eq!(&back, &s);
+        if s.count() > 0 {
+            prop_assert_eq!(back.mean().unwrap().to_bits(), s.mean().unwrap().to_bits());
+            prop_assert_eq!(back.min().unwrap().to_bits(), s.min().unwrap().to_bits());
+            prop_assert_eq!(back.max().unwrap().to_bits(), s.max().unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn availability_json_round_trips(a in arb_availability()) {
+        let back = availability_from_json(&availability_to_json(&a)).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_text(s in "\\PC{0,300}") {
+        let _ = Manifest::decode(&s);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_manifests(
+        m in arb_manifest(),
+        idx in any::<prop::sample::Index>(),
+        byte in 0u8..128,
+    ) {
+        let mut text = m.encode().into_bytes();
+        if !text.is_empty() {
+            let i = idx.index(text.len());
+            text[i] = byte;
+        }
+        if let Ok(s) = std::str::from_utf8(&text) {
+            // Must either decode (the mutation hit a byte that keeps both
+            // checksum and structure valid — e.g. mutating a byte to
+            // itself) or return a typed error; never panic.
+            let _ = Manifest::decode(s);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Crash-safety: a sharded campaign must *detect* — never silently absorb
+//! — truncated manifests, flipped bytes, stale format versions, shard
+//! data files that no longer match their recorded checksums, and
+//! checkpoints from a different campaign configuration. Every rejection
+//! is a typed [`CheckpointError`].
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use measure::{Campaign, CampaignConfig, CheckpointError, ShardedRunner};
+
+const HOSTS: [&str; 3] = ["dns.google", "dns.quad9.net", "doh.ffmuc.net"];
+
+fn campaign(config: CampaignConfig) -> Campaign {
+    let entries = HOSTS
+        .iter()
+        .filter_map(|h| catalog::resolvers::find(h))
+        .collect();
+    Campaign::with_resolvers(config, entries)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "edns-crash-safety-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+/// Runs two of four shards and returns the checkpoint directory.
+fn partial_run(c: &Campaign, tag: &str) -> PathBuf {
+    let dir = scratch_dir(tag);
+    let runner = ShardedRunner::new(c, 4, &dir).unwrap();
+    let remaining = runner.advance(2).unwrap();
+    assert_eq!(remaining, 2);
+    dir
+}
+
+#[test]
+fn truncated_manifest_is_rejected() {
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = partial_run(&c, "truncated");
+    let path = dir.join("manifest.ckpt");
+    let text = std::fs::read_to_string(&path).unwrap();
+
+    // Header only: unambiguously truncated.
+    std::fs::write(&path, text.lines().next().unwrap()).unwrap();
+    let runner = ShardedRunner::new(&c, 4, &dir).unwrap();
+    assert_eq!(runner.run(1).unwrap_err(), CheckpointError::Truncated);
+
+    // Torn mid-body: the checksum no longer matches.
+    std::fs::write(&path, &text[..text.len() * 2 / 3]).unwrap();
+    let runner = ShardedRunner::new(&c, 4, &dir).unwrap();
+    assert!(matches!(
+        runner.run(1).unwrap_err(),
+        CheckpointError::ChecksumMismatch { .. } | CheckpointError::Truncated
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_manifest_body_is_rejected() {
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = partial_run(&c, "corrupt");
+    let path = dir.join("manifest.ckpt");
+    let text = std::fs::read_to_string(&path).unwrap();
+    // Flip one byte inside the JSON body (after the header line).
+    let mut bytes = text.into_bytes();
+    let body_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 10;
+    bytes[body_start] = bytes[body_start].wrapping_add(1);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let runner = ShardedRunner::new(&c, 4, &dir).unwrap();
+    assert!(matches!(
+        runner.run(1).unwrap_err(),
+        CheckpointError::ChecksumMismatch { .. }
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_format_version_is_rejected() {
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = partial_run(&c, "version");
+    let path = dir.join("manifest.ckpt");
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(
+        &path,
+        text.replacen("edns-checkpoint v1", "edns-checkpoint v0", 1),
+    )
+    .unwrap();
+
+    let runner = ShardedRunner::new(&c, 4, &dir).unwrap();
+    assert_eq!(
+        runner.run(1).unwrap_err(),
+        CheckpointError::VersionMismatch {
+            found: "v0".to_string()
+        }
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn foreign_file_is_rejected_as_bad_magic() {
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = scratch_dir("magic");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("manifest.ckpt"), "{\"not\": \"a checkpoint\"}\n").unwrap();
+    let runner = ShardedRunner::new(&c, 4, &dir).unwrap();
+    assert_eq!(runner.run(1).unwrap_err(), CheckpointError::BadMagic);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_shard_data_file_is_rejected() {
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = partial_run(&c, "sharddata");
+    // Corrupt the first completed shard's data file without touching the
+    // manifest: resume must notice via the recorded checksum.
+    let shard = dir.join("shard-0000.jsonl");
+    let mut data = std::fs::read(&shard).unwrap();
+    let mid = data.len() / 2;
+    data[mid] = data[mid].wrapping_add(1);
+    std::fs::write(&shard, &data).unwrap();
+
+    let runner = ShardedRunner::new(&c, 4, &dir).unwrap();
+    assert!(matches!(
+        runner.run(1).unwrap_err(),
+        CheckpointError::ShardData(_)
+    ));
+
+    // Truncating the data file changes its size: also detected.
+    std::fs::write(&shard, &data[..mid]).unwrap();
+    assert!(matches!(
+        ShardedRunner::new(&c, 4, &dir).unwrap().run(1).unwrap_err(),
+        CheckpointError::ShardData(_)
+    ));
+
+    // Deleting it entirely: detected too.
+    std::fs::remove_file(&shard).unwrap();
+    assert!(matches!(
+        ShardedRunner::new(&c, 4, &dir).unwrap().run(1).unwrap_err(),
+        CheckpointError::ShardData(_)
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoints_from_a_different_campaign_are_rejected() {
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = partial_run(&c, "config");
+
+    // Different seed → different fingerprint.
+    let other_seed = campaign(CampaignConfig::quick(4, 2));
+    assert!(matches!(
+        ShardedRunner::new(&other_seed, 4, &dir)
+            .unwrap()
+            .run(1)
+            .unwrap_err(),
+        CheckpointError::ConfigMismatch(_)
+    ));
+
+    // Different shard count → different fingerprint.
+    assert!(matches!(
+        ShardedRunner::new(&c, 8, &dir).unwrap().run(1).unwrap_err(),
+        CheckpointError::ConfigMismatch(_)
+    ));
+
+    // Different population → different fingerprint.
+    let other_pop = Campaign::with_resolvers(
+        CampaignConfig::quick(3, 2),
+        vec![catalog::resolvers::find("dns.google").unwrap()],
+    );
+    assert!(matches!(
+        ShardedRunner::new(&other_pop, 4, &dir)
+            .unwrap()
+            .run(1)
+            .unwrap_err(),
+        CheckpointError::ConfigMismatch(_)
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_shards_and_duplicate_pairs_are_rejected_up_front() {
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = scratch_dir("invalid");
+    assert!(matches!(
+        ShardedRunner::new(&c, 0, &dir).unwrap_err(),
+        CheckpointError::ShardData(_)
+    ));
+
+    let dup = Campaign::with_resolvers(
+        CampaignConfig::quick(3, 2),
+        vec![
+            catalog::resolvers::find("dns.google").unwrap(),
+            catalog::resolvers::find("dns.google").unwrap(),
+        ],
+    );
+    assert!(matches!(
+        ShardedRunner::new(&dup, 2, &dir).unwrap_err(),
+        CheckpointError::ShardData(_)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_leftover_tmp_file_never_shadows_real_state() {
+    // Simulate a crash between writing the tmp file and the rename: the
+    // runner must ignore the orphan and produce correct output.
+    let c = campaign(CampaignConfig::quick(3, 2));
+    let dir = partial_run(&c, "tmp");
+    std::fs::write(dir.join("shard-0002.jsonl.tmp"), "garbage half-write").unwrap();
+    std::fs::write(dir.join("manifest.tmp"), "torn manifest write").unwrap();
+
+    let outcome = ShardedRunner::new(&c, 4, &dir).unwrap().run(1).unwrap();
+    let reference = c.run();
+    assert_eq!(
+        std::fs::read_to_string(&outcome.jsonl_path).unwrap(),
+        reference.to_json_lines()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -32,6 +32,7 @@ pub mod clock;
 pub mod intern;
 mod metrics;
 mod phase;
+pub mod sharding;
 mod span;
 
 pub use intern::Label;
@@ -40,4 +41,5 @@ pub use metrics::{
     MetricsSnapshot, LATENCY_BUCKETS_MS,
 };
 pub use phase::Phase;
+pub use sharding::ShardRunMetrics;
 pub use span::{Nanos, Span, SpanEvent, SpanEventKind, SpanLog};

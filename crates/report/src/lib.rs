@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod export;
 pub mod figure;
 pub mod metrics_export;
+pub mod sketch_report;
 pub mod table;
 
 pub use analysis::{Dataset, VantageGroup};

@@ -1,0 +1,107 @@
+//! Sketch-backed campaign summary tables.
+//!
+//! Unlike the [`crate::analysis::Dataset`] path, which holds every
+//! [`measure::ProbeRecord`] in memory, these tables render straight from
+//! the bounded-memory [`CampaignAggregates`] a sharded longitudinal run
+//! maintains — one availability ledger and two latency sketches per
+//! (vantage, resolver) pair, regardless of how many probes the campaign
+//! accumulated. Quantiles come from the sketch's fixed bucket histogram,
+//! so a multi-month campaign reports p50/p95 without ever re-reading its
+//! JSONL stream.
+
+use measure::{AggregateCell, CampaignAggregates};
+
+use crate::table::TextTable;
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+fn fmt_pct(cell: &AggregateCell) -> String {
+    format!("{:.1}%", cell.availability.availability() * 100.0)
+}
+
+fn push_row(table: &mut TextTable, label: &str, cell: &AggregateCell) {
+    table.row([
+        label.to_string(),
+        cell.probes().to_string(),
+        fmt_pct(cell),
+        fmt_ms(cell.response.mean()),
+        fmt_ms(cell.response.quantile(0.5)),
+        fmt_ms(cell.response.quantile(0.95)),
+        fmt_ms(cell.ping.quantile(0.5)),
+    ]);
+}
+
+fn summary_table(groups: &[(&'static str, AggregateCell)], label: &str) -> TextTable {
+    let mut table = TextTable::new([
+        label, "probes", "avail", "mean ms", "p50 ms", "p95 ms", "ping p50",
+    ]);
+    for (name, cell) in groups {
+        push_row(&mut table, name, cell);
+    }
+    table
+}
+
+/// Per-resolver availability and latency summary, one row per resolver in
+/// stable hostname order, with an `overall` footer row.
+pub fn resolver_table(aggregates: &CampaignAggregates) -> TextTable {
+    let mut table = summary_table(&aggregates.by_resolver(), "resolver");
+    push_row(&mut table, "overall", &aggregates.overall());
+    table
+}
+
+/// Per-vantage availability and latency summary, one row per vantage in
+/// stable label order.
+pub fn vantage_table(aggregates: &CampaignAggregates) -> TextTable {
+    summary_table(&aggregates.by_vantage(), "vantage")
+}
+
+/// Renders both summary tables as a single report section.
+pub fn render(aggregates: &CampaignAggregates) -> String {
+    format!(
+        "== by resolver ==\n{}\n== by vantage ==\n{}",
+        resolver_table(aggregates).render(),
+        vantage_table(aggregates).render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig};
+
+    fn aggregates(seed: u64) -> CampaignAggregates {
+        let entries = ["dns.google", "dns.quad9.net", "doh.ffmuc.net"]
+            .into_iter()
+            .filter_map(catalog::resolvers::find)
+            .collect();
+        let c = Campaign::with_resolvers(CampaignConfig::quick(seed, 2), entries);
+        let result = c.run();
+        CampaignAggregates::of(&c, &result.records)
+    }
+
+    #[test]
+    fn resolver_table_has_one_row_per_resolver_plus_overall() {
+        let table = resolver_table(&aggregates(7));
+        assert_eq!(table.len(), 4);
+        let text = table.render();
+        assert!(text.contains("dns.google"));
+        assert!(text.contains("overall"));
+    }
+
+    #[test]
+    fn vantage_table_covers_all_seven_vantages() {
+        assert_eq!(vantage_table(&aggregates(7)).len(), 7);
+    }
+
+    #[test]
+    fn render_contains_both_sections() {
+        let text = render(&aggregates(7));
+        assert!(text.contains("== by resolver =="));
+        assert!(text.contains("== by vantage =="));
+    }
+}

@@ -101,3 +101,41 @@ fn metrics_export_structure_is_seed_independent() {
         "json key order must be stable across seeds"
     );
 }
+
+#[test]
+fn sketch_table_structure_is_seed_independent() {
+    // The sketch-backed summary tables must keep identical row labels and
+    // column structure across seeds: only the measured values may differ.
+    let skeleton = |seed: u64| -> (Vec<String>, Vec<String>, String, String) {
+        let entries = HOSTS
+            .iter()
+            .filter_map(|h| catalog::resolvers::find(h))
+            .collect();
+        let c = Campaign::with_resolvers(CampaignConfig::quick(seed, 2), entries);
+        let result = c.run();
+        let agg = measure::CampaignAggregates::of(&c, &result.records);
+        let first_column = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter_map(|l| l.split_whitespace().next())
+                .map(str::to_string)
+                .collect()
+        };
+        let resolver = report::sketch_report::resolver_table(&agg).render();
+        let vantage = report::sketch_report::vantage_table(&agg).render();
+        (
+            first_column(&resolver),
+            first_column(&vantage),
+            resolver,
+            vantage,
+        )
+    };
+    let (res_a, van_a, full_res_a, full_van_a) = skeleton(11);
+    let (res_b, van_b, full_res_b, full_van_b) = skeleton(97);
+    assert_eq!(res_a, res_b, "resolver row order must be stable");
+    assert_eq!(van_a, van_b, "vantage row order must be stable");
+    assert_ne!(
+        (full_res_a, full_van_a),
+        (full_res_b, full_van_b),
+        "different seeds must produce different values"
+    );
+}

@@ -83,6 +83,31 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram's counts into this one. The two must
+    /// share the exact same binning (`lo`, `hi`, bin count); merging
+    /// incompatible histograms is rejected so a shard boundary can never
+    /// silently blend different resolutions.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(format!(
+                "histogram binning mismatch: [{}, {}) x{} vs [{}, {}) x{}",
+                self.lo,
+                self.hi,
+                self.bins.len(),
+                other.lo,
+                other.hi,
+                other.bins.len()
+            ));
+        }
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        Ok(())
+    }
+
     /// Renders a terminal sparkline-style bar chart, one row per bin.
     pub fn render(&self, width: usize) -> String {
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);

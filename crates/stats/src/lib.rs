@@ -5,8 +5,10 @@
 //! ([`boxplot`] — the paper's figures are rows of box plots), empirical
 //! CDFs ([`cdf`]), fixed-width histograms ([`histogram`]), Pearson/Spearman
 //! correlation ([`correlation`] — for the latency-vs-response-time
-//! question), and availability ledgers ([`availability`] — the
-//! success/error accounting of §4).
+//! question), availability ledgers ([`availability`] — the
+//! success/error accounting of §4), and mergeable latency sketches
+//! ([`sketch`] — the bounded-memory aggregation cells longitudinal
+//! campaigns checkpoint and fold across shards).
 //!
 //! Everything rejects NaN inputs explicitly rather than propagating them.
 
@@ -18,6 +20,7 @@ pub mod boxplot;
 pub mod cdf;
 pub mod correlation;
 pub mod histogram;
+pub mod sketch;
 pub mod streaming;
 pub mod summary;
 
@@ -26,5 +29,6 @@ pub use boxplot::BoxPlot;
 pub use cdf::Ecdf;
 pub use correlation::{pearson, spearman};
 pub use histogram::Histogram;
+pub use sketch::{LatencySketch, SKETCH_BUCKETS_MS, SKETCH_BUCKET_COUNT};
 pub use streaming::{P2Quantile, RunningMoments};
 pub use summary::{mean, median, quantile, quantile_sorted, std_dev, Summary};

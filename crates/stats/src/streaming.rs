@@ -125,13 +125,21 @@ impl P2Quantile {
 }
 
 /// Running mean/variance via Welford's algorithm, plus min/max.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunningMoments {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for RunningMoments {
+    /// Same as [`new`](Self::new) — in particular the min/max sentinels
+    /// start at ±infinity, not zero.
+    fn default() -> Self {
+        RunningMoments::new()
+    }
 }
 
 impl RunningMoments {
@@ -144,6 +152,31 @@ impl RunningMoments {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
+    }
+
+    /// Reconstructs an accumulator from exported state — the inverse of
+    /// reading [`count`](Self::count), [`mean`](Self::mean),
+    /// [`m2`](Self::m2), [`min`](Self::min) and [`max`](Self::max), used
+    /// by checkpoint decode. With `n == 0` the remaining fields are
+    /// ignored and an empty accumulator is returned.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if n == 0 {
+            return RunningMoments::new();
+        }
+        RunningMoments {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
+    /// The raw second central moment sum (Welford's M2) — exposed so
+    /// checkpoints can round-trip the accumulator exactly. `None` when
+    /// empty.
+    pub fn m2(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.m2)
     }
 
     /// Adds one observation.

@@ -1,0 +1,176 @@
+//! Property tests for mergeable streaming aggregates: `RunningMoments`
+//! and `LatencySketch` merges must be associative and order-insensitive
+//! across arbitrary partitions of a sample stream, so that a sharded
+//! campaign folding per-shard cells in any grouping reproduces the
+//! one-shot aggregate. Counts, extrema, and bucket histograms must match
+//! exactly; mean/variance to floating-point tolerance.
+
+use proptest::prelude::*;
+
+use edns_stats::{LatencySketch, RunningMoments, SKETCH_BUCKET_COUNT};
+
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..60_000.0, 0..120)
+}
+
+/// Cut points (as fractions of the sample length) for a 3-way partition.
+fn arb_cuts() -> impl Strategy<Value = (prop::sample::Index, prop::sample::Index)> {
+    (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+}
+
+fn moments_of(samples: &[f64]) -> RunningMoments {
+    let mut m = RunningMoments::new();
+    for &x in samples {
+        m.observe(x);
+    }
+    m
+}
+
+fn sketch_of(samples: &[f64]) -> LatencySketch {
+    let mut s = LatencySketch::new();
+    for &x in samples {
+        s.observe(x);
+    }
+    s
+}
+
+fn split3(samples: &[f64], a: usize, b: usize) -> (&[f64], &[f64], &[f64]) {
+    let (lo, hi) = (a.min(b), a.max(b));
+    (&samples[..lo], &samples[lo..hi], &samples[hi..])
+}
+
+fn assert_moments_close(
+    merged: &RunningMoments,
+    reference: &RunningMoments,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(merged.count(), reference.count());
+    match (merged.min(), reference.min()) {
+        (Some(a), Some(b)) => prop_assert_eq!(a.to_bits(), b.to_bits(), "min must be exact"),
+        (a, b) => prop_assert_eq!(a, b),
+    }
+    match (merged.max(), reference.max()) {
+        (Some(a), Some(b)) => prop_assert_eq!(a.to_bits(), b.to_bits(), "max must be exact"),
+        (a, b) => prop_assert_eq!(a, b),
+    }
+    if let (Some(a), Some(b)) = (merged.mean(), reference.mean()) {
+        prop_assert!((a - b).abs() <= 1e-7 * b.abs().max(1.0), "mean: {a} vs {b}");
+    }
+    if let (Some(a), Some(b)) = (merged.std_dev(), reference.std_dev()) {
+        prop_assert!(
+            (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+            "std_dev: {a} vs {b}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn moments_merge_matches_one_pass_over_any_partition(
+        samples in arb_samples(),
+        cuts in arb_cuts(),
+    ) {
+        let (ia, ib) = cuts;
+        let (a, b) = (ia.index(samples.len() + 1), ib.index(samples.len() + 1));
+        let (s1, s2, s3) = split3(&samples, a, b);
+        let reference = moments_of(&samples);
+
+        let mut merged = moments_of(s1);
+        merged.merge(&moments_of(s2));
+        merged.merge(&moments_of(s3));
+        assert_moments_close(&merged, &reference)?;
+    }
+
+    #[test]
+    fn moments_merge_is_associative(
+        samples in arb_samples(),
+        cuts in arb_cuts(),
+    ) {
+        let (ia, ib) = cuts;
+        let (a, b) = (ia.index(samples.len() + 1), ib.index(samples.len() + 1));
+        let (s1, s2, s3) = split3(&samples, a, b);
+
+        // (m1 ⊔ m2) ⊔ m3
+        let mut left = moments_of(s1);
+        left.merge(&moments_of(s2));
+        left.merge(&moments_of(s3));
+
+        // m1 ⊔ (m2 ⊔ m3)
+        let mut tail = moments_of(s2);
+        tail.merge(&moments_of(s3));
+        let mut right = moments_of(s1);
+        right.merge(&tail);
+
+        assert_moments_close(&left, &right)?;
+    }
+
+    #[test]
+    fn moments_merge_is_order_insensitive_up_to_tolerance(
+        samples in arb_samples(),
+        cuts in arb_cuts(),
+    ) {
+        let (ia, ib) = cuts;
+        let (a, b) = (ia.index(samples.len() + 1), ib.index(samples.len() + 1));
+        let (s1, s2, s3) = split3(&samples, a, b);
+
+        let mut forward = moments_of(s1);
+        forward.merge(&moments_of(s2));
+        forward.merge(&moments_of(s3));
+
+        let mut backward = moments_of(s3);
+        backward.merge(&moments_of(s2));
+        backward.merge(&moments_of(s1));
+
+        assert_moments_close(&forward, &backward)?;
+    }
+
+    #[test]
+    fn sketch_merge_matches_one_pass_exactly_on_discrete_state(
+        samples in arb_samples(),
+        cuts in arb_cuts(),
+    ) {
+        let (ia, ib) = cuts;
+        let (a, b) = (ia.index(samples.len() + 1), ib.index(samples.len() + 1));
+        let (s1, s2, s3) = split3(&samples, a, b);
+        let reference = sketch_of(&samples);
+
+        let mut merged = sketch_of(s1);
+        merged.merge(&sketch_of(s2));
+        merged.merge(&sketch_of(s3));
+
+        // Discrete state is exact under any partition.
+        prop_assert_eq!(merged.count(), reference.count());
+        prop_assert_eq!(merged.bucket_counts(), reference.bucket_counts());
+        assert_moments_close(merged.moments(), reference.moments())?;
+
+        // Quantiles read from identical bucket histograms are identical.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), reference.quantile(q));
+        }
+    }
+
+    #[test]
+    fn sketch_merge_with_empty_is_identity(samples in arb_samples()) {
+        let reference = sketch_of(&samples);
+
+        let mut left = LatencySketch::new();
+        left.merge(&reference);
+        prop_assert_eq!(&left, &reference);
+
+        let mut right = reference.clone();
+        right.merge(&LatencySketch::new());
+        prop_assert_eq!(&right, &reference);
+    }
+
+    #[test]
+    fn sketch_buckets_always_account_for_every_observation(
+        samples in arb_samples(),
+    ) {
+        let s = sketch_of(&samples);
+        let total: u64 = s.bucket_counts().iter().sum();
+        prop_assert_eq!(total, samples.len() as u64);
+        prop_assert_eq!(s.bucket_counts().len(), SKETCH_BUCKET_COUNT);
+    }
+}
