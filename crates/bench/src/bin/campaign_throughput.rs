@@ -25,6 +25,15 @@ use measure::{metrics_of, Campaign, CampaignConfig};
 /// advantage over the old tree-serializing, globally-sorting pipeline.
 const QUICK_FLOOR_PIPELINE_PROBES_PER_SEC: f64 = 40_000.0;
 
+/// CI ceiling for the flight recorder's share of the pipeline: folding
+/// the per-(resolver, day) health series plus running the drift detector
+/// must cost under 5% of the end-to-end pipeline time. The fold is one
+/// branch-light pass over the record stream, so it measures well under
+/// 1% on the reference container; 5% leaves headroom for CI noise while
+/// still failing loudly if the recorder ever grows a per-record
+/// allocation or sort.
+const QUICK_CEILING_RECORDER_OVERHEAD: f64 = 0.05;
+
 fn campaign(rounds: u32) -> Campaign {
     Campaign::new(CampaignConfig::quick(42, rounds))
 }
@@ -62,10 +71,19 @@ fn main() {
     let metrics_s = t.elapsed().as_secs_f64();
     assert!(snapshot.total_probes() as f64 == probes);
 
+    // Flight recorder stage: the per-(resolver, day) health fold plus the
+    // drift detector, exactly what an enabled recorder adds per record.
+    let t = Instant::now();
+    let health = measure::HealthSeries::of(&c, &serial.records);
+    let findings = measure::detect_drift(&health.resolver_rows(), &measure::DriftConfig::default());
+    let recorder_s = t.elapsed().as_secs_f64();
+    assert_eq!(health.probes() as f64, probes, "recorder saw every probe");
+
     let serial_pps = probes / serial_s;
     let parallel_pps = probes / parallel_s;
     let pipeline_s = serial_s + jsonl_s + metrics_s;
     let pipeline_pps = probes / pipeline_s;
+    let recorder_overhead = recorder_s / pipeline_s;
     println!(
         concat!(
             "{{\"profile\":\"{}\",\"probes\":{},\"threads\":{},",
@@ -73,6 +91,7 @@ fn main() {
             "\"parallel_s\":{:.3},\"parallel_probes_per_sec\":{:.0},",
             "\"jsonl_bytes\":{},\"jsonl_s\":{:.3},\"jsonl_mb_per_sec\":{:.1},",
             "\"metrics_s\":{:.3},\"metrics_probes_per_sec\":{:.0},",
+            "\"recorder_s\":{:.4},\"recorder_overhead\":{:.4},\"drift_findings\":{},",
             "\"pipeline_s\":{:.3},\"pipeline_probes_per_sec\":{:.0}}}"
         ),
         if quick { "quick" } else { "full" },
@@ -87,6 +106,9 @@ fn main() {
         jsonl_bytes / jsonl_s / 1e6,
         metrics_s,
         probes / metrics_s,
+        recorder_s,
+        recorder_overhead,
+        findings.len(),
         pipeline_s,
         pipeline_pps,
     );
@@ -94,6 +116,14 @@ fn main() {
     if quick && pipeline_pps < QUICK_FLOOR_PIPELINE_PROBES_PER_SEC {
         eprintln!(
             "FAIL: pipeline throughput {pipeline_pps:.0} probes/sec below floor {QUICK_FLOOR_PIPELINE_PROBES_PER_SEC:.0}"
+        );
+        std::process::exit(1);
+    }
+    if quick && recorder_overhead > QUICK_CEILING_RECORDER_OVERHEAD {
+        eprintln!(
+            "FAIL: flight recorder overhead {:.2}% of pipeline exceeds ceiling {:.0}%",
+            recorder_overhead * 100.0,
+            QUICK_CEILING_RECORDER_OVERHEAD * 100.0
         );
         std::process::exit(1);
     }

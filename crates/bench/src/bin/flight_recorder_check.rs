@@ -1,0 +1,172 @@
+//! Flight-recorder differential harness, run by the `longitudinal` CI
+//! job. Four invariants, each a loud process-exit failure:
+//!
+//! 1. **Recorder determinism** — two same-seed sharded runs export
+//!    byte-identical `events.jsonl`, health JSONL, and Chrome trace
+//!    documents.
+//! 2. **Resume transparency** — a campaign killed after two shards and
+//!    resumed produces the same events/health/trace bytes AND the same
+//!    campaign-wide `pairs_run`/`records_produced` counters as the
+//!    one-shot run.
+//! 3. **Recorder neutrality** — the measured JSONL output is
+//!    byte-identical whether the journal is enabled or disabled, and
+//!    matches the in-memory `Campaign::run()` reference.
+//! 4. **Trace schema sanity** — the exported trace parses as JSON and
+//!    carries the `traceEvents` array Chrome/Perfetto expect, with
+//!    balanced begin/end events.
+//!
+//! ```text
+//! cargo run --release -p bench --bin flight_recorder_check
+//! ```
+
+use std::path::PathBuf;
+
+use measure::{Campaign, CampaignConfig, HealthSeries, ShardedOutcome, ShardedRunner};
+
+const SHARDS: u32 = 5;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn campaign() -> Campaign {
+    let entries = ["dns.google", "dns.quad9.net", "doh.ffmuc.net"]
+        .into_iter()
+        .map(|h| catalog::resolvers::find(h).unwrap())
+        .collect();
+    // 12 longitudinal days under the seeded fault plan: long enough for
+    // the trailing-window drift baseline to arm, faulty enough that the
+    // journal carries fault windows and retry exhaustions.
+    Campaign::with_resolvers(
+        CampaignConfig::longitudinal(11, 12).with_default_faults(),
+        entries,
+    )
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("edns-flight-recorder-{}-{tag}", std::process::id()))
+}
+
+/// The recorder's three export documents for one outcome.
+fn exports(outcome: &ShardedOutcome) -> (String, String, String) {
+    (
+        outcome.journal.to_jsonl(),
+        outcome.health.to_jsonl(),
+        obs::traceview::chrome_trace(&outcome.spans),
+    )
+}
+
+fn main() {
+    let c = campaign();
+
+    // One-shot reference run.
+    let dir_a = scratch("oneshot");
+    let runner = ShardedRunner::new(&c, SHARDS, &dir_a).unwrap();
+    let a = runner.run(2).unwrap();
+    let (events_a, health_a, trace_a) = exports(&a);
+    let jsonl_a = std::fs::read_to_string(&a.jsonl_path).unwrap();
+
+    // 1. Determinism: an identical second run exports identical bytes.
+    let dir_b = scratch("repeat");
+    let b = ShardedRunner::new(&c, SHARDS, &dir_b)
+        .unwrap()
+        .run(2)
+        .unwrap();
+    let (events_b, health_b, trace_b) = exports(&b);
+    if events_a != events_b {
+        fail("same-seed runs exported different event journals");
+    }
+    if health_a != health_b {
+        fail("same-seed runs exported different health series");
+    }
+    if trace_a != trace_b {
+        fail("same-seed runs exported different traces");
+    }
+
+    // 2. Resume transparency: kill after two shards, resume, compare.
+    let dir_c = scratch("resume");
+    let partial = ShardedRunner::new(&c, SHARDS, &dir_c).unwrap();
+    let remaining = partial.advance(2).unwrap();
+    assert_eq!(remaining, SHARDS as usize - 2);
+    let resumed = ShardedRunner::new(&c, SHARDS, &dir_c)
+        .unwrap()
+        .run(2)
+        .unwrap();
+    let (events_r, health_r, trace_r) = exports(&resumed);
+    if events_r != events_a {
+        fail("kill+resume changed the exported event journal");
+    }
+    if health_r != health_a {
+        fail("kill+resume changed the exported health series");
+    }
+    if trace_r != trace_a {
+        fail("kill+resume changed the exported trace");
+    }
+    if std::fs::read_to_string(&resumed.jsonl_path).unwrap() != jsonl_a {
+        fail("kill+resume changed the measured JSONL output");
+    }
+    if resumed.run.shards_resumed.get() != 2 {
+        fail("resume did not adopt the two checkpointed shards");
+    }
+    if resumed.run.pairs_run.get() != a.run.pairs_run.get() {
+        fail("campaign-wide pairs_run differs between one-shot and resume");
+    }
+    if resumed.run.records_produced.get() != a.run.records_produced.get() {
+        fail("campaign-wide records_produced differs between one-shot and resume");
+    }
+
+    // 3. Neutrality: journal off => measured output unchanged, and both
+    // match the in-memory reference (including its health fold).
+    let dir_d = scratch("silent");
+    let silent = ShardedRunner::new(&c, SHARDS, &dir_d)
+        .unwrap()
+        .with_journal_capacity(0)
+        .run(2)
+        .unwrap();
+    if silent.journal.is_enabled() || silent.journal.recorded() != 0 {
+        fail("capacity 0 must disable the journal");
+    }
+    if std::fs::read_to_string(&silent.jsonl_path).unwrap() != jsonl_a {
+        fail("disabling the journal changed the measured JSONL output");
+    }
+    let reference = c.run();
+    if reference.to_json_lines() != jsonl_a {
+        fail("sharded JSONL diverged from the in-memory reference");
+    }
+    if HealthSeries::of(&c, &reference.records).to_jsonl() != health_a {
+        fail("sharded health series diverged from the in-memory fold");
+    }
+
+    // 4. Trace schema sanity.
+    let doc = measure::json::parse(trace_a.trim_end())
+        .unwrap_or_else(|e| fail(&format!("trace is not valid JSON: {e}")));
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| fail("trace lacks a traceEvents array"));
+    let phase = |ev: &measure::json::Json| {
+        ev.get("ph")
+            .and_then(|p| p.as_str())
+            .map(str::to_string)
+            .unwrap_or_default()
+    };
+    let begins = events.iter().filter(|e| phase(e) == "B").count();
+    let ends = events.iter().filter(|e| phase(e) == "E").count();
+    if begins == 0 || begins != ends {
+        fail(&format!("unbalanced trace: {begins} begins vs {ends} ends"));
+    }
+
+    for dir in [dir_a, dir_b, dir_c, dir_d] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    println!(
+        "{{\"records\":{},\"events\":{},\"health_rows\":{},\"drift_findings\":{},\"trace_events\":{}}}",
+        a.records,
+        a.journal.recorded(),
+        a.health.resolver_rows().len(),
+        a.drift.len(),
+        events.len(),
+    );
+    eprintln!("flight recorder OK: determinism, resume transparency, neutrality, trace schema");
+}

@@ -8,9 +8,11 @@
 //!
 //! The fixtures pin the JSONL byte format and the metrics snapshot render
 //! for a fixed-seed campaign; `crates/measure/tests/golden_output.rs`
-//! asserts the hot path reproduces them byte-for-byte.
+//! asserts the hot path reproduces them byte-for-byte. The metrics-export
+//! fixtures under `crates/report/tests/golden/` pin the JSON and CSV
+//! export formats the same way (`crates/report/tests/golden_metrics.rs`).
 
-use measure::{Campaign, CampaignConfig};
+use measure::{metrics_of, Campaign, CampaignConfig};
 
 fn entries() -> Vec<catalog::ResolverEntry> {
     [
@@ -56,4 +58,19 @@ fn main() {
     )
     .unwrap();
     eprintln!("wrote {} faulted records", faulted.records.len());
+
+    // Metrics exports: the same baseline campaign's snapshot as JSON and
+    // CSV, pinning key order, quoting, and float formatting.
+    let report_dir = std::path::Path::new("crates/report/tests/golden");
+    std::fs::create_dir_all(report_dir).unwrap();
+    let snapshot = metrics_of(&result.records);
+    let mut json = report::metrics_json(&snapshot).to_string_compact();
+    json.push('\n');
+    std::fs::write(report_dir.join("metrics_seed4.json"), json).unwrap();
+    std::fs::write(
+        report_dir.join("metrics_seed4.csv"),
+        report::metrics_csv(&snapshot).render(),
+    )
+    .unwrap();
+    eprintln!("wrote metrics exports for {} cells", snapshot.cells.len());
 }

@@ -57,17 +57,21 @@ USAGE:
 
   edns-measure probe <resolver> [--vantage LABEL] [--protocol doh|dot|do53|doq|odoh]
                      [--count N] [--domain NAME] [--seed S] [--trace]
-                     [--retries N] [--timeout SECS] [--backoff-ms MS]
-                     [--jitter F] [--faults none|default]
+                     [--trace-out FILE] [--retries N] [--timeout SECS]
+                     [--backoff-ms MS] [--jitter F] [--faults none|default]
       Issue dig-style probes against one resolver and print per-probe
       timings plus a summary. Default: 5 DoH probes of google.com from
       ec2-ohio with seed 0. --trace prints each probe's span timeline
-      (dns_encode, connect, tls_handshake, http_exchange, ...).
+      (dns_encode, connect, tls_handshake, http_exchange, ...);
+      --trace-out exports the same timelines as Chrome trace-event JSON
+      (load in chrome://tracing or ui.perfetto.dev), one track per probe.
 
   edns-measure campaign [--scale quick|standard|paper] [--seed S] [--out FILE]
                         [--metrics] [--retries N] [--timeout SECS]
                         [--backoff-ms MS] [--jitter F] [--faults none|default]
                         [--days N] [--shards K] [--checkpoint-dir DIR]
+                        [--events FILE] [--health FILE] [--trace-out FILE]
+                        [--progress]
       Run a full campaign over the whole population and write JSON-Lines
       results (default scale standard, output results.jsonl). --metrics
       prints the per-resolver × vantage metrics snapshot (counters, error
@@ -83,6 +87,21 @@ USAGE:
       same flags resumes from the last completed shard and produces
       byte-identical output. --shards/--checkpoint-dir without --days
       shard the selected --scale instead.
+
+      FLIGHT RECORDER (sharded engine; any of these flags selects it):
+        --events FILE     structured event journal as JSON-Lines, stamped
+                          in simulated time (shard lifecycle, fault
+                          windows, retry exhaustions, drift findings)
+        --health FILE     per-(resolver, day) health timeseries as
+                          JSON-Lines (probes, availability, error mix,
+                          response-time quantiles)
+        --trace-out FILE  shard execution timeline as Chrome trace-event
+                          JSON (chrome://tracing / ui.perfetto.dev)
+        --progress        live per-shard completion lines on stderr
+                          (wall-clock; never part of measured output)
+      Drift findings, if any, are always printed after the run summary.
+      Same seed + config => byte-identical --events/--health/--trace-out
+      files, whether the campaign ran in one shot or was killed+resumed.
 
   edns-measure report <results.jsonl>
       Regenerate the availability analysis and headline findings from a
@@ -195,6 +214,7 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --seed")?;
     let trace = flag_present(args, "--trace");
+    let trace_out = flag_value(args, "--trace-out");
     let faults_on = faults_enabled(args)?;
     let mut retry = if faults_on {
         RetryPolicy::dig_defaults()
@@ -224,9 +244,10 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
     );
     let mut times = Vec::new();
     let mut errors = 0;
+    let mut chrome = trace_out.map(|_| obs::traceview::ChromeTrace::new());
     for i in 0..count {
         let now = SimTime::from_nanos(i * 3_600_000_000_000);
-        let mut log = if trace {
+        let mut log = if trace || chrome.is_some() {
             obs::SpanLog::with_capacity(64)
         } else {
             obs::SpanLog::disabled()
@@ -283,6 +304,15 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
                 out!("          {line}");
             }
         }
+        if let Some(chrome) = chrome.as_mut() {
+            let tid = i as u32;
+            chrome.thread_name(tid, &format!("probe {}", i + 1));
+            chrome.add_log(&log, tid);
+        }
+    }
+    if let (Some(path), Some(chrome)) = (trace_out, chrome) {
+        std::fs::write(path, chrome.finish()).map_err(|e| e.to_string())?;
+        eprintln!("trace written to {path}");
     }
     if let Some(summary) = edns_stats::Summary::of(&times) {
         out!(
@@ -319,9 +349,15 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     apply_retry_flags(args, &mut config.probe.retry)?;
     let out = flag_value(args, "--out").unwrap_or("results.jsonl");
 
+    // The flight recorder lives in the sharded engine, so any recorder
+    // flag selects it too (with the default shard count).
     let sharded = days.is_some()
         || flag_value(args, "--shards").is_some()
-        || flag_value(args, "--checkpoint-dir").is_some();
+        || flag_value(args, "--checkpoint-dir").is_some()
+        || flag_value(args, "--events").is_some()
+        || flag_value(args, "--health").is_some()
+        || flag_value(args, "--trace-out").is_some()
+        || flag_present(args, "--progress");
     if sharded {
         return cmd_campaign_sharded(args, config, out);
     }
@@ -363,9 +399,14 @@ fn cmd_campaign_sharded(args: &[String], config: CampaignConfig, out: &str) -> R
         .parse()
         .map_err(|_| "bad --shards")?;
     let dir = flag_value(args, "--checkpoint-dir").unwrap_or("checkpoints");
+    let events_out = flag_value(args, "--events");
+    let health_out = flag_value(args, "--health");
+    let trace_out = flag_value(args, "--trace-out");
 
     let campaign = Campaign::new(config);
-    let runner = measure::ShardedRunner::new(&campaign, shards, dir).map_err(|e| e.to_string())?;
+    let runner = measure::ShardedRunner::new(&campaign, shards, dir)
+        .map_err(|e| e.to_string())?
+        .with_progress(flag_present(args, "--progress"));
     eprintln!(
         "running {} probes over {} resolvers in {} shards (checkpoints in {dir})...",
         campaign.probe_count(),
@@ -402,10 +443,68 @@ fn cmd_campaign_sharded(args: &[String], config: CampaignConfig, out: &str) -> R
             overall.response.count(),
         );
     }
+    if let Some(path) = events_out {
+        std::fs::write(path, outcome.journal.to_jsonl()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "event journal written to {path} ({} events, {} warnings)",
+            outcome.journal.recorded(),
+            outcome.journal.count_at(obs::EventLevel::Warn),
+        );
+    }
+    if let Some(path) = health_out {
+        std::fs::write(path, outcome.health.to_jsonl()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "health timeseries written to {path} ({} resolver-day rows)",
+            outcome.health.resolver_rows().len(),
+        );
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs::traceview::chrome_trace(&outcome.spans))
+            .map_err(|e| e.to_string())?;
+        eprintln!("trace written to {path}");
+    }
+    if !outcome.drift.is_empty() {
+        out!("\ndrift findings ({}):", outcome.drift.len());
+        for f in &outcome.drift {
+            out!("  {}", render_drift(f));
+        }
+    }
     if flag_present(args, "--metrics") {
         out!("{}", outcome.metrics.render());
     }
     Ok(())
+}
+
+/// One human-readable line per drift finding (the machine form lives in
+/// the `--events` journal under the same code).
+fn render_drift(f: &measure::DriftFinding) -> String {
+    use measure::DriftKind;
+    match f.kind {
+        DriftKind::AvailabilityBurn => format!(
+            "{:<18} {:<42} day {:>3}: availability {:.1}% (baseline {:.1}%)",
+            f.kind.code(),
+            f.resolver.as_str(),
+            f.day,
+            f.value * 100.0,
+            f.baseline * 100.0,
+        ),
+        DriftKind::LatencyDrift => format!(
+            "{:<18} {:<42} day {:>3}: p95 {:.1} ms (baseline {:.1} ms)",
+            f.kind.code(),
+            f.resolver.as_str(),
+            f.day,
+            f.value,
+            f.baseline,
+        ),
+        DriftKind::ErrorMixShift => format!(
+            "{:<18} {:<42} day {:>3}: dominant error {} -> {}",
+            f.kind.code(),
+            f.resolver.as_str(),
+            f.day,
+            f.from_error.map(|l| l.as_str()).unwrap_or("none"),
+            f.to_error.map(|l| l.as_str()).unwrap_or("none"),
+        ),
+    }
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {

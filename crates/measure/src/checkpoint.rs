@@ -11,7 +11,7 @@
 //! The on-disk format is one header line followed by a JSON body:
 //!
 //! ```text
-//! edns-checkpoint v1 <16-hex fnv64 of body>
+//! edns-checkpoint v2 <16-hex fnv64 of body>
 //! {"entries":[...],"fingerprint":"...","pairs":21,"seed":"2a","shards":4}
 //! ```
 //!
@@ -35,10 +35,15 @@ use edns_stats::{Availability, LatencySketch, RunningMoments, SKETCH_BUCKET_COUN
 use obs::Label;
 
 use crate::aggregate::{AggregateCell, PairAggregate};
+use crate::health::HealthCell;
 use crate::json::Json;
 
 /// The checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2 added the per-(pair, day) health cells that feed the flight
+/// recorder's health timeseries; v1 manifests are rejected (the engine
+/// re-runs from scratch rather than resuming without health state).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The magic token opening every checkpoint header line.
 pub const CHECKPOINT_MAGIC: &str = "edns-checkpoint";
@@ -123,6 +128,20 @@ pub struct ShardCheckpoint {
     pub checksum: u64,
     /// The shard's per-pair aggregate cells, in pair-index order.
     pub pairs: Vec<PairAggregate>,
+    /// The shard's per-(pair, day) health cells, in (pair, day) order —
+    /// the flight recorder's health timeseries deltas.
+    pub health: Vec<PairDayHealth>,
+}
+
+/// One (pair, day) health delta as persisted in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairDayHealth {
+    /// Pair index within the campaign plan.
+    pub pair: u32,
+    /// Campaign day index.
+    pub day: u32,
+    /// The day's health cell.
+    pub cell: HealthCell,
 }
 
 /// A shard's state in the manifest.
@@ -196,6 +215,10 @@ impl Manifest {
                     (
                         "cells",
                         Json::Array(c.pairs.iter().map(pair_aggregate_to_json).collect()),
+                    ),
+                    (
+                        "health",
+                        Json::Array(c.health.iter().map(pair_day_health_to_json).collect()),
                     ),
                 ]),
             })
@@ -276,12 +299,20 @@ impl Manifest {
                         .iter()
                         .map(pair_aggregate_from_json)
                         .collect::<Result<Vec<_>, _>>()?;
+                    let health = e
+                        .get("health")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| parse_err("complete shard missing health array"))?
+                        .iter()
+                        .map(pair_day_health_from_json)
+                        .collect::<Result<Vec<_>, _>>()?;
                     states.push(ShardState::Complete(ShardCheckpoint {
                         shard: i as u32,
                         records: int_field(e, "records")?,
                         bytes: int_field(e, "bytes")?,
                         checksum: hex_field(e, "checksum")?,
                         pairs,
+                        health,
                     }));
                 }
                 other => {
@@ -482,6 +513,36 @@ pub fn pair_aggregate_from_json(v: &Json) -> Result<PairAggregate, CheckpointErr
     })
 }
 
+/// Encodes one (pair, day) health cell.
+pub fn pair_day_health_to_json(h: &PairDayHealth) -> Json {
+    Json::object([
+        ("pair", Json::Int(h.pair as i64)),
+        ("day", Json::Int(h.day as i64)),
+        ("availability", availability_to_json(&h.cell.availability)),
+        ("response", sketch_to_json(&h.cell.response)),
+    ])
+}
+
+/// Decodes one (pair, day) health cell.
+pub fn pair_day_health_from_json(v: &Json) -> Result<PairDayHealth, CheckpointError> {
+    let availability = availability_from_json(
+        v.get("availability")
+            .ok_or_else(|| parse_err("health cell missing availability"))?,
+    )?;
+    let response = sketch_from_json(
+        v.get("response")
+            .ok_or_else(|| parse_err("health cell missing response sketch"))?,
+    )?;
+    Ok(PairDayHealth {
+        pair: int_field(v, "pair")? as u32,
+        day: int_field(v, "day")? as u32,
+        cell: HealthCell {
+            availability,
+            response,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +556,28 @@ mod tests {
         cell.response.observe(48.25);
         cell.ping.observe(3.75);
         cell
+    }
+
+    fn sample_health() -> Vec<PairDayHealth> {
+        let mut day0 = HealthCell::default();
+        day0.availability.success();
+        day0.availability.success();
+        day0.response.observe(12.5);
+        day0.response.observe(48.25);
+        let mut day1 = HealthCell::default();
+        day1.availability.error("query_timeout");
+        vec![
+            PairDayHealth {
+                pair: 2,
+                day: 0,
+                cell: day0,
+            },
+            PairDayHealth {
+                pair: 2,
+                day: 1,
+                cell: day1,
+            },
+        ]
     }
 
     fn sample_manifest() -> Manifest {
@@ -518,6 +601,7 @@ mod tests {
                     cell: AggregateCell::default(),
                 },
             ],
+            health: sample_health(),
         });
         m
     }
@@ -536,7 +620,7 @@ mod tests {
     fn header_is_versioned_and_checksummed() {
         let text = sample_manifest().encode();
         let header = text.lines().next().unwrap();
-        assert!(header.starts_with("edns-checkpoint v1 "));
+        assert!(header.starts_with("edns-checkpoint v2 "));
         let hex = header.rsplit(' ').next().unwrap();
         assert_eq!(hex.len(), 16);
     }
@@ -544,20 +628,46 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         assert_eq!(
-            Manifest::decode("not-a-checkpoint v1 00\n{}"),
+            Manifest::decode("not-a-checkpoint v2 00\n{}"),
             Err(CheckpointError::BadMagic)
         );
     }
 
     #[test]
-    fn future_version_is_rejected() {
-        let text = sample_manifest().encode().replace("v1", "v2");
+    fn other_versions_are_rejected() {
+        // A future format.
+        let text = sample_manifest().encode().replace("v2", "v3");
         assert_eq!(
             Manifest::decode(&text),
             Err(CheckpointError::VersionMismatch {
-                found: "v2".to_string()
+                found: "v3".to_string()
             })
         );
+        // And the pre-health v1 format (no silent resume without health
+        // state — the engine re-runs from scratch).
+        let text = sample_manifest().encode().replace("v2", "v1");
+        assert_eq!(
+            Manifest::decode(&text),
+            Err(CheckpointError::VersionMismatch {
+                found: "v1".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn health_cells_round_trip_bit_exactly() {
+        for h in sample_health() {
+            let back = pair_day_health_from_json(&pair_day_health_to_json(&h)).unwrap();
+            assert_eq!(back, h);
+        }
+        // A tampered day count is caught by the sketch validator.
+        let h = &sample_health()[0];
+        let mut obj = match pair_day_health_to_json(h) {
+            Json::Object(m) => m,
+            _ => unreachable!(),
+        };
+        obj.insert("response".to_string(), Json::object([("n", Json::Int(3))]));
+        assert!(pair_day_health_from_json(&Json::Object(obj)).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod dns_json;
 pub mod errors;
+pub mod health;
 pub mod json;
 pub mod probe;
 pub mod results;
@@ -49,6 +50,10 @@ pub use campaign::{metrics_of, observe_record, Campaign, CampaignResult};
 pub use checkpoint::{CheckpointError, Manifest, ShardCheckpoint, ShardState, CHECKPOINT_VERSION};
 pub use config::{standard_domains, CampaignConfig, Span};
 pub use errors::ProbeErrorKind;
+pub use health::{
+    day_of, detect_drift, DriftConfig, DriftFinding, DriftKind, HealthCell, HealthRow,
+    HealthSeries, NANOS_PER_DAY,
+};
 pub use probe::{ProbeConfig, ProbeTarget, Prober};
 pub use results::{ProbeOutcome, ProbeRecord, ProbeTimings, Protocol};
 pub use retry::{RetryInfo, RetryPolicy};

@@ -37,15 +37,25 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use obs::{Label, MetricsRegistry, MetricsSnapshot, ShardRunMetrics, SpanLog};
+use netsim::faults::FaultScope;
+use obs::clock::Stopwatch;
+use obs::journal::codes;
+use obs::{
+    EventData, EventLevel, Journal, JournalEvent, Label, MetricsRegistry, MetricsSnapshot,
+    ShardRunMetrics, SpanLog,
+};
 
 use crate::aggregate::{CampaignAggregates, PairAggregate};
 use crate::campaign::{observe_record, Campaign};
 use crate::checkpoint::{
-    fnv64, CheckpointError, Manifest, ShardCheckpoint, ShardState, CHECKPOINT_VERSION,
+    fnv64, CheckpointError, Manifest, PairDayHealth, ShardCheckpoint, ShardState,
+    CHECKPOINT_VERSION,
+};
+use crate::health::{
+    day_of, detect_drift, DriftConfig, DriftFinding, HealthCell, HealthSeries, NANOS_PER_DAY,
 };
 use crate::json;
-use crate::results::ProbeRecord;
+use crate::results::{ProbeOutcome, ProbeRecord};
 
 /// The manifest's file name inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.ckpt";
@@ -71,7 +81,22 @@ pub struct ShardedOutcome {
     pub run: ShardRunMetrics,
     /// One span per shard laying its simulated-time extent on a timeline.
     pub spans: SpanLog,
+    /// The per-(resolver, day) health timeseries, folded from the
+    /// checkpointed (pair, day) cells — identical to
+    /// [`HealthSeries::of`] over the one-shot record vector.
+    pub health: HealthSeries,
+    /// Deterministic drift findings over the health timeseries
+    /// (default [`DriftConfig`]).
+    pub drift: Vec<DriftFinding>,
+    /// The flight-recorder journal: shard lifecycle, checkpoint traffic,
+    /// fault windows, retry exhaustions and drift findings in simulated
+    /// time, plus Ops-class resume telemetry.
+    pub journal: Journal,
 }
+
+/// Default flight-recorder journal capacity: comfortably above what a
+/// months-long campaign's lifecycle + findings emit, still O(1) memory.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 8_192;
 
 /// Splits a campaign into shards and executes them resumably.
 #[derive(Debug)]
@@ -79,6 +104,10 @@ pub struct ShardedRunner<'a> {
     campaign: &'a Campaign,
     shards: u32,
     dir: PathBuf,
+    /// Journal ring capacity; 0 disables the journal entirely.
+    journal_capacity: usize,
+    /// Operator-facing wall-clock progress lines on stderr.
+    progress: bool,
 }
 
 impl<'a> ShardedRunner<'a> {
@@ -117,7 +146,33 @@ impl<'a> ShardedRunner<'a> {
             campaign,
             shards: shards.min(plans.len().max(1) as u32),
             dir,
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            progress: false,
         })
+    }
+
+    /// Sets the flight-recorder journal capacity (builder-style). A
+    /// capacity of 0 disables the journal: recording costs one branch and
+    /// zero allocations, and the outcome's journal exports empty.
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
+        self
+    }
+
+    /// Enables operator-facing progress lines on stderr (builder-style).
+    /// Timing comes from the audited [`obs::clock::Stopwatch`]; nothing
+    /// wall-clock flows into any deterministic output.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    fn new_journal(&self) -> Journal {
+        if self.journal_capacity == 0 {
+            Journal::disabled()
+        } else {
+            Journal::with_capacity(self.journal_capacity)
+        }
     }
 
     /// The effective shard count (clamped to the pair count).
@@ -254,21 +309,31 @@ impl<'a> ShardedRunner<'a> {
             .map(|p| self.campaign.run_pair(p))
             .collect();
 
-        // Per-pair aggregate cells, folded in each pair's own canonical
-        // order (merging never reorders records within a pair).
+        // Per-pair aggregate cells and per-(pair, day) health cells, both
+        // folded in each pair's own canonical order (merging never
+        // reorders records within a pair) — so the checkpointed health
+        // series is independent of shard count and resume schedule.
         let mut cells = Vec::with_capacity(shard_plans.len());
+        let mut health: Vec<PairDayHealth> = Vec::new();
         for (offset, records) in outputs.iter().enumerate() {
             let plan = &shard_plans[offset];
+            let pair = (range.start + offset) as u32;
             let mut agg = PairAggregate {
-                pair: (range.start + offset) as u32,
+                pair,
                 vantage: plan.vantage_label,
                 resolver: plan.resolver_label,
                 cell: Default::default(),
             };
+            let mut days: BTreeMap<u32, HealthCell> = BTreeMap::new();
             for r in records {
                 agg.cell.observe(r);
+                days.entry(day_of(r.at.as_nanos())).or_default().observe(r);
             }
             cells.push(agg);
+            health.extend(
+                days.into_iter()
+                    .map(|(day, cell)| PairDayHealth { pair, day, cell }),
+            );
         }
 
         let merged = self.campaign.merge_pairs(outputs, shard_plans);
@@ -289,14 +354,21 @@ impl<'a> ShardedRunner<'a> {
             bytes: body.len() as u64,
             checksum: fnv64(body.as_bytes()),
             pairs: cells,
+            health,
         })
     }
 
     /// Runs the whole campaign across `threads` workers, resuming from any
     /// existing checkpoints, and assembles the final output.
     pub fn run(&self, threads: usize) -> Result<ShardedOutcome, CheckpointError> {
+        let watch = if self.progress {
+            Some(Stopwatch::start())
+        } else {
+            None
+        };
         let mut run = ShardRunMetrics::new();
         run.shards_planned.add(self.shards as u64);
+        let mut journal = self.new_journal();
         let manifest = self.load_or_init()?;
         let pending: Vec<u32> = manifest
             .states
@@ -307,6 +379,22 @@ impl<'a> ShardedRunner<'a> {
             .collect();
         run.shards_resumed
             .add((self.shards as usize - pending.len()) as u64);
+        // Fold resumed shards' work into the campaign-wide counters (and
+        // the Ops journal), so a kill+resume reports the same pair/record
+        // totals as a one-shot run. Ops events are process telemetry and
+        // never reach the JSONL export.
+        for (i, state) in manifest.states.iter().enumerate() {
+            if let ShardState::Complete(c) = state {
+                run.pairs_run.add(c.pairs.len() as u64);
+                run.records_produced.add(c.records);
+                journal.record_ops(
+                    0,
+                    EventLevel::Info,
+                    codes::SHARD_RESUME,
+                    EventData::shard(i as u32).with_count(c.records),
+                );
+            }
+        }
 
         let shared = Mutex::new((manifest, run));
         let threads = threads.max(1).min(pending.len().max(1));
@@ -327,7 +415,7 @@ impl<'a> ShardedRunner<'a> {
                     let index = pending[slot];
                     match self.execute_shard(index) {
                         Ok(checkpoint) => {
-                            if let Err(e) = self.commit_shard(shared, checkpoint) {
+                            if let Err(e) = self.commit_shard(shared, checkpoint, watch.as_ref()) {
                                 first_error
                                     .lock()
                                     .unwrap_or_else(|p| p.into_inner())
@@ -357,7 +445,7 @@ impl<'a> ShardedRunner<'a> {
             Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
-        self.assemble(&manifest, run)
+        self.assemble(&manifest, run, journal)
     }
 
     /// Commits one completed shard: updates the manifest state and
@@ -366,6 +454,7 @@ impl<'a> ShardedRunner<'a> {
         &self,
         shared: &Mutex<(Manifest, ShardRunMetrics)>,
         checkpoint: ShardCheckpoint,
+        watch: Option<&Stopwatch>,
     ) -> Result<(), CheckpointError> {
         let mut guard = shared.lock().unwrap_or_else(|p| p.into_inner());
         let (manifest, run) = &mut *guard;
@@ -373,11 +462,23 @@ impl<'a> ShardedRunner<'a> {
         run.pairs_run.add(checkpoint.pairs.len() as u64);
         run.records_produced.add(checkpoint.records);
         let index = checkpoint.shard as usize;
+        let records = checkpoint.records;
         manifest.states[index] = ShardState::Complete(checkpoint);
         let encoded_len = manifest.encode().len() as u64;
         manifest.store(&self.manifest_path())?;
         run.manifest_writes.add(1);
         run.checkpoint_bytes.add(encoded_len);
+        // Operator feedback only — stderr, audited wall clock, and nothing
+        // here flows into any deterministic output.
+        if let Some(w) = watch {
+            eprintln!(
+                "[{:7.1}s] shard {index}/{} complete: {records} records ({} of {} shards done)",
+                w.elapsed_secs(),
+                self.shards,
+                manifest.complete_count(),
+                self.shards,
+            );
+        }
         Ok(())
     }
 
@@ -410,6 +511,7 @@ impl<'a> ShardedRunner<'a> {
         &self,
         manifest: &Manifest,
         mut run: ShardRunMetrics,
+        mut journal: Journal,
     ) -> Result<ShardedOutcome, CheckpointError> {
         if !manifest.is_complete() {
             return Err(CheckpointError::ShardData(
@@ -519,6 +621,11 @@ impl<'a> ShardedRunner<'a> {
         let mut out = std::io::BufWriter::new(out_file);
         let mut registry = MetricsRegistry::new();
         let mut records = 0u64;
+        // Sim-class journal events, collected here and recorded in one
+        // canonical order after the merge (so the journal is independent
+        // of shard execution interleaving).
+        let mut events: Vec<JournalEvent> = Vec::new();
+        let journal_on = journal.is_enabled();
         while let Some(Reverse((_, _, _, i))) = heap.pop() {
             let path = self.shard_path(i);
             let cursor = &mut cursors[i as usize];
@@ -533,6 +640,26 @@ impl<'a> ShardedRunner<'a> {
             };
             cursor.last_at = record.at.as_nanos();
             observe_record(&mut registry, &record);
+            if journal_on {
+                if let (ProbeOutcome::Failure { .. }, Some(retry)) =
+                    (&record.outcome, &record.retry)
+                {
+                    if retry.exhausted() {
+                        events.push(JournalEvent {
+                            at: record.at.as_nanos(),
+                            level: EventLevel::Warn,
+                            class: obs::EventClass::Sim,
+                            code: codes::RETRY_EXHAUSTED,
+                            data: EventData {
+                                resolver: Some(record.resolver_id()),
+                                vantage: Some(record.vantage_id()),
+                                count: Some(retry.attempts as u64),
+                                ..EventData::default()
+                            },
+                        });
+                    }
+                }
+            }
             out.write_all(line.as_bytes())
                 .and_then(|_| out.write_all(b"\n"))
                 .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
@@ -569,11 +696,124 @@ impl<'a> ShardedRunner<'a> {
             )));
         }
 
+        // Install the checkpointed health cells and cross-validate them
+        // against the pair aggregates: every pair's day cells must account
+        // for exactly the probes its aggregate cell saw.
+        let mut health = HealthSeries::for_campaign(self.campaign);
+        for state in &manifest.states {
+            if let ShardState::Complete(c) = state {
+                for h in &c.health {
+                    health.install(h.pair, h.day, h.cell.clone());
+                }
+            }
+        }
+        for p in aggregates.pairs() {
+            let daily = health.pair_probes(p.pair);
+            let total = p.cell.availability.total();
+            if daily != total {
+                return Err(CheckpointError::ShardData(format!(
+                    "pair {} health cells hold {daily} probes, aggregate has {total}",
+                    p.pair
+                )));
+            }
+        }
+        let drift = detect_drift(&health.resolver_rows(), &DriftConfig::default());
+
         // Shard spans, recorded in shard-index order so the log is
         // independent of execution interleaving.
         let mut spans = SpanLog::with_capacity((self.shards as usize * 2).max(16));
         for (i, c) in cursors.iter().enumerate() {
             obs::sharding::record_shard_span(&mut spans, i as u32, c.first_at, c.last_at);
+        }
+
+        if journal_on {
+            // Shard lifecycle + checkpoint traffic, from the merge
+            // cursors' simulated extents and the manifest.
+            for (i, c) in cursors.iter().enumerate() {
+                if let ShardState::Complete(ckpt) = &manifest.states[i] {
+                    let shard = i as u32;
+                    events.push(JournalEvent {
+                        at: c.first_at,
+                        level: EventLevel::Info,
+                        class: obs::EventClass::Sim,
+                        code: codes::SHARD_START,
+                        data: EventData::shard(shard),
+                    });
+                    events.push(JournalEvent {
+                        at: c.last_at,
+                        level: EventLevel::Info,
+                        class: obs::EventClass::Sim,
+                        code: codes::SHARD_FINISH,
+                        data: EventData::shard(shard).with_count(ckpt.records),
+                    });
+                    events.push(JournalEvent {
+                        at: c.last_at,
+                        level: EventLevel::Debug,
+                        class: obs::EventClass::Sim,
+                        code: codes::CHECKPOINT_STORE,
+                        data: EventData::shard(shard).with_count(ckpt.bytes),
+                    });
+                }
+            }
+            // Fault-plan windows, straight from the configuration.
+            for f in &self.campaign.config().faults.events {
+                let from = f.from.as_nanos();
+                let mut data = EventData::default()
+                    .with_value((f.until.as_nanos().saturating_sub(from)) as f64 / 1e6);
+                match &f.scope {
+                    FaultScope::Resolver(host) => data.resolver = Some(Label::intern(host)),
+                    FaultScope::Vantage(v) => data.vantage = Some(Label::intern(v)),
+                    _ => {}
+                }
+                events.push(JournalEvent {
+                    at: from,
+                    level: EventLevel::Info,
+                    class: obs::EventClass::Sim,
+                    code: codes::FAULT_WINDOW,
+                    data,
+                });
+            }
+            // Drift findings, stamped at the end of the flagged day.
+            for d in &drift {
+                events.push(JournalEvent {
+                    at: (d.day as u64 + 1) * NANOS_PER_DAY,
+                    level: EventLevel::Warn,
+                    class: obs::EventClass::Sim,
+                    code: d.kind.code(),
+                    data: EventData {
+                        resolver: Some(d.resolver),
+                        day: Some(d.day),
+                        value: Some(d.value),
+                        ..EventData::default()
+                    },
+                });
+            }
+            if spans.dropped() > 0 {
+                events.push(JournalEvent {
+                    at: cursors.iter().map(|c| c.last_at).max().unwrap_or(0),
+                    level: EventLevel::Warn,
+                    class: obs::EventClass::Sim,
+                    code: codes::SPAN_OVERFLOW,
+                    data: EventData::count(spans.dropped()),
+                });
+            }
+            // One canonical order for the whole stream: time, then code,
+            // then payload coordinates — a pure function of seed + config.
+            let sort_key = |e: &JournalEvent| {
+                (
+                    e.at,
+                    e.code,
+                    e.data.shard.unwrap_or(u32::MAX),
+                    e.data.resolver.map(|l| l.as_str()).unwrap_or(""),
+                    e.data.vantage.map(|l| l.as_str()).unwrap_or(""),
+                    e.data.day.unwrap_or(u32::MAX),
+                    e.data.count.unwrap_or(0),
+                )
+            };
+            events.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+            for e in events {
+                journal.record(e.at, e.level, e.code, e.data);
+            }
         }
 
         Ok(ShardedOutcome {
@@ -583,6 +823,9 @@ impl<'a> ShardedRunner<'a> {
             aggregates,
             run,
             spans,
+            health,
+            drift,
+            journal,
         })
     }
 

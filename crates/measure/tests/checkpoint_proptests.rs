@@ -6,10 +6,11 @@ use proptest::prelude::*;
 
 use measure::aggregate::{AggregateCell, PairAggregate};
 use measure::checkpoint::{
-    availability_from_json, availability_to_json, sketch_from_json, sketch_to_json, Manifest,
+    availability_from_json, availability_to_json, pair_day_health_from_json,
+    pair_day_health_to_json, sketch_from_json, sketch_to_json, Manifest, PairDayHealth,
     ShardCheckpoint, ShardState,
 };
-use measure::Label;
+use measure::{HealthCell, Label};
 
 use edns_stats::{Availability, LatencySketch};
 
@@ -68,6 +69,19 @@ fn arb_pair() -> impl Strategy<Value = PairAggregate> {
     )
 }
 
+fn arb_pair_day_health() -> impl Strategy<Value = PairDayHealth> {
+    (0u32..512, 0u32..256, arb_availability(), arb_sketch()).prop_map(
+        |(pair, day, availability, response)| PairDayHealth {
+            pair,
+            day,
+            cell: HealthCell {
+                availability,
+                response,
+            },
+        },
+    )
+}
+
 fn arb_state() -> impl Strategy<Value = ShardState> {
     (
         any::<bool>(),
@@ -75,8 +89,9 @@ fn arb_state() -> impl Strategy<Value = ShardState> {
         0u64..100_000_000,
         any::<u64>(),
         proptest::collection::vec(arb_pair(), 0..5),
+        proptest::collection::vec(arb_pair_day_health(), 0..6),
     )
-        .prop_map(|(complete, records, bytes, checksum, pairs)| {
+        .prop_map(|(complete, records, bytes, checksum, pairs, health)| {
             if complete {
                 // The shard index is rewritten to the entry slot by the
                 // caller; 0 is a placeholder.
@@ -86,6 +101,7 @@ fn arb_state() -> impl Strategy<Value = ShardState> {
                     bytes,
                     checksum,
                     pairs,
+                    health,
                 })
             } else {
                 ShardState::Pending
@@ -142,6 +158,12 @@ proptest! {
     fn availability_json_round_trips(a in arb_availability()) {
         let back = availability_from_json(&availability_to_json(&a)).unwrap();
         prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn pair_day_health_json_round_trips(h in arb_pair_day_health()) {
+        let back = pair_day_health_from_json(&pair_day_health_to_json(&h)).unwrap();
+        prop_assert_eq!(back, h);
     }
 
     #[test]

@@ -87,7 +87,7 @@ fn stale_format_version_is_rejected() {
     let text = std::fs::read_to_string(&path).unwrap();
     std::fs::write(
         &path,
-        text.replacen("edns-checkpoint v1", "edns-checkpoint v0", 1),
+        text.replacen("edns-checkpoint v2", "edns-checkpoint v0", 1),
     )
     .unwrap();
 

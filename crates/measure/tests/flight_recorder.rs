@@ -1,0 +1,167 @@
+//! Flight-recorder integration: the sharded engine's event journal,
+//! health timeseries, and drift findings must be pure functions of
+//! (seed, config) — identical across repeat runs, identical across
+//! kill+resume, identical to the in-memory fold — and switching the
+//! recorder off must not perturb the measured output by a single byte.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use measure::{
+    detect_drift, Campaign, CampaignConfig, DriftConfig, HealthSeries, ShardedOutcome,
+    ShardedRunner,
+};
+
+const HOSTS: [&str; 3] = ["dns.google", "dns.quad9.net", "doh.ffmuc.net"];
+
+fn campaign(config: CampaignConfig) -> Campaign {
+    let entries = HOSTS
+        .iter()
+        .filter_map(|h| catalog::resolvers::find(h))
+        .collect();
+    Campaign::with_resolvers(config, entries)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "edns-flight-recorder-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn run_fresh(c: &Campaign, shards: u32, tag: &str) -> ShardedOutcome {
+    let dir = scratch_dir(tag);
+    let outcome = ShardedRunner::new(c, shards, &dir).unwrap().run(2).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    outcome
+}
+
+#[test]
+fn same_seed_runs_export_identical_recorder_documents() {
+    let c = campaign(CampaignConfig::quick(11, 2).with_default_faults());
+    let a = run_fresh(&c, 4, "repeat-a");
+    let b = run_fresh(&c, 4, "repeat-b");
+    assert!(a.journal.recorded() > 0, "faulted campaign must journal");
+    assert_eq!(a.journal.to_jsonl(), b.journal.to_jsonl());
+    assert_eq!(a.health.to_jsonl(), b.health.to_jsonl());
+    assert_eq!(
+        obs::traceview::chrome_trace(&a.spans),
+        obs::traceview::chrome_trace(&b.spans)
+    );
+    assert_eq!(a.drift, b.drift);
+}
+
+#[test]
+fn kill_and_resume_preserves_recorder_exports() {
+    let c = campaign(CampaignConfig::quick(29, 2).with_default_faults());
+    let reference = run_fresh(&c, 5, "oneshot");
+
+    let dir = scratch_dir("resume");
+    let remaining = ShardedRunner::new(&c, 5, &dir).unwrap().advance(3).unwrap();
+    assert_eq!(remaining, 2);
+    let resumed = ShardedRunner::new(&c, 5, &dir).unwrap().run(2).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // The exported (Sim) documents are byte-identical to the one-shot
+    // run's: a resume is invisible to the measured record.
+    assert_eq!(resumed.journal.to_jsonl(), reference.journal.to_jsonl());
+    assert_eq!(resumed.health.to_jsonl(), reference.health.to_jsonl());
+    assert_eq!(resumed.drift, reference.drift);
+
+    // ...but the Ops side still tells the operator what happened: the
+    // resumed shards appear in render() tagged [ops], excluded from the
+    // JSONL export.
+    let rendered = resumed.journal.render();
+    assert!(rendered.contains("shard_resume"), "{rendered}");
+    assert!(rendered.contains("[ops]"), "{rendered}");
+    assert!(!resumed.journal.to_jsonl().contains("shard_resume"));
+    assert!(!reference.journal.render().contains("shard_resume"));
+}
+
+#[test]
+fn resumed_run_counters_match_the_one_shot_run() {
+    // Satellite regression: pairs_run / records_produced are campaign-wide
+    // totals — a kill+resume must fold the checkpointed shards back in
+    // rather than reporting only the pairs this process executed.
+    let c = campaign(CampaignConfig::quick(7, 2));
+    let reference = run_fresh(&c, 4, "counters-oneshot");
+
+    let dir = scratch_dir("counters-resume");
+    ShardedRunner::new(&c, 4, &dir).unwrap().advance(2).unwrap();
+    let resumed = ShardedRunner::new(&c, 4, &dir).unwrap().run(2).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    assert_eq!(resumed.run.shards_resumed.get(), 2);
+    assert_eq!(
+        resumed.run.pairs_run.get(),
+        reference.run.pairs_run.get(),
+        "pairs_run must count resumed shards' pairs"
+    );
+    assert_eq!(
+        resumed.run.records_produced.get(),
+        reference.run.records_produced.get(),
+        "records_produced must count resumed shards' records"
+    );
+    assert_eq!(resumed.records, reference.records);
+}
+
+#[test]
+fn sharded_health_matches_the_in_memory_fold() {
+    let c = campaign(CampaignConfig::longitudinal(3, 3).with_default_faults());
+    let sharded = run_fresh(&c, 6, "fold");
+    let reference = HealthSeries::of(&c, &c.run().records);
+    assert_eq!(sharded.health.to_jsonl(), reference.to_jsonl());
+    assert_eq!(sharded.health.probes(), c.probe_count() as u64);
+    assert_eq!(
+        sharded.drift,
+        detect_drift(&reference.resolver_rows(), &DriftConfig::default())
+    );
+}
+
+#[test]
+fn drift_findings_are_journaled_under_their_code() {
+    // 12 faulted longitudinal days: enough for the trailing baseline to
+    // arm and the seeded outage/brownout windows to trip the detector.
+    let c = campaign(CampaignConfig::longitudinal(11, 12).with_default_faults());
+    let outcome = run_fresh(&c, 4, "drift");
+    assert!(
+        !outcome.drift.is_empty(),
+        "the seeded fault plan must produce drift findings"
+    );
+    for f in &outcome.drift {
+        let code = f.kind.code();
+        let matched = outcome.journal.events().any(|e| {
+            e.code == code && e.data.resolver == Some(f.resolver) && e.data.day == Some(f.day)
+        });
+        assert!(matched, "finding {f:?} has no journal event");
+    }
+}
+
+#[test]
+fn disabling_the_journal_does_not_change_measured_output() {
+    let c = campaign(CampaignConfig::quick(13, 2).with_default_faults());
+    let dir_on = scratch_dir("on");
+    let on = ShardedRunner::new(&c, 3, &dir_on).unwrap().run(2).unwrap();
+    let jsonl_on = std::fs::read_to_string(&on.jsonl_path).unwrap();
+    std::fs::remove_dir_all(&dir_on).unwrap();
+
+    let dir_off = scratch_dir("off");
+    let off = ShardedRunner::new(&c, 3, &dir_off)
+        .unwrap()
+        .with_journal_capacity(0)
+        .run(2)
+        .unwrap();
+    let jsonl_off = std::fs::read_to_string(&off.jsonl_path).unwrap();
+    std::fs::remove_dir_all(&dir_off).unwrap();
+
+    assert!(on.journal.is_enabled());
+    assert!(!off.journal.is_enabled());
+    assert_eq!(off.journal.recorded(), 0);
+    assert_eq!(jsonl_on, jsonl_off, "recorder must be output-neutral");
+    // Health and drift stay on either way: they feed the checkpoint
+    // manifest, not the journal.
+    assert_eq!(on.health.to_jsonl(), off.health.to_jsonl());
+    assert_eq!(on.drift, off.drift);
+}

@@ -21,6 +21,14 @@
 //! * [`clock`] — the audited wall-clock shim: the one sanctioned home for
 //!   real-time reads (operator-facing progress output only; results run
 //!   purely in simulated time). Enforced by `cargo xtask lint`.
+//! * [`journal`] — the campaign flight recorder's bounded, severity-leveled
+//!   structured event journal: `Copy` events in simulated time, zero
+//!   allocations on record, deterministic `events.jsonl` export.
+//! * [`timeseries`] — generic `(track, day) → cell` series storage with
+//!   deterministic iteration and merging; `measure::health` builds the
+//!   per-(resolver, day) health model on it.
+//! * [`traceview`] — [`SpanLog`] → Chrome trace-event JSON, so probe
+//!   phase timelines and shard schedules render in `chrome://tracing`.
 //!
 //! Timestamps are raw simulated-time nanoseconds (`u64`); the simulator's
 //! `SimTime` converts losslessly via its `as_nanos`.
@@ -30,12 +38,16 @@
 
 pub mod clock;
 pub mod intern;
+pub mod journal;
 mod metrics;
 mod phase;
 pub mod sharding;
 mod span;
+pub mod timeseries;
+pub mod traceview;
 
 pub use intern::Label;
+pub use journal::{EventClass, EventData, EventLevel, Journal, JournalEvent};
 pub use metrics::{
     CellMetrics, CellSnapshot, Counter, Gauge, Histogram, MetricKey, MetricsRegistry,
     MetricsSnapshot, LATENCY_BUCKETS_MS,
@@ -43,3 +55,5 @@ pub use metrics::{
 pub use phase::Phase;
 pub use sharding::ShardRunMetrics;
 pub use span::{Nanos, Span, SpanEvent, SpanEventKind, SpanLog};
+pub use timeseries::DaySeries;
+pub use traceview::ChromeTrace;

@@ -23,11 +23,15 @@ pub struct ShardRunMetrics {
     pub shards_executed: Counter,
     /// Shards adopted from valid checkpoints instead of re-running.
     pub shards_resumed: Counter,
-    /// (vantage, resolver) pairs probed by this run.
+    /// (vantage, resolver) pairs completed campaign-wide: pairs executed
+    /// by this run **plus** pairs folded in from resumed checkpoints, so
+    /// the total after a kill+resume equals the one-shot total.
     pub pairs_run: Counter,
-    /// Probe records produced by this run's executed shards.
+    /// Probe records completed campaign-wide (this run's executed shards
+    /// plus resumed checkpoints — equals the one-shot total after resume).
     pub records_produced: Counter,
-    /// Bytes of shard checkpoint data written by this run.
+    /// Bytes of shard checkpoint data written by this run (process-local
+    /// I/O telemetry; a resume does not inherit earlier runs' writes).
     pub checkpoint_bytes: Counter,
     /// Manifest rewrites performed by this run.
     pub manifest_writes: Counter,

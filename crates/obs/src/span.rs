@@ -302,6 +302,48 @@ mod tests {
     }
 
     #[test]
+    fn overflow_preserves_arrival_order_of_survivors() {
+        // Mixed enter/exit/instant traffic through a tiny ring: survivors
+        // are exactly the most recent `capacity` events, still in arrival
+        // order across the wrap point.
+        let mut log = SpanLog::with_capacity(3);
+        log.enter(0, "a");
+        log.instant(1, "x");
+        log.exit(2, "a");
+        log.enter(3, "b");
+        log.exit(4, "b");
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.dropped(), 2);
+        let survivors: Vec<(Nanos, SpanEventKind)> = log.events().map(|e| (e.at, e.kind)).collect();
+        assert_eq!(
+            survivors,
+            vec![
+                (2, SpanEventKind::Exit),
+                (3, SpanEventKind::Enter),
+                (4, SpanEventKind::Exit),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_ring_still_reconstructs_complete_spans() {
+        // The "a" enter was overwritten; its orphaned exit is tolerated
+        // and the intact "b" span still reconstructs.
+        let mut log = SpanLog::with_capacity(3);
+        log.enter(0, "a");
+        log.instant(1, "x");
+        log.exit(2, "a");
+        log.enter(3, "b");
+        log.exit(4, "b");
+        let spans = log.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "b");
+        assert_eq!(spans[0].duration(), 1);
+        // The overflow counter reports exactly what the render footnotes.
+        assert!(log.render().contains("(2 earlier events dropped)"));
+    }
+
+    #[test]
     fn render_is_deterministic() {
         let build = || {
             let mut log = SpanLog::with_capacity(8);

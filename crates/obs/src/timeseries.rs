@@ -1,0 +1,140 @@
+//! Generic day-indexed, mergeable timeseries storage.
+//!
+//! [`DaySeries`] is the container under the campaign health model
+//! (`measure::health`): a sparse map from `(track, day)` to a mergeable
+//! cell, where *track* is a small integer identifying the series (a pair
+//! index, a resolver index — the caller decides) and *day* is a campaign
+//! day index. Memory is O(populated cells), independent of probe volume.
+//!
+//! Determinism: storage is a `BTreeMap` over integer keys, so iteration
+//! order is a pure function of the inserted keys — never of hash state or
+//! insertion order — and [`merge_from`](DaySeries::merge_from) folds in
+//! that same canonical order. The cell type supplies its own merge; the
+//! container never reorders observations within a cell.
+
+use std::collections::BTreeMap;
+
+/// A sparse `(track, day) → cell` series with deterministic iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaySeries<T> {
+    cells: BTreeMap<(u32, u32), T>,
+}
+
+impl<T> Default for DaySeries<T> {
+    fn default() -> Self {
+        DaySeries {
+            cells: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T> DaySeries<T> {
+    /// An empty series.
+    pub fn new() -> DaySeries<T> {
+        DaySeries::default()
+    }
+
+    /// Populated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell is populated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell at `(track, day)`, if populated.
+    pub fn get(&self, track: u32, day: u32) -> Option<&T> {
+        self.cells.get(&(track, day))
+    }
+
+    /// Iterates `((track, day), cell)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), &T)> {
+        self.cells.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The largest populated day index, if any.
+    pub fn max_day(&self) -> Option<u32> {
+        self.cells.keys().map(|&(_, d)| d).max()
+    }
+
+    /// Inserts a cell wholesale, replacing any existing one (checkpoint
+    /// install path).
+    pub fn insert(&mut self, track: u32, day: u32, cell: T) {
+        self.cells.insert((track, day), cell);
+    }
+}
+
+impl<T: Default> DaySeries<T> {
+    /// The cell at `(track, day)`, created default-empty if absent.
+    pub fn cell_mut(&mut self, track: u32, day: u32) -> &mut T {
+        self.cells.entry((track, day)).or_default()
+    }
+}
+
+impl<T: Default + Clone> DaySeries<T> {
+    /// Folds `other` into `self`, cell by cell in ascending key order,
+    /// using `merge` for cells present on both sides. A left-fold over a
+    /// sequence of series in a fixed order is therefore deterministic
+    /// whenever `merge` is.
+    pub fn merge_from(&mut self, other: &DaySeries<T>, mut merge: impl FnMut(&mut T, &T)) {
+        for (&key, cell) in &other.cells {
+            merge(self.cells.entry(key).or_default(), cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_default_and_accumulate() {
+        let mut s: DaySeries<u64> = DaySeries::new();
+        *s.cell_mut(1, 0) += 5;
+        *s.cell_mut(1, 0) += 2;
+        *s.cell_mut(0, 3) += 1;
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1, 0), Some(&7));
+        assert_eq!(s.get(2, 0), None);
+        assert_eq!(s.max_day(), Some(3));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut s: DaySeries<u64> = DaySeries::new();
+        s.insert(2, 1, 10);
+        s.insert(0, 5, 20);
+        s.insert(2, 0, 30);
+        let keys: Vec<(u32, u32)> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![(0, 5), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn merge_from_folds_matching_cells() {
+        let mut a: DaySeries<u64> = DaySeries::new();
+        a.insert(0, 0, 1);
+        a.insert(1, 2, 10);
+        let mut b: DaySeries<u64> = DaySeries::new();
+        b.insert(0, 0, 100);
+        b.insert(3, 1, 7);
+        a.merge_from(&b, |x, y| *x += *y);
+        assert_eq!(a.get(0, 0), Some(&101));
+        assert_eq!(a.get(1, 2), Some(&10));
+        assert_eq!(a.get(3, 1), Some(&7));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merge_order_is_deterministic() {
+        // Two different construction orders, same final state.
+        let mut a: DaySeries<Vec<u32>> = DaySeries::new();
+        a.cell_mut(1, 1).push(1);
+        a.cell_mut(0, 0).push(2);
+        let mut b: DaySeries<Vec<u32>> = DaySeries::new();
+        b.cell_mut(0, 0).push(2);
+        b.cell_mut(1, 1).push(1);
+        assert_eq!(a, b);
+    }
+}

@@ -23,6 +23,7 @@ pub mod csv;
 pub mod experiments;
 pub mod export;
 pub mod figure;
+pub mod health_report;
 pub mod metrics_export;
 pub mod sketch_report;
 pub mod table;

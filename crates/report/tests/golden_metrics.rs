@@ -1,0 +1,68 @@
+//! Golden-fixture regression for the metrics exports: a fixed-seed
+//! campaign must reproduce `tests/golden/metrics_seed4.{json,csv}`
+//! byte-for-byte. Any drift — key order, float formatting, CSV quoting,
+//! a renamed counter — fails here before it silently invalidates
+//! downstream tooling that parses these documents.
+//!
+//! After an *intentional* format change, regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin golden_regen
+//! ```
+
+use measure::{metrics_of, Campaign, CampaignConfig};
+use report::{metrics_csv, metrics_json};
+
+fn snapshot() -> obs::MetricsSnapshot {
+    // Must mirror the baseline campaign in bench's golden_regen bin.
+    let entries = [
+        "dns.google",
+        "dns.quad9.net",
+        "doh.ffmuc.net",
+        "chewbacca.meganerd.nl",
+    ]
+    .into_iter()
+    .map(|h| catalog::resolvers::find(h).unwrap())
+    .collect();
+    let result = Campaign::with_resolvers(CampaignConfig::quick(4, 3), entries).run();
+    metrics_of(&result.records)
+}
+
+#[test]
+fn metrics_json_matches_golden_bytes() {
+    let golden = include_str!("golden/metrics_seed4.json");
+    let mut json = metrics_json(&snapshot()).to_string_compact();
+    json.push('\n');
+    assert_eq!(
+        json, golden,
+        "metrics JSON drifted from the golden fixture; if intentional, \
+         regenerate with `cargo run --release -p bench --bin golden_regen`"
+    );
+}
+
+#[test]
+fn metrics_csv_matches_golden_bytes() {
+    let golden = include_str!("golden/metrics_seed4.csv");
+    assert_eq!(
+        metrics_csv(&snapshot()).render(),
+        golden,
+        "metrics CSV drifted from the golden fixture; if intentional, \
+         regenerate with `cargo run --release -p bench --bin golden_regen`"
+    );
+}
+
+#[test]
+fn golden_json_is_parseable_and_self_consistent() {
+    // The fixture itself must stay a valid document: parse it back and
+    // cross-check a structural invariant rather than trusting bytes alone.
+    let golden = include_str!("golden/metrics_seed4.json");
+    let doc = measure::json::parse(golden.trim_end()).expect("golden JSON must parse");
+    let cells = doc
+        .get("cells")
+        .and_then(|c| c.as_array())
+        .expect("golden JSON must carry a cells array");
+    assert!(!cells.is_empty());
+    let csv_rows = report::csv::parse(include_str!("golden/metrics_seed4.csv"));
+    // One CSV data row per JSON cell (the CSV adds a header line).
+    assert_eq!(csv_rows.len(), cells.len() + 1);
+}

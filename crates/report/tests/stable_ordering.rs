@@ -103,6 +103,43 @@ fn metrics_export_structure_is_seed_independent() {
 }
 
 #[test]
+fn health_report_structure_is_seed_independent() {
+    // The flight recorder's health table must keep identical
+    // (resolver, day) row skeletons across seeds: only the measured
+    // values may differ.
+    let skeleton = |seed: u64| -> (Vec<(String, String)>, String) {
+        let entries = HOSTS
+            .iter()
+            .filter_map(|h| catalog::resolvers::find(h))
+            .collect();
+        let c = Campaign::with_resolvers(CampaignConfig::quick(seed, 2), entries);
+        let result = c.run();
+        let rows = measure::HealthSeries::of(&c, &result.records).resolver_rows();
+        let text = report::health_report::health_table(&rows).render();
+        let keys = text
+            .lines()
+            .skip(2) // header + separator
+            .filter_map(|l| {
+                let mut cols = l.split_whitespace();
+                Some((cols.next()?.to_string(), cols.next()?.to_string()))
+            })
+            .collect();
+        (keys, text)
+    };
+    let (keys_a, text_a) = skeleton(11);
+    let (keys_b, text_b) = skeleton(97);
+    assert!(!keys_a.is_empty());
+    assert_eq!(
+        keys_a, keys_b,
+        "health (resolver, day) row order must be stable"
+    );
+    assert_ne!(
+        text_a, text_b,
+        "different seeds must produce different values"
+    );
+}
+
+#[test]
 fn sketch_table_structure_is_seed_independent() {
     // The sketch-backed summary tables must keep identical row labels and
     // column structure across seeds: only the measured values may differ.

@@ -7,6 +7,12 @@
 //! sketches) stay bounded at one cell per (vantage, resolver) pair no
 //! matter how many simulated days the campaign spans.
 //!
+//! The run flies with the full flight recorder on: a structured event
+//! journal stamped in simulated time, a per-(resolver, day) health
+//! timeseries with drift detection against a trailing-window baseline,
+//! and a Chrome trace of the shard timeline — all exported under
+//! `target/edns-bench-out/`.
+//!
 //! ```sh
 //! cargo run --release --example longitudinal_campaign              # 14 days
 //! cargo run --release --example longitudinal_campaign -- --days 60
@@ -15,13 +21,15 @@
 //! The equivalent CLI workflow:
 //!
 //! ```sh
-//! edns-measure campaign --days 60 --shards 16 --checkpoint-dir ckpt --out out.jsonl
+//! edns-measure campaign --days 60 --shards 16 --checkpoint-dir ckpt \
+//!     --out out.jsonl --events events.jsonl --health health.jsonl \
+//!     --trace-out trace.json --progress
 //! ```
 
 use std::path::Path;
 
 use edns_bench::measure::{Campaign, CampaignConfig, ShardedRunner};
-use edns_bench::report::sketch_report;
+use edns_bench::report::{health_report, sketch_report};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,8 +41,16 @@ fn main() {
         .unwrap_or(14);
     let shards = 16u32;
     let seed = 2023;
+    // `--faults` runs under the seeded fault plan (with dig-default
+    // retries): the journal picks up the outage/brownout windows and the
+    // drift detector has something to find.
+    let faults = args.iter().any(|a| a == "--faults");
 
-    let campaign = Campaign::new(CampaignConfig::longitudinal(seed, days));
+    let mut config = CampaignConfig::longitudinal(seed, days);
+    if faults {
+        config = config.with_default_faults();
+    }
+    let campaign = Campaign::new(config);
     eprintln!(
         "Longitudinal campaign: {} simulated days, {} probes over {} resolvers, {} shards",
         days,
@@ -43,8 +59,15 @@ fn main() {
         shards,
     );
 
-    let dir = Path::new("target/edns-bench-out/longitudinal-ckpt");
-    let runner = ShardedRunner::new(&campaign, shards, dir).expect("configure sharded runner");
+    let out_dir = Path::new("target/edns-bench-out");
+    let dir = out_dir.join(if faults {
+        "longitudinal-ckpt-faulted"
+    } else {
+        "longitudinal-ckpt"
+    });
+    let runner = ShardedRunner::new(&campaign, shards, &dir)
+        .expect("configure sharded runner")
+        .with_progress(true);
     let start = edns_bench::obs::clock::Stopwatch::start();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -59,8 +82,39 @@ fn main() {
         outcome.jsonl_path.display(),
     );
 
+    // Flight recorder exports: the structured event journal (simulated
+    // time), the per-(resolver, day) health series, and a Chrome trace of
+    // the shard timeline (load trace.json in chrome://tracing).
+    std::fs::write(out_dir.join("events.jsonl"), outcome.journal.to_jsonl()).expect("write events");
+    std::fs::write(out_dir.join("health.jsonl"), outcome.health.to_jsonl()).expect("write health");
+    std::fs::write(
+        out_dir.join("trace.json"),
+        edns_bench::obs::traceview::chrome_trace(&outcome.spans),
+    )
+    .expect("write trace");
+    eprintln!(
+        "flight recorder: {} events ({} warnings) -> {}/events.jsonl, health.jsonl, trace.json\n",
+        outcome.journal.recorded(),
+        outcome.journal.count_at(edns_bench::obs::EventLevel::Warn),
+        out_dir.display(),
+    );
+
     // The summary tables render straight from the bounded-memory sketch
-    // cells — no re-reading of the (potentially huge) JSONL stream.
+    // cells — no re-reading of the (potentially huge) JSONL stream. The
+    // full per-day health table lives in health.jsonl; stdout carries
+    // only the drift findings the detector raised against each
+    // resolver's trailing-window baseline.
     println!("{}", sketch_report::render(&outcome.aggregates));
+    if outcome.drift.is_empty() {
+        println!(
+            "== drift findings ==\nno drift detected across {} resolver-days\n",
+            outcome.health.resolver_rows().len()
+        );
+    } else {
+        println!(
+            "== drift findings ==\n{}",
+            health_report::drift_table(&outcome.drift).render()
+        );
+    }
     println!("{}", outcome.run.render());
 }
