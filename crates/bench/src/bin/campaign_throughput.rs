@@ -1,15 +1,25 @@
 //! Campaign hot-path throughput check: runs a full-population campaign and
-//! reports probes/sec (serial and parallel), JSONL serialization bytes/sec,
-//! metrics-aggregation probes/sec, and the end-to-end pipeline rate
-//! (probe → merge → JSONL → metrics) as one JSON object on stdout.
+//! reports a staged breakdown — probe generation (the arena/`PairContext`
+//! fast path, measured separately per worker-thread count), merge/assembly,
+//! JSONL serialization, metrics aggregation, flight-recorder overhead, and
+//! the end-to-end pipeline rate — as one JSON object on stdout.
 //!
-//! Used two ways:
+//! Used three ways:
 //!
 //! * `cargo run --release -p bench --bin campaign_throughput` — the numbers
-//!   recorded in `BENCH_campaign.json` at the repo root;
-//! * `cargo run --release -p bench --bin campaign_throughput -- --quick`
-//!   — the CI smoke profile: a smaller campaign plus a hard floor on the
-//!   pipeline rate so hot-path regressions fail the workflow loudly.
+//!   recorded in `BENCH_campaign.json` at the repo root, including the
+//!   1/2/4/8-thread probe-generation sweep;
+//! * `-- --quick` — the CI smoke profile: a smaller campaign plus hard
+//!   floors on the single-thread probe-generation and pipeline rates so
+//!   hot-path regressions fail the workflow loudly;
+//! * `-- --quick --threads 1,2,4` — the CI scaling profile: the same
+//!   floors plus a parallel-efficiency floor at the highest requested
+//!   thread count (enforced only when the machine actually has that many
+//!   cores — a 1-core runner still checks byte-identity, not speedup).
+//!
+//! Every sweep entry's assembled output is asserted byte-identical to the
+//! serial run before any timing is reported: a thread count that changed
+//! a single record is a correctness bug, not a data point.
 
 // Bench harness: real elapsed time is the measurement itself.
 #![allow(clippy::disallowed_methods)]
@@ -20,10 +30,24 @@ use measure::{metrics_of, Campaign, CampaignConfig};
 
 /// CI floor for the quick profile, in end-to-end pipeline probes/sec
 /// (probe + merge + JSONL + metrics). The pre-interning implementation
-/// measured ~2.1e4 on the reference container; the streaming hot path
-/// clears 7e4. Tripping this floor means the hot path lost its ≥2×
-/// advantage over the old tree-serializing, globally-sorting pipeline.
-const QUICK_FLOOR_PIPELINE_PROBES_PER_SEC: f64 = 40_000.0;
+/// measured ~2.1e4 on the reference container, the streaming hot path
+/// ~6.1e4, and the arena/`PairContext` fast path ~1.0e5. Tripping this
+/// floor means probe generation lost the fast path's advantage (hoisted
+/// wire templates regressing to per-probe rebuilds shows up here first).
+const QUICK_FLOOR_PIPELINE_PROBES_PER_SEC: f64 = 55_000.0;
+
+/// CI floor on single-thread probe generation alone (the `generate`
+/// stage, before merge/serialization). The fast path measures ~1.3e5 on
+/// the reference container vs ~8.4e4 for the pre-context path; the floor
+/// sits above the old rate so losing the hoisting cannot pass CI.
+const QUICK_FLOOR_PROBE_GEN_PROBES_PER_SEC: f64 = 90_000.0;
+
+/// Minimum parallel efficiency — `pps(n) / (n · pps(1))` — at the highest
+/// swept thread count, enforced only when the host really has that many
+/// cores. Probe generation is embarrassingly parallel over pairs, so
+/// anything below 0.7 means a new serial bottleneck (a shared lock, a
+/// global allocator fight) crept into the per-pair path.
+const QUICK_FLOOR_SCALING_EFFICIENCY: f64 = 0.7;
 
 /// CI ceiling for the flight recorder's share of the pipeline: folding
 /// the per-(resolver, day) health series plus running the drift detector
@@ -38,9 +62,28 @@ fn campaign(rounds: u32) -> Campaign {
     Campaign::new(CampaignConfig::quick(42, rounds))
 }
 
+/// Parses `--threads a,b,c` from the argument list (default `1,2,4,8`).
+fn thread_sweep(args: &[String]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|n| n.trim().parse().expect("--threads takes e.g. 1,2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let rounds = if quick { 6 } else { 40 };
+    let sweep = thread_sweep(&args);
+    assert!(
+        sweep.contains(&1),
+        "the sweep needs a 1-thread baseline row"
+    );
 
     // Warm up lazy statics (catalog tables, label interner) outside the
     // timed region.
@@ -48,18 +91,42 @@ fn main() {
 
     let c = campaign(rounds);
     let probes = c.probe_count() as f64;
-
-    let t = Instant::now();
-    let serial = c.run();
-    let serial_s = t.elapsed().as_secs_f64();
-
-    let threads = std::thread::available_parallelism()
+    let cores = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4);
+        .unwrap_or(1);
+
+    // Probe-generation sweep: time `generate(t)` for each thread count,
+    // then assemble and pin byte-identity against the serial result.
+    let mut rows = Vec::new();
+    let mut serial: Option<measure::CampaignResult> = None;
+    let mut serial_gen_s = 0.0;
+    for &threads in &sweep {
+        let t = Instant::now();
+        let generated = c.generate(threads);
+        let gen_s = t.elapsed().as_secs_f64();
+        assert_eq!(generated.record_count() as f64, probes);
+        let result = c.assemble(generated);
+        match &serial {
+            None => {
+                serial_gen_s = gen_s;
+                serial = Some(result);
+            }
+            Some(base) => assert_eq!(
+                base.records, result.records,
+                "{threads}-thread generate diverged from serial"
+            ),
+        }
+        rows.push((threads, gen_s, probes / gen_s));
+    }
+    let serial = serial.expect("sweep starts at 1 thread");
+
+    // Merge/assembly stage, timed on a fresh single-thread generation so
+    // the pipeline total below is an honest serial end-to-end figure.
+    let generated = c.generate(1);
     let t = Instant::now();
-    let parallel = c.run_parallel(threads);
-    let parallel_s = t.elapsed().as_secs_f64();
-    assert_eq!(serial.records, parallel.records, "parallel determinism");
+    let assembled = c.assemble(generated);
+    let assemble_s = t.elapsed().as_secs_f64();
+    assert_eq!(assembled.records, serial.records, "assembly determinism");
 
     let t = Instant::now();
     let jsonl = serial.to_json_lines();
@@ -79,28 +146,42 @@ fn main() {
     let recorder_s = t.elapsed().as_secs_f64();
     assert_eq!(health.probes() as f64, probes, "recorder saw every probe");
 
-    let serial_pps = probes / serial_s;
-    let parallel_pps = probes / parallel_s;
-    let pipeline_s = serial_s + jsonl_s + metrics_s;
+    let probe_gen_pps = probes / serial_gen_s;
+    let pipeline_s = serial_gen_s + assemble_s + jsonl_s + metrics_s;
     let pipeline_pps = probes / pipeline_s;
     let recorder_overhead = recorder_s / pipeline_s;
+
+    let sweep_json: Vec<String> = rows
+        .iter()
+        .map(|(threads, gen_s, pps)| {
+            let efficiency = pps / (*threads as f64 * probe_gen_pps);
+            format!(
+                concat!(
+                    "{{\"threads\":{},\"probe_gen_s\":{:.3},",
+                    "\"probe_gen_probes_per_sec\":{:.0},\"scaling_efficiency\":{:.2}}}"
+                ),
+                threads, gen_s, pps, efficiency
+            )
+        })
+        .collect();
+
     println!(
         concat!(
-            "{{\"profile\":\"{}\",\"probes\":{},\"threads\":{},",
-            "\"serial_s\":{:.3},\"serial_probes_per_sec\":{:.0},",
-            "\"parallel_s\":{:.3},\"parallel_probes_per_sec\":{:.0},",
+            "{{\"profile\":\"{}\",\"probes\":{},\"cores\":{},",
+            "\"probe_gen_s\":{:.3},\"probe_gen_probes_per_sec\":{:.0},",
+            "\"assemble_s\":{:.3},",
             "\"jsonl_bytes\":{},\"jsonl_s\":{:.3},\"jsonl_mb_per_sec\":{:.1},",
             "\"metrics_s\":{:.3},\"metrics_probes_per_sec\":{:.0},",
             "\"recorder_s\":{:.4},\"recorder_overhead\":{:.4},\"drift_findings\":{},",
-            "\"pipeline_s\":{:.3},\"pipeline_probes_per_sec\":{:.0}}}"
+            "\"pipeline_s\":{:.3},\"pipeline_probes_per_sec\":{:.0},",
+            "\"thread_sweep\":[{}]}}"
         ),
         if quick { "quick" } else { "full" },
         probes as u64,
-        threads,
-        serial_s,
-        serial_pps,
-        parallel_s,
-        parallel_pps,
+        cores,
+        serial_gen_s,
+        probe_gen_pps,
+        assemble_s,
         jsonl_bytes as u64,
         jsonl_s,
         jsonl_bytes / jsonl_s / 1e6,
@@ -111,20 +192,50 @@ fn main() {
         findings.len(),
         pipeline_s,
         pipeline_pps,
+        sweep_json.join(","),
     );
 
-    if quick && pipeline_pps < QUICK_FLOOR_PIPELINE_PROBES_PER_SEC {
+    if !quick {
+        return;
+    }
+    let mut failed = false;
+    if pipeline_pps < QUICK_FLOOR_PIPELINE_PROBES_PER_SEC {
         eprintln!(
             "FAIL: pipeline throughput {pipeline_pps:.0} probes/sec below floor {QUICK_FLOOR_PIPELINE_PROBES_PER_SEC:.0}"
         );
-        std::process::exit(1);
+        failed = true;
     }
-    if quick && recorder_overhead > QUICK_CEILING_RECORDER_OVERHEAD {
+    if probe_gen_pps < QUICK_FLOOR_PROBE_GEN_PROBES_PER_SEC {
+        eprintln!(
+            "FAIL: single-thread probe generation {probe_gen_pps:.0} probes/sec below floor {QUICK_FLOOR_PROBE_GEN_PROBES_PER_SEC:.0}"
+        );
+        failed = true;
+    }
+    if recorder_overhead > QUICK_CEILING_RECORDER_OVERHEAD {
         eprintln!(
             "FAIL: flight recorder overhead {:.2}% of pipeline exceeds ceiling {:.0}%",
             recorder_overhead * 100.0,
             QUICK_CEILING_RECORDER_OVERHEAD * 100.0
         );
+        failed = true;
+    }
+    // Scaling floor: only meaningful where the OS actually grants the
+    // parallelism — a 1-core container still validated byte-identity above.
+    let &(top_threads, _, top_pps) = rows.iter().max_by_key(|(t, _, _)| *t).unwrap();
+    if top_threads > 1 && cores >= top_threads {
+        let efficiency = top_pps / (top_threads as f64 * probe_gen_pps);
+        if efficiency < QUICK_FLOOR_SCALING_EFFICIENCY {
+            eprintln!(
+                "FAIL: {top_threads}-thread probe generation efficiency {efficiency:.2} below floor {QUICK_FLOOR_SCALING_EFFICIENCY}"
+            );
+            failed = true;
+        }
+    } else if top_threads > 1 {
+        eprintln!(
+            "note: scaling floor skipped — host has {cores} core(s), sweep tops out at {top_threads} threads"
+        );
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -32,8 +32,16 @@ fn main() {
 
     // Baseline: retries disabled, no fault plan. This fixture predates the
     // retry layer and must never change when retry/fault code does — the
-    // disabled layer is byte-transparent.
-    let result = Campaign::with_resolvers(CampaignConfig::quick(4, 3), entries()).run();
+    // disabled layer is byte-transparent. Regenerated under 4 worker
+    // threads and asserted against the serial run, so a fixture can never
+    // be written from a thread count that would change its bytes.
+    let baseline = Campaign::with_resolvers(CampaignConfig::quick(4, 3), entries());
+    let result = baseline.run();
+    assert_eq!(
+        result.records,
+        baseline.run_parallel(4).records,
+        "4-thread regeneration must be byte-identical to serial"
+    );
     std::fs::write(dir.join("campaign_seed4.jsonl"), result.to_json_lines()).unwrap();
     std::fs::write(
         dir.join("campaign_seed4.metrics.txt"),
@@ -44,9 +52,14 @@ fn main() {
 
     // Extended schema: the same campaign under dig-default retries and the
     // seeded fault plan, pinning the per-attempt accounting keys.
-    let faulted =
-        Campaign::with_resolvers(CampaignConfig::quick(4, 3).with_default_faults(), entries())
-            .run();
+    let faulted_campaign =
+        Campaign::with_resolvers(CampaignConfig::quick(4, 3).with_default_faults(), entries());
+    let faulted = faulted_campaign.run();
+    assert_eq!(
+        faulted.records,
+        faulted_campaign.run_parallel(4).records,
+        "4-thread faulted regeneration must be byte-identical to serial"
+    );
     std::fs::write(
         dir.join("campaign_seed4_retries.jsonl"),
         faulted.to_json_lines(),

@@ -41,7 +41,8 @@ fn peak_rss_kb() -> u64 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let (days, shards, kill_after) = if quick {
         (20, 16u32, 3)
     } else {
@@ -58,9 +59,18 @@ fn main() {
 
     let dir = std::env::temp_dir().join(format!("edns-longitudinal-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    // `--threads N` pins the worker count (the scaling CI step sweeps it);
+    // the default tracks the host so local runs use every core.
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse().expect("--threads takes a worker count"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
 
     let t = Instant::now();
     // Phase 1: run a few shards, then drop the runner — the kill.

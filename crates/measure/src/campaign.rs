@@ -20,6 +20,7 @@ use netsim::rng::SimRng;
 use obs::{Label, MetricsRegistry, MetricsSnapshot, Phase};
 
 use crate::config::CampaignConfig;
+use crate::context::PairContext;
 use crate::probe::{ProbeTarget, Prober};
 use crate::results::{ProbeOutcome, ProbeRecord};
 use crate::vantage::Vantage;
@@ -149,6 +150,24 @@ pub fn metrics_of(records: &[ProbeRecord]) -> MetricsSnapshot {
     registry.snapshot()
 }
 
+/// The output of the campaign's generation stage: one record stream per
+/// (vantage, resolver) pair, each already in canonical per-pair order.
+/// Produced by [`Campaign::generate`], consumed by [`Campaign::assemble`];
+/// the split exists so benches can time probe generation separately from
+/// the k-way merge.
+#[derive(Debug)]
+pub struct GeneratedPairs {
+    pub(crate) plans: Vec<PairPlan>,
+    pub(crate) outputs: Vec<Vec<ProbeRecord>>,
+}
+
+impl GeneratedPairs {
+    /// Total records generated across all pairs.
+    pub fn record_count(&self) -> usize {
+        self.outputs.iter().map(Vec::len).sum()
+    }
+}
+
 /// One queried domain, parsed and interned once per campaign.
 #[derive(Debug, Clone)]
 struct CampaignDomain {
@@ -273,19 +292,44 @@ impl Campaign {
 
     /// Runs every probe on the calling thread.
     pub fn run(&self) -> CampaignResult {
+        self.assemble(self.generate(1))
+    }
+
+    /// Runs the campaign across `threads` worker threads (deterministic —
+    /// identical output to [`run`](Self::run) at any thread count).
+    pub fn run_parallel(&self, threads: usize) -> CampaignResult {
+        self.assemble(self.generate(threads))
+    }
+
+    /// [`run`](Self::run) through the per-probe reference path (no
+    /// [`PairContext`], no arena, no wire-template caches). Slower but
+    /// structurally independent of the fast path: the arena differential
+    /// proptest pins `run()` byte-identical to this across seeds, fault
+    /// plans and retry policies.
+    #[doc(hidden)]
+    pub fn run_reference(&self) -> CampaignResult {
         let plans = self.pair_plans();
-        let outputs: Vec<Vec<ProbeRecord>> = plans.iter().map(|p| self.run_pair(p)).collect();
+        let outputs: Vec<Vec<ProbeRecord>> =
+            plans.iter().map(|p| self.run_pair_reference(p)).collect();
         CampaignResult {
             records: self.merge_pairs(outputs, &plans),
             seed: self.config.seed,
         }
     }
 
-    /// Runs the campaign across `threads` worker threads (deterministic —
-    /// identical output to [`run`](Self::run) at any thread count).
-    pub fn run_parallel(&self, threads: usize) -> CampaignResult {
+    /// The generation stage: runs every (vantage, resolver) pair — across
+    /// `threads` worker threads when `threads > 1` — and returns the
+    /// per-pair record streams, each already in canonical order. Output is
+    /// independent of the thread count; [`assemble`](Self::assemble)
+    /// merges the streams into a [`CampaignResult`]. Split out so the
+    /// bench harness can time generation separately from the merge.
+    pub fn generate(&self, threads: usize) -> GeneratedPairs {
         let plans = self.pair_plans();
         let threads = threads.max(1).min(plans.len().max(1));
+        if threads == 1 {
+            let outputs: Vec<Vec<ProbeRecord>> = plans.iter().map(|p| self.run_pair(p)).collect();
+            return GeneratedPairs { plans, outputs };
+        }
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut outputs: Vec<Vec<ProbeRecord>> = Vec::new();
         outputs.resize_with(plans.len(), Vec::new);
@@ -315,6 +359,13 @@ impl Campaign {
                 }
             }
         });
+        GeneratedPairs { plans, outputs }
+    }
+
+    /// The merge stage: combines generated pair streams into the final
+    /// canonical-order result.
+    pub fn assemble(&self, generated: GeneratedPairs) -> CampaignResult {
+        let GeneratedPairs { plans, outputs } = generated;
         CampaignResult {
             records: self.merge_pairs(outputs, &plans),
             seed: self.config.seed,
@@ -355,7 +406,79 @@ impl Campaign {
 
     /// Runs the full probe series for one (vantage, resolver) pair,
     /// returning its records in canonical (time, domain) order.
+    ///
+    /// Pair-constant work — routing, fault scope matching, query and HTTP
+    /// wire templates — is hoisted into a [`PairContext`] built once here;
+    /// each probe then borrows it through the arena-backed fast path. The
+    /// output is byte-identical to
+    /// [`run_pair_reference`](Self::run_pair_reference), which keeps the
+    /// per-probe reference build as the differential anchor.
     pub(crate) fn run_pair(&self, plan: &PairPlan) -> Vec<ProbeRecord> {
+        let vantage = &plan.vantage;
+        let entry = &plan.entry;
+        let prober = Prober::new();
+        let mut target = ProbeTarget::from_entry(entry.clone());
+        let mut rng = SimRng::derived(
+            self.config.seed,
+            &format!("probe:{}:{}", vantage.label, entry.hostname),
+        );
+        let mut ctx = PairContext::build(
+            &prober,
+            vantage,
+            &target,
+            self.config.probe,
+            &self.config.faults,
+            self.domains.iter().map(|d| &d.name),
+        );
+
+        let mut records = Vec::new();
+        for span in &self.config.spans {
+            if !span.vantages.contains(&vantage.label) {
+                continue;
+            }
+            for at in span.round_times() {
+                for (domain_idx, domain) in self.domains.iter().enumerate() {
+                    let (outcome, ping, retry) = prober.probe_pair(
+                        &mut ctx,
+                        &mut target,
+                        domain_idx,
+                        at,
+                        self.config.probe,
+                        &self.config.faults,
+                        &mut rng,
+                    );
+                    // Rewind the arena's checkout accounting: buffers kept
+                    // by the context's caches stay; scratch is written off.
+                    ctx.arena.reset();
+                    records.push(
+                        ProbeRecord::new(
+                            at,
+                            plan.vantage_label,
+                            plan.resolver_label,
+                            entry.region(),
+                            entry.mainstream,
+                            domain.label,
+                            self.config.probe.protocol,
+                            outcome,
+                            ping,
+                        )
+                        .with_retry(retry),
+                    );
+                }
+            }
+        }
+        // Probes run in schedule order (the RNG stream depends on it);
+        // canonical order only differs by the within-round domain
+        // permutation, so this stable integer-keyed sort is near-free.
+        records.sort_by_cached_key(|r| (r.at, self.domain_rank(r.domain_id())));
+        records
+    }
+
+    /// [`run_pair`](Self::run_pair) through the per-probe reference path:
+    /// no context, no caches — every probe rebuilds its wires from
+    /// scratch via [`Prober::probe_with_faults`]. The arena differential
+    /// proptest holds the fast path to this, byte for byte.
+    pub(crate) fn run_pair_reference(&self, plan: &PairPlan) -> Vec<ProbeRecord> {
         let vantage = &plan.vantage;
         let entry = &plan.entry;
         let prober = Prober::new();
@@ -401,9 +524,6 @@ impl Campaign {
                 }
             }
         }
-        // Probes run in schedule order (the RNG stream depends on it);
-        // canonical order only differs by the within-round domain
-        // permutation, so this stable integer-keyed sort is near-free.
         records.sort_by_cached_key(|r| (r.at, self.domain_rank(r.domain_id())));
         records
     }

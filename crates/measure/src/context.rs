@@ -1,0 +1,303 @@
+//! Per-(vantage, resolver) probe context: everything about a pair that is
+//! constant across its whole probe series, computed once per campaign and
+//! borrowed by every probe and retry attempt.
+//!
+//! The reference probe path ([`Prober::probe_with_faults`]) rebuilds, per
+//! probe: the routed path, the fault target, the DNS query message and its
+//! wire image, the DoH URL (base64url of the query), the HTTP/2 request
+//! frames (HPACK on a fresh connection), the server's response message and
+//! its wire image, and the HTTP response frames. None of that work draws
+//! from the RNG, and on a fresh-connection-per-probe tool every one of
+//! those byte strings is a pure function of pair-constant inputs — so all
+//! of it hoists into a [`PairContext`]:
+//!
+//! * **Path constants** — the routed site and [`Path`] (home-extra peering
+//!   penalty already applied), and the [`FaultTarget`] borrowed from
+//!   `'static` catalog strings.
+//! * **Fault scope mask** — the indices of the plan events whose scope
+//!   matches this pair ([`FaultPlan::scope_mask`]); each attempt resolves
+//!   faults via [`FaultPlan::effects_at_masked`], skipping the (typically
+//!   large) majority of events aimed at other pairs.
+//! * **Wire templates** — per domain, the query [`Message`] + wire and the
+//!   DoH request wire lengths ([`DomainTemplate`]); per observed response
+//!   shape, the response wire and its per-HTTP-status framing lengths
+//!   ([`ResponseVariant`], discovered lazily as the resolver's health
+//!   produces them).
+//! * **An [`Arena`]** — pooled buffers for the remaining (cold-path) wire
+//!   assembly, reset between probes, so the steady state of `run_pair`
+//!   performs no per-probe heap allocation.
+//!
+//! Determinism: hoisting is restricted to RNG-free computations, so the
+//! context path consumes the RNG stream identically to the reference path
+//! and produces byte-identical records — property-tested across seeds,
+//! fault plans and retry policies in `tests/arena_differential.rs`, and
+//! pinned by the golden fixtures.
+
+use bytes::Bytes;
+use catalog::ResolverEntry;
+use detlint_macros::deny_alloc;
+use dns_wire::{base64url, Message, MessageBuilder, Name, RData, Rcode};
+use netsim::faults::{FaultPlan, FaultTarget};
+use netsim::{Arena, Host, Path, SimDuration};
+use transport::{doh_headers, H2Connection, H2Request};
+
+use crate::probe::{encode_cost, ProbeConfig, ProbeTarget, Prober};
+use crate::results::Protocol;
+use crate::vantage::Vantage;
+
+/// Pair-constant state for one (vantage, resolver) probe series.
+#[derive(Debug)]
+pub(crate) struct PairContext {
+    /// The vantage's simulated host (id 0, as the reference path builds).
+    pub(crate) client: Host,
+    /// The site this vantage routes to (constant: routing is RNG-free).
+    pub(crate) site: usize,
+    /// The routed path with the residential peering penalty already
+    /// applied when the vantage is a home network.
+    pub(crate) path: Path,
+    /// Fault-plan identity, borrowed from `'static` catalog strings.
+    pub(crate) ftarget: FaultTarget<'static>,
+    /// Original indices of the plan events whose scope matches this pair.
+    pub(crate) scope_mask: Vec<u32>,
+    /// One wire template per campaign domain, in campaign domain order.
+    pub(crate) domains: Vec<DomainTemplate>,
+    /// Pooled buffers for cold-path wire assembly; reset between probes.
+    pub(crate) arena: Arena,
+}
+
+impl PairContext {
+    /// Builds the context for one pair. Everything here is RNG-free.
+    pub(crate) fn build<'a>(
+        prober: &Prober,
+        vantage: &Vantage,
+        target: &ProbeTarget,
+        cfg: ProbeConfig,
+        faults: &FaultPlan,
+        domains: impl IntoIterator<Item = &'a Name>,
+    ) -> Self {
+        let client = vantage.host(0);
+        let (site, mut path) = target.instance.route(&client);
+        if vantage.is_home() {
+            path.extra_latency_ms += target.entry.home_extra_ms;
+        }
+        let ftarget = FaultTarget {
+            resolver: target.entry.hostname,
+            region: target.entry.region(),
+            vantage: vantage.label,
+        };
+        let scope_mask = faults.scope_mask(&ftarget);
+        let mut arena = Arena::new();
+        let domains = domains
+            .into_iter()
+            .map(|name| DomainTemplate::build(prober, &target.entry, name, cfg, &mut arena))
+            .collect();
+        PairContext {
+            client,
+            site,
+            path,
+            ftarget,
+            scope_mask,
+            domains,
+            arena,
+        }
+    }
+}
+
+/// Pair-constant wire templates for one queried domain.
+#[derive(Debug)]
+pub(crate) struct DomainTemplate {
+    /// The parsed domain (owned so the template is self-contained).
+    pub(crate) name: Name,
+    /// The query message the reference path would build per probe.
+    pub(crate) query: Message,
+    /// Its wire image (drives request sizes on non-HTTP transports).
+    pub(crate) query_wire: Vec<u8>,
+    /// Client-side codec cost of encoding `query_wire` (deterministic).
+    pub(crate) dns_encode: SimDuration,
+    /// DoH request template; `None` on other protocols.
+    pub(crate) doh: Option<DohTemplate>,
+    /// Response shapes observed so far, discovered lazily.
+    pub(crate) variants: Vec<ResponseVariant>,
+}
+
+impl DomainTemplate {
+    fn build(
+        prober: &Prober,
+        entry: &ResolverEntry,
+        name: &Name,
+        cfg: ProbeConfig,
+        arena: &mut Arena,
+    ) -> Self {
+        let encrypted = cfg.protocol != Protocol::Do53;
+        let query = prober.build_query(name, cfg, encrypted);
+        // detlint:allow(unwrap, queries built by build_query are well-formed; encoding cannot fail)
+        let query_wire = query.encode_into(arena.alloc()).expect("query encodes");
+        let dns_encode = encode_cost(query_wire.len());
+        let doh =
+            (cfg.protocol == Protocol::DoH).then(|| DohTemplate::build(entry, &query_wire, cfg));
+        DomainTemplate {
+            name: name.clone(),
+            query,
+            query_wire,
+            dns_encode,
+            doh,
+            variants: Vec::new(),
+        }
+    }
+
+    /// Looks up the cached response variant for a served result. The hot
+    /// lookup: in steady state every probe lands here and allocates
+    /// nothing.
+    #[deny_alloc]
+    pub(crate) fn find_variant(
+        &self,
+        shed: bool,
+        rcode: Rcode,
+        records: &[RData],
+    ) -> Option<usize> {
+        self.variants
+            .iter()
+            .position(|v| v.shed == shed && v.rcode == rcode && (shed || v.records == records))
+    }
+
+    /// Builds and caches a response variant (cold path: runs once per
+    /// distinct response shape per pair). Mirrors the reference `serve`
+    /// byte-for-byte: same builder, same answer records, same encoder.
+    pub(crate) fn add_variant(
+        &mut self,
+        shed: bool,
+        rcode: Rcode,
+        records: Vec<RData>,
+        arena: &mut Arena,
+    ) -> usize {
+        let mut response = MessageBuilder::response_to(&self.query, rcode)
+            .recursion_available(true)
+            .build();
+        if !shed {
+            for rdata in &records {
+                response.answers.push(dns_wire::ResourceRecord::new(
+                    self.name.clone(),
+                    300,
+                    rdata.clone(),
+                ));
+            }
+        }
+        let wire = response
+            .encode_into(arena.alloc())
+            // detlint:allow(unwrap, responses assembled by the simulated resolver are well-formed)
+            .expect("response encodes");
+        let decoded_rcode = Message::decode(&wire).ok().map(|m| m.rcode());
+        self.variants.push(ResponseVariant {
+            shed,
+            rcode,
+            records: if shed { Vec::new() } else { records },
+            dns_response: wire,
+            decoded_rcode,
+            status_lens: Vec::new(),
+        });
+        self.variants.len() - 1
+    }
+
+    /// The on-wire length of the HTTP response carrying `variant` with
+    /// `status`, computed once per (variant, status) and cached.
+    pub(crate) fn resp_len_for(&mut self, variant: usize, status: u16) -> usize {
+        if let Some(len) = self.variants[variant].cached_status_len(status) {
+            return len;
+        }
+        // detlint:allow(unwrap, resp_len_for is only reached on the DoH path, which builds the template)
+        let doh = self.doh.as_ref().expect("DoH template");
+        let v = &mut self.variants[variant];
+        let content_type = transport::HeaderField::new("content-type", "application/dns-message");
+        let len = if doh.http1 {
+            transport::h1_encode_response(
+                status,
+                std::slice::from_ref(&content_type),
+                &v.dns_response,
+            )
+            .len()
+        } else {
+            H2Connection::encode_response_fresh(
+                doh.stream_id,
+                status,
+                std::slice::from_ref(&content_type),
+                &v.dns_response,
+            )
+            .len()
+        };
+        v.status_lens.push((status, len));
+        len
+    }
+}
+
+/// The pair-constant DoH request template. Only lengths survive: the
+/// simulated transport moves byte *counts*, and both request and response
+/// wires are pure functions of pair-constant inputs on a fresh connection.
+#[derive(Debug)]
+pub(crate) struct DohTemplate {
+    /// Stream id of the first request on a fresh HTTP/2 connection.
+    pub(crate) stream_id: u32,
+    /// Encoded request length (HTTP/1.1 when `http1`, else HTTP/2 with
+    /// connection preface, exactly as the reference path sends it).
+    pub(crate) req_len: usize,
+    /// The resolver only speaks HTTP/1.1 (no h2 in its ALPN).
+    pub(crate) http1: bool,
+}
+
+impl DohTemplate {
+    fn build(entry: &ResolverEntry, query_wire: &[u8], cfg: ProbeConfig) -> Self {
+        let (http_path, body) = if cfg.doh_get {
+            (
+                format!("{}?dns={}", entry.doh_path, base64url::encode(query_wire)),
+                Bytes::new(),
+            )
+        } else {
+            (entry.doh_path.to_string(), Bytes::from(query_wire.to_vec()))
+        };
+        let req = H2Request {
+            headers: doh_headers(entry.hostname, &http_path, !cfg.doh_get, body.len()),
+            body,
+        };
+        let (stream_id, h2_wire) = H2Connection::new().encode_request(&req);
+        let req_len = if entry.http1_only {
+            transport::h1_encode_request(&req.headers, &req.body).len()
+        } else {
+            h2_wire.len()
+        };
+        DohTemplate {
+            stream_id,
+            req_len,
+            http1: entry.http1_only,
+        }
+    }
+}
+
+/// One response shape: the served (shed, rcode, answer set) triple and the
+/// wire images derived from it.
+#[derive(Debug)]
+pub(crate) struct ResponseVariant {
+    /// The frontend shed this query (SERVFAIL with no answers).
+    shed: bool,
+    /// Response code the server put on the wire.
+    pub(crate) rcode: Rcode,
+    /// Answer records (empty when shed; the key ignores them then).
+    records: Vec<RData>,
+    /// The encoded DNS response message.
+    pub(crate) dns_response: Vec<u8>,
+    /// Memoized client-side decode of `dns_response`: `None` means the
+    /// decode failed (the reference path's per-probe `Message::decode`).
+    pub(crate) decoded_rcode: Option<Rcode>,
+    /// Cached HTTP framing lengths per status code.
+    status_lens: Vec<(u16, usize)>,
+}
+
+impl ResponseVariant {
+    /// Cached HTTP response length for `status`, if already computed. The
+    /// hot lookup: a handful of statuses per variant, scanned linearly.
+    #[deny_alloc]
+    fn cached_status_len(&self, status: u16) -> Option<usize> {
+        self.status_lens
+            .iter()
+            .find(|(s, _)| *s == status)
+            .map(|(_, len)| *len)
+    }
+}

@@ -29,6 +29,7 @@ pub mod aggregate;
 pub mod campaign;
 pub mod checkpoint;
 pub mod config;
+mod context;
 pub mod dns_json;
 pub mod errors;
 pub mod health;
@@ -46,7 +47,7 @@ pub use obs::intern;
 pub use obs::Label;
 
 pub use aggregate::{AggregateCell, CampaignAggregates, PairAggregate};
-pub use campaign::{metrics_of, observe_record, Campaign, CampaignResult};
+pub use campaign::{metrics_of, observe_record, Campaign, CampaignResult, GeneratedPairs};
 pub use checkpoint::{CheckpointError, Manifest, ShardCheckpoint, ShardState, CHECKPOINT_VERSION};
 pub use config::{standard_domains, CampaignConfig, Span};
 pub use errors::ProbeErrorKind;

@@ -13,7 +13,7 @@ use bytes::Bytes;
 use catalog::ResolverEntry;
 use dns_wire::{base64url, Message, MessageBuilder, Name, Rcode, RecordType};
 use netsim::faults::{FaultEffects, FaultPlan, FaultTarget};
-use netsim::{icmp, Host, Path, SimDuration, SimRng, SimTime};
+use netsim::{icmp, Arena, Host, Path, SimDuration, SimRng, SimTime};
 use obs::{Nanos, Phase, SpanLog};
 use resolver_sim::{AuthorityTree, ProbeHealth, ResolverInstance};
 use transport::{
@@ -21,6 +21,7 @@ use transport::{
     TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior, TlsSession, TransportErrorKind,
 };
 
+use crate::context::{DomainTemplate, PairContext};
 use crate::errors::ProbeErrorKind;
 use crate::results::{ProbeOutcome, ProbeTimings, Protocol};
 use crate::retry::{RetryInfo, RetryPolicy};
@@ -30,7 +31,7 @@ use crate::retry::{RetryInfo, RetryPolicy};
 /// up in the phase breakdown without moving the calibrated response-time
 /// distributions; crucially it draws nothing from the RNG, so enabling the
 /// phase accounting cannot perturb a seeded run.
-fn encode_cost(wire_len: usize) -> SimDuration {
+pub(crate) fn encode_cost(wire_len: usize) -> SimDuration {
     SimDuration::from_nanos(2_000 + 25 * wire_len as u64)
 }
 
@@ -233,29 +234,10 @@ impl Prober {
             region: target.entry.region(),
             vantage: &client.label,
         };
-        let policy = cfg.retry;
-        let mut attempts = 0u32;
-        let mut attempt_errors: Vec<ProbeErrorKind> = Vec::new();
-        // Simulated time since probe start: failed attempts and backoff
-        // waits accumulate here, so retries see later plan windows.
-        let mut offset = SimDuration::ZERO;
-        let mut prev_backoff = SimDuration::ZERO;
-
-        loop {
-            attempts += 1;
-            let attempt_now = now + offset;
+        let (outcome, info) = Self::run_attempts(cfg.retry, now, rng, |attempt_now, rng| {
             let effects = faults.effects_at(attempt_now, &ftarget);
-            let mut health = target.instance.sample_health_at(attempt_now, rng);
-            // Plan-driven health overrides: an injected site outage
-            // blackholes the service outright; an expired certificate
-            // surfaces unless the service is unreachable anyway.
-            if effects.site_outage {
-                health = ProbeHealth::Blackholed;
-            } else if effects.bad_certificate && health != ProbeHealth::Blackholed {
-                health = ProbeHealth::BadCertificate;
-            }
-
-            let outcome = self.dns_probe(
+            let health = Self::effective_health(target, attempt_now, &effects, rng);
+            self.dns_probe(
                 client,
                 target,
                 domain,
@@ -267,7 +249,50 @@ impl Prober {
                 cfg,
                 rng,
                 log,
-            );
+            )
+        });
+        (outcome, ping, info)
+    }
+
+    /// Samples the resolver's health for one attempt and applies the
+    /// plan-driven overrides: an injected site outage blackholes the
+    /// service outright; an expired certificate surfaces unless the
+    /// service is unreachable anyway.
+    fn effective_health(
+        target: &ProbeTarget,
+        attempt_now: SimTime,
+        effects: &FaultEffects,
+        rng: &mut SimRng,
+    ) -> ProbeHealth {
+        let mut health = target.instance.sample_health_at(attempt_now, rng);
+        if effects.site_outage {
+            health = ProbeHealth::Blackholed;
+        } else if effects.bad_certificate && health != ProbeHealth::Blackholed {
+            health = ProbeHealth::BadCertificate;
+        }
+        health
+    }
+
+    /// The per-probe retry driver shared by the reference and context
+    /// paths: runs `attempt` under `policy`, accumulating elapsed time and
+    /// backoff waits so later attempts see later fault-plan windows.
+    fn run_attempts(
+        policy: RetryPolicy,
+        now: SimTime,
+        rng: &mut SimRng,
+        mut attempt: impl FnMut(SimTime, &mut SimRng) -> ProbeOutcome,
+    ) -> (ProbeOutcome, Option<RetryInfo>) {
+        let mut attempts = 0u32;
+        let mut attempt_errors: Vec<ProbeErrorKind> = Vec::new();
+        // Simulated time since probe start: failed attempts and backoff
+        // waits accumulate here, so retries see later plan windows.
+        let mut offset = SimDuration::ZERO;
+        let mut prev_backoff = SimDuration::ZERO;
+
+        loop {
+            attempts += 1;
+            let attempt_now = now + offset;
+            let outcome = attempt(attempt_now, rng);
 
             // Apply the per-attempt timeout: a "successful" exchange that
             // outlives the client's patience is a timeout from the
@@ -313,7 +338,6 @@ impl Prober {
                             cache_hit,
                             site,
                         },
-                        ping,
                         policy.enabled().then_some(info),
                     );
                 }
@@ -329,7 +353,6 @@ impl Prober {
                         };
                         return (
                             ProbeOutcome::Failure { kind, elapsed },
-                            ping,
                             policy.enabled().then_some(info),
                         );
                     }
@@ -338,6 +361,538 @@ impl Prober {
                     offset = offset + spent + prev_backoff;
                 }
             }
+        }
+    }
+
+    /// [`probe_with_faults`](Self::probe_with_faults) over a prebuilt
+    /// [`PairContext`] — the campaign fast path. Behaviour and RNG
+    /// consumption are byte-identical to the reference path: every hoisted
+    /// quantity is RNG-free and every cached wire is a pure function of
+    /// pair-constant inputs (fresh connection per probe). Pinned by the
+    /// `arena_differential` proptest and the golden fixtures.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_pair(
+        &self,
+        ctx: &mut PairContext,
+        target: &mut ProbeTarget,
+        domain_idx: usize,
+        now: SimTime,
+        cfg: ProbeConfig,
+        faults: &FaultPlan,
+        rng: &mut SimRng,
+    ) -> (ProbeOutcome, Option<SimDuration>, Option<RetryInfo>) {
+        let mut log = SpanLog::disabled();
+        let PairContext {
+            client,
+            site,
+            path,
+            ftarget,
+            scope_mask,
+            domains,
+            arena,
+        } = ctx;
+        let site = *site;
+        let tmpl = &mut domains[domain_idx];
+
+        let ping = icmp::ping(path, target.instance.icmp, cfg.ping_timeout, rng).rtt();
+        match ping {
+            Some(rtt) => log.instant(now.as_nanos() + rtt.as_nanos(), "icmp_echo_reply"),
+            None => log.instant(now.as_nanos(), "icmp_filtered"),
+        }
+
+        let (outcome, info) = Self::run_attempts(cfg.retry, now, rng, |attempt_now, rng| {
+            let effects = faults.effects_at_masked(attempt_now, ftarget, scope_mask);
+            let health = Self::effective_health(target, attempt_now, &effects, rng);
+            self.dns_probe_ctx(
+                client,
+                target,
+                tmpl,
+                attempt_now,
+                site,
+                path,
+                health,
+                &effects,
+                cfg,
+                arena,
+                rng,
+                &mut log,
+            )
+        });
+        (outcome, ping, info)
+    }
+
+    /// Context-path twin of [`dns_probe`](Self::dns_probe): identical
+    /// fault/health shaping, dispatching to the template-backed protocol
+    /// probes. ODoH falls through to the reference path — its per-probe
+    /// KEM entropy draw leaves nothing pair-constant to hoist.
+    #[allow(clippy::too_many_arguments)]
+    fn dns_probe_ctx(
+        &self,
+        client: &Host,
+        target: &mut ProbeTarget,
+        tmpl: &mut DomainTemplate,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        health: ProbeHealth,
+        effects: &FaultEffects,
+        cfg: ProbeConfig,
+        arena: &mut Arena,
+        rng: &mut SimRng,
+        log: &mut SpanLog,
+    ) -> ProbeOutcome {
+        let mut path = path.clone();
+        if health == ProbeHealth::Blackholed || effects.link_down {
+            path.extra_loss = 1.0;
+        }
+        if effects.extra_loss > 0.0 {
+            path.extra_loss = (path.extra_loss + effects.extra_loss).min(1.0);
+        }
+        path.extra_latency_ms += effects.extra_latency_ms;
+        let refused = health == ProbeHealth::Refusing;
+        let tls_behavior = match health {
+            ProbeHealth::TlsBroken => TlsServerBehavior::Stall,
+            ProbeHealth::BadCertificate => TlsServerBehavior::BadCertificate,
+            _ => TlsServerBehavior::Normal,
+        };
+        let hooks = FaultHooks {
+            refuse_connect: refused,
+            tls_behavior,
+            http_status_override: if effects.rate_limited {
+                Some(429)
+            } else {
+                None
+            },
+        };
+
+        match cfg.protocol {
+            Protocol::DoH => self.doh_probe_ctx(
+                target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
+            ),
+            Protocol::DoT => self.dot_probe_ctx(
+                target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
+            ),
+            Protocol::Do53 => self.do53_probe_ctx(
+                target, tmpl, now, site, &path, health, effects, arena, rng, log,
+            ),
+            Protocol::DoQ => self.doq_probe_ctx(
+                target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
+            ),
+            Protocol::ODoH => self.odoh_probe(
+                client, target, &tmpl.name, now, site, health, effects, cfg, rng, log,
+            ),
+        }
+    }
+
+    /// [`serve`](Self::serve) against the pair's response-variant cache:
+    /// the resolver engine runs exactly as on the reference path (same RNG
+    /// draws), but the response message is only *assembled and encoded*
+    /// the first time each (shed, rcode, answers) shape appears. Returns
+    /// the variant index instead of wire bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_cached(
+        &self,
+        target: &mut ProbeTarget,
+        tmpl: &mut DomainTemplate,
+        now: SimTime,
+        site: usize,
+        effects: &FaultEffects,
+        http_layer: bool,
+        rng: &mut SimRng,
+        arena: &mut Arena,
+    ) -> (SimDuration, bool, usize) {
+        let (server_time, resolution) = target.instance.server_mut(site).handle_query_loaded(
+            &tmpl.name,
+            RecordType::A,
+            &self.authorities,
+            now,
+            effects.slowdown,
+            rng,
+        );
+        let shed = effects.servfail || (!http_layer && effects.rate_limited);
+        let rcode = if shed {
+            Rcode::ServFail
+        } else {
+            resolution.rcode
+        };
+        let variant = match tmpl.find_variant(shed, rcode, &resolution.records) {
+            Some(i) => i,
+            None => tmpl.add_variant(shed, rcode, resolution.records, arena),
+        };
+        (server_time, resolution.cache_hit, variant)
+    }
+
+    /// [`doh_probe`](Self::doh_probe) over cached wire lengths: the query
+    /// encode, DoH URL, HPACK request frames and response frames are all
+    /// template lookups; the transport legs (the only RNG consumers) run
+    /// unchanged with identical byte counts, so outcomes and span traces
+    /// are byte-identical to the reference path.
+    #[allow(clippy::too_many_arguments)]
+    fn doh_probe_ctx(
+        &self,
+        target: &mut ProbeTarget,
+        tmpl: &mut DomainTemplate,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        hooks: FaultHooks,
+        health: ProbeHealth,
+        effects: &FaultEffects,
+        arena: &mut Arena,
+        rng: &mut SimRng,
+        log: &mut SpanLog,
+    ) -> ProbeOutcome {
+        let dns_encode = tmpl.dns_encode;
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
+
+        let (mut tcp, connect) = match TcpConnection::connect_traced(
+            path,
+            hooks.refuse_connect,
+            rng,
+            TcpConfig::default(),
+            t,
+            log,
+        ) {
+            Ok(ok) => ok,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: e.elapsed,
+                }
+            }
+        };
+        t += connect.as_nanos();
+        let tls = match TlsSession::handshake_traced(
+            &mut tcp,
+            path,
+            TlsConfig::default(),
+            hooks.tls_behavior,
+            None,
+            rng,
+            t,
+            log,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + e.elapsed,
+                }
+            }
+        };
+        t += tls.handshake_time.as_nanos();
+
+        let (server_time, cache_hit, variant) =
+            self.serve_cached(target, tmpl, now, site, effects, true, rng, arena);
+        let base_status = if health == ProbeHealth::HttpError {
+            500
+        } else {
+            200
+        };
+        let http_status = hooks.http_status(base_status);
+        // detlint:allow(unwrap, dns_probe_ctx only dispatches DoH when the template was built for DoH)
+        let req_len = tmpl.doh.as_ref().expect("DoH template").req_len;
+        let resp_len = tmpl.resp_len_for(variant, http_status);
+
+        // Both the HTTP/1.1 and HTTP/2 reference branches bottom out in
+        // this same traced TCP exchange with the same span pattern; only
+        // the byte counts differ, and those are cached above.
+        let out =
+            match tcp.request_response_traced(path, req_len, resp_len, server_time, rng, t, log) {
+                Ok(out) => out,
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: connect + tls.handshake_time + e.elapsed,
+                    }
+                }
+            };
+        let query_time = out.elapsed;
+        t += query_time.as_nanos();
+
+        let body_len = tmpl.variants[variant].dns_response.len();
+        let dns_decode = decode_cost(body_len);
+        record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+        let timings = ProbeTimings::from_legs(
+            dns_encode,
+            connect,
+            tls.handshake_time,
+            query_time,
+            server_time,
+            dns_decode,
+        );
+        if http_status != 200 {
+            return ProbeOutcome::Failure {
+                kind: if http_status == 429 {
+                    ProbeErrorKind::RateLimited
+                } else {
+                    ProbeErrorKind::HttpStatus
+                },
+                elapsed: timings.total(),
+            };
+        }
+        match tmpl.variants[variant].decoded_rcode {
+            Some(rcode) => Self::check_rcode(rcode, timings, cache_hit, site),
+            None => ProbeOutcome::Failure {
+                kind: ProbeErrorKind::DnsError,
+                elapsed: timings.total(),
+            },
+        }
+    }
+
+    /// [`dot_probe`](Self::dot_probe) over the query template. The RFC
+    /// 7858 length-prefix framing adds exactly 2 octets per message, so
+    /// the framed sizes are computed without materializing the frames.
+    #[allow(clippy::too_many_arguments)]
+    fn dot_probe_ctx(
+        &self,
+        target: &mut ProbeTarget,
+        tmpl: &mut DomainTemplate,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        hooks: FaultHooks,
+        health: ProbeHealth,
+        effects: &FaultEffects,
+        arena: &mut Arena,
+        rng: &mut SimRng,
+        log: &mut SpanLog,
+    ) -> ProbeOutcome {
+        let dns_encode = tmpl.dns_encode;
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
+
+        let (mut tcp, connect) = match TcpConnection::connect_traced(
+            path,
+            hooks.refuse_connect,
+            rng,
+            TcpConfig::default(),
+            t,
+            log,
+        ) {
+            Ok(ok) => ok,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: e.elapsed,
+                }
+            }
+        };
+        t += connect.as_nanos();
+        let tls = match TlsSession::handshake_traced(
+            &mut tcp,
+            path,
+            TlsConfig::default(),
+            hooks.tls_behavior,
+            None,
+            rng,
+            t,
+            log,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + e.elapsed,
+                }
+            }
+        };
+        t += tls.handshake_time.as_nanos();
+        let (server_time, cache_hit, variant) =
+            self.serve_cached(target, tmpl, now, site, effects, false, rng, arena);
+        if health == ProbeHealth::HttpError {
+            let out = tcp.request_response_traced(
+                path,
+                2 + tmpl.query_wire.len(),
+                2 + 12,
+                server_time,
+                rng,
+                t,
+                log,
+            );
+            return match out {
+                Ok(o) => ProbeOutcome::Failure {
+                    kind: ProbeErrorKind::DnsError,
+                    elapsed: connect + tls.handshake_time + o.elapsed,
+                },
+                Err(e) => ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + tls.handshake_time + e.elapsed,
+                },
+            };
+        }
+        let resp_len = tmpl.variants[variant].dns_response.len();
+        match tcp.request_response_traced(
+            path,
+            2 + tmpl.query_wire.len(),
+            2 + resp_len,
+            server_time,
+            rng,
+            t,
+            log,
+        ) {
+            Ok(out) => {
+                t += out.elapsed.as_nanos();
+                let dns_decode = decode_cost(resp_len);
+                record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+                let timings = ProbeTimings::from_legs(
+                    dns_encode,
+                    connect,
+                    tls.handshake_time,
+                    out.elapsed,
+                    server_time,
+                    dns_decode,
+                );
+                Self::check_rcode(tmpl.variants[variant].rcode, timings, cache_hit, site)
+            }
+            Err(e) => ProbeOutcome::Failure {
+                kind: e.into(),
+                elapsed: connect + tls.handshake_time + e.elapsed,
+            },
+        }
+    }
+
+    /// [`do53_probe`](Self::do53_probe) over the query template.
+    #[allow(clippy::too_many_arguments)]
+    fn do53_probe_ctx(
+        &self,
+        target: &mut ProbeTarget,
+        tmpl: &mut DomainTemplate,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        health: ProbeHealth,
+        effects: &FaultEffects,
+        arena: &mut Arena,
+        rng: &mut SimRng,
+        log: &mut SpanLog,
+    ) -> ProbeOutcome {
+        let dead = matches!(
+            health,
+            ProbeHealth::Refusing | ProbeHealth::TlsBroken | ProbeHealth::BadCertificate
+        );
+        let mut path = path.clone();
+        if dead {
+            path.extra_loss = 1.0;
+        }
+        let dns_encode = tmpl.dns_encode;
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
+        let (server_time, cache_hit, variant) =
+            self.serve_cached(target, tmpl, now, site, effects, false, rng, arena);
+        let resp_len = tmpl.variants[variant].dns_response.len();
+        let policy = RetryPolicy::dig_defaults().as_flight_policy();
+        match transport::exchange_traced(
+            &path,
+            tmpl.query_wire.len(),
+            resp_len,
+            server_time,
+            policy,
+            TransportErrorKind::RequestTimeout,
+            rng,
+            t,
+            log,
+        ) {
+            Ok(out) => {
+                t += out.elapsed.as_nanos();
+                let dns_decode = decode_cost(resp_len);
+                record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+                let timings = ProbeTimings::from_legs(
+                    dns_encode,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    out.elapsed,
+                    server_time,
+                    dns_decode,
+                );
+                if health == ProbeHealth::HttpError {
+                    return ProbeOutcome::Failure {
+                        kind: ProbeErrorKind::DnsError,
+                        elapsed: timings.total(),
+                    };
+                }
+                Self::check_rcode(tmpl.variants[variant].rcode, timings, cache_hit, site)
+            }
+            Err(e) => ProbeOutcome::Failure {
+                kind: ProbeErrorKind::QueryTimeout,
+                elapsed: e.elapsed,
+            },
+        }
+    }
+
+    /// [`doq_probe`](Self::doq_probe) over the query template.
+    #[allow(clippy::too_many_arguments)]
+    fn doq_probe_ctx(
+        &self,
+        target: &mut ProbeTarget,
+        tmpl: &mut DomainTemplate,
+        now: SimTime,
+        site: usize,
+        path: &Path,
+        hooks: FaultHooks,
+        health: ProbeHealth,
+        effects: &FaultEffects,
+        arena: &mut Arena,
+        rng: &mut SimRng,
+        log: &mut SpanLog,
+    ) -> ProbeOutcome {
+        if hooks.refuse_connect {
+            let rtt = path
+                .sample_rtt(1200, 60, rng)
+                .unwrap_or(SimDuration::from_millis(300));
+            log.instant(now.as_nanos() + rtt.as_nanos(), "connection_refused");
+            return ProbeOutcome::Failure {
+                kind: ProbeErrorKind::ConnectionRefused,
+                elapsed: rtt,
+            };
+        }
+        let dns_encode = tmpl.dns_encode;
+        let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
+        let (mut quic, connect) =
+            match QuicConnection::connect_traced(path, QuicConfig::default(), rng, t, log) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: e.elapsed,
+                    }
+                }
+            };
+        t += connect.as_nanos();
+        let (server_time, cache_hit, variant) =
+            self.serve_cached(target, tmpl, now, site, effects, false, rng, arena);
+        let resp_len = tmpl.variants[variant].dns_response.len();
+        match quic.stream_exchange_traced(
+            path,
+            2 + tmpl.query_wire.len(),
+            2 + resp_len,
+            server_time,
+            rng,
+            t,
+            log,
+        ) {
+            Ok(out) => {
+                t += out.elapsed.as_nanos();
+                let dns_decode = decode_cost(resp_len);
+                record_codec_span(log, t, Phase::DnsDecode, dns_decode);
+                let timings = ProbeTimings::from_legs(
+                    dns_encode,
+                    connect,
+                    SimDuration::ZERO,
+                    out.elapsed,
+                    server_time,
+                    dns_decode,
+                );
+                if health == ProbeHealth::HttpError {
+                    return ProbeOutcome::Failure {
+                        kind: ProbeErrorKind::DnsError,
+                        elapsed: timings.total(),
+                    };
+                }
+                Self::check_rcode(tmpl.variants[variant].rcode, timings, cache_hit, site)
+            }
+            Err(e) => ProbeOutcome::Failure {
+                kind: e.into(),
+                elapsed: connect + e.elapsed,
+            },
         }
     }
 
@@ -404,7 +959,7 @@ impl Prober {
     }
 
     /// Builds the query message (id 0 per RFC 8484 cache friendliness).
-    fn build_query(&self, domain: &Name, cfg: ProbeConfig, encrypted: bool) -> Message {
+    pub(crate) fn build_query(&self, domain: &Name, cfg: ProbeConfig, encrypted: bool) -> Message {
         let mut b = MessageBuilder::query(
             if encrypted { 0 } else { 0x2b2b },
             domain.clone(),

@@ -3,9 +3,21 @@
 //! Events fire in timestamp order; ties break by insertion order (FIFO), so
 //! runs are reproducible regardless of how the underlying heap reorders
 //! equal keys.
+//!
+//! Two structures back the queue:
+//!
+//! * a binary heap for arbitrarily-ordered insertions, and
+//! * a *run buffer* — a FIFO of events whose timestamps arrived in
+//!   nondecreasing order. Simulations overwhelmingly schedule monotone
+//!   chains (each probe's next event is at or after the previous one), so
+//!   the common case is an O(1) append and an O(1) pop instead of a heap
+//!   `push`/`pop` ping-pong. An out-of-order insertion falls back to the
+//!   heap; popping always takes the earliest (time, seq) across both, so
+//!   ordering is exactly that of a single heap.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 
 use crate::time::SimTime;
 
@@ -35,6 +47,10 @@ impl<T> Ord for Scheduled<T> {
 /// A priority queue of timestamped events, popped in time order.
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    /// Monotone-insertion fast path: events appended here arrived with
+    /// nondecreasing timestamps, so the buffer is sorted by construction
+    /// (and by `seq`, since sequence numbers only grow).
+    run: VecDeque<Scheduled<T>>,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -50,6 +66,7 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            run: VecDeque::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -57,38 +74,88 @@ impl<T> EventQueue<T> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.run.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.run.is_empty()
     }
 
     /// Schedules `payload` to fire at `time`.
     ///
+    /// Nondecreasing timestamps append to the run buffer in O(1); an
+    /// out-of-order timestamp falls back to the heap. Pop order is
+    /// identical either way.
+    ///
     /// # Panics
     /// Panics if `time` is before the last popped event — scheduling into
-    /// the past indicates a simulation bug.
-    pub fn schedule(&mut self, time: SimTime, payload: T) {
+    /// the past indicates a simulation bug. The message carries the
+    /// offending payload's debug representation so the regression is
+    /// localizable from the panic alone.
+    pub fn schedule(&mut self, time: SimTime, payload: T)
+    where
+        T: fmt::Debug,
+    {
         assert!(
             time >= self.last_popped,
-            "scheduled event at {time} before current time {}",
+            "scheduled event at {time} before current time {}: payload {payload:?}",
             self.last_popped
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { time, seq, payload }));
+        let event = Scheduled { time, seq, payload };
+        match self.run.back() {
+            Some(tail) if time < tail.time => self.heap.push(Reverse(event)),
+            _ => self.run.push_back(event),
+        }
+    }
+
+    /// Schedules a batch of events in one call.
+    ///
+    /// Equivalent to calling [`schedule`](Self::schedule) per item, but
+    /// reserves the run buffer up front so a monotone batch (the common
+    /// same-probe event chain) performs no interleaved growth, and keeps
+    /// the insertion-order FIFO tie-break of the single-event path.
+    pub fn schedule_batch<I>(&mut self, events: I)
+    where
+        T: fmt::Debug,
+        I: IntoIterator<Item = (SimTime, T)>,
+    {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        self.run.reserve(lower);
+        for (time, payload) in events {
+            self.schedule(time, payload);
+        }
     }
 
     /// Timestamp of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+        let heap = self.heap.peek().map(|Reverse(s)| (s.time, s.seq));
+        let run = self.run.front().map(|s| (s.time, s.seq));
+        match (heap, run) {
+            (Some(h), Some(r)) => Some(h.min(r).0),
+            (Some(h), None) => Some(h.0),
+            (None, Some(r)) => Some(r.0),
+            (None, None) => None,
+        }
     }
 
-    /// Pops the earliest event.
+    /// Pops the earliest event (ties in FIFO insertion order).
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        let Reverse(s) = self.heap.pop()?;
+        let take_run = match (self.heap.peek(), self.run.front()) {
+            (Some(Reverse(h)), Some(r)) => (r.time, r.seq) < (h.time, h.seq),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let s = if take_run {
+            // detlint:allow(unwrap, take_run is only true when the run buffer has a front)
+            self.run.pop_front().expect("run front checked")
+        } else {
+            let Reverse(s) = self.heap.pop()?;
+            s
+        };
         self.last_popped = s.time;
         Some((s.time, s.payload))
     }
@@ -96,6 +163,7 @@ impl<T> EventQueue<T> {
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.run.clear();
     }
 }
 
@@ -129,12 +197,33 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_fifo_across_heap_and_run_buffer() {
+        let mut q = EventQueue::new();
+        // Force 5 into the heap (out of order), then append equal keys to
+        // the run buffer: insertion order must still win the tie.
+        q.schedule(t(9), 0);
+        q.schedule(t(5), 1); // heap
+        q.clear();
+        q.schedule(t(7), 10); // run
+        q.schedule(t(3), 11); // heap (out of order)
+        q.schedule(t(7), 12); // run
+        q.schedule(t(3), 13); // heap, same key as 11
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![11, 13, 10, 12]);
+    }
+
+    #[test]
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
         q.schedule(t(7), ());
         assert_eq!(q.peek_time(), Some(t(7)));
         assert_eq!(q.pop().unwrap().0, t(7));
         assert_eq!(q.peek_time(), None);
+
+        // Peek must report the earliest across both structures.
+        q.schedule(t(20), ());
+        q.schedule(t(9), ()); // heap
+        assert_eq!(q.peek_time(), Some(t(9)));
     }
 
     #[test]
@@ -144,6 +233,17 @@ mod tests {
         q.schedule(t(10), ());
         q.pop();
         q.schedule(t(5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload \"late-probe\"")]
+    fn past_schedule_panic_names_the_payload() {
+        // The message shape is part of the debugging contract:
+        // `scheduled event at <time> before current time <time>: payload <debug>`.
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "on-time");
+        q.pop();
+        q.schedule(t(5), "late-probe");
     }
 
     #[test]
@@ -161,11 +261,38 @@ mod tests {
     }
 
     #[test]
+    fn monotone_batch_stays_in_run_buffer() {
+        let mut q = EventQueue::new();
+        q.schedule_batch((0..1000).map(|i| (t(i), i)));
+        assert_eq!(q.len(), 1000);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_matches_singles_under_disorder() {
+        // Same events, one queue fed by batch, one by singles: identical
+        // pop order including FIFO ties.
+        let times = [40u64, 10, 10, 35, 35, 5, 60, 35, 10, 5];
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        a.schedule_batch(times.iter().enumerate().map(|(i, &ms)| (t(ms), i)));
+        for (i, &ms) in times.iter().enumerate() {
+            b.schedule(t(ms), i);
+        }
+        let pa: Vec<usize> = std::iter::from_fn(|| a.pop().map(|(_, p)| p)).collect();
+        let pb: Vec<usize> = std::iter::from_fn(|| b.pop().map(|(_, p)| p)).collect();
+        assert_eq!(pa, pb);
+        assert_eq!(pa, vec![5, 9, 1, 2, 8, 3, 4, 7, 0, 6]);
+    }
+
+    #[test]
     fn len_and_clear() {
         let mut q = EventQueue::new();
         q.schedule(t(1), ());
         q.schedule(t(2), ());
-        assert_eq!(q.len(), 2);
+        q.schedule(t(1), ()); // lands in the heap
+        assert_eq!(q.len(), 3);
         assert!(!q.is_empty());
         q.clear();
         assert!(q.is_empty());

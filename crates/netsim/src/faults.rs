@@ -21,6 +21,8 @@
 //!   are [`FaultEffects::clear`], every application site is a no-op, and
 //!   campaign output is bit-identical to a build without the fault layer.
 
+use detlint_macros::deny_alloc;
+
 use crate::geo::Region;
 use crate::rng::{derive_seed, splitmix64};
 use crate::time::{SimDuration, SimTime};
@@ -307,6 +309,72 @@ impl FaultPlan {
         fx
     }
 
+    /// Precomputes which events can ever touch `target`.
+    ///
+    /// Scope matching is time-independent, so a per-(vantage, resolver)
+    /// caller can resolve it once per campaign and let every probe attempt
+    /// walk only the matching events via
+    /// [`effects_at_masked`](Self::effects_at_masked). The mask stores
+    /// *original* event indices: the hash-based [`decide`](Self::decide)
+    /// coordinates are unchanged, so masked resolution is bit-identical to
+    /// [`effects_at`](Self::effects_at). Longitudinal plans script
+    /// thousands of per-resolver events, of which a given pair matches a
+    /// handful — this turns the per-attempt scan from O(events) into
+    /// O(matching events).
+    pub fn scope_mask(&self, target: &FaultTarget<'_>) -> Vec<u32> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.scope.matches(target))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// [`effects_at`](Self::effects_at) restricted to the events in a
+    /// [`scope_mask`](Self::scope_mask) for `target`. Allocation-free and
+    /// pure; bit-identical to the unmasked resolution when the mask was
+    /// built for the same target.
+    #[deny_alloc]
+    pub fn effects_at_masked(
+        &self,
+        now: SimTime,
+        target: &FaultTarget<'_>,
+        mask: &[u32],
+    ) -> FaultEffects {
+        let mut fx = FaultEffects::clear();
+        for &i in mask {
+            let i = i as usize;
+            let e = &self.events[i];
+            if !e.active_at(now) {
+                continue;
+            }
+            match e.kind {
+                FaultKind::LinkFlap => fx.link_down = true,
+                FaultKind::LossBurst { loss } => {
+                    fx.extra_loss = (fx.extra_loss + loss).min(1.0);
+                }
+                FaultKind::LatencyBurst { extra_ms } => fx.extra_latency_ms += extra_ms,
+                FaultKind::SiteOutage => fx.site_outage = true,
+                FaultKind::Brownout {
+                    slowdown,
+                    servfail_rate,
+                } => {
+                    fx.slowdown = fx.slowdown.max(slowdown);
+                    if self.decide(now, target, i, servfail_rate) {
+                        fx.servfail = true;
+                    }
+                }
+                FaultKind::CertExpiry => fx.bad_certificate = true,
+                FaultKind::RateLimit { reject_rate } => {
+                    if self.decide(now, target, i, reject_rate) {
+                        fx.rate_limited = true;
+                    }
+                }
+            }
+        }
+        fx
+    }
+
     /// A hash-based Bernoulli trial over `(plan seed, time, target, event)`
     /// — deterministic for identical coordinates, independent between
     /// attempts (the attempt start time differs) and between events.
@@ -552,6 +620,65 @@ mod tests {
             hour(1),
             hour(1),
         );
+    }
+
+    #[test]
+    fn masked_resolution_is_bit_identical_to_full_scan() {
+        let plan = FaultPlan::with_seed(42)
+            .event(
+                FaultKind::LinkFlap,
+                FaultScope::Resolver("dns.example".into()),
+                hour(1),
+                hour(3),
+            )
+            .event(
+                FaultKind::RateLimit { reject_rate: 0.4 },
+                FaultScope::Global,
+                hour(0),
+                hour(100),
+            )
+            .event(
+                FaultKind::Brownout {
+                    slowdown: 2.0,
+                    servfail_rate: 0.5,
+                },
+                FaultScope::Vantage("home-9".into()),
+                hour(0),
+                hour(100),
+            )
+            .event(
+                FaultKind::LatencyBurst { extra_ms: 25.0 },
+                FaultScope::Region(Region::Europe),
+                hour(2),
+                hour(50),
+            );
+        for t in [
+            target(),
+            FaultTarget {
+                resolver: "other.example",
+                region: Region::Asia,
+                vantage: "home-9",
+            },
+        ] {
+            let mask = plan.scope_mask(&t);
+            // The mask preserves original event indices, so the hash-based
+            // decisions land on identical coordinates.
+            for h in 0..120 {
+                assert_eq!(
+                    plan.effects_at(hour(h), &t),
+                    plan.effects_at_masked(hour(h), &t, &mask),
+                    "hour {h}"
+                );
+            }
+        }
+        // A target matching nothing gets an empty mask and clear effects.
+        let nobody = FaultTarget {
+            resolver: "x.example",
+            region: Region::NorthAmerica,
+            vantage: "v",
+        };
+        let mask = plan.scope_mask(&nobody);
+        assert_eq!(mask, vec![1], "only the global event matches");
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!   behind the paper's mainstream-vs-non-mainstream findings.
 //! * [`icmp`] — the ping probe paired with every DNS measurement.
 //! * [`EventQueue`] — deterministic discrete-event scheduling for campaign
-//!   timing.
+//!   timing, with a monotone run-buffer fast path and batch insertion.
+//! * [`Arena`] — a capacity-retaining buffer pool giving the probe fast
+//!   path zero steady-state heap churn (see `arena`).
 //!
 //! ```
 //! use netsim::{Simulation, AccessProfile, Deployment, Site, geo::cities};
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod event;
 pub mod faults;
 pub mod geo;
@@ -53,6 +56,7 @@ pub mod routing;
 pub mod time;
 pub mod trace;
 
+pub use arena::Arena;
 pub use event::EventQueue;
 pub use faults::{FaultEffects, FaultEvent, FaultKind, FaultPlan, FaultScope, FaultTarget};
 pub use geo::{City, GeoPoint, Region};

@@ -95,6 +95,26 @@ impl H2Connection {
         (stream_id, Frame::encode_all(&frames, include_preface))
     }
 
+    /// [`encode_response`](Self::encode_response) with a fresh HPACK
+    /// encoder — exactly the wire a server produces for its first response
+    /// on a new connection. The probe fast path uses this to precompute
+    /// response wire lengths once per (status, payload) instead of
+    /// re-encoding on every probe's fresh connection.
+    pub fn encode_response_fresh(
+        stream_id: u32,
+        status: u16,
+        extra_headers: &[HeaderField],
+        body: &[u8],
+    ) -> Bytes {
+        Self::encode_response(
+            &mut Encoder::default(),
+            stream_id,
+            status,
+            extra_headers,
+            body,
+        )
+    }
+
     /// Encodes a server response for `stream_id` (used by the simulated
     /// resolver frontends and by tests).
     pub fn encode_response(

@@ -1,0 +1,31 @@
+// detlint UI fixture: deny-alloc × the arena API. Not compiled — detlint
+// is lexical. `arena.alloc()` / `arena.recycle()` are the sanctioned
+// pooled-buffer checkout; everything else stays rejected.
+
+#[deny_alloc]
+fn hot(arena: &mut Arena, wire: &[u8]) -> usize {
+    let mut buf = arena.alloc();
+    buf.extend_from_slice(wire);
+    let n = buf.len();
+    arena.recycle(buf);
+    n
+}
+
+#[deny_alloc]
+fn hot_field(ctx: &mut PairContext) -> Vec<u8> {
+    ctx.scratch_arena.alloc()
+}
+
+#[deny_alloc]
+fn still_rejected(allocator: &Bump, layout: Layout) {
+    let p = allocator.alloc(layout);
+    let b = Box::new(p);
+    let v: Vec<u8> = Vec::new();
+    let a = Arena::new();
+}
+
+fn cold() {
+    // Outside a zone the arena rule is moot; plain allocation is fine.
+    let a = Arena::new();
+    let b = Box::new(1u32);
+}
