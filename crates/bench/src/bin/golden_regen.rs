@@ -12,7 +12,7 @@
 //! fixtures under `crates/report/tests/golden/` pin the JSON and CSV
 //! export formats the same way (`crates/report/tests/golden_metrics.rs`).
 
-use measure::{metrics_of, Campaign, CampaignConfig};
+use measure::{metrics_of, Campaign, CampaignConfig, LoadModel};
 
 fn entries() -> Vec<catalog::ResolverEntry> {
     [
@@ -86,4 +86,27 @@ fn main() {
     )
     .unwrap();
     eprintln!("wrote metrics exports for {} cells", snapshot.cells.len());
+
+    // Load-sweep table: the same roster at a load ladder, pinning the
+    // per-(multiplier, class) tail-latency/availability rows and their
+    // render. The 4-thread ≡ serial assertion extends to loaded configs:
+    // the load model is a pure function of (model, pair, time), so thread
+    // count must not move a single byte.
+    let mut sweep = report::LoadSweep::new();
+    for multiplier in [0.0, 2.0, 8.0] {
+        let mut config = CampaignConfig::quick(4, 3);
+        if multiplier > 0.0 {
+            config = config.with_load(LoadModel::standard(4).with_multiplier(multiplier));
+        }
+        let campaign = Campaign::with_resolvers(config, entries());
+        let loaded = campaign.run();
+        assert_eq!(
+            loaded.records,
+            campaign.run_parallel(4).records,
+            "4-thread loaded regeneration (x{multiplier}) must be byte-identical to serial"
+        );
+        sweep.add_point(multiplier, &entries(), &loaded.records);
+    }
+    std::fs::write(report_dir.join("load_sweep_seed4.txt"), sweep.render()).unwrap();
+    eprintln!("wrote load sweep with {} rows", sweep.rows().len());
 }

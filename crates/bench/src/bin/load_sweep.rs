@@ -1,0 +1,188 @@
+//! Load-sweep bench: runs the same campaign at a ladder of load
+//! multipliers and records throughput/latency curves per deployment
+//! class — the "anycast absorbs, single-site collapses" acceptance run
+//! recorded in `BENCH_campaign.json`.
+//!
+//! Two profiles:
+//!
+//! * `cargo run --release -p bench --bin load_sweep` — the full-population
+//!   ladder whose numbers are recorded in `BENCH_campaign.json`;
+//! * `-- --quick` — the CI smoke: a small roster and short ladder, plus a
+//!   hard floor on loaded probe-generation throughput (the load model's
+//!   per-attempt site pick must stay a handful of float ops, not a new
+//!   hot-path cost) and the qualitative shape assertions.
+//!
+//! Shape assertions (both profiles):
+//!
+//! * across the sub-saturation ladder, the single-site class's p99/p999
+//!   degrade monotonically (the deterministic queueing delay grows with
+//!   offered load, and nothing sheds yet, so the success set is fixed);
+//! * past saturation, single-site availability collapses (shedding);
+//! * the production anycast class stays flat in p99 and availability
+//!   across the whole ladder.
+
+// Bench harness: real elapsed time is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use measure::{Campaign, CampaignConfig, LoadModel};
+use report::{LoadClass, LoadSweep};
+
+/// CI floor on loaded probe generation in the quick profile, probes/sec
+/// end-to-end (`run()`: generate + merge). The unloaded fast path clears
+/// ~1e5 on the reference container; the load model adds a per-attempt
+/// site pick (a few float ops per site over a precomputed table), which
+/// measures within noise of unloaded. Tripping half that means the pick
+/// grew a per-attempt allocation or re-derivation.
+const QUICK_FLOOR_LOADED_PROBES_PER_SEC: f64 = 40_000.0;
+
+/// Sub-saturation rungs: the hobbyist class's queueing delay grows
+/// monotonically here while nothing sheds, so tail percentiles must be
+/// non-decreasing rung to rung.
+const SUB_SATURATION: [f64; 3] = [0.0, 1.0, 2.0];
+
+/// Deep-overload rung: single-site frontends shed most offered load.
+const OVERLOAD: f64 = 8.0;
+
+fn roster(quick: bool) -> Vec<catalog::ResolverEntry> {
+    if quick {
+        [
+            "dns.google",
+            "dns.quad9.net",
+            "doh.safesurfer.io",
+            "doh.ffmuc.net",
+            "doh.nl.ahadns.net",
+        ]
+        .into_iter()
+        .map(|h| catalog::resolvers::find(h).expect("known host"))
+        .collect()
+    } else {
+        catalog::resolvers::all()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let rounds = if quick { 3 } else { 12 };
+    let seed = 42;
+    let entries = roster(quick);
+
+    // Warm lazy statics outside the timed region.
+    Campaign::with_resolvers(CampaignConfig::quick(seed, 1), entries.clone()).run();
+
+    let mut sweep = LoadSweep::new();
+    let mut points = Vec::new();
+    let mut loaded_pps = f64::INFINITY;
+    for &m in SUB_SATURATION.iter().chain(std::iter::once(&OVERLOAD)) {
+        let mut config = CampaignConfig::quick(seed, rounds);
+        if m > 0.0 {
+            config = config.with_load(LoadModel::standard(seed).with_multiplier(m));
+        }
+        let campaign = Campaign::with_resolvers(config, entries.clone());
+        let probes = campaign.probe_count() as f64;
+        let t = Instant::now();
+        let result = campaign.run();
+        let elapsed = t.elapsed().as_secs_f64();
+        let pps = probes / elapsed;
+        if m > 0.0 {
+            loaded_pps = loaded_pps.min(pps);
+        }
+        sweep.add_point(m, &entries, &result.records);
+        points.push((m, probes as u64, elapsed, pps));
+    }
+
+    // ---- Shape assertions -------------------------------------------------
+    let single: Vec<_> = sweep.class_rows(LoadClass::SingleSite);
+    let prod: Vec<_> = sweep.class_rows(LoadClass::ProductionAnycast);
+    assert_eq!(single.len(), SUB_SATURATION.len() + 1);
+
+    // Monotone p99/p999 degradation below saturation for single-site.
+    for w in single[..SUB_SATURATION.len()].windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let (p99a, p99b) = (a.p99_ms.expect("p99"), b.p99_ms.expect("p99"));
+        let (p999a, p999b) = (a.p999_ms.expect("p999"), b.p999_ms.expect("p999"));
+        assert!(
+            p99b >= p99a && p999b >= p999a,
+            "single-site tails must degrade monotonically: \
+             {}x p99 {p99a:.1} p999 {p999a:.1} -> {}x p99 {p99b:.1} p999 {p999b:.1}",
+            a.multiplier,
+            b.multiplier,
+        );
+    }
+    // Past saturation the class sheds: availability collapses.
+    let idle = single[0];
+    let hot = single[single.len() - 1];
+    assert!(
+        hot.availability < idle.availability - 0.2,
+        "overloaded single-site must shed: {:.2} -> {:.2}",
+        idle.availability,
+        hot.availability,
+    );
+    // Production anycast stays flat across the whole ladder.
+    let prod_idle_p99 = prod[0].p99_ms.expect("p99");
+    for r in &prod {
+        let p99 = r.p99_ms.expect("p99");
+        assert!(
+            (p99 - prod_idle_p99).abs() < prod_idle_p99 * 0.05,
+            "production p99 must stay flat: idle {prod_idle_p99:.1} vs {:.1} at {}x",
+            p99,
+            r.multiplier,
+        );
+        assert!(
+            r.availability > idle.availability.min(0.95) - 0.02,
+            "production availability must hold at {}x: {:.3}",
+            r.multiplier,
+            r.availability,
+        );
+    }
+
+    // ---- Report -----------------------------------------------------------
+    eprintln!("{}", sweep.render());
+    let point_json: Vec<String> = points
+        .iter()
+        .map(|(m, probes, s, pps)| {
+            format!(
+                "{{\"multiplier\":{m},\"probes\":{probes},\"run_s\":{s:.3},\"probes_per_sec\":{pps:.0}}}"
+            )
+        })
+        .collect();
+    let row_json: Vec<String> = sweep
+        .rows()
+        .iter()
+        .map(|r| {
+            let ms = |v: Option<f64>| {
+                v.map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "null".into())
+            };
+            format!(
+                concat!(
+                    "{{\"multiplier\":{},\"class\":\"{}\",\"probes\":{},",
+                    "\"availability\":{:.4},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{}}}"
+                ),
+                r.multiplier,
+                r.class.label(),
+                r.probes,
+                r.availability,
+                ms(r.p50_ms),
+                ms(r.p99_ms),
+                ms(r.p999_ms),
+            )
+        })
+        .collect();
+    println!(
+        "{{\"profile\":\"{}\",\"resolvers\":{},\"points\":[{}],\"classes\":[{}]}}",
+        if quick { "quick" } else { "full" },
+        entries.len(),
+        point_json.join(","),
+        row_json.join(","),
+    );
+
+    if quick && loaded_pps < QUICK_FLOOR_LOADED_PROBES_PER_SEC {
+        eprintln!(
+            "FAIL: loaded campaign throughput {loaded_pps:.0} probes/sec below floor {QUICK_FLOOR_LOADED_PROBES_PER_SEC:.0}"
+        );
+        std::process::exit(1);
+    }
+}

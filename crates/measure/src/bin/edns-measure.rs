@@ -69,9 +69,9 @@ USAGE:
   edns-measure campaign [--scale quick|standard|paper] [--seed S] [--out FILE]
                         [--metrics] [--retries N] [--timeout SECS]
                         [--backoff-ms MS] [--jitter F] [--faults none|default]
-                        [--days N] [--shards K] [--checkpoint-dir DIR]
-                        [--events FILE] [--health FILE] [--trace-out FILE]
-                        [--progress]
+                        [--load MULT] [--days N] [--shards K]
+                        [--checkpoint-dir DIR] [--events FILE] [--health FILE]
+                        [--trace-out FILE] [--progress]
       Run a full campaign over the whole population and write JSON-Lines
       results (default scale standard, output results.jsonl). --metrics
       prints the per-resolver × vantage metrics snapshot (counters, error
@@ -116,6 +116,14 @@ RETRY & FAULT FLAGS:
                     of outages, brownouts, cert-expiry and rate-limit
                     windows. '--faults default' also switches retries to
                     dig defaults (3 tries, 5 s timeout) unless overridden.
+
+LOAD FLAGS (campaign only):
+  --load MULT       attach the standard client-population load model at
+                    the given multiplier: resolvers see queueing delay and
+                    overload shedding proportional to the simulated client
+                    demand their sites attract. MULT 0 is byte-identical
+                    to omitting the flag. See the load_sweep bench for
+                    whole-ladder throughput/latency curves.
 ";
 
 /// Fetches the value following `--flag`, if present.
@@ -345,6 +353,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if faults_enabled(args)? {
         // Dig-default retries plus the seeded fault plan.
         config = config.with_default_faults();
+    }
+    if let Some(v) = flag_value(args, "--load") {
+        let multiplier: f64 = v.parse().map_err(|_| "bad --load")?;
+        config = config.with_load(measure::LoadModel::standard(seed).with_multiplier(multiplier));
+        config.validate()?;
     }
     apply_retry_flags(args, &mut config.probe.retry)?;
     let out = flag_value(args, "--out").unwrap_or("results.jsonl");

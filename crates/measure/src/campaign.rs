@@ -21,6 +21,7 @@ use obs::{Label, MetricsRegistry, MetricsSnapshot, Phase};
 
 use crate::config::CampaignConfig;
 use crate::context::PairContext;
+use crate::population::PairLoad;
 use crate::probe::{ProbeTarget, Prober};
 use crate::results::{ProbeOutcome, ProbeRecord};
 use crate::vantage::Vantage;
@@ -430,6 +431,11 @@ impl Campaign {
             &self.config.faults,
             self.domains.iter().map(|d| &d.name),
         );
+        // A zero (or absent) load model takes the unloaded call below —
+        // the exact code path the seed goldens pin, untouched byte for
+        // byte. Only a live model builds pair load state.
+        let load = self.config.load.as_ref().filter(|m| !m.is_zero());
+        let mut pair_load = load.map(|m| PairLoad::build(m, vantage, &target));
 
         let mut records = Vec::new();
         for span in &self.config.spans {
@@ -438,15 +444,28 @@ impl Campaign {
             }
             for at in span.round_times() {
                 for (domain_idx, domain) in self.domains.iter().enumerate() {
-                    let (outcome, ping, retry) = prober.probe_pair(
-                        &mut ctx,
-                        &mut target,
-                        domain_idx,
-                        at,
-                        self.config.probe,
-                        &self.config.faults,
-                        &mut rng,
-                    );
+                    let (outcome, ping, retry) = match (load, &mut pair_load) {
+                        (Some(model), Some(pl)) => prober.probe_pair_loaded(
+                            &mut ctx,
+                            pl,
+                            model,
+                            &mut target,
+                            domain_idx,
+                            at,
+                            self.config.probe,
+                            &self.config.faults,
+                            &mut rng,
+                        ),
+                        _ => prober.probe_pair(
+                            &mut ctx,
+                            &mut target,
+                            domain_idx,
+                            at,
+                            self.config.probe,
+                            &self.config.faults,
+                            &mut rng,
+                        ),
+                    };
                     // Rewind the arena's checkout accounting: buffers kept
                     // by the context's caches stay; scratch is written off.
                     ctx.arena.reset();

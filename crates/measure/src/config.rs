@@ -11,6 +11,7 @@ use netsim::faults::{scatter_windows, FaultKind, FaultPlan, FaultScope};
 use netsim::rng::derive_seed;
 use netsim::{SimDuration, SimTime};
 
+use crate::population::LoadModel;
 use crate::probe::ProbeConfig;
 use crate::vantage::{self, Vantage};
 
@@ -65,6 +66,11 @@ pub struct CampaignConfig {
     /// constructor) injects nothing and keeps campaign output
     /// byte-identical to a faultless build.
     pub faults: FaultPlan,
+    /// Optional client-population load model. `None` (the default in every
+    /// constructor) — or a model whose [`LoadModel::is_zero`] is true —
+    /// keeps campaign output byte-identical to an unloaded build; the
+    /// `load_differential` test pins this against the seed goldens.
+    pub load: Option<LoadModel>,
 }
 
 const HOME_LABELS: [&str; 4] = ["home-1", "home-2", "home-3", "home-4"];
@@ -114,6 +120,7 @@ impl CampaignConfig {
                 },
             ],
             faults: FaultPlan::EMPTY,
+            load: None,
         }
     }
 
@@ -139,6 +146,7 @@ impl CampaignConfig {
                 },
             ],
             faults: FaultPlan::EMPTY,
+            load: None,
         }
     }
 
@@ -169,6 +177,7 @@ impl CampaignConfig {
                 },
             ],
             faults: FaultPlan::EMPTY,
+            load: None,
         }
     }
 
@@ -195,6 +204,13 @@ impl CampaignConfig {
     pub fn with_default_faults(mut self) -> Self {
         self.probe.retry = crate::retry::RetryPolicy::dig_defaults();
         self.faults = default_fault_plan(self.seed, self.horizon());
+        self
+    }
+
+    /// Attaches a client-population load model (builder-style). A zero
+    /// model is accepted and behaves exactly like `None`.
+    pub fn with_load(mut self, load: LoadModel) -> Self {
+        self.load = Some(load);
         self
     }
 
@@ -225,6 +241,9 @@ impl CampaignConfig {
         }
         if self.spans.is_empty() {
             return Err("campaign config has no measurement spans".to_string());
+        }
+        if let Some(load) = &self.load {
+            load.validate().map_err(|e| format!("load model: {e}"))?;
         }
         Ok(())
     }

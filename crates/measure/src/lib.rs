@@ -34,6 +34,7 @@ pub mod dns_json;
 pub mod errors;
 pub mod health;
 pub mod json;
+pub mod population;
 pub mod probe;
 pub mod results;
 pub mod retry;
@@ -55,6 +56,7 @@ pub use health::{
     day_of, detect_drift, DriftConfig, DriftFinding, DriftKind, HealthCell, HealthRow,
     HealthSeries, NANOS_PER_DAY,
 };
+pub use population::{representative_client, LoadModel, RegionDemand};
 pub use probe::{ProbeConfig, ProbeTarget, Prober};
 pub use results::{ProbeOutcome, ProbeRecord, ProbeTimings, Protocol};
 pub use retry::{RetryInfo, RetryPolicy};

@@ -23,6 +23,7 @@ use transport::{
 
 use crate::context::{DomainTemplate, PairContext};
 use crate::errors::ProbeErrorKind;
+use crate::population::{LoadModel, PairLoad};
 use crate::results::{ProbeOutcome, ProbeTimings, Protocol};
 use crate::retry::{RetryInfo, RetryPolicy};
 
@@ -421,6 +422,80 @@ impl Prober {
         (outcome, ping, info)
     }
 
+    /// [`probe_pair`](Self::probe_pair) under a client-population load
+    /// model: each attempt resolves its serving site through the
+    /// [`PairLoad`]'s load-sensitive selection (an overloaded nearest site
+    /// spills the vantage to the next-nearest), overlays the site's
+    /// offered-load rate onto the fault effects (queueing delay via the
+    /// frontend's `QueueModel`) and makes the hash-based shed decision —
+    /// a shed attempt rides the existing rate-limit machinery, so it
+    /// surfaces as HTTP 429 on DoH and SERVFAIL on bare transports. All
+    /// load inputs are pure functions of `(model, pair, attempt time)`:
+    /// the probe RNG stream is consumed exactly as on the unloaded path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_pair_loaded(
+        &self,
+        ctx: &mut PairContext,
+        pair_load: &mut PairLoad,
+        model: &LoadModel,
+        target: &mut ProbeTarget,
+        domain_idx: usize,
+        now: SimTime,
+        cfg: ProbeConfig,
+        faults: &FaultPlan,
+        rng: &mut SimRng,
+    ) -> (ProbeOutcome, Option<SimDuration>, Option<RetryInfo>) {
+        let mut log = SpanLog::disabled();
+        let PairContext {
+            client,
+            ftarget,
+            scope_mask,
+            domains,
+            arena,
+            ..
+        } = ctx;
+        let tmpl = &mut domains[domain_idx];
+
+        let first = pair_load.pick(model, ftarget, now);
+        let ping = icmp::ping(
+            pair_load.path(first.site),
+            target.instance.icmp,
+            cfg.ping_timeout,
+            rng,
+        )
+        .rtt();
+        match ping {
+            Some(rtt) => log.instant(now.as_nanos() + rtt.as_nanos(), "icmp_echo_reply"),
+            None => log.instant(now.as_nanos(), "icmp_filtered"),
+        }
+
+        let (outcome, info) = Self::run_attempts(cfg.retry, now, rng, |attempt_now, rng| {
+            let mut effects = faults.effects_at_masked(attempt_now, ftarget, scope_mask);
+            let pick = pair_load.pick(model, ftarget, attempt_now);
+            effects.offered_load_qps = pick.offered_qps;
+            if pick.shed {
+                effects.rate_limited = true;
+            }
+            let health = Self::effective_health(target, attempt_now, &effects, rng);
+            let path = pair_load.path(pick.site).clone();
+            self.dns_probe_ctx(
+                client,
+                target,
+                tmpl,
+                attempt_now,
+                pick.site,
+                &path,
+                health,
+                &effects,
+                cfg,
+                arena,
+                rng,
+                &mut log,
+            )
+        });
+        (outcome, ping, info)
+    }
+
     /// Context-path twin of [`dns_probe`](Self::dns_probe): identical
     /// fault/health shaping, dispatching to the template-backed protocol
     /// probes. ODoH falls through to the reference path — its per-probe
@@ -507,6 +582,7 @@ impl Prober {
             &self.authorities,
             now,
             effects.slowdown,
+            effects.offered_load_qps,
             rng,
         );
         let shed = effects.servfail || (!http_layer && effects.rate_limited);
@@ -997,6 +1073,7 @@ impl Prober {
             &self.authorities,
             now,
             effects.slowdown,
+            effects.offered_load_qps,
             rng,
         );
         let shed = effects.servfail || (!http_layer && effects.rate_limited);

@@ -227,6 +227,30 @@ impl<'a> ShardedRunner<'a> {
                 span.vantages.join(",")
             );
         }
+        // A live load model changes every record, so it is part of the
+        // fingerprint — a checkpoint can never silently resume across a
+        // load change. A zero model is byte-transparent and hashes like
+        // its absence.
+        if let Some(load) = config.load.as_ref().filter(|m| !m.is_zero()) {
+            let _ = write!(
+                s,
+                "load={:x},{},{},{},{},{},{};",
+                load.seed,
+                load.multiplier,
+                load.mainstream_share,
+                load.niche_share,
+                load.spill_utilization,
+                load.day_jitter,
+                load.regions.len()
+            );
+            for r in &load.regions {
+                let _ = write!(
+                    s,
+                    "region={:?},{},{},{},{};",
+                    r.region, r.clients, r.queries_per_client_day, r.diurnal_amplitude, r.peak_hour
+                );
+            }
+        }
         for p in self.campaign.pair_plans() {
             let _ = write!(
                 s,

@@ -142,6 +142,12 @@ pub struct FaultEffects {
     pub bad_certificate: bool,
     /// This attempt's HTTP request is rejected with a 429.
     pub rate_limited: bool,
+    /// Offered-load rate at the serving site, queries per second (`0.0` =
+    /// idle). Not set by fault events: a population load model overlays it
+    /// so the frontend adds the deterministic queueing delay of its
+    /// `QueueModel` — the same effects struct carries both fault and load
+    /// state to the single application site in the prober.
+    pub offered_load_qps: f64,
 }
 
 impl FaultEffects {
@@ -156,6 +162,7 @@ impl FaultEffects {
             servfail: false,
             bad_certificate: false,
             rate_limited: false,
+            offered_load_qps: 0.0,
         }
     }
 
@@ -379,19 +386,29 @@ impl FaultPlan {
     /// — deterministic for identical coordinates, independent between
     /// attempts (the attempt start time differs) and between events.
     fn decide(&self, now: SimTime, target: &FaultTarget<'_>, event_index: usize, p: f64) -> bool {
-        if p <= 0.0 {
-            return false;
-        }
-        if p >= 1.0 {
-            return true;
-        }
-        let mut state = derive_seed(self.seed, target.resolver)
-            ^ derive_seed(self.seed.rotate_left(17), target.vantage)
-            ^ now.as_nanos()
-            ^ (event_index as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
-        u < p
+        hash_decision(self.seed, now, target, event_index as u64, p)
     }
+}
+
+/// The hash-based Bernoulli trial behind every stochastic per-attempt
+/// decision: a pure uniform over `(seed, time, target, salt)`, never
+/// touching any probe RNG stream. [`FaultPlan`] salts it with the event
+/// index; other deterministic overlays (the population load model's
+/// overload shedding) salt it with their own coordinates so decisions stay
+/// independent between subsystems.
+pub fn hash_decision(seed: u64, now: SimTime, target: &FaultTarget<'_>, salt: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let mut state = derive_seed(seed, target.resolver)
+        ^ derive_seed(seed.rotate_left(17), target.vantage)
+        ^ now.as_nanos()
+        ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+    let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+    u < p
 }
 
 /// Deterministically scatters `count` non-degenerate windows across

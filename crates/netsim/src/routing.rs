@@ -107,10 +107,38 @@ impl Deployment {
     /// Builds the path from `client` to the site it routes to.
     pub fn path_from(&self, client: &Host) -> (usize, Path) {
         let idx = self.route(client);
+        (idx, self.path_to_site(client, idx))
+    }
+
+    /// Builds the path from `client` to a specific site, regardless of
+    /// routing — the building block for load-sensitive site selection,
+    /// where an overloaded nearest site spills clients to farther ones.
+    pub fn path_to_site(&self, client: &Host, idx: usize) -> Path {
         let site = &self.sites[idx];
         let mut path = Path::between(client.location, client.access, site.city.point, site.access);
         path.extra_loss = site.extra_loss;
-        (idx, path)
+        path
+    }
+
+    /// Site indices in the order `client` would prefer them: increasing
+    /// deterministic base path delay (ties broken by site index, so the
+    /// order is stable). Under unicast routing only site 0 is reachable,
+    /// so the order is the identity. `order[0]` always equals
+    /// [`route`](Self::route)`(client)`.
+    pub fn site_order(&self, client: &Host) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.sites.len()).collect();
+        if self.policy == RoutingPolicy::Anycast {
+            let ms: Vec<f64> = self
+                .sites
+                .iter()
+                .map(|site| {
+                    Path::between(client.location, client.access, site.city.point, site.access)
+                        .base_one_way_ms()
+                })
+                .collect();
+            order.sort_by(|&a, &b| ms[a].total_cmp(&ms[b]).then(a.cmp(&b)));
+        }
+        order
     }
 
     /// The region of the site serving `client` (for anycast this can differ

@@ -129,6 +129,7 @@ mod tests {
             domains: measure::standard_domains(),
             probe: measure::ProbeConfig::default(),
             faults: netsim::faults::FaultPlan::EMPTY,
+            load: None,
             spans: vec![
                 Span {
                     start_day: 0,

@@ -24,11 +24,13 @@ pub mod experiments;
 pub mod export;
 pub mod figure;
 pub mod health_report;
+pub mod load_sweep;
 pub mod metrics_export;
 pub mod sketch_report;
 pub mod table;
 
 pub use analysis::{Dataset, VantageGroup};
 pub use figure::{FigurePanel, FigureRow, AXIS_MAX_MS};
+pub use load_sweep::{LoadClass, LoadSweep, LoadSweepRow};
 pub use metrics_export::{metrics_csv, metrics_json};
 pub use table::TextTable;

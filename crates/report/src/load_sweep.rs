@@ -1,0 +1,267 @@
+//! The load-sweep table: tail latency and availability as a function of
+//! offered load — the capacity dimension the poster's idle-resolver
+//! methodology cannot see.
+//!
+//! A sweep runs the same campaign at a ladder of load multipliers
+//! (`measure::LoadModel::with_multiplier`) and feeds each result in via
+//! [`LoadSweep::add_point`]. Records are grouped into deployment classes
+//! (production anycast vs midsize vs single-site hobbyist, from the
+//! catalog profile); per (multiplier, class) the table reports p50/p99/
+//! p999 of successful response times plus availability. The expected
+//! shape — pinned by the golden fixture and asserted by the `load_sweep`
+//! bench — is the paper's contrast restated as a capacity story: anycast
+//! classes stay flat across the ladder while single-site classes degrade
+//! monotonically and then shed.
+
+use std::collections::BTreeMap;
+
+use catalog::{ProfileClass, ResolverEntry};
+use measure::{ProbeOutcome, ProbeRecord};
+
+use crate::table::TextTable;
+
+/// The deployment class a resolver's records aggregate under.
+///
+/// Ordered from most to least provisioned — the order rows render in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LoadClass {
+    /// Production-grade anycast (the mainstream operators).
+    ProductionAnycast,
+    /// Competent mid-size deployments.
+    Midsize,
+    /// Single-site hobbyist / community boxes.
+    SingleSite,
+    /// ODoH targets behind a relay.
+    OdohTarget,
+}
+
+impl LoadClass {
+    /// Classifies a catalog entry.
+    pub fn of(entry: &ResolverEntry) -> LoadClass {
+        match entry.profile {
+            ProfileClass::Production => LoadClass::ProductionAnycast,
+            ProfileClass::Midsize => LoadClass::Midsize,
+            ProfileClass::Hobbyist => LoadClass::SingleSite,
+            ProfileClass::OdohTarget => LoadClass::OdohTarget,
+        }
+    }
+
+    /// Human-readable row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadClass::ProductionAnycast => "production-anycast",
+            LoadClass::Midsize => "midsize",
+            LoadClass::SingleSite => "single-site",
+            LoadClass::OdohTarget => "odoh-target",
+        }
+    }
+}
+
+/// One (multiplier, class) cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSweepRow {
+    /// The load multiplier this campaign ran at.
+    pub multiplier: f64,
+    /// The deployment class aggregated here.
+    pub class: LoadClass,
+    /// Probes issued against the class.
+    pub probes: usize,
+    /// Fraction of probes that succeeded.
+    pub availability: f64,
+    /// Median successful response time, ms (`None` if nothing succeeded).
+    pub p50_ms: Option<f64>,
+    /// 99th percentile, ms.
+    pub p99_ms: Option<f64>,
+    /// 99.9th percentile, ms.
+    pub p999_ms: Option<f64>,
+}
+
+/// Accumulates campaign results across a ladder of load multipliers.
+#[derive(Debug, Default)]
+pub struct LoadSweep {
+    rows: Vec<LoadSweepRow>,
+}
+
+impl LoadSweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        LoadSweep::default()
+    }
+
+    /// Folds in one campaign result, run at `multiplier`, over the given
+    /// catalog entries. Appends one row per deployment class present, in
+    /// class order (deterministic regardless of record order).
+    pub fn add_point(
+        &mut self,
+        multiplier: f64,
+        entries: &[ResolverEntry],
+        records: &[ProbeRecord],
+    ) {
+        let class_of: BTreeMap<&str, LoadClass> = entries
+            .iter()
+            .map(|e| (e.hostname, LoadClass::of(e)))
+            .collect();
+        let mut probes: BTreeMap<LoadClass, usize> = BTreeMap::new();
+        let mut ok: BTreeMap<LoadClass, usize> = BTreeMap::new();
+        let mut latencies: BTreeMap<LoadClass, Vec<f64>> = BTreeMap::new();
+        for r in records {
+            let Some(&class) = class_of.get(r.resolver()) else {
+                continue;
+            };
+            *probes.entry(class).or_default() += 1;
+            if let ProbeOutcome::Success { .. } = r.outcome {
+                *ok.entry(class).or_default() += 1;
+            }
+            if let Some(t) = r.outcome.response_time() {
+                latencies.entry(class).or_default().push(t.as_millis_f64());
+            }
+        }
+        for (class, &n) in &probes {
+            let tails = latencies
+                .get(class)
+                .and_then(|l| edns_stats::tail_quantiles(l));
+            self.rows.push(LoadSweepRow {
+                multiplier,
+                class: *class,
+                probes: n,
+                availability: ok.get(class).copied().unwrap_or(0) as f64 / n as f64,
+                p50_ms: tails.map(|t| t.0),
+                p99_ms: tails.map(|t| t.1),
+                p999_ms: tails.map(|t| t.2),
+            });
+        }
+    }
+
+    /// The accumulated rows, in (insertion, class) order.
+    pub fn rows(&self) -> &[LoadSweepRow] {
+        &self.rows
+    }
+
+    /// The rows of one class, in insertion (multiplier-ladder) order.
+    pub fn class_rows(&self, class: LoadClass) -> Vec<&LoadSweepRow> {
+        self.rows.iter().filter(|r| r.class == class).collect()
+    }
+
+    /// Renders the sweep as a [`TextTable`].
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "Load x", "Class", "Probes", "Avail %", "p50 ms", "p99 ms", "p999 ms",
+        ]);
+        let ms = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_string(),
+        };
+        for r in &self.rows {
+            t.row([
+                format!("{:.2}", r.multiplier),
+                r.class.label().to_string(),
+                r.probes.to_string(),
+                format!("{:.2}", 100.0 * r.availability),
+                ms(r.p50_ms),
+                ms(r.p99_ms),
+                ms(r.p999_ms),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the table with its section heading — the form the golden
+    /// fixture pins.
+    pub fn render(&self) -> String {
+        format!(
+            "Load sweep: tail latency and availability vs offered load\n\n{}",
+            self.table().render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::{Campaign, CampaignConfig, LoadModel};
+
+    fn entries() -> Vec<ResolverEntry> {
+        ["dns.google", "doh.safesurfer.io", "doh.ffmuc.net"]
+            .into_iter()
+            .map(|h| catalog::resolvers::find(h).unwrap())
+            .collect()
+    }
+
+    fn sweep_point(multiplier: f64) -> Vec<ProbeRecord> {
+        let mut config = CampaignConfig::quick(11, 2);
+        if multiplier > 0.0 {
+            config = config.with_load(LoadModel::standard(11).with_multiplier(multiplier));
+        }
+        Campaign::with_resolvers(config, entries()).run().records
+    }
+
+    #[test]
+    fn classes_cover_catalog() {
+        let e = entries();
+        assert_eq!(LoadClass::of(&e[0]), LoadClass::ProductionAnycast);
+        assert_eq!(LoadClass::of(&e[2]), LoadClass::SingleSite);
+        assert!(LoadClass::ProductionAnycast < LoadClass::SingleSite);
+    }
+
+    #[test]
+    fn sweep_rows_are_deterministic_and_classed() {
+        let mut sweep = LoadSweep::new();
+        let records = sweep_point(0.0);
+        sweep.add_point(0.0, &entries(), &records);
+        let rows = sweep.rows();
+        assert_eq!(rows.len(), 3, "one row per class present: {rows:?}");
+        assert_eq!(rows[0].class, LoadClass::ProductionAnycast);
+        assert_eq!(rows[1].class, LoadClass::Midsize);
+        assert_eq!(rows[2].class, LoadClass::SingleSite);
+        assert!(rows.iter().all(|r| r.probes > 0));
+        assert!(rows[0].availability > 0.9, "production idle: {rows:?}");
+
+        let mut again = LoadSweep::new();
+        again.add_point(0.0, &entries(), &sweep_point(0.0));
+        assert_eq!(sweep.rows(), again.rows(), "same inputs, same rows");
+    }
+
+    #[test]
+    fn single_site_degrades_under_load_production_stays_flat() {
+        // Below a site's admission cap nothing sheds, so the success set
+        // is identical across multipliers and p99 shifts by exactly the
+        // deterministic queueing delay; past the cap, availability
+        // collapses. Compare the warm point (2x, near-saturated hobbyist
+        // queue, no shedding yet) and the hot point (8x, deep overload).
+        let mut sweep = LoadSweep::new();
+        for m in [0.0, 2.0, 8.0] {
+            let records = sweep_point(m);
+            sweep.add_point(m, &entries(), &records);
+        }
+        let single: Vec<_> = sweep.class_rows(LoadClass::SingleSite);
+        let idle_p99 = single[0].p99_ms.unwrap();
+        let warm_p99 = single[1].p99_ms.unwrap();
+        assert!(
+            warm_p99 > idle_p99,
+            "hobbyist p99 must degrade under queueing: {idle_p99} -> {warm_p99}"
+        );
+        assert!(
+            single[2].availability < single[0].availability - 0.2,
+            "saturated single-site must shed: {single:?}"
+        );
+        let prod: Vec<_> = sweep.class_rows(LoadClass::ProductionAnycast);
+        let idle = prod[0].p99_ms.unwrap();
+        let hot = prod[2].p99_ms.unwrap();
+        assert!(
+            (hot - idle).abs() < idle * 0.05,
+            "production p99 must stay flat: {idle} -> {hot}"
+        );
+        assert!(prod[2].availability > 0.9, "production keeps serving");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut sweep = LoadSweep::new();
+        sweep.add_point(1.0, &entries(), &sweep_point(1.0));
+        let rendered = sweep.render();
+        assert!(rendered.contains("Load sweep"));
+        assert!(rendered.contains("production-anycast"));
+        assert!(rendered.contains("single-site"));
+        assert_eq!(sweep.table().len(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Golden-fixture regression for the load-sweep table: the fixed-seed
+//! roster swept over the standard multiplier ladder must reproduce
+//! `tests/golden/load_sweep_seed4.txt` byte-for-byte — pinning the class
+//! labels, column layout, float formatting, and the load model's effect
+//! on the underlying campaign all at once. The 0.00x rows double as a
+//! zero-load transparency witness: they are computed from a config with
+//! **no** load model, so if a loaded rung ever contaminated the unloaded
+//! path, the fixture (regenerated under the 4-thread ≡ serial assertion)
+//! would drift.
+//!
+//! After an *intentional* format change, regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin golden_regen
+//! ```
+
+use measure::{Campaign, CampaignConfig, LoadModel};
+use report::LoadSweep;
+
+fn entries() -> Vec<catalog::ResolverEntry> {
+    // Must mirror the load-sweep roster in bench's golden_regen bin.
+    [
+        "dns.google",
+        "dns.quad9.net",
+        "doh.ffmuc.net",
+        "chewbacca.meganerd.nl",
+    ]
+    .into_iter()
+    .map(|h| catalog::resolvers::find(h).unwrap())
+    .collect()
+}
+
+#[test]
+fn load_sweep_matches_golden_bytes() {
+    let golden = include_str!("golden/load_sweep_seed4.txt");
+    let mut sweep = LoadSweep::new();
+    for multiplier in [0.0, 2.0, 8.0] {
+        let mut config = CampaignConfig::quick(4, 3);
+        if multiplier > 0.0 {
+            config = config.with_load(LoadModel::standard(4).with_multiplier(multiplier));
+        }
+        let result = Campaign::with_resolvers(config, entries()).run();
+        sweep.add_point(multiplier, &entries(), &result.records);
+    }
+    assert_eq!(
+        sweep.render(),
+        golden,
+        "load-sweep table drifted from the golden fixture; if intentional, \
+         regenerate with `cargo run --release -p bench --bin golden_regen`"
+    );
+}
+
+#[test]
+fn golden_load_sweep_shows_the_expected_shape() {
+    // The fixture itself must keep telling the story the sweep exists to
+    // tell: parse it back and cross-check the qualitative shape rather
+    // than trusting bytes alone.
+    let golden = include_str!("golden/load_sweep_seed4.txt");
+    let rows: Vec<Vec<&str>> = golden
+        .lines()
+        .skip_while(|l| !l.starts_with('-'))
+        .skip(1)
+        .map(|l| l.split_whitespace().collect())
+        .collect();
+    assert_eq!(rows.len(), 6, "3 multipliers x 2 classes");
+
+    let avail = |mult: &str, class: &str| -> f64 {
+        let row = rows
+            .iter()
+            .find(|r| r[0] == mult && r[1] == class)
+            .unwrap_or_else(|| panic!("missing row {mult} {class}"));
+        row[3].parse().unwrap()
+    };
+    // Production anycast holds availability across the whole ladder...
+    let prod_idle = avail("0.00", "production-anycast");
+    assert!(prod_idle > 95.0);
+    assert_eq!(prod_idle, avail("8.00", "production-anycast"));
+    // ...while the overloaded single-site class sheds most of its load.
+    let single_idle = avail("0.00", "single-site");
+    assert!(
+        avail("8.00", "single-site") < single_idle - 20.0,
+        "single-site availability must collapse past saturation"
+    );
+}

@@ -61,8 +61,11 @@ impl ResolverInstance {
         self.outages.iter().any(|(a, b)| now >= *a && now < *b)
     }
 
-    /// Samples this probe's observed health at simulated time `now`,
-    /// honouring scheduled outages.
+    /// Samples this probe's observed health at simulated time `now` — the
+    /// **single audited health path**: scheduled outage windows are checked
+    /// here and nowhere else, so a caller can never observe a healthy
+    /// service inside an outage. (A former `sample_health` twin skipped
+    /// the outage check; it was unified into this method and removed.)
     pub fn sample_health_at(&self, now: SimTime, rng: &mut SimRng) -> crate::server::ProbeHealth {
         if self.in_outage(now) {
             return crate::server::ProbeHealth::Blackholed;
@@ -76,15 +79,71 @@ impl ResolverInstance {
         self.deployment.path_from(client)
     }
 
+    /// Load-sensitive routing: the nearest site whose utilization against
+    /// `offered` (per-site offered-load rates, qps, parallel to
+    /// `deployment.sites`) is below `spill`, falling back to the nearest
+    /// site when every site is saturated. With zero offered load this is
+    /// exactly [`route`](Self::route) — anycast absorbs regional overload
+    /// by spilling clients outward, a unicast deployment has nowhere to
+    /// spill.
+    pub fn route_loaded(&self, client: &Host, offered: &[f64], spill: f64) -> (usize, Path) {
+        let order = self.deployment.site_order(client);
+        let pick = order
+            .iter()
+            .copied()
+            .find(|&i| {
+                let q = self.servers[i].profile.queue();
+                q.utilization(offered.get(i).copied().unwrap_or(0.0)) < spill
+            })
+            .unwrap_or(order[0]);
+        (pick, self.deployment.path_to_site(client, pick))
+    }
+
+    /// The deterministic per-site load table against `offered` (qps per
+    /// site, parallel to `deployment.sites`): utilization, queueing delay
+    /// and shed probability per site, in site order. Pure — the report's
+    /// load tables and the two-seed stable-ordering tests are built on it.
+    pub fn site_load_table(&self, offered: &[f64]) -> Vec<SiteLoad> {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, server)| {
+                let q = server.profile.queue();
+                let qps = offered.get(i).copied().unwrap_or(0.0);
+                SiteLoad {
+                    site: i,
+                    city: server.location().name,
+                    offered_qps: qps,
+                    utilization: q.utilization(qps),
+                    queue_delay_ms: q.queue_delay_ms(qps),
+                    shed_probability: q.shed_probability(qps),
+                }
+            })
+            .collect()
+    }
+
     /// Mutable access to the frontend at `site`.
     pub fn server_mut(&mut self, site: usize) -> &mut ResolverServer {
         &mut self.servers[site]
     }
+}
 
-    /// Samples this probe's observed health.
-    pub fn sample_health(&self, rng: &mut SimRng) -> crate::server::ProbeHealth {
-        self.health.sample(rng)
-    }
+/// One row of a per-site load table: the queueing model of one site
+/// evaluated against its offered-load rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteLoad {
+    /// Site index (parallel to `deployment.sites`).
+    pub site: usize,
+    /// The site's city name.
+    pub city: &'static str,
+    /// Offered-load rate at the site, queries per second.
+    pub offered_qps: f64,
+    /// Raw utilization `λ / capacity` (may exceed 1 past saturation).
+    pub utilization: f64,
+    /// Mean queueing delay of an admitted query, ms.
+    pub queue_delay_ms: f64,
+    /// Fraction of offered queries shed at this rate.
+    pub shed_probability: f64,
 }
 
 #[cfg(test)]
@@ -147,9 +206,76 @@ mod tests {
         let inst = anycast_instance();
         let mut rng = SimRng::from_seed(1);
         let healthy = (0..1000)
-            .filter(|_| inst.sample_health(&mut rng) == crate::server::ProbeHealth::Healthy)
+            .filter(|_| {
+                inst.sample_health_at(SimTime::ZERO, &mut rng)
+                    == crate::server::ProbeHealth::Healthy
+            })
             .count();
         assert!(healthy > 990);
+    }
+
+    #[test]
+    fn outage_boundary_instants_are_exact() {
+        use netsim::SimDuration;
+        let mut inst = anycast_instance();
+        let from = SimTime::ZERO + SimDuration::from_hours(10);
+        let until = SimTime::ZERO + SimDuration::from_hours(14);
+        inst.add_outage(from, until);
+        let mut rng = SimRng::from_seed(7);
+        // The start instant is inside the window: blackholed, no RNG draw
+        // needed — repeated samples at `from` never disagree.
+        for _ in 0..50 {
+            assert_eq!(
+                inst.sample_health_at(from, &mut rng),
+                crate::server::ProbeHealth::Blackholed
+            );
+        }
+        // One nanosecond before the window: normal sampling resumes.
+        let just_before = SimTime::from_nanos(from.as_nanos() - 1);
+        assert!(!inst.in_outage(just_before));
+        // The end instant is outside the (half-open) window.
+        let healthy_at_end = (0..200)
+            .filter(|_| {
+                inst.sample_health_at(until, &mut rng) == crate::server::ProbeHealth::Healthy
+            })
+            .count();
+        assert!(healthy_at_end > 190, "end instant must sample normally");
+    }
+
+    #[test]
+    fn route_loaded_spills_to_next_site_and_falls_back() {
+        let inst = anycast_instance();
+        let c = client(cities::CHICAGO);
+        let capacity = inst.servers[0].profile.queue().capacity_qps();
+        // Idle: identical to plain routing.
+        let (site, _) = inst.route_loaded(&c, &[0.0, 0.0, 0.0], 0.8);
+        assert_eq!(site, inst.route(&c).0);
+        // The nearest site saturated: spill to the next-nearest.
+        let (site, path) = inst.route_loaded(&c, &[capacity * 2.0, 0.0, 0.0], 0.8);
+        assert_ne!(site, 0);
+        assert!(path.base_one_way_ms() > 0.0);
+        // Everything saturated: fall back to the nearest site.
+        let all = [capacity * 2.0, capacity * 2.0, capacity * 2.0];
+        let (site, _) = inst.route_loaded(&c, &all, 0.8);
+        assert_eq!(site, inst.route(&c).0);
+    }
+
+    #[test]
+    fn site_load_table_reports_per_site_queueing() {
+        let inst = anycast_instance();
+        let capacity = inst.servers[0].profile.queue().capacity_qps();
+        let table = inst.site_load_table(&[0.0, capacity * 0.5, capacity * 2.0]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(
+            (table[0].site, table[1].site, table[2].site),
+            (0, 1, 2),
+            "rows in site order"
+        );
+        assert_eq!(table[0].queue_delay_ms, 0.0);
+        assert!(table[1].queue_delay_ms > 0.0);
+        assert_eq!(table[1].shed_probability, 0.0);
+        assert!(table[2].shed_probability > 0.0);
+        assert_eq!(table[1].city, "Frankfurt");
     }
 
     #[test]

@@ -23,13 +23,15 @@
 pub mod authority;
 pub mod cache;
 pub mod deployment;
+pub mod queue;
 pub mod recursive;
 pub mod server;
 pub mod zonefile;
 
 pub use authority::{AuthorityAnswer, AuthorityTree, Zone};
 pub use cache::{CacheStats, RecordCache};
-pub use deployment::ResolverInstance;
+pub use deployment::{ResolverInstance, SiteLoad};
+pub use queue::QueueModel;
 pub use recursive::{RecursiveResolver, Resolution};
 pub use server::{HealthModel, ProbeHealth, ResolverServer, ServerProfile};
 pub use zonefile::{parse_zone, ZoneParseError};

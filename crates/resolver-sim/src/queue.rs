@@ -1,0 +1,153 @@
+//! Deterministic per-site queueing capacity: an M/D/c-style steady-state
+//! service model computed from the offered arrival rate — no per-request
+//! event simulation.
+//!
+//! A site runs `servers` parallel workers, each taking a deterministic
+//! `service_ms` per query, so its capacity is `servers × 1000 / service_ms`
+//! queries per second. Against an offered rate λ the utilization is
+//! ρ = λ / capacity, and an *admitted* query waits the closed-form
+//! M/D/c-style mean queueing delay
+//!
+//! ```text
+//! Wq(ρ) = service_ms · ρ / (2 · servers · (1 − ρ))
+//! ```
+//!
+//! (the Pollaczek–Khinchine mean wait for deterministic service, divided
+//! across the `c` workers). The model never queues unboundedly: utilization
+//! is capped at [`max_utilization`](QueueModel::max_utilization), and the
+//! offered traffic beyond that admission cap is **shed** — answered
+//! SERVFAIL (or HTTP 429) by the frontend instead of queued. Three
+//! properties the load subsystem's tests pin:
+//!
+//! * `Wq` is **zero at zero load** — a zero-rate load model is
+//!   byte-transparent to campaigns;
+//! * `Wq` is **monotone non-decreasing** in the offered rate;
+//! * past capacity the site **sheds instead of queueing**: the delay
+//!   saturates at `Wq(max_utilization)` and the shed probability rises
+//!   toward 1 as λ → ∞.
+//!
+//! Everything here is a pure function of `(model, offered rate)`: no RNG,
+//! no wall clock, no state. Stochastic per-attempt shed decisions are made
+//! by the caller via the hash-based machinery in `netsim::faults`.
+
+/// Default admission cap on utilization: offered traffic beyond this
+/// fraction of capacity is shed rather than queued.
+pub const MAX_UTILIZATION: f64 = 0.95;
+
+/// The deterministic queueing capacity of one resolver site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueModel {
+    /// Parallel workers at the site (the `c` in M/D/c).
+    pub servers: u32,
+    /// Deterministic per-query service time, milliseconds.
+    pub service_ms: f64,
+    /// Admission cap on utilization (`0 < max_utilization < 1`): offered
+    /// load beyond it is shed, never queued.
+    pub max_utilization: f64,
+}
+
+impl QueueModel {
+    /// A queue model with the default admission cap.
+    pub fn new(servers: u32, service_ms: f64) -> Self {
+        QueueModel {
+            servers,
+            service_ms,
+            max_utilization: MAX_UTILIZATION,
+        }
+    }
+
+    /// The site's saturation throughput, queries per second.
+    pub fn capacity_qps(&self) -> f64 {
+        if self.service_ms <= 0.0 {
+            return f64::INFINITY;
+        }
+        f64::from(self.servers.max(1)) * 1000.0 / self.service_ms
+    }
+
+    /// Raw (uncapped) utilization against an offered rate, `λ / capacity`.
+    pub fn utilization(&self, offered_qps: f64) -> f64 {
+        let cap = self.capacity_qps();
+        if !cap.is_finite() {
+            return 0.0;
+        }
+        (offered_qps / cap).max(0.0)
+    }
+
+    /// Mean queueing delay of an *admitted* query at the offered rate,
+    /// milliseconds. Zero at zero load, monotone non-decreasing, and
+    /// saturated at `Wq(max_utilization)` past the admission cap (the
+    /// excess traffic is shed, not queued).
+    pub fn queue_delay_ms(&self, offered_qps: f64) -> f64 {
+        let rho = self.utilization(offered_qps).min(self.max_utilization);
+        if rho <= 0.0 {
+            return 0.0;
+        }
+        self.service_ms * rho / (2.0 * f64::from(self.servers.max(1)) * (1.0 - rho))
+    }
+
+    /// The delay ceiling: [`queue_delay_ms`](Self::queue_delay_ms) at the
+    /// admission cap.
+    pub fn max_queue_delay_ms(&self) -> f64 {
+        self.service_ms * self.max_utilization
+            / (2.0 * f64::from(self.servers.max(1)) * (1.0 - self.max_utilization))
+    }
+
+    /// Fraction of offered queries shed at this rate: zero up to the
+    /// admission cap, then `1 − max_utilization/ρ` (the overflow fraction),
+    /// rising toward 1 as the offered rate grows without bound.
+    pub fn shed_probability(&self, offered_qps: f64) -> f64 {
+        let rho = self.utilization(offered_qps);
+        if rho <= self.max_utilization {
+            return 0.0;
+        }
+        1.0 - self.max_utilization / rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_servers_over_service_time() {
+        let q = QueueModel::new(4, 2.0);
+        assert_eq!(q.capacity_qps(), 2000.0);
+        let one = QueueModel::new(1, 2.5);
+        assert_eq!(one.capacity_qps(), 400.0);
+    }
+
+    #[test]
+    fn zero_load_means_zero_delay_and_no_shedding() {
+        let q = QueueModel::new(8, 1.0);
+        assert_eq!(q.queue_delay_ms(0.0), 0.0);
+        assert_eq!(q.shed_probability(0.0), 0.0);
+        assert_eq!(q.queue_delay_ms(-5.0), 0.0, "negative rates clamp to 0");
+    }
+
+    #[test]
+    fn delay_saturates_at_admission_cap() {
+        let q = QueueModel::new(1, 2.5);
+        let at_cap = q.queue_delay_ms(q.capacity_qps() * q.max_utilization);
+        assert!((at_cap - q.max_queue_delay_ms()).abs() < 1e-9);
+        assert_eq!(q.queue_delay_ms(q.capacity_qps() * 100.0), at_cap);
+    }
+
+    #[test]
+    fn shedding_starts_past_the_cap_and_grows() {
+        let q = QueueModel::new(2, 1.0);
+        let cap = q.capacity_qps();
+        assert_eq!(q.shed_probability(cap * 0.94), 0.0);
+        let p2 = q.shed_probability(cap * 2.0);
+        let p8 = q.shed_probability(cap * 8.0);
+        assert!(p2 > 0.0 && p8 > p2 && p8 < 1.0);
+        assert!((q.shed_probability(cap * 1e9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_service_time_is_infinite_capacity() {
+        let q = QueueModel::new(1, 0.0);
+        assert_eq!(q.utilization(1e12), 0.0);
+        assert_eq!(q.queue_delay_ms(1e12), 0.0);
+        assert_eq!(q.shed_probability(1e12), 0.0);
+    }
+}

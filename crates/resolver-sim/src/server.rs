@@ -6,6 +6,7 @@ use netsim::geo::City;
 use netsim::{SimDuration, SimRng, SimTime};
 
 use crate::authority::AuthorityTree;
+use crate::queue::QueueModel;
 use crate::recursive::{RecursiveResolver, Resolution};
 
 /// Tunable performance profile of one resolver frontend.
@@ -25,6 +26,14 @@ pub struct ServerProfile {
     /// Probability the queried (popular) name is warm in cache thanks to
     /// background traffic from other users.
     pub cache_warmth: f64,
+    /// Parallel workers per site — the `c` of the per-site
+    /// [`QueueModel`]. Sets the site's saturation throughput together
+    /// with [`service_ms`](Self::service_ms).
+    pub servers_per_site: u32,
+    /// Deterministic per-query service time of the queueing model, ms
+    /// (independent of the stochastic `proc_*` response-time draw: it
+    /// sets *capacity*, not the per-query latency sample).
+    pub service_ms: f64,
 }
 
 impl ServerProfile {
@@ -38,6 +47,8 @@ impl ServerProfile {
             overload_prob: 0.002,
             overload_mean_ms: 5.0,
             cache_warmth: 0.995,
+            servers_per_site: 4000,
+            service_ms: 0.4,
         }
     }
 
@@ -50,6 +61,8 @@ impl ServerProfile {
             overload_prob: 0.01,
             overload_mean_ms: 15.0,
             cache_warmth: 0.97,
+            servers_per_site: 64,
+            service_ms: 1.0,
         }
     }
 
@@ -63,6 +76,8 @@ impl ServerProfile {
             overload_prob: 0.04,
             overload_mean_ms: 40.0,
             cache_warmth: 0.90,
+            servers_per_site: 1,
+            service_ms: 2.5,
         }
     }
 
@@ -77,7 +92,14 @@ impl ServerProfile {
             overload_prob: 0.02,
             overload_mean_ms: 25.0,
             cache_warmth: 0.95,
+            servers_per_site: 8,
+            service_ms: 6.0,
         }
+    }
+
+    /// The per-site queueing model this profile implies.
+    pub fn queue(&self) -> QueueModel {
+        QueueModel::new(self.servers_per_site, self.service_ms)
     }
 }
 
@@ -232,13 +254,18 @@ impl ResolverServer {
         now: SimTime,
         rng: &mut SimRng,
     ) -> (SimDuration, Resolution) {
-        self.handle_query_loaded(qname, qtype, authorities, now, 1.0, rng)
+        self.handle_query_loaded(qname, qtype, authorities, now, 1.0, 0.0, rng)
     }
 
-    /// [`handle_query`](Self::handle_query) under an injected brownout:
-    /// frontend processing is scaled by `slowdown` (`1.0` = none). The RNG
-    /// draw sequence is identical to the unloaded path, so a fault plan
-    /// that activates a brownout perturbs only the probes it covers.
+    /// [`handle_query`](Self::handle_query) under an injected brownout
+    /// and/or population load: frontend processing is scaled by `slowdown`
+    /// (`1.0` = none), then the deterministic M/D/c queueing delay of the
+    /// site's [`QueueModel`] at `offered_qps` (`0.0` = idle) is added. The
+    /// RNG draw sequence is identical to the unloaded path and the added
+    /// delay is exactly `0.0` at zero offered load, so a fault plan or
+    /// load model perturbs only the probes it covers — byte-transparency
+    /// at rest is a tested invariant.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_query_loaded(
         &mut self,
         qname: &Name,
@@ -246,6 +273,7 @@ impl ResolverServer {
         authorities: &AuthorityTree,
         now: SimTime,
         slowdown: f64,
+        offered_qps: f64,
         rng: &mut SimRng,
     ) -> (SimDuration, Resolution) {
         // Background traffic from the resolver's other users keeps popular
@@ -266,6 +294,9 @@ impl ResolverServer {
             proc_ms += rng.exponential(self.profile.overload_mean_ms);
         }
         proc_ms *= slowdown.max(1.0);
+        // Deterministic queueing wait from the offered-load rate: exactly
+        // 0.0 when idle, so `x + 0.0` keeps the unloaded path bit-identical.
+        proc_ms += self.profile.queue().queue_delay_ms(offered_qps);
         let total = SimDuration::from_millis_f64(proc_ms) + resolution.upstream_time;
         (total, resolution)
     }
@@ -325,6 +356,7 @@ mod tests {
                 &auth,
                 at(i),
                 5.0,
+                0.0,
                 &mut rng_b,
             );
             assert_eq!(r1.cache_hit, r5.cache_hit);
@@ -335,7 +367,7 @@ mod tests {
                 "slowdown must scale processing 5x: {proc1} vs {proc5}"
             );
         }
-        // A slowdown of 1.0 is the identity.
+        // A slowdown of 1.0 at zero offered load is the identity.
         let mut rng_a = SimRng::from_seed(10);
         let mut rng_b = SimRng::from_seed(10);
         let (t1, _) = a.handle_query(&n("google.com"), RecordType::A, &auth, at(99), &mut rng_a);
@@ -345,9 +377,42 @@ mod tests {
             &auth,
             at(99),
             1.0,
+            0.0,
             &mut rng_b,
         );
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn offered_load_adds_queue_delay_without_touching_rng() {
+        let auth = AuthorityTree::standard();
+        let mut a = ResolverServer::new(cities::ASHBURN_VA, ServerProfile::hobbyist());
+        let mut b = ResolverServer::new(cities::ASHBURN_VA, ServerProfile::hobbyist());
+        let mut rng_a = SimRng::from_seed(11);
+        let mut rng_b = SimRng::from_seed(11);
+        let offered = ServerProfile::hobbyist().queue().capacity_qps() * 0.5;
+        let expect = ServerProfile::hobbyist().queue().queue_delay_ms(offered);
+        assert!(expect > 0.0);
+        for i in 0..50 {
+            let (t0, r0) =
+                a.handle_query(&n("google.com"), RecordType::A, &auth, at(i), &mut rng_a);
+            let (tl, rl) = b.handle_query_loaded(
+                &n("google.com"),
+                RecordType::A,
+                &auth,
+                at(i),
+                1.0,
+                offered,
+                &mut rng_b,
+            );
+            assert_eq!(r0.cache_hit, rl.cache_hit, "RNG stream must not shift");
+            let d0 = t0.saturating_sub(r0.upstream_time).as_millis_f64();
+            let dl = tl.saturating_sub(rl.upstream_time).as_millis_f64();
+            assert!(
+                (dl - d0 - expect).abs() < 1e-4,
+                "queue delay must add {expect} ms: {d0} vs {dl}"
+            );
+        }
     }
 
     #[test]

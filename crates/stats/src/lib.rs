@@ -31,4 +31,4 @@ pub use correlation::{pearson, spearman};
 pub use histogram::Histogram;
 pub use sketch::{LatencySketch, SKETCH_BUCKETS_MS, SKETCH_BUCKET_COUNT};
 pub use streaming::{P2Quantile, RunningMoments};
-pub use summary::{mean, median, quantile, quantile_sorted, std_dev, Summary};
+pub use summary::{mean, median, quantile, quantile_sorted, std_dev, tail_quantiles, Summary};

@@ -33,6 +33,21 @@ pub fn median(data: &[f64]) -> Option<f64> {
     quantile(data, 0.5)
 }
 
+/// The tail triple the load-sweep report is built on: `(p50, p99, p999)`
+/// from one sort of the data. `None` on empty or NaN-contaminated input.
+pub fn tail_quantiles(data: &[f64]) -> Option<(f64, f64, f64)> {
+    if data.is_empty() || data.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Some((
+        quantile_sorted(&sorted, 0.50),
+        quantile_sorted(&sorted, 0.99),
+        quantile_sorted(&sorted, 0.999),
+    ))
+}
+
 /// Arithmetic mean.
 pub fn mean(data: &[f64]) -> Option<f64> {
     if data.is_empty() {
