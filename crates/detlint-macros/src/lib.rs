@@ -36,3 +36,23 @@ use proc_macro::TokenStream;
 pub fn deny_alloc(_attr: TokenStream, item: TokenStream) -> TokenStream {
     item
 }
+
+/// Marks a function as neutral with respect to the probe RNG stream.
+///
+/// The campaign's byte-identical-replay guarantee requires that the
+/// fault layer, the load model and the journal never consume a draw from
+/// the probe stream: an extra draw shifts every subsequent probe's
+/// jitter, and the whole run diverges. Annotated functions must decide
+/// via the hash-based splitmix path (`netsim::faults::hash_decision`,
+/// `netsim::rng::derive_seed`) or a dedicated forked stream instead.
+///
+/// Like [`macro@deny_alloc`], the attribute is an identity transform.
+/// Enforcement is static: detlint's transitive `rng-stream` rule rejects
+/// any call path from an annotated function to a `SimRng` draw method
+/// (`uniform`, `chance`, `exponential`, …), workspace-wide through the
+/// call graph, unless a `detlint:allow(rng-stream, reason)` hatch
+/// documents why the reached draw is not on the probe stream.
+#[proc_macro_attribute]
+pub fn rng_neutral(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

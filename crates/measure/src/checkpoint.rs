@@ -370,7 +370,7 @@ fn hex_field(v: &Json, key: &str) -> Result<u64, CheckpointError> {
         .ok_or_else(|| parse_err_owned(format!("missing or invalid hex field {key:?}")))
 }
 
-fn float_field(v: &Json, key: &str) -> Result<f64, CheckpointError> {
+fn parse_float_field(v: &Json, key: &str) -> Result<f64, CheckpointError> {
     v.get(key)
         .and_then(Json::as_f64)
         .filter(|f| f.is_finite())
@@ -411,10 +411,10 @@ pub fn sketch_from_json(v: &Json) -> Result<LatencySketch, CheckpointError> {
     }
     let moments = RunningMoments::from_parts(
         n,
-        float_field(v, "mean")?,
-        float_field(v, "m2")?,
-        float_field(v, "min")?,
-        float_field(v, "max")?,
+        parse_float_field(v, "mean")?,
+        parse_float_field(v, "m2")?,
+        parse_float_field(v, "min")?,
+        parse_float_field(v, "max")?,
     );
     let buckets = v
         .get("buckets")

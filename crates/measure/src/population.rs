@@ -35,6 +35,7 @@
 //! an iterated one). DESIGN §12 discusses the trade-off.
 
 use catalog::ResolverEntry;
+use detlint_macros::rng_neutral;
 use netsim::faults::{hash_decision, FaultTarget};
 use netsim::geo::{cities, Region};
 use netsim::rng::{derive_seed, splitmix64};
@@ -63,6 +64,7 @@ pub struct RegionDemand {
 impl RegionDemand {
     /// The region's aggregate demand at `now`, queries per second — the
     /// base rate under the diurnal cycle. Pure and wall-clock-free.
+    #[rng_neutral]
     pub fn qps_at(&self, now: SimTime) -> f64 {
         let base = self.clients * self.queries_per_client_day / 86_400.0;
         let hour = (now.as_secs() % 86_400) as f64 / 3_600.0;
@@ -201,6 +203,7 @@ impl LoadModel {
     /// The share of regional demand `entry` attracts: its class share
     /// (mainstream vs niche) with a seeded ±25 % per-hostname jitter, so
     /// no two resolvers load identically.
+    #[rng_neutral]
     pub fn resolver_share(&self, entry: &ResolverEntry) -> f64 {
         let class = if entry.mainstream {
             self.mainstream_share
@@ -217,6 +220,7 @@ impl LoadModel {
 
     /// The seeded day-to-day demand jitter factor for the simulated day
     /// containing `now` (`1.0` when `day_jitter` is zero).
+    #[rng_neutral]
     pub fn day_factor(&self, now: SimTime) -> f64 {
         if self.day_jitter <= 0.0 {
             return 1.0;
@@ -231,6 +235,7 @@ impl LoadModel {
     /// per second (parallel to `instance.deployment.sites`). Regional
     /// demand reaches the site its representative client anycast-routes
     /// to; a unicast deployment concentrates everything on site 0.
+    #[rng_neutral]
     pub fn offered_site_qps(
         &self,
         entry: &ResolverEntry,
@@ -252,6 +257,7 @@ impl LoadModel {
     /// The per-site load table of `instance` at `now`: offered rate,
     /// utilization, queueing delay and shed probability per site, in site
     /// order (deterministic — pinned by a two-seed stable-ordering test).
+    #[rng_neutral]
     pub fn site_load_table(
         &self,
         entry: &ResolverEntry,
@@ -312,6 +318,7 @@ pub(crate) struct SitePick {
 impl PairLoad {
     /// Builds the pair-constant load state. RNG-free, like
     /// `PairContext::build`.
+    #[rng_neutral]
     pub(crate) fn build(model: &LoadModel, vantage: &Vantage, target: &ProbeTarget) -> Self {
         let client = vantage.host(0);
         let dep = &target.instance.deployment;
@@ -348,6 +355,7 @@ impl PairLoad {
     /// nearest — the semantics of `ResolverInstance::route_loaded`), and
     /// makes the hash-based shed decision. Pure except for the scratch
     /// buffer; consumes no probe RNG.
+    #[rng_neutral]
     pub(crate) fn pick(
         &mut self,
         model: &LoadModel,
@@ -393,7 +401,6 @@ mod tests {
     use super::*;
 
     fn target(host: &str) -> ProbeTarget {
-        // detlint:allow(unwrap, test-only catalog lookup of a known host)
         ProbeTarget::from_entry(catalog::resolvers::find(host).expect("known host"))
     }
 

@@ -21,7 +21,7 @@
 //!   are [`FaultEffects::clear`], every application site is a no-op, and
 //!   campaign output is bit-identical to a build without the fault layer.
 
-use detlint_macros::deny_alloc;
+use detlint_macros::{deny_alloc, rng_neutral};
 
 use crate::geo::Region;
 use crate::rng::{derive_seed, splitmix64};
@@ -280,6 +280,7 @@ impl FaultPlan {
 
     /// Resolves the plan into effects for one probe attempt at `now`
     /// against `target`. Pure: draws nothing from any RNG stream.
+    #[rng_neutral]
     pub fn effects_at(&self, now: SimTime, target: &FaultTarget<'_>) -> FaultEffects {
         let mut fx = FaultEffects::clear();
         if self.events.is_empty() {
@@ -328,6 +329,7 @@ impl FaultPlan {
     /// thousands of per-resolver events, of which a given pair matches a
     /// handful — this turns the per-attempt scan from O(events) into
     /// O(matching events).
+    #[rng_neutral]
     pub fn scope_mask(&self, target: &FaultTarget<'_>) -> Vec<u32> {
         self.events
             .iter()
@@ -342,6 +344,7 @@ impl FaultPlan {
     /// pure; bit-identical to the unmasked resolution when the mask was
     /// built for the same target.
     #[deny_alloc]
+    #[rng_neutral]
     pub fn effects_at_masked(
         &self,
         now: SimTime,
@@ -396,6 +399,7 @@ impl FaultPlan {
 /// index; other deterministic overlays (the population load model's
 /// overload shedding) salt it with their own coordinates so decisions stay
 /// independent between subsystems.
+#[rng_neutral]
 pub fn hash_decision(seed: u64, now: SimTime, target: &FaultTarget<'_>, salt: u64, p: f64) -> bool {
     if p <= 0.0 {
         return false;
@@ -415,6 +419,7 @@ pub fn hash_decision(seed: u64, now: SimTime, target: &FaultTarget<'_>, salt: u6
 /// `[SimTime::ZERO, horizon)`, each `min_len..=max_len` long. Used by
 /// plan generators to place outage/brownout windows per resolver without
 /// touching any probe RNG stream.
+#[rng_neutral]
 pub fn scatter_windows(
     seed: u64,
     label: &str,

@@ -22,6 +22,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{OnceLock, RwLock};
 
+use detlint_macros::deny_alloc;
+
 /// An interned label: a 4-byte handle to a process-wide string table.
 #[derive(Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Label(u32);
@@ -37,11 +39,17 @@ struct Store {
     names: Vec<&'static str>,
 }
 
+// `#[deny_alloc]` here is a call-graph barrier as much as a local check:
+// every hot-path label operation bottoms out in this accessor, and the
+// annotation asserts (and detlint enforces) that reaching it allocates
+// nothing in the steady state — the init closure runs once per process.
+#[deny_alloc]
 fn store() -> &'static RwLock<Store> {
     static STORE: OnceLock<RwLock<Store>> = OnceLock::new();
     STORE.get_or_init(|| {
         RwLock::new(Store {
             by_name: HashMap::new(),
+            // detlint:allow(deny-alloc, one-time interner init; Vec::new is const and allocation-free besides)
             names: Vec::new(),
         })
     })

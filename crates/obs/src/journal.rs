@@ -28,6 +28,8 @@
 //! `CheckpointError`s and aborts rather than resuming from bad state, so
 //! there is no journal left to ship.
 
+use detlint_macros::rng_neutral;
+
 use std::fmt::Write as _;
 
 use crate::intern::Label;
@@ -228,6 +230,7 @@ impl Journal {
 
     /// Records one deterministic (Sim-class) event.
     #[inline]
+    #[rng_neutral]
     pub fn record(&mut self, at: Nanos, level: EventLevel, code: &'static str, data: EventData) {
         self.push(at, level, EventClass::Sim, code, data);
     }
@@ -235,6 +238,7 @@ impl Journal {
     /// Records one operational (Ops-class) event. Excluded from the JSONL
     /// export; see the module docs.
     #[inline]
+    #[rng_neutral]
     pub fn record_ops(
         &mut self,
         at: Nanos,

@@ -82,7 +82,7 @@ impl RecordCache {
     }
 
     /// Looks up records for `(name, rtype)` at time `now`.
-    pub fn get(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<RData>> {
+    pub fn lookup(&mut self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<RData>> {
         self.clock += 1;
         let key = (name.clone(), rtype);
         match self.entries.get_mut(&key) {
@@ -175,10 +175,10 @@ mod tests {
             at(0),
         );
         assert_eq!(
-            c.get(&name("google.com"), RecordType::A, at(299)),
+            c.lookup(&name("google.com"), RecordType::A, at(299)),
             Some(a(1))
         );
-        assert_eq!(c.get(&name("google.com"), RecordType::A, at(300)), None);
+        assert_eq!(c.lookup(&name("google.com"), RecordType::A, at(300)), None);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.expirations), (1, 1, 1));
     }
@@ -193,8 +193,8 @@ mod tests {
             SimDuration::from_secs(60),
             at(0),
         );
-        assert!(c.get(&name("x.com"), RecordType::AAAA, at(1)).is_none());
-        assert!(c.get(&name("x.com"), RecordType::A, at(1)).is_some());
+        assert!(c.lookup(&name("x.com"), RecordType::AAAA, at(1)).is_none());
+        assert!(c.lookup(&name("x.com"), RecordType::A, at(1)).is_some());
     }
 
     #[test]
@@ -207,7 +207,9 @@ mod tests {
             SimDuration::from_secs(60),
             at(0),
         );
-        assert!(c.get(&name("google.com"), RecordType::A, at(1)).is_some());
+        assert!(c
+            .lookup(&name("google.com"), RecordType::A, at(1))
+            .is_some());
     }
 
     #[test]
@@ -228,7 +230,7 @@ mod tests {
             at(0),
         );
         // Touch a.com so b.com becomes the LRU victim.
-        assert!(c.get(&name("a.com"), RecordType::A, at(1)).is_some());
+        assert!(c.lookup(&name("a.com"), RecordType::A, at(1)).is_some());
         c.insert(
             name("c.com"),
             RecordType::A,
@@ -237,9 +239,9 @@ mod tests {
             at(1),
         );
         assert_eq!(c.len(), 2);
-        assert!(c.get(&name("a.com"), RecordType::A, at(2)).is_some());
-        assert!(c.get(&name("b.com"), RecordType::A, at(2)).is_none());
-        assert!(c.get(&name("c.com"), RecordType::A, at(2)).is_some());
+        assert!(c.lookup(&name("a.com"), RecordType::A, at(2)).is_some());
+        assert!(c.lookup(&name("b.com"), RecordType::A, at(2)).is_none());
+        assert!(c.lookup(&name("c.com"), RecordType::A, at(2)).is_some());
         assert_eq!(c.stats().evictions, 1);
     }
 
@@ -260,7 +262,7 @@ mod tests {
             SimDuration::from_secs(100),
             at(5),
         );
-        assert_eq!(c.get(&name("a.com"), RecordType::A, at(50)), Some(a(2)));
+        assert_eq!(c.lookup(&name("a.com"), RecordType::A, at(50)), Some(a(2)));
     }
 
     #[test]
@@ -282,7 +284,7 @@ mod tests {
         );
         c.purge_expired(at(50));
         assert_eq!(c.len(), 1);
-        assert!(c.get(&name("b.com"), RecordType::A, at(50)).is_some());
+        assert!(c.lookup(&name("b.com"), RecordType::A, at(50)).is_some());
     }
 
     #[test]
@@ -296,8 +298,8 @@ mod tests {
             SimDuration::from_secs(60),
             at(0),
         );
-        c.get(&name("a.com"), RecordType::A, at(1));
-        c.get(&name("z.com"), RecordType::A, at(1));
+        c.lookup(&name("a.com"), RecordType::A, at(1));
+        c.lookup(&name("z.com"), RecordType::A, at(1));
         assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
     }
 

@@ -89,7 +89,7 @@ impl RecursiveResolver {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Resolution {
-        if let Some(records) = self.cache.get(qname, qtype, now) {
+        if let Some(records) = self.cache.lookup(qname, qtype, now) {
             return Resolution {
                 rcode: Rcode::NoError,
                 records,
@@ -122,7 +122,7 @@ impl RecursiveResolver {
                 None => Name::root(),
             }
         };
-        let tld_loc = if self.cache.get(&tld_key, RecordType::NS, now).is_none() {
+        let tld_loc = if self.cache.lookup(&tld_key, RecordType::NS, now).is_none() {
             upstream += self.upstream_rtt(authorities.root_location, rng);
             match authorities.root_referral(qname) {
                 AuthorityAnswer::Delegation { ns_location, .. } => {

@@ -31,7 +31,7 @@ proptest! {
                 at(time),
             );
             prop_assert!(cache.len() <= capacity, "len {} > capacity {}", cache.len(), capacity);
-            let _ = cache.get(&name, RecordType::A, at(time));
+            let _ = cache.lookup(&name, RecordType::A, at(time));
         }
     }
 
@@ -51,7 +51,7 @@ proptest! {
             SimDuration::from_secs(ttl),
             at(insert_at),
         );
-        let hit = cache.get(&name, RecordType::A, at(query_at)).is_some();
+        let hit = cache.lookup(&name, RecordType::A, at(query_at)).is_some();
         prop_assert_eq!(hit, query_at < insert_at + ttl);
     }
 

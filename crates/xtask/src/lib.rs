@@ -4,19 +4,34 @@
 //! analysis pass that enforces the repo's determinism and hot-path
 //! invariants — the properties the golden-fixture and counting-allocator
 //! tests check *dynamically* — at the source level, before a hazard can
-//! churn a fixture. See [`rules`] for the rule table and the
-//! `detlint:allow(rule, reason)` escape hatch, and DESIGN.md §8 for the
-//! policy.
+//! churn a fixture.
+//!
+//! The pass runs in two phases. Phase 1 is per-file: [`lexer`] tokenises
+//! each source, [`rules`] runs the local lexical rules over the stream,
+//! and [`symbols`] indexes every `fn`/`impl` item plus its call sites and
+//! determinism-relevant facts. Phase 2 is workspace-wide: [`callgraph`]
+//! resolves the call sites into a conservative graph and runs the
+//! transitive rules (`deny-alloc-reach`, `rng-stream`, `panic-reach`)
+//! over it. See [`rules`] for the rule table and the
+//! `detlint:allow(rule, reason)` escape hatch, and DESIGN.md §8/§13 for
+//! the policy and the analysis model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 
 use std::path::{Path, PathBuf};
 
 pub use rules::{lint_source, lint_source_with, FilePolicy, Finding, Rule};
+pub use symbols::SymbolIndex;
+
+/// Version of the `--json` report layout. Bumped to 2 when the
+/// call-graph pass added `fns_indexed` / `call_edges`.
+pub const JSON_SCHEMA: u32 = 2;
 
 /// The result of linting a file set.
 #[derive(Debug, Default)]
@@ -25,6 +40,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// How many fns the symbol pass indexed (0 in single-file mode).
+    pub fns_indexed: usize,
+    /// How many call edges the graph resolved (0 in single-file mode).
+    pub call_edges: usize,
 }
 
 impl Report {
@@ -46,16 +65,18 @@ impl Report {
             ));
         }
         out.push_str(&format!(
-            "detlint: {} finding(s) in {} file(s) scanned\n",
+            "detlint: {} finding(s) in {} file(s) scanned ({} fns, {} call edges)\n",
             self.findings.len(),
-            self.files_scanned
+            self.files_scanned,
+            self.fns_indexed,
+            self.call_edges
         ));
         out
     }
 
     /// Machine-readable JSON rendering (stable key order, sorted findings).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"findings\": [");
+        let mut out = format!("{{\n  \"schema\": {JSON_SCHEMA},\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -72,8 +93,10 @@ impl Report {
             out.push_str("\n  ");
         }
         out.push_str(&format!(
-            "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            "],\n  \"files_scanned\": {},\n  \"fns_indexed\": {},\n  \"call_edges\": {},\n  \"clean\": {}\n}}\n",
             self.files_scanned,
+            self.fns_indexed,
+            self.call_edges,
             self.is_clean()
         ));
         out
@@ -97,8 +120,59 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// Runs the full two-phase analysis over a set of `(repo-relative path,
+/// source)` pairs: local rules per file, then symbol indexing, call-graph
+/// construction and the transitive rules across the whole set.
+///
+/// `detect_unused` additionally reports `unused-allow` for escape hatches
+/// that suppressed nothing. Pass it only for a *complete* file set (the
+/// workspace, or a self-contained fixture): on a partial set an allow may
+/// be justified by reach findings the missing files would produce.
+pub fn lint_files(files: &[(String, String)], detect_unused: bool) -> Report {
+    let mut index = SymbolIndex::default();
+    let mut per_file: Vec<(String, rules::Allows)> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for (rel, src) in files {
+        let lexed = lexer::lex(src);
+        let policy = FilePolicy::for_path(rel);
+        findings.extend(rules::scan_file(rel, &lexed, &policy));
+        index.index_file(rel, &lexed);
+        per_file.push((rel.clone(), rules::parse_allows(rel, &lexed)));
+    }
+
+    let graph = callgraph::build(&index);
+    findings.extend(callgraph::reach_findings(&index, &graph));
+
+    // Suppression: each finding consults its own file's allows (marking
+    // them used), meta findings are never suppressible.
+    findings.retain(|f| {
+        f.rule.is_meta()
+            || !per_file
+                .iter()
+                .find(|(p, _)| p == &f.file)
+                .is_some_and(|(_, allows)| allows.covers(f.line, f.rule))
+    });
+    for (path, allows) in &per_file {
+        findings.extend(allows.bad.iter().cloned());
+        if detect_unused {
+            findings.extend(allows.unused(path));
+        }
+    }
+
+    findings.sort();
+    findings.dedup();
+    Report {
+        findings,
+        files_scanned: files.len(),
+        fns_indexed: index.fns.len(),
+        call_edges: graph.edge_count(),
+    }
+}
+
 /// Lints every first-party library source in the workspace: all of
-/// `crates/*/src/**/*.rs`.
+/// `crates/*/src/**/*.rs`, through the full two-phase pipeline with
+/// `unused-allow` detection on.
 ///
 /// `compat/` (vendored dependency subsets), `tests/`, `benches/` and
 /// `examples/` are out of scope: tests and benches are exempt by policy,
@@ -119,19 +193,16 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     }
     files.sort();
 
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(&file)?;
-        report.findings.extend(rules::lint_source(&rel, &src));
-        report.files_scanned += 1;
+        sources.push((rel, std::fs::read_to_string(&file)?));
     }
-    report.findings.sort();
-    Ok(report)
+    Ok(lint_files(&sources, true))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -167,13 +238,24 @@ mod tests {
     #[test]
     fn workspace_is_lint_clean() {
         // The acceptance bar for the whole repo: zero findings (escape
-        // hatches with reasons included). Run via `cargo xtask lint` for
+        // hatches with reasons included), now including the transitive
+        // graph rules and unused-allow. Run via `cargo xtask lint` for
         // the full report.
         let report = lint_workspace(&workspace_root()).expect("scan workspace");
         assert!(
             report.files_scanned > 50,
             "scanned {}",
             report.files_scanned
+        );
+        assert!(
+            report.fns_indexed > 500,
+            "indexed {} fns — the symbol pass is not seeing the workspace",
+            report.fns_indexed
+        );
+        assert!(
+            report.call_edges > 500,
+            "resolved {} edges — the graph is not seeing the workspace",
+            report.call_edges
         );
         assert!(
             report.is_clean(),
@@ -192,10 +274,51 @@ mod tests {
                 message: "a \"quoted\" message".into(),
             }],
             files_scanned: 1,
+            fns_indexed: 4,
+            call_edges: 2,
         };
         let json = report.render_json();
+        assert!(json.contains("\"schema\": 2"), "{json}");
         assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
         assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"fns_indexed\": 4"), "{json}");
+        assert!(json.contains("\"call_edges\": 2"), "{json}");
         assert!(json.contains("\"clean\": false"), "{json}");
+    }
+
+    #[test]
+    fn unused_allow_fires_only_in_full_mode() {
+        let files = vec![(
+            "crates/fake/src/lib.rs".to_string(),
+            "fn f() -> u32 {\n    1 // detlint:allow(unwrap, nothing here unwraps)\n}".to_string(),
+        )];
+        let full = lint_files(&files, true);
+        assert_eq!(full.findings.len(), 1, "{}", full.render_text());
+        assert_eq!(full.findings[0].rule, Rule::UnusedAllow);
+        let partial = lint_files(&files, false);
+        assert!(partial.is_clean(), "{}", partial.render_text());
+    }
+
+    #[test]
+    fn used_allow_is_not_reported() {
+        let files = vec![(
+            "crates/fake/src/lib.rs".to_string(),
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // detlint:allow(unwrap, caller checked)\n}"
+                .to_string(),
+        )];
+        let report = lint_files(&files, true);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn unwrap_allow_covers_panic_reach_and_counts_as_used() {
+        let files = vec![(
+            "crates/fake/src/lib.rs".to_string(),
+            "pub fn run_pair(x: Option<u32>) -> u32 {\n    \
+             x.unwrap() // detlint:allow(unwrap, probe pairs are validated at load)\n}"
+                .to_string(),
+        )];
+        let report = lint_files(&files, true);
+        assert!(report.is_clean(), "{}", report.render_text());
     }
 }

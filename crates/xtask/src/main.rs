@@ -2,13 +2,19 @@
 //!
 //! Subcommands:
 //!
-//! * `lint [--json] [PATH…]` — run detlint, the determinism & hot-path
-//!   invariant checker, over `crates/*/src` (or just the given files).
-//!   Exits nonzero when findings exist. `--json` prints a machine-readable
-//!   report instead of text.
+//! * `lint [--json] [--rules] [--budget-ms N] [PATH…]` — run detlint, the
+//!   determinism & hot-path invariant checker, over `crates/*/src` (or
+//!   just the given files). Exits nonzero when findings exist. `--json`
+//!   prints a machine-readable report instead of text; `--rules` prints
+//!   the rule table and exits; `--budget-ms N` fails the run if the full
+//!   pass takes longer than `N` milliseconds (CI uses this to keep the
+//!   analysis cheap enough to gate every PR).
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
+
+use xtask::Rule;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,16 +33,52 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint [--json] [PATH…]");
+    eprintln!("usage: cargo xtask lint [--json] [--rules] [--budget-ms N] [PATH…]");
     eprintln!();
-    eprintln!("rules: hash-iter, wall-clock, deny-alloc, unwrap, float-order");
+    eprintln!("run `cargo xtask lint --rules` for the rule table");
     eprintln!("escape hatch: // detlint:allow(rule, reason)");
 }
 
-fn lint(args: &[String]) -> ExitCode {
-    let json = args.iter().any(|a| a == "--json");
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+/// Prints the rule table — ids and one-line descriptions — straight from
+/// the `Rule` enum, so it can never drift from what the linter enforces.
+fn print_rules() {
+    let width = Rule::ALL.iter().map(|r| r.id().len()).max().unwrap_or(0);
+    for rule in Rule::ALL {
+        println!("{:width$}  {}", rule.id(), rule.description());
+    }
+}
 
+fn lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        print_rules();
+        return ExitCode::SUCCESS;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let mut budget_ms: Option<u64> = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {}
+            "--budget-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => budget_ms = Some(ms),
+                None => {
+                    eprintln!("xtask lint: --budget-ms needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ if a.starts_with("--") => {
+                eprintln!("xtask lint: unknown flag {a:?}\n");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            _ => paths.push(a),
+        }
+    }
+
+    // The budget check times the linter itself — real time is the point.
+    #[allow(clippy::disallowed_methods)]
+    let started = Instant::now();
     let report = if paths.is_empty() {
         match xtask::lint_workspace(&xtask::workspace_root()) {
             Ok(r) => r,
@@ -46,8 +88,11 @@ fn lint(args: &[String]) -> ExitCode {
             }
         }
     } else {
+        // Explicit paths are a partial view of the workspace: the graph
+        // rules run over just these files, and unused-allow stays off
+        // (an allow may answer a finding the missing files would raise).
         let root = xtask::workspace_root();
-        let mut report = xtask::Report::default();
+        let mut sources: Vec<(String, String)> = Vec::new();
         for p in paths {
             let path = Path::new(p);
             let rel = path
@@ -56,24 +101,29 @@ fn lint(args: &[String]) -> ExitCode {
                 .to_string_lossy()
                 .replace('\\', "/");
             match std::fs::read_to_string(path) {
-                Ok(src) => {
-                    report.findings.extend(xtask::lint_source(&rel, &src));
-                    report.files_scanned += 1;
-                }
+                Ok(src) => sources.push((rel, src)),
                 Err(e) => {
                     eprintln!("xtask lint: {p}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
         }
-        report.findings.sort();
-        report
+        xtask::lint_files(&sources, false)
     };
+    let elapsed = started.elapsed();
 
     if json {
         print!("{}", report.render_json());
     } else {
         print!("{}", report.render_text());
+    }
+    if let Some(budget) = budget_ms {
+        let took = elapsed.as_millis() as u64;
+        if took > budget {
+            eprintln!("xtask lint: pass took {took} ms, over the {budget} ms budget");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask lint: pass took {took} ms (budget {budget} ms)");
     }
     if report.is_clean() {
         ExitCode::SUCCESS

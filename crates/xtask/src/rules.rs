@@ -8,16 +8,23 @@
 //! | `deny-alloc` | allocating constructs (`format!`, `vec!`, `String::from`, `.to_string()`, `.to_owned()`, `.clone()`, `Box::new`, `.alloc()` on a non-arena receiver, `Arena::new`, …) inside a `#[deny_alloc]` function body; `arena.alloc(…)` / `arena.recycle(…)` are the sanctioned pooled-buffer API and pass |
 //! | `unwrap` | `.unwrap()` / `.expect(…)` / `panic!` in library code (binaries and `#[cfg(test)]` code are exempt) |
 //! | `float-order` | `f64` reductions (`sum`/`fold`/`product`/`+=`) fed by hash-container iteration — float addition is not associative, so reduction order must be rank-ordered |
+//! | `deny-alloc-reach` | a call inside a `#[deny_alloc]` fn that transitively reaches an allocating construct (or `Arena::new`) through the workspace call graph — see [`crate::callgraph`] |
+//! | `rng-stream` | a `#[rng_neutral]` fn that draws on, or transitively reaches a draw on, the probe RNG stream (`SimRng`) |
+//! | `panic-reach` | `panic!`/`unwrap`/`expect` in any fn reachable from the hot-path roots (`run_pair`, `probe_pair`) |
 //! | `bad-allow` | a `detlint:allow` escape hatch without a reason, or naming an unknown rule |
+//! | `unused-allow` | a well-formed allow that suppresses no finding (workspace passes only — partial file sets lack graph context) |
 //!
 //! Escape hatch: `// detlint:allow(rule, reason)` suppresses a finding on
 //! its own line, or — when the comment stands alone on a line — on the
 //! next code line. The reason string is mandatory; an allow without one is
-//! itself a finding (`bad-allow`) and suppresses nothing.
+//! itself a finding (`bad-allow`) and suppresses nothing. The three
+//! transitive rules live in [`crate::callgraph`]; this module owns the
+//! rule identities, the per-file lexical scans, and allow bookkeeping.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::symbols::ALLOC_METHODS;
 
 /// The rules detlint knows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -34,6 +41,14 @@ pub enum Rule {
     FloatOrder,
     /// Malformed escape hatch.
     BadAllow,
+    /// Transitive allocation reach from a `#[deny_alloc]` fn.
+    DenyAllocReach,
+    /// RNG-stream reach from a `#[rng_neutral]` fn.
+    RngStream,
+    /// Panicking construct reachable from the hot-path roots.
+    PanicReach,
+    /// A well-formed allow that suppresses nothing.
+    UnusedAllow,
 }
 
 impl Rule {
@@ -46,30 +61,76 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::FloatOrder => "float-order",
             Rule::BadAllow => "bad-allow",
+            Rule::DenyAllocReach => "deny-alloc-reach",
+            Rule::RngStream => "rng-stream",
+            Rule::PanicReach => "panic-reach",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// One-line description, as printed by `cargo xtask lint --rules`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::HashIter => "iteration over a HashMap/HashSet — order is seeded per process",
+            Rule::WallClock => "wall-clock or OS-entropy read outside the audited obs::clock shim",
+            Rule::DenyAlloc => "allocating construct inside a #[deny_alloc] fn body",
+            Rule::Unwrap => "unwrap/expect/panic! in library code",
+            Rule::FloatOrder => "float reduction fed by hash-container iteration order",
+            Rule::BadAllow => "detlint:allow without a reason or naming an unknown rule (meta)",
+            Rule::DenyAllocReach => {
+                "call in a #[deny_alloc] fn that transitively reaches an allocation"
+            }
+            Rule::RngStream => {
+                "#[rng_neutral] fn that transitively reaches a probe-RNG (SimRng) draw"
+            }
+            Rule::PanicReach => "panicking construct reachable from run_pair/probe_pair",
+            Rule::UnusedAllow => {
+                "detlint:allow that suppresses no finding (meta; workspace passes only)"
+            }
         }
     }
 
     /// Parses a rule id.
     pub fn from_id(s: &str) -> Option<Rule> {
-        Some(match s {
-            "hash-iter" => Rule::HashIter,
-            "wall-clock" => Rule::WallClock,
-            "deny-alloc" => Rule::DenyAlloc,
-            "unwrap" => Rule::Unwrap,
-            "float-order" => Rule::FloatOrder,
-            "bad-allow" => Rule::BadAllow,
-            _ => return None,
-        })
+        Rule::ALL.iter().copied().find(|r| r.id() == s)
     }
 
-    /// Every user-facing rule (excludes the meta `bad-allow`).
-    pub const ALL: [Rule; 5] = [
+    /// Every rule, in the order `--rules` prints them (local rules, then
+    /// the transitive graph rules, then the two meta rules).
+    pub const ALL: [Rule; 10] = [
         Rule::HashIter,
         Rule::WallClock,
         Rule::DenyAlloc,
         Rule::Unwrap,
         Rule::FloatOrder,
+        Rule::DenyAllocReach,
+        Rule::RngStream,
+        Rule::PanicReach,
+        Rule::BadAllow,
+        Rule::UnusedAllow,
     ];
+
+    /// The meta rules report on the escape hatches themselves, so an
+    /// allow can never silence them.
+    pub fn is_meta(self) -> bool {
+        matches!(self, Rule::BadAllow | Rule::UnusedAllow)
+    }
+
+    /// Whether an allow naming `self` suppresses a finding of `fired`.
+    ///
+    /// `allow(unwrap)` also covers `panic-reach` on the same line: a
+    /// reasoned unwrap allow already argues the panic cannot fire, which
+    /// is exactly the question `panic-reach` asks — requiring a second
+    /// hatch on the same line would add noise, not safety.
+    pub fn suppresses(self, fired: Rule) -> bool {
+        self == fired || (self == Rule::Unwrap && fired == Rule::PanicReach)
+    }
+}
+
+/// Comma-separated list of every rule id (for diagnostics).
+fn known_rules() -> String {
+    let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+    ids.join(", ")
 }
 
 /// One lint finding.
@@ -129,41 +190,83 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
 
 /// Lints one file's source under an explicit policy (UI tests use this to
 /// pin the policy regardless of fixture location).
+///
+/// Single-file mode runs the local rules only: the transitive graph rules
+/// and `unused-allow` need whole-workspace context and run from
+/// [`crate::lint_files`].
 pub fn lint_source_with(path: &str, src: &str, policy: &FilePolicy) -> Vec<Finding> {
     let lexed = lex(src);
-    let mut allows = parse_allows(path, &lexed);
-    let hash_idents = collect_hash_idents(&lexed.tokens);
-    let mut findings = std::mem::take(&mut allows.bad);
-    scan(
-        path,
-        &lexed.tokens,
-        &hash_idents,
-        policy,
-        &allows,
-        &mut findings,
-    );
-    findings.retain(|f| f.rule == Rule::BadAllow || !allows.covers(f.line, f.rule));
+    let allows = parse_allows(path, &lexed);
+    let mut findings = allows.bad.clone();
+    findings.extend(scan_file(path, &lexed, policy));
+    findings.retain(|f| f.rule.is_meta() || !allows.covers(f.line, f.rule));
     findings.sort();
     findings.dedup();
     findings
 }
 
-/// Parsed escape hatches: which (line, rule) pairs are suppressed.
-struct Allows {
-    by_line: BTreeMap<u32, Vec<Rule>>,
-    bad: Vec<Finding>,
+/// This file's local (per-file) findings, pre-suppression, excluding the
+/// `bad-allow` findings that [`parse_allows`] owns.
+pub(crate) fn scan_file(path: &str, lexed: &Lexed, policy: &FilePolicy) -> Vec<Finding> {
+    let hash_idents = collect_hash_idents(&lexed.tokens);
+    let mut findings = Vec::new();
+    scan(path, &lexed.tokens, &hash_idents, policy, &mut findings);
+    findings
+}
+
+/// One parsed, well-formed escape hatch.
+struct AllowRecord {
+    /// Line of the comment itself (where `unused-allow` reports).
+    comment_line: u32,
+    /// The code line it suppresses.
+    target_line: u32,
+    rule: Rule,
+    /// Set when the record suppresses at least one finding.
+    used: Cell<bool>,
+}
+
+/// Parsed escape hatches for one file, with usage bookkeeping.
+pub(crate) struct Allows {
+    records: Vec<AllowRecord>,
+    /// `bad-allow` findings (malformed hatches), reported as-is.
+    pub(crate) bad: Vec<Finding>,
 }
 
 impl Allows {
-    fn covers(&self, line: u32, rule: Rule) -> bool {
-        self.by_line
-            .get(&line)
-            .is_some_and(|rules| rules.contains(&rule))
+    /// True when an allow covers `(line, rule)`. Every matching record is
+    /// marked used, so `unused` stays sound even with stacked allows.
+    pub(crate) fn covers(&self, line: u32, rule: Rule) -> bool {
+        let mut hit = false;
+        for r in &self.records {
+            if r.target_line == line && r.rule.suppresses(rule) {
+                r.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// `unused-allow` findings for records that suppressed nothing.
+    pub(crate) fn unused(&self, path: &str) -> Vec<Finding> {
+        self.records
+            .iter()
+            .filter(|r| !r.used.get())
+            .map(|r| Finding {
+                file: path.to_string(),
+                line: r.comment_line,
+                rule: Rule::UnusedAllow,
+                message: format!(
+                    "detlint:allow({}) suppresses nothing on line {} — delete the stale hatch",
+                    r.rule.id(),
+                    r.target_line
+                ),
+            })
+            .collect()
     }
 }
 
-fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
-    let mut by_line: BTreeMap<u32, Vec<Rule>> = BTreeMap::new();
+pub(crate) fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
+    let mut records: Vec<AllowRecord> = Vec::new();
     let mut bad = Vec::new();
     for c in &lexed.comments {
         // Escape hatches are plain `//` code comments. Doc comments
@@ -200,8 +303,8 @@ fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
                 line: c.line,
                 rule: Rule::BadAllow,
                 message: format!(
-                    "detlint:allow names unknown rule {rule_str:?} (known: hash-iter, \
-                     wall-clock, deny-alloc, unwrap, float-order)"
+                    "detlint:allow names unknown rule {rule_str:?} (known: {})",
+                    known_rules()
                 ),
             });
             continue;
@@ -230,9 +333,14 @@ fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
                 .find(|&l| l > c.line)
                 .unwrap_or(c.line + 1)
         };
-        by_line.entry(target).or_default().push(rule);
+        records.push(AllowRecord {
+            comment_line: c.line,
+            target_line: target,
+            rule,
+            used: Cell::new(false),
+        });
     }
-    Allows { by_line, bad }
+    Allows { records, bad }
 }
 
 /// Identifiers bound (or declared) with a `HashMap`/`HashSet` type in this
@@ -329,8 +437,6 @@ const HASH_ITER_METHODS: [&str; 7] = [
     "retain",
 ];
 
-const DENY_ALLOC_METHODS: [&str; 4] = ["to_string", "to_owned", "to_vec", "clone"];
-
 /// One entry on the region stack: a brace-delimited scope with meaning.
 struct Region {
     depth: u32,
@@ -343,7 +449,6 @@ fn scan(
     tokens: &[Token],
     hash_idents: &[String],
     policy: &FilePolicy,
-    _allows: &Allows,
     findings: &mut Vec<Finding>,
 ) {
     let mut depth: u32 = 0;
@@ -488,7 +593,7 @@ fn scan(
                             .is_some_and(|recv| recv == "arena" || recv.ends_with("_arena"));
                     let hit = if bang && (name == "format" || name == "vec") {
                         Some(format!("{name}! allocates"))
-                    } else if after_dot && DENY_ALLOC_METHODS.contains(&name.as_str()) {
+                    } else if after_dot && ALLOC_METHODS.contains(&name.as_str()) {
                         Some(format!(".{name}() allocates"))
                     } else if after_dot && name == "alloc" && !arena_receiver {
                         Some(".alloc() on a non-arena receiver allocates".to_string())

@@ -2,12 +2,18 @@
 //! strict policy and its findings are compared line-for-line against the
 //! `tests/ui/<name>.expected` snapshot (`line:rule` per finding).
 //!
+//! Directory fixtures (`tests/ui/<name>/`) exercise the full two-phase
+//! pipeline instead: every `*.rs` file in the directory is linted together
+//! through `lint_files` (symbol index, call graph, transitive rules,
+//! unused-allow detection) and the findings — `file:line:rule` — are
+//! compared against `tests/ui/<name>/expected`.
+//!
 //! To update a snapshot after an intentional rule change, run with
 //! `DETLINT_UI_BLESS=1` and review the diff like any other golden file.
 
 use std::path::{Path, PathBuf};
 
-use xtask::{lint_source_with, FilePolicy, Report, Rule};
+use xtask::{lint_files, lint_source_with, FilePolicy, Report, Rule};
 
 fn ui_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/ui")
@@ -23,21 +29,63 @@ fn findings_of(fixture: &Path) -> String {
     out
 }
 
-#[test]
-fn fixtures_match_expected_findings() {
-    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(ui_dir())
-        .expect("tests/ui exists")
+/// Lints every `*.rs` in a directory fixture through the two-phase
+/// pipeline; file paths in the output are relative to the fixture dir.
+fn findings_of_dir(dir: &Path) -> String {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("fixture dir readable")
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|e| e == "rs"))
         .collect();
-    fixtures.sort();
-    assert!(fixtures.len() >= 6, "one fixture per rule at minimum");
+    files.sort();
+    assert!(!files.is_empty(), "empty fixture dir {}", dir.display());
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|p| {
+            let rel = p.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(p).expect("fixture readable");
+            (rel, src)
+        })
+        .collect();
+    let mut out = String::new();
+    for f in lint_files(&sources, true).findings {
+        out.push_str(&format!("{}:{}:{}\n", f.file, f.line, f.rule.id()));
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_expected_findings() {
+    let mut single: Vec<PathBuf> = Vec::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(ui_dir()).expect("tests/ui exists") {
+        let path = entry.expect("readable entry").path();
+        if path.is_dir() {
+            dirs.push(path);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            single.push(path);
+        }
+    }
+    single.sort();
+    dirs.sort();
+    assert!(single.len() >= 6, "one fixture per local rule at minimum");
+    assert!(
+        dirs.len() >= 4,
+        "one dir fixture per transitive rule plus graph shapes"
+    );
 
     let bless = std::env::var_os("DETLINT_UI_BLESS").is_some();
     let mut failures = Vec::new();
-    for fixture in &fixtures {
-        let got = findings_of(fixture);
-        let expected_path = fixture.with_extension("expected");
+    let cases = single
+        .iter()
+        .map(|p| (p.clone(), p.with_extension("expected"), false))
+        .chain(dirs.iter().map(|p| (p.clone(), p.join("expected"), true)));
+    for (fixture, expected_path, is_dir) in cases {
+        let got = if is_dir {
+            findings_of_dir(&fixture)
+        } else {
+            findings_of(&fixture)
+        };
         if bless {
             std::fs::write(&expected_path, &got).expect("write snapshot");
             continue;
@@ -93,8 +141,11 @@ fn json_report_is_stable_and_escaped() {
     let report = Report {
         findings,
         files_scanned: 1,
+        fns_indexed: 0,
+        call_edges: 0,
     };
     let json = report.render_json();
+    assert!(json.contains("\"schema\": 2"), "{json}");
     assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
     assert!(json.contains("\"line\": 2"), "{json}");
     assert!(json.contains("a \\\"quoted\\\" path.rs"), "{json}");
@@ -104,9 +155,12 @@ fn json_report_is_stable_and_escaped() {
     let clean = Report {
         findings: Vec::new(),
         files_scanned: 3,
+        fns_indexed: 12,
+        call_edges: 7,
     };
     assert_eq!(
         clean.render_json(),
-        "{\n  \"findings\": [],\n  \"files_scanned\": 3,\n  \"clean\": true\n}\n"
+        "{\n  \"schema\": 2,\n  \"findings\": [],\n  \"files_scanned\": 3,\n  \
+         \"fns_indexed\": 12,\n  \"call_edges\": 7,\n  \"clean\": true\n}\n"
     );
 }

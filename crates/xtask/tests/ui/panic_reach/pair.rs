@@ -1,0 +1,5 @@
+//! Everything reachable from the hot-path roots must be panic-free.
+
+pub fn run_pair(cfg: &Config) -> u32 {
+    step(cfg) + step_allowed(cfg) + step_reasoned(cfg)
+}

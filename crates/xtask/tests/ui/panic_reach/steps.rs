@@ -1,0 +1,22 @@
+//! The reached `unwrap` draws both the local `unwrap` finding and the
+//! transitive `panic-reach` one; `not_reached` only the local finding.
+//! An `allow(unwrap)` covers both on its line; a dedicated
+//! `allow(panic-reach)` answers only the reachability question.
+
+pub fn step(cfg: &Config) -> u32 {
+    cfg.limit.unwrap()
+}
+
+pub fn step_allowed(cfg: &Config) -> u32 {
+    cfg.limit.unwrap() // detlint:allow(unwrap, limit is validated at config load)
+}
+
+pub fn step_reasoned(cfg: &Config) -> u32 {
+    // detlint:allow(panic-reach, pair count is nonzero by construction)
+    // detlint:allow(unwrap, pair count is nonzero by construction)
+    cfg.limit.unwrap()
+}
+
+pub fn not_reached(cfg: &Config) -> u32 {
+    cfg.limit.unwrap()
+}

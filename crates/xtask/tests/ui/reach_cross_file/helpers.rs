@@ -1,0 +1,6 @@
+//! The helper is not annotated, so its allocation is legal locally — it
+//! only becomes a finding when reached from a `#[deny_alloc]` zone.
+
+pub fn helper() -> String {
+    format!("warmed")
+}

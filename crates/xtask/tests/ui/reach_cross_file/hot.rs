@@ -1,0 +1,12 @@
+//! Cross-file reachability: `hot` must not reach an allocation through
+//! `helper` in the sibling file, even though its own body is clean.
+
+#[deny_alloc]
+pub fn hot() {
+    helper();
+}
+
+#[deny_alloc]
+pub fn hot_allowed() {
+    helper(); // detlint:allow(deny-alloc-reach, one-time warmup fill before the steady state)
+}

@@ -1,0 +1,33 @@
+//! Recursive call cycles must neither hang the traversal nor hide a
+//! sink that sits on the cycle.
+
+#[deny_alloc]
+pub fn hot_clean() {
+    ping(3);
+}
+
+pub fn ping(n: u32) {
+    if n > 0 {
+        pong(n - 1);
+    }
+}
+
+pub fn pong(n: u32) {
+    ping(n);
+}
+
+#[deny_alloc]
+pub fn hot_reaches() {
+    spin(1);
+}
+
+pub fn spin(n: u32) {
+    twirl(n);
+}
+
+pub fn twirl(n: u32) {
+    if n > 0 {
+        spin(n - 1);
+    }
+    let _v = vec![n];
+}

@@ -1,0 +1,9 @@
+//! The receiver type of `j.push(…)` is unknown to the lexical pass, so
+//! the call edges to every workspace method named `push` — including the
+//! allocating `Journal::push`. The conservative edge is deliberate:
+//! a spurious finding needs a reasoned allow, a missed one hides a bug.
+
+#[deny_alloc]
+pub fn hot(j: &mut Journal) {
+    j.push(1);
+}

@@ -1,0 +1,14 @@
+//! A same-named method that allocates; any `*.push(…)` call site in the
+//! fixture set gains an edge here.
+
+pub struct Journal {
+    entries: Vec<u32>,
+}
+
+impl Journal {
+    pub fn push(&mut self, v: u32) {
+        let mut buf = Vec::new();
+        buf.push(v);
+        self.entries = buf;
+    }
+}

@@ -1,0 +1,22 @@
+//! `#[rng_neutral]` fns must not advance the probe RNG stream — not
+//! directly, and not through helpers.
+
+#[rng_neutral]
+pub fn decide(rng: &mut SimRng) -> bool {
+    jitter(rng) > 0.5
+}
+
+#[rng_neutral]
+pub fn decide_allowed(rng: &mut SimRng) -> bool {
+    // detlint:allow(rng-stream, drains a dedicated fault stream forked off the seed, not the probe stream)
+    jitter(rng) > 0.5
+}
+
+#[rng_neutral]
+pub fn direct_draw(rng: &mut SimRng) -> f64 {
+    rng.uniform()
+}
+
+pub fn jitter(rng: &mut SimRng) -> f64 {
+    rng.uniform()
+}

@@ -1,0 +1,12 @@
+//! A stand-in for `netsim::rng::SimRng`; its draw methods are the
+//! rng-stream sinks.
+
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    pub fn uniform(&mut self) -> f64 {
+        0.5
+    }
+}

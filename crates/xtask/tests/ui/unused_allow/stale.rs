@@ -1,0 +1,10 @@
+//! A well-formed allow that suppresses nothing is dead weight that
+//! normalises escape hatches — the workspace pass reports it.
+
+pub fn tidy(x: u32) -> u32 {
+    x + 1 // detlint:allow(unwrap, nothing here can panic)
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap() // detlint:allow(unwrap, caller guarantees presence)
+}
