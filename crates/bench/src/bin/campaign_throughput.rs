@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use measure::{metrics_of, Campaign, CampaignConfig};
+use measure::{metrics_of, Campaign, CampaignConfig, SessionConfig};
 
 /// CI floor for the quick profile, in end-to-end pipeline probes/sec
 /// (probe + merge + JSONL + metrics). The pre-interning implementation
@@ -48,6 +48,16 @@ const QUICK_FLOOR_PROBE_GEN_PROBES_PER_SEC: f64 = 90_000.0;
 /// anything below 0.7 means a new serial bottleneck (a shared lock, a
 /// global allocator fight) crept into the per-pair path.
 const QUICK_FLOOR_SCALING_EFFICIENCY: f64 = 0.7;
+
+/// CI ceiling for the session layer's cost relative to cold-only probe
+/// generation: the same campaign under the full-reuse session model must
+/// not run more than 5% slower. Per probe the layer adds one schedule
+/// draw, a couple of timestamp comparisons and the mode bookkeeping —
+/// and warm probes *skip* handshake flights, so the measured delta on the
+/// reference container is negative; 5% leaves room for CI noise while
+/// failing loudly if session state ever grows per-probe allocation or
+/// re-derivation.
+const QUICK_CEILING_SESSION_OVERHEAD: f64 = 0.05;
 
 /// CI ceiling for the flight recorder's share of the pipeline: folding
 /// the per-(resolver, day) health series plus running the drift detector
@@ -146,10 +156,34 @@ fn main() {
     let recorder_s = t.elapsed().as_secs_f64();
     assert_eq!(health.probes() as f64, probes, "recorder saw every probe");
 
+    // Session-layer stage: the same campaign under the full-reuse session
+    // model (ticket cache, pools, 0-RTT). Its records differ from the
+    // cold-only run by design, so the comparison is generation *time*,
+    // not bytes — the byte claims live in the session differential tests.
+    // Both sides are min-of-3, measured back-to-back with the same code:
+    // single runs on a shared 1-core CI container jitter by ±50%, far
+    // more than the ceiling this stage enforces.
+    let min_gen = |c: &Campaign| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let generated = c.generate(1);
+                let gen_s = t.elapsed().as_secs_f64();
+                assert_eq!(generated.record_count() as f64, probes);
+                gen_s
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let session_campaign =
+        Campaign::new(CampaignConfig::quick(42, rounds).with_session(SessionConfig::warm()));
+    let cold_gen_s = min_gen(&c);
+    let session_gen_s = min_gen(&session_campaign);
+
     let probe_gen_pps = probes / serial_gen_s;
     let pipeline_s = serial_gen_s + assemble_s + jsonl_s + metrics_s;
     let pipeline_pps = probes / pipeline_s;
     let recorder_overhead = recorder_s / pipeline_s;
+    let session_overhead = session_gen_s / cold_gen_s - 1.0;
 
     let sweep_json: Vec<String> = rows
         .iter()
@@ -173,6 +207,7 @@ fn main() {
             "\"jsonl_bytes\":{},\"jsonl_s\":{:.3},\"jsonl_mb_per_sec\":{:.1},",
             "\"metrics_s\":{:.3},\"metrics_probes_per_sec\":{:.0},",
             "\"recorder_s\":{:.4},\"recorder_overhead\":{:.4},\"drift_findings\":{},",
+            "\"session_gen_s\":{:.3},\"session_overhead\":{:.4},",
             "\"pipeline_s\":{:.3},\"pipeline_probes_per_sec\":{:.0},",
             "\"thread_sweep\":[{}]}}"
         ),
@@ -190,6 +225,8 @@ fn main() {
         recorder_s,
         recorder_overhead,
         findings.len(),
+        session_gen_s,
+        session_overhead,
         pipeline_s,
         pipeline_pps,
         sweep_json.join(","),
@@ -208,6 +245,14 @@ fn main() {
     if probe_gen_pps < QUICK_FLOOR_PROBE_GEN_PROBES_PER_SEC {
         eprintln!(
             "FAIL: single-thread probe generation {probe_gen_pps:.0} probes/sec below floor {QUICK_FLOOR_PROBE_GEN_PROBES_PER_SEC:.0}"
+        );
+        failed = true;
+    }
+    if session_overhead > QUICK_CEILING_SESSION_OVERHEAD {
+        eprintln!(
+            "FAIL: session-layer probe generation {:.2}% slower than cold-only exceeds ceiling {:.0}%",
+            session_overhead * 100.0,
+            QUICK_CEILING_SESSION_OVERHEAD * 100.0
         );
         failed = true;
     }

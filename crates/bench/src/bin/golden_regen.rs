@@ -12,7 +12,7 @@
 //! fixtures under `crates/report/tests/golden/` pin the JSON and CSV
 //! export formats the same way (`crates/report/tests/golden_metrics.rs`).
 
-use measure::{metrics_of, Campaign, CampaignConfig, LoadModel};
+use measure::{metrics_of, Campaign, CampaignConfig, LoadModel, Protocol, SessionConfig};
 
 fn entries() -> Vec<catalog::ResolverEntry> {
     [
@@ -109,4 +109,28 @@ fn main() {
     }
     std::fs::write(report_dir.join("load_sweep_seed4.txt"), sweep.render()).unwrap();
     eprintln!("wrote load sweep with {} rows", sweep.rows().len());
+
+    // Reuse-ablation table: the same roster per connection-oriented
+    // protocol under the interleaved session model, pinning the
+    // per-(protocol, mode) rows. Session state is per-pair, so the
+    // 4-thread ≡ serial assertion must keep holding with live pools.
+    let mut ablation = report::ReuseAblation::new();
+    for protocol in [Protocol::DoH, Protocol::DoT, Protocol::DoQ] {
+        let mut config = CampaignConfig::quick(4, 3).with_session(SessionConfig::interleaved(0.3));
+        config.probe.protocol = protocol;
+        let campaign = Campaign::with_resolvers(config, entries());
+        let warm = campaign.run();
+        assert_eq!(
+            warm.records,
+            campaign.run_parallel(4).records,
+            "4-thread session regeneration ({protocol:?}) must be byte-identical to serial"
+        );
+        ablation.add_campaign(&warm.records);
+    }
+    std::fs::write(
+        report_dir.join("reuse_ablation_seed4.txt"),
+        ablation.render(),
+    )
+    .unwrap();
+    eprintln!("wrote reuse ablation with {} rows", ablation.rows().len());
 }

@@ -34,5 +34,5 @@ pub mod resolvers;
 pub mod stamps;
 
 pub use browsers::{Browser, Provider};
-pub use profile::{HealthClass, ProfileClass, ResolverEntry};
+pub use profile::{HealthClass, ProfileClass, ResolverEntry, ReusePolicy};
 pub use stamps::{Stamp, StampError};

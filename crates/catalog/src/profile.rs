@@ -55,6 +55,85 @@ impl HealthClass {
     }
 }
 
+/// Connection-reuse and session-resumption policy of a deployment class:
+/// how long TLS 1.3 session tickets stay valid, how long an idle HTTP/2 or
+/// QUIC connection is kept in the pool, and whether (and how often) the
+/// server accepts QUIC 0-RTT early data.
+///
+/// All durations are whole simulated seconds so the policy is plain data —
+/// `measure::session` converts to `SimDuration` at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReusePolicy {
+    /// TLS 1.3 ticket lifetime, seconds (0 = tickets never issued).
+    pub ticket_lifetime_s: u64,
+    /// Server-side idle timeout for pooled connections, seconds
+    /// (0 = connections close immediately after each exchange).
+    pub pool_idle_timeout_s: u64,
+    /// True when the server accepts QUIC 0-RTT early data on resumption.
+    pub zero_rtt: bool,
+    /// Anti-replay window: 0-RTT flights accepted per issued ticket before
+    /// the server forces a full handshake again.
+    pub zero_rtt_window: u32,
+}
+
+impl ReusePolicy {
+    /// Production operators: long tickets, generous keepalive, 0-RTT on.
+    pub fn production() -> ReusePolicy {
+        ReusePolicy {
+            ticket_lifetime_s: 86_400,
+            pool_idle_timeout_s: 240,
+            zero_rtt: true,
+            zero_rtt_window: 8,
+        }
+    }
+
+    /// Mid-size operations: RFC-default-ish tickets, moderate keepalive.
+    pub fn midsize() -> ReusePolicy {
+        ReusePolicy {
+            ticket_lifetime_s: 7_200,
+            pool_idle_timeout_s: 60,
+            zero_rtt: true,
+            zero_rtt_window: 4,
+        }
+    }
+
+    /// Hobbyist boxes: short tickets, aggressive idle close, no 0-RTT.
+    pub fn hobbyist() -> ReusePolicy {
+        ReusePolicy {
+            ticket_lifetime_s: 600,
+            pool_idle_timeout_s: 10,
+            zero_rtt: false,
+            zero_rtt_window: 0,
+        }
+    }
+
+    /// No reuse at all (ODoH targets: every request rides a fresh
+    /// relayed connection, so client-side session state never applies).
+    pub fn none() -> ReusePolicy {
+        ReusePolicy {
+            ticket_lifetime_s: 0,
+            pool_idle_timeout_s: 0,
+            zero_rtt: false,
+            zero_rtt_window: 0,
+        }
+    }
+
+    /// The policy a performance class ships with.
+    pub fn of(profile: ProfileClass) -> ReusePolicy {
+        match profile {
+            ProfileClass::Production => ReusePolicy::production(),
+            ProfileClass::Midsize => ReusePolicy::midsize(),
+            ProfileClass::Hobbyist => ReusePolicy::hobbyist(),
+            ProfileClass::OdohTarget => ReusePolicy::none(),
+        }
+    }
+
+    /// True when the policy permits any form of reuse or resumption.
+    pub fn allows_any(&self) -> bool {
+        self.ticket_lifetime_s > 0 || self.pool_idle_timeout_s > 0
+    }
+}
+
 /// One resolver of the measured population, with everything needed to
 /// instantiate its simulated deployment.
 #[derive(Debug, Clone)]
@@ -102,6 +181,19 @@ impl ResolverEntry {
     /// The region the paper's geolocation step assigns this resolver.
     pub fn region(&self) -> netsim::Region {
         self.region_override.unwrap_or(self.cities[0].region)
+    }
+
+    /// The connection-reuse policy this resolver's deployment class runs.
+    pub fn reuse_policy(&self) -> ReusePolicy {
+        ReusePolicy::of(self.profile)
+    }
+
+    /// The key hostnames of one operator coalesce under: a client that
+    /// already holds a session to any of the operator's names may reuse
+    /// it for the others (RFC 8336-style origin coalescing, modeled at
+    /// the operator granularity).
+    pub fn coalesce_key(&self) -> &'static str {
+        self.operator
     }
 
     /// Builds the simulated deployment + servers for this entry.
@@ -200,6 +292,31 @@ mod tests {
         e.proc_override_ms = 9.0;
         let inst = e.instantiate();
         assert_eq!(inst.servers[0].profile.proc_median_ms, 9.0);
+    }
+
+    #[test]
+    fn reuse_policies_order_by_provisioning() {
+        let prod = ReusePolicy::production();
+        let mid = ReusePolicy::midsize();
+        let hob = ReusePolicy::hobbyist();
+        assert!(prod.ticket_lifetime_s > mid.ticket_lifetime_s);
+        assert!(mid.ticket_lifetime_s > hob.ticket_lifetime_s);
+        assert!(prod.pool_idle_timeout_s > mid.pool_idle_timeout_s);
+        assert!(mid.pool_idle_timeout_s > hob.pool_idle_timeout_s);
+        assert!(prod.zero_rtt && mid.zero_rtt && !hob.zero_rtt);
+        assert!(!ReusePolicy::none().allows_any());
+        assert!(hob.allows_any());
+        assert_eq!(
+            ReusePolicy::of(ProfileClass::OdohTarget),
+            ReusePolicy::none()
+        );
+    }
+
+    #[test]
+    fn entry_exposes_policy_and_coalesce_key() {
+        let e = sample_entry();
+        assert_eq!(e.reuse_policy(), ReusePolicy::midsize());
+        assert_eq!(e.coalesce_key(), "Test");
     }
 
     #[test]

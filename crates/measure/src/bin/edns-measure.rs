@@ -69,7 +69,8 @@ USAGE:
   edns-measure campaign [--scale quick|standard|paper] [--seed S] [--out FILE]
                         [--metrics] [--retries N] [--timeout SECS]
                         [--backoff-ms MS] [--jitter F] [--faults none|default]
-                        [--load MULT] [--days N] [--shards K]
+                        [--load MULT] [--session cold|warm|FRACTION]
+                        [--days N] [--shards K]
                         [--checkpoint-dir DIR] [--events FILE] [--health FILE]
                         [--trace-out FILE] [--progress]
       Run a full campaign over the whole population and write JSON-Lines
@@ -124,6 +125,19 @@ LOAD FLAGS (campaign only):
                     demand their sites attract. MULT 0 is byte-identical
                     to omitting the flag. See the load_sweep bench for
                     whole-ladder throughput/latency curves.
+
+SESSION FLAGS (campaign only):
+  --session MODE    connection-reuse model: 'cold' (default; every probe
+                    opens a fresh connection, byte-identical to omitting
+                    the flag — the paper's methodology), 'warm' (full
+                    ticket-cache + connection-pool + QUIC 0-RTT reuse
+                    under each resolver's policy), or a fraction in
+                    [0, 1] (warm with that share of probes forced cold on
+                    a seeded schedule, so the output carries its own cold
+                    baseline). Warm records gain a \"conn_mode\" JSON key
+                    (cold|resumed|reused); see report::ReuseAblation for
+                    the per-protocol ablation table. Mutually exclusive
+                    with --load.
 ";
 
 /// Fetches the value following `--flag`, if present.
@@ -357,6 +371,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if let Some(v) = flag_value(args, "--load") {
         let multiplier: f64 = v.parse().map_err(|_| "bad --load")?;
         config = config.with_load(measure::LoadModel::standard(seed).with_multiplier(multiplier));
+        config.validate()?;
+    }
+    if let Some(v) = flag_value(args, "--session") {
+        config = config.with_session(measure::SessionConfig::from_arg(v)?);
         config.validate()?;
     }
     apply_retry_flags(args, &mut config.probe.retry)?;

@@ -24,6 +24,7 @@ use crate::context::PairContext;
 use crate::population::PairLoad;
 use crate::probe::{ProbeTarget, Prober};
 use crate::results::{ProbeOutcome, ProbeRecord};
+use crate::session::SessionState;
 use crate::vantage::Vantage;
 
 /// A completed campaign: all records plus the configuration that made them.
@@ -446,6 +447,20 @@ impl Campaign {
         // byte. Only a live model builds pair load state.
         let load = self.config.load.as_ref().filter(|m| !m.is_zero());
         let mut pair_load = load.map(|m| PairLoad::build(m, vantage, &target));
+        // Likewise for sessions: a cold-only (or absent) session model
+        // takes the legacy calls and never stamps a connection mode, so
+        // its records serialize byte-identically to the seed goldens.
+        // Only a live model builds per-pair session state.
+        let session_cfg = self.config.session.as_ref().filter(|s| s.is_live());
+        let mut session = session_cfg.map(|_| {
+            SessionState::new(
+                self.config.seed,
+                vantage.label,
+                entry.hostname,
+                entry.reuse_policy(),
+                entry.coalesce_key(),
+            )
+        });
 
         let mut records = Vec::new();
         for span in &self.config.spans {
@@ -454,28 +469,49 @@ impl Campaign {
             }
             for at in span.round_times() {
                 for (domain_idx, domain) in self.domains.iter().enumerate() {
-                    let (outcome, ping, retry) = match (load, &mut pair_load) {
-                        (Some(model), Some(pl)) => prober.probe_pair_loaded(
-                            &mut ctx,
-                            pl,
-                            model,
-                            &mut target,
-                            domain_idx,
-                            at,
-                            self.config.probe,
-                            &self.config.faults,
-                            &mut rng,
-                        ),
-                        _ => prober.probe_pair(
-                            &mut ctx,
-                            &mut target,
-                            domain_idx,
-                            at,
-                            self.config.probe,
-                            &self.config.faults,
-                            &mut rng,
-                        ),
-                    };
+                    let (outcome, ping, retry, mode) =
+                        match (load, &mut pair_load, session_cfg, &mut session) {
+                            (Some(model), Some(pl), _, _) => {
+                                let (outcome, ping, retry) = prober.probe_pair_loaded(
+                                    &mut ctx,
+                                    pl,
+                                    model,
+                                    &mut target,
+                                    domain_idx,
+                                    at,
+                                    self.config.probe,
+                                    &self.config.faults,
+                                    &mut rng,
+                                );
+                                (outcome, ping, retry, None)
+                            }
+                            (_, _, Some(scfg), Some(sess)) => {
+                                let (outcome, ping, retry, mode) = prober.probe_pair_session(
+                                    &mut ctx,
+                                    sess,
+                                    scfg,
+                                    &mut target,
+                                    domain_idx,
+                                    at,
+                                    self.config.probe,
+                                    &self.config.faults,
+                                    &mut rng,
+                                );
+                                (outcome, ping, retry, Some(mode))
+                            }
+                            _ => {
+                                let (outcome, ping, retry) = prober.probe_pair(
+                                    &mut ctx,
+                                    &mut target,
+                                    domain_idx,
+                                    at,
+                                    self.config.probe,
+                                    &self.config.faults,
+                                    &mut rng,
+                                );
+                                (outcome, ping, retry, None)
+                            }
+                        };
                     // Rewind the arena's checkout accounting: buffers kept
                     // by the context's caches stay; scratch is written off.
                     ctx.arena.reset();
@@ -491,7 +527,8 @@ impl Campaign {
                             outcome,
                             ping,
                         )
-                        .with_retry(retry),
+                        .with_retry(retry)
+                        .with_conn_mode(mode),
                     );
                 }
             }
@@ -518,6 +555,18 @@ impl Campaign {
         );
         let client = vantage.host(0);
         let is_home = vantage.is_home();
+        // Mirror of the fast path's session gate: a live model drives the
+        // reference session probe, anything else takes the legacy call.
+        let session_cfg = self.config.session.as_ref().filter(|s| s.is_live());
+        let mut session = session_cfg.map(|_| {
+            SessionState::new(
+                self.config.seed,
+                vantage.label,
+                entry.hostname,
+                entry.reuse_policy(),
+                entry.coalesce_key(),
+            )
+        });
 
         let mut records = Vec::new();
         for span in &self.config.spans {
@@ -526,16 +575,36 @@ impl Campaign {
             }
             for at in span.round_times() {
                 for domain in &self.domains {
-                    let (outcome, ping, retry) = prober.probe_with_faults(
-                        &client,
-                        &mut target,
-                        &domain.name,
-                        at,
-                        is_home,
-                        self.config.probe,
-                        &self.config.faults,
-                        &mut rng,
-                    );
+                    let (outcome, ping, retry, mode) = match (session_cfg, &mut session) {
+                        (Some(scfg), Some(sess)) => {
+                            let (outcome, ping, retry, mode) = prober.probe_with_faults_session(
+                                &client,
+                                sess,
+                                scfg,
+                                &mut target,
+                                &domain.name,
+                                at,
+                                is_home,
+                                self.config.probe,
+                                &self.config.faults,
+                                &mut rng,
+                            );
+                            (outcome, ping, retry, Some(mode))
+                        }
+                        _ => {
+                            let (outcome, ping, retry) = prober.probe_with_faults(
+                                &client,
+                                &mut target,
+                                &domain.name,
+                                at,
+                                is_home,
+                                self.config.probe,
+                                &self.config.faults,
+                                &mut rng,
+                            );
+                            (outcome, ping, retry, None)
+                        }
+                    };
                     records.push(
                         ProbeRecord::new(
                             at,
@@ -548,7 +617,8 @@ impl Campaign {
                             outcome,
                             ping,
                         )
-                        .with_retry(retry),
+                        .with_retry(retry)
+                        .with_conn_mode(mode),
                     );
                 }
             }

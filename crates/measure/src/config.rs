@@ -13,6 +13,7 @@ use netsim::{SimDuration, SimTime};
 
 use crate::population::LoadModel;
 use crate::probe::ProbeConfig;
+use crate::session::SessionConfig;
 use crate::vantage::{self, Vantage};
 
 /// A contiguous measurement span for a set of vantage points.
@@ -71,6 +72,12 @@ pub struct CampaignConfig {
     /// keeps campaign output byte-identical to an unloaded build; the
     /// `load_differential` test pins this against the seed goldens.
     pub load: Option<LoadModel>,
+    /// Optional connection-reuse / session-resumption model. `None` (the
+    /// default in every constructor) — or a config whose
+    /// [`SessionConfig::is_live`] is false (cold-only) — keeps campaign
+    /// output byte-identical to the legacy fresh-connection build; the
+    /// `session_differential` test pins this against the seed goldens.
+    pub session: Option<SessionConfig>,
 }
 
 const HOME_LABELS: [&str; 4] = ["home-1", "home-2", "home-3", "home-4"];
@@ -121,6 +128,7 @@ impl CampaignConfig {
             ],
             faults: FaultPlan::EMPTY,
             load: None,
+            session: None,
         }
     }
 
@@ -147,6 +155,7 @@ impl CampaignConfig {
             ],
             faults: FaultPlan::EMPTY,
             load: None,
+            session: None,
         }
     }
 
@@ -178,6 +187,7 @@ impl CampaignConfig {
             ],
             faults: FaultPlan::EMPTY,
             load: None,
+            session: None,
         }
     }
 
@@ -214,6 +224,14 @@ impl CampaignConfig {
         self
     }
 
+    /// Attaches a connection-reuse / session-resumption model
+    /// (builder-style). A cold-only config is accepted and behaves exactly
+    /// like `None`.
+    pub fn with_session(mut self, session: SessionConfig) -> Self {
+        self.session = Some(session);
+        self
+    }
+
     /// The vantage points this campaign uses, deduplicated.
     pub fn vantages(&self) -> Vec<Vantage> {
         let mut labels: Vec<&str> = self
@@ -244,6 +262,20 @@ impl CampaignConfig {
         }
         if let Some(load) = &self.load {
             load.validate().map_err(|e| format!("load model: {e}"))?;
+        }
+        if let Some(session) = &self.session {
+            session
+                .validate()
+                .map_err(|e| format!("session model: {e}"))?;
+            // The load-aware probe path and the session-aware probe path
+            // are separate engines; a campaign picks at most one.
+            if session.is_live() && self.load.as_ref().is_some_and(|m| !m.is_zero()) {
+                return Err(
+                    "session model: a live session model cannot be combined with a live \
+                     load model"
+                        .to_string(),
+                );
+            }
         }
         Ok(())
     }
@@ -494,6 +526,25 @@ mod tests {
         let mut c = CampaignConfig::quick(1, 1);
         c.spans.clear();
         assert!(c.validate().unwrap_err().contains("no measurement spans"));
+    }
+
+    #[test]
+    fn validate_checks_session_model() {
+        use crate::population::LoadModel;
+
+        let c = CampaignConfig::quick(1, 1).with_session(SessionConfig::warm());
+        assert_eq!(c.validate(), Ok(()));
+        let c = CampaignConfig::quick(1, 1).with_session(SessionConfig::interleaved(2.0));
+        assert!(c.validate().unwrap_err().starts_with("session model: "));
+        // Live session + live load is rejected; cold-only + live load is fine.
+        let c = CampaignConfig::quick(1, 1)
+            .with_load(LoadModel::standard(1).with_multiplier(1.0))
+            .with_session(SessionConfig::warm());
+        assert!(c.validate().unwrap_err().contains("load model"));
+        let c = CampaignConfig::quick(1, 1)
+            .with_load(LoadModel::standard(1).with_multiplier(1.0))
+            .with_session(SessionConfig::cold_only());
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -239,6 +239,14 @@ pub(crate) struct DohTemplate {
     /// Encoded request length (HTTP/1.1 when `http1`, else HTTP/2 with
     /// connection preface, exactly as the reference path sends it).
     pub(crate) req_len: usize,
+    /// Encoded request length for a follow-up request on a kept-alive
+    /// connection: no connection preface, and HPACK dynamic-table hits
+    /// shrink the header block. Equal to `req_len` on HTTP/1.1, whose
+    /// requests are stateless. The HTTP/2 frame header carries the stream
+    /// id in a fixed-width field, so the *response* length is independent
+    /// of the stream id and `resp_len_for` serves both cold and reused
+    /// exchanges.
+    pub(crate) req_len_reused: usize,
     /// The resolver only speaks HTTP/1.1 (no h2 in its ALPN).
     pub(crate) http1: bool,
 }
@@ -257,15 +265,21 @@ impl DohTemplate {
             headers: doh_headers(entry.hostname, &http_path, !cfg.doh_get, body.len()),
             body,
         };
-        let (stream_id, h2_wire) = H2Connection::new().encode_request(&req);
-        let req_len = if entry.http1_only {
-            transport::h1_encode_request(&req.headers, &req.body).len()
+        let mut conn = H2Connection::new();
+        let (stream_id, h2_wire) = conn.encode_request(&req);
+        // The same request re-encoded on the warm connection: stream id 3,
+        // stateful HPACK, no preface. RNG-free, so safe to hoist.
+        let (_, h2_wire_reused) = conn.encode_request(&req);
+        let (req_len, req_len_reused) = if entry.http1_only {
+            let len = transport::h1_encode_request(&req.headers, &req.body).len();
+            (len, len)
         } else {
-            h2_wire.len()
+            (h2_wire.len(), h2_wire_reused.len())
         };
         DohTemplate {
             stream_id,
             req_len,
+            req_len_reused,
             http1: entry.http1_only,
         }
     }

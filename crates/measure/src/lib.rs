@@ -38,6 +38,7 @@ pub mod population;
 pub mod probe;
 pub mod results;
 pub mod retry;
+pub mod session;
 pub mod shard;
 pub mod summary;
 pub mod vantage;
@@ -58,8 +59,9 @@ pub use health::{
 };
 pub use population::{representative_client, LoadModel, RegionDemand};
 pub use probe::{ProbeConfig, ProbeTarget, Prober};
-pub use results::{ProbeOutcome, ProbeRecord, ProbeTimings, Protocol};
+pub use results::{ConnectionMode, ProbeOutcome, ProbeRecord, ProbeTimings, Protocol};
 pub use retry::{RetryInfo, RetryPolicy};
+pub use session::{SessionConfig, SessionState};
 pub use shard::{ShardedOutcome, ShardedRunner};
 pub use summary::{CellStats, StreamingSummary};
 pub use vantage::{Vantage, VantageKind};

@@ -18,14 +18,16 @@ use obs::{Nanos, Phase, SpanLog};
 use resolver_sim::{AuthorityTree, ProbeHealth, ResolverInstance};
 use transport::{
     doh_headers, FaultHooks, H2Connection, H2Request, HeaderField, QuicConfig, QuicConnection,
-    TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior, TlsSession, TransportErrorKind,
+    SessionTicket, TcpConfig, TcpConnection, TlsConfig, TlsServerBehavior, TlsSession,
+    TransportErrorKind,
 };
 
 use crate::context::{DomainTemplate, PairContext};
 use crate::errors::ProbeErrorKind;
 use crate::population::{LoadModel, PairLoad};
-use crate::results::{ProbeOutcome, ProbeTimings, Protocol};
+use crate::results::{ConnectionMode, ProbeOutcome, ProbeTimings, Protocol};
 use crate::retry::{RetryInfo, RetryPolicy};
+use crate::session::{SessionConfig, SessionState};
 
 /// Deterministic client-side cost of building and encoding a DNS query:
 /// a fixed setup term plus a per-byte term. Microsecond-scale, so it shows
@@ -48,6 +50,130 @@ fn record_codec_span(log: &mut SpanLog, t0: Nanos, phase: Phase, cost: SimDurati
     let t = t0 + cost.as_nanos();
     log.exit(t, phase.name());
     t
+}
+
+/// How a probe starts its transport. Non-session campaigns always start
+/// [`WarmStart::Cold`]; a live session layer maps the pair's
+/// [`ConnectionMode`] decision onto a warm start.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WarmStart {
+    /// Fresh connection, full handshake — the legacy fresh-`dig` path.
+    Cold,
+    /// Fresh transport connect plus an abbreviated handshake: TLS 1.3
+    /// ticket resumption on TCP transports, 0-RTT on QUIC.
+    Resumed { ticket: SessionTicket },
+    /// Connection pulled from the keepalive pool: no connect, no
+    /// handshake; the TCP RTT estimator is re-seeded from the pooled hint.
+    Reused {
+        ticket: SessionTicket,
+        srtt_hint: SimDuration,
+    },
+}
+
+impl WarmStart {
+    fn is_reused(self) -> bool {
+        matches!(self, WarmStart::Reused { .. })
+    }
+
+    /// TCP + TLS establishment for the TCP-carried transports (DoH, DoT):
+    /// cold pays the full handshake pair; resumed pays the TCP handshake
+    /// plus the ticket-abbreviated TLS flight; reused touches the wire not
+    /// at all (the pooled connection is reconstructed from metadata).
+    /// Advances `t` past whatever was paid. When `self` is `Cold` this is
+    /// call-for-call identical to the legacy connect + handshake sequence.
+    fn tcp_tls_setup(
+        self,
+        path: &Path,
+        hooks: FaultHooks,
+        rng: &mut SimRng,
+        t: &mut Nanos,
+        log: &mut SpanLog,
+    ) -> Result<(TcpConnection, SimDuration, SimDuration), ProbeOutcome> {
+        let ticket = match self {
+            WarmStart::Cold => None,
+            WarmStart::Resumed { ticket } => Some(ticket),
+            WarmStart::Reused { srtt_hint, .. } => {
+                return Ok((
+                    TcpConnection::resumed(TcpConfig::default(), srtt_hint),
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                ))
+            }
+        };
+        let (mut tcp, connect) = match TcpConnection::connect_traced(
+            path,
+            hooks.refuse_connect,
+            rng,
+            TcpConfig::default(),
+            *t,
+            log,
+        ) {
+            Ok(ok) => ok,
+            Err(e) => {
+                return Err(ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: e.elapsed,
+                })
+            }
+        };
+        *t += connect.as_nanos();
+        let tls = match TlsSession::handshake_traced(
+            &mut tcp,
+            path,
+            TlsConfig::default(),
+            hooks.tls_behavior,
+            ticket,
+            rng,
+            *t,
+            log,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(ProbeOutcome::Failure {
+                    kind: e.into(),
+                    elapsed: connect + e.elapsed,
+                })
+            }
+        };
+        *t += tls.handshake_time.as_nanos();
+        Ok((tcp, connect, tls.handshake_time))
+    }
+
+    /// QUIC establishment: cold pays the combined handshake; resumed sends
+    /// 0-RTT (no handshake flight, no RNG draws — the first stream flight
+    /// is amplification-padded by the connection); reused rides an open
+    /// pooled connection, which behaves like 0-RTT minus the padding.
+    fn quic_setup(
+        self,
+        path: &Path,
+        rng: &mut SimRng,
+        t: &mut Nanos,
+        log: &mut SpanLog,
+    ) -> Result<(QuicConnection, SimDuration), ProbeOutcome> {
+        match self {
+            WarmStart::Cold => {
+                match QuicConnection::connect_traced(path, QuicConfig::default(), rng, *t, log) {
+                    Ok((quic, connect)) => {
+                        *t += connect.as_nanos();
+                        Ok((quic, connect))
+                    }
+                    Err(e) => Err(ProbeOutcome::Failure {
+                        kind: e.into(),
+                        elapsed: e.elapsed,
+                    }),
+                }
+            }
+            WarmStart::Resumed { ticket } => Ok((
+                QuicConnection::resume_zero_rtt(path, QuicConfig::default(), ticket),
+                SimDuration::ZERO,
+            )),
+            WarmStart::Reused { ticket, .. } => {
+                let mut quic = QuicConnection::resume_zero_rtt(path, QuicConfig::default(), ticket);
+                quic.zero_rtt = false;
+                Ok((quic, SimDuration::ZERO))
+            }
+        }
+    }
 }
 
 /// A resolver as seen by the prober: catalog metadata plus live simulated
@@ -239,6 +365,7 @@ impl Prober {
             let effects = faults.effects_at(attempt_now, &ftarget);
             let health = Self::effective_health(target, attempt_now, &effects, rng);
             self.dns_probe(
+                WarmStart::Cold,
                 client,
                 target,
                 domain,
@@ -405,6 +532,7 @@ impl Prober {
             let effects = faults.effects_at_masked(attempt_now, ftarget, scope_mask);
             let health = Self::effective_health(target, attempt_now, &effects, rng);
             self.dns_probe_ctx(
+                WarmStart::Cold,
                 client,
                 target,
                 tmpl,
@@ -479,6 +607,7 @@ impl Prober {
             let health = Self::effective_health(target, attempt_now, &effects, rng);
             let path = pair_load.path(pick.site).clone();
             self.dns_probe_ctx(
+                WarmStart::Cold,
                 client,
                 target,
                 tmpl,
@@ -496,6 +625,224 @@ impl Prober {
         (outcome, ping, info)
     }
 
+    /// True when the sampled health and fault effects would let a client
+    /// establish (or keep) a transport connection. Any connection-layer
+    /// fault — blackhole/outage, refused, broken TLS, expired certificate,
+    /// link down — invalidates all warm session state before the attempt
+    /// runs. `HttpError` is connection-healthy: the transport works, only
+    /// the application layer misbehaves, so warm connections survive it.
+    fn connection_healthy(health: ProbeHealth, effects: &FaultEffects) -> bool {
+        !(matches!(
+            health,
+            ProbeHealth::Blackholed
+                | ProbeHealth::Refusing
+                | ProbeHealth::TlsBroken
+                | ProbeHealth::BadCertificate
+        ) || effects.link_down)
+    }
+
+    /// Maps the session layer's decision onto the transport start. Ticket
+    /// identities never influence timing (the TLS model distinguishes only
+    /// `Some`/`None`), so the zero ticket stands in for a pooled QUIC
+    /// connection that outlived its ticket.
+    fn warm_start(session: &SessionState, mode: ConnectionMode) -> WarmStart {
+        match mode {
+            ConnectionMode::Cold => WarmStart::Cold,
+            ConnectionMode::Resumed => WarmStart::Resumed {
+                ticket: session.ticket().unwrap_or(SessionTicket { id: 0 }),
+            },
+            ConnectionMode::Reused => WarmStart::Reused {
+                ticket: session.ticket().unwrap_or(SessionTicket { id: 0 }),
+                srtt_hint: session.pool_srtt_hint().unwrap_or(SimDuration::ZERO),
+            },
+        }
+    }
+
+    /// Applies one attempt's outcome to the session state, mirroring
+    /// [`run_attempts`](Self::run_attempts)' attempt-timeout conversion: an
+    /// exchange that outlives the client's patience is a failure from the
+    /// client's point of view, and the client tears the connection down
+    /// with it.
+    fn update_session(
+        session: &mut SessionState,
+        policy: RetryPolicy,
+        attempt_now: SimTime,
+        protocol: Protocol,
+        mode: ConnectionMode,
+        outcome: &ProbeOutcome,
+    ) {
+        match outcome {
+            ProbeOutcome::Success { timings, .. }
+                if policy
+                    .attempt_timeout
+                    .is_none_or(|to| timings.total() <= to) =>
+            {
+                session.on_success(attempt_now, protocol, mode, timings.connect);
+            }
+            _ => session.on_failure(),
+        }
+    }
+
+    /// [`probe_pair`](Self::probe_pair) with a live session layer: the
+    /// pair's [`SessionState`] decides per attempt whether the transport
+    /// starts cold, resumes a TLS/QUIC session, or reuses a pooled
+    /// connection, and the attempt's outcome feeds back into the state.
+    /// Returns the [`ConnectionMode`] of the probe's final attempt, for
+    /// recording — a warm probe whose retry fell back cold reports `Cold`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_pair_session(
+        &self,
+        ctx: &mut PairContext,
+        session: &mut SessionState,
+        scfg: &SessionConfig,
+        target: &mut ProbeTarget,
+        domain_idx: usize,
+        now: SimTime,
+        cfg: ProbeConfig,
+        faults: &FaultPlan,
+        rng: &mut SimRng,
+    ) -> (
+        ProbeOutcome,
+        Option<SimDuration>,
+        Option<RetryInfo>,
+        ConnectionMode,
+    ) {
+        let mut log = SpanLog::disabled();
+        let PairContext {
+            client,
+            site,
+            path,
+            ftarget,
+            scope_mask,
+            domains,
+            arena,
+        } = ctx;
+        let site = *site;
+        let tmpl = &mut domains[domain_idx];
+
+        let ping = icmp::ping(path, target.instance.icmp, cfg.ping_timeout, rng).rtt();
+        match ping {
+            Some(rtt) => log.instant(now.as_nanos() + rtt.as_nanos(), "icmp_echo_reply"),
+            None => log.instant(now.as_nanos(), "icmp_filtered"),
+        }
+
+        // One schedule draw per probe, before any attempt: the stream
+        // position is the probe ordinal, independent of outcomes.
+        let forced_cold = session.draw_forced_cold(scfg);
+        let mut last_mode = ConnectionMode::Cold;
+        let session = &mut *session;
+        let (outcome, info) = Self::run_attempts(cfg.retry, now, rng, |attempt_now, rng| {
+            let effects = faults.effects_at_masked(attempt_now, ftarget, scope_mask);
+            let health = Self::effective_health(target, attempt_now, &effects, rng);
+            let conn_healthy = Self::connection_healthy(health, &effects);
+            let mode = session.decide(attempt_now, cfg.protocol, conn_healthy, forced_cold);
+            last_mode = mode;
+            let outcome = self.dns_probe_ctx(
+                Self::warm_start(session, mode),
+                client,
+                target,
+                tmpl,
+                attempt_now,
+                site,
+                path,
+                health,
+                &effects,
+                cfg,
+                arena,
+                rng,
+                &mut log,
+            );
+            Self::update_session(
+                session,
+                cfg.retry,
+                attempt_now,
+                cfg.protocol,
+                mode,
+                &outcome,
+            );
+            outcome
+        });
+        (outcome, ping, info, last_mode)
+    }
+
+    /// [`probe_with_faults`](Self::probe_with_faults) with a live session
+    /// layer — the reference twin of
+    /// [`probe_pair_session`](Self::probe_pair_session), rebuilding every
+    /// wire per probe, so the session differential tests can anchor the
+    /// fast path against it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with_faults_session(
+        &self,
+        client: &Host,
+        session: &mut SessionState,
+        scfg: &SessionConfig,
+        target: &mut ProbeTarget,
+        domain: &Name,
+        now: SimTime,
+        is_home: bool,
+        cfg: ProbeConfig,
+        faults: &FaultPlan,
+        rng: &mut SimRng,
+    ) -> (
+        ProbeOutcome,
+        Option<SimDuration>,
+        Option<RetryInfo>,
+        ConnectionMode,
+    ) {
+        let mut disabled = SpanLog::disabled();
+        let log = &mut disabled;
+        let (site, mut path) = target.instance.route(client);
+        if is_home {
+            path.extra_latency_ms += target.entry.home_extra_ms;
+        }
+
+        let ping = icmp::ping(&path, target.instance.icmp, cfg.ping_timeout, rng).rtt();
+        match ping {
+            Some(rtt) => log.instant(now.as_nanos() + rtt.as_nanos(), "icmp_echo_reply"),
+            None => log.instant(now.as_nanos(), "icmp_filtered"),
+        }
+
+        let ftarget = FaultTarget {
+            resolver: target.entry.hostname,
+            region: target.entry.region(),
+            vantage: &client.label,
+        };
+        let forced_cold = session.draw_forced_cold(scfg);
+        let mut last_mode = ConnectionMode::Cold;
+        let session = &mut *session;
+        let (outcome, info) = Self::run_attempts(cfg.retry, now, rng, |attempt_now, rng| {
+            let effects = faults.effects_at(attempt_now, &ftarget);
+            let health = Self::effective_health(target, attempt_now, &effects, rng);
+            let conn_healthy = Self::connection_healthy(health, &effects);
+            let mode = session.decide(attempt_now, cfg.protocol, conn_healthy, forced_cold);
+            last_mode = mode;
+            let outcome = self.dns_probe(
+                Self::warm_start(session, mode),
+                client,
+                target,
+                domain,
+                attempt_now,
+                site,
+                &path,
+                health,
+                &effects,
+                cfg,
+                rng,
+                log,
+            );
+            Self::update_session(
+                session,
+                cfg.retry,
+                attempt_now,
+                cfg.protocol,
+                mode,
+                &outcome,
+            );
+            outcome
+        });
+        (outcome, ping, info, last_mode)
+    }
+
     /// Context-path twin of [`dns_probe`](Self::dns_probe): identical
     /// fault/health shaping, dispatching to the template-backed protocol
     /// probes. ODoH falls through to the reference path — its per-probe
@@ -503,6 +850,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn dns_probe_ctx(
         &self,
+        warm: WarmStart,
         client: &Host,
         target: &mut ProbeTarget,
         tmpl: &mut DomainTemplate,
@@ -542,16 +890,16 @@ impl Prober {
 
         match cfg.protocol {
             Protocol::DoH => self.doh_probe_ctx(
-                target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
+                warm, target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
             ),
             Protocol::DoT => self.dot_probe_ctx(
-                target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
+                warm, target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
             ),
             Protocol::Do53 => self.do53_probe_ctx(
                 target, tmpl, now, site, &path, health, effects, arena, rng, log,
             ),
             Protocol::DoQ => self.doq_probe_ctx(
-                target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
+                warm, target, tmpl, now, site, &path, hooks, health, effects, arena, rng, log,
             ),
             Protocol::ODoH => self.odoh_probe(
                 client, target, &tmpl.name, now, site, health, effects, cfg, rng, log,
@@ -606,6 +954,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn doh_probe_ctx(
         &self,
+        warm: WarmStart,
         target: &mut ProbeTarget,
         tmpl: &mut DomainTemplate,
         now: SimTime,
@@ -621,42 +970,10 @@ impl Prober {
         let dns_encode = tmpl.dns_encode;
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
 
-        let (mut tcp, connect) = match TcpConnection::connect_traced(
-            path,
-            hooks.refuse_connect,
-            rng,
-            TcpConfig::default(),
-            t,
-            log,
-        ) {
+        let (mut tcp, connect, tls_time) = match warm.tcp_tls_setup(path, hooks, rng, &mut t, log) {
             Ok(ok) => ok,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: e.elapsed,
-                }
-            }
+            Err(fail) => return fail,
         };
-        t += connect.as_nanos();
-        let tls = match TlsSession::handshake_traced(
-            &mut tcp,
-            path,
-            TlsConfig::default(),
-            hooks.tls_behavior,
-            None,
-            rng,
-            t,
-            log,
-        ) {
-            Ok(s) => s,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: connect + e.elapsed,
-                }
-            }
-        };
-        t += tls.handshake_time.as_nanos();
 
         let (server_time, cache_hit, variant) =
             self.serve_cached(target, tmpl, now, site, effects, true, rng, arena);
@@ -667,7 +984,15 @@ impl Prober {
         };
         let http_status = hooks.http_status(base_status);
         // detlint:allow(unwrap, dns_probe_ctx only dispatches DoH when the template was built for DoH)
-        let req_len = tmpl.doh.as_ref().expect("DoH template").req_len;
+        let doh = tmpl.doh.as_ref().expect("DoH template");
+        // A follow-up request on a kept-alive connection skips the preface
+        // and benefits from warm HPACK state; the response length is
+        // stream-id-independent, so the cold cache serves both.
+        let req_len = if warm.is_reused() {
+            doh.req_len_reused
+        } else {
+            doh.req_len
+        };
         let resp_len = tmpl.resp_len_for(variant, http_status);
 
         // Both the HTTP/1.1 and HTTP/2 reference branches bottom out in
@@ -679,7 +1004,7 @@ impl Prober {
                 Err(e) => {
                     return ProbeOutcome::Failure {
                         kind: e.into(),
-                        elapsed: connect + tls.handshake_time + e.elapsed,
+                        elapsed: connect + tls_time + e.elapsed,
                     }
                 }
             };
@@ -692,7 +1017,7 @@ impl Prober {
         let timings = ProbeTimings::from_legs(
             dns_encode,
             connect,
-            tls.handshake_time,
+            tls_time,
             query_time,
             server_time,
             dns_decode,
@@ -722,6 +1047,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn dot_probe_ctx(
         &self,
+        warm: WarmStart,
         target: &mut ProbeTarget,
         tmpl: &mut DomainTemplate,
         now: SimTime,
@@ -737,42 +1063,10 @@ impl Prober {
         let dns_encode = tmpl.dns_encode;
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
 
-        let (mut tcp, connect) = match TcpConnection::connect_traced(
-            path,
-            hooks.refuse_connect,
-            rng,
-            TcpConfig::default(),
-            t,
-            log,
-        ) {
+        let (mut tcp, connect, tls_time) = match warm.tcp_tls_setup(path, hooks, rng, &mut t, log) {
             Ok(ok) => ok,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: e.elapsed,
-                }
-            }
+            Err(fail) => return fail,
         };
-        t += connect.as_nanos();
-        let tls = match TlsSession::handshake_traced(
-            &mut tcp,
-            path,
-            TlsConfig::default(),
-            hooks.tls_behavior,
-            None,
-            rng,
-            t,
-            log,
-        ) {
-            Ok(s) => s,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: connect + e.elapsed,
-                }
-            }
-        };
-        t += tls.handshake_time.as_nanos();
         let (server_time, cache_hit, variant) =
             self.serve_cached(target, tmpl, now, site, effects, false, rng, arena);
         if health == ProbeHealth::HttpError {
@@ -788,11 +1082,11 @@ impl Prober {
             return match out {
                 Ok(o) => ProbeOutcome::Failure {
                     kind: ProbeErrorKind::DnsError,
-                    elapsed: connect + tls.handshake_time + o.elapsed,
+                    elapsed: connect + tls_time + o.elapsed,
                 },
                 Err(e) => ProbeOutcome::Failure {
                     kind: e.into(),
-                    elapsed: connect + tls.handshake_time + e.elapsed,
+                    elapsed: connect + tls_time + e.elapsed,
                 },
             };
         }
@@ -813,7 +1107,7 @@ impl Prober {
                 let timings = ProbeTimings::from_legs(
                     dns_encode,
                     connect,
-                    tls.handshake_time,
+                    tls_time,
                     out.elapsed,
                     server_time,
                     dns_decode,
@@ -822,7 +1116,7 @@ impl Prober {
             }
             Err(e) => ProbeOutcome::Failure {
                 kind: e.into(),
-                elapsed: connect + tls.handshake_time + e.elapsed,
+                elapsed: connect + tls_time + e.elapsed,
             },
         }
     }
@@ -898,6 +1192,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn doq_probe_ctx(
         &self,
+        warm: WarmStart,
         target: &mut ProbeTarget,
         tmpl: &mut DomainTemplate,
         now: SimTime,
@@ -922,17 +1217,21 @@ impl Prober {
         }
         let dns_encode = tmpl.dns_encode;
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
-        let (mut quic, connect) =
-            match QuicConnection::connect_traced(path, QuicConfig::default(), rng, t, log) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    return ProbeOutcome::Failure {
-                        kind: e.into(),
-                        elapsed: e.elapsed,
-                    }
-                }
+        let (mut quic, connect) = match warm.quic_setup(path, rng, &mut t, log) {
+            Ok(ok) => ok,
+            Err(fail) => return fail,
+        };
+        if hooks.tls_behavior == TlsServerBehavior::BadCertificate {
+            // QUIC folds TLS 1.3 into its handshake: the certificate
+            // arrives with the combined connect flight, so the client pays
+            // the connect round trip and then aborts — same shape as the
+            // TCP-carried transports.
+            log.instant(t, "certificate_rejected");
+            return ProbeOutcome::Failure {
+                kind: ProbeErrorKind::CertificateError,
+                elapsed: connect,
             };
-        t += connect.as_nanos();
+        }
         let (server_time, cache_hit, variant) =
             self.serve_cached(target, tmpl, now, site, effects, false, rng, arena);
         let resp_len = tmpl.variants[variant].dns_response.len();
@@ -975,6 +1274,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn dns_probe(
         &self,
+        warm: WarmStart,
         _client: &Host,
         target: &mut ProbeTarget,
         domain: &Name,
@@ -1017,16 +1317,16 @@ impl Prober {
 
         match cfg.protocol {
             Protocol::DoH => self.doh_probe(
-                target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
+                warm, target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
             ),
             Protocol::DoT => self.dot_probe(
-                target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
+                warm, target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
             ),
             Protocol::Do53 => self.do53_probe(
                 target, domain, now, site, &path, health, effects, cfg, rng, log,
             ),
             Protocol::DoQ => self.doq_probe(
-                target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
+                warm, target, domain, now, site, &path, hooks, health, effects, cfg, rng, log,
             ),
             Protocol::ODoH => self.odoh_probe(
                 _client, target, domain, now, site, health, effects, cfg, rng, log,
@@ -1122,6 +1422,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn doh_probe(
         &self,
+        warm: WarmStart,
         target: &mut ProbeTarget,
         domain: &Name,
         now: SimTime,
@@ -1144,44 +1445,11 @@ impl Prober {
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
 
-        // TCP.
-        let (mut tcp, connect) = match TcpConnection::connect_traced(
-            path,
-            hooks.refuse_connect,
-            rng,
-            TcpConfig::default(),
-            t,
-            log,
-        ) {
+        // TCP + TLS (skipped entirely on a pooled connection).
+        let (mut tcp, connect, tls_time) = match warm.tcp_tls_setup(path, hooks, rng, &mut t, log) {
             Ok(ok) => ok,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: e.elapsed,
-                }
-            }
+            Err(fail) => return fail,
         };
-        t += connect.as_nanos();
-        // TLS.
-        let tls = match TlsSession::handshake_traced(
-            &mut tcp,
-            path,
-            TlsConfig::default(),
-            hooks.tls_behavior,
-            None,
-            rng,
-            t,
-            log,
-        ) {
-            Ok(s) => s,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: connect + e.elapsed,
-                }
-            }
-        };
-        t += tls.handshake_time.as_nanos();
 
         // Build the HTTP/2 request with real wire bytes.
         let (http_path, body) = if cfg.doh_get {
@@ -1235,7 +1503,7 @@ impl Prober {
                 Err(e) => {
                     return ProbeOutcome::Failure {
                         kind: e.into(),
-                        elapsed: connect + tls.handshake_time + e.elapsed,
+                        elapsed: connect + tls_time + e.elapsed,
                     }
                 }
             };
@@ -1244,12 +1512,19 @@ impl Prober {
                 Err(e) => {
                     return ProbeOutcome::Failure {
                         kind: e.into(),
-                        elapsed: connect + tls.handshake_time + out.elapsed,
+                        elapsed: connect + tls_time + out.elapsed,
                     }
                 }
             }
         } else {
             let mut h2 = H2Connection::new();
+            if warm.is_reused() {
+                // A pooled connection already carried one request: burn an
+                // encode so the HPACK tables are warm and the preface is
+                // spent — the round trip below then produces exactly the
+                // follow-up request the fast path's `req_len_reused` cached.
+                let _ = h2.encode_request(&req);
+            }
             let result = h2.round_trip_traced(
                 &mut tcp,
                 path,
@@ -1273,7 +1548,7 @@ impl Prober {
                 Err(e) => {
                     return ProbeOutcome::Failure {
                         kind: e.into(),
-                        elapsed: connect + tls.handshake_time + e.elapsed,
+                        elapsed: connect + tls_time + e.elapsed,
                     }
                 }
             }
@@ -1285,7 +1560,7 @@ impl Prober {
         let timings = ProbeTimings::from_legs(
             dns_encode,
             connect,
-            tls.handshake_time,
+            tls_time,
             query_time,
             server_time,
             dns_decode,
@@ -1313,6 +1588,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn dot_probe(
         &self,
+        warm: WarmStart,
         target: &mut ProbeTarget,
         domain: &Name,
         now: SimTime,
@@ -1331,42 +1607,10 @@ impl Prober {
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
 
-        let (mut tcp, connect) = match TcpConnection::connect_traced(
-            path,
-            hooks.refuse_connect,
-            rng,
-            TcpConfig::default(),
-            t,
-            log,
-        ) {
+        let (mut tcp, connect, tls_time) = match warm.tcp_tls_setup(path, hooks, rng, &mut t, log) {
             Ok(ok) => ok,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: e.elapsed,
-                }
-            }
+            Err(fail) => return fail,
         };
-        t += connect.as_nanos();
-        let tls = match TlsSession::handshake_traced(
-            &mut tcp,
-            path,
-            TlsConfig::default(),
-            hooks.tls_behavior,
-            None,
-            rng,
-            t,
-            log,
-        ) {
-            Ok(s) => s,
-            Err(e) => {
-                return ProbeOutcome::Failure {
-                    kind: e.into(),
-                    elapsed: connect + e.elapsed,
-                }
-            }
-        };
-        t += tls.handshake_time.as_nanos();
         let (server_time, cache_hit, rcode, dns_response) =
             self.serve(target, &query, domain, now, site, effects, false, rng);
         if health == ProbeHealth::HttpError {
@@ -1383,11 +1627,11 @@ impl Prober {
             return match out {
                 Ok(o) => ProbeOutcome::Failure {
                     kind: ProbeErrorKind::DnsError,
-                    elapsed: connect + tls.handshake_time + o.elapsed,
+                    elapsed: connect + tls_time + o.elapsed,
                 },
                 Err(e) => ProbeOutcome::Failure {
                     kind: e.into(),
-                    elapsed: connect + tls.handshake_time + e.elapsed,
+                    elapsed: connect + tls_time + e.elapsed,
                 },
             };
         }
@@ -1412,7 +1656,7 @@ impl Prober {
                 let timings = ProbeTimings::from_legs(
                     dns_encode,
                     connect,
-                    tls.handshake_time,
+                    tls_time,
                     out.elapsed,
                     server_time,
                     dns_decode,
@@ -1421,7 +1665,7 @@ impl Prober {
             }
             Err(e) => ProbeOutcome::Failure {
                 kind: e.into(),
-                elapsed: connect + tls.handshake_time + e.elapsed,
+                elapsed: connect + tls_time + e.elapsed,
             },
         }
     }
@@ -1735,6 +1979,7 @@ impl Prober {
     #[allow(clippy::too_many_arguments)]
     fn doq_probe(
         &self,
+        warm: WarmStart,
         target: &mut ProbeTarget,
         domain: &Name,
         now: SimTime,
@@ -1763,17 +2008,21 @@ impl Prober {
         let query_wire = query.encode().expect("query encodes");
         let dns_encode = encode_cost(query_wire.len());
         let mut t = record_codec_span(log, now.as_nanos(), Phase::DnsEncode, dns_encode);
-        let (mut quic, connect) =
-            match QuicConnection::connect_traced(path, QuicConfig::default(), rng, t, log) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    return ProbeOutcome::Failure {
-                        kind: e.into(),
-                        elapsed: e.elapsed,
-                    }
-                }
+        let (mut quic, connect) = match warm.quic_setup(path, rng, &mut t, log) {
+            Ok(ok) => ok,
+            Err(fail) => return fail,
+        };
+        if hooks.tls_behavior == TlsServerBehavior::BadCertificate {
+            // QUIC folds TLS 1.3 into its handshake: the certificate
+            // arrives with the combined connect flight, so the client pays
+            // the connect round trip and then aborts — same shape as the
+            // TCP-carried transports.
+            log.instant(t, "certificate_rejected");
+            return ProbeOutcome::Failure {
+                kind: ProbeErrorKind::CertificateError,
+                elapsed: connect,
             };
-        t += connect.as_nanos();
+        }
         let (server_time, cache_hit, rcode, dns_response) =
             self.serve(target, &query, domain, now, site, effects, false, rng);
         match quic.stream_exchange_traced(

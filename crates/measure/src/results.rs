@@ -77,6 +77,54 @@ impl std::fmt::Display for Protocol {
     }
 }
 
+/// How a probe's transport came to exist — the connection-reuse axis the
+/// session subsystem records. Ordered coldest-first, which is also the
+/// order report tables render the modes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConnectionMode {
+    /// Fresh connection, full handshake (the paper's methodology).
+    Cold,
+    /// New connection resumed from a cached session ticket (TLS 1.3 PSK
+    /// or QUIC 0-RTT).
+    Resumed,
+    /// An existing pooled connection was reused; no handshake at all.
+    Reused,
+}
+
+impl ConnectionMode {
+    /// Stable label for JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConnectionMode::Cold => "cold",
+            ConnectionMode::Resumed => "resumed",
+            ConnectionMode::Reused => "reused",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "cold" => ConnectionMode::Cold,
+            "resumed" => ConnectionMode::Resumed,
+            "reused" => ConnectionMode::Reused,
+            _ => return None,
+        })
+    }
+
+    /// Every mode, coldest first.
+    pub const ALL: [ConnectionMode; 3] = [
+        ConnectionMode::Cold,
+        ConnectionMode::Resumed,
+        ConnectionMode::Reused,
+    ];
+}
+
+impl std::fmt::Display for ConnectionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// Timing breakdown of a successful probe over the six canonical phases
 /// ([`obs::Phase`]). The phases are disjoint and sum exactly to the probe's
 /// end-to-end response time.
@@ -231,6 +279,10 @@ pub struct ProbeRecord {
     /// Per-attempt retry accounting; `None` when the retry layer is
     /// disabled (keeps the JSON byte-identical to pre-retry output).
     pub retry: Option<RetryInfo>,
+    /// How the probe's transport came to exist; `None` when the session
+    /// subsystem is disabled (keeps the JSON byte-identical to
+    /// pre-session output).
+    pub conn_mode: Option<ConnectionMode>,
 }
 
 /// The JSON key for one phase inside the `phases` object.
@@ -291,12 +343,20 @@ impl ProbeRecord {
             outcome,
             ping,
             retry: None,
+            conn_mode: None,
         }
     }
 
     /// Attaches per-attempt retry accounting (builder-style).
     pub fn with_retry(mut self, retry: Option<RetryInfo>) -> ProbeRecord {
         self.retry = retry;
+        self
+    }
+
+    /// Attaches the connection mode (builder-style). `None` keeps the
+    /// record byte-identical to pre-session output.
+    pub fn with_conn_mode(mut self, conn_mode: Option<ConnectionMode>) -> ProbeRecord {
+        self.conn_mode = conn_mode;
         self
     }
 
@@ -393,6 +453,11 @@ impl ProbeRecord {
                 site,
             } => {
                 bool_field(out, lead, "cache_hit", *cache_hit);
+                // "conn_mode" sorts between "cache_hit" and "connect_ms"
+                // ('_' 0x5F < 'e' 0x65 after the shared "conn" prefix).
+                if let Some(mode) = self.conn_mode {
+                    str_field(out, false, "conn_mode", mode.label());
+                }
                 float_field(out, false, "connect_ms", timings.connect.as_millis_f64());
                 str_field(out, false, "domain", self.domain());
                 bool_field(out, false, "mainstream", self.mainstream);
@@ -464,7 +529,15 @@ impl ProbeRecord {
                 str_field(out, false, "vantage", self.vantage());
             }
             ProbeOutcome::Failure { kind, elapsed } => {
-                str_field(out, lead, "domain", self.domain());
+                // In the failure shape "conn_mode" sorts first (before
+                // "domain"), so when present it takes over the lead key.
+                match self.conn_mode {
+                    Some(mode) => {
+                        str_field(out, lead, "conn_mode", mode.label());
+                        str_field(out, false, "domain", self.domain());
+                    }
+                    None => str_field(out, lead, "domain", self.domain()),
+                }
                 float_field(out, false, "elapsed_ms", elapsed.as_millis_f64());
                 str_field(out, false, "error", kind.label());
                 bool_field(out, false, "mainstream", self.mainstream);
@@ -547,6 +620,9 @@ impl ProbeRecord {
         } else {
             pairs.push(("ping_ms", Json::Null));
         }
+        if let Some(mode) = self.conn_mode {
+            pairs.push(("conn_mode", Json::Str(mode.label().to_string())));
+        }
         if let Some(info) = &self.retry {
             pairs.push(("attempts", Json::Int(info.attempts as i64)));
             pairs.push((
@@ -621,6 +697,11 @@ impl ProbeRecord {
             }
             None => None,
         };
+        // Pre-session records simply lack the "conn_mode" key.
+        let conn_mode = match v.get("conn_mode") {
+            Some(m) => Some(ConnectionMode::from_label(m.as_str()?)?),
+            None => None,
+        };
         Some(ProbeRecord {
             at,
             vantage: Label::intern(v.get("vantage")?.as_str()?),
@@ -632,6 +713,7 @@ impl ProbeRecord {
             outcome,
             ping,
             retry,
+            conn_mode,
         })
     }
 }
@@ -663,6 +745,7 @@ mod tests {
             },
             ping: Some(SimDuration::from_millis_f64(7.0)),
             retry: None,
+            conn_mode: None,
         }
     }
 
@@ -681,6 +764,7 @@ mod tests {
             },
             ping: None,
             retry: None,
+            conn_mode: None,
         }
     }
 
@@ -928,6 +1012,63 @@ mod tests {
             let text = r.to_json().to_string_compact();
             assert!(!text.contains("attempts"), "{text}");
             assert!(!text.contains("ttfb_ms"), "{text}");
+        }
+    }
+
+    #[test]
+    fn connection_mode_labels_round_trip() {
+        for m in ConnectionMode::ALL {
+            assert_eq!(ConnectionMode::from_label(m.label()), Some(m));
+        }
+        assert_eq!(ConnectionMode::from_label("lukewarm"), None);
+        assert!(ConnectionMode::Cold < ConnectionMode::Resumed);
+        assert!(ConnectionMode::Resumed < ConnectionMode::Reused);
+    }
+
+    #[test]
+    fn conn_mode_round_trips_through_json() {
+        for base in [success_record(), failure_record(), retried_success()] {
+            for mode in ConnectionMode::ALL {
+                let r = base.clone().with_conn_mode(Some(mode));
+                let text = r.to_json().to_string_compact();
+                assert!(
+                    text.contains(&format!("\"conn_mode\":\"{}\"", mode.label())),
+                    "{text}"
+                );
+                let back = ProbeRecord::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+                assert_eq!(back, r);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_writer_matches_tree_writer_with_conn_mode() {
+        // Every combination of record shape × retry layer × mode, plus the
+        // failure-without-retry case where conn_mode becomes the lead key.
+        for base in [
+            success_record(),
+            failure_record(),
+            retried_success(),
+            exhausted_failure(),
+        ] {
+            for mode in ConnectionMode::ALL {
+                let r = base.clone().with_conn_mode(Some(mode));
+                let mut streamed = String::new();
+                r.write_json_line(&mut streamed);
+                assert_eq!(streamed, r.to_json().to_string_compact());
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_session_layer_adds_no_keys() {
+        for r in [success_record(), failure_record()] {
+            assert_eq!(r.conn_mode, None);
+            let text = r.to_json().to_string_compact();
+            assert!(!text.contains("conn_mode"), "{text}");
+            let mut streamed = String::new();
+            r.write_json_line(&mut streamed);
+            assert!(!streamed.contains("conn_mode"), "{streamed}");
         }
     }
 }

@@ -251,6 +251,13 @@ impl<'a> ShardedRunner<'a> {
                 );
             }
         }
+        // A live session model changes connection modes (and with them the
+        // timing of most records), so it fingerprints too. Cold-only is
+        // byte-transparent and hashes like its absence, exactly mirroring
+        // the campaign-layer gate.
+        if let Some(session) = config.session.as_ref().filter(|s| s.is_live()) {
+            let _ = write!(s, "session={},{};", session.reuse, session.cold_fraction);
+        }
         for p in self.campaign.pair_plans() {
             let _ = write!(
                 s,

@@ -130,6 +130,7 @@ mod tests {
             probe: measure::ProbeConfig::default(),
             faults: netsim::faults::FaultPlan::EMPTY,
             load: None,
+            session: None,
             spans: vec![
                 Span {
                     start_day: 0,

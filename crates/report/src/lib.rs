@@ -26,6 +26,7 @@ pub mod figure;
 pub mod health_report;
 pub mod load_sweep;
 pub mod metrics_export;
+pub mod reuse_ablation;
 pub mod sketch_report;
 pub mod table;
 
@@ -33,4 +34,5 @@ pub use analysis::{Dataset, VantageGroup};
 pub use figure::{FigurePanel, FigureRow, AXIS_MAX_MS};
 pub use load_sweep::{LoadClass, LoadSweep, LoadSweepRow};
 pub use metrics_export::{metrics_csv, metrics_json};
+pub use reuse_ablation::{ReuseAblation, ReuseAblationRow};
 pub use table::TextTable;

@@ -1,0 +1,81 @@
+//! Golden-fixture regression for the reuse-ablation table: the fixed-seed
+//! roster probed per connection-oriented protocol under the interleaved
+//! session model must reproduce `tests/golden/reuse_ablation_seed4.txt`
+//! byte-for-byte — pinning the mode labels, column layout, float
+//! formatting, and the session layer's effect on the underlying campaign
+//! all at once. The fixture is regenerated under the 4-thread ≡ serial
+//! assertion, so it can never be written from a thread count that would
+//! change its bytes.
+//!
+//! After an *intentional* format change, regenerate with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin golden_regen
+//! ```
+
+use measure::{Campaign, CampaignConfig, Protocol, SessionConfig};
+use report::ReuseAblation;
+
+fn entries() -> Vec<catalog::ResolverEntry> {
+    // Must mirror the roster in bench's golden_regen bin.
+    [
+        "dns.google",
+        "dns.quad9.net",
+        "doh.ffmuc.net",
+        "chewbacca.meganerd.nl",
+    ]
+    .into_iter()
+    .map(|h| catalog::resolvers::find(h).unwrap())
+    .collect()
+}
+
+#[test]
+fn reuse_ablation_matches_golden_bytes() {
+    let golden = include_str!("golden/reuse_ablation_seed4.txt");
+    let mut ablation = ReuseAblation::new();
+    for protocol in [Protocol::DoH, Protocol::DoT, Protocol::DoQ] {
+        let mut config = CampaignConfig::quick(4, 3).with_session(SessionConfig::interleaved(0.3));
+        config.probe.protocol = protocol;
+        let result = Campaign::with_resolvers(config, entries()).run();
+        ablation.add_campaign(&result.records);
+    }
+    assert_eq!(
+        ablation.render(),
+        golden,
+        "reuse-ablation table drifted from the golden fixture; if intentional, \
+         regenerate with `cargo run --release -p bench --bin golden_regen`"
+    );
+}
+
+#[test]
+fn golden_reuse_ablation_shows_the_expected_shape() {
+    // The fixture itself must keep telling the story the ablation exists
+    // to tell: parse it back and cross-check the qualitative shape rather
+    // than trusting bytes alone.
+    let golden = include_str!("golden/reuse_ablation_seed4.txt");
+    let rows: Vec<Vec<&str>> = golden
+        .lines()
+        .skip_while(|l| !l.starts_with('-'))
+        .skip(1)
+        .map(|l| l.split_whitespace().collect())
+        .collect();
+    assert_eq!(rows.len(), 9, "3 protocols x 3 modes");
+
+    let cell = |proto: &str, mode: &str, col: usize| -> f64 {
+        let row = rows
+            .iter()
+            .find(|r| r[0] == proto && r[1] == mode)
+            .unwrap_or_else(|| panic!("missing row {proto} {mode}"));
+        row[col].parse().unwrap()
+    };
+    // DoH session resumption saves the TLS round trips: cheaper setup and
+    // a faster median than the cold baseline.
+    assert!(cell("doh", "resumed", 6) < cell("doh", "cold", 6));
+    assert!(cell("doh", "resumed", 4) < cell("doh", "cold", 4));
+    // DoQ 0-RTT saves every connect round: setup is zero outright.
+    assert_eq!(cell("doq", "resumed", 6), 0.0);
+    // A pooled connection pays no setup at all, on every protocol.
+    for proto in ["doh", "dot", "doq"] {
+        assert_eq!(cell(proto, "reused", 6), 0.0, "{proto} reused setup");
+    }
+}

@@ -112,6 +112,20 @@ impl TcpConnection {
         ))
     }
 
+    /// Reconstructs an established connection from pooled metadata.
+    ///
+    /// A kept-alive connection pulled from a pool pays no handshake: the
+    /// estimator is re-seeded from the stored smoothed-RTT hint and no
+    /// simulated time or randomness is consumed until the first data
+    /// segment flows.
+    pub fn resumed(config: TcpConfig, srtt_hint: SimDuration) -> TcpConnection {
+        TcpConnection {
+            config,
+            estimator: RttEstimator::new(srtt_hint),
+            total_elapsed: SimDuration::ZERO,
+        }
+    }
+
     /// The connection's current smoothed RTT estimate.
     pub fn srtt(&self) -> SimDuration {
         self.estimator.srtt()
@@ -227,6 +241,23 @@ mod tests {
             .unwrap();
         assert_eq!(out.attempts, 1);
         assert!(out.elapsed >= SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn resumed_connection_skips_handshake_and_keeps_rtt_hint() {
+        let p = path();
+        let hint = SimDuration::from_millis(12);
+        let mut conn = TcpConnection::resumed(TcpConfig::default(), hint);
+        // No handshake: zero elapsed, estimator seeded from the hint, and
+        // no randomness consumed at construction.
+        assert_eq!(conn.total_elapsed(), SimDuration::ZERO);
+        assert_eq!(conn.srtt(), hint);
+        let mut rng = SimRng::from_seed(6);
+        let out = conn
+            .request_response(&p, 300, 500, SimDuration::from_millis(2), &mut rng)
+            .unwrap();
+        assert!(out.elapsed > SimDuration::ZERO);
+        assert_eq!(conn.total_elapsed(), out.elapsed);
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //!
 //! Browser-faithful details:
 //!
-//! * the *first* resolution pays the resolver's full cold-connection
-//!   response time; later resolutions reuse the encrypted channel and pay
-//!   only the query round trip;
+//! * DNS connection reuse runs through the measurement stack's session
+//!   layer ([`measure::SessionState`], under the resolver's own
+//!   [`catalog::ReusePolicy`]): the first resolution opens the encrypted
+//!   channel cold and pays the full connection response time, later
+//!   resolutions reuse the pooled connection and pay only the query round
+//!   trip — and a failed resolution invalidates the pool, so the next
+//!   domain re-pays the cold setup exactly as a browser would;
 //! * each domain's first object pays TCP+TLS to the web server; later
 //!   objects reuse the connection;
 //! * transfers share the client's downstream bandwidth serially along the
@@ -16,7 +20,9 @@
 use std::collections::HashMap;
 
 use dns_wire::Name;
-use measure::{ProbeConfig, ProbeOutcome, ProbeTarget, Prober};
+use measure::{
+    ConnectionMode, ProbeConfig, ProbeOutcome, ProbeTarget, Prober, SessionConfig, SessionState,
+};
 use netsim::{Host, SimRng, SimTime};
 
 use crate::page::Page;
@@ -104,26 +110,43 @@ impl Loader {
         now: SimTime,
         rng: &mut SimRng,
     ) -> LoadReport {
-        // Resolve each distinct domain once, in first-use order.
+        // Resolve each distinct domain once, in first-use order, through a
+        // browser-like session: full reuse under the resolver's own
+        // policy. A cold probe is charged its whole response time, a warm
+        // one only the query exchange; failures tear the session down so
+        // the next resolution reopens the channel.
         let mut dns_times_ms = HashMap::new();
         let mut failed_domains = Vec::new();
         let cfg = ProbeConfig::default();
-        for (i, domain) in page.domains().into_iter().enumerate() {
+        let scfg = SessionConfig::warm();
+        let mut session = SessionState::new(
+            0xD05,
+            "webperf",
+            resolver.entry.hostname,
+            resolver.entry.reuse_policy(),
+            resolver.entry.coalesce_key(),
+        );
+        for domain in page.domains() {
+            let forced_cold = session.draw_forced_cold(&scfg);
+            let mode = session.decide(now, cfg.protocol, true, forced_cold);
             let (outcome, _) = self
                 .prober
                 .probe(client, resolver, &domain, now, is_home, cfg, rng);
             match outcome {
                 ProbeOutcome::Success { timings, .. } => {
-                    // First resolution pays the cold connection; later ones
-                    // reuse the encrypted channel.
-                    let ms = if i == 0 {
-                        timings.total().as_millis_f64()
-                    } else {
-                        timings.exchange().as_millis_f64()
+                    let ms = match mode {
+                        ConnectionMode::Cold => timings.total().as_millis_f64(),
+                        ConnectionMode::Resumed | ConnectionMode::Reused => {
+                            timings.exchange().as_millis_f64()
+                        }
                     };
+                    session.on_success(now, cfg.protocol, mode, timings.connect);
                     dns_times_ms.insert(domain, ms);
                 }
-                ProbeOutcome::Failure { .. } => failed_domains.push(domain),
+                ProbeOutcome::Failure { .. } => {
+                    session.on_failure();
+                    failed_domains.push(domain);
+                }
             }
         }
 
